@@ -1,0 +1,69 @@
+// Ablation: how much does the paper's greedy usefulness policy (Section
+// 5.4) actually buy over cheaper probe-selection policies?
+//
+// Compares greedy vs random, round-robin and max-variance on two axes:
+//   * probes needed to reach a required certainty t = 0.9 (k = 1), and
+//   * correctness of the reported answer after a fixed budget of 2 probes.
+//
+// Expected: greedy needs the fewest probes; max-variance is the closest
+// contender (it chases uncertainty but ignores whether the uncertainty
+// affects the answer set); round-robin and random trail.
+
+#include <iostream>
+#include <memory>
+
+#include "core/probing.h"
+#include "eval/experiment.h"
+#include "eval/table.h"
+
+namespace metaprobe {
+namespace {
+
+int Run() {
+  eval::BenchScale scale = eval::ReadBenchScale();
+  auto world = eval::BuildTrainedHealthWorld(eval::ToTestbedOptions(scale));
+  world.status().CheckOK();
+
+  std::vector<std::unique_ptr<core::ProbingPolicy>> policies;
+  policies.push_back(std::make_unique<core::MembershipEntropyPolicy>());
+  policies.push_back(std::make_unique<core::StoppingProbabilityPolicy>());
+  policies.push_back(std::make_unique<core::GreedyUsefulnessPolicy>());
+  policies.push_back(std::make_unique<core::MaxVarianceProbingPolicy>());
+  policies.push_back(std::make_unique<core::RoundRobinProbingPolicy>());
+  policies.push_back(std::make_unique<core::RandomProbingPolicy>(scale.seed));
+  // Depth-limited approximation of the optimal policy (expensive per step;
+  // depth 1 keeps the sweep affordable at this scale).
+  policies.push_back(std::make_unique<core::ExpectimaxProbingPolicy>(1));
+
+  std::cout << "\n=== Ablation: probing policy (k=1, absolute metric) ===\n"
+            << "(first "
+            << std::min<std::size_t>(scale.query_limit,
+                                     world->num_test_queries())
+            << " test queries)\n\n";
+  eval::TablePrinter table({"policy", "avg probes to reach t=0.9",
+                            "correctness @0 probes", "correctness @2 probes"});
+  for (const auto& policy : policies) {
+    auto sweep = eval::EvaluateThresholdSweep(
+        *world, 1, core::CorrectnessMetric::kAbsolute, policy.get(), {0.9},
+        scale.query_limit);
+    auto trace = eval::EvaluateProbingTrace(
+        *world, 1, core::CorrectnessMetric::kAbsolute, policy.get(), 2,
+        scale.query_limit);
+    table.AddRow({policy->name(), eval::Cell(sweep[0].avg_probes, 2),
+                  eval::Cell(trace[0].avg_absolute),
+                  eval::Cell(trace[2].avg_absolute)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nReproduction finding: the paper's expected-usefulness "
+               "greedy is a martingale (it only sees probes that might FLIP "
+               "the answer set), so answer-aware refinements -- stopping "
+               "probability, membership entropy -- and even plain "
+               "max-variance reach the threshold with fewer probes here. "
+               "See EXPERIMENTS.md for the discussion.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace metaprobe
+
+int main() { return metaprobe::Run(); }

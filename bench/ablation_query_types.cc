@@ -1,0 +1,66 @@
+// Ablation: how much of the RD-based method's gain comes from the query
+// type decision tree of Section 4.1?
+//
+// Retrains the metasearcher with four classifier configurations —
+// one pooled ED per database, split by term count only, split by estimate
+// threshold only, and the paper's full 2x2 tree — and scores RD-based
+// selection (no probing) against the golden standard.
+//
+// Expected: the estimate-threshold split carries most of the benefit
+// (it separates covered from uncovered topics, whose errors differ in
+// sign); the term-count split adds a smaller refinement; the full tree
+// is best, matching the paper's design.
+
+#include <iostream>
+
+#include "eval/experiment.h"
+#include "eval/table.h"
+
+namespace metaprobe {
+namespace {
+
+int Run() {
+  eval::BenchScale scale = eval::ReadBenchScale();
+  eval::TestbedOptions testbed_options = eval::ToTestbedOptions(scale);
+
+  struct Variant {
+    const char* label;
+    bool by_terms;
+    bool by_estimate;
+  };
+  const Variant kVariants[] = {
+      {"single pooled ED", false, false},
+      {"split by term count only", true, false},
+      {"split by estimate only", false, true},
+      {"full 2x2 tree (paper)", true, true},
+  };
+
+  std::cout << "\n=== Ablation: query-type decision tree ===\n\n";
+  eval::TablePrinter table({"classifier", "#types", "k=1 Avg(Cor_a)",
+                            "k=3 Avg(Cor_a)", "k=3 Avg(Cor_p)"});
+  for (const Variant& variant : kVariants) {
+    core::MetasearcherOptions options;
+    options.query_class.split_by_term_count = variant.by_terms;
+    options.query_class.split_by_estimate = variant.by_estimate;
+    auto world = eval::BuildTrainedHealthWorld(testbed_options, options);
+    world.status().CheckOK();
+    eval::CorrectnessScores k1 =
+        eval::EvaluateRdBased(*world, 1, core::CorrectnessMetric::kAbsolute);
+    eval::CorrectnessScores k3a =
+        eval::EvaluateRdBased(*world, 3, core::CorrectnessMetric::kAbsolute);
+    eval::CorrectnessScores k3p =
+        eval::EvaluateRdBased(*world, 3, core::CorrectnessMetric::kPartial);
+    table.AddRow({variant.label,
+                  eval::Cell(static_cast<std::size_t>(
+                      world->metasearcher->classifier().num_types())),
+                  eval::Cell(k1.avg_absolute), eval::Cell(k3a.avg_absolute),
+                  eval::Cell(k3p.avg_partial)});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace metaprobe
+
+int main() { return metaprobe::Run(); }

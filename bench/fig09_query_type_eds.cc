@@ -1,0 +1,90 @@
+// Reproduces Figure 9 (ICDE 2004): the four separate error distributions a
+// database keeps — one per query type of the decision tree
+//   #terms (2 vs 3)  x  initial estimate (below vs above the threshold) —
+// rendered for one newsgroup-style database (the paper shows
+// rec.music.artists.springsteen).
+//
+// Paper shape: low-estimate types concentrate near -100% (the database
+// rarely covers the topic, the true count is ~0); high-estimate types skew
+// positive (correlated keywords beat the independence estimate).
+
+#include <iostream>
+
+#include "common/strings.h"
+#include "core/ed_learner.h"
+#include "core/estimator.h"
+#include "core/summary.h"
+#include "eval/testbed.h"
+
+namespace metaprobe {
+namespace {
+
+int Run() {
+  std::uint64_t seed =
+      static_cast<std::uint64_t>(GetEnvLong("METAPROBE_SEED", 42));
+  eval::TestbedOptions testbed_options;
+  testbed_options.scale =
+      static_cast<std::uint32_t>(GetEnvLong("METAPROBE_SCALE", 1));
+  testbed_options.train_queries_per_term_count =
+      static_cast<std::size_t>(GetEnvLong("METAPROBE_TRAIN", 2000));
+  testbed_options.test_queries_per_term_count = 10;
+  testbed_options.seed = seed;
+  auto testbed = eval::BuildNewsgroupTestbed(testbed_options);
+  testbed.status().CheckOK();
+
+  // Pick the springsteen-flavored database, mirroring the paper's example.
+  std::size_t db_index = 0;
+  for (std::size_t i = 0; i < testbed->num_databases(); ++i) {
+    if (testbed->databases[i]->name().find("springsteen") !=
+        std::string::npos) {
+      db_index = i;
+      break;
+    }
+  }
+  const auto& db = testbed->databases[db_index];
+
+  core::QueryClassOptions class_options;
+  class_options.estimate_threshold =
+      static_cast<double>(GetEnvLong("METAPROBE_THRESHOLD", 30));
+  core::QueryTypeClassifier classifier(class_options);
+  core::TermIndependenceEstimator estimator;
+  core::EdLearnerOptions learner_options;
+  learner_options.max_samples_per_type = 0;  // use the full trace
+  core::EdLearner learner(&estimator, &classifier, learner_options);
+
+  std::vector<const core::HiddenWebDatabase*> dbs{db.get()};
+  std::vector<const core::StatSummary*> summaries{
+      &testbed->summaries[db_index]};
+  auto table = learner.Learn(dbs, summaries, testbed->train_queries);
+  table.status().CheckOK();
+
+  std::cout << "\n=== Figure 9: separate EDs for four types of queries on "
+               "database '"
+            << db->name() << "' ===\n"
+            << "\nDecision tree: #terms in query -> value of initial "
+               "estimate r_hat(db, q)\n";
+  for (core::QueryTypeId type = 0; type < classifier.num_types(); ++type) {
+    const core::ErrorDistribution& ed = table->Get(0, type);
+    std::cout << "\nED for " << classifier.TypeName(type) << " queries ("
+              << ed.sample_count() << " samples";
+    if (!ed.empty()) {
+      auto dist = ed.ToDistribution();
+      std::cout << ", mean error " << FormatDouble(dist.Mean(), 2)
+                << ", stddev " << FormatDouble(dist.StdDev(), 2);
+    }
+    std::cout << "):\n" << ed.histogram().ToAscii();
+  }
+  std::cout << "The four types behave differently, as in the paper's "
+               "Figure 9: low-estimate types concentrate at small errors "
+               "(the database rarely covers the topic, so both the estimate "
+               "and the true count sit near zero under the unit-floored "
+               "Eq. 2) with a positive tail, while high-estimate types skew "
+               "strongly positive (correlated keywords beat independence) "
+               "and 3-term queries err more than 2-term ones.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace metaprobe
+
+int main() { return metaprobe::Run(); }

@@ -1,0 +1,120 @@
+// Microbenchmarks for the probabilistic core: RD derivation, expected
+// correctness evaluation, best-set search and the greedy probing step.
+
+#include <benchmark/benchmark.h>
+
+#include "core/correctness.h"
+#include "core/error_distribution.h"
+#include "core/probing.h"
+#include "core/relevancy_distribution.h"
+#include "stats/chi_square.h"
+#include "stats/random.h"
+
+namespace metaprobe {
+namespace {
+
+// A 20-database model with 10-atom RDs, the shape of one live query on the
+// paper's testbed.
+core::TopKModel MakeModel(std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<core::RelevancyDistribution> rds;
+  for (int db = 0; db < 20; ++db) {
+    core::ErrorDistribution ed;
+    for (int s = 0; s < 200; ++s) {
+      ed.AddObservation(rng.Uniform(-1.0, 4.0));
+    }
+    rds.push_back(core::RelevancyDistribution::FromEstimate(
+        rng.Uniform(0.0, 500.0), ed));
+  }
+  return core::TopKModel(std::move(rds));
+}
+
+void BM_RdDerivation(benchmark::State& state) {
+  core::ErrorDistribution ed;
+  stats::Rng rng(3);
+  for (int s = 0; s < 500; ++s) ed.AddObservation(rng.Uniform(-1.0, 4.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::RelevancyDistribution::FromEstimate(120.0, ed).dist.Mean());
+  }
+}
+BENCHMARK(BM_RdDerivation);
+
+void BM_MembershipProbabilities(benchmark::State& state) {
+  core::TopKModel model = MakeModel(11);
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.MembershipProbabilities(k));
+  }
+}
+BENCHMARK(BM_MembershipProbabilities)->Arg(1)->Arg(3);
+
+void BM_PrExactTopSet(benchmark::State& state) {
+  core::TopKModel model = MakeModel(13);
+  std::vector<std::size_t> set{2, 7, 11};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.PrExactTopSet(set));
+  }
+}
+BENCHMARK(BM_PrExactTopSet);
+
+void BM_FindBestSet(benchmark::State& state) {
+  core::TopKModel model = MakeModel(17);
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.FindBestSet(k, core::CorrectnessMetric::kAbsolute));
+  }
+}
+BENCHMARK(BM_FindBestSet)->Arg(1)->Arg(3);
+
+void BM_GreedySelectDb(benchmark::State& state) {
+  core::TopKModel model = MakeModel(19);
+  core::GreedyUsefulnessPolicy policy;
+  std::vector<bool> probed(20, false);
+  core::ProbingContext context;
+  context.k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.SelectDb(&model, probed, context));
+  }
+}
+BENCHMARK(BM_GreedySelectDb)->Arg(1)->Arg(3);
+
+void BM_MembershipEntropySelectDb(benchmark::State& state) {
+  core::TopKModel model = MakeModel(19);
+  core::MembershipEntropyPolicy policy;
+  std::vector<bool> probed(20, false);
+  core::ProbingContext context;
+  context.k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.SelectDb(&model, probed, context));
+  }
+}
+BENCHMARK(BM_MembershipEntropySelectDb)->Arg(1)->Arg(3);
+
+void BM_MonteCarloCorrectness(benchmark::State& state) {
+  core::TopKModel model = MakeModel(23);
+  std::vector<std::size_t> set{2, 7, 11};
+  stats::Rng rng(29);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::MonteCarloExpectedCorrectness(
+        model, set, core::CorrectnessMetric::kAbsolute, 1000, &rng));
+  }
+}
+BENCHMARK(BM_MonteCarloCorrectness);
+
+void BM_PearsonChiSquare(benchmark::State& state) {
+  std::vector<double> observed{40, 55, 62, 78, 90, 70, 45, 30, 20, 10};
+  std::vector<double> expected{0.08, 0.11, 0.12, 0.16, 0.18,
+                               0.14, 0.09, 0.06, 0.04, 0.02};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stats::PearsonChiSquareTest(observed, expected)->p_value);
+  }
+}
+BENCHMARK(BM_PearsonChiSquare);
+
+}  // namespace
+}  // namespace metaprobe
+
+BENCHMARK_MAIN();

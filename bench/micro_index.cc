@@ -1,0 +1,118 @@
+// Microbenchmarks for the search-engine substrate: posting-list iteration
+// and skipping, conjunctive intersection, tf-idf scoring, index build.
+
+#include <benchmark/benchmark.h>
+
+#include "corpus/domain.h"
+#include "corpus/synthetic_corpus.h"
+#include "index/inverted_index.h"
+#include "stats/random.h"
+#include "text/analyzer.h"
+
+namespace metaprobe {
+namespace {
+
+const index::InvertedIndex& SharedIndex() {
+  static const index::InvertedIndex* kIndex = [] {
+    text::Analyzer* analyzer = new text::Analyzer();
+    corpus::CorpusGenerator* generator = new corpus::CorpusGenerator(
+        corpus::HealthTopics(), {}, analyzer);
+    corpus::DatabaseSpec spec;
+    spec.name = "bench";
+    spec.num_docs = 20000;
+    spec.mixture = {{"clinical", 1.0}, {"oncology", 1.0}, {"cardiology", 1.0}};
+    spec.seed = 99;
+    return new index::InvertedIndex(
+        std::move(generator->Generate(spec)->index));
+  }();
+  return *kIndex;
+}
+
+void BM_PostingListAppend(benchmark::State& state) {
+  for (auto _ : state) {
+    index::PostingList list;
+    for (index::DocId d = 0; d < 10000; ++d) {
+      benchmark::DoNotOptimize(list.Append(d * 3, (d % 7) + 1).ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_PostingListAppend);
+
+void BM_PostingListScan(benchmark::State& state) {
+  index::PostingList list;
+  for (index::DocId d = 0; d < 10000; ++d) {
+    list.Append(d * 3, (d % 7) + 1).CheckOK();
+  }
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (auto it = list.begin(); it.Valid(); it.Next()) sum += it.doc();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_PostingListScan);
+
+void BM_PostingListSkipTo(benchmark::State& state) {
+  index::PostingList list;
+  for (index::DocId d = 0; d < 100000; ++d) list.Append(d * 2, 1).CheckOK();
+  stats::Rng rng(5);
+  for (auto _ : state) {
+    auto it = list.begin();
+    index::DocId target = 0;
+    for (int hop = 0; hop < 100; ++hop) {
+      target += static_cast<index::DocId>(rng.UniformInt(std::uint64_t{4000}));
+      it.SkipTo(target);
+      if (!it.Valid()) break;
+      benchmark::DoNotOptimize(it.doc());
+    }
+  }
+}
+BENCHMARK(BM_PostingListSkipTo);
+
+void BM_CountConjunctive2(benchmark::State& state) {
+  const index::InvertedIndex& index = SharedIndex();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.CountConjunctive({"breast", "cancer"}));
+  }
+}
+BENCHMARK(BM_CountConjunctive2);
+
+void BM_CountConjunctive3(benchmark::State& state) {
+  const index::InvertedIndex& index = SharedIndex();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.CountConjunctive({"patient", "heart", "cancer"}));
+  }
+}
+BENCHMARK(BM_CountConjunctive3);
+
+void BM_TopKCosine(benchmark::State& state) {
+  const index::InvertedIndex& index = SharedIndex();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.TopKCosine({"breast", "cancer"},
+                         static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_TopKCosine)->Arg(10)->Arg(100);
+
+void BM_IndexBuild(benchmark::State& state) {
+  text::Analyzer analyzer;
+  corpus::CorpusGenerator generator(corpus::HealthTopics(), {}, &analyzer);
+  corpus::DatabaseSpec spec;
+  spec.name = "build-bench";
+  spec.num_docs = static_cast<std::uint32_t>(state.range(0));
+  spec.mixture = {{"oncology", 1.0}};
+  spec.seed = 7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.Generate(spec)->index.num_docs());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IndexBuild)->Arg(1000)->Arg(5000);
+
+}  // namespace
+}  // namespace metaprobe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// The certainty knob: the paper's headline user-facing idea (Section 3.4).
+// The user states how certain the answer must be; the metasearcher spends
+// exactly as many probes as that certainty costs.
+//
+//   build/examples/certainty_knob
+//
+// Sweeps the required certainty t for a handful of queries and prints the
+// probes spent, the final certainty and whether the answer changed — making
+// the cost/quality trade-off tangible.
+
+#include <iostream>
+
+#include "common/strings.h"
+#include "core/metasearcher.h"
+#include "eval/table.h"
+#include "eval/testbed.h"
+
+int main() {
+  metaprobe::eval::TestbedOptions options;
+  options.scale = static_cast<std::uint32_t>(
+      metaprobe::GetEnvLong("METAPROBE_SCALE", 1));
+  options.seed = 42;
+  options.train_queries_per_term_count = 500;
+  options.test_queries_per_term_count = 10;
+
+  std::cout << "building the health testbed...\n";
+  auto testbed = metaprobe::eval::BuildHealthTestbed(options);
+  testbed.status().CheckOK();
+
+  metaprobe::core::MetasearcherOptions searcher_options;
+  searcher_options.query_class.estimate_threshold = 30;
+  auto searcher = metaprobe::eval::BuildTrainedMetasearcher(*testbed,
+                                                            searcher_options);
+  searcher.status().CheckOK();
+
+  const metaprobe::text::Analyzer& analyzer = *testbed->analyzer;
+  for (const char* raw : {"breast cancer", "infection antibiotic child"}) {
+    metaprobe::core::Query query = metaprobe::core::ParseQuery(analyzer, raw);
+    std::cout << "\nquery: \"" << raw << "\" (selecting the top-1 database)\n";
+    metaprobe::eval::TablePrinter table(
+        {"required certainty t", "probes spent", "achieved certainty",
+         "answer"});
+    for (double t : {0.50, 0.70, 0.80, 0.90, 0.95, 0.99}) {
+      auto report = (*searcher)->Select(query, /*k=*/1, t);
+      report.status().CheckOK();
+      table.AddRow({metaprobe::FormatDouble(t, 2),
+                    metaprobe::eval::Cell(report->num_probes()),
+                    metaprobe::FormatDouble(report->expected_correctness, 3),
+                    report->database_names.empty()
+                        ? "-"
+                        : report->database_names[0]});
+    }
+    table.Print(std::cout);
+  }
+
+  std::cout << "\nHigher certainty costs more probes; the answer stabilizes "
+               "once the true leader is confirmed. This is the paper's "
+               "\"certainty level as a knob\" (Section 3.4).\n";
+  return 0;
+}

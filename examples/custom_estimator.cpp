@@ -1,0 +1,132 @@
+// Extending metaprobe: plug a custom relevancy estimator into the
+// probabilistic machinery.
+//
+//   build/examples/custom_estimator
+//
+// The probabilistic relevancy model is estimator-agnostic: it learns the
+// error behaviour of WHATEVER point estimator it is given. This example
+// defines a deliberately crude estimator ("half the rarest keyword's
+// document frequency"), trains the model around it, and shows that the
+// RD-based selection still recovers most of the lost accuracy — the
+// paper's framework compensating for a weak estimator.
+
+#include <iostream>
+#include <memory>
+
+#include "common/strings.h"
+#include "core/correctness.h"
+#include "core/metasearcher.h"
+#include "core/selection.h"
+#include "eval/golden.h"
+#include "eval/table.h"
+#include "eval/testbed.h"
+
+namespace {
+
+// A crude custom estimator: half of the rarest keyword's df. Ignores all
+// other keywords, so it systematically overestimates sparse conjunctions.
+class HalfMinEstimator : public metaprobe::core::RelevancyEstimator {
+ public:
+  std::string name() const override { return "half-min-df"; }
+  double Estimate(const metaprobe::core::StatSummary& summary,
+                  const metaprobe::core::Query& query) const override {
+    if (query.empty()) return 0.0;
+    double min_df = static_cast<double>(summary.database_size());
+    for (const std::string& term : query.terms) {
+      min_df = std::min(min_df,
+                        static_cast<double>(summary.DocumentFrequency(term)));
+    }
+    return 0.5 * min_df;
+  }
+};
+
+struct MethodScore {
+  double baseline = 0.0;
+  double rd_based = 0.0;
+};
+
+MethodScore Evaluate(const metaprobe::eval::Testbed& testbed,
+                     std::unique_ptr<metaprobe::core::RelevancyEstimator>
+                         estimator,
+                     const metaprobe::eval::GoldenStandard& golden) {
+  metaprobe::core::MetasearcherOptions options;
+  options.query_class.estimate_threshold = 30;
+  metaprobe::core::Metasearcher searcher(options);
+  for (std::size_t i = 0; i < testbed.databases.size(); ++i) {
+    searcher.AddDatabase(testbed.databases[i], testbed.summaries[i])
+        .CheckOK();
+  }
+  searcher.SetEstimator(std::move(estimator)).CheckOK();
+  searcher.Train(testbed.train_queries).CheckOK();
+
+  MethodScore score;
+  for (std::size_t q = 0; q < testbed.test_queries.size(); ++q) {
+    const metaprobe::core::Query& query = testbed.test_queries[q];
+    std::vector<std::size_t> actual = golden.TopK(q, 1);
+    auto baseline =
+        metaprobe::core::SelectByEstimate(searcher.EstimateAll(query), 1);
+    score.baseline +=
+        metaprobe::core::AbsoluteCorrectness(baseline.databases, actual);
+    auto model = searcher.BuildModel(query).ValueOrDie();
+    auto rd = metaprobe::core::SelectByRd(
+        model, 1, metaprobe::core::CorrectnessMetric::kAbsolute);
+    score.rd_based +=
+        metaprobe::core::AbsoluteCorrectness(rd.databases, actual);
+  }
+  double n = static_cast<double>(testbed.test_queries.size());
+  score.baseline /= n;
+  score.rd_based /= n;
+  return score;
+}
+
+}  // namespace
+
+int main() {
+  metaprobe::eval::TestbedOptions options;
+  options.scale = static_cast<std::uint32_t>(
+      metaprobe::GetEnvLong("METAPROBE_SCALE", 1));
+  options.seed = 42;
+  options.train_queries_per_term_count = 500;
+  options.test_queries_per_term_count = 300;
+
+  std::cout << "building the health testbed...\n";
+  auto testbed = metaprobe::eval::BuildHealthTestbed(options);
+  testbed.status().CheckOK();
+  auto golden = metaprobe::eval::GoldenStandard::Build(
+      testbed->database_ptrs(), testbed->test_queries);
+  golden.status().CheckOK();
+
+  std::cout << "evaluating three estimators (top-1 absolute correctness "
+               "over " << testbed->test_queries.size() << " queries)...\n\n";
+  metaprobe::eval::TablePrinter table(
+      {"estimator", "raw estimates (baseline)", "with probabilistic model"});
+  {
+    auto score = Evaluate(
+        *testbed, std::make_unique<metaprobe::core::TermIndependenceEstimator>(),
+        *golden);
+    table.AddRow({"term-independence (paper)",
+                  metaprobe::FormatDouble(score.baseline, 3),
+                  metaprobe::FormatDouble(score.rd_based, 3)});
+  }
+  {
+    auto score = Evaluate(
+        *testbed, std::make_unique<metaprobe::core::MinFrequencyEstimator>(),
+        *golden);
+    table.AddRow({"min-frequency upper bound",
+                  metaprobe::FormatDouble(score.baseline, 3),
+                  metaprobe::FormatDouble(score.rd_based, 3)});
+  }
+  {
+    auto score = Evaluate(*testbed, std::make_unique<HalfMinEstimator>(),
+                          *golden);
+    table.AddRow({"half-min-df (custom, crude)",
+                  metaprobe::FormatDouble(score.baseline, 3),
+                  metaprobe::FormatDouble(score.rd_based, 3)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nThe probabilistic relevancy model learns each estimator's "
+               "error behaviour, so even a crude estimator becomes usable "
+               "once its errors are modelled.\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Offline training / online serving: the deployment split a real
+// metasearcher uses.
+//
+//   build/examples/offline_training
+//
+// Phase 1 (offline, expensive): crawl/generate the corpora, build indexes,
+// train error distributions by replaying a query trace — then persist both
+// the indexes and the trained model to disk.
+//
+// Phase 2 (online, cheap): load the indexes and the model from disk and
+// serve queries immediately, without re-probing a single database.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "common/strings.h"
+#include "core/metasearcher.h"
+#include "eval/table.h"
+#include "eval/testbed.h"
+
+namespace fs = std::filesystem;
+
+int main() {
+  fs::path workdir = fs::temp_directory_path() / "metaprobe_offline_demo";
+  fs::create_directories(workdir);
+  std::cout << "workdir: " << workdir << "\n";
+
+  // ------------------------------------------------------------------
+  // Phase 1: offline training.
+  // ------------------------------------------------------------------
+  std::vector<std::string> database_names;
+  {
+    std::cout << "\n[offline] building corpora and training...\n";
+    metaprobe::eval::TestbedOptions options;
+    options.seed = 42;
+    options.train_queries_per_term_count = 400;
+    options.test_queries_per_term_count = 10;
+    auto testbed = metaprobe::eval::BuildHealthTestbed(options);
+    testbed.status().CheckOK();
+
+    metaprobe::core::MetasearcherOptions searcher_options;
+    searcher_options.query_class.estimate_threshold = 30;
+    auto searcher =
+        metaprobe::eval::BuildTrainedMetasearcher(*testbed, searcher_options);
+    searcher.status().CheckOK();
+
+    // Persist every database's index...
+    for (const auto& db : testbed->databases) {
+      database_names.push_back(db->name());
+      std::ofstream out(workdir / (db->name() + ".idx"), std::ios::binary);
+      db->index_for_summaries().SaveTo(out).CheckOK();
+    }
+    // ...and the trained model.
+    std::ofstream model_out(workdir / "model.mp");
+    (*searcher)->SaveTrainedModel(model_out).CheckOK();
+    std::cout << "[offline] wrote " << database_names.size()
+              << " indexes + trained model ("
+              << fs::file_size(workdir / "model.mp") << " bytes)\n";
+  }
+
+  // ------------------------------------------------------------------
+  // Phase 2: online serving from disk. No training, no generator.
+  // ------------------------------------------------------------------
+  std::cout << "\n[online] loading indexes and model from disk...\n";
+  std::vector<std::shared_ptr<metaprobe::core::HiddenWebDatabase>> databases;
+  for (const std::string& name : database_names) {
+    std::ifstream in(workdir / (name + ".idx"), std::ios::binary);
+    auto index = metaprobe::index::InvertedIndex::LoadFrom(in);
+    index.status().CheckOK();
+    databases.push_back(std::make_shared<metaprobe::core::LocalDatabase>(
+        name, std::move(*index)));
+  }
+  std::ifstream model_in(workdir / "model.mp");
+  auto searcher =
+      metaprobe::core::Metasearcher::LoadTrainedModel(model_in, databases);
+  searcher.status().CheckOK();
+  std::cout << "[online] ready: " << (*searcher)->num_databases()
+            << " databases, trained=" << (*searcher)->trained() << "\n";
+
+  metaprobe::text::Analyzer analyzer;
+  metaprobe::eval::TablePrinter table(
+      {"query", "top database", "certainty", "probes"});
+  for (const char* raw :
+       {"breast cancer", "heart attack", "vitamin diet", "brain seizure"}) {
+    auto query = metaprobe::core::ParseQuery(analyzer, raw);
+    auto report = (*searcher)->Select(query, 1, 0.9);
+    report.status().CheckOK();
+    table.AddRow({raw,
+                  report->database_names.empty() ? "-"
+                                                 : report->database_names[0],
+                  metaprobe::FormatDouble(report->expected_correctness, 3),
+                  metaprobe::eval::Cell(report->num_probes())});
+  }
+  table.Print(std::cout);
+
+  std::error_code ec;
+  fs::remove_all(workdir, ec);
+  std::cout << "\ncleaned up " << workdir << "\n";
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Quickstart: mediate three small hand-built databases, train the
+// probabilistic model, and serve a query end to end.
+//
+//   build/examples/quickstart
+//
+// Walks the full metaprobe lifecycle on the paper's running example domain:
+//   1. index raw text into searchable databases,
+//   2. register them with a Metasearcher (summaries auto-collected),
+//   3. train error distributions from sample queries,
+//   4. select databases for "breast cancer" with a certainty knob, and
+//   5. fetch + fuse the actual documents.
+
+#include <iostream>
+#include <memory>
+
+#include "core/metasearcher.h"
+#include "eval/table.h"
+#include "index/inverted_index.h"
+#include "text/analyzer.h"
+
+namespace {
+
+using metaprobe::core::LocalDatabase;
+using metaprobe::core::Metasearcher;
+using metaprobe::core::ParseQuery;
+using metaprobe::core::Query;
+
+// Builds a database from raw text documents, the way a crawler would.
+std::shared_ptr<LocalDatabase> MakeDatabase(
+    const metaprobe::text::Analyzer& analyzer, const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& docs) {
+  metaprobe::index::InvertedIndex::Builder builder;
+  auto store = std::make_shared<metaprobe::index::DocumentStore>();
+  for (const auto& [title, body] : docs) {
+    builder.AddDocument(analyzer.Analyze(body));
+    store->Add({title, body});
+  }
+  metaprobe::index::InvertedIndex index =
+      std::move(builder).Build().ValueOrDie();
+  return std::make_shared<LocalDatabase>(name, std::move(index),
+                                         std::move(store));
+}
+
+}  // namespace
+
+int main() {
+  metaprobe::text::Analyzer analyzer;
+
+  // --- 1. Three tiny hidden-web databases --------------------------------
+  auto pubmed = MakeDatabase(
+      analyzer, "pubmed",
+      {{"Adjuvant chemotherapy outcomes",
+        "Breast cancer patients receiving adjuvant chemotherapy showed "
+        "improved survival after mastectomy and radiation treatment."},
+       {"Tamoxifen in early breast cancer",
+        "Tamoxifen reduces recurrence of breast cancer in patients with "
+        "positive biopsy results."},
+       {"Screening mammography",
+        "Regular mammogram screening detects breast tumors earlier and "
+        "lowers cancer mortality."},
+       {"Cardiac rehabilitation",
+        "Patients recovering from heart attack benefit from supervised "
+        "exercise and cholesterol management."}});
+
+  auto medlineplus = MakeDatabase(
+      analyzer, "medlineplus",
+      {{"Breast cancer overview",
+        "Breast cancer is a disease in which malignant cells form in breast "
+        "tissue. Treatment includes surgery, chemotherapy and radiation."},
+       {"Heart disease basics",
+        "Coronary artery disease is the most common heart disease and can "
+        "lead to heart attack."},
+       {"Diabetes care",
+        "Managing blood glucose with insulin and diet prevents diabetes "
+        "complications."}});
+
+  auto sportsdaily = MakeDatabase(
+      analyzer, "sports-daily",
+      {{"Playoff preview",
+        "The quarterback returns from injury as the team chases a "
+        "championship berth this season."},
+       {"Marathon results",
+        "Thousands of runners finished the city marathon under clear "
+        "skies."}});
+
+  // --- 2. Register with the metasearcher ---------------------------------
+  Metasearcher searcher;
+  searcher.AddLocalDatabase(pubmed).CheckOK();
+  searcher.AddLocalDatabase(medlineplus).CheckOK();
+  searcher.AddLocalDatabase(sportsdaily).CheckOK();
+
+  // --- 3. Train error distributions from sample queries ------------------
+  // Real deployments replay a query trace; a handful suffices here.
+  std::vector<Query> training;
+  for (const char* raw :
+       {"breast cancer", "cancer treatment", "heart attack",
+        "chemotherapy radiation", "blood glucose", "championship season",
+        "marathon runners", "heart disease", "cancer screening",
+        "insulin diet"}) {
+    training.push_back(ParseQuery(analyzer, raw));
+  }
+  searcher.Train(training).CheckOK();
+
+  // --- 4. Database selection with a certainty knob ------------------------
+  Query query = ParseQuery(analyzer, "breast cancer");
+  std::cout << "query: \"" << query.raw << "\" -> analyzed terms:";
+  for (const auto& term : query.terms) std::cout << " " << term;
+  std::cout << "\n\nestimates r_hat(db, q):\n";
+  std::vector<double> estimates = searcher.EstimateAll(query);
+  for (std::size_t i = 0; i < estimates.size(); ++i) {
+    std::cout << "  " << searcher.database(i).name() << ": " << estimates[i]
+              << "\n";
+  }
+
+  auto report = searcher.Select(query, /*k=*/1, /*threshold=*/0.9);
+  report.status().CheckOK();
+  std::cout << "\nselected top-1 database: " << report->database_names[0]
+            << " (certainty " << report->expected_correctness << ", "
+            << report->num_probes() << " probe(s) used)\n";
+
+  // --- 5. Full metasearch: dispatch + result fusion -----------------------
+  auto hits = searcher.Search(query, /*k=*/2, /*threshold=*/0.8,
+                              /*per_database=*/3, /*max_results=*/5);
+  hits.status().CheckOK();
+  std::cout << "\nfused results:\n";
+  metaprobe::eval::TablePrinter table({"#", "database", "score", "title"});
+  for (std::size_t i = 0; i < hits->size(); ++i) {
+    const auto& hit = (*hits)[i];
+    table.AddRow({metaprobe::eval::Cell(i + 1), hit.database_name,
+                  metaprobe::eval::Cell(hit.score), hit.title});
+  }
+  table.Print(std::cout);
+  return 0;
+}

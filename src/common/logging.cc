@@ -1,0 +1,73 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace metaprobe {
+
+namespace {
+
+std::atomic<int> g_threshold{-1};  // -1: not yet initialized from env
+
+LogLevel ThresholdFromEnv() {
+  const char* env = std::getenv("METAPROBE_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warning") == 0) return LogLevel::kWarning;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogThreshold() {
+  int current = g_threshold.load(std::memory_order_relaxed);
+  if (current < 0) {
+    current = static_cast<int>(ThresholdFromEnv());
+    g_threshold.store(current, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(current);
+}
+
+void SetLogThreshold(LogLevel level) {
+  g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= GetLogThreshold()), level_(level) {
+  if (enabled_) {
+    const char* basename = std::strrchr(file, '/');
+    stream_ << "[" << LevelName(level_) << " "
+            << (basename ? basename + 1 : file) << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    stream_ << "\n";
+    std::fputs(stream_.str().c_str(), stderr);
+  }
+}
+
+}  // namespace internal
+
+}  // namespace metaprobe

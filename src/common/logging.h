@@ -1,0 +1,53 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_COMMON_LOGGING_H_
+#define METAPROBE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace metaprobe {
+
+/// \brief Severity of a log record, in increasing order.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Process-wide minimum severity; records below it are dropped.
+/// Defaults to kInfo; overridable with the METAPROBE_LOG_LEVEL environment
+/// variable (debug|info|warning|error), read once at first use.
+LogLevel GetLogThreshold();
+
+/// \brief Overrides the process-wide log threshold.
+void SetLogThreshold(LogLevel level);
+
+namespace internal {
+
+/// \brief Accumulates one log record and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define METAPROBE_LOG(level)                                         \
+  ::metaprobe::internal::LogMessage(::metaprobe::LogLevel::k##level, \
+                                    __FILE__, __LINE__)
+
+}  // namespace metaprobe
+
+#endif  // METAPROBE_COMMON_LOGGING_H_

@@ -1,0 +1,46 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_COMMON_MACROS_H_
+#define METAPROBE_COMMON_MACROS_H_
+
+#include "common/result.h"
+#include "common/status.h"
+
+#define METAPROBE_CONCAT_IMPL(x, y) x##y
+#define METAPROBE_CONCAT(x, y) METAPROBE_CONCAT_IMPL(x, y)
+
+/// Propagates a non-OK Status to the caller.
+#define RETURN_NOT_OK(expr)                       \
+  do {                                            \
+    ::metaprobe::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+/// Evaluates a Result<T> expression; on error returns the status, otherwise
+/// binds the value to `lhs` (which may include a type declaration).
+#define ASSIGN_OR_RETURN(lhs, rexpr) \
+  ASSIGN_OR_RETURN_IMPL(METAPROBE_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                          \
+  if (!result_name.ok()) return result_name.status();  \
+  lhs = std::move(result_name).ValueOrDie()
+
+namespace metaprobe {
+
+/// \brief Checks an invariant that should hold regardless of input; aborts
+/// with a message when violated. Enabled in all build types: the cost is
+/// negligible relative to the analytics this library performs, and silent
+/// corruption of probability mass is far worse than an abort.
+#define METAPROBE_DCHECK(cond, what)                                     \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "Invariant failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, (what));                                    \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+}  // namespace metaprobe
+
+#endif  // METAPROBE_COMMON_MACROS_H_

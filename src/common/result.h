@@ -1,0 +1,95 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_COMMON_RESULT_H_
+#define METAPROBE_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace metaprobe {
+
+/// \brief Holds either a value of type `T` or an error `Status`.
+///
+/// `Result<T>` is the return type of fallible operations that produce a
+/// value. Use `ok()` to test, `ValueOrDie()` / `operator*` to access, or the
+/// `ASSIGN_OR_RETURN` macro (see macros.h) to propagate errors:
+///
+///     Result<Index> OpenIndex(const std::string& path);
+///
+///     Status Use(const std::string& path) {
+///       ASSIGN_OR_RETURN(Index index, OpenIndex(path));
+///       ...
+///     }
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs a success result holding `value`.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs an error result; `status` must not be OK.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(rep_).ok()) {
+      // An OK status carries no value; constructing a Result from it is a
+      // programming error that would otherwise surface far from its cause.
+      std::fprintf(stderr, "Result<T> constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  /// \brief Returns true if a value is present.
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// \brief Returns the status: OK when a value is present.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  /// \brief Returns the value; aborts if this holds an error.
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return std::get<T>(rep_);
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return std::get<T>(rep_);
+  }
+  T&& ValueOrDie() && {
+    DieIfError();
+    return std::get<T>(std::move(rep_));
+  }
+
+  /// \brief Moves the value out; aborts if this holds an error.
+  T MoveValueUnsafe() {
+    DieIfError();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// \brief Returns the value or `fallback` when this holds an error.
+  T ValueOr(T fallback) const& {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result<T>::ValueOrDie on error: %s\n",
+                   std::get<Status>(rep_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace metaprobe
+
+#endif  // METAPROBE_COMMON_RESULT_H_

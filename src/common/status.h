@@ -1,0 +1,157 @@
+// Copyright 2026 The metaprobe Authors
+//
+// Licensed under the Apache License, Version 2.0 (the "License");
+// you may not use this file except in compliance with the License.
+
+#ifndef METAPROBE_COMMON_STATUS_H_
+#define METAPROBE_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace metaprobe {
+
+/// \brief Machine-readable category of a failure.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kIoError = 6,
+  kNotImplemented = 7,
+  kInternal = 8,
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation that can fail.
+///
+/// The library does not throw exceptions for anticipated failures; fallible
+/// operations return `Status` (or `Result<T>`, see result.h). The success
+/// path stores no allocation: an OK status is a null pointer internally.
+///
+/// Idiomatic use:
+///
+///     Status DoThing() {
+///       if (bad) return Status::InvalidArgument("k must be positive, got ", k);
+///       return Status::OK();
+///     }
+class Status {
+ public:
+  /// Creates an OK (success) status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_unique<State>(State{code, std::move(message)});
+    }
+  }
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// \brief Returns a success status.
+  static Status OK() { return Status(); }
+
+  /// \brief Returns true if the status indicates success.
+  bool ok() const { return state_ == nullptr; }
+
+  /// \brief Returns the status code (kOk for success).
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+
+  /// \brief Returns the error message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->message;
+  }
+
+  /// \brief Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// \brief Builds a status of the given code by streaming all arguments.
+  template <typename... Args>
+  static Status FromArgs(StatusCode code, Args&&... args) {
+    std::ostringstream stream;
+    (stream << ... << std::forward<Args>(args));
+    return Status(code, stream.str());
+  }
+
+  template <typename... Args>
+  static Status InvalidArgument(Args&&... args) {
+    return FromArgs(StatusCode::kInvalidArgument, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotFound(Args&&... args) {
+    return FromArgs(StatusCode::kNotFound, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status AlreadyExists(Args&&... args) {
+    return FromArgs(StatusCode::kAlreadyExists, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status OutOfRange(Args&&... args) {
+    return FromArgs(StatusCode::kOutOfRange, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status FailedPrecondition(Args&&... args) {
+    return FromArgs(StatusCode::kFailedPrecondition, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status IoError(Args&&... args) {
+    return FromArgs(StatusCode::kIoError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotImplemented(Args&&... args) {
+    return FromArgs(StatusCode::kNotImplemented, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Internal(Args&&... args) {
+    return FromArgs(StatusCode::kInternal, std::forward<Args>(args)...);
+  }
+
+  /// \brief Aborts the process with the status message unless OK. Reserved
+  /// for unrecoverable programming errors (e.g. in examples and benches).
+  void CheckOK() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+
+  void CopyFrom(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+
+  std::unique_ptr<State> state_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace metaprobe
+
+#endif  // METAPROBE_COMMON_STATUS_H_

@@ -1,0 +1,41 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_COMMON_STRINGS_H_
+#define METAPROBE_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace metaprobe {
+
+/// \brief Splits `input` on any character in `delims`, dropping empty pieces.
+std::vector<std::string> SplitString(std::string_view input,
+                                     std::string_view delims);
+
+/// \brief Joins `pieces` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+/// \brief ASCII-lowercases `input` in place and returns it.
+std::string ToLowerAscii(std::string input);
+
+/// \brief Removes leading/trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view input);
+
+/// \brief Returns true if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// \brief Returns true if `text` ends with `suffix`.
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// \brief Formats a double with `digits` fractional digits ("0.755").
+std::string FormatDouble(double value, int digits);
+
+/// \brief Reads a positive integer from the environment, or `fallback` when
+/// unset or unparsable. Used by benches for scale knobs.
+long GetEnvLong(const char* name, long fallback);
+
+}  // namespace metaprobe
+
+#endif  // METAPROBE_COMMON_STRINGS_H_

@@ -1,0 +1,299 @@
+#include "core/correctness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace metaprobe {
+namespace core {
+
+const char* CorrectnessMetricName(CorrectnessMetric metric) {
+  switch (metric) {
+    case CorrectnessMetric::kAbsolute:
+      return "absolute";
+    case CorrectnessMetric::kPartial:
+      return "partial";
+  }
+  return "?";
+}
+
+TopKModel::TopKModel(std::vector<RelevancyDistribution> rds) {
+  dists_.reserve(rds.size());
+  probed_.reserve(rds.size());
+  std::size_t n = rds.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    double bias = static_cast<double>(n - i) * kTieEpsilon;
+    dists_.push_back(
+        rds[i].dist.MapValues([bias](double v) { return v + bias; }));
+    probed_.push_back(rds[i].probed);
+  }
+}
+
+std::size_t TopKModel::num_probed() const {
+  std::size_t count = 0;
+  for (bool p : probed_) count += p ? 1 : 0;
+  return count;
+}
+
+void TopKModel::Observe(std::size_t i, double actual) {
+  METAPROBE_DCHECK(i < dists_.size(), "Observe index out of range");
+  dists_[i] = stats::DiscreteDistribution::Impulse(actual + Bias(i));
+  probed_[i] = true;
+}
+
+std::vector<double> TopKModel::MembershipProbabilities(int k) const {
+  const std::size_t n = dists_.size();
+  std::vector<double> result(n, 1.0);
+  if (k <= 0) {
+    std::fill(result.begin(), result.end(), 0.0);
+    return result;
+  }
+  if (static_cast<std::size_t>(k) >= n) return result;
+
+  std::vector<double> dp(static_cast<std::size_t>(k), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double p_in = 0.0;
+    for (const stats::Atom& atom : dists_[i].atoms()) {
+      // Poisson-binomial DP over the other databases: dp[c] = probability
+      // that exactly c of them exceed atom.value; mass reaching c == k is
+      // dropped (absorbed by "not in top-k").
+      std::fill(dp.begin(), dp.end(), 0.0);
+      dp[0] = 1.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        double q = dists_[j].PrGreaterThan(atom.value);
+        if (q <= 0.0) continue;
+        for (int c = k - 1; c >= 1; --c) {
+          dp[c] = dp[c] * (1.0 - q) + dp[c - 1] * q;
+        }
+        dp[0] *= (1.0 - q);
+      }
+      double pr_at_most_k_minus_1 =
+          std::accumulate(dp.begin(), dp.end(), 0.0);
+      p_in += atom.prob * pr_at_most_k_minus_1;
+    }
+    result[i] = std::min(p_in, 1.0);
+  }
+  return result;
+}
+
+double TopKModel::PrExactTopSet(const std::vector<std::size_t>& set) const {
+  const std::size_t n = dists_.size();
+  if (set.empty()) return 0.0;
+  if (set.size() >= n) return 1.0;
+
+  // Candidate thresholds: every support value of the set's members (the
+  // minimum over the set must land on one of them).
+  std::vector<double> thresholds;
+  for (std::size_t s : set) {
+    METAPROBE_DCHECK(s < n, "set member out of range");
+    for (const stats::Atom& atom : dists_[s].atoms()) {
+      thresholds.push_back(atom.value);
+    }
+  }
+  std::sort(thresholds.begin(), thresholds.end());
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                   thresholds.end());
+
+  std::vector<bool> in_set(n, false);
+  for (std::size_t s : set) in_set[s] = true;
+
+  double total = 0.0;
+  for (double v : thresholds) {
+    // Pr(min over set == v) = prod Pr(X_s >= v) - prod Pr(X_s > v).
+    double pr_all_ge = 1.0;
+    double pr_all_gt = 1.0;
+    for (std::size_t s : set) {
+      pr_all_ge *= dists_[s].PrAtLeast(v);
+      pr_all_gt *= dists_[s].PrGreaterThan(v);
+      if (pr_all_ge <= 0.0) break;
+    }
+    double pr_min_eq = pr_all_ge - pr_all_gt;
+    if (pr_min_eq <= 0.0) continue;
+    // Every non-member must fall strictly below v.
+    double pr_others_below = 1.0;
+    for (std::size_t j = 0; j < n && pr_others_below > 0.0; ++j) {
+      if (!in_set[j]) pr_others_below *= dists_[j].PrLessThan(v);
+    }
+    total += pr_min_eq * pr_others_below;
+  }
+  return std::clamp(total, 0.0, 1.0);
+}
+
+double TopKModel::ExpectedPartialCorrectness(
+    const std::vector<std::size_t>& set) const {
+  if (set.empty()) return 0.0;
+  std::vector<double> marginals =
+      MembershipProbabilities(static_cast<int>(set.size()));
+  double sum = 0.0;
+  for (std::size_t s : set) sum += marginals[s];
+  return sum / static_cast<double>(set.size());
+}
+
+double TopKModel::ExpectedCorrectness(const std::vector<std::size_t>& set,
+                                      CorrectnessMetric metric) const {
+  switch (metric) {
+    case CorrectnessMetric::kAbsolute:
+      return PrExactTopSet(set);
+    case CorrectnessMetric::kPartial:
+      return ExpectedPartialCorrectness(set);
+  }
+  return 0.0;
+}
+
+namespace {
+
+// Enumerates k-subsets of `candidates`, invoking fn(subset).
+void ForEachSubset(const std::vector<std::size_t>& candidates, std::size_t k,
+                   std::size_t start, std::vector<std::size_t>* current,
+                   const std::function<void(const std::vector<std::size_t>&)>& fn) {
+  if (current->size() == k) {
+    fn(*current);
+    return;
+  }
+  std::size_t needed = k - current->size();
+  for (std::size_t i = start; i + needed <= candidates.size(); ++i) {
+    current->push_back(candidates[i]);
+    ForEachSubset(candidates, k, i + 1, current, fn);
+    current->pop_back();
+  }
+}
+
+}  // namespace
+
+TopKModel::BestSet TopKModel::FindBestSet(int k, CorrectnessMetric metric,
+                                          int search_width) const {
+  const std::size_t n = dists_.size();
+  BestSet best;
+  if (k <= 0 || n == 0) return best;
+  if (static_cast<std::size_t>(k) >= n) {
+    best.members.resize(n);
+    std::iota(best.members.begin(), best.members.end(), 0);
+    best.expected_correctness = 1.0;
+    return best;
+  }
+
+  std::vector<double> marginals = MembershipProbabilities(k);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (marginals[a] != marginals[b]) return marginals[a] > marginals[b];
+    return a < b;
+  });
+
+  if (metric == CorrectnessMetric::kPartial) {
+    // E[Cor_p] of a set is the mean of its members' membership
+    // probabilities, so the top-k by marginal is exactly optimal.
+    best.members.assign(order.begin(), order.begin() + k);
+    double sum = 0.0;
+    for (std::size_t s : best.members) sum += marginals[s];
+    best.expected_correctness = sum / static_cast<double>(k);
+    std::sort(best.members.begin(), best.members.end());
+    return best;
+  }
+
+  // Absolute metric: search k-subsets of the most probable members.
+  std::size_t pool = std::min(
+      n, static_cast<std::size_t>(k) + static_cast<std::size_t>(
+                                           std::max(search_width, 0)));
+  std::vector<std::size_t> candidates(order.begin(), order.begin() + pool);
+  best.expected_correctness = -1.0;
+  std::vector<std::size_t> scratch;
+  ForEachSubset(candidates, static_cast<std::size_t>(k), 0, &scratch,
+                [&](const std::vector<std::size_t>& subset) {
+                  double p = PrExactTopSet(subset);
+                  if (p > best.expected_correctness) {
+                    best.expected_correctness = p;
+                    best.members = subset;
+                  }
+                });
+  std::sort(best.members.begin(), best.members.end());
+  return best;
+}
+
+TopKModel::ScopedCondition::ScopedCondition(TopKModel* model, std::size_t i,
+                                            double adjusted_value)
+    : model_(model), index_(i), saved_(model->dists_[i]) {
+  model_->dists_[i] = stats::DiscreteDistribution::Impulse(adjusted_value);
+}
+
+TopKModel::ScopedCondition::~ScopedCondition() {
+  model_->dists_[index_] = std::move(saved_);
+}
+
+std::vector<std::size_t> TopKModel::SampleRanking(stats::Rng* rng) const {
+  const std::size_t n = dists_.size();
+  std::vector<double> sampled(n);
+  for (std::size_t i = 0; i < n; ++i) sampled[i] = dists_[i].Sample(rng);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (sampled[a] != sampled[b]) return sampled[a] > sampled[b];
+    return a < b;
+  });
+  return order;
+}
+
+double MonteCarloExpectedCorrectness(const TopKModel& model,
+                                     const std::vector<std::size_t>& set,
+                                     CorrectnessMetric metric,
+                                     std::size_t num_samples,
+                                     stats::Rng* rng) {
+  if (num_samples == 0 || set.empty()) return 0.0;
+  const int k = static_cast<int>(set.size());
+  std::vector<std::size_t> sorted_set = set;
+  std::sort(sorted_set.begin(), sorted_set.end());
+  double total = 0.0;
+  for (std::size_t s = 0; s < num_samples; ++s) {
+    std::vector<std::size_t> ranking = model.SampleRanking(rng);
+    std::vector<std::size_t> topk(ranking.begin(), ranking.begin() + k);
+    std::sort(topk.begin(), topk.end());
+    total += metric == CorrectnessMetric::kAbsolute
+                 ? AbsoluteCorrectness(sorted_set, topk)
+                 : PartialCorrectness(sorted_set, topk);
+  }
+  return total / static_cast<double>(num_samples);
+}
+
+std::vector<std::size_t> TopKIndices(const std::vector<double>& values,
+                                     int k) {
+  std::vector<std::size_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (values[a] != values[b]) return values[a] > values[b];
+    return a < b;  // lower index wins ties
+  });
+  order.resize(std::min<std::size_t>(order.size(),
+                                     static_cast<std::size_t>(std::max(k, 0))));
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+double AbsoluteCorrectness(const std::vector<std::size_t>& selected,
+                           const std::vector<std::size_t>& actual_topk) {
+  std::vector<std::size_t> a = selected;
+  std::vector<std::size_t> b = actual_topk;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b ? 1.0 : 0.0;
+}
+
+double PartialCorrectness(const std::vector<std::size_t>& selected,
+                          const std::vector<std::size_t>& actual_topk) {
+  if (selected.empty()) return 0.0;
+  std::vector<std::size_t> a = selected;
+  std::vector<std::size_t> b = actual_topk;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::vector<std::size_t> overlap;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(overlap));
+  return static_cast<double>(overlap.size()) /
+         static_cast<double>(selected.size());
+}
+
+}  // namespace core
+}  // namespace metaprobe

@@ -1,0 +1,149 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_CORE_CORRECTNESS_H_
+#define METAPROBE_CORE_CORRECTNESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/relevancy_distribution.h"
+#include "stats/discrete_distribution.h"
+#include "stats/random.h"
+
+namespace metaprobe {
+namespace core {
+
+/// \brief Which correctness definition of Section 3.2 to target.
+enum class CorrectnessMetric {
+  kAbsolute,  ///< Cor_a: 1 iff the selected set equals DB_topk exactly.
+  kPartial,   ///< Cor_p: |selected ∩ DB_topk| / k.
+};
+
+const char* CorrectnessMetricName(CorrectnessMetric metric);
+
+/// \brief Joint probabilistic model of all databases' relevancies for one
+/// query, with the machinery to evaluate expected correctness exactly.
+///
+/// Holds one discrete RD per database, treated as independent (databases
+/// answer independently). All support values carry a deterministic
+/// per-database tie-breaking perturbation (+ (n - i) * kTieEpsilon), so the
+/// "k most relevant databases" is almost surely unique and matches the
+/// golden standard's lowest-index-wins convention; see DESIGN.md.
+///
+/// This class implements the f/g functions the paper defers to its extended
+/// report: `PrExactTopSet` evaluates Pr(S = DB_topk) via order statistics
+/// over the union support, and `MembershipProbabilities` evaluates
+/// Pr(db_i ∈ DB_topk) with a Poisson-binomial dynamic program. Both are
+/// exact up to floating-point rounding and are cross-validated against
+/// Monte-Carlo sampling in the test suite.
+class TopKModel {
+ public:
+  static constexpr double kTieEpsilon = 1e-7;
+
+  /// Builds the model from per-database RDs (index = database id).
+  explicit TopKModel(std::vector<RelevancyDistribution> rds);
+
+  std::size_t num_databases() const { return dists_.size(); }
+
+  /// \brief The (tie-adjusted) RD of database `i`.
+  const stats::DiscreteDistribution& rd(std::size_t i) const {
+    return dists_[i];
+  }
+  bool probed(std::size_t i) const { return probed_[i]; }
+  std::size_t num_probed() const;
+
+  /// \brief Collapses database `i`'s RD to the probe outcome `actual`
+  /// (a raw, unadjusted relevancy).
+  void Observe(std::size_t i, double actual);
+
+  /// \brief Pr(db_i ∈ DB_topk) for every database.
+  std::vector<double> MembershipProbabilities(int k) const;
+
+  /// \brief Pr(`set` is exactly the top-|set| databases).
+  double PrExactTopSet(const std::vector<std::size_t>& set) const;
+
+  /// \brief E[Cor_p(set)] with |set| = k.
+  double ExpectedPartialCorrectness(const std::vector<std::size_t>& set) const;
+
+  /// \brief E[Cor(set)] under `metric`.
+  double ExpectedCorrectness(const std::vector<std::size_t>& set,
+                             CorrectnessMetric metric) const;
+
+  /// \brief A k-subset together with its expected correctness.
+  struct BestSet {
+    std::vector<std::size_t> members;  // ascending database ids
+    double expected_correctness = 0.0;
+  };
+
+  /// \brief Finds the k-subset maximizing expected correctness.
+  ///
+  /// Under the partial metric the optimum is closed-form: the k databases
+  /// with the highest membership probabilities (E[Cor_p] is their mean).
+  /// Under the absolute metric the search enumerates all k-subsets of the
+  /// top (k + search_width) databases by membership probability; passing
+  /// search_width >= n - k makes the search exhaustive (used by tests to
+  /// validate the default width).
+  BestSet FindBestSet(int k, CorrectnessMetric metric,
+                      int search_width = 4) const;
+
+  /// \brief Support atoms of database `i`'s adjusted RD; policy code
+  /// iterates these to enumerate probe outcomes.
+  const std::vector<stats::Atom>& SupportOf(std::size_t i) const {
+    return dists_[i].atoms();
+  }
+
+  /// \brief Temporarily pins database `i` to the *adjusted* support value
+  /// `adjusted_value`, restoring the prior RD on destruction. The greedy
+  /// probing policy uses this to evaluate hypothetical probe outcomes
+  /// without copying the whole model.
+  class ScopedCondition {
+   public:
+    ScopedCondition(TopKModel* model, std::size_t i, double adjusted_value);
+    ~ScopedCondition();
+
+    ScopedCondition(const ScopedCondition&) = delete;
+    ScopedCondition& operator=(const ScopedCondition&) = delete;
+
+   private:
+    TopKModel* model_;
+    std::size_t index_;
+    stats::DiscreteDistribution saved_;
+  };
+
+  /// \brief Draws one joint sample of raw-ordering ranks: returns database
+  /// ids sorted by sampled relevancy, best first (Monte-Carlo validation).
+  std::vector<std::size_t> SampleRanking(stats::Rng* rng) const;
+
+ private:
+  double Bias(std::size_t i) const {
+    return static_cast<double>(dists_.size() - i) * kTieEpsilon;
+  }
+
+  std::vector<stats::DiscreteDistribution> dists_;  // tie-adjusted
+  std::vector<bool> probed_;
+};
+
+/// \brief Monte-Carlo estimate of E[Cor(set)] by sampling the joint RDs
+/// `num_samples` times; cross-validates the exact computation.
+double MonteCarloExpectedCorrectness(const TopKModel& model,
+                                     const std::vector<std::size_t>& set,
+                                     CorrectnessMetric metric,
+                                     std::size_t num_samples, stats::Rng* rng);
+
+/// \brief Indices of the k largest values, ties broken toward the lower
+/// index — the golden-standard convention matching TopKModel's tie
+/// perturbation. Returned ascending by index.
+std::vector<std::size_t> TopKIndices(const std::vector<double>& values, int k);
+
+/// \brief Cor_a of `selected` against the golden `actual_topk` (Eq. 3).
+double AbsoluteCorrectness(const std::vector<std::size_t>& selected,
+                           const std::vector<std::size_t>& actual_topk);
+
+/// \brief Cor_p of `selected` against the golden `actual_topk` (Eq. 4).
+double PartialCorrectness(const std::vector<std::size_t>& selected,
+                          const std::vector<std::size_t>& actual_topk);
+
+}  // namespace core
+}  // namespace metaprobe
+
+#endif  // METAPROBE_CORE_CORRECTNESS_H_

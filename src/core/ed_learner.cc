@@ -1,0 +1,122 @@
+#include "core/ed_learner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/macros.h"
+
+namespace metaprobe {
+namespace core {
+
+EdTable::EdTable(std::size_t num_databases, std::uint32_t num_types,
+                 std::vector<double> bin_edges)
+    : num_databases_(num_databases), num_types_(num_types) {
+  cells_.reserve(num_databases * num_types);
+  for (std::size_t i = 0; i < num_databases * num_types; ++i) {
+    cells_.push_back(
+        ErrorDistribution::MakeWithEdges(bin_edges).ValueOrDie());
+  }
+}
+
+const ErrorDistribution& EdTable::Get(std::size_t db, QueryTypeId type) const {
+  METAPROBE_DCHECK(db < num_databases_ && type < num_types_,
+                   "EdTable index out of range");
+  return cells_[db * num_types_ + type];
+}
+
+ErrorDistribution* EdTable::GetMutable(std::size_t db, QueryTypeId type) {
+  METAPROBE_DCHECK(db < num_databases_ && type < num_types_,
+                   "EdTable index out of range");
+  return &cells_[db * num_types_ + type];
+}
+
+Status EdTable::Set(std::size_t db, QueryTypeId type, ErrorDistribution ed) {
+  if (db >= num_databases_ || type >= num_types_) {
+    return Status::OutOfRange("EdTable::Set(", db, ", ", type, ")");
+  }
+  cells_[db * num_types_ + type] = std::move(ed);
+  return Status::OK();
+}
+
+std::size_t EdTable::total_samples() const {
+  std::size_t total = 0;
+  for (const ErrorDistribution& ed : cells_) total += ed.sample_count();
+  return total;
+}
+
+EdLearner::EdLearner(const RelevancyEstimator* estimator,
+                     const QueryTypeClassifier* classifier,
+                     EdLearnerOptions options)
+    : estimator_(estimator),
+      classifier_(classifier),
+      options_(std::move(options)) {}
+
+Result<EdTable> EdLearner::Learn(
+    const std::vector<const HiddenWebDatabase*>& databases,
+    const std::vector<const StatSummary*>& summaries,
+    const std::vector<Query>& training_queries) const {
+  if (databases.size() != summaries.size()) {
+    return Status::InvalidArgument("got ", databases.size(), " databases but ",
+                                   summaries.size(), " summaries");
+  }
+  if (databases.empty()) {
+    return Status::InvalidArgument("no databases to learn EDs for");
+  }
+  EdTable table(databases.size(), classifier_->num_types(),
+                options_.bin_edges);
+
+  // One database's sampling never touches another's table row, so the
+  // outer loop parallelizes with bit-identical results.
+  auto learn_database = [&](std::size_t db) -> Status {
+    for (const Query& query : training_queries) {
+      if (query.empty()) continue;
+      double estimate = estimator_->Estimate(*summaries[db], query);
+      QueryTypeId type = classifier_->Classify(query, estimate);
+      ErrorDistribution* ed = table.GetMutable(db, type);
+      if (options_.max_samples_per_type > 0 &&
+          ed->sample_count() >= options_.max_samples_per_type) {
+        continue;
+      }
+      ASSIGN_OR_RETURN(double actual,
+                       ProbeRelevancy(*databases[db], query,
+                                      options_.definition));
+      ed->AddSample(actual, estimate);
+    }
+    return Status::OK();
+  };
+
+  unsigned num_threads = options_.num_threads;
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min<unsigned>(
+      num_threads, static_cast<unsigned>(databases.size()));
+
+  if (num_threads <= 1) {
+    for (std::size_t db = 0; db < databases.size(); ++db) {
+      RETURN_NOT_OK(learn_database(db));
+    }
+    return table;
+  }
+
+  std::vector<Status> statuses(databases.size());
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  std::atomic<std::size_t> next_db{0};
+  for (unsigned w = 0; w < num_threads; ++w) {
+    workers.emplace_back([&]() {
+      for (;;) {
+        std::size_t db = next_db.fetch_add(1, std::memory_order_relaxed);
+        if (db >= databases.size()) return;
+        statuses[db] = learn_database(db);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  for (const Status& status : statuses) RETURN_NOT_OK(status);
+  return table;
+}
+
+}  // namespace core
+}  // namespace metaprobe

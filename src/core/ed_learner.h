@@ -1,0 +1,89 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_CORE_ED_LEARNER_H_
+#define METAPROBE_CORE_ED_LEARNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/error_distribution.h"
+#include "core/estimator.h"
+#include "core/hidden_web_database.h"
+#include "core/query_class.h"
+#include "core/relevancy_definition.h"
+#include "core/summary.h"
+
+namespace metaprobe {
+namespace core {
+
+/// \brief The learned error distributions: one ED per (database, type).
+class EdTable {
+ public:
+  EdTable(std::size_t num_databases, std::uint32_t num_types,
+          std::vector<double> bin_edges);
+
+  /// \brief ED for (database, type); both indexes must be in range.
+  const ErrorDistribution& Get(std::size_t db, QueryTypeId type) const;
+  ErrorDistribution* GetMutable(std::size_t db, QueryTypeId type);
+
+  /// \brief Replaces one cell (deserialization hook).
+  Status Set(std::size_t db, QueryTypeId type, ErrorDistribution ed);
+
+  std::size_t num_databases() const { return num_databases_; }
+  std::uint32_t num_types() const { return num_types_; }
+
+  /// \brief Total training observations across all cells.
+  std::size_t total_samples() const;
+
+ private:
+  std::size_t num_databases_;
+  std::uint32_t num_types_;
+  std::vector<ErrorDistribution> cells_;  // row-major [db][type]
+};
+
+/// \brief Options for offline ED learning (Section 4).
+struct EdLearnerOptions {
+  /// Which notion of relevancy the actual values are probed under.
+  RelevancyDefinition definition = RelevancyDefinition::kDocumentFrequency;
+  /// Stop adding samples to a (database, type) cell once it has this many;
+  /// the paper settles on 500 sample queries per type as conservative
+  /// (Figure 8 shows ~100 already suffices). 0 means unlimited.
+  std::size_t max_samples_per_type = 500;
+  /// Histogram binning of each ED.
+  std::vector<double> bin_edges = DefaultErrorBinEdges();
+  /// Databases are sampled independently, so training parallelizes across
+  /// them with identical results: 1 = serial (default), 0 = one thread per
+  /// hardware core, n = exactly n threads.
+  unsigned num_threads = 1;
+};
+
+/// \brief Offline sampling driver: issues training queries to every
+/// database, compares actual vs estimated relevancy, and fills the EdTable
+/// (the procedure of Example 2).
+///
+/// The sample queries play the role of "previous query traces"; training
+/// cost is databases x queries probes, paid once before serving users.
+class EdLearner {
+ public:
+  EdLearner(const RelevancyEstimator* estimator,
+            const QueryTypeClassifier* classifier, EdLearnerOptions options);
+
+  /// \brief Learns EDs for `databases` (with matching `summaries`) from
+  /// `training_queries`.
+  Result<EdTable> Learn(
+      const std::vector<const HiddenWebDatabase*>& databases,
+      const std::vector<const StatSummary*>& summaries,
+      const std::vector<Query>& training_queries) const;
+
+ private:
+  const RelevancyEstimator* estimator_;
+  const QueryTypeClassifier* classifier_;
+  EdLearnerOptions options_;
+};
+
+}  // namespace core
+}  // namespace metaprobe
+
+#endif  // METAPROBE_CORE_ED_LEARNER_H_

@@ -1,0 +1,89 @@
+#include "core/error_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace metaprobe {
+namespace core {
+
+double RelativeError(double actual, double estimate) {
+  double denom = std::max(estimate, 1.0);
+  return (actual - estimate) / denom;
+}
+
+std::vector<double> DefaultErrorBinEdges() {
+  // 9 edges -> 10 cells: (-inf,-0.95), [-0.95,-0.6), [-0.6,-0.3),
+  // [-0.3,-0.05), [-0.05,0.05), [0.05,0.5), [0.5,1), [1,2.5), [2.5,6),
+  // [6,+inf).
+  return {-0.95, -0.6, -0.3, -0.05, 0.05, 0.5, 1.0, 2.5, 6.0};
+}
+
+ErrorDistribution::ErrorDistribution()
+    : histogram_(stats::Histogram::Make(DefaultErrorBinEdges()).ValueOrDie()) {}
+
+ErrorDistribution::ErrorDistribution(stats::Histogram histogram)
+    : histogram_(std::move(histogram)) {}
+
+Result<ErrorDistribution> ErrorDistribution::MakeWithEdges(
+    std::vector<double> edges) {
+  ASSIGN_OR_RETURN(stats::Histogram histogram,
+                   stats::Histogram::Make(std::move(edges)));
+  return ErrorDistribution(std::move(histogram));
+}
+
+void ErrorDistribution::AddObservation(double error) {
+  histogram_.Add(std::max(error, -1.0));
+  ++sample_count_;
+}
+
+void ErrorDistribution::AddSample(double actual, double estimate) {
+  AddObservation(RelativeError(actual, estimate));
+}
+
+stats::DiscreteDistribution ErrorDistribution::ToDistribution() const {
+  if (empty()) return stats::DiscreteDistribution::Impulse(0.0);
+  std::vector<stats::Atom> atoms;
+  const std::vector<double> probs = histogram_.Probabilities();
+  for (std::size_t cell = 0; cell < probs.size(); ++cell) {
+    if (probs[cell] <= 0.0) continue;
+    // A relative error below -1 is impossible (actual relevancy >= 0), so
+    // the lowest cell's representative is clamped.
+    double representative = std::max(histogram_.Representative(cell), -1.0);
+    atoms.push_back({representative, probs[cell]});
+  }
+  return stats::DiscreteDistribution::Make(std::move(atoms)).ValueOrDie();
+}
+
+Result<ErrorDistribution> ErrorDistribution::Restore(
+    std::vector<double> edges, const std::vector<double>& counts,
+    std::size_t sample_count) {
+  ASSIGN_OR_RETURN(ErrorDistribution ed, MakeWithEdges(std::move(edges)));
+  if (counts.size() != ed.histogram_.num_cells()) {
+    return Status::InvalidArgument("expected ", ed.histogram_.num_cells(),
+                                   " cell counts, got ", counts.size());
+  }
+  for (std::size_t cell = 0; cell < counts.size(); ++cell) {
+    if (counts[cell] < 0.0) {
+      return Status::InvalidArgument("negative cell count");
+    }
+    if (counts[cell] > 0.0) {
+      // Each cell's representative lies inside the cell, so re-adding the
+      // weight there reproduces the histogram exactly.
+      ed.histogram_.AddWeighted(ed.histogram_.Representative(cell),
+                                counts[cell]);
+    }
+  }
+  ed.sample_count_ = sample_count;
+  return ed;
+}
+
+Status ErrorDistribution::MergeFrom(const ErrorDistribution& other) {
+  RETURN_NOT_OK(histogram_.MergeFrom(other.histogram_));
+  sample_count_ += other.sample_count_;
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace metaprobe

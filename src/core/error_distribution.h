@@ -1,0 +1,84 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_CORE_ERROR_DISTRIBUTION_H_
+#define METAPROBE_CORE_ERROR_DISTRIBUTION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "stats/discrete_distribution.h"
+#include "stats/histogram.h"
+
+namespace metaprobe {
+namespace core {
+
+/// \brief Relative estimation error of Eq. 2 with a unit floor on the
+/// denominator so that r_hat = 0 stays finite:
+///
+///   err(db, q) = (r(db, q) - r_hat(db, q)) / max(r_hat(db, q), 1).
+///
+/// Always >= -1 because the true relevancy is non-negative.
+double RelativeError(double actual, double estimate);
+
+/// \brief The default 10-cell error binning (degrees of freedom 9, matching
+/// the paper's chi-square setup): denser near -1..0 where underestimation
+/// errors concentrate, geometric above 0 with an open +inf tail.
+std::vector<double> DefaultErrorBinEdges();
+
+/// \brief The histogram of a relevancy estimator's errors on one
+/// (database, query type) pair — the paper's ED (Section 3.1, Figure 4).
+///
+/// Built by sampling: each training query contributes one observed relative
+/// error. `ToDistribution` converts the histogram into the discrete error
+/// distribution used to derive relevancy distributions, with each cell
+/// represented by its representative value clamped to >= -1.
+class ErrorDistribution {
+ public:
+  /// Creates an empty ED over the default binning.
+  ErrorDistribution();
+
+  /// Creates an empty ED over custom bin edges (ablation benches vary the
+  /// cell count). `edges` must be strictly increasing and non-empty.
+  static Result<ErrorDistribution> MakeWithEdges(std::vector<double> edges);
+
+  /// \brief Records one sampled error observation.
+  void AddObservation(double error);
+
+  /// \brief Records the (actual, estimate) pair directly.
+  void AddSample(double actual, double estimate);
+
+  /// \brief Number of observations accumulated.
+  std::size_t sample_count() const { return sample_count_; }
+
+  /// \brief True when no observations were recorded; callers fall back to
+  /// the zero-error impulse (the estimator trusted as-is).
+  bool empty() const { return sample_count_ == 0; }
+
+  /// \brief The discrete error distribution: one atom per non-empty cell at
+  /// the cell's representative error. Returns an impulse at 0 when empty.
+  stats::DiscreteDistribution ToDistribution() const;
+
+  /// \brief Underlying histogram (chi-square tests, plots, Fig. 9 output).
+  const stats::Histogram& histogram() const { return histogram_; }
+
+  /// \brief Merges another ED with identical binning.
+  Status MergeFrom(const ErrorDistribution& other);
+
+  /// \brief Reconstructs an ED from serialized state: the histogram edges,
+  /// the per-cell weights, and the observation count. Used by model
+  /// persistence (core/model_io.cc).
+  static Result<ErrorDistribution> Restore(std::vector<double> edges,
+                                           const std::vector<double>& counts,
+                                           std::size_t sample_count);
+
+ private:
+  explicit ErrorDistribution(stats::Histogram histogram);
+
+  stats::Histogram histogram_;
+  std::size_t sample_count_ = 0;
+};
+
+}  // namespace core
+}  // namespace metaprobe
+
+#endif  // METAPROBE_CORE_ERROR_DISTRIBUTION_H_

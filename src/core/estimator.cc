@@ -1,0 +1,66 @@
+#include "core/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace metaprobe {
+namespace core {
+
+double TermIndependenceEstimator::Estimate(const StatSummary& summary,
+                                           const Query& query) const {
+  if (query.empty() || summary.database_size() == 0) return 0.0;
+  const double n = static_cast<double>(summary.database_size());
+  double estimate = n;
+  for (const std::string& term : query.terms) {
+    estimate *= static_cast<double>(summary.DocumentFrequency(term)) / n;
+    if (estimate == 0.0) return 0.0;
+  }
+  return estimate;
+}
+
+double MinFrequencyEstimator::Estimate(const StatSummary& summary,
+                                       const Query& query) const {
+  if (query.empty() || summary.database_size() == 0) return 0.0;
+  double min_df = static_cast<double>(summary.database_size());
+  for (const std::string& term : query.terms) {
+    min_df = std::min(min_df,
+                      static_cast<double>(summary.DocumentFrequency(term)));
+  }
+  return min_df;
+}
+
+double CoverageSimilarityEstimator::Estimate(const StatSummary& summary,
+                                             const Query& query) const {
+  if (query.empty() || summary.database_size() == 0) return 0.0;
+  const double n = static_cast<double>(summary.database_size());
+  double covered = 0.0;
+  double total = 0.0;
+  for (const std::string& term : query.terms) {
+    double df = static_cast<double>(summary.DocumentFrequency(term));
+    double weight = std::log(1.0 + n / (df + 1.0));
+    total += weight * weight;
+    if (df > 0.0) covered += weight * weight;
+  }
+  if (total <= 0.0) return 0.0;
+  return std::sqrt(covered / total);
+}
+
+BlendedEstimator::BlendedEstimator(double alpha)
+    : alpha_(std::clamp(alpha, 0.0, 1.0)) {}
+
+std::string BlendedEstimator::name() const {
+  return "blended(alpha=" + FormatDouble(alpha_, 2) + ")";
+}
+
+double BlendedEstimator::Estimate(const StatSummary& summary,
+                                  const Query& query) const {
+  double indep = independence_.Estimate(summary, query);
+  double upper = min_freq_.Estimate(summary, query);
+  if (indep <= 0.0 || upper <= 0.0) return 0.0;
+  return std::pow(upper, alpha_) * std::pow(indep, 1.0 - alpha_);
+}
+
+}  // namespace core
+}  // namespace metaprobe

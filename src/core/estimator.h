@@ -1,0 +1,99 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_CORE_ESTIMATOR_H_
+#define METAPROBE_CORE_ESTIMATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "core/query.h"
+#include "core/summary.h"
+
+namespace metaprobe {
+namespace core {
+
+/// \brief Computes the point estimate r_hat(db, q) of a database's
+/// relevancy from its statistical summary alone (Section 2.2).
+///
+/// Estimators are pure functions of (summary, query); the probabilistic
+/// relevancy model then learns each estimator's database-specific error
+/// behaviour, so any estimator can be dropped in.
+class RelevancyEstimator {
+ public:
+  virtual ~RelevancyEstimator() = default;
+
+  /// \brief Stable name for reports and ablation tables.
+  virtual std::string name() const = 0;
+
+  /// \brief Estimated relevancy of the summarized database to `query`
+  /// under the document-frequency definition (expected number of documents
+  /// matching all keywords). Always >= 0; 0 for an empty query.
+  virtual double Estimate(const StatSummary& summary,
+                          const Query& query) const = 0;
+};
+
+/// \brief The paper's baseline: Eq. 1, assuming keywords are independently
+/// distributed across documents:
+///
+///   r_hat(db, q) = |db| * prod_i ( r(db, t_i) / |db| ).
+///
+/// Underestimates when keywords co-occur (same subtopic), overestimates
+/// when they repel — the non-uniform error the probabilistic model corrects.
+class TermIndependenceEstimator : public RelevancyEstimator {
+ public:
+  std::string name() const override { return "term-independence"; }
+  double Estimate(const StatSummary& summary,
+                  const Query& query) const override;
+};
+
+/// \brief Upper-bound estimator: the rarest keyword's document frequency
+/// (no conjunction can match more documents than its rarest term). Included
+/// as an alternative baseline; its one-sided error makes an instructive
+/// contrast in the estimator ablation.
+class MinFrequencyEstimator : public RelevancyEstimator {
+ public:
+  std::string name() const override { return "min-frequency"; }
+  double Estimate(const StatSummary& summary,
+                  const Query& query) const override;
+};
+
+/// \brief Point estimator for the document-similarity relevancy definition
+/// (Section 2.1, second item): predicts the best achievable query-document
+/// cosine from the summary alone as the idf-weighted fraction of query
+/// vocabulary the database covers,
+///
+///   s_hat = sqrt( sum_{t in q, df(t)>0} w_t^2 / sum_{t in q} w_t^2 ),
+///   w_t   = ln(1 + |db| / (df(t) + 1)).
+///
+/// A database covering every keyword scores near 1, one covering none
+/// scores 0; deliberately crude in between — the error distributions
+/// calibrate it per database, which is the paper's whole premise.
+class CoverageSimilarityEstimator : public RelevancyEstimator {
+ public:
+  std::string name() const override { return "coverage-similarity"; }
+  double Estimate(const StatSummary& summary,
+                  const Query& query) const override;
+};
+
+/// \brief Geometric interpolation between term independence and the
+/// min-frequency upper bound: r_hat = min_df^alpha * indep^(1-alpha).
+/// With alpha=0 it degenerates to term independence; with alpha=1 to
+/// min-frequency. Models estimators tuned on held-out data.
+class BlendedEstimator : public RelevancyEstimator {
+ public:
+  explicit BlendedEstimator(double alpha);
+
+  std::string name() const override;
+  double Estimate(const StatSummary& summary,
+                  const Query& query) const override;
+
+ private:
+  double alpha_;
+  TermIndependenceEstimator independence_;
+  MinFrequencyEstimator min_freq_;
+};
+
+}  // namespace core
+}  // namespace metaprobe
+
+#endif  // METAPROBE_CORE_ESTIMATOR_H_

@@ -1,0 +1,37 @@
+#include "core/flaky_database.h"
+
+#include <algorithm>
+
+namespace metaprobe {
+namespace core {
+
+FlakyDatabase::FlakyDatabase(std::shared_ptr<HiddenWebDatabase> inner,
+                             double failure_probability, std::uint64_t seed)
+    : inner_(std::move(inner)),
+      failure_probability_(std::clamp(failure_probability, 0.0, 1.0)),
+      rng_(seed) {}
+
+bool FlakyDatabase::ShouldFail() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!rng_.Bernoulli(failure_probability_)) return false;
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+Result<std::uint64_t> FlakyDatabase::CountMatches(const Query& query) const {
+  if (ShouldFail()) {
+    return Status::IoError("database '", name(), "' timed out");
+  }
+  return inner_->CountMatches(query);
+}
+
+Result<std::vector<SearchHit>> FlakyDatabase::Search(const Query& query,
+                                                     std::size_t k) const {
+  if (ShouldFail()) {
+    return Status::IoError("database '", name(), "' timed out");
+  }
+  return inner_->Search(query, k);
+}
+
+}  // namespace core
+}  // namespace metaprobe

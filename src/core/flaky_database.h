@@ -1,0 +1,59 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_CORE_FLAKY_DATABASE_H_
+#define METAPROBE_CORE_FLAKY_DATABASE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "core/hidden_web_database.h"
+#include "stats/random.h"
+
+namespace metaprobe {
+namespace core {
+
+/// \brief Failure-injection decorator: a database whose search interface
+/// intermittently errors, the way real hidden-web endpoints time out or
+/// rate-limit.
+///
+/// Each operation independently fails with `failure_probability`, returning
+/// an IoError. Failures are drawn from a seeded generator, so tests and
+/// robustness benches are reproducible. Thread-safe.
+class FlakyDatabase : public HiddenWebDatabase {
+ public:
+  /// \param inner the real database (shared; not modified)
+  /// \param failure_probability chance each call fails, in [0, 1]
+  /// \param seed seed of the failure stream
+  FlakyDatabase(std::shared_ptr<HiddenWebDatabase> inner,
+                double failure_probability, std::uint64_t seed);
+
+  const std::string& name() const override { return inner_->name(); }
+  std::uint32_t size() const override { return inner_->size(); }
+
+  Result<std::uint64_t> CountMatches(const Query& query) const override;
+  Result<std::vector<SearchHit>> Search(const Query& query,
+                                        std::size_t k) const override;
+  std::uint64_t queries_served() const override {
+    return inner_->queries_served();
+  }
+
+  /// \brief Number of injected failures so far.
+  std::uint64_t failures_injected() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool ShouldFail() const;
+
+  std::shared_ptr<HiddenWebDatabase> inner_;
+  double failure_probability_;
+  mutable std::mutex mutex_;  // guards rng_
+  mutable stats::Rng rng_;
+  mutable std::atomic<std::uint64_t> failures_{0};
+};
+
+}  // namespace core
+}  // namespace metaprobe
+
+#endif  // METAPROBE_CORE_FLAKY_DATABASE_H_

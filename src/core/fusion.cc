@@ -1,0 +1,94 @@
+#include "core/fusion.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace metaprobe {
+namespace core {
+
+namespace {
+
+std::vector<FusedHit> FuseByNormalizedScore(
+    const std::vector<std::vector<SearchHit>>& lists,
+    const std::vector<std::string>& names, std::size_t max_results,
+    const FusionOptions& options) {
+  std::vector<FusedHit> merged;
+  for (std::size_t db = 0; db < lists.size(); ++db) {
+    if (lists[db].empty()) continue;
+    double max_score = 0.0;
+    for (const SearchHit& hit : lists[db]) {
+      max_score = std::max(max_score, hit.score);
+    }
+    if (max_score <= 0.0) max_score = 1.0;
+    double weight = 1.0;
+    if (db < options.database_weights.size()) {
+      // Dampen the weight so a very relevant database boosts rather than
+      // completely dominates the merge.
+      weight = std::log1p(std::max(options.database_weights[db], 0.0)) + 1.0;
+    }
+    for (const SearchHit& hit : lists[db]) {
+      FusedHit fused;
+      fused.database = db;
+      fused.database_name = db < names.size() ? names[db] : "";
+      fused.doc = hit.doc;
+      fused.score = hit.score / max_score * weight;
+      fused.title = hit.title;
+      merged.push_back(std::move(fused));
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const FusedHit& a, const FusedHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.database != b.database) return a.database < b.database;
+              return a.doc < b.doc;
+            });
+  if (merged.size() > max_results) merged.resize(max_results);
+  return merged;
+}
+
+std::vector<FusedHit> FuseRoundRobin(
+    const std::vector<std::vector<SearchHit>>& lists,
+    const std::vector<std::string>& names, std::size_t max_results) {
+  std::vector<FusedHit> merged;
+  std::size_t depth = 0;
+  bool any = true;
+  while (any && merged.size() < max_results) {
+    any = false;
+    for (std::size_t db = 0; db < lists.size() && merged.size() < max_results;
+         ++db) {
+      if (depth >= lists[db].size()) continue;
+      any = true;
+      const SearchHit& hit = lists[db][depth];
+      FusedHit fused;
+      fused.database = db;
+      fused.database_name = db < names.size() ? names[db] : "";
+      fused.doc = hit.doc;
+      // Descending synthetic score so downstream consumers can re-sort
+      // without losing the interleaved order.
+      fused.score = 1.0 / static_cast<double>(merged.size() + 1);
+      fused.title = hit.title;
+      merged.push_back(std::move(fused));
+    }
+    ++depth;
+  }
+  return merged;
+}
+
+}  // namespace
+
+std::vector<FusedHit> FuseResults(
+    const std::vector<std::vector<SearchHit>>& lists,
+    const std::vector<std::string>& names, std::size_t max_results,
+    const FusionOptions& options) {
+  if (max_results == 0) return {};
+  switch (options.strategy) {
+    case FusionStrategy::kNormalizedScore:
+      return FuseByNormalizedScore(lists, names, max_results, options);
+    case FusionStrategy::kRoundRobin:
+      return FuseRoundRobin(lists, names, max_results);
+  }
+  return {};
+}
+
+}  // namespace core
+}  // namespace metaprobe

@@ -1,0 +1,53 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_CORE_FUSION_H_
+#define METAPROBE_CORE_FUSION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/hidden_web_database.h"
+
+namespace metaprobe {
+namespace core {
+
+/// \brief One merged result with its provenance.
+struct FusedHit {
+  std::size_t database = 0;     ///< Index of the source database.
+  std::string database_name;
+  index::DocId doc = 0;
+  double score = 0.0;           ///< Merged score used for the final order.
+  std::string title;
+};
+
+/// \brief How per-database result lists are merged (the paper's task 2,
+/// result fusion; Section 1 Figure 1 arrows labelled 2).
+enum class FusionStrategy {
+  /// Normalize each database's scores by its own maximum, optionally weight
+  /// by the database's (expected) relevancy, and sort globally.
+  kNormalizedScore,
+  /// Interleave the per-database rankings round-robin, preserving each
+  /// list's internal order — robust when scores are incomparable.
+  kRoundRobin,
+};
+
+/// \brief Options for result fusion.
+struct FusionOptions {
+  FusionStrategy strategy = FusionStrategy::kNormalizedScore;
+  /// Per-database weights (e.g. expected relevancies); empty = uniform.
+  /// Only used by kNormalizedScore.
+  std::vector<double> database_weights;
+};
+
+/// \brief Merges per-database hit lists into one ranked list of up to
+/// `max_results`. `lists[i]` must correspond to `names[i]` (same index
+/// space as options.database_weights when provided).
+std::vector<FusedHit> FuseResults(
+    const std::vector<std::vector<SearchHit>>& lists,
+    const std::vector<std::string>& names, std::size_t max_results,
+    const FusionOptions& options = {});
+
+}  // namespace core
+}  // namespace metaprobe
+
+#endif  // METAPROBE_CORE_FUSION_H_

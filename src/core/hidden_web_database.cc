@@ -1,0 +1,48 @@
+#include "core/hidden_web_database.h"
+
+namespace metaprobe {
+namespace core {
+
+LocalDatabase::LocalDatabase(std::string name, index::InvertedIndex index,
+                             std::shared_ptr<index::DocumentStore> documents)
+    : name_(std::move(name)),
+      index_(std::move(index)),
+      documents_(std::move(documents)) {}
+
+Result<std::uint64_t> LocalDatabase::CountMatches(const Query& query) const {
+  if (query.empty()) {
+    return Status::InvalidArgument("cannot probe '", name_,
+                                   "' with an empty query");
+  }
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  return index_.CountConjunctive(query.terms);
+}
+
+Result<std::vector<SearchHit>> LocalDatabase::Search(const Query& query,
+                                                     std::size_t k) const {
+  if (query.empty()) {
+    return Status::InvalidArgument("cannot search '", name_,
+                                   "' with an empty query");
+  }
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<index::ScoredDoc> scored = index_.TopKCosine(query.terms, k);
+  std::vector<SearchHit> hits;
+  hits.reserve(scored.size());
+  for (const index::ScoredDoc& sd : scored) {
+    SearchHit hit;
+    hit.doc = sd.doc;
+    hit.score = sd.score;
+    if (documents_ != nullptr) {
+      Result<const index::Document*> doc = documents_->Get(sd.doc);
+      if (doc.ok()) hit.title = (*doc)->title;
+    }
+    if (hit.title.empty()) {
+      hit.title = name_ + " doc#" + std::to_string(sd.doc);
+    }
+    hits.push_back(std::move(hit));
+  }
+  return hits;
+}
+
+}  // namespace core
+}  // namespace metaprobe

@@ -1,0 +1,100 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_CORE_HIDDEN_WEB_DATABASE_H_
+#define METAPROBE_CORE_HIDDEN_WEB_DATABASE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/query.h"
+#include "index/document_store.h"
+#include "index/inverted_index.h"
+
+namespace metaprobe {
+namespace core {
+
+/// \brief One search result returned by a database probe.
+struct SearchHit {
+  index::DocId doc = 0;
+  double score = 0.0;
+  std::string title;
+};
+
+/// \brief A database reachable only through its keyword-search interface.
+///
+/// This models the paper's hidden-web databases (PubMed, MEDLINEplus, ...):
+/// the metasearcher cannot crawl the contents; it can only
+///   * read coarse metadata (name, advertised size),
+///   * issue a query and read the "N documents matched" line
+///     (`CountMatches` — the probe of Section 3.4 under the
+///     document-frequency relevancy definition), and
+///   * retrieve the top-ranked documents (`Search` — the probe under the
+///     document-similarity definition, and the input to result fusion).
+///
+/// Implementations must be thread-compatible for concurrent const access.
+class HiddenWebDatabase {
+ public:
+  virtual ~HiddenWebDatabase() = default;
+
+  /// \brief Human-readable database name.
+  virtual const std::string& name() const = 0;
+
+  /// \brief Advertised number of documents (|db| in Eq. 1). Real databases
+  /// export this or let it be estimated with broad queries.
+  virtual std::uint32_t size() const = 0;
+
+  /// \brief Issues `query` and returns the number of documents matching all
+  /// keywords — the probe primitive.
+  virtual Result<std::uint64_t> CountMatches(const Query& query) const = 0;
+
+  /// \brief Issues `query` and returns the `k` best-ranked documents.
+  virtual Result<std::vector<SearchHit>> Search(const Query& query,
+                                                std::size_t k) const = 0;
+
+  /// \brief Number of queries this database has served (both primitives);
+  /// experiments use it to audit probing cost.
+  virtual std::uint64_t queries_served() const = 0;
+};
+
+/// \brief In-process database backed by an InvertedIndex.
+///
+/// The standard adapter for simulated hidden-web databases: exposes exactly
+/// the probe-only interface while holding the index privately, so algorithm
+/// code physically cannot peek beyond what a real remote database would
+/// reveal.
+class LocalDatabase : public HiddenWebDatabase {
+ public:
+  /// \param name database name
+  /// \param index built index (owned)
+  /// \param documents optional raw text store for result titles (may be null)
+  LocalDatabase(std::string name, index::InvertedIndex index,
+                std::shared_ptr<index::DocumentStore> documents = nullptr);
+
+  const std::string& name() const override { return name_; }
+  std::uint32_t size() const override { return index_.num_docs(); }
+  Result<std::uint64_t> CountMatches(const Query& query) const override;
+  Result<std::vector<SearchHit>> Search(const Query& query,
+                                        std::size_t k) const override;
+  std::uint64_t queries_served() const override {
+    return queries_served_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Back-door used only by summary construction and golden-standard
+  /// evaluation harnesses (never by selection algorithms).
+  const index::InvertedIndex& index_for_summaries() const { return index_; }
+
+ private:
+  std::string name_;
+  index::InvertedIndex index_;
+  std::shared_ptr<index::DocumentStore> documents_;
+  mutable std::atomic<std::uint64_t> queries_served_{0};
+};
+
+}  // namespace core
+}  // namespace metaprobe
+
+#endif  // METAPROBE_CORE_HIDDEN_WEB_DATABASE_H_

@@ -1,0 +1,157 @@
+#include "core/metasearcher.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace metaprobe {
+namespace core {
+
+Metasearcher::Metasearcher(MetasearcherOptions options)
+    : options_(std::move(options)),
+      classifier_(options_.query_class),
+      policy_(std::make_unique<StoppingProbabilityPolicy>()) {
+  // The probe primitive and the EDs must agree on the relevancy notion.
+  options_.ed_learner.definition = options_.relevancy_definition;
+  if (options_.relevancy_definition ==
+      RelevancyDefinition::kDocumentSimilarity) {
+    estimator_ = std::make_unique<CoverageSimilarityEstimator>();
+  } else {
+    estimator_ = std::make_unique<TermIndependenceEstimator>();
+  }
+}
+
+Status Metasearcher::AddDatabase(std::shared_ptr<HiddenWebDatabase> database,
+                                 StatSummary summary) {
+  if (database == nullptr) {
+    return Status::InvalidArgument("database must not be null");
+  }
+  if (trained()) {
+    return Status::FailedPrecondition(
+        "cannot add databases after training; retrain from scratch");
+  }
+  databases_.push_back(std::move(database));
+  summaries_.push_back(std::move(summary));
+  return Status::OK();
+}
+
+Status Metasearcher::AddLocalDatabase(
+    std::shared_ptr<LocalDatabase> database) {
+  if (database == nullptr) {
+    return Status::InvalidArgument("database must not be null");
+  }
+  StatSummary summary =
+      StatSummary::FromIndex(database->name(), database->index_for_summaries());
+  return AddDatabase(std::move(database), std::move(summary));
+}
+
+Status Metasearcher::SetEstimator(
+    std::unique_ptr<RelevancyEstimator> estimator) {
+  if (estimator == nullptr) {
+    return Status::InvalidArgument("estimator must not be null");
+  }
+  if (trained()) {
+    return Status::FailedPrecondition(
+        "EDs were learned for the previous estimator; retrain after swapping");
+  }
+  estimator_ = std::move(estimator);
+  return Status::OK();
+}
+
+void Metasearcher::SetProbingPolicy(std::unique_ptr<ProbingPolicy> policy) {
+  if (policy != nullptr) policy_ = std::move(policy);
+}
+
+Status Metasearcher::Train(const std::vector<Query>& training_queries) {
+  if (databases_.empty()) {
+    return Status::FailedPrecondition("no databases registered");
+  }
+  if (training_queries.empty()) {
+    return Status::InvalidArgument("no training queries supplied");
+  }
+  EdLearner learner(estimator_.get(), &classifier_, options_.ed_learner);
+  std::vector<const HiddenWebDatabase*> dbs;
+  std::vector<const StatSummary*> sums;
+  for (std::size_t i = 0; i < databases_.size(); ++i) {
+    dbs.push_back(databases_[i].get());
+    sums.push_back(&summaries_[i]);
+  }
+  ASSIGN_OR_RETURN(EdTable table, learner.Learn(dbs, sums, training_queries));
+  ed_table_ = std::make_unique<EdTable>(std::move(table));
+  return Status::OK();
+}
+
+std::vector<double> Metasearcher::EstimateAll(const Query& query) const {
+  std::vector<double> estimates;
+  estimates.reserve(databases_.size());
+  for (const StatSummary& summary : summaries_) {
+    estimates.push_back(estimator_->Estimate(summary, query));
+  }
+  return estimates;
+}
+
+Result<TopKModel> Metasearcher::BuildModel(const Query& query) const {
+  if (!trained()) {
+    return Status::FailedPrecondition("Train must be called before serving");
+  }
+  if (query.empty()) {
+    return Status::InvalidArgument("query has no usable keywords");
+  }
+  std::vector<RelevancyDistribution> rds;
+  rds.reserve(databases_.size());
+  for (std::size_t i = 0; i < databases_.size(); ++i) {
+    double estimate = estimator_->Estimate(summaries_[i], query);
+    QueryTypeId type = classifier_.Classify(query, estimate);
+    rds.push_back(
+        RelevancyDistribution::FromEstimate(estimate, ed_table_->Get(i, type)));
+  }
+  return TopKModel(std::move(rds));
+}
+
+Result<SelectionReport> Metasearcher::Select(const Query& query, int k,
+                                             double threshold) const {
+  ASSIGN_OR_RETURN(TopKModel model, BuildModel(query));
+  AProOptions apro_options;
+  apro_options.k = k;
+  apro_options.threshold = threshold;
+  apro_options.metric = options_.metric;
+  apro_options.search_width = options_.search_width;
+  AdaptiveProber prober(policy_.get(), apro_options);
+  ProbeFn probe = [this, &query](std::size_t db) -> Result<double> {
+    return ProbeRelevancy(*databases_[db], query,
+                          options_.relevancy_definition);
+  };
+  ASSIGN_OR_RETURN(AProResult apro, prober.Run(&model, probe));
+
+  SelectionReport report;
+  report.databases = std::move(apro.selected);
+  for (std::size_t id : report.databases) {
+    report.database_names.push_back(databases_[id]->name());
+  }
+  report.expected_correctness = apro.expected_correctness;
+  report.reached_threshold = apro.reached_threshold;
+  report.probe_order = std::move(apro.probe_order);
+  report.estimates = EstimateAll(query);
+  return report;
+}
+
+Result<std::vector<FusedHit>> Metasearcher::Search(
+    const Query& query, int k, double threshold, std::size_t per_database,
+    std::size_t max_results) const {
+  ASSIGN_OR_RETURN(SelectionReport report, Select(query, k, threshold));
+  std::vector<std::vector<SearchHit>> lists;
+  std::vector<std::string> names;
+  FusionOptions fusion = options_.fusion;
+  fusion.database_weights.clear();
+  for (std::size_t id : report.databases) {
+    ASSIGN_OR_RETURN(std::vector<SearchHit> hits,
+                     databases_[id]->Search(query, per_database));
+    lists.push_back(std::move(hits));
+    names.push_back(databases_[id]->name());
+    fusion.database_weights.push_back(report.estimates[id]);
+  }
+  return FuseResults(lists, names, max_results, fusion);
+}
+
+}  // namespace core
+}  // namespace metaprobe

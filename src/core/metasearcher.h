@@ -1,0 +1,149 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_CORE_METASEARCHER_H_
+#define METAPROBE_CORE_METASEARCHER_H_
+
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/correctness.h"
+#include "core/ed_learner.h"
+#include "core/estimator.h"
+#include "core/fusion.h"
+#include "core/hidden_web_database.h"
+#include "core/probing.h"
+#include "core/query_class.h"
+#include "core/relevancy_definition.h"
+#include "core/summary.h"
+
+namespace metaprobe {
+namespace core {
+
+/// \brief Configuration of a Metasearcher.
+struct MetasearcherOptions {
+  /// Which relevancy definition the metasearcher optimizes; determines the
+  /// probe primitive and the default estimator.
+  RelevancyDefinition relevancy_definition =
+      RelevancyDefinition::kDocumentFrequency;
+  QueryClassOptions query_class;
+  EdLearnerOptions ed_learner;
+  CorrectnessMetric metric = CorrectnessMetric::kAbsolute;
+  int search_width = 4;
+  FusionOptions fusion;
+};
+
+/// \brief Outcome of one database-selection request.
+struct SelectionReport {
+  std::vector<std::size_t> databases;       ///< Selected ids, ascending.
+  std::vector<std::string> database_names;  ///< Names, aligned with ids.
+  double expected_correctness = 0.0;
+  bool reached_threshold = false;
+  std::vector<std::size_t> probe_order;     ///< Databases probed, in order.
+  std::vector<double> estimates;            ///< r_hat per database.
+
+  int num_probes() const { return static_cast<int>(probe_order.size()); }
+};
+
+/// \brief The end-to-end metasearcher of Figure 1: mediates a set of
+/// hidden-web databases, selects the most relevant ones for each query with
+/// probabilistic modelling + adaptive probing, and fuses their results.
+///
+/// Lifecycle:
+///   1. `AddDatabase` each mediated database with its statistical summary
+///      (or `AddLocalDatabase` to summarize automatically).
+///   2. `Train` once with sample queries to learn error distributions.
+///   3. Serve queries with `Select` (database selection only) or `Search`
+///      (selection + dispatch + result fusion).
+///
+/// The estimator and probing policy are pluggable; the defaults are the
+/// paper's term-independence estimator and the stopping-probability probing
+/// policy (a refinement of the paper's greedy; see probing.h).
+class Metasearcher {
+ public:
+  explicit Metasearcher(MetasearcherOptions options = {});
+
+  /// \brief Registers a database with its pre-collected summary.
+  Status AddDatabase(std::shared_ptr<HiddenWebDatabase> database,
+                     StatSummary summary);
+
+  /// \brief Registers a local database, building its exact summary.
+  Status AddLocalDatabase(std::shared_ptr<LocalDatabase> database);
+
+  /// \brief Replaces the relevancy estimator (before Train).
+  Status SetEstimator(std::unique_ptr<RelevancyEstimator> estimator);
+
+  /// \brief Replaces the probing policy (any time).
+  void SetProbingPolicy(std::unique_ptr<ProbingPolicy> policy);
+
+  /// \brief Learns one ED per (database, query type) by sampling every
+  /// database with `training_queries` (Section 4).
+  Status Train(const std::vector<Query>& training_queries);
+
+  bool trained() const { return ed_table_ != nullptr; }
+
+  /// \brief Point estimates r_hat(db, q) for all databases.
+  std::vector<double> EstimateAll(const Query& query) const;
+
+  /// \brief Builds the probabilistic relevancy model (one RD per database)
+  /// for `query`. Requires Train.
+  Result<TopKModel> BuildModel(const Query& query) const;
+
+  /// \brief Selects the k most relevant databases with certainty at least
+  /// `threshold`, probing adaptively as needed (the full APro pipeline).
+  Result<SelectionReport> Select(const Query& query, int k,
+                                 double threshold) const;
+
+  /// \brief Selection + dispatch + result fusion: queries the selected
+  /// databases for their best `per_database` documents and merges them.
+  Result<std::vector<FusedHit>> Search(const Query& query, int k,
+                                       double threshold,
+                                       std::size_t per_database,
+                                       std::size_t max_results) const;
+
+  /// \brief Serializes the trained state -- options, per-database
+  /// summaries and the learned error distributions -- in a versioned,
+  /// line-oriented text format. The database *connections* are not
+  /// serialized; pass live ones to LoadTrainedModel. Requires Train.
+  ///
+  /// The intended deployment: train once offline against a query trace,
+  /// persist, and let serving instances load the model instead of
+  /// re-probing every database.
+  Status SaveTrainedModel(std::ostream& os) const;
+
+  /// \brief Restores a trained metasearcher over live databases. The
+  /// supplied databases must match the saved summaries in count, order and
+  /// name (summaries and EDs are database-specific). The estimator is
+  /// reconstructed from the saved relevancy definition; models trained
+  /// with a custom estimator cannot be round-tripped and fail to load.
+  static Result<std::unique_ptr<Metasearcher>> LoadTrainedModel(
+      std::istream& is,
+      std::vector<std::shared_ptr<HiddenWebDatabase>> databases);
+
+  std::size_t num_databases() const { return databases_.size(); }
+  const HiddenWebDatabase& database(std::size_t i) const {
+    return *databases_[i];
+  }
+  const StatSummary& summary(std::size_t i) const { return summaries_[i]; }
+  const RelevancyEstimator& estimator() const { return *estimator_; }
+  const QueryTypeClassifier& classifier() const { return classifier_; }
+  const EdTable* ed_table() const { return ed_table_.get(); }
+  const MetasearcherOptions& options() const { return options_; }
+
+ private:
+  MetasearcherOptions options_;
+  QueryTypeClassifier classifier_;
+  std::unique_ptr<RelevancyEstimator> estimator_;
+  std::unique_ptr<ProbingPolicy> policy_;
+  std::vector<std::shared_ptr<HiddenWebDatabase>> databases_;
+  std::vector<StatSummary> summaries_;
+  std::unique_ptr<EdTable> ed_table_;
+};
+
+}  // namespace core
+}  // namespace metaprobe
+
+#endif  // METAPROBE_CORE_METASEARCHER_H_

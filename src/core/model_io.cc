@@ -1,0 +1,302 @@
+// Model persistence for Metasearcher: a versioned, line-oriented text
+// format holding everything learned offline — the options that shaped
+// training, one statistical summary per database, and the full ED table.
+//
+// Format sketch (all tokens whitespace-separated; term lines use the rest
+// of the line for the term so arbitrary term bytes except newline work):
+//
+//   metaprobe-model 1
+//   definition document-frequency
+//   estimator term-independence
+//   query_class 1 2 3 1 30
+//   metric absolute
+//   search_width 4
+//   bin_edges 9 -0.95 ... 6
+//   num_databases 20
+//   num_types 4
+//   database 0
+//   name pubmed-central
+//   size 6000
+//   num_terms 3321
+//   t 943 cancer
+//   ...
+//   ed 0 0 412 0 0 1.5 ...   (db type samples cell-counts...)
+//   end
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/macros.h"
+#include "common/strings.h"
+#include "core/metasearcher.h"
+
+namespace metaprobe {
+namespace core {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+// Reads one line and verifies it starts with `keyword`; returns the
+// remainder stream for field parsing.
+Result<std::istringstream> ExpectLine(std::istream& is,
+                                      const std::string& keyword) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!StripAsciiWhitespace(line).empty()) break;
+  }
+  if (!is && line.empty()) {
+    return Status::IoError("unexpected end of model file, wanted '", keyword,
+                           "'");
+  }
+  std::istringstream stream(line);
+  std::string head;
+  stream >> head;
+  if (head != keyword) {
+    return Status::InvalidArgument("model file: expected '", keyword,
+                                   "', found '", head, "'");
+  }
+  return stream;
+}
+
+Result<RelevancyDefinition> ParseDefinition(const std::string& name) {
+  if (name == "document-frequency") {
+    return RelevancyDefinition::kDocumentFrequency;
+  }
+  if (name == "document-similarity") {
+    return RelevancyDefinition::kDocumentSimilarity;
+  }
+  return Status::InvalidArgument("unknown relevancy definition '", name, "'");
+}
+
+Result<CorrectnessMetric> ParseMetric(const std::string& name) {
+  if (name == "absolute") return CorrectnessMetric::kAbsolute;
+  if (name == "partial") return CorrectnessMetric::kPartial;
+  return Status::InvalidArgument("unknown correctness metric '", name, "'");
+}
+
+std::string DefaultEstimatorName(RelevancyDefinition definition) {
+  return definition == RelevancyDefinition::kDocumentSimilarity
+             ? CoverageSimilarityEstimator().name()
+             : TermIndependenceEstimator().name();
+}
+
+}  // namespace
+
+Status Metasearcher::SaveTrainedModel(std::ostream& os) const {
+  if (!trained()) {
+    return Status::FailedPrecondition(
+        "nothing to save: the metasearcher has not been trained");
+  }
+  if (estimator_->name() != DefaultEstimatorName(options_.relevancy_definition)) {
+    return Status::NotImplemented(
+        "custom estimator '", estimator_->name(),
+        "' cannot be serialized; only the definition-default estimators "
+        "round-trip");
+  }
+  os.precision(17);
+  os << "metaprobe-model " << kFormatVersion << "\n";
+  os << "definition "
+     << RelevancyDefinitionName(options_.relevancy_definition) << "\n";
+  os << "estimator " << estimator_->name() << "\n";
+  const QueryClassOptions& qc = classifier_.options();
+  os << "query_class " << (qc.split_by_term_count ? 1 : 0) << " "
+     << qc.min_terms << " " << qc.max_terms << " "
+     << (qc.split_by_estimate ? 1 : 0) << " " << qc.estimate_threshold
+     << "\n";
+  os << "metric " << CorrectnessMetricName(options_.metric) << "\n";
+  os << "search_width " << options_.search_width << "\n";
+  const std::vector<double>& edges = options_.ed_learner.bin_edges;
+  os << "bin_edges " << edges.size();
+  for (double e : edges) os << " " << e;
+  os << "\n";
+  os << "num_databases " << databases_.size() << "\n";
+  os << "num_types " << classifier_.num_types() << "\n";
+
+  for (std::size_t db = 0; db < databases_.size(); ++db) {
+    const StatSummary& summary = summaries_[db];
+    os << "database " << db << "\n";
+    os << "name " << summary.database_name() << "\n";
+    os << "size " << summary.database_size() << "\n";
+    os << "num_terms " << summary.num_terms() << "\n";
+    summary.ForEachTerm([&os](const std::string& term, std::uint32_t df) {
+      os << "t " << df << " " << term << "\n";
+    });
+  }
+
+  for (std::size_t db = 0; db < databases_.size(); ++db) {
+    for (QueryTypeId type = 0; type < classifier_.num_types(); ++type) {
+      const ErrorDistribution& ed = ed_table_->Get(db, type);
+      os << "ed " << db << " " << type << " " << ed.sample_count();
+      const stats::Histogram& histogram = ed.histogram();
+      for (std::size_t cell = 0; cell < histogram.num_cells(); ++cell) {
+        os << " " << histogram.count(cell);
+      }
+      os << "\n";
+    }
+  }
+  os << "end\n";
+  if (!os) return Status::IoError("stream write failure while saving model");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Metasearcher>> Metasearcher::LoadTrainedModel(
+    std::istream& is,
+    std::vector<std::shared_ptr<HiddenWebDatabase>> databases) {
+  ASSIGN_OR_RETURN(std::istringstream header, ExpectLine(is, "metaprobe-model"));
+  int version = 0;
+  header >> version;
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported model version ", version);
+  }
+
+  MetasearcherOptions options;
+  {
+    ASSIGN_OR_RETURN(std::istringstream line, ExpectLine(is, "definition"));
+    std::string name;
+    line >> name;
+    ASSIGN_OR_RETURN(options.relevancy_definition, ParseDefinition(name));
+  }
+  std::string estimator_name;
+  {
+    ASSIGN_OR_RETURN(std::istringstream line, ExpectLine(is, "estimator"));
+    line >> estimator_name;
+    if (estimator_name != DefaultEstimatorName(options.relevancy_definition)) {
+      return Status::NotImplemented("model was trained with estimator '",
+                                    estimator_name,
+                                    "', which cannot be reconstructed");
+    }
+  }
+  {
+    ASSIGN_OR_RETURN(std::istringstream line, ExpectLine(is, "query_class"));
+    int split_terms = 0, split_estimate = 0;
+    line >> split_terms >> options.query_class.min_terms >>
+        options.query_class.max_terms >> split_estimate >>
+        options.query_class.estimate_threshold;
+    if (!line) return Status::InvalidArgument("bad query_class line");
+    options.query_class.split_by_term_count = split_terms != 0;
+    options.query_class.split_by_estimate = split_estimate != 0;
+  }
+  {
+    ASSIGN_OR_RETURN(std::istringstream line, ExpectLine(is, "metric"));
+    std::string name;
+    line >> name;
+    ASSIGN_OR_RETURN(options.metric, ParseMetric(name));
+  }
+  {
+    ASSIGN_OR_RETURN(std::istringstream line, ExpectLine(is, "search_width"));
+    line >> options.search_width;
+    if (!line) return Status::InvalidArgument("bad search_width line");
+  }
+  {
+    ASSIGN_OR_RETURN(std::istringstream line, ExpectLine(is, "bin_edges"));
+    std::size_t count = 0;
+    line >> count;
+    options.ed_learner.bin_edges.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+      double edge = 0.0;
+      line >> edge;
+      options.ed_learner.bin_edges.push_back(edge);
+    }
+    if (!line) return Status::InvalidArgument("bad bin_edges line");
+  }
+  std::size_t num_databases = 0;
+  std::uint32_t num_types = 0;
+  {
+    ASSIGN_OR_RETURN(std::istringstream line, ExpectLine(is, "num_databases"));
+    line >> num_databases;
+    if (!line) return Status::InvalidArgument("bad num_databases line");
+  }
+  {
+    ASSIGN_OR_RETURN(std::istringstream line, ExpectLine(is, "num_types"));
+    line >> num_types;
+    if (!line) return Status::InvalidArgument("bad num_types line");
+  }
+  if (databases.size() != num_databases) {
+    return Status::InvalidArgument("model holds ", num_databases,
+                                   " databases but ", databases.size(),
+                                   " were supplied");
+  }
+
+  auto searcher = std::make_unique<Metasearcher>(options);
+  if (searcher->classifier_.num_types() != num_types) {
+    return Status::InvalidArgument(
+        "model num_types ", num_types, " does not match the classifier (",
+        searcher->classifier_.num_types(), ")");
+  }
+
+  for (std::size_t db = 0; db < num_databases; ++db) {
+    {
+      ASSIGN_OR_RETURN(std::istringstream line, ExpectLine(is, "database"));
+      std::size_t index = 0;
+      line >> index;
+      if (!line || index != db) {
+        return Status::InvalidArgument("database blocks out of order at ", db);
+      }
+    }
+    std::string name;
+    {
+      ASSIGN_OR_RETURN(std::istringstream line, ExpectLine(is, "name"));
+      std::getline(line, name);
+      name = std::string(StripAsciiWhitespace(name));
+    }
+    if (databases[db] == nullptr || databases[db]->name() != name) {
+      return Status::InvalidArgument(
+          "database ", db, " mismatch: model has '", name, "', supplied '",
+          databases[db] == nullptr ? "<null>" : databases[db]->name(), "'");
+    }
+    std::uint32_t size = 0;
+    {
+      ASSIGN_OR_RETURN(std::istringstream line, ExpectLine(is, "size"));
+      line >> size;
+      if (!line) return Status::InvalidArgument("bad size line");
+    }
+    std::size_t num_terms = 0;
+    {
+      ASSIGN_OR_RETURN(std::istringstream line, ExpectLine(is, "num_terms"));
+      line >> num_terms;
+      if (!line) return Status::InvalidArgument("bad num_terms line");
+    }
+    StatSummary summary(name, size);
+    for (std::size_t t = 0; t < num_terms; ++t) {
+      ASSIGN_OR_RETURN(std::istringstream line, ExpectLine(is, "t"));
+      std::uint32_t df = 0;
+      std::string term;
+      line >> df;
+      std::getline(line, term);
+      term = std::string(StripAsciiWhitespace(term));
+      if (term.empty()) {
+        return Status::InvalidArgument("empty term in database ", db);
+      }
+      summary.SetDocumentFrequency(term, df);
+    }
+    RETURN_NOT_OK(searcher->AddDatabase(databases[db], std::move(summary)));
+  }
+
+  EdTable table(num_databases, num_types, options.ed_learner.bin_edges);
+  const std::size_t num_cells = options.ed_learner.bin_edges.size() + 1;
+  for (std::size_t i = 0; i < num_databases * num_types; ++i) {
+    ASSIGN_OR_RETURN(std::istringstream line, ExpectLine(is, "ed"));
+    std::size_t db = 0;
+    QueryTypeId type = 0;
+    std::size_t samples = 0;
+    line >> db >> type >> samples;
+    std::vector<double> counts(num_cells, 0.0);
+    for (double& count : counts) line >> count;
+    if (!line || db >= num_databases || type >= num_types) {
+      return Status::InvalidArgument("bad ed line ", i);
+    }
+    ASSIGN_OR_RETURN(ErrorDistribution ed,
+                     ErrorDistribution::Restore(options.ed_learner.bin_edges,
+                                                counts, samples));
+    RETURN_NOT_OK(table.Set(db, type, std::move(ed)));
+  }
+  RETURN_NOT_OK(ExpectLine(is, "end").status());
+
+  searcher->ed_table_ = std::make_unique<EdTable>(std::move(table));
+  return searcher;
+}
+
+}  // namespace core
+}  // namespace metaprobe

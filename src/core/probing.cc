@@ -1,0 +1,300 @@
+#include "core/probing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace metaprobe {
+namespace core {
+
+namespace {
+
+std::vector<std::size_t> UnprobedIndices(const std::vector<bool>& probed) {
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < probed.size(); ++i) {
+    if (!probed[i]) indices.push_back(i);
+  }
+  return indices;
+}
+
+double BinaryEntropy(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+}  // namespace
+
+std::size_t GreedyUsefulnessPolicy::SelectDb(TopKModel* model,
+                                             const std::vector<bool>& probed,
+                                             const ProbingContext& context) {
+  std::vector<std::size_t> candidates = UnprobedIndices(probed);
+  METAPROBE_DCHECK(!candidates.empty(), "no unprobed database left");
+  std::size_t best_db = candidates.front();
+  double best_usefulness = -1.0;
+  for (std::size_t i : candidates) {
+    // Expected usefulness: average over the RD's outcomes of the best
+    // achievable expected correctness after pinning the outcome.
+    // Copy the support: conditioning swaps the RD out under us.
+    const std::vector<stats::Atom> support = model->SupportOf(i);
+    double usefulness = 0.0;
+    for (const stats::Atom& atom : support) {
+      TopKModel::ScopedCondition condition(model, i, atom.value);
+      TopKModel::BestSet best = model->FindBestSet(
+          context.k, context.metric, context.search_width);
+      usefulness += atom.prob * best.expected_correctness;
+    }
+    if (usefulness > best_usefulness) {
+      best_usefulness = usefulness;
+      best_db = i;
+    }
+  }
+  return best_db;
+}
+
+std::size_t RandomProbingPolicy::SelectDb(TopKModel* model,
+                                          const std::vector<bool>& probed,
+                                          const ProbingContext& context) {
+  (void)model;
+  (void)context;
+  std::vector<std::size_t> candidates = UnprobedIndices(probed);
+  METAPROBE_DCHECK(!candidates.empty(), "no unprobed database left");
+  return candidates[rng_.UniformInt(candidates.size())];
+}
+
+std::size_t RoundRobinProbingPolicy::SelectDb(TopKModel* model,
+                                              const std::vector<bool>& probed,
+                                              const ProbingContext& context) {
+  (void)model;
+  (void)context;
+  for (std::size_t i = 0; i < probed.size(); ++i) {
+    if (!probed[i]) return i;
+  }
+  METAPROBE_DCHECK(false, "no unprobed database left");
+  return 0;
+}
+
+std::size_t MaxVarianceProbingPolicy::SelectDb(TopKModel* model,
+                                               const std::vector<bool>& probed,
+                                               const ProbingContext& context) {
+  (void)context;
+  std::vector<std::size_t> candidates = UnprobedIndices(probed);
+  METAPROBE_DCHECK(!candidates.empty(), "no unprobed database left");
+  std::size_t best_db = candidates.front();
+  double best_stddev = -1.0;
+  for (std::size_t i : candidates) {
+    double stddev = model->rd(i).StdDev();
+    if (stddev > best_stddev) {
+      best_stddev = stddev;
+      best_db = i;
+    }
+  }
+  return best_db;
+}
+
+std::size_t MembershipEntropyPolicy::SelectDb(TopKModel* model,
+                                              const std::vector<bool>& probed,
+                                              const ProbingContext& context) {
+  std::vector<std::size_t> candidates = UnprobedIndices(probed);
+  METAPROBE_DCHECK(!candidates.empty(), "no unprobed database left");
+  std::vector<double> marginals = model->MembershipProbabilities(context.k);
+  std::size_t best_db = candidates.front();
+  double best_entropy = -1.0;
+  for (std::size_t i : candidates) {
+    double entropy = BinaryEntropy(marginals[i]) / context.CostOf(i);
+    if (entropy > best_entropy) {
+      best_entropy = entropy;
+      best_db = i;
+    }
+  }
+  return best_db;
+}
+
+std::size_t StoppingProbabilityPolicy::SelectDb(
+    TopKModel* model, const std::vector<bool>& probed,
+    const ProbingContext& context) {
+  std::vector<std::size_t> candidates = UnprobedIndices(probed);
+  METAPROBE_DCHECK(!candidates.empty(), "no unprobed database left");
+  // The threshold the loop will actually test against.
+  const double t = std::clamp(context.threshold, 0.0, 1.0);
+  // Tie-break by membership entropy: expected usefulness is a martingale
+  // (its mean never exceeds the prior certainty unless an outcome flips the
+  // answer set), so when no single probe can reach t the stopping
+  // probabilities all collapse to ~0 and the entropy signal takes over.
+  std::vector<double> marginals = model->MembershipProbabilities(context.k);
+  std::size_t best_db = candidates.front();
+  double best_stop = -1.0;
+  double best_entropy = -1.0;
+  for (std::size_t i : candidates) {
+    const std::vector<stats::Atom> support = model->SupportOf(i);
+    double stop = 0.0;
+    for (const stats::Atom& atom : support) {
+      TopKModel::ScopedCondition condition(model, i, atom.value);
+      TopKModel::BestSet best = model->FindBestSet(
+          context.k, context.metric, context.search_width);
+      if (best.expected_correctness >= t) stop += atom.prob;
+    }
+    double cost = context.CostOf(i);
+    double stop_rate = stop / cost;
+    double entropy_rate = BinaryEntropy(marginals[i]) / cost;
+    if (stop_rate > best_stop + 1e-12 ||
+        (stop_rate > best_stop - 1e-12 && entropy_rate > best_entropy)) {
+      best_stop = std::max(stop_rate, best_stop);
+      best_entropy = entropy_rate;
+      best_db = i;
+    }
+  }
+  return best_db;
+}
+
+ExpectimaxProbingPolicy::ExpectimaxProbingPolicy(int max_depth)
+    : max_depth_(std::max(max_depth, 1)) {}
+
+std::string ExpectimaxProbingPolicy::name() const {
+  return "expectimax(depth=" + std::to_string(max_depth_) + ")";
+}
+
+// Expected probes to reach the threshold from the current state, assuming
+// the best next probe and optimal continuation down to `depth` more levels;
+// past the horizon an unresolved branch is charged one extra probe.
+double ExpectimaxProbingPolicy::ExpectedProbes(TopKModel* model,
+                                               std::vector<bool>* probed,
+                                               const ProbingContext& context,
+                                               int depth) const {
+  TopKModel::BestSet best =
+      model->FindBestSet(context.k, context.metric, context.search_width);
+  if (best.expected_correctness >= context.threshold) return 0.0;
+  if (depth == 0) return 1.0;  // optimistic horizon charge
+
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < probed->size(); ++i) {
+    if ((*probed)[i]) continue;
+    const std::vector<stats::Atom> support = model->SupportOf(i);
+    double cost = 1.0;
+    (*probed)[i] = true;
+    for (const stats::Atom& atom : support) {
+      TopKModel::ScopedCondition condition(model, i, atom.value);
+      cost += atom.prob * ExpectedProbes(model, probed, context, depth - 1);
+      if (cost >= best_cost) break;  // branch-and-bound prune
+    }
+    (*probed)[i] = false;
+    best_cost = std::min(best_cost, cost);
+  }
+  // No unprobed database left: the answer cannot improve further.
+  if (!std::isfinite(best_cost)) return 0.0;
+  return best_cost;
+}
+
+std::size_t ExpectimaxProbingPolicy::SelectDb(TopKModel* model,
+                                              const std::vector<bool>& probed,
+                                              const ProbingContext& context) {
+  std::vector<std::size_t> candidates = UnprobedIndices(probed);
+  METAPROBE_DCHECK(!candidates.empty(), "no unprobed database left");
+  std::vector<bool> scratch = probed;
+  std::size_t best_db = candidates.front();
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t i : candidates) {
+    const std::vector<stats::Atom> support = model->SupportOf(i);
+    double cost = 1.0;
+    scratch[i] = true;
+    for (const stats::Atom& atom : support) {
+      TopKModel::ScopedCondition condition(model, i, atom.value);
+      cost += atom.prob *
+              ExpectedProbes(model, &scratch, context, max_depth_ - 1);
+      if (cost >= best_cost) break;
+    }
+    scratch[i] = false;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_db = i;
+    }
+  }
+  return best_db;
+}
+
+AdaptiveProber::AdaptiveProber(ProbingPolicy* policy, AProOptions options)
+    : policy_(policy), options_(options) {}
+
+Result<AProResult> AdaptiveProber::Run(TopKModel* model,
+                                       const ProbeFn& probe) const {
+  const std::size_t n = model->num_databases();
+  if (n == 0) return Status::InvalidArgument("no databases to select from");
+  if (options_.k <= 0) {
+    return Status::InvalidArgument("k must be positive, got ", options_.k);
+  }
+  const double threshold = std::clamp(options_.threshold, 0.0, 1.0);
+  const std::size_t max_probes =
+      options_.max_probes < 0
+          ? n
+          : std::min<std::size_t>(n, static_cast<std::size_t>(
+                                         options_.max_probes));
+
+  ProbingContext context;
+  context.k = options_.k;
+  context.metric = options_.metric;
+  context.search_width = options_.search_width;
+  context.threshold = threshold;
+  if (!options_.probe_costs.empty()) {
+    if (options_.probe_costs.size() != n) {
+      return Status::InvalidArgument("got ", options_.probe_costs.size(),
+                                     " probe costs for ", n, " databases");
+    }
+    context.probe_costs = &options_.probe_costs;
+  }
+
+  AProResult result;
+  std::vector<bool> probed(n, false);
+  for (std::size_t i = 0; i < n; ++i) probed[i] = model->probed(i);
+
+  while (true) {
+    TopKModel::BestSet best =
+        model->FindBestSet(options_.k, options_.metric, options_.search_width);
+    if (options_.record_trace) {
+      SelectionResult step;
+      step.databases = best.members;
+      step.expected_correctness = best.expected_correctness;
+      result.trace.push_back(std::move(step));
+    }
+    result.selected = best.members;
+    result.expected_correctness = best.expected_correctness;
+    if (best.expected_correctness >= threshold) {
+      result.reached_threshold = true;
+      break;
+    }
+    std::size_t num_probed =
+        static_cast<std::size_t>(std::count(probed.begin(), probed.end(), true));
+    std::size_t attempts =
+        result.probe_order.size() + result.failed_probes.size();
+    if (num_probed >= n || attempts >= max_probes ||
+        (options_.max_cost >= 0.0 && result.total_cost >= options_.max_cost)) {
+      break;  // budget exhausted; return the best answer found
+    }
+    std::size_t next = policy_->SelectDb(model, probed, context);
+    if (next >= n || probed[next]) {
+      return Status::Internal("probing policy '", policy_->name(),
+                              "' returned invalid database ", next);
+    }
+    result.total_cost += context.CostOf(next);
+    Result<double> actual = probe(next);
+    if (!actual.ok()) {
+      if (options_.failure_mode == ProbeFailureMode::kAbort) {
+        return actual.status();
+      }
+      // Skip mode: the database keeps its RD but is never probed again;
+      // the failed attempt counts against the probe budget so a fully
+      // unreachable backend cannot stall the loop.
+      probed[next] = true;
+      result.failed_probes.push_back(next);
+      continue;
+    }
+    model->Observe(next, *actual);
+    probed[next] = true;
+    result.probe_order.push_back(next);
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace metaprobe

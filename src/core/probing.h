@@ -1,0 +1,231 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_CORE_PROBING_H_
+#define METAPROBE_CORE_PROBING_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/correctness.h"
+#include "core/selection.h"
+#include "stats/random.h"
+
+namespace metaprobe {
+namespace core {
+
+/// \brief The selection task a probing policy is serving.
+struct ProbingContext {
+  int k = 1;
+  CorrectnessMetric metric = CorrectnessMetric::kAbsolute;
+  int search_width = 4;
+  /// The user-required certainty level t; stopping-aware policies target it
+  /// directly.
+  double threshold = 1.0;
+  /// Per-database probing costs (empty = unit cost everywhere). Section 5.2
+  /// of the paper assumes equal costs "to simplify the discussion" and
+  /// notes the methods extend to heterogeneous costs; cost-aware policies
+  /// divide their information signal by the cost.
+  const std::vector<double>* probe_costs = nullptr;
+
+  /// \brief Cost of probing database `i` (1 when no costs are configured).
+  double CostOf(std::size_t i) const {
+    if (probe_costs == nullptr || i >= probe_costs->size()) return 1.0;
+    return (*probe_costs)[i] > 0.0 ? (*probe_costs)[i] : 1.0;
+  }
+};
+
+/// \brief Chooses which unprobed database the APro loop contacts next
+/// (the SelectDb step of Figure 11).
+class ProbingPolicy {
+ public:
+  virtual ~ProbingPolicy() = default;
+
+  /// \brief Policy name for reports and ablation tables.
+  virtual std::string name() const = 0;
+
+  /// \brief Index of the next database to probe. `probed[i]` marks
+  /// databases already probed; at least one entry is false when called.
+  virtual std::size_t SelectDb(TopKModel* model,
+                               const std::vector<bool>& probed,
+                               const ProbingContext& context) = 0;
+};
+
+/// \brief The paper's greedy policy (Section 5.4): probe the database with
+/// the highest expected *usefulness*, where the usefulness of an outcome is
+/// the best achievable E[Cor(DB^k)] after observing it, and the expectation
+/// runs over the database's current RD (the computation of Figure 13).
+class GreedyUsefulnessPolicy : public ProbingPolicy {
+ public:
+  std::string name() const override { return "greedy-usefulness"; }
+  std::size_t SelectDb(TopKModel* model, const std::vector<bool>& probed,
+                       const ProbingContext& context) override;
+};
+
+/// \brief Ablation baseline: probe a uniformly random unprobed database.
+class RandomProbingPolicy : public ProbingPolicy {
+ public:
+  explicit RandomProbingPolicy(std::uint64_t seed) : rng_(seed) {}
+
+  std::string name() const override { return "random"; }
+  std::size_t SelectDb(TopKModel* model, const std::vector<bool>& probed,
+                       const ProbingContext& context) override;
+
+ private:
+  stats::Rng rng_;
+};
+
+/// \brief Ablation baseline: probe databases in fixed id order.
+class RoundRobinProbingPolicy : public ProbingPolicy {
+ public:
+  std::string name() const override { return "round-robin"; }
+  std::size_t SelectDb(TopKModel* model, const std::vector<bool>& probed,
+                       const ProbingContext& context) override;
+};
+
+/// \brief Ablation baseline: probe the unprobed database whose RD has the
+/// largest standard deviation (most uncertainty, ignoring its effect on the
+/// answer set).
+class MaxVarianceProbingPolicy : public ProbingPolicy {
+ public:
+  std::string name() const override { return "max-variance"; }
+  std::size_t SelectDb(TopKModel* model, const std::vector<bool>& probed,
+                       const ProbingContext& context) override;
+};
+
+/// \brief Probes the database whose top-k membership is most uncertain:
+/// argmax of the binary entropy of Pr(db_i in DB_topk).
+///
+/// A refinement over the paper's expected-usefulness greedy: it targets the
+/// databases that actually decide the answer set, and is immune to the
+/// "phantom tail" myopia where eliminating many low-probability contenders
+/// looks better one step ahead than resolving the real contest (see
+/// DESIGN.md). Also an order of magnitude cheaper per step.
+class MembershipEntropyPolicy : public ProbingPolicy {
+ public:
+  std::string name() const override { return "membership-entropy"; }
+  std::size_t SelectDb(TopKModel* model, const std::vector<bool>& probed,
+                       const ProbingContext& context) override;
+};
+
+/// \brief Probes the database maximizing the probability that the APro
+/// stopping condition E[Cor(DB^k)] >= t holds immediately after the probe,
+/// with membership entropy as the tie-break.
+///
+/// Rationale: the paper's expected usefulness is a martingale — its mean
+/// equals the prior certainty unless some outcome flips the best answer set
+/// — so "increase E[Cor] the most" cannot see that probing the leading
+/// contender concentrates the certainty distribution. The probability of
+/// crossing t captures exactly that; when no single probe can reach t the
+/// signal vanishes and the entropy tie-break takes over.
+class StoppingProbabilityPolicy : public ProbingPolicy {
+ public:
+  std::string name() const override { return "stopping-probability"; }
+  std::size_t SelectDb(TopKModel* model, const std::vector<bool>& probed,
+                       const ProbingContext& context) override;
+};
+
+/// \brief Depth-limited expectimax policy: approximates the optimal probe
+/// schedule of the paper's extended report [21], which minimizes the
+/// expected number of probes to reach the threshold t but costs O(n!) in
+/// full generality.
+///
+/// For each candidate database the policy computes the expected number of
+/// additional probes (this one included) needed to reach t, assuming
+/// optimal play for `max_depth - 1` further probes and "one more probe
+/// fixes it" beyond the horizon, and picks the minimizer. Depth 1
+/// degenerates to StoppingProbabilityPolicy's signal; each extra level
+/// multiplies cost by roughly (#candidates x support size). Intended for
+/// small mediator sets or as a quality yardstick in ablations.
+class ExpectimaxProbingPolicy : public ProbingPolicy {
+ public:
+  explicit ExpectimaxProbingPolicy(int max_depth = 2);
+
+  std::string name() const override;
+  std::size_t SelectDb(TopKModel* model, const std::vector<bool>& probed,
+                       const ProbingContext& context) override;
+
+ private:
+  double ExpectedProbes(TopKModel* model, std::vector<bool>* probed,
+                        const ProbingContext& context, int depth) const;
+
+  int max_depth_;
+};
+
+/// \brief Oracle that answers "what is database i's true relevancy to the
+/// current query"; the production implementation issues the query to the
+/// database, tests inject synthetic truths.
+using ProbeFn = std::function<Result<double>(std::size_t db)>;
+
+/// \brief What APro does when a probe fails (times out, rate-limits).
+enum class ProbeFailureMode {
+  /// Abort the run and surface the error (strict; the default).
+  kAbort,
+  /// Skip the failed database — keep its RD as-is, exclude it from further
+  /// probing, and let the policy pick another. The run degrades gracefully
+  /// toward the no-probing answer if everything fails.
+  kSkipDatabase,
+};
+
+/// \brief Parameters of one adaptive-probing run.
+struct AProOptions {
+  int k = 1;                 ///< Databases to select.
+  double threshold = 0.9;    ///< User-required certainty level t.
+  CorrectnessMetric metric = CorrectnessMetric::kAbsolute;
+  int search_width = 4;      ///< Best-set search width (see TopKModel).
+  /// Probe budget; <0 means "all databases". The algorithm also stops when
+  /// every database has been probed (certainty is then exactly 1).
+  int max_probes = -1;
+  /// Record the best DB^k after every probe (Figure 16 needs the full
+  /// trajectory; costs one best-set search per step when enabled).
+  bool record_trace = false;
+  ProbeFailureMode failure_mode = ProbeFailureMode::kAbort;
+  /// Per-database probing costs (empty = unit). Cost-aware policies spend
+  /// cheap probes first; `max_cost` bounds the total spend.
+  std::vector<double> probe_costs;
+  /// Total probing budget in cost units; < 0 means unlimited.
+  double max_cost = -1.0;
+};
+
+/// \brief Outcome of an adaptive-probing run.
+struct AProResult {
+  std::vector<std::size_t> selected;     ///< Final DB^k, ascending ids.
+  double expected_correctness = 0.0;     ///< E[Cor] of the final answer.
+  bool reached_threshold = false;        ///< Whether t was met.
+  std::vector<std::size_t> probe_order;  ///< Databases probed, in order.
+  /// Databases whose probe failed (kSkipDatabase mode only).
+  std::vector<std::size_t> failed_probes;
+  /// Total cost spent on probes (successful and failed attempts alike);
+  /// equals the attempt count under unit costs.
+  double total_cost = 0.0;
+  /// When record_trace: entry p is the best DB^k and its E[Cor] after p
+  /// probes (entry 0 = no probing, i.e. the RD-based method).
+  std::vector<SelectionResult> trace;
+
+  int num_probes() const { return static_cast<int>(probe_order.size()); }
+};
+
+/// \brief The APro algorithm of Figure 11: repeatedly check whether any
+/// DB^k reaches the certainty threshold; if not, let the policy pick a
+/// database, probe it, collapse its RD to the observed impulse, and loop.
+class AdaptiveProber {
+ public:
+  AdaptiveProber(ProbingPolicy* policy, AProOptions options);
+
+  /// \brief Runs APro on `model` (consumed/mutated) with `probe` as the
+  /// relevancy oracle.
+  Result<AProResult> Run(TopKModel* model, const ProbeFn& probe) const;
+
+  const AProOptions& options() const { return options_; }
+
+ private:
+  ProbingPolicy* policy_;
+  AProOptions options_;
+};
+
+}  // namespace core
+}  // namespace metaprobe
+
+#endif  // METAPROBE_CORE_PROBING_H_

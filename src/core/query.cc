@@ -1,0 +1,20 @@
+#include "core/query.h"
+
+#include <algorithm>
+
+namespace metaprobe {
+namespace core {
+
+std::string QueryKey(const Query& query) {
+  std::vector<std::string> sorted = query.terms;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key;
+  for (const std::string& term : sorted) {
+    key += term;
+    key += '\x1f';
+  }
+  return key;
+}
+
+}  // namespace core
+}  // namespace metaprobe

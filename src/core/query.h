@@ -1,0 +1,45 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_CORE_QUERY_H_
+#define METAPROBE_CORE_QUERY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/analyzer.h"
+
+namespace metaprobe {
+namespace core {
+
+/// \brief A keyword query as the metasearcher sees it.
+///
+/// `terms` are the analyzed (lowercased, stopped, stemmed) keywords that the
+/// databases match conjunctively; `raw` preserves the user's original text
+/// for display. Construct via `ParseQuery` so that queries and indexed
+/// documents share the same analysis.
+struct Query {
+  std::vector<std::string> terms;
+  std::string raw;
+
+  std::size_t num_terms() const { return terms.size(); }
+  bool empty() const { return terms.empty(); }
+
+  bool operator==(const Query& other) const { return terms == other.terms; }
+};
+
+/// \brief Analyzes raw user text ("Breast CANCER treatments") into a Query.
+inline Query ParseQuery(const text::Analyzer& analyzer, std::string_view raw) {
+  Query q;
+  q.raw = std::string(raw);
+  q.terms = analyzer.Analyze(raw);
+  return q;
+}
+
+/// \brief Canonical key for deduplicating queries (sorted terms joined).
+std::string QueryKey(const Query& query);
+
+}  // namespace core
+}  // namespace metaprobe
+
+#endif  // METAPROBE_CORE_QUERY_H_

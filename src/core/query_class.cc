@@ -1,0 +1,61 @@
+#include "core/query_class.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace metaprobe {
+namespace core {
+
+QueryTypeClassifier::QueryTypeClassifier(QueryClassOptions options)
+    : options_(options) {
+  if (options_.max_terms < options_.min_terms) {
+    std::swap(options_.min_terms, options_.max_terms);
+  }
+  if (options_.min_terms < 1) options_.min_terms = 1;
+}
+
+int QueryTypeClassifier::NumTermBuckets() const {
+  if (!options_.split_by_term_count) return 1;
+  return options_.max_terms - options_.min_terms + 1;
+}
+
+std::uint32_t QueryTypeClassifier::num_types() const {
+  return static_cast<std::uint32_t>(NumTermBuckets()) *
+         (options_.split_by_estimate ? 2u : 1u);
+}
+
+QueryTypeId QueryTypeClassifier::Classify(const Query& query,
+                                          double r_hat) const {
+  int term_bucket = 0;
+  if (options_.split_by_term_count) {
+    int terms = std::clamp(static_cast<int>(query.num_terms()),
+                           options_.min_terms, options_.max_terms);
+    term_bucket = terms - options_.min_terms;
+  }
+  int estimate_bucket =
+      options_.split_by_estimate && r_hat >= options_.estimate_threshold ? 1
+                                                                         : 0;
+  return static_cast<QueryTypeId>(
+      term_bucket * (options_.split_by_estimate ? 2 : 1) + estimate_bucket);
+}
+
+std::string QueryTypeClassifier::TypeName(QueryTypeId type) const {
+  const int estimate_buckets = options_.split_by_estimate ? 2 : 1;
+  int term_bucket = static_cast<int>(type) / estimate_buckets;
+  int estimate_bucket = static_cast<int>(type) % estimate_buckets;
+  std::string name;
+  if (options_.split_by_term_count) {
+    name += std::to_string(options_.min_terms + term_bucket) + "-term";
+  } else {
+    name += "any-term";
+  }
+  if (options_.split_by_estimate) {
+    name += estimate_bucket == 1 ? ", r_hat>=" : ", r_hat<";
+    name += FormatDouble(options_.estimate_threshold, 0);
+  }
+  return name;
+}
+
+}  // namespace core
+}  // namespace metaprobe

@@ -1,0 +1,65 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_CORE_QUERY_CLASS_H_
+#define METAPROBE_CORE_QUERY_CLASS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/query.h"
+
+namespace metaprobe {
+namespace core {
+
+/// \brief Dense index of a query type; valid values are
+/// [0, QueryTypeClassifier::num_types()).
+using QueryTypeId = std::uint32_t;
+
+/// \brief Configuration of the query-type decision tree (Section 4.1).
+struct QueryClassOptions {
+  /// Split queries by keyword count (the estimator errs more on longer
+  /// conjunctions). Counts are clamped into [min_terms, max_terms].
+  bool split_by_term_count = true;
+  int min_terms = 2;
+  int max_terms = 3;
+
+  /// Split queries by the magnitude of the initial estimate r_hat(db, q):
+  /// below the threshold the database likely lacks the topic (errors skew
+  /// negative, true count usually 0); above it keyword correlation usually
+  /// pushes the true count higher (errors skew positive). The paper found
+  /// 100 an effective threshold empirically.
+  bool split_by_estimate = true;
+  double estimate_threshold = 100.0;
+};
+
+/// \brief Classifies queries into error-homogeneous types, per database.
+///
+/// One error distribution is learned per (database, type); at query time
+/// the classifier routes the query to the ED whose sample queries behaved
+/// like it. Classification is database-dependent through `r_hat`: the same
+/// query can be high-estimate on PubMed and low-estimate on a sports site.
+class QueryTypeClassifier {
+ public:
+  explicit QueryTypeClassifier(QueryClassOptions options = {});
+
+  /// \brief Type of `query` on a database where it has estimate `r_hat`.
+  QueryTypeId Classify(const Query& query, double r_hat) const;
+
+  /// \brief Total number of types this configuration produces.
+  std::uint32_t num_types() const;
+
+  /// \brief Human-readable description, e.g. "2-term, r_hat>=100".
+  std::string TypeName(QueryTypeId type) const;
+
+  const QueryClassOptions& options() const { return options_; }
+
+ private:
+  int NumTermBuckets() const;
+
+  QueryClassOptions options_;
+};
+
+}  // namespace core
+}  // namespace metaprobe
+
+#endif  // METAPROBE_CORE_QUERY_CLASS_H_

@@ -1,0 +1,57 @@
+#include "core/related_selectors.h"
+
+#include <cmath>
+
+namespace metaprobe {
+namespace core {
+
+namespace {
+constexpr double kDefaultBelief = 0.4;
+}  // namespace
+
+CoriSelector::CoriSelector(std::vector<const StatSummary*> summaries)
+    : summaries_(std::move(summaries)) {
+  if (summaries_.empty()) return;
+  double total = 0.0;
+  for (const StatSummary* summary : summaries_) {
+    total += static_cast<double>(summary->database_size());
+  }
+  mean_cw_ = total / static_cast<double>(summaries_.size());
+  if (mean_cw_ <= 0.0) mean_cw_ = 1.0;
+}
+
+std::uint32_t CoriSelector::CollectionFrequency(std::string_view term) const {
+  auto it = cf_cache_.find(std::string(term));
+  if (it != cf_cache_.end()) return it->second;
+  std::uint32_t cf = 0;
+  for (const StatSummary* summary : summaries_) {
+    if (summary->DocumentFrequency(term) > 0) ++cf;
+  }
+  cf_cache_.emplace(std::string(term), cf);
+  return cf;
+}
+
+std::vector<double> CoriSelector::Score(const Query& query) const {
+  std::vector<double> scores(summaries_.size(), 0.0);
+  if (query.empty() || summaries_.empty()) return scores;
+  const double c = static_cast<double>(summaries_.size());
+  for (std::size_t db = 0; db < summaries_.size(); ++db) {
+    const StatSummary& summary = *summaries_[db];
+    double cw = static_cast<double>(summary.database_size());
+    double belief_sum = 0.0;
+    for (const std::string& term : query.terms) {
+      double df = static_cast<double>(summary.DocumentFrequency(term));
+      double cf = static_cast<double>(CollectionFrequency(term));
+      double t_component = df / (df + 50.0 + 150.0 * cw / mean_cw_);
+      double i_component =
+          cf > 0.0 ? std::log((c + 0.5) / cf) / std::log(c + 1.0) : 0.0;
+      belief_sum += kDefaultBelief + (1.0 - kDefaultBelief) * t_component *
+                                         i_component;
+    }
+    scores[db] = belief_sum / static_cast<double>(query.num_terms());
+  }
+  return scores;
+}
+
+}  // namespace core
+}  // namespace metaprobe

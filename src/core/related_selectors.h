@@ -1,0 +1,58 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_CORE_RELATED_SELECTORS_H_
+#define METAPROBE_CORE_RELATED_SELECTORS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/query.h"
+#include "core/summary.h"
+
+namespace metaprobe {
+namespace core {
+
+/// \brief The CORI database-ranking function (Callan, Lu & Croft, SIGIR'95)
+/// — the strongest classic summary-based selector and the standard
+/// comparator in the metasearch literature contemporary with the paper.
+///
+/// Scores database db for query q as the mean belief over keywords:
+///
+///   T = df / (df + 50 + 150 * cw / mean_cw)
+///   I = log((C + 0.5) / cf) / log(C + 1.0)
+///   belief(t, db) = d_b + (1 - d_b) * T * I,   d_b = 0.4
+///
+/// where C is the number of mediated databases, cf the number of databases
+/// whose summary contains t, and cw the database's size (document count as
+/// the standard proxy when collection word counts are unavailable).
+///
+/// Unlike the relevancy estimators, CORI needs *cross-database* statistics
+/// (cf, mean_cw), so it is constructed over the full summary set.
+class CoriSelector {
+ public:
+  /// \param summaries one summary per mediated database (not owned; must
+  ///   outlive the selector).
+  explicit CoriSelector(std::vector<const StatSummary*> summaries);
+
+  /// \brief CORI belief score per database, aligned with the constructor's
+  /// summary order. Rank descending to select.
+  std::vector<double> Score(const Query& query) const;
+
+  /// \brief Number of databases whose summary contains `term`.
+  std::uint32_t CollectionFrequency(std::string_view term) const;
+
+  std::size_t num_databases() const { return summaries_.size(); }
+
+ private:
+  std::vector<const StatSummary*> summaries_;
+  double mean_cw_ = 1.0;
+  // cf is computed lazily per term and memoized: the vocabulary union is
+  // large and queries touch a tiny fraction of it.
+  mutable std::unordered_map<std::string, std::uint32_t> cf_cache_;
+};
+
+}  // namespace core
+}  // namespace metaprobe
+
+#endif  // METAPROBE_CORE_RELATED_SELECTORS_H_

@@ -1,0 +1,35 @@
+#include "core/relevancy_definition.h"
+
+#include "common/macros.h"
+
+namespace metaprobe {
+namespace core {
+
+const char* RelevancyDefinitionName(RelevancyDefinition definition) {
+  switch (definition) {
+    case RelevancyDefinition::kDocumentFrequency:
+      return "document-frequency";
+    case RelevancyDefinition::kDocumentSimilarity:
+      return "document-similarity";
+  }
+  return "?";
+}
+
+Result<double> ProbeRelevancy(const HiddenWebDatabase& database,
+                              const Query& query,
+                              RelevancyDefinition definition) {
+  switch (definition) {
+    case RelevancyDefinition::kDocumentFrequency: {
+      ASSIGN_OR_RETURN(std::uint64_t count, database.CountMatches(query));
+      return static_cast<double>(count);
+    }
+    case RelevancyDefinition::kDocumentSimilarity: {
+      ASSIGN_OR_RETURN(std::vector<SearchHit> hits, database.Search(query, 1));
+      return hits.empty() ? 0.0 : hits.front().score;
+    }
+  }
+  return Status::InvalidArgument("unknown relevancy definition");
+}
+
+}  // namespace core
+}  // namespace metaprobe

@@ -1,0 +1,37 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_CORE_RELEVANCY_DEFINITION_H_
+#define METAPROBE_CORE_RELEVANCY_DEFINITION_H_
+
+#include "common/result.h"
+#include "core/hidden_web_database.h"
+#include "core/query.h"
+
+namespace metaprobe {
+namespace core {
+
+/// \brief Which notion of database relevancy r(db, q) is in force
+/// (Section 2.1 of the paper).
+enum class RelevancyDefinition {
+  /// r(db, q) = number of documents matching all query keywords; probed by
+  /// reading the "N results found" line of the answer page.
+  kDocumentFrequency,
+  /// r(db, q) = similarity of the single most relevant document (tf-idf
+  /// cosine); probed by downloading the top result and scoring it.
+  kDocumentSimilarity,
+};
+
+const char* RelevancyDefinitionName(RelevancyDefinition definition);
+
+/// \brief Issues `query` to `database` and returns its exact relevancy
+/// under `definition` — the probe primitive of Section 3.4, unified across
+/// both definitions. All probabilistic machinery downstream (EDs, RDs,
+/// expected correctness, APro) is definition-agnostic.
+Result<double> ProbeRelevancy(const HiddenWebDatabase& database,
+                              const Query& query,
+                              RelevancyDefinition definition);
+
+}  // namespace core
+}  // namespace metaprobe
+
+#endif  // METAPROBE_CORE_RELEVANCY_DEFINITION_H_

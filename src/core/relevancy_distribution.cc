@@ -1,0 +1,39 @@
+#include "core/relevancy_distribution.h"
+
+#include <algorithm>
+
+namespace metaprobe {
+namespace core {
+
+RelevancyDistribution RelevancyDistribution::FromEstimate(
+    double r_hat, const ErrorDistribution& ed) {
+  if (ed.empty()) {
+    RelevancyDistribution rd;
+    rd.dist = stats::DiscreteDistribution::Impulse(std::max(r_hat, 0.0));
+    rd.estimate = r_hat;
+    return rd;
+  }
+  return FromErrorDist(r_hat, ed.ToDistribution());
+}
+
+RelevancyDistribution RelevancyDistribution::FromErrorDist(
+    double r_hat, const stats::DiscreteDistribution& errors) {
+  r_hat = std::max(r_hat, 0.0);
+  const double denom = std::max(r_hat, 1.0);
+  RelevancyDistribution rd;
+  rd.estimate = r_hat;
+  rd.dist = errors.MapValues(
+      [&](double err) { return std::max(0.0, r_hat + err * denom); });
+  return rd;
+}
+
+RelevancyDistribution RelevancyDistribution::Probed(double actual) {
+  RelevancyDistribution rd;
+  rd.dist = stats::DiscreteDistribution::Impulse(std::max(actual, 0.0));
+  rd.probed = true;
+  rd.estimate = actual;
+  return rd;
+}
+
+}  // namespace core
+}  // namespace metaprobe

@@ -1,0 +1,45 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_CORE_RELEVANCY_DISTRIBUTION_H_
+#define METAPROBE_CORE_RELEVANCY_DISTRIBUTION_H_
+
+#include "core/error_distribution.h"
+#include "stats/discrete_distribution.h"
+
+namespace metaprobe {
+namespace core {
+
+/// \brief The probabilistic belief about one database's true relevancy to
+/// the current query — the paper's RD (Section 3.1, Figure 5).
+///
+/// Derived from the point estimate and the database's error distribution by
+/// inverting Eq. 2: for each error atom e,
+///
+///   r = max(0, r_hat + e * max(r_hat, 1))
+///
+/// (the same unit-floored denominator used when the errors were observed).
+/// After a probe the RD collapses to an impulse at the observed relevancy.
+struct RelevancyDistribution {
+  stats::DiscreteDistribution dist;
+  /// True once the database has been probed for this query.
+  bool probed = false;
+  /// The point estimate r_hat the RD was derived from (reporting only).
+  double estimate = 0.0;
+
+  /// \brief Derives the RD for a query with estimate `r_hat` from `ed`.
+  /// An empty ED yields an impulse at r_hat (estimator trusted as-is).
+  static RelevancyDistribution FromEstimate(double r_hat,
+                                            const ErrorDistribution& ed);
+
+  /// \brief Derives the RD from an explicit discrete error distribution.
+  static RelevancyDistribution FromErrorDist(
+      double r_hat, const stats::DiscreteDistribution& errors);
+
+  /// \brief RD of a probed database: all mass at the observed relevancy.
+  static RelevancyDistribution Probed(double actual);
+};
+
+}  // namespace core
+}  // namespace metaprobe
+
+#endif  // METAPROBE_CORE_RELEVANCY_DISTRIBUTION_H_

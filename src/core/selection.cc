@@ -1,0 +1,35 @@
+#include "core/selection.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace metaprobe {
+namespace core {
+
+SelectionResult SelectByEstimate(const std::vector<double>& estimates,
+                                 int k) {
+  SelectionResult result;
+  if (k <= 0 || estimates.empty()) return result;
+  std::vector<std::size_t> order(estimates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (estimates[a] != estimates[b]) return estimates[a] > estimates[b];
+    return a < b;
+  });
+  order.resize(std::min(order.size(), static_cast<std::size_t>(k)));
+  std::sort(order.begin(), order.end());
+  result.databases = std::move(order);
+  return result;
+}
+
+SelectionResult SelectByRd(const TopKModel& model, int k,
+                           CorrectnessMetric metric, int search_width) {
+  TopKModel::BestSet best = model.FindBestSet(k, metric, search_width);
+  SelectionResult result;
+  result.databases = std::move(best.members);
+  result.expected_correctness = best.expected_correctness;
+  return result;
+}
+
+}  // namespace core
+}  // namespace metaprobe

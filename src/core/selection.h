@@ -1,0 +1,35 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_CORE_SELECTION_H_
+#define METAPROBE_CORE_SELECTION_H_
+
+#include <vector>
+
+#include "core/correctness.h"
+
+namespace metaprobe {
+namespace core {
+
+/// \brief A database-selection answer: the chosen databases (ascending ids)
+/// and the method's own certainty about them (0 when the method cannot
+/// quantify certainty, as with the estimator baseline).
+struct SelectionResult {
+  std::vector<std::size_t> databases;
+  double expected_correctness = 0.0;
+};
+
+/// \brief The prior art baseline (Section 2.2): rank databases by the point
+/// estimate r_hat and take the top k, ties to the lower id. Knows nothing
+/// about its own error, hence expected_correctness is reported as 0.
+SelectionResult SelectByEstimate(const std::vector<double>& estimates, int k);
+
+/// \brief The paper's RD-based method (Section 3.3): return the k-subset
+/// with the highest expected correctness under the probabilistic relevancy
+/// model, without any probing.
+SelectionResult SelectByRd(const TopKModel& model, int k,
+                           CorrectnessMetric metric, int search_width = 4);
+
+}  // namespace core
+}  // namespace metaprobe
+
+#endif  // METAPROBE_CORE_SELECTION_H_

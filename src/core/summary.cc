@@ -1,0 +1,89 @@
+#include "core/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace metaprobe {
+namespace core {
+
+namespace {
+
+// Binomial(n, p) draw: exact Bernoulli summation for small means, normal
+// approximation (rounded, clamped) otherwise.
+std::uint32_t BinomialDraw(std::uint32_t n, double p, stats::Rng* rng) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  double mean = static_cast<double>(n) * p;
+  if (mean > 30.0 && static_cast<double>(n) * (1.0 - p) > 30.0) {
+    double stddev = std::sqrt(static_cast<double>(n) * p * (1.0 - p));
+    double draw = std::round(rng->Normal(mean, stddev));
+    return static_cast<std::uint32_t>(
+        std::clamp(draw, 0.0, static_cast<double>(n)));
+  }
+  std::uint32_t successes = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (rng->Bernoulli(p)) ++successes;
+  }
+  return successes;
+}
+
+}  // namespace
+
+StatSummary::StatSummary(std::string database_name,
+                         std::uint32_t database_size)
+    : database_name_(std::move(database_name)), database_size_(database_size) {}
+
+StatSummary StatSummary::FromIndex(std::string database_name,
+                                   const index::InvertedIndex& index) {
+  StatSummary summary(std::move(database_name), index.num_docs());
+  const text::Vocabulary& vocab = index.vocabulary();
+  for (text::TermId id = 0; id < vocab.size(); ++id) {
+    const std::string& term = vocab.TermOf(id);
+    std::uint32_t df = index.DocumentFrequency(term);
+    if (df > 0) summary.SetDocumentFrequency(term, df);
+  }
+  return summary;
+}
+
+StatSummary StatSummary::FromIndexSampled(std::string database_name,
+                                          const index::InvertedIndex& index,
+                                          double rate, stats::Rng* rng) {
+  rate = std::clamp(rate, 1e-6, 1.0);
+  StatSummary summary(std::move(database_name), index.num_docs());
+  const text::Vocabulary& vocab = index.vocabulary();
+  for (text::TermId id = 0; id < vocab.size(); ++id) {
+    const std::string& term = vocab.TermOf(id);
+    std::uint32_t df = index.DocumentFrequency(term);
+    if (df == 0) continue;
+    std::uint32_t sampled = BinomialDraw(df, rate, rng);
+    if (sampled == 0) continue;  // term never seen in the sample
+    double scaled = static_cast<double>(sampled) / rate;
+    summary.SetDocumentFrequency(
+        term, static_cast<std::uint32_t>(std::min(
+                  std::round(scaled), static_cast<double>(index.num_docs()))));
+  }
+  return summary;
+}
+
+std::uint32_t StatSummary::DocumentFrequency(std::string_view term) const {
+  auto it = df_.find(std::string(term));
+  return it == df_.end() ? 0 : it->second;
+}
+
+void StatSummary::SetDocumentFrequency(std::string_view term,
+                                       std::uint32_t df) {
+  df_[std::string(term)] = df;
+}
+
+void StatSummary::ForEachTerm(
+    const std::function<void(const std::string&, std::uint32_t)>& fn) const {
+  std::vector<const std::string*> terms;
+  terms.reserve(df_.size());
+  for (const auto& [term, df] : df_) terms.push_back(&term);
+  std::sort(terms.begin(), terms.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  for (const std::string* term : terms) fn(*term, df_.at(*term));
+}
+
+}  // namespace core
+}  // namespace metaprobe

@@ -1,0 +1,83 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_CORE_SUMMARY_H_
+#define METAPROBE_CORE_SUMMARY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "index/inverted_index.h"
+#include "stats/random.h"
+
+namespace metaprobe {
+namespace core {
+
+/// \brief Pre-collected statistical summary of one database: the
+/// (term, number-of-appearances) table of Figure 2 plus the database size.
+///
+/// Relevancy estimators consult only this summary — never the database —
+/// exactly as in the paper: the summary is collected once offline and is
+/// the sole source of the point estimate r_hat(db, q).
+class StatSummary {
+ public:
+  StatSummary(std::string database_name, std::uint32_t database_size);
+
+  /// \brief Builds an exact summary from an index (every term's true
+  /// document frequency). Models a cooperative database that exports
+  /// statistics, or an exhaustively crawled one.
+  static StatSummary FromIndex(std::string database_name,
+                               const index::InvertedIndex& index);
+
+  /// \brief Builds a noisy summary simulating query-based sampling of an
+  /// uncooperative database (Callan-style summary construction, which the
+  /// paper cites as its summary source).
+  ///
+  /// Each term's df is replaced by a Binomial(df, rate) draw scaled back by
+  /// 1/rate — the sampling noise a random `rate`-fraction document sample
+  /// would induce; terms whose sampled count is zero disappear from the
+  /// summary entirely, as they would in practice. Used by the
+  /// summary-fidelity ablation bench.
+  static StatSummary FromIndexSampled(std::string database_name,
+                                      const index::InvertedIndex& index,
+                                      double rate, stats::Rng* rng);
+
+  const std::string& database_name() const { return database_name_; }
+
+  /// \brief |db|: number of documents in the database.
+  std::uint32_t database_size() const { return database_size_; }
+
+  /// \brief Overrides the advertised database size. Real hidden-web
+  /// databases often do not export their size; metasearchers estimate it
+  /// roughly (the paper probes with common terms), so summaries routinely
+  /// carry a systematically wrong |db|. Testbeds use this to model that
+  /// distortion, which the error distributions then learn to correct.
+  void OverrideDatabaseSize(std::uint32_t size) { database_size_ = size; }
+
+  /// \brief r(db, t): documents of db containing `term` (0 when absent).
+  std::uint32_t DocumentFrequency(std::string_view term) const;
+
+  /// \brief Registers or overwrites a term's document frequency.
+  void SetDocumentFrequency(std::string_view term, std::uint32_t df);
+
+  /// \brief Number of distinct terms summarized.
+  std::size_t num_terms() const { return df_.size(); }
+
+  /// \brief Visits every (term, df) pair in lexicographic term order
+  /// (deterministic, so serialized summaries are byte-stable).
+  void ForEachTerm(
+      const std::function<void(const std::string&, std::uint32_t)>& fn) const;
+
+ private:
+  std::string database_name_;
+  std::uint32_t database_size_;
+  std::unordered_map<std::string, std::uint32_t> df_;
+};
+
+}  // namespace core
+}  // namespace metaprobe
+
+#endif  // METAPROBE_CORE_SUMMARY_H_

@@ -1,0 +1,50 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_CORPUS_DOMAIN_H_
+#define METAPROBE_CORPUS_DOMAIN_H_
+
+#include <string>
+#include <vector>
+
+namespace metaprobe {
+namespace corpus {
+
+/// \brief A thematic vocabulary used to generate topical documents.
+///
+/// `seed_terms` are ordered by intended frequency rank (rank 0 most common
+/// within the topic); the topic language model assigns them Zipf weights in
+/// this order and partitions them into latent subtopics to create realistic
+/// term co-occurrence.
+struct TopicSpec {
+  std::string name;
+  std::vector<std::string> seed_terms;
+};
+
+/// \brief Health & medicine topics (oncology, cardiology, neurology,
+/// infectious disease, pediatrics, nutrition, pharmacology, mental health).
+/// These model the paper's CompletePlanet "Health & Medicine" databases
+/// (PubMed Central, MedWeb, NIH, ...).
+std::vector<TopicSpec> HealthTopics();
+
+/// \brief Broader-science topics (physics, biology, chemistry, astronomy),
+/// modelling the Science/Nature-style databases of the testbed.
+std::vector<TopicSpec> ScienceTopics();
+
+/// \brief Daily-news topics (politics, economy, sports, weather) with
+/// health-adjacent coverage, modelling the CNN/NYTimes-style databases.
+std::vector<TopicSpec> NewsTopics();
+
+/// \brief Newsgroup-style hobbyist topics (nascar, beatles, classical
+/// recordings, springsteen, autos, photography, ...), modelling the 20 UCLA
+/// news-server groups of the sampling-size study (Section 4.2).
+std::vector<TopicSpec> NewsgroupTopics();
+
+/// \brief Looks up a topic by name across all domains; returns nullptr
+/// when absent.
+const TopicSpec* FindTopic(const std::vector<TopicSpec>& topics,
+                           const std::string& name);
+
+}  // namespace corpus
+}  // namespace metaprobe
+
+#endif  // METAPROBE_CORPUS_DOMAIN_H_

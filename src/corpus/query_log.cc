@@ -1,0 +1,108 @@
+#include "corpus/query_log.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace metaprobe {
+namespace corpus {
+
+QueryLogGenerator::QueryLogGenerator(const CorpusGenerator* generator,
+                                     std::vector<std::string> query_topics,
+                                     QueryLogOptions options)
+    : generator_(generator),
+      options_(options),
+      topic_sampler_(std::max<std::size_t>(query_topics.size(), 1),
+                     options.topic_zipf_exponent),
+      rng_(options.seed) {
+  for (const std::string& name : query_topics) {
+    const TopicLanguageModel* model = generator_->Model(name);
+    if (model != nullptr) topics_.push_back(model);
+  }
+}
+
+std::vector<std::string> QueryLogGenerator::DrawKeywords(
+    int num_terms, stats::Rng* rng) const {
+  std::vector<std::string> words;
+  const TopicLanguageModel* model = topics_[topic_sampler_.Sample(rng)];
+  bool correlated = rng->Bernoulli(options_.same_subtopic_prob);
+  std::size_t subtopic = model->SampleSubtopic(rng);
+  for (int i = 0; i < num_terms; ++i) {
+    const std::string& word = correlated
+                                  ? model->SampleSubtopicTerm(subtopic, rng)
+                                  : model->SampleTopicTerm(rng);
+    words.push_back(word);
+  }
+  // Occasionally swap one keyword for an out-of-topic or background term,
+  // producing the weakly-related and unanswerable queries real traces have.
+  if (topics_.size() > 1 && rng->Bernoulli(options_.cross_topic_prob)) {
+    std::size_t other_index = topic_sampler_.Sample(rng);
+    const TopicLanguageModel* other = topics_[other_index];
+    if (other != model) {
+      words[rng->UniformInt(words.size())] = other->SampleTopicTerm(rng);
+    }
+  }
+  if (rng->Bernoulli(options_.filler_term_prob)) {
+    words[rng->UniformInt(words.size())] =
+        generator_->filler().SampleTerm(rng);
+  }
+  return words;
+}
+
+Result<std::vector<core::Query>> QueryLogGenerator::Generate(
+    std::size_t per_term_count) {
+  if (topics_.empty()) {
+    return Status::FailedPrecondition("no query topics resolved");
+  }
+  std::vector<core::Query> queries;
+  for (int num_terms : options_.term_counts) {
+    if (num_terms < 1) {
+      return Status::InvalidArgument("term count must be >= 1, got ", num_terms);
+    }
+    std::size_t produced = 0;
+    int rejects = 0;
+    while (produced < per_term_count) {
+      if (rejects > options_.max_rejects) {
+        return Status::Internal(
+            "query generator exhausted after ", rejects,
+            " rejects; the topic vocabulary cannot supply ", per_term_count,
+            " unique ", num_terms, "-term queries");
+      }
+      std::vector<std::string> words = DrawKeywords(num_terms, &rng_);
+      core::Query query =
+          core::ParseQuery(generator_->analyzer(), JoinStrings(words, " "));
+      // Require exactly num_terms distinct analyzed keywords: duplicated
+      // stems or stopword-collapsed keywords would change the query type.
+      std::vector<std::string> sorted = query.terms;
+      std::sort(sorted.begin(), sorted.end());
+      sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+      if (static_cast<int>(sorted.size()) != num_terms) {
+        ++rejects;
+        continue;
+      }
+      std::string key = core::QueryKey(query);
+      if (!issued_keys_.insert(key).second) {
+        ++rejects;
+        continue;
+      }
+      queries.push_back(std::move(query));
+      ++produced;
+      rejects = 0;
+    }
+  }
+  return queries;
+}
+
+Result<std::pair<std::vector<core::Query>, std::vector<core::Query>>>
+QueryLogGenerator::GenerateSplit(std::size_t train_per_term_count,
+                                 std::size_t test_per_term_count) {
+  ASSIGN_OR_RETURN(std::vector<core::Query> train,
+                   Generate(train_per_term_count));
+  ASSIGN_OR_RETURN(std::vector<core::Query> test,
+                   Generate(test_per_term_count));
+  return std::make_pair(std::move(train), std::move(test));
+}
+
+}  // namespace corpus
+}  // namespace metaprobe

@@ -1,0 +1,84 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_CORPUS_QUERY_LOG_H_
+#define METAPROBE_CORPUS_QUERY_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "core/query.h"
+#include "corpus/synthetic_corpus.h"
+
+namespace metaprobe {
+namespace corpus {
+
+/// \brief Knobs of the synthetic web-query trace.
+struct QueryLogOptions {
+  /// Keyword counts to generate and how many unique queries of each; the
+  /// paper's traces are dominated by 2- and 3-term queries (web queries
+  /// average 2.2 terms).
+  std::vector<int> term_counts = {2, 3};
+  /// Probability that all keywords come from one latent subtopic, i.e. the
+  /// query hits positively-correlated terms ("breast cancer").
+  double same_subtopic_prob = 0.55;
+  /// Probability that one keyword is replaced by a term from a different
+  /// topic (yielding rare or zero co-occurrence).
+  double cross_topic_prob = 0.18;
+  /// Probability that one keyword is replaced by a background filler term.
+  double filler_term_prob = 0.08;
+  /// Zipf exponent over topic popularity in the trace.
+  double topic_zipf_exponent = 0.8;
+  std::uint64_t seed = 99;
+  /// Give up after this many consecutive rejected candidates (duplicates /
+  /// degenerate analyses) before reporting failure.
+  int max_rejects = 200000;
+};
+
+/// \brief Generates deduplicated keyword-query traces against a
+/// CorpusGenerator's topic language, substituting for the paper's
+/// one-month Overture trace filtered to health-care vocabulary.
+///
+/// Query keywords are drawn from the *query domain* topics (a subset of the
+/// generator's topics, e.g. only the health topics for the Section 6
+/// testbed) with controlled subtopic correlation, so traces contain the
+/// full spectrum the paper relies on: strongly correlated pairs, weakly
+/// related pairs, off-topic and unanswerable queries.
+class QueryLogGenerator {
+ public:
+  /// \param generator source of topic models (not owned; must outlive this)
+  /// \param query_topics names of topics queries may draw keywords from
+  QueryLogGenerator(const CorpusGenerator* generator,
+                    std::vector<std::string> query_topics,
+                    QueryLogOptions options);
+
+  /// \brief Generates `per_term_count` unique queries for each configured
+  /// term count (e.g. 1000 two-term + 1000 three-term).
+  Result<std::vector<core::Query>> Generate(std::size_t per_term_count);
+
+  /// \brief Generates two disjoint query sets in one pass (the paper's
+  /// Q_train / Q_test discipline: test queries never seen in training).
+  Result<std::pair<std::vector<core::Query>, std::vector<core::Query>>>
+  GenerateSplit(std::size_t train_per_term_count,
+                std::size_t test_per_term_count);
+
+ private:
+  /// Draws one candidate raw query with `num_terms` keywords.
+  std::vector<std::string> DrawKeywords(int num_terms, stats::Rng* rng) const;
+
+  const CorpusGenerator* generator_;
+  std::vector<const TopicLanguageModel*> topics_;
+  QueryLogOptions options_;
+  stats::ZipfSampler topic_sampler_;
+  stats::Rng rng_;
+  // Keys of every query handed out, so repeated Generate calls stay
+  // mutually disjoint.
+  std::unordered_set<std::string> issued_keys_;
+};
+
+}  // namespace corpus
+}  // namespace metaprobe
+
+#endif  // METAPROBE_CORPUS_QUERY_LOG_H_

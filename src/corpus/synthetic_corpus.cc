@@ -1,0 +1,132 @@
+#include "corpus/synthetic_corpus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace metaprobe {
+namespace corpus {
+
+CorpusGenerator::CorpusGenerator(std::vector<TopicSpec> topics,
+                                 Options options,
+                                 const text::Analyzer* analyzer)
+    : filler_(options.filler_vocab_size, options.filler_zipf_exponent,
+              options.filler_seed),
+      analyzer_(analyzer) {
+  models_.reserve(topics.size());
+  for (TopicSpec& spec : topics) {
+    model_by_name_[spec.name] = models_.size();
+    models_.emplace_back(std::move(spec), options.topic_model);
+  }
+}
+
+const TopicLanguageModel* CorpusGenerator::Model(
+    const std::string& name) const {
+  auto it = model_by_name_.find(name);
+  return it == model_by_name_.end() ? nullptr : &models_[it->second];
+}
+
+const std::string& CorpusGenerator::AnalyzeCached(
+    const std::string& token) const {
+  auto it = analyze_cache_.find(token);
+  if (it != analyze_cache_.end()) return it->second;
+  std::string analyzed = analyzer_->AnalyzeTerm(token);
+  return analyze_cache_.emplace(token, std::move(analyzed)).first->second;
+}
+
+Result<GeneratedDatabase> CorpusGenerator::Generate(
+    const DatabaseSpec& spec) const {
+  if (spec.mixture.empty()) {
+    return Status::InvalidArgument("database '", spec.name,
+                                   "' has an empty topic mixture");
+  }
+  if (spec.num_docs == 0) {
+    return Status::InvalidArgument("database '", spec.name, "' has no docs");
+  }
+  // Database-specific affinity overrides get private model copies.
+  std::vector<TopicLanguageModel> local_models;
+  if (spec.subtopic_affinity >= 0.0) {
+    local_models.reserve(spec.mixture.size());
+  }
+  std::vector<const TopicLanguageModel*> mixture_models;
+  std::vector<double> mixture_weights;
+  for (const TopicMixture& component : spec.mixture) {
+    const TopicLanguageModel* model = Model(component.topic);
+    if (model == nullptr) {
+      return Status::NotFound("unknown topic '", component.topic,
+                              "' in database '", spec.name, "'");
+    }
+    if (spec.subtopic_affinity >= 0.0) {
+      local_models.push_back(model->WithAffinity(spec.subtopic_affinity));
+      model = &local_models.back();
+    }
+    mixture_models.push_back(model);
+    mixture_weights.push_back(component.weight);
+  }
+  stats::WeightedSampler topic_sampler(std::move(mixture_weights));
+  stats::Rng rng(spec.seed);
+
+  GeneratedDatabase out;
+  out.name = spec.name;
+  if (spec.store_documents) {
+    out.documents = std::make_shared<index::DocumentStore>();
+  }
+
+  index::InvertedIndex::Builder builder;
+  std::vector<std::string> doc_terms;
+  std::string raw_text;
+  for (std::uint32_t d = 0; d < spec.num_docs; ++d) {
+    const TopicLanguageModel* doc_model =
+        mixture_models[topic_sampler.Sample(&rng)];
+    std::size_t subtopic =
+        (doc_model->SampleSubtopic(&rng) + spec.subtopic_rotation) %
+        doc_model->num_subtopics();
+    const bool focused = rng.Bernoulli(spec.doc_focus);
+    double len = rng.LogNormal(spec.doc_length_mu, spec.doc_length_sigma);
+    std::uint32_t length = static_cast<std::uint32_t>(std::lround(
+        std::clamp(len, static_cast<double>(spec.min_doc_length),
+                   static_cast<double>(spec.max_doc_length))));
+
+    doc_terms.clear();
+    if (spec.store_documents) raw_text.clear();
+    for (std::uint32_t t = 0; t < length; ++t) {
+      const std::string* token = nullptr;
+      if (rng.Bernoulli(spec.topical_fraction)) {
+        if (focused) {
+          token = &doc_model->SampleTerm(subtopic, &rng);
+        } else {
+          // Mixed document: each topical token draws its topic afresh, so
+          // terms of different topics co-occur at independence rates.
+          const TopicLanguageModel* token_model =
+              mixture_models[topic_sampler.Sample(&rng)];
+          token = &token_model->SampleTopicTerm(&rng);
+        }
+      } else {
+        token = &filler_.SampleTerm(&rng);
+      }
+      if (spec.store_documents) {
+        if (!raw_text.empty()) raw_text += ' ';
+        raw_text += *token;
+      }
+      const std::string& analyzed = AnalyzeCached(*token);
+      if (!analyzed.empty()) doc_terms.push_back(analyzed);
+    }
+    index::DocId id = builder.AddDocument(doc_terms);
+    if (spec.store_documents) {
+      index::Document doc;
+      doc.title = spec.name + " #" + std::to_string(id) + " (" +
+                  doc_model->name() + ")";
+      doc.body = raw_text;
+      index::DocId stored = out.documents->Add(std::move(doc));
+      if (stored != id) {
+        return Status::Internal("document store out of sync with index");
+      }
+    }
+  }
+  ASSIGN_OR_RETURN(out.index, std::move(builder).Build());
+  return out;
+}
+
+}  // namespace corpus
+}  // namespace metaprobe

@@ -1,0 +1,123 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_CORPUS_SYNTHETIC_CORPUS_H_
+#define METAPROBE_CORPUS_SYNTHETIC_CORPUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "corpus/domain.h"
+#include "corpus/topic_model.h"
+#include "index/document_store.h"
+#include "index/inverted_index.h"
+#include "stats/random.h"
+#include "text/analyzer.h"
+
+namespace metaprobe {
+namespace corpus {
+
+/// \brief One component of a database's topical blend.
+struct TopicMixture {
+  std::string topic;
+  double weight = 1.0;
+};
+
+/// \brief Recipe for one synthetic hidden-web database.
+struct DatabaseSpec {
+  std::string name;
+  std::uint32_t num_docs = 1000;
+  /// Topics this database covers, with relative weights. Each document is
+  /// generated from one topic drawn from this mixture.
+  std::vector<TopicMixture> mixture;
+  /// Fraction of each document's tokens drawn from its topic model; the
+  /// remainder comes from the shared filler vocabulary.
+  double topical_fraction = 0.55;
+  /// Database-specific subtopic affinity (co-occurrence strength); < 0
+  /// keeps the generator's default. Varying this across databases is what
+  /// makes the term-independence estimator err non-uniformly, the central
+  /// phenomenon of the paper.
+  double subtopic_affinity = -1.0;
+  /// Rotates which subtopics are popular in this database: document
+  /// subtopics are offset by this amount modulo the subtopic count, so two
+  /// databases on the same topic emphasize different co-occurring term
+  /// clusters.
+  std::size_t subtopic_rotation = 0;
+  /// Probability that a document is *focused* (all topical tokens from one
+  /// topic drawn per document) rather than *mixed* (every topical token
+  /// draws its topic from the database mixture independently). Focused
+  /// documents create term co-occurrence above independence; mixed ones do
+  /// not, so this knob sets how strongly the database violates the
+  /// term-independence assumption.
+  double doc_focus = 1.0;
+  /// Document length ~ lognormal(mu, sigma), clamped to [min, max].
+  double doc_length_mu = 4.25;     // median ~70 tokens
+  double doc_length_sigma = 0.45;
+  std::uint32_t min_doc_length = 20;
+  std::uint32_t max_doc_length = 400;
+  /// Keep raw document text for fusion/snippets (memory cost).
+  bool store_documents = false;
+  std::uint64_t seed = 1;
+};
+
+/// \brief A generated database: its searchable index plus optional raw text.
+struct GeneratedDatabase {
+  std::string name;
+  index::InvertedIndex index;
+  std::shared_ptr<index::DocumentStore> documents;  // null unless requested
+};
+
+/// \brief Generates synthetic topical databases.
+///
+/// This is the substitute for the paper's real CompletePlanet / newsgroup
+/// corpora (see DESIGN.md): topic mixtures with latent subtopics produce
+/// databases whose term co-occurrence deviates from independence in
+/// database-specific ways, which is the behaviour the probabilistic
+/// relevancy model is designed to capture.
+///
+/// One generator instance owns the topic models and the shared filler
+/// vocabulary, so several databases and the query log are generated against
+/// a consistent language. Generation is deterministic given the specs'
+/// seeds.
+class CorpusGenerator {
+ public:
+  struct Options {
+    TopicModelOptions topic_model;
+    std::size_t filler_vocab_size = 3000;
+    double filler_zipf_exponent = 1.05;
+    std::uint64_t filler_seed = 7777;
+  };
+
+  CorpusGenerator(std::vector<TopicSpec> topics, Options options,
+                  const text::Analyzer* analyzer);
+
+  /// \brief Generates a database per `spec`. Fails on an unknown topic name
+  /// or an empty mixture.
+  Result<GeneratedDatabase> Generate(const DatabaseSpec& spec) const;
+
+  /// \brief Topic model registered for `name`; nullptr when unknown.
+  const TopicLanguageModel* Model(const std::string& name) const;
+
+  const std::vector<TopicLanguageModel>& models() const { return models_; }
+  const FillerVocabulary& filler() const { return filler_; }
+  const text::Analyzer& analyzer() const { return *analyzer_; }
+
+  /// \brief Analyzes one generated token with memoization (the hot path of
+  /// generation; stemming dominates otherwise). Returns "" for stopwords.
+  const std::string& AnalyzeCached(const std::string& token) const;
+
+ private:
+  std::vector<TopicLanguageModel> models_;
+  std::unordered_map<std::string, std::size_t> model_by_name_;
+  FillerVocabulary filler_;
+  const text::Analyzer* analyzer_;
+  mutable std::unordered_map<std::string, std::string> analyze_cache_;
+};
+
+}  // namespace corpus
+}  // namespace metaprobe
+
+#endif  // METAPROBE_CORPUS_SYNTHETIC_CORPUS_H_

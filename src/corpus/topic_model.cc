@@ -1,0 +1,120 @@
+#include "corpus/topic_model.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace metaprobe {
+namespace corpus {
+
+namespace {
+
+TopicModelOptions Sanitize(TopicModelOptions options) {
+  if (options.num_subtopics == 0) options.num_subtopics = 1;
+  return options;
+}
+
+}  // namespace
+
+TopicLanguageModel::TopicLanguageModel(TopicSpec spec,
+                                       TopicModelOptions options)
+    : spec_(std::move(spec)),
+      options_(Sanitize(options)),
+      subtopic_prior_(options_.num_subtopics, options_.subtopic_zipf_exponent),
+      whole_topic_sampler_(spec_.seed_terms.size(), options_.zipf_exponent) {
+  subtopic_ranks_.resize(options_.num_subtopics);
+  for (std::size_t rank = 0; rank < spec_.seed_terms.size(); ++rank) {
+    subtopic_ranks_[SubtopicOf(rank)].push_back(rank);
+  }
+  subtopic_samplers_.reserve(options_.num_subtopics);
+  for (std::size_t s = 0; s < options_.num_subtopics; ++s) {
+    std::vector<double> weights;
+    weights.reserve(subtopic_ranks_[s].size());
+    for (std::size_t rank : subtopic_ranks_[s]) {
+      weights.push_back(
+          1.0 / std::pow(static_cast<double>(rank + 1), options_.zipf_exponent));
+    }
+    subtopic_samplers_.emplace_back(std::move(weights));
+  }
+}
+
+std::size_t TopicLanguageModel::SampleSubtopic(stats::Rng* rng) const {
+  return subtopic_prior_.Sample(rng);
+}
+
+const std::string& TopicLanguageModel::SampleTerm(std::size_t subtopic,
+                                                  stats::Rng* rng) const {
+  subtopic %= options_.num_subtopics;
+  if (!subtopic_ranks_[subtopic].empty() &&
+      rng->Bernoulli(options_.subtopic_affinity)) {
+    std::size_t within = subtopic_samplers_[subtopic].Sample(rng);
+    return spec_.seed_terms[subtopic_ranks_[subtopic][within]];
+  }
+  return spec_.seed_terms[whole_topic_sampler_.Sample(rng)];
+}
+
+const std::string& TopicLanguageModel::SampleSubtopicTerm(
+    std::size_t subtopic, stats::Rng* rng) const {
+  subtopic %= options_.num_subtopics;
+  if (subtopic_ranks_[subtopic].empty()) return SampleTopicTerm(rng);
+  std::size_t within = subtopic_samplers_[subtopic].Sample(rng);
+  return spec_.seed_terms[subtopic_ranks_[subtopic][within]];
+}
+
+const std::string& TopicLanguageModel::SampleTopicTerm(stats::Rng* rng) const {
+  return spec_.seed_terms[whole_topic_sampler_.Sample(rng)];
+}
+
+std::vector<std::size_t> TopicLanguageModel::SubtopicTermRanks(
+    std::size_t subtopic) const {
+  subtopic %= options_.num_subtopics;
+  return subtopic_ranks_[subtopic];
+}
+
+TopicLanguageModel TopicLanguageModel::WithAffinity(double affinity) const {
+  TopicModelOptions options = options_;
+  options.subtopic_affinity = affinity;
+  return TopicLanguageModel(spec_, options);
+}
+
+namespace {
+
+// Deterministic pronounceable pseudo-word from an index and an Rng stream.
+std::string MakePseudoWord(stats::Rng* rng) {
+  static constexpr const char* kOnsets[] = {
+      "b", "br", "c", "cl", "d", "dr", "f", "fl", "g", "gr", "h",  "j",
+      "k", "l",  "m", "n",  "p", "pl", "r", "s",  "st", "t", "tr", "v"};
+  static constexpr const char* kVowels[] = {"a", "e", "i", "o", "u", "ai",
+                                            "ea", "io", "ou", "oa"};
+  static constexpr const char* kCodas[] = {"", "n", "r", "s", "l", "m",
+                                           "nd", "rt", "x", "ck"};
+  std::size_t syllables = 2 + rng->UniformInt(std::uint64_t{2});  // 2-3
+  std::string word;
+  for (std::size_t s = 0; s < syllables; ++s) {
+    word += kOnsets[rng->UniformInt(std::uint64_t{std::size(kOnsets)})];
+    word += kVowels[rng->UniformInt(std::uint64_t{std::size(kVowels)})];
+  }
+  word += kCodas[rng->UniformInt(std::uint64_t{std::size(kCodas)})];
+  return word;
+}
+
+}  // namespace
+
+FillerVocabulary::FillerVocabulary(std::size_t size, double zipf_exponent,
+                                   std::uint64_t seed)
+    : sampler_(size == 0 ? 1 : size, zipf_exponent) {
+  if (size == 0) size = 1;
+  stats::Rng rng(seed);
+  std::unordered_set<std::string> seen;
+  terms_.reserve(size);
+  while (terms_.size() < size) {
+    std::string word = MakePseudoWord(&rng);
+    if (seen.insert(word).second) terms_.push_back(std::move(word));
+  }
+}
+
+const std::string& FillerVocabulary::SampleTerm(stats::Rng* rng) const {
+  return terms_[sampler_.Sample(rng)];
+}
+
+}  // namespace corpus
+}  // namespace metaprobe

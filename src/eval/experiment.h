@@ -1,0 +1,95 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_EVAL_EXPERIMENT_H_
+#define METAPROBE_EVAL_EXPERIMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/metasearcher.h"
+#include "core/probing.h"
+#include "eval/golden.h"
+#include "eval/testbed.h"
+
+namespace metaprobe {
+namespace eval {
+
+/// \brief A fully trained experiment environment: testbed + trained
+/// metasearcher + golden standard over the test queries. The shared input
+/// of the Figure 15/16/17 benches and the ablations.
+struct TrainedWorld {
+  Testbed testbed;
+  std::unique_ptr<core::Metasearcher> metasearcher;
+  std::unique_ptr<GoldenStandard> golden;
+
+  std::size_t num_test_queries() const { return testbed.test_queries.size(); }
+};
+
+/// \brief Builds the Section 6 health testbed, trains a metasearcher on the
+/// train split, and probes the golden standard for the test split.
+Result<TrainedWorld> BuildTrainedHealthWorld(
+    const TestbedOptions& testbed_options,
+    core::MetasearcherOptions searcher_options = {});
+
+/// \brief Average absolute and partial correctness of a selection method.
+struct CorrectnessScores {
+  double avg_absolute = 0.0;
+  double avg_partial = 0.0;
+};
+
+/// \brief Scores the term-independence baseline (rank by r_hat) on all test
+/// queries against the golden standard.
+CorrectnessScores EvaluateBaseline(const TrainedWorld& world, int k);
+
+/// \brief Scores the RD-based method (no probing) on all test queries.
+CorrectnessScores EvaluateRdBased(const TrainedWorld& world, int k,
+                                  core::CorrectnessMetric metric);
+
+/// \brief Average correctness of APro's reported best answer after exactly
+/// 0, 1, ..., max_probes probes (Figure 16's series). Uses the first
+/// `query_limit` test queries (0 = all).
+///
+/// Runs with threshold 1.0 and trace recording; when APro reaches full
+/// certainty early, the answer is already exact and later probe counts
+/// reuse the final answer.
+std::vector<CorrectnessScores> EvaluateProbingTrace(
+    const TrainedWorld& world, int k, core::CorrectnessMetric metric,
+    core::ProbingPolicy* policy, int max_probes, std::size_t query_limit = 0);
+
+/// \brief Result of one threshold sweep point (Figure 17).
+struct ThresholdPoint {
+  double threshold = 0.0;
+  double avg_probes = 0.0;
+  double avg_correctness = 0.0;  ///< Realized (not expected) correctness.
+  double reached_fraction = 0.0;
+};
+
+/// \brief Average number of probes APro spends to reach each threshold.
+std::vector<ThresholdPoint> EvaluateThresholdSweep(
+    const TrainedWorld& world, int k, core::CorrectnessMetric metric,
+    core::ProbingPolicy* policy, const std::vector<double>& thresholds,
+    std::size_t query_limit = 0);
+
+/// \brief Standard scale knobs every bench reads from the environment:
+/// METAPROBE_SCALE (database size multiplier), METAPROBE_TRAIN /
+/// METAPROBE_TEST (queries per term count), METAPROBE_QUERY_LIMIT
+/// (cap on test queries evaluated in probe-heavy sweeps), METAPROBE_SEED.
+struct BenchScale {
+  std::uint32_t scale = 1;
+  std::size_t train_per_term = 1000;
+  std::size_t test_per_term = 1000;
+  std::size_t query_limit = 300;
+  std::uint64_t seed = 42;
+};
+
+/// \brief Reads the knobs and logs the effective configuration.
+BenchScale ReadBenchScale();
+
+/// \brief TestbedOptions matching a BenchScale.
+TestbedOptions ToTestbedOptions(const BenchScale& scale);
+
+}  // namespace eval
+}  // namespace metaprobe
+
+#endif  // METAPROBE_EVAL_EXPERIMENT_H_

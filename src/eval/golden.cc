@@ -1,0 +1,33 @@
+#include "eval/golden.h"
+
+#include "common/macros.h"
+#include "core/correctness.h"
+
+namespace metaprobe {
+namespace eval {
+
+Result<GoldenStandard> GoldenStandard::Build(
+    const std::vector<const core::HiddenWebDatabase*>& databases,
+    const std::vector<core::Query>& queries,
+    core::RelevancyDefinition definition) {
+  std::vector<std::vector<double>> relevancies;
+  relevancies.reserve(queries.size());
+  for (const core::Query& query : queries) {
+    std::vector<double> row;
+    row.reserve(databases.size());
+    for (const core::HiddenWebDatabase* db : databases) {
+      ASSIGN_OR_RETURN(double relevancy,
+                       core::ProbeRelevancy(*db, query, definition));
+      row.push_back(relevancy);
+    }
+    relevancies.push_back(std::move(row));
+  }
+  return GoldenStandard(std::move(relevancies));
+}
+
+std::vector<std::size_t> GoldenStandard::TopK(std::size_t q, int k) const {
+  return core::TopKIndices(relevancies_[q], k);
+}
+
+}  // namespace eval
+}  // namespace metaprobe

@@ -1,0 +1,56 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_EVAL_GOLDEN_H_
+#define METAPROBE_EVAL_GOLDEN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/hidden_web_database.h"
+#include "core/query.h"
+#include "core/relevancy_definition.h"
+
+namespace metaprobe {
+namespace eval {
+
+/// \brief The golden standard of Section 6.1: every test query issued to
+/// every database, recording the true relevancies, so any selection
+/// method's answer can be scored exactly.
+class GoldenStandard {
+ public:
+  /// \brief Probes all databases with all queries under `definition`.
+  static Result<GoldenStandard> Build(
+      const std::vector<const core::HiddenWebDatabase*>& databases,
+      const std::vector<core::Query>& queries,
+      core::RelevancyDefinition definition =
+          core::RelevancyDefinition::kDocumentFrequency);
+
+  std::size_t num_queries() const { return relevancies_.size(); }
+  std::size_t num_databases() const {
+    return relevancies_.empty() ? 0 : relevancies_[0].size();
+  }
+
+  /// \brief True relevancy r(db, q) for query `q` and database `db`.
+  double Relevancy(std::size_t q, std::size_t db) const {
+    return relevancies_[q][db];
+  }
+
+  /// \brief All true relevancies for query `q`.
+  const std::vector<double>& Relevancies(std::size_t q) const {
+    return relevancies_[q];
+  }
+
+  /// \brief DB_topk for query `q` (ascending ids, lowest-id tie-break).
+  std::vector<std::size_t> TopK(std::size_t q, int k) const;
+
+ private:
+  explicit GoldenStandard(std::vector<std::vector<double>> relevancies)
+      : relevancies_(std::move(relevancies)) {}
+
+  std::vector<std::vector<double>> relevancies_;  // [query][database]
+};
+
+}  // namespace eval
+}  // namespace metaprobe
+
+#endif  // METAPROBE_EVAL_GOLDEN_H_

@@ -1,0 +1,93 @@
+#include "eval/sampling_study.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/macros.h"
+#include "core/error_distribution.h"
+#include "core/estimator.h"
+#include "core/summary.h"
+#include "stats/chi_square.h"
+#include "stats/random.h"
+
+namespace metaprobe {
+namespace eval {
+
+Result<std::vector<DbGoodness>> RunSamplingStudy(
+    const Testbed& testbed, const SamplingStudyOptions& options) {
+  if (options.sample_sizes.empty() || options.repetitions == 0) {
+    return Status::InvalidArgument("sampling study needs sizes and reps");
+  }
+  core::TermIndependenceEstimator estimator;
+  core::QueryTypeClassifier classifier(options.query_class);
+  stats::Rng rng(options.seed);
+
+  std::vector<DbGoodness> results;
+  for (const auto& db : testbed.databases) {
+    core::StatSummary summary =
+        core::StatSummary::FromIndex(db->name(), db->index_for_summaries());
+
+    // Collect the observed error of every trace query that lands in the
+    // studied type on this database.
+    std::vector<double> errors;
+    for (const core::Query& query : testbed.train_queries) {
+      if (static_cast<int>(query.num_terms()) != options.query_terms) continue;
+      double estimate = estimator.Estimate(summary, query);
+      bool high =
+          estimate >= options.query_class.estimate_threshold;
+      if (high != options.high_estimate) continue;
+      ASSIGN_OR_RETURN(std::uint64_t actual, db->CountMatches(query));
+      errors.push_back(
+          core::RelativeError(static_cast<double>(actual), estimate));
+    }
+
+    DbGoodness goodness;
+    goodness.database = db->name();
+    goodness.type_query_count = errors.size();
+    if (errors.size() < 20) {
+      // Too few type members on this database for a meaningful ideal ED.
+      goodness.avg_goodness.assign(options.sample_sizes.size(), 0.0);
+      goodness.effective_sizes = options.sample_sizes;
+      results.push_back(std::move(goodness));
+      continue;
+    }
+
+    // Ideal ED from all available queries of the type.
+    core::ErrorDistribution ideal;
+    for (double e : errors) ideal.AddObservation(e);
+    std::vector<double> expected_probs = ideal.histogram().Probabilities();
+
+    for (std::size_t size : options.sample_sizes) {
+      std::size_t effective = std::min(size, errors.size());
+      goodness.effective_sizes.push_back(effective);
+      double total_p = 0.0;
+      for (std::size_t rep = 0; rep < options.repetitions; ++rep) {
+        core::ErrorDistribution sample_ed;
+        for (std::size_t idx : rng.SampleIndices(errors.size(), effective)) {
+          sample_ed.AddObservation(errors[idx]);
+        }
+        std::vector<double> observed;
+        const stats::Histogram& h = sample_ed.histogram();
+        observed.reserve(h.num_cells());
+        for (std::size_t c = 0; c < h.num_cells(); ++c) {
+          observed.push_back(h.count(c));
+        }
+        auto test = stats::PearsonChiSquareTest(observed, expected_probs);
+        if (test.ok()) {
+          total_p += test->p_value;
+        } else {
+          // Degenerate cell structure (e.g. all mass in one cell): treat a
+          // sample that exactly matches the only populated cell as perfect.
+          total_p += 1.0;
+        }
+      }
+      goodness.avg_goodness.push_back(
+          total_p / static_cast<double>(options.repetitions));
+    }
+    results.push_back(std::move(goodness));
+  }
+  return results;
+}
+
+}  // namespace eval
+}  // namespace metaprobe

@@ -1,0 +1,50 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_EVAL_SAMPLING_STUDY_H_
+#define METAPROBE_EVAL_SAMPLING_STUDY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/query_class.h"
+#include "eval/testbed.h"
+
+namespace metaprobe {
+namespace eval {
+
+/// \brief Parameters of the Section 4.2 sampling-size study.
+struct SamplingStudyOptions {
+  /// Sampling sizes to evaluate (the paper's five: 100..2000).
+  std::vector<std::size_t> sample_sizes = {100, 200, 500, 1000, 2000};
+  /// Repetitions per size (the paper averages 100; 30 is stable enough at
+  /// default scale).
+  std::size_t repetitions = 30;
+  /// Which query type to study; the paper reports 2-term queries with
+  /// r_hat >= threshold.
+  int query_terms = 2;
+  bool high_estimate = true;
+  core::QueryClassOptions query_class;
+  std::uint64_t seed = 7;
+};
+
+/// \brief Per-database outcome: the average chi-square goodness (p-value)
+/// of a size-S sample ED against the ideal ED built from every available
+/// query of the type.
+struct DbGoodness {
+  std::string database;
+  std::size_t type_query_count = 0;      ///< |Q_total| restricted to the type.
+  std::vector<double> avg_goodness;      ///< aligned with sample_sizes
+  std::vector<std::size_t> effective_sizes;  ///< sizes clamped to the pool
+};
+
+/// \brief Runs the study over a testbed's databases using its *train*
+/// query set as the comprehensive trace (the stand-in for the paper's 4.7M
+/// Overture queries; see DESIGN.md).
+Result<std::vector<DbGoodness>> RunSamplingStudy(
+    const Testbed& testbed, const SamplingStudyOptions& options);
+
+}  // namespace eval
+}  // namespace metaprobe
+
+#endif  // METAPROBE_EVAL_SAMPLING_STUDY_H_

@@ -1,0 +1,77 @@
+#include "eval/table.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace metaprobe {
+namespace eval {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      if (c + 1 < row.size()) os << "  ";
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ",";
+      bool needs_quotes =
+          row[c].find(',') != std::string::npos ||
+          row[c].find('"') != std::string::npos;
+      if (needs_quotes) {
+        os << '"';
+        for (char ch : row[c]) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
+      } else {
+        os << row[c];
+      }
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Cell(double value, int digits) {
+  return FormatDouble(value, digits);
+}
+
+std::string Cell(std::size_t value) { return std::to_string(value); }
+
+std::string Cell(int value) { return std::to_string(value); }
+
+}  // namespace eval
+}  // namespace metaprobe

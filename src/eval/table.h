@@ -1,0 +1,43 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_EVAL_TABLE_H_
+#define METAPROBE_EVAL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace metaprobe {
+namespace eval {
+
+/// \brief Column-aligned ASCII table, used by every bench to print the
+/// reproduced paper tables/series in a diff-friendly format.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// \brief Appends a row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// \brief Renders with a header underline and two-space column gaps.
+  void Print(std::ostream& os) const;
+
+  /// \brief Renders as CSV (comma-separated, minimal quoting).
+  void PrintCsv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Formats a cell as a fixed-precision number.
+std::string Cell(double value, int digits = 3);
+std::string Cell(std::size_t value);
+std::string Cell(int value);
+
+}  // namespace eval
+}  // namespace metaprobe
+
+#endif  // METAPROBE_EVAL_TABLE_H_

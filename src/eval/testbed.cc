@@ -1,0 +1,254 @@
+#include "eval/testbed.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/macros.h"
+#include "corpus/domain.h"
+#include "stats/random.h"
+
+namespace metaprobe {
+namespace eval {
+
+namespace {
+
+struct MixtureEntry {
+  const char* topic;
+  double weight;
+};
+
+struct DbRecipe {
+  const char* name;
+  std::uint32_t base_docs;
+  double topical_fraction;
+  std::vector<MixtureEntry> mixture;
+  // Database-specific co-occurrence strength and subtopic emphasis: this
+  // heterogeneity is what gives the term-independence estimator its
+  // non-uniform, database-dependent errors (Section 2.3).
+  double subtopic_affinity = 0.8;
+  std::size_t subtopic_rotation = 0;
+  // Fraction of focused (single-topic) documents; drives how strongly this
+  // database's contents violate term independence.
+  double doc_focus = 0.3;
+};
+
+// The 20 health/science/news databases of the Section 6 testbed. Sizes are
+// scaled-down proxies of the paper's 3k-180k document databases; mixtures
+// give each database its own topical identity so estimator errors are
+// database-specific.
+std::vector<DbRecipe> HealthRecipes() {
+  return {
+      {"pubmed-central", 6000, 0.60,
+       {{"clinical", 1.6}, {"oncology", 1.0}, {"cardiology", 1.0}, {"infectious", 1.0},
+        {"neurology", 1.0}, {"pharmacology", 1.0}, {"pediatrics", 1.0},
+        {"nutrition", 1.0}, {"mentalhealth", 1.0}},
+       0.50, 1, 0.20},
+      {"medweb", 4500, 0.55,
+       {{"clinical", 1.2}, {"oncology", 1.0}, {"cardiology", 1.0}, {"nutrition", 1.0},
+        {"pediatrics", 1.0}, {"infectious", 1.0}},
+       0.63, 2, 0.45},
+      {"nih", 7000, 0.58,
+       {{"clinical", 1.8}, {"oncology", 1.0}, {"cardiology", 1.0}, {"neurology", 1.0},
+        {"infectious", 1.0}, {"pediatrics", 1.0}, {"nutrition", 1.0},
+        {"pharmacology", 1.0}, {"mentalhealth", 1.0}, {"biology", 0.5}},
+       0.45, 3, 0.15},
+      {"oncolink", 2500, 0.65,
+       {{"clinical", 0.8}, {"oncology", 5.0}, {"pharmacology", 1.0}},
+       0.66, 0, 0.50},
+      {"heart-center", 2400, 0.62,
+       {{"clinical", 0.9}, {"cardiology", 5.0}, {"nutrition", 1.0}},
+       0.52, 2, 0.30},
+      {"neuro-archive", 2200, 0.62,
+       {{"clinical", 0.7}, {"neurology", 5.0}, {"mentalhealth", 1.0}},
+       0.65, 1, 0.42},
+      {"cdc-infectious", 3000, 0.60,
+       {{"clinical", 1.0}, {"infectious", 4.0}, {"pediatrics", 1.0}},
+       0.43, 3, 0.22},
+      {"kids-health", 2600, 0.55,
+       {{"clinical", 1.1}, {"pediatrics", 4.0}, {"nutrition", 1.0}, {"infectious", 0.8}},
+       0.59, 0, 0.38},
+      {"nutrition-source", 2000, 0.58,
+       {{"clinical", 0.6}, {"nutrition", 4.0}, {"cardiology", 0.7}},
+       0.67, 2, 0.48},
+      {"drug-info", 2800, 0.60,
+       {{"clinical", 1.0}, {"pharmacology", 4.0}, {"infectious", 0.6}},
+       0.47, 1, 0.25},
+      {"mind-matters", 1900, 0.57,
+       {{"clinical", 0.8}, {"mentalhealth", 4.0}, {"neurology", 0.8}},
+       0.62, 3, 0.40},
+      {"oncology-trials", 1700, 0.63,
+       {{"clinical", 0.9}, {"oncology", 3.0}, {"pharmacology", 2.0}},
+       0.41, 0, 0.18},
+      {"family-practice", 3200, 0.50,
+       {{"clinical", 1.5}, {"pediatrics", 1.0}, {"cardiology", 1.0}, {"nutrition", 1.0},
+        {"infectious", 1.0}, {"mentalhealth", 1.0}},
+       0.66, 2, 0.44},
+      {"science-weekly", 3800, 0.52,
+       {{"physics", 1.5}, {"biology", 1.5}, {"chemistry", 1.0},
+        {"astronomy", 1.0}, {"oncology", 0.3}, {"infectious", 0.3}},
+       0.54, 1, 0.32},
+      {"nature-journal", 4000, 0.54,
+       {{"biology", 2.0}, {"chemistry", 1.0}, {"physics", 1.0},
+        {"oncology", 0.4}, {"neurology", 0.3}},
+       0.44, 2, 0.21},
+      {"bio-archive", 3000, 0.56,
+       {{"biology", 3.0}, {"chemistry", 1.0}, {"infectious", 0.5}},
+       0.64, 3, 0.43},
+      {"physics-today", 2600, 0.56,
+       {{"physics", 3.0}, {"astronomy", 1.5}},
+       0.51, 0, 0.28},
+      {"cnn-daily", 3600, 0.45,
+       {{"politics", 2.0}, {"economy", 1.5}, {"sportsnews", 1.0},
+        {"weather", 1.0}, {"infectious", 0.5}, {"nutrition", 0.3}},
+       0.60, 2, 0.36},
+      {"times-health", 4200, 0.47,
+       {{"politics", 2.0}, {"economy", 2.0}, {"weather", 0.8},
+        {"oncology", 0.3}, {"mentalhealth", 0.3}},
+       0.47, 1, 0.24},
+      {"metro-herald", 2400, 0.45,
+       {{"sportsnews", 2.0}, {"weather", 1.5}, {"politics", 1.0},
+        {"pediatrics", 0.3}, {"cardiology", 0.3}},
+       0.66, 3, 0.46},
+  };
+}
+
+Result<Testbed> BuildFromRecipes(
+    std::vector<corpus::TopicSpec> all_topics,
+    const std::vector<DbRecipe>& recipes,
+    std::vector<std::string> query_topics, const TestbedOptions& options) {
+  Testbed testbed;
+  testbed.analyzer = std::make_shared<text::Analyzer>();
+
+  corpus::CorpusGenerator::Options gen_options;
+  gen_options.filler_seed = options.seed * 31 + 7;
+  testbed.generator = std::make_unique<corpus::CorpusGenerator>(
+      std::move(all_topics), gen_options, testbed.analyzer.get());
+
+  std::uint32_t scale = std::max<std::uint32_t>(options.scale, 1);
+  stats::Rng summary_rng(options.seed * 69069 + 3);
+  for (std::size_t i = 0; i < recipes.size(); ++i) {
+    const DbRecipe& recipe = recipes[i];
+    corpus::DatabaseSpec spec;
+    spec.name = recipe.name;
+    spec.num_docs = recipe.base_docs * scale;
+    spec.topical_fraction = recipe.topical_fraction;
+    spec.subtopic_affinity = recipe.subtopic_affinity;
+    spec.subtopic_rotation = recipe.subtopic_rotation;
+    spec.doc_focus = recipe.doc_focus;
+    spec.store_documents = options.store_documents;
+    spec.seed = options.seed * 1000003 + i * 7919 + 13;
+    for (const MixtureEntry& entry : recipe.mixture) {
+      spec.mixture.push_back({entry.topic, entry.weight});
+    }
+    ASSIGN_OR_RETURN(corpus::GeneratedDatabase generated,
+                     testbed.generator->Generate(spec));
+    auto database = std::make_shared<core::LocalDatabase>(
+        generated.name, std::move(generated.index),
+        std::move(generated.documents));
+
+    // Pre-collect the statistical summary the metasearcher will consult,
+    // including the configured imperfections: sample-based term statistics
+    // and a systematically mis-advertised database size.
+    core::StatSummary summary =
+        options.summary_sample_rate >= 1.0
+            ? core::StatSummary::FromIndex(database->name(),
+                                           database->index_for_summaries())
+            : core::StatSummary::FromIndexSampled(
+                  database->name(), database->index_for_summaries(),
+                  options.summary_sample_rate, &summary_rng);
+    if (options.summary_size_distortion > 0.0) {
+      double d = options.summary_size_distortion;
+      double factor = std::exp(summary_rng.Uniform(-d, d));
+      double distorted = static_cast<double>(database->size()) * factor;
+      summary.OverrideDatabaseSize(static_cast<std::uint32_t>(
+          std::max(1.0, std::round(distorted))));
+    }
+    testbed.summaries.push_back(std::move(summary));
+    testbed.databases.push_back(std::move(database));
+  }
+
+  corpus::QueryLogOptions query_options;
+  query_options.seed = options.seed * 524287 + 1;
+  query_options.cross_topic_prob = 0.10;
+  corpus::QueryLogGenerator query_gen(testbed.generator.get(),
+                                      std::move(query_topics), query_options);
+  ASSIGN_OR_RETURN(auto split,
+                   query_gen.GenerateSplit(options.train_queries_per_term_count,
+                                           options.test_queries_per_term_count));
+  testbed.train_queries = std::move(split.first);
+  testbed.test_queries = std::move(split.second);
+
+  METAPROBE_LOG(Info) << "testbed ready: " << testbed.databases.size()
+                      << " databases, " << testbed.train_queries.size()
+                      << " train / " << testbed.test_queries.size()
+                      << " test queries";
+  return testbed;
+}
+
+}  // namespace
+
+std::vector<const core::HiddenWebDatabase*> Testbed::database_ptrs() const {
+  std::vector<const core::HiddenWebDatabase*> ptrs;
+  ptrs.reserve(databases.size());
+  for (const auto& db : databases) ptrs.push_back(db.get());
+  return ptrs;
+}
+
+Result<Testbed> BuildHealthTestbed(const TestbedOptions& options) {
+  std::vector<corpus::TopicSpec> all_topics = corpus::HealthTopics();
+  for (corpus::TopicSpec& t : corpus::ScienceTopics()) {
+    all_topics.push_back(std::move(t));
+  }
+  for (corpus::TopicSpec& t : corpus::NewsTopics()) {
+    all_topics.push_back(std::move(t));
+  }
+  std::vector<std::string> query_topics;
+  for (const corpus::TopicSpec& t : corpus::HealthTopics()) {
+    query_topics.push_back(t.name);
+  }
+  return BuildFromRecipes(std::move(all_topics), HealthRecipes(),
+                          std::move(query_topics), options);
+}
+
+Result<Testbed> BuildNewsgroupTestbed(const TestbedOptions& options) {
+  std::vector<corpus::TopicSpec> topics = corpus::NewsgroupTopics();
+  std::vector<std::string> topic_names;
+  for (const corpus::TopicSpec& t : topics) topic_names.push_back(t.name);
+
+  // 20 groups cycling through the hobbyist topics with varying sizes,
+  // secondary interests and token mixes (the UCLA news-server groups range
+  // from 2890 to 18040 articles; these are scaled-down proxies).
+  std::vector<DbRecipe> recipes;
+  std::vector<std::string> names;  // keep storage alive for c_str()
+  names.reserve(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const std::string& main_topic = topic_names[i % topic_names.size()];
+    const std::string& side_topic = topic_names[(i + 3) % topic_names.size()];
+    names.push_back("ng." + main_topic + "." + std::to_string(i));
+    DbRecipe recipe;
+    recipe.name = names.back().c_str();
+    recipe.base_docs = static_cast<std::uint32_t>(1500 + (i * 373) % 4200);
+    recipe.topical_fraction = 0.50 + 0.03 * static_cast<double>(i % 5);
+    recipe.mixture = {{main_topic.c_str(), 3.0}, {side_topic.c_str(), 0.6}};
+    recipe.subtopic_affinity = 0.25 + 0.05 * static_cast<double>(i % 8);
+    recipe.subtopic_rotation = i % 4;
+    recipe.doc_focus = 0.15 + 0.06 * static_cast<double>(i % 6);
+    recipes.push_back(std::move(recipe));
+  }
+  return BuildFromRecipes(std::move(topics), recipes, topic_names, options);
+}
+
+Result<std::unique_ptr<core::Metasearcher>> BuildTrainedMetasearcher(
+    const Testbed& testbed, core::MetasearcherOptions options) {
+  auto metasearcher = std::make_unique<core::Metasearcher>(options);
+  for (std::size_t i = 0; i < testbed.databases.size(); ++i) {
+    RETURN_NOT_OK(metasearcher->AddDatabase(testbed.databases[i],
+                                            testbed.summaries[i]));
+  }
+  RETURN_NOT_OK(metasearcher->Train(testbed.train_queries));
+  return metasearcher;
+}
+
+}  // namespace eval
+}  // namespace metaprobe

@@ -1,0 +1,84 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_EVAL_TESTBED_H_
+#define METAPROBE_EVAL_TESTBED_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/hidden_web_database.h"
+#include "core/metasearcher.h"
+#include "core/query.h"
+#include "corpus/query_log.h"
+#include "corpus/synthetic_corpus.h"
+#include "text/analyzer.h"
+
+namespace metaprobe {
+namespace eval {
+
+/// \brief Parameters of a reproducible experiment testbed.
+struct TestbedOptions {
+  /// Multiplies database sizes; 1 is laptop scale (~50k docs total for the
+  /// health testbed), larger values approach the paper's corpus sizes.
+  std::uint32_t scale = 1;
+  /// Unique training / test queries per keyword count (the paper uses
+  /// 1000 + 1000 of each of 2- and 3-term).
+  std::size_t train_queries_per_term_count = 1000;
+  std::size_t test_queries_per_term_count = 1000;
+  std::uint64_t seed = 42;
+  /// Keep raw document text (needed only for fusion demos).
+  bool store_documents = false;
+  /// Magnitude of the per-database advertised-size distortion: each
+  /// summary's |db| is scaled by exp(U(-d, d)). Hidden-web databases rarely
+  /// export exact sizes (the paper estimates them by probing common terms),
+  /// and this systematic per-database bias is a major component of the
+  /// estimation error the RDs learn. 0 disables the distortion.
+  double summary_size_distortion = 1.6;
+  /// Fraction of documents the summary statistics are (simulated to be)
+  /// collected from; 1.0 = exact term frequencies, lower values add
+  /// sample-based summary noise (Callan-style construction, the paper's
+  /// reference [8]).
+  double summary_sample_rate = 1.0;
+};
+
+/// \brief A fully constructed experiment environment: the simulated
+/// hidden-web databases plus disjoint train/test query traces.
+///
+/// Shared by the benches reproducing the paper's figures, the integration
+/// tests, and the larger examples, so every consumer measures the same
+/// world.
+struct Testbed {
+  std::shared_ptr<text::Analyzer> analyzer;
+  std::unique_ptr<corpus::CorpusGenerator> generator;
+  std::vector<std::shared_ptr<core::LocalDatabase>> databases;
+  /// Pre-collected statistical summaries, one per database, including the
+  /// configured size distortion / sampling noise.
+  std::vector<core::StatSummary> summaries;
+  std::vector<core::Query> train_queries;
+  std::vector<core::Query> test_queries;
+
+  /// \brief Raw-pointer view of the databases (learner/golden interfaces).
+  std::vector<const core::HiddenWebDatabase*> database_ptrs() const;
+
+  std::size_t num_databases() const { return databases.size(); }
+};
+
+/// \brief The Section 6 testbed: 20 medical/health-related databases
+/// (13 specialized health, 4 broader science, 3 daily news with health
+/// coverage) and health-care query traces.
+Result<Testbed> BuildHealthTestbed(const TestbedOptions& options);
+
+/// \brief The Section 4.2 testbed: 20 newsgroup-style databases and a
+/// large comprehensive query trace over hobbyist topics.
+Result<Testbed> BuildNewsgroupTestbed(const TestbedOptions& options);
+
+/// \brief Builds a Metasearcher over `testbed`'s databases (exact
+/// summaries, paper-default options) and trains it on the train queries.
+Result<std::unique_ptr<core::Metasearcher>> BuildTrainedMetasearcher(
+    const Testbed& testbed, core::MetasearcherOptions options = {});
+
+}  // namespace eval
+}  // namespace metaprobe
+
+#endif  // METAPROBE_EVAL_TESTBED_H_

@@ -1,0 +1,21 @@
+#include "index/document_store.h"
+
+namespace metaprobe {
+namespace index {
+
+DocId DocumentStore::Add(Document doc) {
+  DocId id = static_cast<DocId>(docs_.size());
+  docs_.push_back(std::move(doc));
+  return id;
+}
+
+Result<const Document*> DocumentStore::Get(DocId id) const {
+  if (id >= docs_.size()) {
+    return Status::NotFound("document ", id, " out of range (store has ",
+                            docs_.size(), ")");
+  }
+  return &docs_[id];
+}
+
+}  // namespace index
+}  // namespace metaprobe

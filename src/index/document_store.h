@@ -1,0 +1,46 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_INDEX_DOCUMENT_STORE_H_
+#define METAPROBE_INDEX_DOCUMENT_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "index/posting_list.h"
+
+namespace metaprobe {
+namespace index {
+
+/// \brief A stored document: title plus body text.
+struct Document {
+  std::string title;
+  std::string body;
+};
+
+/// \brief Optional side store of raw document text, aligned with the
+/// inverted index's DocIds.
+///
+/// The selection algorithms never read document text — they only consume
+/// match counts — so databases keep this store only when result fusion or
+/// snippet display is wanted (examples, fusion module). Kept separate from
+/// InvertedIndex so large experiment corpora can skip the memory cost.
+class DocumentStore {
+ public:
+  /// \brief Appends a document; its DocId is the append position.
+  DocId Add(Document doc);
+
+  /// \brief Fetches a document by id.
+  Result<const Document*> Get(DocId id) const;
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(docs_.size()); }
+  bool empty() const { return docs_.empty(); }
+
+ private:
+  std::vector<Document> docs_;
+};
+
+}  // namespace index
+}  // namespace metaprobe
+
+#endif  // METAPROBE_INDEX_DOCUMENT_STORE_H_

@@ -1,0 +1,189 @@
+// Binary persistence for InvertedIndex.
+//
+// Layout (little-endian fixed-width integers):
+//   magic   "MPIX"
+//   u32     format version (1)
+//   u32     num_docs
+//   u64     total_tokens
+//   u64     num_terms
+//   per term, in TermId order:
+//     u32   term byte length, then the term bytes
+//     u32   posting count
+//     u64   encoded payload byte length, then the payload
+//
+// Scoring structures (idf, document norms) are derived data and are
+// recomputed on load, which doubles as a deep validation pass: every
+// posting is decoded, bounds-checked against num_docs and monotonicity.
+
+#include <array>
+#include <cstring>
+#include <limits>
+
+#include "common/macros.h"
+#include "index/inverted_index.h"
+
+namespace metaprobe {
+namespace index {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'P', 'I', 'X'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint32_t kMaxTermBytes = 1 << 16;
+// Minimum serialized footprint of one term entry: length, one term byte,
+// posting count, payload length.
+constexpr std::uint64_t kMinTermEntryBytes = 4 + 1 + 4 + 8;
+
+// Bytes left in the stream (guards allocations against corrupt length
+// fields); falls back to a 1 GiB cap on non-seekable streams.
+std::uint64_t RemainingBytes(std::istream& is) {
+  std::streampos current = is.tellg();
+  if (current == std::streampos(-1)) return 1ull << 30;
+  is.seekg(0, std::ios::end);
+  std::streampos end = is.tellg();
+  is.seekg(current);
+  if (end == std::streampos(-1) || end < current) return 1ull << 30;
+  return static_cast<std::uint64_t>(end - current);
+}
+
+void PutU32(std::ostream& os, std::uint32_t value) {
+  std::array<char, 4> buffer;
+  for (int i = 0; i < 4; ++i) {
+    buffer[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  os.write(buffer.data(), buffer.size());
+}
+
+void PutU64(std::ostream& os, std::uint64_t value) {
+  std::array<char, 8> buffer;
+  for (int i = 0; i < 8; ++i) {
+    buffer[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  os.write(buffer.data(), buffer.size());
+}
+
+Result<std::uint32_t> GetU32(std::istream& is) {
+  std::array<char, 4> buffer;
+  if (!is.read(buffer.data(), buffer.size())) {
+    return Status::IoError("index file truncated (u32)");
+  }
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(buffer[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+Result<std::uint64_t> GetU64(std::istream& is) {
+  std::array<char, 8> buffer;
+  if (!is.read(buffer.data(), buffer.size())) {
+    return Status::IoError("index file truncated (u64)");
+  }
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(buffer[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+Status InvertedIndex::SaveTo(std::ostream& os) const {
+  os.write(kMagic, sizeof(kMagic));
+  PutU32(os, kFormatVersion);
+  PutU32(os, num_docs());
+  PutU64(os, total_tokens_);
+  PutU64(os, vocab_.size());
+  for (text::TermId id = 0; id < vocab_.size(); ++id) {
+    const std::string& term = vocab_.TermOf(id);
+    if (term.size() > kMaxTermBytes) {
+      return Status::InvalidArgument("term too long to serialize");
+    }
+    PutU32(os, static_cast<std::uint32_t>(term.size()));
+    os.write(term.data(), static_cast<std::streamsize>(term.size()));
+    const PostingList& list = postings_[id];
+    PutU32(os, list.size());
+    const std::vector<std::uint8_t>& payload = list.encoded_bytes();
+    PutU64(os, payload.size());
+    os.write(reinterpret_cast<const char*>(payload.data()),
+             static_cast<std::streamsize>(payload.size()));
+  }
+  if (!os) return Status::IoError("stream write failure while saving index");
+  return Status::OK();
+}
+
+Result<InvertedIndex> InvertedIndex::LoadFrom(std::istream& is) {
+  char magic[4];
+  if (!is.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a metaprobe index file");
+  }
+  ASSIGN_OR_RETURN(std::uint32_t version, GetU32(is));
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported index version ", version);
+  }
+  ASSIGN_OR_RETURN(std::uint32_t num_docs, GetU32(is));
+  ASSIGN_OR_RETURN(std::uint64_t total_tokens, GetU64(is));
+  ASSIGN_OR_RETURN(std::uint64_t num_terms, GetU64(is));
+  // Scoring structures allocate per document; bound the claim against the
+  // file size (documents average at least a fraction of a posting byte)
+  // with generous headroom for tiny indexes.
+  if (num_docs > (1u << 20) &&
+      static_cast<std::uint64_t>(num_docs) > RemainingBytes(is) * 4) {
+    return Status::InvalidArgument("implausible document count ", num_docs);
+  }
+  if (num_terms > RemainingBytes(is) / kMinTermEntryBytes) {
+    return Status::InvalidArgument("implausible term count ", num_terms);
+  }
+
+  InvertedIndex index;
+  index.total_tokens_ = total_tokens;
+  index.postings_.reserve(num_terms);
+  std::string term;
+  for (std::uint64_t t = 0; t < num_terms; ++t) {
+    ASSIGN_OR_RETURN(std::uint32_t term_bytes, GetU32(is));
+    if (term_bytes == 0 || term_bytes > kMaxTermBytes) {
+      return Status::InvalidArgument("bad term length ", term_bytes);
+    }
+    term.resize(term_bytes);
+    if (!is.read(term.data(), term_bytes)) {
+      return Status::IoError("index file truncated (term)");
+    }
+    text::TermId id = index.vocab_.Intern(term);
+    if (id != t) {
+      return Status::InvalidArgument("duplicate term '", term,
+                                     "' in index file");
+    }
+    ASSIGN_OR_RETURN(std::uint32_t posting_count, GetU32(is));
+    ASSIGN_OR_RETURN(std::uint64_t payload_bytes, GetU64(is));
+    if (payload_bytes > RemainingBytes(is)) {
+      return Status::InvalidArgument("payload length exceeds file size");
+    }
+    // Every posting needs at least two varint bytes.
+    if (static_cast<std::uint64_t>(posting_count) * 2 > payload_bytes) {
+      return Status::InvalidArgument("posting count exceeds payload");
+    }
+    std::vector<std::uint8_t> payload(payload_bytes);
+    if (payload_bytes > 0 &&
+        !is.read(reinterpret_cast<char*>(payload.data()),
+                 static_cast<std::streamsize>(payload_bytes))) {
+      return Status::IoError("index file truncated (postings)");
+    }
+    ASSIGN_OR_RETURN(PostingList list,
+                     PostingList::FromEncoded(posting_count,
+                                              std::move(payload)));
+    index.postings_.push_back(std::move(list));
+  }
+  if (num_docs == 0 && num_terms > 0) {
+    return Status::InvalidArgument("postings present but num_docs is zero");
+  }
+  RETURN_NOT_OK(index.FinalizeScoring(num_docs));
+  return index;
+}
+
+}  // namespace index
+}  // namespace metaprobe

@@ -1,0 +1,252 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace metaprobe {
+namespace index {
+
+DocId InvertedIndex::Builder::AddDocument(
+    const std::vector<std::string>& terms) {
+  DocId doc = static_cast<DocId>(doc_token_counts_.size());
+  scratch_counts_.clear();
+  for (const std::string& term : terms) {
+    text::TermId id = vocab_.Intern(term);
+    if (id >= postings_.size()) postings_.resize(id + 1);
+    scratch_counts_.push_back({id, 1});
+  }
+  // Fold duplicates: sort by TermId and merge runs. Cheaper than a hash map
+  // for typical document sizes.
+  std::sort(scratch_counts_.begin(), scratch_counts_.end());
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < scratch_counts_.size();) {
+    std::size_t j = i;
+    std::uint32_t tf = 0;
+    while (j < scratch_counts_.size() &&
+           scratch_counts_[j].first == scratch_counts_[i].first) {
+      ++tf;
+      ++j;
+    }
+    scratch_counts_[out++] = {scratch_counts_[i].first, tf};
+    i = j;
+  }
+  scratch_counts_.resize(out);
+  for (const auto& [id, tf] : scratch_counts_) {
+    // Appends are in increasing DocId order by construction, so this cannot
+    // fail; surface an invariant violation loudly if it ever does.
+    Status st = postings_[id].Append(doc, tf);
+    METAPROBE_DCHECK(st.ok(), st.ToString().c_str());
+  }
+  doc_token_counts_.push_back(static_cast<std::uint32_t>(terms.size()));
+  total_tokens_ += terms.size();
+  return doc;
+}
+
+Result<InvertedIndex> InvertedIndex::Builder::Build() && {
+  if (doc_token_counts_.empty()) {
+    return Status::FailedPrecondition("cannot build an index with no documents");
+  }
+  InvertedIndex built;
+  built.vocab_ = std::move(vocab_);
+  built.postings_ = std::move(postings_);
+  built.total_tokens_ = total_tokens_;
+  for (PostingList& list : built.postings_) list.ShrinkToFit();
+  RETURN_NOT_OK(built.FinalizeScoring(
+      static_cast<std::uint32_t>(doc_token_counts_.size())));
+  return built;
+}
+
+Status InvertedIndex::FinalizeScoring(std::uint32_t num_docs) {
+  const double n = static_cast<double>(num_docs);
+  idf_.assign(postings_.size(), 0.0);
+  std::vector<double> norms_sq(num_docs, 0.0);
+  for (std::size_t t = 0; t < postings_.size(); ++t) {
+    const PostingList& list = postings_[t];
+    if (list.empty()) continue;
+    // Smoothed idf keeps terms present in every document from zeroing out.
+    double idf = std::log((n + 1.0) / (static_cast<double>(list.size()) + 0.5));
+    idf_[t] = idf;
+    for (auto it = list.begin(); it.Valid(); it.Next()) {
+      if (it.doc() >= num_docs) {
+        return Status::InvalidArgument("posting references DocId ", it.doc(),
+                                       " but the index has ", num_docs,
+                                       " documents");
+      }
+      double w = (1.0 + std::log(static_cast<double>(it.tf()))) * idf;
+      norms_sq[it.doc()] += w * w;
+    }
+  }
+  doc_norms_.resize(norms_sq.size());
+  for (std::size_t d = 0; d < norms_sq.size(); ++d) {
+    doc_norms_[d] = norms_sq[d] > 0.0 ? std::sqrt(norms_sq[d]) : 1.0;
+  }
+  return Status::OK();
+}
+
+std::uint32_t InvertedIndex::DocumentFrequency(std::string_view term) const {
+  const PostingList* list = Postings(term);
+  return list == nullptr ? 0 : list->size();
+}
+
+const PostingList* InvertedIndex::Postings(std::string_view term) const {
+  text::TermId id = vocab_.Lookup(term);
+  if (id == text::kInvalidTermId || id >= postings_.size()) return nullptr;
+  const PostingList& list = postings_[id];
+  return list.empty() ? nullptr : &list;
+}
+
+template <typename Fn>
+void InvertedIndex::IntersectPostings(std::vector<const PostingList*> lists,
+                                      Fn fn) const {
+  // Rarest list drives the intersection.
+  std::sort(lists.begin(), lists.end(),
+            [](const PostingList* a, const PostingList* b) {
+              return a->size() < b->size();
+            });
+  std::vector<PostingList::Iterator> its;
+  its.reserve(lists.size());
+  for (const PostingList* list : lists) its.push_back(list->begin());
+
+  while (its[0].Valid()) {
+    DocId candidate = its[0].doc();
+    bool all_match = true;
+    for (std::size_t i = 1; i < its.size(); ++i) {
+      its[i].SkipTo(candidate);
+      if (!its[i].Valid()) return;
+      if (its[i].doc() != candidate) {
+        all_match = false;
+        // Restart the scan from the larger DocId.
+        its[0].SkipTo(its[i].doc());
+        break;
+      }
+    }
+    if (all_match) {
+      if (!fn(candidate)) return;
+      its[0].Next();
+    }
+  }
+}
+
+namespace {
+
+// Deduplicates query terms, preserving first-seen order.
+std::vector<std::string_view> UniqueTerms(
+    const std::vector<std::string>& terms) {
+  std::vector<std::string_view> unique;
+  unique.reserve(terms.size());
+  for (const std::string& t : terms) {
+    if (std::find(unique.begin(), unique.end(), t) == unique.end()) {
+      unique.push_back(t);
+    }
+  }
+  return unique;
+}
+
+}  // namespace
+
+std::uint64_t InvertedIndex::CountConjunctive(
+    const std::vector<std::string>& terms) const {
+  std::vector<std::string_view> unique = UniqueTerms(terms);
+  if (unique.empty()) return 0;
+  std::vector<const PostingList*> lists;
+  lists.reserve(unique.size());
+  for (std::string_view term : unique) {
+    const PostingList* list = Postings(term);
+    if (list == nullptr) return 0;
+    lists.push_back(list);
+  }
+  if (lists.size() == 1) return lists[0]->size();
+  std::uint64_t count = 0;
+  IntersectPostings(std::move(lists), [&count](DocId) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+std::vector<DocId> InvertedIndex::FindConjunctive(
+    const std::vector<std::string>& terms, std::size_t limit) const {
+  std::vector<DocId> docs;
+  std::vector<std::string_view> unique = UniqueTerms(terms);
+  if (unique.empty() || limit == 0) return docs;
+  std::vector<const PostingList*> lists;
+  for (std::string_view term : unique) {
+    const PostingList* list = Postings(term);
+    if (list == nullptr) return docs;
+    lists.push_back(list);
+  }
+  IntersectPostings(std::move(lists), [&docs, limit](DocId doc) {
+    docs.push_back(doc);
+    return docs.size() < limit;
+  });
+  std::sort(docs.begin(), docs.end());
+  return docs;
+}
+
+std::vector<ScoredDoc> InvertedIndex::TopKCosine(
+    const std::vector<std::string>& terms, std::size_t k) const {
+  std::vector<ScoredDoc> result;
+  if (k == 0 || terms.empty()) return result;
+
+  // Query-side ltc weights over deduplicated terms.
+  std::unordered_map<text::TermId, std::uint32_t> query_tf;
+  for (const std::string& term : terms) {
+    text::TermId id = vocab_.Lookup(term);
+    if (id != text::kInvalidTermId && id < postings_.size() &&
+        !postings_[id].empty()) {
+      ++query_tf[id];
+    }
+  }
+  if (query_tf.empty()) return result;
+
+  double query_norm_sq = 0.0;
+  std::unordered_map<DocId, double> accumulator;
+  for (const auto& [id, qtf] : query_tf) {
+    double qw = (1.0 + std::log(static_cast<double>(qtf))) * idf_[id];
+    query_norm_sq += qw * qw;
+    for (auto it = postings_[id].begin(); it.Valid(); it.Next()) {
+      double dw = (1.0 + std::log(static_cast<double>(it.tf()))) * idf_[id];
+      accumulator[it.doc()] += qw * dw / doc_norms_[it.doc()];
+    }
+  }
+  double query_norm = query_norm_sq > 0.0 ? std::sqrt(query_norm_sq) : 1.0;
+
+  result.reserve(accumulator.size());
+  for (const auto& [doc, score] : accumulator) {
+    result.push_back({doc, score / query_norm});
+  }
+  std::size_t keep = std::min(k, result.size());
+  std::partial_sort(result.begin(), result.begin() + keep, result.end(),
+                    [](const ScoredDoc& a, const ScoredDoc& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.doc < b.doc;
+                    });
+  result.resize(keep);
+  return result;
+}
+
+double InvertedIndex::BestCosineScore(
+    const std::vector<std::string>& terms) const {
+  std::vector<ScoredDoc> top = TopKCosine(terms, 1);
+  return top.empty() ? 0.0 : top.front().score;
+}
+
+IndexStats InvertedIndex::GetStats() const {
+  IndexStats stats;
+  stats.num_docs = num_docs();
+  stats.total_tokens = total_tokens_;
+  for (const PostingList& list : postings_) {
+    if (list.empty()) continue;
+    ++stats.num_terms;
+    stats.num_postings += list.size();
+    stats.posting_bytes += list.ByteSize();
+  }
+  return stats;
+}
+
+}  // namespace index
+}  // namespace metaprobe

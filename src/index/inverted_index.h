@@ -1,0 +1,148 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_INDEX_INVERTED_INDEX_H_
+#define METAPROBE_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "index/posting_list.h"
+#include "text/vocabulary.h"
+
+namespace metaprobe {
+namespace index {
+
+/// \brief A document with its retrieval score.
+struct ScoredDoc {
+  DocId doc = 0;
+  double score = 0.0;
+
+  bool operator==(const ScoredDoc&) const = default;
+};
+
+/// \brief Aggregate size statistics of an index.
+struct IndexStats {
+  std::uint32_t num_docs = 0;
+  std::uint64_t num_terms = 0;
+  std::uint64_t num_postings = 0;
+  std::uint64_t total_tokens = 0;
+  std::size_t posting_bytes = 0;
+};
+
+/// \brief Immutable full-text inverted index over one database's documents.
+///
+/// This is the engine behind every simulated hidden-web database: it answers
+/// the two primitives the paper's probes rely on —
+///   * `CountConjunctive`: the number of documents containing *all* query
+///     terms (the "N results found" line of a search page, used by the
+///     document-frequency relevancy definition), and
+///   * `TopKCosine`: tf-idf cosine-ranked documents (used by the
+///     document-similarity relevancy definition and by result fusion).
+///
+/// Terms are expected to be pre-analyzed (lowercased, stopped, stemmed) by a
+/// shared text::Analyzer. Construction goes through `Builder`; a built index
+/// is immutable and safe for concurrent readers.
+class InvertedIndex {
+ public:
+  /// Creates an empty index (no documents, every query matches nothing);
+  /// the usual path is `Builder::Build`.
+  InvertedIndex() = default;
+
+  /// \brief Incremental index constructor.
+  class Builder {
+   public:
+    Builder() = default;
+
+    /// \brief Adds one document's analyzed terms; returns its DocId.
+    /// Duplicate terms within the document are folded into term frequencies.
+    DocId AddDocument(const std::vector<std::string>& terms);
+
+    /// \brief Number of documents added so far.
+    std::uint32_t num_docs() const {
+      return static_cast<std::uint32_t>(doc_token_counts_.size());
+    }
+
+    /// \brief Finalizes the index (computes document norms, compacts
+    /// posting storage). The builder is consumed.
+    Result<InvertedIndex> Build() &&;
+
+   private:
+    text::Vocabulary vocab_;
+    std::vector<PostingList> postings_;  // indexed by TermId
+    std::vector<std::uint32_t> doc_token_counts_;
+    std::uint64_t total_tokens_ = 0;
+    // Scratch reused across AddDocument calls.
+    std::vector<std::pair<text::TermId, std::uint32_t>> scratch_counts_;
+  };
+
+  /// \brief Number of indexed documents (the paper's |db|).
+  std::uint32_t num_docs() const {
+    return static_cast<std::uint32_t>(doc_norms_.size());
+  }
+
+  /// \brief Document frequency of `term` (0 when unknown). This is the
+  /// r(db, t) column of the paper's statistical summaries (Figure 2).
+  std::uint32_t DocumentFrequency(std::string_view term) const;
+
+  /// \brief Posting list of `term`, or nullptr when unknown.
+  const PostingList* Postings(std::string_view term) const;
+
+  /// \brief Number of documents containing every term in `terms`
+  /// (conjunctive / AND semantics). Zero for an empty term list or any
+  /// unknown term. Duplicate terms are ignored.
+  std::uint64_t CountConjunctive(const std::vector<std::string>& terms) const;
+
+  /// \brief DocIds of up to `limit` conjunctive matches, ascending.
+  std::vector<DocId> FindConjunctive(const std::vector<std::string>& terms,
+                                     std::size_t limit) const;
+
+  /// \brief Top-k documents by tf-idf cosine similarity to the bag of
+  /// `terms` (lnc.ltc weighting), best first; ties broken by lower DocId.
+  std::vector<ScoredDoc> TopKCosine(const std::vector<std::string>& terms,
+                                    std::size_t k) const;
+
+  /// \brief Score of the single best document, 0 when nothing matches. This
+  /// is the document-similarity relevancy r(db, q) of Section 2.1.
+  double BestCosineScore(const std::vector<std::string>& terms) const;
+
+  /// \brief Term table of this index.
+  const text::Vocabulary& vocabulary() const { return vocab_; }
+
+  IndexStats GetStats() const;
+
+  /// \brief Serializes the index (vocabulary + compressed postings) in a
+  /// versioned binary format; scoring structures are recomputed on load.
+  Status SaveTo(std::ostream& os) const;
+
+  /// \brief Restores an index written by SaveTo, validating framing,
+  /// posting monotonicity and DocId bounds.
+  static Result<InvertedIndex> LoadFrom(std::istream& is);
+
+ private:
+  friend class Builder;
+
+  // Recomputes idf_ and doc_norms_ from the posting lists; fails if any
+  // posting references a DocId >= num_docs.
+  Status FinalizeScoring(std::uint32_t num_docs);
+
+  // Leapfrog-intersects the posting lists, invoking `fn(DocId)` per match;
+  // returns early when `fn` returns false.
+  template <typename Fn>
+  void IntersectPostings(std::vector<const PostingList*> lists, Fn fn) const;
+
+  text::Vocabulary vocab_;
+  std::vector<PostingList> postings_;
+  std::vector<double> doc_norms_;  // lnc vector norms for cosine scoring
+  std::vector<double> idf_;        // ln(N / df) per term
+  std::uint64_t total_tokens_ = 0;
+};
+
+}  // namespace index
+}  // namespace metaprobe
+
+#endif  // METAPROBE_INDEX_INVERTED_INDEX_H_

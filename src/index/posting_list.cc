@@ -1,0 +1,181 @@
+#include "index/posting_list.h"
+
+#include <algorithm>
+
+namespace metaprobe {
+namespace index {
+
+namespace {
+
+std::uint64_t GetVarint(const std::vector<std::uint8_t>& bytes,
+                        std::size_t* offset) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    std::uint8_t byte = bytes[*offset];
+    ++*offset;
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  return value;
+}
+
+}  // namespace
+
+void PostingList::PutVarint(std::uint64_t value) {
+  while (value >= 0x80) {
+    bytes_.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  bytes_.push_back(static_cast<std::uint8_t>(value));
+}
+
+Status PostingList::Append(DocId doc, std::uint32_t tf) {
+  if (has_last_ && doc <= last_doc_) {
+    return Status::InvalidArgument("postings must be appended in increasing ",
+                                   "DocId order: ", doc, " after ", last_doc_);
+  }
+  if (tf == 0) {
+    return Status::InvalidArgument("posting tf must be positive");
+  }
+  if (count_ % kSkipInterval == 0) {
+    skips_.push_back({doc, count_, bytes_.size()});
+  }
+  // The first posting of each skip block stores its absolute DocId so the
+  // decoder can resume delta decoding from a skip entry.
+  DocId delta = (count_ % kSkipInterval == 0) ? doc : doc - last_doc_;
+  PutVarint(delta);
+  PutVarint(tf);
+  last_doc_ = doc;
+  has_last_ = true;
+  ++count_;
+  return Status::OK();
+}
+
+void PostingList::ShrinkToFit() {
+  bytes_.shrink_to_fit();
+  skips_.shrink_to_fit();
+}
+
+Result<PostingList> PostingList::FromEncoded(std::uint32_t count,
+                                             std::vector<std::uint8_t> bytes) {
+  PostingList list;
+  list.bytes_ = std::move(bytes);
+  list.count_ = count;
+  // Validation + skip-table reconstruction in one checked decode pass.
+  std::size_t offset = 0;
+  DocId prev_doc = 0;
+  auto checked_varint = [&](std::uint64_t* value) -> bool {
+    *value = 0;
+    int shift = 0;
+    while (offset < list.bytes_.size()) {
+      std::uint8_t byte = list.bytes_[offset++];
+      if (shift >= 64) return false;
+      *value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return true;
+      shift += 7;
+    }
+    return false;
+  };
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::size_t entry_offset = offset;
+    std::uint64_t delta = 0;
+    std::uint64_t tf = 0;
+    if (!checked_varint(&delta) || !checked_varint(&tf)) {
+      return Status::InvalidArgument("posting payload truncated at entry ", i);
+    }
+    DocId doc;
+    if (i % kSkipInterval == 0) {
+      doc = static_cast<DocId>(delta);  // absolute at block start
+      list.skips_.push_back({doc, i, entry_offset});
+    } else {
+      if (delta == 0) {
+        return Status::InvalidArgument("zero DocId delta at entry ", i);
+      }
+      doc = prev_doc + static_cast<DocId>(delta);
+      if (doc <= prev_doc) {
+        return Status::InvalidArgument("DocId overflow at entry ", i);
+      }
+    }
+    if (i > 0 && doc <= prev_doc) {
+      return Status::InvalidArgument("non-increasing DocIds at entry ", i);
+    }
+    if (tf == 0 || tf > 0xFFFFFFFFull) {
+      return Status::InvalidArgument("invalid tf at entry ", i);
+    }
+    prev_doc = doc;
+  }
+  if (offset != list.bytes_.size()) {
+    return Status::InvalidArgument("trailing garbage after postings");
+  }
+  list.last_doc_ = prev_doc;
+  list.has_last_ = count > 0;
+  return list;
+}
+
+std::vector<Posting> PostingList::Decode() const {
+  std::vector<Posting> out;
+  out.reserve(count_);
+  for (Iterator it = begin(); it.Valid(); it.Next()) out.push_back(it.posting());
+  return out;
+}
+
+PostingList::Iterator::Iterator(const PostingList* list)
+    : list_(list), remaining_(list->count_) {
+  if (remaining_ > 0) DecodeNext();
+}
+
+void PostingList::Iterator::DecodeNext() {
+  std::uint64_t delta = GetVarint(list_->bytes_, &offset_);
+  std::uint64_t tf = GetVarint(list_->bytes_, &offset_);
+  std::uint32_t index = list_->count_ - remaining_;
+  if (index % kSkipInterval == 0) {
+    current_.doc = static_cast<DocId>(delta);  // absolute at block start
+  } else {
+    current_.doc = prev_doc_ + static_cast<DocId>(delta);
+  }
+  current_.tf = static_cast<std::uint32_t>(tf);
+  prev_doc_ = current_.doc;
+  --remaining_;
+  valid_current_ = true;
+}
+
+void PostingList::Iterator::Next() {
+  if (remaining_ > 0) {
+    DecodeNext();
+  } else {
+    valid_current_ = false;
+  }
+}
+
+void PostingList::Iterator::SkipTo(DocId target) {
+  if (!Valid() || current_.doc >= target) return;
+  // Binary search the skip table for the last block starting at or before
+  // target that is still ahead of the current position.
+  const auto& skips = list_->skips_;
+  std::uint32_t current_index = list_->count_ - remaining_ - 1;
+  auto it = std::upper_bound(
+      skips.begin(), skips.end(), target,
+      [](DocId t, const SkipEntry& e) { return t < e.doc; });
+  if (it != skips.begin()) {
+    --it;
+    if (it->index > current_index) {
+      offset_ = it->offset;
+      remaining_ = list_->count_ - it->index;
+      prev_doc_ = 0;  // block start stores an absolute DocId
+      DecodeNext();
+      if (current_.doc >= target) return;
+    }
+  }
+  while (current_.doc < target) {
+    if (remaining_ == 0) {
+      valid_current_ = false;
+      return;
+    }
+    DecodeNext();
+  }
+}
+
+}  // namespace index
+}  // namespace metaprobe

@@ -1,0 +1,120 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_INDEX_POSTING_LIST_H_
+#define METAPROBE_INDEX_POSTING_LIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace metaprobe {
+namespace index {
+
+/// \brief Dense integer id of a document within one database.
+using DocId = std::uint32_t;
+
+/// \brief One posting: a document and the term's frequency in it.
+struct Posting {
+  DocId doc = 0;
+  std::uint32_t tf = 0;
+
+  bool operator==(const Posting&) const = default;
+};
+
+/// \brief Compressed posting list for a single term.
+///
+/// Postings are stored as (delta-encoded DocId, tf) pairs in LEB128 varints,
+/// with a skip entry every `kSkipInterval` postings recording the absolute
+/// DocId and byte offset so that `Iterator::SkipTo` can jump over blocks
+/// during conjunctive intersection.
+///
+/// Append order must be strictly increasing by DocId; the builder in
+/// inverted_index.cc guarantees this by construction.
+class PostingList {
+ public:
+  static constexpr std::uint32_t kSkipInterval = 64;
+
+  PostingList() = default;
+
+  /// \brief Appends a posting; `doc` must exceed the last appended DocId.
+  Status Append(DocId doc, std::uint32_t tf);
+
+  /// \brief Number of postings (the term's document frequency).
+  std::uint32_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// \brief Compressed payload size in bytes (diagnostics).
+  std::size_t ByteSize() const {
+    return bytes_.capacity() + skips_.capacity() * sizeof(SkipEntry);
+  }
+
+  /// \brief Releases excess capacity after building.
+  void ShrinkToFit();
+
+  /// \brief Forward decoder over the postings.
+  class Iterator {
+   public:
+    explicit Iterator(const PostingList* list);
+
+    /// \brief True while positioned on a posting.
+    bool Valid() const { return remaining_ > 0 || valid_current_; }
+
+    DocId doc() const { return current_.doc; }
+    std::uint32_t tf() const { return current_.tf; }
+    Posting posting() const { return current_; }
+
+    /// \brief Advances to the next posting.
+    void Next();
+
+    /// \brief Advances to the first posting with doc >= target, using the
+    /// skip table to bypass blocks. No-op if already there.
+    void SkipTo(DocId target);
+
+   private:
+    void DecodeNext();
+
+    const PostingList* list_;
+    std::size_t offset_ = 0;       // byte position in list_->bytes_
+    std::uint32_t remaining_ = 0;  // postings not yet decoded
+    DocId prev_doc_ = 0;           // base for delta decoding
+    Posting current_{};
+    bool valid_current_ = false;
+  };
+
+  Iterator begin() const { return Iterator(this); }
+
+  /// \brief Decodes the full list (tests and small-scale tooling).
+  std::vector<Posting> Decode() const;
+
+  /// \brief Raw compressed payload (persistence).
+  const std::vector<std::uint8_t>& encoded_bytes() const { return bytes_; }
+
+  /// \brief Rebuilds a list from a serialized payload, validating varint
+  /// framing, DocId monotonicity and positive term frequencies; the skip
+  /// table is reconstructed during the validation pass.
+  static Result<PostingList> FromEncoded(std::uint32_t count,
+                                         std::vector<std::uint8_t> bytes);
+
+ private:
+  friend class Iterator;
+
+  struct SkipEntry {
+    DocId doc;            // DocId of the first posting in the block
+    std::uint32_t index;  // posting index of the block start
+    std::size_t offset;   // byte offset of the block start
+  };
+
+  void PutVarint(std::uint64_t value);
+
+  std::vector<std::uint8_t> bytes_;
+  std::vector<SkipEntry> skips_;
+  std::uint32_t count_ = 0;
+  DocId last_doc_ = 0;
+  bool has_last_ = false;
+};
+
+}  // namespace index
+}  // namespace metaprobe
+
+#endif  // METAPROBE_INDEX_POSTING_LIST_H_

@@ -1,0 +1,156 @@
+#include "stats/chi_square.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace metaprobe {
+namespace stats {
+
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEpsilon = 3.0e-12;
+constexpr double kFpMin = std::numeric_limits<double>::min() / kEpsilon;
+
+// Series representation of P(a, x); converges quickly for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double term = sum;
+  for (int n = 0; n < kMaxIterations; ++n) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * kEpsilon) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Continued-fraction representation of Q(a, x); converges for x >= a + 1.
+double GammaQContinuedFraction(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kFpMin;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = b + an / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEpsilon) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double RegularizedGammaP(double a, double x) {
+  if (a <= 0.0 || x < 0.0 || !std::isfinite(a) || !std::isfinite(x)) {
+    std::fprintf(stderr, "RegularizedGammaP: invalid a=%g x=%g\n", a, x);
+    std::abort();
+  }
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double RegularizedGammaQ(double a, double x) {
+  if (a <= 0.0 || x < 0.0 || !std::isfinite(a) || !std::isfinite(x)) {
+    std::fprintf(stderr, "RegularizedGammaQ: invalid a=%g x=%g\n", a, x);
+    std::abort();
+  }
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
+  return GammaQContinuedFraction(a, x);
+}
+
+double ChiSquareCdf(double x, double dof) {
+  if (x <= 0.0) return 0.0;
+  return RegularizedGammaP(dof / 2.0, x / 2.0);
+}
+
+double ChiSquareSf(double x, double dof) {
+  if (x <= 0.0) return 1.0;
+  return RegularizedGammaQ(dof / 2.0, x / 2.0);
+}
+
+Result<ChiSquareTestResult> PearsonChiSquareTest(
+    const std::vector<double>& observed_counts,
+    const std::vector<double>& expected_probs, double min_expected) {
+  if (observed_counts.size() != expected_probs.size()) {
+    return Status::InvalidArgument(
+        "observed (", observed_counts.size(), ") and expected (",
+        expected_probs.size(), ") cell counts differ");
+  }
+  if (observed_counts.size() < 2) {
+    return Status::InvalidArgument("need at least two cells");
+  }
+  double n = 0.0;
+  for (double c : observed_counts) {
+    if (c < 0.0) return Status::InvalidArgument("negative observed count");
+    n += c;
+  }
+  if (n <= 0.0) return Status::InvalidArgument("no observations");
+  double prob_total = 0.0;
+  for (double p : expected_probs) {
+    if (p < 0.0) return Status::InvalidArgument("negative expected probability");
+    prob_total += p;
+  }
+  if (std::fabs(prob_total - 1.0) > 1e-6) {
+    return Status::InvalidArgument("expected probabilities sum to ", prob_total,
+                                   ", want 1");
+  }
+
+  // Merge low-expectation cells forward (the final merged block absorbs any
+  // trailing remainder backward).
+  std::vector<double> obs;
+  std::vector<double> exp;
+  double pending_obs = 0.0;
+  double pending_exp = 0.0;
+  ChiSquareTestResult result;
+  for (std::size_t i = 0; i < observed_counts.size(); ++i) {
+    pending_obs += observed_counts[i];
+    pending_exp += expected_probs[i] * n;
+    if (pending_exp >= min_expected) {
+      obs.push_back(pending_obs);
+      exp.push_back(pending_exp);
+      pending_obs = 0.0;
+      pending_exp = 0.0;
+    } else {
+      ++result.merged_cells;
+    }
+  }
+  if (pending_exp > 0.0 || pending_obs > 0.0) {
+    if (obs.empty()) {
+      obs.push_back(pending_obs);
+      exp.push_back(pending_exp);
+    } else {
+      obs.back() += pending_obs;
+      exp.back() += pending_exp;
+    }
+  }
+  if (obs.size() < 2) {
+    return Status::FailedPrecondition(
+        "fewer than two cells remain after merging; expected counts too small");
+  }
+
+  double statistic = 0.0;
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    double diff = obs[i] - exp[i];
+    statistic += diff * diff / exp[i];
+  }
+  result.statistic = statistic;
+  result.dof = static_cast<double>(obs.size() - 1);
+  result.p_value = ChiSquareSf(statistic, result.dof);
+  return result;
+}
+
+}  // namespace stats
+}  // namespace metaprobe

@@ -1,0 +1,57 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_STATS_CHI_SQUARE_H_
+#define METAPROBE_STATS_CHI_SQUARE_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace metaprobe {
+namespace stats {
+
+/// \brief Regularized lower incomplete gamma P(a, x) = gamma(a,x)/Gamma(a).
+/// Series expansion for x < a+1, continued fraction otherwise (Numerical
+/// Recipes style). Requires a > 0, x >= 0.
+double RegularizedGammaP(double a, double x);
+
+/// \brief Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+/// \brief CDF of the chi-square distribution with `dof` degrees of freedom.
+double ChiSquareCdf(double x, double dof);
+
+/// \brief Survival function (upper tail) of the chi-square distribution;
+/// this is the p-value of a chi-square statistic.
+double ChiSquareSf(double x, double dof);
+
+/// \brief Outcome of a Pearson goodness-of-fit test.
+struct ChiSquareTestResult {
+  double statistic = 0.0;   ///< The chi-square statistic.
+  double dof = 0.0;         ///< Effective degrees of freedom after merging.
+  double p_value = 1.0;     ///< Upper-tail probability; near 0 => reject.
+  int merged_cells = 0;     ///< Cells folded into neighbors for low counts.
+};
+
+/// \brief Pearson chi-square goodness-of-fit test of observed counts against
+/// expected cell probabilities.
+///
+/// This is the test the paper uses to score how well an error distribution
+/// built from a small sample matches the "ideal" distribution built from the
+/// full query set (Section 4.2, Figures 7-8): the sample histogram's counts
+/// are the observations, the ideal histogram's probabilities are the
+/// expectations, and a p-value above 0.05 accepts the sample as a good
+/// approximation.
+///
+/// Cells whose expected count falls below `min_expected` are merged into the
+/// nearest following cell (textbook validity guard); degrees of freedom are
+/// reduced accordingly. Fails when the inputs differ in size, have fewer
+/// than two cells after merging, or expected probabilities do not sum to ~1.
+Result<ChiSquareTestResult> PearsonChiSquareTest(
+    const std::vector<double>& observed_counts,
+    const std::vector<double>& expected_probs, double min_expected = 5.0);
+
+}  // namespace stats
+}  // namespace metaprobe
+
+#endif  // METAPROBE_STATS_CHI_SQUARE_H_

@@ -1,0 +1,49 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_STATS_DESCRIPTIVE_H_
+#define METAPROBE_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace metaprobe {
+namespace stats {
+
+/// \brief Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& xs);
+
+/// \brief Population variance; 0 for fewer than two values.
+double Variance(const std::vector<double>& xs);
+
+/// \brief Population standard deviation.
+double StdDev(const std::vector<double>& xs);
+
+/// \brief Linear-interpolated percentile, p in [0, 100]. Copies and sorts.
+double Percentile(std::vector<double> xs, double p);
+
+/// \brief Streaming accumulator for mean / variance / extrema (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace stats
+}  // namespace metaprobe
+
+#endif  // METAPROBE_STATS_DESCRIPTIVE_H_

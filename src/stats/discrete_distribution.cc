@@ -1,0 +1,117 @@
+#include "stats/discrete_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace metaprobe {
+namespace stats {
+
+DiscreteDistribution::DiscreteDistribution() : atoms_{{0.0, 1.0}} {}
+
+DiscreteDistribution::DiscreteDistribution(std::vector<Atom> atoms)
+    : atoms_(std::move(atoms)) {}
+
+Result<DiscreteDistribution> DiscreteDistribution::Make(
+    std::vector<Atom> atoms) {
+  std::vector<Atom> kept;
+  kept.reserve(atoms.size());
+  for (const Atom& a : atoms) {
+    if (!std::isfinite(a.value)) {
+      return Status::InvalidArgument("distribution value must be finite, got ",
+                                     a.value);
+    }
+    if (a.prob > 0.0) kept.push_back(a);
+  }
+  if (kept.empty()) {
+    return Status::InvalidArgument("distribution has no positive mass");
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const Atom& x, const Atom& y) { return x.value < y.value; });
+  // Merge equal values and normalize.
+  std::vector<Atom> merged;
+  merged.reserve(kept.size());
+  double total = 0.0;
+  for (const Atom& a : kept) {
+    if (!merged.empty() && merged.back().value == a.value) {
+      merged.back().prob += a.prob;
+    } else {
+      merged.push_back(a);
+    }
+    total += a.prob;
+  }
+  for (Atom& a : merged) a.prob /= total;
+  return DiscreteDistribution(std::move(merged));
+}
+
+DiscreteDistribution DiscreteDistribution::Impulse(double value) {
+  return DiscreteDistribution({{value, 1.0}});
+}
+
+double DiscreteDistribution::Mean() const {
+  double m = 0.0;
+  for (const Atom& a : atoms_) m += a.value * a.prob;
+  return m;
+}
+
+double DiscreteDistribution::Variance() const {
+  double m = Mean();
+  double v = 0.0;
+  for (const Atom& a : atoms_) v += (a.value - m) * (a.value - m) * a.prob;
+  return v;
+}
+
+double DiscreteDistribution::StdDev() const { return std::sqrt(Variance()); }
+
+double DiscreteDistribution::PrEqual(double v) const {
+  auto it = std::lower_bound(
+      atoms_.begin(), atoms_.end(), v,
+      [](const Atom& a, double x) { return a.value < x; });
+  if (it != atoms_.end() && it->value == v) return it->prob;
+  return 0.0;
+}
+
+double DiscreteDistribution::PrAtLeast(double v) const {
+  auto it = std::lower_bound(
+      atoms_.begin(), atoms_.end(), v,
+      [](const Atom& a, double x) { return a.value < x; });
+  double p = 0.0;
+  for (; it != atoms_.end(); ++it) p += it->prob;
+  return p;
+}
+
+double DiscreteDistribution::PrGreaterThan(double v) const {
+  auto it = std::upper_bound(
+      atoms_.begin(), atoms_.end(), v,
+      [](double x, const Atom& a) { return x < a.value; });
+  double p = 0.0;
+  for (; it != atoms_.end(); ++it) p += it->prob;
+  return p;
+}
+
+double DiscreteDistribution::Sample(Rng* rng) const {
+  double u = rng->Uniform();
+  double acc = 0.0;
+  for (const Atom& a : atoms_) {
+    acc += a.prob;
+    if (u < acc) return a.value;
+  }
+  return atoms_.back().value;
+}
+
+std::string DiscreteDistribution::ToString(int digits) const {
+  std::ostringstream out;
+  out << "{";
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << FormatDouble(atoms_[i].value, digits) << ": "
+        << FormatDouble(atoms_[i].prob, digits);
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace stats
+}  // namespace metaprobe

@@ -1,0 +1,101 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_STATS_DISCRETE_DISTRIBUTION_H_
+#define METAPROBE_STATS_DISCRETE_DISTRIBUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "stats/random.h"
+
+namespace metaprobe {
+namespace stats {
+
+/// \brief A single support point of a discrete distribution.
+struct Atom {
+  double value = 0.0;
+  double prob = 0.0;
+
+  bool operator==(const Atom&) const = default;
+};
+
+/// \brief Finite discrete probability distribution over real values.
+///
+/// The support is kept sorted by value with strictly increasing, de-duplicated
+/// values and probabilities normalized to 1. This is the representation of
+/// the paper's relevancy distributions (RDs); the order-statistics math in
+/// core/correctness.cc relies on the sortedness to evaluate
+/// `Pr(X >= v)` / `Pr(X < v)` with binary searches.
+class DiscreteDistribution {
+ public:
+  /// Creates an impulse at 0 (also the value-initialized state).
+  DiscreteDistribution();
+
+  /// Builds a distribution from unordered atoms. Atoms with equal values are
+  /// merged; non-positive probabilities are dropped; the result is
+  /// normalized. Fails if no positive mass remains or a value is non-finite.
+  static Result<DiscreteDistribution> Make(std::vector<Atom> atoms);
+
+  /// \brief Returns the distribution concentrated at `value` (an RD after a
+  /// probe: the paper's "impulse function").
+  static DiscreteDistribution Impulse(double value);
+
+  /// \brief Number of support points.
+  std::size_t size() const { return atoms_.size(); }
+
+  /// \brief True when all mass sits on a single value.
+  bool IsImpulse() const { return atoms_.size() == 1; }
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  const Atom& atom(std::size_t i) const { return atoms_[i]; }
+
+  double Mean() const;
+  double Variance() const;
+  double StdDev() const;
+
+  /// \brief Smallest/largest support value.
+  double MinValue() const { return atoms_.front().value; }
+  double MaxValue() const { return atoms_.back().value; }
+
+  /// \brief Pr(X == v) (0 when v is off-support).
+  double PrEqual(double v) const;
+  /// \brief Pr(X >= v).
+  double PrAtLeast(double v) const;
+  /// \brief Pr(X > v).
+  double PrGreaterThan(double v) const;
+  /// \brief Pr(X < v).
+  double PrLessThan(double v) const { return 1.0 - PrAtLeast(v); }
+  /// \brief Pr(X <= v).
+  double PrAtMost(double v) const { return 1.0 - PrGreaterThan(v); }
+
+  /// \brief Draws a value.
+  double Sample(Rng* rng) const;
+
+  /// \brief Returns a copy with every support value transformed by
+  /// `fn(value)`; useful for deriving an RD from an ED (r = r_hat * (1+err)).
+  /// `fn` must be monotonically non-decreasing to preserve ordering; values
+  /// that collide after transformation are merged.
+  template <typename Fn>
+  DiscreteDistribution MapValues(Fn fn) const {
+    std::vector<Atom> mapped;
+    mapped.reserve(atoms_.size());
+    for (const Atom& a : atoms_) mapped.push_back({fn(a.value), a.prob});
+    return Make(std::move(mapped)).ValueOrDie();
+  }
+
+  /// \brief Renders "{v1: p1, v2: p2, ...}" for logging and test output.
+  std::string ToString(int digits = 3) const;
+
+  bool operator==(const DiscreteDistribution&) const = default;
+
+ private:
+  explicit DiscreteDistribution(std::vector<Atom> atoms);
+
+  std::vector<Atom> atoms_;
+};
+
+}  // namespace stats
+}  // namespace metaprobe
+
+#endif  // METAPROBE_STATS_DISCRETE_DISTRIBUTION_H_

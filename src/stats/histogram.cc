@@ -1,0 +1,116 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace metaprobe {
+namespace stats {
+
+Histogram::Histogram(std::vector<double> edges)
+    : edges_(std::move(edges)), counts_(edges_.size() + 1, 0.0) {}
+
+Result<Histogram> Histogram::Make(std::vector<double> edges) {
+  if (edges.empty()) {
+    return Status::InvalidArgument("histogram needs at least one edge");
+  }
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    if (!(edges[i - 1] < edges[i])) {
+      return Status::InvalidArgument("histogram edges must strictly increase");
+    }
+  }
+  for (double e : edges) {
+    if (!std::isfinite(e)) {
+      return Status::InvalidArgument("histogram edges must be finite");
+    }
+  }
+  return Histogram(std::move(edges));
+}
+
+void Histogram::Add(double value) { AddWeighted(value, 1.0); }
+
+void Histogram::AddWeighted(double value, double weight) {
+  if (weight <= 0.0 || !std::isfinite(value)) return;
+  counts_[CellFor(value)] += weight;
+  total_ += weight;
+}
+
+std::size_t Histogram::CellFor(double value) const {
+  // Index of the first edge strictly greater than value == cell index.
+  auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+  return static_cast<std::size_t>(it - edges_.begin());
+}
+
+std::vector<double> Histogram::Probabilities() const {
+  std::vector<double> probs(counts_.size(), 0.0);
+  if (total_ <= 0.0) return probs;
+  for (std::size_t i = 0; i < counts_.size(); ++i) probs[i] = counts_[i] / total_;
+  return probs;
+}
+
+double Histogram::Representative(std::size_t i) const {
+  const std::size_t m = edges_.size();
+  if (m == 1) {
+    // Two open tails around a single edge.
+    return i == 0 ? edges_[0] - 1.0 : edges_[0] + 1.0;
+  }
+  if (i == 0) {
+    double width = edges_[1] - edges_[0];
+    return edges_[0] - 0.5 * width;
+  }
+  if (i >= m) {
+    double width = edges_[m - 1] - edges_[m - 2];
+    return edges_[m - 1] + 0.5 * width;
+  }
+  return 0.5 * (edges_[i - 1] + edges_[i]);
+}
+
+double Histogram::LowerEdge(std::size_t i) const {
+  if (i == 0) return -std::numeric_limits<double>::infinity();
+  return edges_[std::min(i - 1, edges_.size() - 1)];
+}
+
+double Histogram::UpperEdge(std::size_t i) const {
+  if (i >= edges_.size()) return std::numeric_limits<double>::infinity();
+  return edges_[i];
+}
+
+Status Histogram::MergeFrom(const Histogram& other) {
+  if (other.edges_ != edges_) {
+    return Status::InvalidArgument("cannot merge histograms with different edges");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  return Status::OK();
+}
+
+void Histogram::Clear() {
+  std::fill(counts_.begin(), counts_.end(), 0.0);
+  total_ = 0.0;
+}
+
+std::string Histogram::ToAscii(int width) const {
+  std::ostringstream out;
+  const std::vector<double> probs = Probabilities();
+  double max_prob = 0.0;
+  for (double p : probs) max_prob = std::max(max_prob, p);
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    char range[64];
+    std::snprintf(range, sizeof(range), "[%7.2f,%7.2f)", LowerEdge(i),
+                  UpperEdge(i));
+    int bars = max_prob > 0.0
+                   ? static_cast<int>(std::lround(probs[i] / max_prob * width))
+                   : 0;
+    out << range << " " << std::string(static_cast<std::size_t>(bars), '#')
+        << std::string(static_cast<std::size_t>(width - bars), ' ') << " "
+        << FormatDouble(probs[i], 3) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace stats
+}  // namespace metaprobe

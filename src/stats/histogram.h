@@ -1,0 +1,89 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_STATS_HISTOGRAM_H_
+#define METAPROBE_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace metaprobe {
+namespace stats {
+
+/// \brief Fixed-bin histogram over the real line.
+///
+/// Bins are defined by `edges` e_0 < e_1 < ... < e_m plus two implicit
+/// open-ended tails, giving m+1 cells:
+///   cell 0:      (-inf, e_0)
+///   cell i:      [e_{i-1}, e_i)   for 1 <= i <= m-1 ... (half open)
+///   cell m:      [e_{m-1}, +inf)
+/// i.e. with m edges there are m+1 cells; a value lands in the cell whose
+/// lower edge is the greatest edge <= value.
+///
+/// This is the container behind the paper's error distributions (EDs): the
+/// learner adds one observed estimation error per training query, then the
+/// histogram is normalized into a `DiscreteDistribution` whose support is
+/// one representative value per non-empty cell.
+class Histogram {
+ public:
+  /// Builds a histogram with the given edges; edges must be strictly
+  /// increasing and non-empty.
+  static Result<Histogram> Make(std::vector<double> edges);
+
+  /// \brief Records one observation.
+  void Add(double value);
+
+  /// \brief Records an observation with the given weight (>0).
+  void AddWeighted(double value, double weight);
+
+  /// \brief Returns the cell index for `value` (see class comment).
+  std::size_t CellFor(double value) const;
+
+  /// \brief Number of cells (= edges + 1).
+  std::size_t num_cells() const { return counts_.size(); }
+
+  /// \brief Raw weight in cell `i`.
+  double count(std::size_t i) const { return counts_[i]; }
+
+  /// \brief Sum of weights across all cells.
+  double total() const { return total_; }
+
+  /// \brief Per-cell probabilities; all zeros if the histogram is empty.
+  std::vector<double> Probabilities() const;
+
+  /// \brief Representative value for cell `i`, used as the discrete support
+  /// point when converting to a distribution: the midpoint for interior
+  /// cells, and the finite edge offset by half the adjacent cell width for
+  /// the two open tails.
+  double Representative(std::size_t i) const;
+
+  /// \brief Lower/upper bounds of cell `i`; tails return +-infinity.
+  double LowerEdge(std::size_t i) const;
+  double UpperEdge(std::size_t i) const;
+
+  const std::vector<double>& edges() const { return edges_; }
+
+  /// \brief Merges another histogram with identical edges into this one.
+  Status MergeFrom(const Histogram& other);
+
+  /// \brief Resets all counts to zero.
+  void Clear();
+
+  /// \brief Renders an ASCII sketch ("[-0.50,-0.25): ####  0.21") for docs,
+  /// examples and the Fig. 9 bench.
+  std::string ToAscii(int width = 40) const;
+
+ private:
+  explicit Histogram(std::vector<double> edges);
+
+  std::vector<double> edges_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace stats
+}  // namespace metaprobe
+
+#endif  // METAPROBE_STATS_HISTOGRAM_H_

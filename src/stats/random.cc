@@ -1,0 +1,171 @@
+#include "stats/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace metaprobe {
+namespace stats {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 significant bits -> uniform double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+std::uint64_t Rng::UniformInt(std::uint64_t bound) {
+  if (bound == 0) {
+    std::fprintf(stderr, "Rng::UniformInt: bound must be positive\n");
+    std::abort();
+  }
+  // Lemire-style rejection to remove modulo bias.
+  std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    std::uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  if (hi < lo) std::swap(lo, hi);
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(Next());  // full range
+  return lo + static_cast<std::int64_t>(UniformInt(span));
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform() < p;
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 0.0);
+  double u2 = Uniform();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double angle = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+std::vector<std::size_t> Rng::SampleIndices(std::size_t population,
+                                            std::size_t n) {
+  n = std::min(n, population);
+  if (n == 0) return {};
+  // Partial Fisher–Yates over an index array; O(population) memory which is
+  // fine for the query-trace sizes this library handles.
+  std::vector<std::size_t> indices(population);
+  for (std::size_t i = 0; i < population; ++i) indices[i] = i;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t j = i + static_cast<std::size_t>(UniformInt(population - i));
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(n);
+  return indices;
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  if (n == 0) n = 1;
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = total;
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+std::size_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->Uniform();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(std::size_t i) const {
+  if (i >= cdf_.size()) return 0.0;
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+WeightedSampler::WeightedSampler(std::vector<double> weights) {
+  cdf_.resize(weights.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    total += std::max(0.0, weights[i]);
+    cdf_[i] = total;
+  }
+  if (total <= 0.0) {
+    // Degenerate weights: fall back to uniform.
+    for (std::size_t i = 0; i < cdf_.size(); ++i) {
+      cdf_[i] = static_cast<double>(i + 1) / static_cast<double>(cdf_.size());
+    }
+  } else {
+    for (double& c : cdf_) c /= total;
+  }
+}
+
+std::size_t WeightedSampler::Sample(Rng* rng) const {
+  if (cdf_.empty()) {
+    std::fprintf(stderr, "WeightedSampler::Sample on empty sampler\n");
+    std::abort();
+  }
+  double u = rng->Uniform();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace stats
+}  // namespace metaprobe

@@ -1,0 +1,115 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_STATS_RANDOM_H_
+#define METAPROBE_STATS_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace metaprobe {
+namespace stats {
+
+/// \brief Deterministic pseudo-random generator (xoshiro256**, seeded via
+/// splitmix64).
+///
+/// Every stochastic component of the library draws from an `Rng` that the
+/// caller seeds, so corpus generation, query sampling, ED learning and
+/// Monte-Carlo estimation are all reproducible bit-for-bit. The generator is
+/// not thread-safe; use one instance per thread.
+class Rng {
+ public:
+  /// Creates a generator from a 64-bit seed. Equal seeds produce equal
+  /// streams on every platform.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// \brief Returns the next raw 64-bit value.
+  std::uint64_t Next();
+
+  /// \brief Returns a double uniformly distributed in [0, 1).
+  double Uniform();
+
+  /// \brief Returns a double uniformly distributed in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// \brief Returns an integer uniformly distributed in [0, bound).
+  /// `bound` must be positive. Uses rejection to avoid modulo bias.
+  std::uint64_t UniformInt(std::uint64_t bound);
+
+  /// \brief Returns an integer uniformly distributed in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// \brief Returns true with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// \brief Returns a standard normal deviate (Box–Muller, cached pair).
+  double Normal();
+
+  /// \brief Returns a normal deviate with the given mean and stddev.
+  double Normal(double mean, double stddev);
+
+  /// \brief Returns exp(Normal(mu, sigma)): lognormal on the natural scale.
+  double LogNormal(double mu, double sigma);
+
+  /// \brief Fisher–Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (std::size_t i = items->size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(UniformInt(i));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// \brief Samples `n` distinct indices from [0, population) (n <=
+  /// population), in random order.
+  std::vector<std::size_t> SampleIndices(std::size_t population, std::size_t n);
+
+  /// \brief Derives an independent generator; convenient for handing each
+  /// subsystem its own stream from one master seed.
+  Rng Fork();
+
+ private:
+  std::uint64_t state_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// \brief Samples ranks 0..n-1 with probability proportional to
+/// 1/(rank+1)^exponent (Zipf / discrete power law).
+///
+/// Construction precomputes the CDF; sampling is a binary search, O(log n).
+class ZipfSampler {
+ public:
+  /// \param n number of ranks (must be >= 1)
+  /// \param exponent Zipf skew; 1.0 is the classical distribution.
+  ZipfSampler(std::size_t n, double exponent);
+
+  /// \brief Draws one rank in [0, n).
+  std::size_t Sample(Rng* rng) const;
+
+  /// \brief Returns the probability of rank `i`.
+  double Probability(std::size_t i) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// \brief Samples an index according to explicit (unnormalized) weights.
+class WeightedSampler {
+ public:
+  explicit WeightedSampler(std::vector<double> weights);
+
+  /// \brief Draws one index in [0, weights.size()).
+  std::size_t Sample(Rng* rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace stats
+}  // namespace metaprobe
+
+#endif  // METAPROBE_STATS_RANDOM_H_

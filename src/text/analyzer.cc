@@ -1,0 +1,30 @@
+#include "text/analyzer.h"
+
+namespace metaprobe {
+namespace text {
+
+Analyzer::Analyzer(AnalyzerOptions options)
+    : options_(options), tokenizer_(options.tokenizer) {}
+
+std::vector<std::string> Analyzer::Analyze(std::string_view input) const {
+  std::vector<std::string> tokens = tokenizer_.Tokenize(input);
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (std::string& token : tokens) {
+    if (options_.remove_stopwords && stopwords_.Contains(token)) continue;
+    if (options_.stem) {
+      out.push_back(stemmer_.Stem(token));
+    } else {
+      out.push_back(std::move(token));
+    }
+  }
+  return out;
+}
+
+std::string Analyzer::AnalyzeTerm(std::string_view word) const {
+  std::vector<std::string> terms = Analyze(word);
+  return terms.empty() ? std::string() : std::move(terms.front());
+}
+
+}  // namespace text
+}  // namespace metaprobe

@@ -1,0 +1,51 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_TEXT_ANALYZER_H_
+#define METAPROBE_TEXT_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace metaprobe {
+namespace text {
+
+/// \brief Options for the end-to-end analysis pipeline.
+struct AnalyzerOptions {
+  TokenizerOptions tokenizer;
+  bool remove_stopwords = true;
+  bool stem = true;
+};
+
+/// \brief Tokenize -> stopword-filter -> stem pipeline.
+///
+/// One analyzer is shared by the indexer and the query parser so documents
+/// and queries land in the same term space. Analysis is stateless and
+/// thread-compatible (const methods on an immutable configuration).
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerOptions options = {});
+
+  /// \brief Analyzes free text into index terms.
+  std::vector<std::string> Analyze(std::string_view input) const;
+
+  /// \brief Analyzes a single already-tokenized word (stopwords map to "").
+  std::string AnalyzeTerm(std::string_view word) const;
+
+  const AnalyzerOptions& options() const { return options_; }
+
+ private:
+  AnalyzerOptions options_;
+  Tokenizer tokenizer_;
+  StopwordList stopwords_;
+  PorterStemmer stemmer_;
+};
+
+}  // namespace text
+}  // namespace metaprobe
+
+#endif  // METAPROBE_TEXT_ANALYZER_H_

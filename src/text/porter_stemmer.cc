@@ -1,0 +1,227 @@
+#include "text/porter_stemmer.h"
+
+#include <array>
+#include <cctype>
+
+namespace metaprobe {
+namespace text {
+
+namespace {
+
+// A consonant is any letter other than a, e, i, o, u, with 'y' counting as a
+// consonant only when not preceded by a consonant.
+bool IsConsonant(const std::string& w, std::size_t i) {
+  char c = w[i];
+  switch (c) {
+    case 'a':
+    case 'e':
+    case 'i':
+    case 'o':
+    case 'u':
+      return false;
+    case 'y':
+      return i == 0 ? true : !IsConsonant(w, i - 1);
+    default:
+      return true;
+  }
+}
+
+// Measure m of the word prefix w[0, end): number of VC sequences in the
+// canonical form [C](VC)^m[V].
+int Measure(const std::string& w, std::size_t end) {
+  int m = 0;
+  std::size_t i = 0;
+  // Skip initial consonants.
+  while (i < end && IsConsonant(w, i)) ++i;
+  while (i < end) {
+    // Vowel run.
+    while (i < end && !IsConsonant(w, i)) ++i;
+    if (i >= end) break;
+    ++m;
+    // Consonant run.
+    while (i < end && IsConsonant(w, i)) ++i;
+  }
+  return m;
+}
+
+bool HasVowel(const std::string& w, std::size_t end) {
+  for (std::size_t i = 0; i < end; ++i) {
+    if (!IsConsonant(w, i)) return true;
+  }
+  return false;
+}
+
+bool EndsWithDoubleConsonant(const std::string& w) {
+  std::size_t n = w.size();
+  if (n < 2) return false;
+  return w[n - 1] == w[n - 2] && IsConsonant(w, n - 1);
+}
+
+// cvc with final consonant not w, x, or y ("hop", "crim" in "crime"-trimmed).
+bool EndsCvc(const std::string& w, std::size_t end) {
+  if (end < 3) return false;
+  std::size_t i = end - 1;
+  if (!IsConsonant(w, i) || IsConsonant(w, i - 1) || !IsConsonant(w, i - 2)) {
+    return false;
+  }
+  char c = w[i];
+  return c != 'w' && c != 'x' && c != 'y';
+}
+
+bool EndsWith(const std::string& w, std::string_view suffix) {
+  return w.size() >= suffix.size() &&
+         std::string_view(w).substr(w.size() - suffix.size()) == suffix;
+}
+
+// If the word ends with `suffix` and the stem before it has measure > m_min,
+// replace the suffix and return true.
+bool ReplaceIfMeasure(std::string* w, std::string_view suffix,
+                      std::string_view replacement, int m_min) {
+  if (!EndsWith(*w, suffix)) return false;
+  std::size_t stem_len = w->size() - suffix.size();
+  if (Measure(*w, stem_len) <= m_min) return true;  // matched; rule consumed
+  w->resize(stem_len);
+  w->append(replacement);
+  return true;
+}
+
+}  // namespace
+
+void PorterStemmer::Step1a(std::string* w) {
+  if (EndsWith(*w, "sses")) {
+    w->resize(w->size() - 2);  // sses -> ss
+  } else if (EndsWith(*w, "ies")) {
+    w->resize(w->size() - 2);  // ies -> i
+  } else if (EndsWith(*w, "ss")) {
+    // ss -> ss (no change)
+  } else if (EndsWith(*w, "s")) {
+    w->resize(w->size() - 1);  // s ->
+  }
+}
+
+void PorterStemmer::Step1b(std::string* w) {
+  bool second_or_third = false;
+  if (EndsWith(*w, "eed")) {
+    if (Measure(*w, w->size() - 3) > 0) w->resize(w->size() - 1);  // eed -> ee
+  } else if (EndsWith(*w, "ed") && HasVowel(*w, w->size() - 2)) {
+    w->resize(w->size() - 2);
+    second_or_third = true;
+  } else if (EndsWith(*w, "ing") && HasVowel(*w, w->size() - 3)) {
+    w->resize(w->size() - 3);
+    second_or_third = true;
+  }
+  if (second_or_third) {
+    if (EndsWith(*w, "at") || EndsWith(*w, "bl") || EndsWith(*w, "iz")) {
+      w->push_back('e');
+    } else if (EndsWithDoubleConsonant(*w)) {
+      char last = w->back();
+      if (last != 'l' && last != 's' && last != 'z') w->resize(w->size() - 1);
+    } else if (Measure(*w, w->size()) == 1 && EndsCvc(*w, w->size())) {
+      w->push_back('e');
+    }
+  }
+}
+
+void PorterStemmer::Step1c(std::string* w) {
+  if (EndsWith(*w, "y") && HasVowel(*w, w->size() - 1)) {
+    (*w)[w->size() - 1] = 'i';
+  }
+}
+
+void PorterStemmer::Step2(std::string* w) {
+  struct Rule {
+    std::string_view suffix;
+    std::string_view replacement;
+  };
+  static constexpr std::array<Rule, 20> kRules = {{
+      {"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+      {"anci", "ance"},   {"izer", "ize"},    {"abli", "able"},
+      {"alli", "al"},     {"entli", "ent"},   {"eli", "e"},
+      {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+      {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"},
+      {"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+      {"iviti", "ive"},   {"biliti", "ble"},
+  }};
+  for (const Rule& rule : kRules) {
+    if (EndsWith(*w, rule.suffix)) {
+      ReplaceIfMeasure(w, rule.suffix, rule.replacement, 0);
+      return;
+    }
+  }
+}
+
+void PorterStemmer::Step3(std::string* w) {
+  struct Rule {
+    std::string_view suffix;
+    std::string_view replacement;
+  };
+  static constexpr std::array<Rule, 7> kRules = {{
+      {"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+      {"ical", "ic"},  {"ful", ""},   {"ness", ""},
+  }};
+  for (const Rule& rule : kRules) {
+    if (EndsWith(*w, rule.suffix)) {
+      ReplaceIfMeasure(w, rule.suffix, rule.replacement, 0);
+      return;
+    }
+  }
+}
+
+void PorterStemmer::Step4(std::string* w) {
+  static constexpr std::array<std::string_view, 19> kSuffixes = {
+      "al",    "ance", "ence", "er",  "ic",  "able", "ible", "ant",  "ement",
+      "ment",  "ent",  "ou",   "ism", "ate", "iti",  "ous",  "ive",  "ize",
+      "ion"};
+  for (std::string_view suffix : kSuffixes) {
+    if (!EndsWith(*w, suffix)) continue;
+    std::size_t stem_len = w->size() - suffix.size();
+    if (suffix == "ion") {
+      // (m>1 and (*S or *T)) ION ->
+      if (stem_len > 0 &&
+          ((*w)[stem_len - 1] == 's' || (*w)[stem_len - 1] == 't') &&
+          Measure(*w, stem_len) > 1) {
+        w->resize(stem_len);
+      }
+    } else if (Measure(*w, stem_len) > 1) {
+      w->resize(stem_len);
+    }
+    return;
+  }
+}
+
+void PorterStemmer::Step5a(std::string* w) {
+  if (!EndsWith(*w, "e")) return;
+  std::size_t stem_len = w->size() - 1;
+  int m = Measure(*w, stem_len);
+  if (m > 1 || (m == 1 && !EndsCvc(*w, stem_len))) {
+    w->resize(stem_len);
+  }
+}
+
+void PorterStemmer::Step5b(std::string* w) {
+  if (w->size() >= 2 && w->back() == 'l' && EndsWithDoubleConsonant(*w) &&
+      Measure(*w, w->size()) > 1) {
+    w->resize(w->size() - 1);
+  }
+}
+
+std::string PorterStemmer::Stem(std::string_view word) const {
+  // Words of length <= 2 are left untouched, per the original paper.
+  if (word.size() <= 2) return std::string(word);
+  for (char c : word) {
+    if (!std::islower(static_cast<unsigned char>(c))) return std::string(word);
+  }
+  std::string w(word);
+  Step1a(&w);
+  Step1b(&w);
+  Step1c(&w);
+  Step2(&w);
+  Step3(&w);
+  Step4(&w);
+  Step5a(&w);
+  Step5b(&w);
+  return w;
+}
+
+}  // namespace text
+}  // namespace metaprobe

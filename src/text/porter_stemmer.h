@@ -1,0 +1,42 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_TEXT_PORTER_STEMMER_H_
+#define METAPROBE_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace metaprobe {
+namespace text {
+
+/// \brief The classic Porter (1980) suffix-stripping stemmer.
+///
+/// Maps inflected English word forms to a common stem
+/// ("caresses" -> "caress", "relational" -> "relat", "probing" -> "probe"
+/// -> "probe"). Used by the analysis pipeline so that a query term matches
+/// every morphological variant in the indexed documents, the behaviour web
+/// search interfaces of the paper's era exhibited.
+///
+/// The input must already be lowercase ASCII (the tokenizer guarantees
+/// this); other inputs are returned unchanged.
+class PorterStemmer {
+ public:
+  /// \brief Returns the stem of `word`.
+  std::string Stem(std::string_view word) const;
+
+ private:
+  // The five rule steps of the algorithm, operating on a mutable buffer.
+  static void Step1a(std::string* w);
+  static void Step1b(std::string* w);
+  static void Step1c(std::string* w);
+  static void Step2(std::string* w);
+  static void Step3(std::string* w);
+  static void Step4(std::string* w);
+  static void Step5a(std::string* w);
+  static void Step5b(std::string* w);
+};
+
+}  // namespace text
+}  // namespace metaprobe
+
+#endif  // METAPROBE_TEXT_PORTER_STEMMER_H_

@@ -1,0 +1,58 @@
+#include "text/stopwords.h"
+
+#include <array>
+
+namespace metaprobe {
+namespace text {
+
+namespace {
+
+// Classic high-frequency English function words. String literals have static
+// storage duration, so the set can hold string_views into them.
+constexpr std::array<std::string_view, 180> kDefaultStopwords = {
+    "a",        "about",   "above",   "after",   "again",    "against",
+    "all",      "am",      "an",      "and",     "any",      "are",
+    "aren",     "as",      "at",      "be",      "because",  "been",
+    "before",   "being",   "below",   "between", "both",     "but",
+    "by",       "can",     "cannot",  "could",   "couldn",   "did",
+    "didn",     "do",      "does",    "doesn",   "doing",    "don",
+    "down",     "during",  "each",    "few",     "for",      "from",
+    "further",  "had",     "hadn",    "has",     "hasn",     "have",
+    "haven",    "having",  "he",      "her",     "here",     "hers",
+    "herself",  "him",     "himself", "his",     "how",      "i",
+    "if",       "in",      "into",    "is",      "isn",      "it",
+    "its",      "itself",  "just",    "ll",      "me",       "more",
+    "most",     "mustn",   "my",      "myself",  "no",       "nor",
+    "not",      "now",     "of",      "off",     "on",       "once",
+    "only",     "or",      "other",   "ought",   "our",      "ours",
+    "ourselves","out",     "over",    "own",     "re",       "same",
+    "shan",     "she",     "should",  "shouldn", "so",       "some",
+    "such",     "than",    "that",    "the",     "their",    "theirs",
+    "them",     "themselves", "then", "there",   "these",    "they",
+    "this",     "those",   "through", "to",      "too",      "under",
+    "until",    "up",      "ve",      "very",    "was",      "wasn",
+    "we",       "were",    "weren",   "what",    "when",     "where",
+    "which",    "while",   "who",     "whom",    "why",      "with",
+    "won",      "would",   "wouldn",  "you",     "your",     "yours",
+    "yourself", "yourselves", "also", "among",   "another",  "back",
+    "even",     "ever",    "every",   "get",     "go",       "goes",
+    "got",      "like",    "made",    "make",    "many",     "may",
+    "might",    "much",    "must",    "new",     "one",      "put",
+    "said",     "say",     "says",    "see",     "still",    "take",
+    "two",      "us",      "use",     "way",     "well",     "will",
+};
+
+}  // namespace
+
+StopwordList::StopwordList()
+    : words_(kDefaultStopwords.begin(), kDefaultStopwords.end()) {}
+
+StopwordList::StopwordList(std::initializer_list<std::string_view> words)
+    : words_(words.begin(), words.end()) {}
+
+bool StopwordList::Contains(std::string_view word) const {
+  return words_.count(word) > 0;
+}
+
+}  // namespace text
+}  // namespace metaprobe

@@ -1,0 +1,39 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_TEXT_STOPWORDS_H_
+#define METAPROBE_TEXT_STOPWORDS_H_
+
+#include <string_view>
+#include <unordered_set>
+
+namespace metaprobe {
+namespace text {
+
+/// \brief English stopword filter.
+///
+/// The default list is the classic SMART-style set of high-frequency
+/// function words. Stopwords are dropped by the analysis pipeline both when
+/// indexing documents and when parsing queries, mirroring the keyword-search
+/// interfaces the paper's hidden-web databases expose.
+class StopwordList {
+ public:
+  /// Creates the default English list.
+  StopwordList();
+
+  /// Creates a list from explicit words (already lowercase).
+  explicit StopwordList(std::initializer_list<std::string_view> words);
+
+  /// \brief Returns true if `word` (lowercase) is a stopword.
+  bool Contains(std::string_view word) const;
+
+  /// \brief Number of words in the list.
+  std::size_t size() const { return words_.size(); }
+
+ private:
+  std::unordered_set<std::string_view> words_;
+};
+
+}  // namespace text
+}  // namespace metaprobe
+
+#endif  // METAPROBE_TEXT_STOPWORDS_H_

@@ -1,0 +1,59 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace metaprobe {
+namespace text {
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
+
+bool Tokenizer::IsTokenChar(unsigned char c) const {
+  if (c >= 0x80) return false;
+  if (std::isalpha(c)) return true;
+  if (options_.keep_numbers && std::isdigit(c)) return true;
+  return false;
+}
+
+void Tokenizer::Tokenize(std::string_view input,
+                         std::vector<std::string>* out) const {
+  std::string current;
+  auto flush = [&]() {
+    bool all_digits = true;
+    for (char c : current) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        all_digits = false;
+        break;
+      }
+    }
+    if (current.size() >= options_.min_token_length &&
+        current.size() <= options_.max_token_length &&
+        !(all_digits && !current.empty())) {
+      out->push_back(current);
+    }
+    current.clear();
+  };
+
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(input[i]);
+    if (IsTokenChar(c)) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (c == '\'' && !current.empty() && i + 1 < input.size() &&
+               IsTokenChar(static_cast<unsigned char>(input[i + 1]))) {
+      // Collapse internal apostrophes: "don't" -> "dont".
+      continue;
+    } else if (!current.empty()) {
+      flush();
+    }
+  }
+  if (!current.empty()) flush();
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view input) const {
+  std::vector<std::string> out;
+  Tokenize(input, &out);
+  return out;
+}
+
+}  // namespace text
+}  // namespace metaprobe

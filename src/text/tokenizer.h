@@ -1,0 +1,51 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_TEXT_TOKENIZER_H_
+#define METAPROBE_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace metaprobe {
+namespace text {
+
+/// \brief Options controlling raw tokenization.
+struct TokenizerOptions {
+  /// Drop tokens shorter than this after normalization.
+  std::size_t min_token_length = 2;
+  /// Drop tokens longer than this (guards against binary junk).
+  std::size_t max_token_length = 40;
+  /// Keep digits inside tokens ("2004", "covid19"); purely numeric tokens
+  /// are still dropped when false.
+  bool keep_numbers = false;
+};
+
+/// \brief Splits raw text into lowercase ASCII word tokens.
+///
+/// A token is a maximal run of ASCII letters (plus digits when
+/// `keep_numbers`), with internal apostrophes collapsed ("don't" -> "dont").
+/// Non-ASCII bytes act as separators, which is adequate for the synthetic
+/// English-like corpora this library generates.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  /// \brief Tokenizes `input`, appending to `out`.
+  void Tokenize(std::string_view input, std::vector<std::string>* out) const;
+
+  /// \brief Convenience overload returning a fresh vector.
+  std::vector<std::string> Tokenize(std::string_view input) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  bool IsTokenChar(unsigned char c) const;
+
+  TokenizerOptions options_;
+};
+
+}  // namespace text
+}  // namespace metaprobe
+
+#endif  // METAPROBE_TEXT_TOKENIZER_H_

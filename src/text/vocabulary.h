@@ -1,0 +1,58 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_TEXT_VOCABULARY_H_
+#define METAPROBE_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace metaprobe {
+namespace text {
+
+/// \brief Dense integer id of an interned term.
+using TermId = std::uint32_t;
+
+/// \brief Sentinel returned for unknown terms.
+inline constexpr TermId kInvalidTermId = static_cast<TermId>(-1);
+
+/// \brief Bidirectional term <-> id interning table.
+///
+/// Every index and summary in the library speaks TermIds instead of strings,
+/// so posting lists and document-frequency tables stay compact. Ids are
+/// assigned densely in first-seen order, making them usable as vector
+/// indexes.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  // Movable but not copyable: instances can hold millions of strings and are
+  // shared by reference.
+  Vocabulary(const Vocabulary&) = delete;
+  Vocabulary& operator=(const Vocabulary&) = delete;
+  Vocabulary(Vocabulary&&) = default;
+  Vocabulary& operator=(Vocabulary&&) = default;
+
+  /// \brief Returns the id of `term`, interning it if new.
+  TermId Intern(std::string_view term);
+
+  /// \brief Returns the id of `term`, or kInvalidTermId when unknown.
+  TermId Lookup(std::string_view term) const;
+
+  /// \brief Returns the term for `id`; `id` must be valid.
+  const std::string& TermOf(TermId id) const { return terms_[id]; }
+
+  /// \brief Number of distinct terms.
+  std::size_t size() const { return terms_.size(); }
+
+ private:
+  std::unordered_map<std::string, TermId> ids_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace text
+}  // namespace metaprobe
+
+#endif  // METAPROBE_TEXT_VOCABULARY_H_

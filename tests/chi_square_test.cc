@@ -1,0 +1,145 @@
+#include "stats/chi_square.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace metaprobe {
+namespace stats {
+namespace {
+
+TEST(RegularizedGammaTest, ComplementIdentity) {
+  for (double a : {0.5, 1.0, 2.5, 4.5, 10.0}) {
+    for (double x : {0.1, 0.5, 1.0, 3.0, 8.0, 20.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0,
+                  1e-10)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(RegularizedGammaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(2.0, 0.0), 1.0);
+  EXPECT_NEAR(RegularizedGammaP(1.0, 100.0), 1.0, 1e-12);
+}
+
+TEST(RegularizedGammaTest, ExponentialSpecialCase) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.2, 1.0, 2.5, 5.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-10);
+  }
+}
+
+TEST(ChiSquareCdfTest, KnownQuantiles) {
+  // Classic table values: chi2(0.95; dof) upper-tail critical points.
+  EXPECT_NEAR(ChiSquareSf(3.841, 1), 0.05, 2e-3);
+  EXPECT_NEAR(ChiSquareSf(5.991, 2), 0.05, 2e-3);
+  EXPECT_NEAR(ChiSquareSf(16.919, 9), 0.05, 2e-3);
+  EXPECT_NEAR(ChiSquareSf(21.666, 9), 0.01, 1e-3);
+}
+
+TEST(ChiSquareCdfTest, MedianOfDof2) {
+  // chi2 with dof 2 is Exp(1/2); median = 2 ln 2.
+  EXPECT_NEAR(ChiSquareCdf(2.0 * std::log(2.0), 2), 0.5, 1e-10);
+}
+
+TEST(ChiSquareCdfTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(ChiSquareCdf(0.0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(ChiSquareCdf(-1.0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(ChiSquareSf(0.0, 5), 1.0);
+}
+
+TEST(PearsonTest, PerfectFitGivesHighPValue) {
+  std::vector<double> observed{25, 25, 25, 25};
+  std::vector<double> expected{0.25, 0.25, 0.25, 0.25};
+  auto result = PearsonChiSquareTest(observed, expected);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->statistic, 0.0);
+  EXPECT_DOUBLE_EQ(result->p_value, 1.0);
+  EXPECT_DOUBLE_EQ(result->dof, 3.0);
+}
+
+TEST(PearsonTest, GrossMismatchGivesLowPValue) {
+  std::vector<double> observed{100, 0, 0, 0};
+  std::vector<double> expected{0.25, 0.25, 0.25, 0.25};
+  auto result = PearsonChiSquareTest(observed, expected);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->p_value, 1e-6);
+}
+
+TEST(PearsonTest, TextbookStatistic) {
+  // Observed {44, 56}, expected fair coin over 100: chi2 = 1.44, dof 1,
+  // p ~= 0.230.
+  auto result = PearsonChiSquareTest({44, 56}, {0.5, 0.5});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->statistic, 1.44, 1e-9);
+  EXPECT_NEAR(result->p_value, 0.2301, 1e-3);
+}
+
+TEST(PearsonTest, MergesSparseCells) {
+  // Middle cells expect < 5 counts and must merge into neighbors.
+  std::vector<double> observed{50, 1, 0, 49};
+  std::vector<double> expected{0.49, 0.01, 0.01, 0.49};
+  auto result = PearsonChiSquareTest(observed, expected, 5.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->merged_cells, 0);
+  EXPECT_LT(result->dof, 3.0);
+  EXPECT_GT(result->p_value, 0.05);
+}
+
+TEST(PearsonTest, SizeMismatchRejected) {
+  EXPECT_TRUE(PearsonChiSquareTest({1, 2}, {0.5, 0.25, 0.25})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PearsonTest, TooFewCellsRejected) {
+  EXPECT_TRUE(PearsonChiSquareTest({10}, {1.0}).status().IsInvalidArgument());
+}
+
+TEST(PearsonTest, NoObservationsRejected) {
+  EXPECT_TRUE(
+      PearsonChiSquareTest({0, 0}, {0.5, 0.5}).status().IsInvalidArgument());
+}
+
+TEST(PearsonTest, NegativeCountsRejected) {
+  EXPECT_TRUE(
+      PearsonChiSquareTest({-1, 2}, {0.5, 0.5}).status().IsInvalidArgument());
+}
+
+TEST(PearsonTest, UnnormalizedExpectationsRejected) {
+  EXPECT_TRUE(
+      PearsonChiSquareTest({1, 2}, {0.5, 0.2}).status().IsInvalidArgument());
+}
+
+TEST(PearsonTest, AllMassInOneMergedBucketFails) {
+  // Tiny expectations everywhere -> cannot form two cells.
+  EXPECT_FALSE(PearsonChiSquareTest({1, 1}, {0.5, 0.5}, 100.0).ok());
+}
+
+class PearsonSampleSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PearsonSampleSizeTest, SampledFromExpectedUsuallyAccepted) {
+  // Draw `n` observations from the expected distribution deterministically
+  // (rotating remainder) and confirm the test accepts the fit.
+  const std::vector<double> expected{0.4, 0.3, 0.2, 0.1};
+  const int n = GetParam();
+  std::vector<double> observed(4, 0.0);
+  for (std::size_t c = 0; c < 4; ++c) {
+    observed[c] = std::round(expected[c] * n);
+  }
+  // Fix rounding drift in the largest cell.
+  double total = observed[0] + observed[1] + observed[2] + observed[3];
+  observed[0] += n - total;
+  auto result = PearsonChiSquareTest(observed, expected);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->p_value, 0.5) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PearsonSampleSizeTest,
+                         ::testing::Values(100, 200, 500, 1000, 2000));
+
+}  // namespace
+}  // namespace stats
+}  // namespace metaprobe

@@ -1,0 +1,411 @@
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "corpus/domain.h"
+#include "corpus/query_log.h"
+#include "corpus/synthetic_corpus.h"
+#include "corpus/topic_model.h"
+#include "text/analyzer.h"
+
+namespace metaprobe {
+namespace corpus {
+namespace {
+
+// ------------------------------------------------------------------- Domain
+
+TEST(DomainTest, AllDomainsNonEmpty) {
+  EXPECT_GE(HealthTopics().size(), 8u);
+  EXPECT_GE(ScienceTopics().size(), 4u);
+  EXPECT_GE(NewsTopics().size(), 4u);
+  EXPECT_GE(NewsgroupTopics().size(), 8u);
+}
+
+TEST(DomainTest, TopicsHaveEnoughSeedTerms) {
+  for (const auto& topics : {HealthTopics(), ScienceTopics(), NewsTopics(),
+                             NewsgroupTopics()}) {
+    for (const TopicSpec& t : topics) {
+      EXPECT_GE(t.seed_terms.size(), 30u) << t.name;
+    }
+  }
+}
+
+TEST(DomainTest, SeedTermsUniqueWithinTopic) {
+  for (const TopicSpec& t : HealthTopics()) {
+    std::set<std::string> unique(t.seed_terms.begin(), t.seed_terms.end());
+    EXPECT_EQ(unique.size(), t.seed_terms.size()) << t.name;
+  }
+}
+
+TEST(DomainTest, TopicNamesUniqueWithinDomain) {
+  std::set<std::string> names;
+  for (const TopicSpec& t : HealthTopics()) {
+    EXPECT_TRUE(names.insert(t.name).second) << t.name;
+  }
+}
+
+TEST(DomainTest, FindTopic) {
+  auto topics = HealthTopics();
+  ASSERT_NE(FindTopic(topics, "oncology"), nullptr);
+  EXPECT_EQ(FindTopic(topics, "oncology")->name, "oncology");
+  EXPECT_EQ(FindTopic(topics, "no-such-topic"), nullptr);
+}
+
+// -------------------------------------------------------------- TopicModel
+
+TopicLanguageModel OncologyModel() {
+  auto topics = HealthTopics();
+  return TopicLanguageModel(*FindTopic(topics, "oncology"),
+                            TopicModelOptions{});
+}
+
+TEST(TopicModelTest, SampleTermComesFromSeedTerms) {
+  TopicLanguageModel model = OncologyModel();
+  std::set<std::string> seeds(model.seed_terms().begin(),
+                              model.seed_terms().end());
+  stats::Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    std::size_t sub = model.SampleSubtopic(&rng);
+    EXPECT_TRUE(seeds.count(model.SampleTerm(sub, &rng)));
+  }
+}
+
+TEST(TopicModelTest, SubtopicsPartitionTerms) {
+  TopicLanguageModel model = OncologyModel();
+  std::set<std::size_t> all_ranks;
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < model.num_subtopics(); ++s) {
+    for (std::size_t rank : model.SubtopicTermRanks(s)) {
+      EXPECT_TRUE(all_ranks.insert(rank).second) << "rank in two subtopics";
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, model.seed_terms().size());
+}
+
+TEST(TopicModelTest, SubtopicOfRoundRobin) {
+  TopicLanguageModel model = OncologyModel();
+  EXPECT_EQ(model.SubtopicOf(0), 0u);
+  EXPECT_EQ(model.SubtopicOf(1), 1u);
+  EXPECT_EQ(model.SubtopicOf(model.num_subtopics()), 0u);
+}
+
+TEST(TopicModelTest, SubtopicTermSamplingStaysInSubtopic) {
+  TopicLanguageModel model = OncologyModel();
+  stats::Rng rng(7);
+  for (std::size_t s = 0; s < model.num_subtopics(); ++s) {
+    std::set<std::string> pool;
+    for (std::size_t rank : model.SubtopicTermRanks(s)) {
+      pool.insert(model.seed_terms()[rank]);
+    }
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_TRUE(pool.count(model.SampleSubtopicTerm(s, &rng)));
+    }
+  }
+}
+
+TEST(TopicModelTest, AffinityBiasesTowardSubtopic) {
+  TopicModelOptions options;
+  options.subtopic_affinity = 0.9;
+  auto topics = HealthTopics();
+  TopicLanguageModel model(*FindTopic(topics, "oncology"), options);
+  std::set<std::string> sub0;
+  for (std::size_t rank : model.SubtopicTermRanks(0)) {
+    sub0.insert(model.seed_terms()[rank]);
+  }
+  stats::Rng rng(11);
+  int in_sub = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (sub0.count(model.SampleTerm(0, &rng))) ++in_sub;
+  }
+  // With 0.9 affinity the in-subtopic fraction far exceeds the ~1/4 a
+  // subtopic would get under whole-topic sampling.
+  EXPECT_GT(in_sub / static_cast<double>(n), 0.75);
+}
+
+TEST(TopicModelTest, ZeroSubtopicsSanitizedToOne) {
+  TopicModelOptions options;
+  options.num_subtopics = 0;
+  auto topics = HealthTopics();
+  TopicLanguageModel model(*FindTopic(topics, "cardiology"), options);
+  EXPECT_EQ(model.num_subtopics(), 1u);
+  stats::Rng rng(13);
+  EXPECT_EQ(model.SampleSubtopic(&rng), 0u);
+}
+
+TEST(FillerVocabularyTest, GeneratesRequestedUniqueWords) {
+  FillerVocabulary filler(500, 1.0, 99);
+  EXPECT_EQ(filler.size(), 500u);
+  std::set<std::string> unique(filler.terms().begin(), filler.terms().end());
+  EXPECT_EQ(unique.size(), 500u);
+}
+
+TEST(FillerVocabularyTest, DeterministicForSeed) {
+  FillerVocabulary a(100, 1.0, 42);
+  FillerVocabulary b(100, 1.0, 42);
+  EXPECT_EQ(a.terms(), b.terms());
+}
+
+TEST(FillerVocabularyTest, WordsArePlausibleTokens) {
+  FillerVocabulary filler(200, 1.0, 7);
+  for (const std::string& w : filler.terms()) {
+    EXPECT_GE(w.size(), 2u);
+    for (char c : w) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z') << w;
+    }
+  }
+}
+
+// --------------------------------------------------------- CorpusGenerator
+
+class CorpusGeneratorTest : public ::testing::Test {
+ protected:
+  CorpusGeneratorTest()
+      : analyzer_(std::make_unique<text::Analyzer>()),
+        generator_(HealthTopics(), CorpusGenerator::Options{},
+                   analyzer_.get()) {}
+
+  DatabaseSpec BasicSpec() const {
+    DatabaseSpec spec;
+    spec.name = "test-db";
+    spec.num_docs = 300;
+    spec.mixture = {{"oncology", 2.0}, {"cardiology", 1.0}};
+    spec.seed = 77;
+    return spec;
+  }
+
+  std::unique_ptr<text::Analyzer> analyzer_;
+  CorpusGenerator generator_;
+};
+
+TEST_F(CorpusGeneratorTest, GeneratesRequestedDocCount) {
+  auto db = generator_.Generate(BasicSpec());
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->index.num_docs(), 300u);
+  EXPECT_EQ(db->name, "test-db");
+  EXPECT_EQ(db->documents, nullptr);
+}
+
+TEST_F(CorpusGeneratorTest, DeterministicForSeed) {
+  auto a = generator_.Generate(BasicSpec());
+  auto b = generator_.Generate(BasicSpec());
+  ASSERT_TRUE(a.ok() && b.ok());
+  index::IndexStats sa = a->index.GetStats();
+  index::IndexStats sb = b->index.GetStats();
+  EXPECT_EQ(sa.total_tokens, sb.total_tokens);
+  EXPECT_EQ(sa.num_terms, sb.num_terms);
+  EXPECT_EQ(a->index.DocumentFrequency("cancer"),
+            b->index.DocumentFrequency("cancer"));
+}
+
+TEST_F(CorpusGeneratorTest, DifferentSeedsDiffer) {
+  DatabaseSpec other = BasicSpec();
+  other.seed = 78;
+  auto a = generator_.Generate(BasicSpec());
+  auto b = generator_.Generate(other);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->index.GetStats().total_tokens, b->index.GetStats().total_tokens);
+}
+
+TEST_F(CorpusGeneratorTest, TopicalTermsAppear) {
+  auto db = generator_.Generate(BasicSpec());
+  ASSERT_TRUE(db.ok());
+  // "cancer" is rank-0 oncology and the mixture is oncology-heavy, so it
+  // must be frequent (terms are stemmed: "cancer" stems to itself).
+  EXPECT_GT(db->index.DocumentFrequency("cancer"), 50u);
+}
+
+TEST_F(CorpusGeneratorTest, MixtureShapesContent) {
+  DatabaseSpec cardio = BasicSpec();
+  cardio.name = "cardio";
+  cardio.mixture = {{"cardiology", 1.0}};
+  auto onco_db = generator_.Generate(BasicSpec());
+  auto cardio_db = generator_.Generate(cardio);
+  ASSERT_TRUE(onco_db.ok() && cardio_db.ok());
+  EXPECT_GT(onco_db->index.DocumentFrequency("cancer"),
+            cardio_db->index.DocumentFrequency("cancer"));
+  EXPECT_GT(cardio_db->index.DocumentFrequency("heart"),
+            onco_db->index.DocumentFrequency("heart"));
+}
+
+TEST_F(CorpusGeneratorTest, RejectsEmptyMixture) {
+  DatabaseSpec spec = BasicSpec();
+  spec.mixture.clear();
+  EXPECT_TRUE(generator_.Generate(spec).status().IsInvalidArgument());
+}
+
+TEST_F(CorpusGeneratorTest, RejectsUnknownTopic) {
+  DatabaseSpec spec = BasicSpec();
+  spec.mixture = {{"astrology", 1.0}};
+  EXPECT_TRUE(generator_.Generate(spec).status().IsNotFound());
+}
+
+TEST_F(CorpusGeneratorTest, RejectsZeroDocs) {
+  DatabaseSpec spec = BasicSpec();
+  spec.num_docs = 0;
+  EXPECT_TRUE(generator_.Generate(spec).status().IsInvalidArgument());
+}
+
+TEST_F(CorpusGeneratorTest, StoreDocumentsKeepsText) {
+  DatabaseSpec spec = BasicSpec();
+  spec.num_docs = 20;
+  spec.store_documents = true;
+  auto db = generator_.Generate(spec);
+  ASSERT_TRUE(db.ok());
+  ASSERT_NE(db->documents, nullptr);
+  EXPECT_EQ(db->documents->size(), 20u);
+  auto doc = db->documents->Get(0);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE((*doc)->body.empty());
+  EXPECT_FALSE((*doc)->title.empty());
+}
+
+TEST_F(CorpusGeneratorTest, DocLengthsRespectClamp) {
+  DatabaseSpec spec = BasicSpec();
+  spec.num_docs = 100;
+  spec.min_doc_length = 30;
+  spec.max_doc_length = 60;
+  auto db = generator_.Generate(spec);
+  ASSERT_TRUE(db.ok());
+  index::IndexStats stats = db->index.GetStats();
+  // Analyzed token count can be below raw length (stopwords removed), so
+  // only the upper bound is strict.
+  EXPECT_LE(stats.total_tokens, 100u * 60u);
+  EXPECT_GT(stats.total_tokens, 0u);
+}
+
+TEST_F(CorpusGeneratorTest, ModelLookup) {
+  EXPECT_NE(generator_.Model("oncology"), nullptr);
+  EXPECT_EQ(generator_.Model("nope"), nullptr);
+}
+
+TEST_F(CorpusGeneratorTest, AnalyzeCachedMatchesAnalyzer) {
+  EXPECT_EQ(generator_.AnalyzeCached("cancers"),
+            analyzer_->AnalyzeTerm("cancers"));
+  EXPECT_EQ(generator_.AnalyzeCached("the"), "");
+}
+
+// ---------------------------------------------------------------- QueryLog
+
+class QueryLogTest : public ::testing::Test {
+ protected:
+  QueryLogTest()
+      : analyzer_(std::make_unique<text::Analyzer>()),
+        generator_(HealthTopics(), CorpusGenerator::Options{},
+                   analyzer_.get()) {}
+
+  QueryLogGenerator MakeGenerator(QueryLogOptions options = {}) {
+    std::vector<std::string> topics;
+    for (const TopicSpec& t : HealthTopics()) topics.push_back(t.name);
+    return QueryLogGenerator(&generator_, topics, options);
+  }
+
+  std::unique_ptr<text::Analyzer> analyzer_;
+  CorpusGenerator generator_;
+};
+
+TEST_F(QueryLogTest, GeneratesRequestedCounts) {
+  QueryLogGenerator gen = MakeGenerator();
+  auto queries = gen.Generate(50);
+  ASSERT_TRUE(queries.ok());
+  // 50 two-term + 50 three-term by default.
+  ASSERT_EQ(queries->size(), 100u);
+  std::size_t two = 0, three = 0;
+  for (const core::Query& q : *queries) {
+    if (q.num_terms() == 2) ++two;
+    if (q.num_terms() == 3) ++three;
+  }
+  EXPECT_EQ(two, 50u);
+  EXPECT_EQ(three, 50u);
+}
+
+TEST_F(QueryLogTest, QueriesAreUnique) {
+  QueryLogGenerator gen = MakeGenerator();
+  auto queries = gen.Generate(200);
+  ASSERT_TRUE(queries.ok());
+  std::unordered_set<std::string> keys;
+  for (const core::Query& q : *queries) {
+    EXPECT_TRUE(keys.insert(core::QueryKey(q)).second) << q.raw;
+  }
+}
+
+TEST_F(QueryLogTest, SplitIsDisjoint) {
+  QueryLogGenerator gen = MakeGenerator();
+  auto split = gen.GenerateSplit(100, 100);
+  ASSERT_TRUE(split.ok());
+  std::unordered_set<std::string> train_keys;
+  for (const core::Query& q : split->first) {
+    train_keys.insert(core::QueryKey(q));
+  }
+  for (const core::Query& q : split->second) {
+    EXPECT_FALSE(train_keys.count(core::QueryKey(q))) << q.raw;
+  }
+}
+
+TEST_F(QueryLogTest, TermsAreAnalyzedAndDistinct) {
+  QueryLogGenerator gen = MakeGenerator();
+  auto queries = gen.Generate(100);
+  ASSERT_TRUE(queries.ok());
+  for (const core::Query& q : *queries) {
+    std::set<std::string> unique(q.terms.begin(), q.terms.end());
+    EXPECT_EQ(unique.size(), q.terms.size()) << q.raw;
+    // Query terms equal the analysis of the raw words, so they land in the
+    // same term space as indexed documents. (Porter stemming is not
+    // idempotent, so re-analyzing a stem may differ; what matters is that
+    // query and document pass through the pipeline exactly once each.)
+    EXPECT_EQ(q.terms, analyzer_->Analyze(q.raw)) << q.raw;
+    for (const std::string& term : q.terms) {
+      EXPECT_FALSE(term.empty());
+      for (char c : term) EXPECT_TRUE(c >= 'a' && c <= 'z') << term;
+    }
+  }
+}
+
+TEST_F(QueryLogTest, DeterministicForSeed) {
+  QueryLogOptions options;
+  options.seed = 1234;
+  auto a = MakeGenerator(options).Generate(30);
+  auto b = MakeGenerator(options).Generate(30);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].terms, (*b)[i].terms);
+  }
+}
+
+TEST_F(QueryLogTest, CustomTermCounts) {
+  QueryLogOptions options;
+  options.term_counts = {4};
+  QueryLogGenerator gen = MakeGenerator(options);
+  auto queries = gen.Generate(20);
+  ASSERT_TRUE(queries.ok());
+  for (const core::Query& q : *queries) EXPECT_EQ(q.num_terms(), 4u);
+}
+
+TEST_F(QueryLogTest, RejectsNonPositiveTermCount) {
+  QueryLogOptions options;
+  options.term_counts = {0};
+  QueryLogGenerator gen = MakeGenerator(options);
+  EXPECT_TRUE(gen.Generate(5).status().IsInvalidArgument());
+}
+
+TEST_F(QueryLogTest, ExhaustionReportsInternalError) {
+  // One ~40-term topic with no cross-topic or filler substitution offers
+  // fewer than C(40, 2) unique 2-term queries; asking for 5000 must fail
+  // with a diagnostic rather than loop forever.
+  QueryLogOptions options;
+  options.term_counts = {2};
+  options.cross_topic_prob = 0.0;
+  options.filler_term_prob = 0.0;
+  options.max_rejects = 5000;
+  QueryLogGenerator gen(&generator_, {"oncology"}, options);
+  auto result = gen.Generate(5000);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace corpus
+}  // namespace metaprobe

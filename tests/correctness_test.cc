@@ -1,0 +1,264 @@
+#include "core/correctness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace metaprobe {
+namespace core {
+namespace {
+
+RelevancyDistribution Rd(std::vector<stats::Atom> atoms) {
+  RelevancyDistribution rd;
+  rd.dist = stats::DiscreteDistribution::Make(std::move(atoms)).ValueOrDie();
+  return rd;
+}
+
+// The worked example of Figures 5(b)-(d): db1 RD {50:.4, 100:.5, 150:.1},
+// db2 RD {65:.1, 130:.9}.
+TopKModel PaperModel() {
+  std::vector<RelevancyDistribution> rds;
+  rds.push_back(Rd({{50, 0.4}, {100, 0.5}, {150, 0.1}}));
+  rds.push_back(Rd({{65, 0.1}, {130, 0.9}}));
+  return TopKModel(std::move(rds));
+}
+
+TEST(TopKModelTest, PaperExample4Certainty) {
+  // Example 4: Pr(db2 is the most relevant) = 0.85.
+  TopKModel model = PaperModel();
+  EXPECT_NEAR(model.PrExactTopSet({1}), 0.85, 1e-9);
+  EXPECT_NEAR(model.PrExactTopSet({0}), 0.15, 1e-9);
+}
+
+TEST(TopKModelTest, PaperExample4BestSetFlipsToDb2) {
+  // The independence estimator would pick db1 (estimate 1000 > 650); the
+  // RD-based method must pick db2.
+  TopKModel model = PaperModel();
+  TopKModel::BestSet best = model.FindBestSet(1, CorrectnessMetric::kAbsolute);
+  EXPECT_EQ(best.members, (std::vector<std::size_t>{1}));
+  EXPECT_NEAR(best.expected_correctness, 0.85, 1e-9);
+}
+
+TEST(TopKModelTest, PaperFigure5eProbeRaisesCertaintyToOne) {
+  // Section 3.4: probing db1 and observing 50 makes db2 certainly best.
+  TopKModel model = PaperModel();
+  model.Observe(0, 50.0);
+  EXPECT_TRUE(model.probed(0));
+  EXPECT_NEAR(model.PrExactTopSet({1}), 1.0, 1e-9);
+}
+
+TEST(TopKModelTest, MembershipSumsToK) {
+  TopKModel model = PaperModel();
+  for (int k = 1; k <= 2; ++k) {
+    std::vector<double> m = model.MembershipProbabilities(k);
+    double sum = 0.0;
+    for (double p : m) sum += p;
+    EXPECT_NEAR(sum, static_cast<double>(k), 1e-9) << "k=" << k;
+  }
+}
+
+TEST(TopKModelTest, MembershipMatchesExactTopOneForTwoDbs) {
+  TopKModel model = PaperModel();
+  std::vector<double> m = model.MembershipProbabilities(1);
+  EXPECT_NEAR(m[0], 0.15, 1e-9);
+  EXPECT_NEAR(m[1], 0.85, 1e-9);
+}
+
+TEST(TopKModelTest, KEqualsNIsCertain) {
+  TopKModel model = PaperModel();
+  EXPECT_NEAR(model.PrExactTopSet({0, 1}), 1.0, 1e-9);
+  std::vector<double> m = model.MembershipProbabilities(2);
+  EXPECT_DOUBLE_EQ(m[0], 1.0);
+  EXPECT_DOUBLE_EQ(m[1], 1.0);
+  TopKModel::BestSet best = model.FindBestSet(2, CorrectnessMetric::kAbsolute);
+  EXPECT_DOUBLE_EQ(best.expected_correctness, 1.0);
+}
+
+TEST(TopKModelTest, KZeroOrEmptySet) {
+  TopKModel model = PaperModel();
+  EXPECT_DOUBLE_EQ(model.PrExactTopSet({}), 0.0);
+  std::vector<double> m = model.MembershipProbabilities(0);
+  EXPECT_DOUBLE_EQ(m[0], 0.0);
+}
+
+TEST(TopKModelTest, ImpulsesGiveDeterministicAnswer) {
+  std::vector<RelevancyDistribution> rds;
+  rds.push_back(RelevancyDistribution::Probed(10));
+  rds.push_back(RelevancyDistribution::Probed(30));
+  rds.push_back(RelevancyDistribution::Probed(20));
+  TopKModel model(std::move(rds));
+  EXPECT_NEAR(model.PrExactTopSet({1}), 1.0, 1e-12);
+  EXPECT_NEAR(model.PrExactTopSet({1, 2}), 1.0, 1e-12);
+  EXPECT_NEAR(model.PrExactTopSet({0}), 0.0, 1e-12);
+  TopKModel::BestSet best = model.FindBestSet(2, CorrectnessMetric::kAbsolute);
+  EXPECT_EQ(best.members, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(TopKModelTest, TieBrokenTowardLowerIndex) {
+  // Two databases both certainly at relevancy 0: the golden convention says
+  // the lower index is the top-1.
+  std::vector<RelevancyDistribution> rds;
+  rds.push_back(RelevancyDistribution::Probed(0));
+  rds.push_back(RelevancyDistribution::Probed(0));
+  TopKModel model(std::move(rds));
+  EXPECT_NEAR(model.PrExactTopSet({0}), 1.0, 1e-9);
+  EXPECT_NEAR(model.PrExactTopSet({1}), 0.0, 1e-9);
+}
+
+TEST(TopKModelTest, PartialCorrectnessOfPaperModel) {
+  TopKModel model = PaperModel();
+  // k=1: partial == absolute by definition.
+  EXPECT_NEAR(model.ExpectedPartialCorrectness({1}),
+              model.PrExactTopSet({1}), 1e-9);
+}
+
+TEST(TopKModelTest, ExpectedCorrectnessDispatch) {
+  TopKModel model = PaperModel();
+  EXPECT_DOUBLE_EQ(
+      model.ExpectedCorrectness({1}, CorrectnessMetric::kAbsolute),
+      model.PrExactTopSet({1}));
+  EXPECT_DOUBLE_EQ(model.ExpectedCorrectness({1}, CorrectnessMetric::kPartial),
+                   model.ExpectedPartialCorrectness({1}));
+}
+
+TEST(TopKModelTest, ObserveCollapsesRd) {
+  TopKModel model = PaperModel();
+  EXPECT_EQ(model.num_probed(), 0u);
+  model.Observe(1, 130.0);
+  EXPECT_EQ(model.num_probed(), 1u);
+  EXPECT_TRUE(model.rd(1).IsImpulse());
+}
+
+TEST(TopKModelTest, ScopedConditionRestores) {
+  TopKModel model = PaperModel();
+  stats::DiscreteDistribution before = model.rd(0);
+  {
+    TopKModel::ScopedCondition cond(&model, 0, model.SupportOf(0)[0].value);
+    EXPECT_TRUE(model.rd(0).IsImpulse());
+  }
+  EXPECT_EQ(model.rd(0), before);
+}
+
+// Builds a randomized model for property testing.
+TopKModel RandomModel(stats::Rng* rng, std::size_t n, std::size_t atoms) {
+  std::vector<RelevancyDistribution> rds;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<stats::Atom> support;
+    for (std::size_t a = 0; a < atoms; ++a) {
+      support.push_back({std::floor(rng->Uniform(0.0, 20.0)),
+                         rng->Uniform(0.1, 1.0)});
+    }
+    rds.push_back(Rd(std::move(support)));
+  }
+  return TopKModel(std::move(rds));
+}
+
+class CorrectnessMonteCarloTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorrectnessMonteCarloTest, ExactMatchesSampledAbsolute) {
+  stats::Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761ULL);
+  TopKModel model = RandomModel(&rng, 6, 4);
+  for (int k : {1, 2, 3}) {
+    TopKModel::BestSet best =
+        model.FindBestSet(k, CorrectnessMetric::kAbsolute, 100);
+    double exact = model.PrExactTopSet(best.members);
+    double sampled = MonteCarloExpectedCorrectness(
+        model, best.members, CorrectnessMetric::kAbsolute, 40000, &rng);
+    EXPECT_NEAR(exact, sampled, 0.02) << "k=" << k;
+  }
+}
+
+TEST_P(CorrectnessMonteCarloTest, ExactMatchesSampledPartial) {
+  stats::Rng rng(static_cast<std::uint64_t>(GetParam()) * 40503ULL + 17);
+  TopKModel model = RandomModel(&rng, 6, 4);
+  for (int k : {1, 2, 3}) {
+    TopKModel::BestSet best =
+        model.FindBestSet(k, CorrectnessMetric::kPartial, 100);
+    double exact = model.ExpectedPartialCorrectness(best.members);
+    double sampled = MonteCarloExpectedCorrectness(
+        model, best.members, CorrectnessMetric::kPartial, 40000, &rng);
+    EXPECT_NEAR(exact, sampled, 0.02) << "k=" << k;
+  }
+}
+
+TEST_P(CorrectnessMonteCarloTest, MembershipSumsToKRandomModels) {
+  stats::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 3);
+  TopKModel model = RandomModel(&rng, 7, 3);
+  for (int k = 1; k <= 6; ++k) {
+    std::vector<double> m = model.MembershipProbabilities(k);
+    double sum = 0.0;
+    for (double p : m) sum += p;
+    EXPECT_NEAR(sum, static_cast<double>(k), 1e-8) << "k=" << k;
+  }
+}
+
+TEST_P(CorrectnessMonteCarloTest, ExactTopSetsSumToOneOverAllSubsets) {
+  stats::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+  TopKModel model = RandomModel(&rng, 5, 3);
+  // Over all C(5,2) subsets, exactly one is the true top-2 -> the exact
+  // probabilities must sum to 1.
+  double total = 0.0;
+  for (std::size_t a = 0; a < 5; ++a) {
+    for (std::size_t b = a + 1; b < 5; ++b) {
+      total += model.PrExactTopSet({a, b});
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-8);
+}
+
+TEST_P(CorrectnessMonteCarloTest, HeuristicWidthMatchesExhaustive) {
+  stats::Rng rng(static_cast<std::uint64_t>(GetParam()) * 97 + 11);
+  TopKModel model = RandomModel(&rng, 8, 3);
+  for (int k : {1, 2, 3}) {
+    TopKModel::BestSet heuristic =
+        model.FindBestSet(k, CorrectnessMetric::kAbsolute, 4);
+    TopKModel::BestSet exhaustive =
+        model.FindBestSet(k, CorrectnessMetric::kAbsolute, 100);
+    EXPECT_NEAR(heuristic.expected_correctness,
+                exhaustive.expected_correctness, 1e-9)
+        << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorrectnessMonteCarloTest,
+                         ::testing::Range(1, 9));
+
+// ----------------------------------------------------- Scoring utilities
+
+TEST(TopKIndicesTest, PicksLargest) {
+  EXPECT_EQ(TopKIndices({5, 1, 9, 7}, 2), (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(TopKIndicesTest, TieBreaksTowardLowIndex) {
+  EXPECT_EQ(TopKIndices({5, 5, 5}, 2), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(TopKIndicesTest, KLargerThanN) {
+  EXPECT_EQ(TopKIndices({1, 2}, 5), (std::vector<std::size_t>{0, 1}));
+  EXPECT_TRUE(TopKIndices({1, 2}, 0).empty());
+}
+
+TEST(ScoringTest, AbsoluteCorrectness) {
+  EXPECT_DOUBLE_EQ(AbsoluteCorrectness({1, 3}, {3, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(AbsoluteCorrectness({1, 2}, {1, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(AbsoluteCorrectness({}, {}), 1.0);
+}
+
+TEST(ScoringTest, PartialCorrectness) {
+  // Section 3.2: an answer containing 2 of the top-3 scores 0.667.
+  EXPECT_NEAR(PartialCorrectness({1, 2, 5}, {1, 2, 3}), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(PartialCorrectness({1}, {1}), 1.0);
+  EXPECT_DOUBLE_EQ(PartialCorrectness({4}, {1}), 0.0);
+  EXPECT_DOUBLE_EQ(PartialCorrectness({}, {1}), 0.0);
+}
+
+TEST(ScoringTest, MetricNames) {
+  EXPECT_STREQ(CorrectnessMetricName(CorrectnessMetric::kAbsolute),
+               "absolute");
+  EXPECT_STREQ(CorrectnessMetricName(CorrectnessMetric::kPartial), "partial");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace metaprobe

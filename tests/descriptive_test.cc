@@ -1,0 +1,83 @@
+#include "stats/descriptive.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace metaprobe {
+namespace stats {
+namespace {
+
+TEST(DescriptiveTest, MeanBasics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(DescriptiveTest, VarianceBasics) {
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({7.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({1.0, 3.0}), 1.0);  // population variance
+  EXPECT_DOUBLE_EQ(StdDev({1.0, 3.0}), 1.0);
+}
+
+TEST(DescriptiveTest, PercentileInterpolates) {
+  std::vector<double> xs{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 30);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 50);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 25), 20);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 12.5), 15);
+}
+
+TEST(DescriptiveTest, PercentileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(Percentile({50, 10, 30, 20, 40}, 50), 30);
+}
+
+TEST(DescriptiveTest, PercentileClampsP) {
+  std::vector<double> xs{1, 2, 3};
+  EXPECT_DOUBLE_EQ(Percentile(xs, -10), 1);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 200), 3);
+}
+
+TEST(DescriptiveTest, PercentileEmpty) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchComputation) {
+  std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats rs;
+  for (double x : xs) rs.Add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), Mean(xs), 1e-12);
+  EXPECT_NEAR(rs.variance(), Variance(xs), 1e-12);
+  EXPECT_NEAR(rs.stddev(), StdDev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, EmptyAndSingle) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  rs.Add(3.5);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 3.5);
+  EXPECT_DOUBLE_EQ(rs.max(), 3.5);
+}
+
+TEST(RunningStatsTest, NegativeValues) {
+  RunningStats rs;
+  rs.Add(-5.0);
+  rs.Add(5.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), -5.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 25.0);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace metaprobe

@@ -1,0 +1,166 @@
+#include "stats/discrete_distribution.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/random.h"
+
+namespace metaprobe {
+namespace stats {
+namespace {
+
+DiscreteDistribution Tri() {
+  // The paper's Figure 5(b) RD for db1: {50: 0.4, 100: 0.5, 150: 0.1}.
+  return DiscreteDistribution::Make({{100, 0.5}, {50, 0.4}, {150, 0.1}})
+      .ValueOrDie();
+}
+
+TEST(DiscreteDistributionTest, DefaultIsImpulseAtZero) {
+  DiscreteDistribution d;
+  EXPECT_TRUE(d.IsImpulse());
+  EXPECT_DOUBLE_EQ(d.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(d.PrEqual(0.0), 1.0);
+}
+
+TEST(DiscreteDistributionTest, MakeSortsByValue) {
+  DiscreteDistribution d = Tri();
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d.atom(0).value, 50);
+  EXPECT_DOUBLE_EQ(d.atom(1).value, 100);
+  EXPECT_DOUBLE_EQ(d.atom(2).value, 150);
+}
+
+TEST(DiscreteDistributionTest, MakeNormalizes) {
+  DiscreteDistribution d =
+      DiscreteDistribution::Make({{1, 2.0}, {2, 6.0}}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(d.PrEqual(1), 0.25);
+  EXPECT_DOUBLE_EQ(d.PrEqual(2), 0.75);
+}
+
+TEST(DiscreteDistributionTest, MakeMergesDuplicateValues) {
+  DiscreteDistribution d =
+      DiscreteDistribution::Make({{5, 0.3}, {5, 0.3}, {7, 0.4}}).ValueOrDie();
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.PrEqual(5), 0.6);
+}
+
+TEST(DiscreteDistributionTest, MakeDropsNonPositiveMass) {
+  DiscreteDistribution d =
+      DiscreteDistribution::Make({{1, 0.0}, {2, 1.0}, {3, -0.5}}).ValueOrDie();
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_TRUE(d.IsImpulse());
+}
+
+TEST(DiscreteDistributionTest, MakeFailsWithNoMass) {
+  EXPECT_TRUE(DiscreteDistribution::Make({{1, 0.0}})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(DiscreteDistribution::Make({}).status().IsInvalidArgument());
+}
+
+TEST(DiscreteDistributionTest, MakeFailsOnNonFiniteValue) {
+  EXPECT_TRUE(DiscreteDistribution::Make({{std::nan(""), 1.0}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(DiscreteDistributionTest, ImpulseProperties) {
+  DiscreteDistribution d = DiscreteDistribution::Impulse(42.0);
+  EXPECT_TRUE(d.IsImpulse());
+  EXPECT_DOUBLE_EQ(d.Mean(), 42.0);
+  EXPECT_DOUBLE_EQ(d.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(d.PrAtLeast(42.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.PrGreaterThan(42.0), 0.0);
+}
+
+TEST(DiscreteDistributionTest, Moments) {
+  DiscreteDistribution d = Tri();
+  EXPECT_NEAR(d.Mean(), 50 * 0.4 + 100 * 0.5 + 150 * 0.1, 1e-12);  // 85
+  double mean = d.Mean();
+  double var = 0.4 * (50 - mean) * (50 - mean) +
+               0.5 * (100 - mean) * (100 - mean) +
+               0.1 * (150 - mean) * (150 - mean);
+  EXPECT_NEAR(d.Variance(), var, 1e-9);
+  EXPECT_NEAR(d.StdDev(), std::sqrt(var), 1e-9);
+}
+
+TEST(DiscreteDistributionTest, MinMaxValues) {
+  DiscreteDistribution d = Tri();
+  EXPECT_DOUBLE_EQ(d.MinValue(), 50);
+  EXPECT_DOUBLE_EQ(d.MaxValue(), 150);
+}
+
+TEST(DiscreteDistributionTest, TailProbabilities) {
+  DiscreteDistribution d = Tri();
+  EXPECT_DOUBLE_EQ(d.PrAtLeast(50), 1.0);
+  EXPECT_DOUBLE_EQ(d.PrAtLeast(51), 0.6);
+  EXPECT_DOUBLE_EQ(d.PrAtLeast(100), 0.6);
+  EXPECT_DOUBLE_EQ(d.PrAtLeast(150), 0.1);
+  EXPECT_DOUBLE_EQ(d.PrAtLeast(151), 0.0);
+  EXPECT_DOUBLE_EQ(d.PrGreaterThan(50), 0.6);
+  EXPECT_DOUBLE_EQ(d.PrGreaterThan(100), 0.1);
+  EXPECT_DOUBLE_EQ(d.PrGreaterThan(150), 0.0);
+  EXPECT_DOUBLE_EQ(d.PrLessThan(50), 0.0);
+  EXPECT_DOUBLE_EQ(d.PrLessThan(100), 0.4);
+  EXPECT_DOUBLE_EQ(d.PrAtMost(100), 0.9);
+}
+
+TEST(DiscreteDistributionTest, PrEqualOffSupport) {
+  EXPECT_DOUBLE_EQ(Tri().PrEqual(75), 0.0);
+}
+
+TEST(DiscreteDistributionTest, ComplementIdentities) {
+  DiscreteDistribution d = Tri();
+  for (double v : {0.0, 50.0, 75.0, 100.0, 150.0, 200.0}) {
+    EXPECT_NEAR(d.PrAtLeast(v) + d.PrLessThan(v), 1.0, 1e-12);
+    EXPECT_NEAR(d.PrGreaterThan(v) + d.PrAtMost(v), 1.0, 1e-12);
+    EXPECT_NEAR(d.PrAtLeast(v) - d.PrGreaterThan(v), d.PrEqual(v), 1e-12);
+  }
+}
+
+TEST(DiscreteDistributionTest, SampleMatchesProbabilities) {
+  DiscreteDistribution d = Tri();
+  Rng rng(101);
+  int c50 = 0, c100 = 0, c150 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double v = d.Sample(&rng);
+    if (v == 50) ++c50;
+    else if (v == 100) ++c100;
+    else if (v == 150) ++c150;
+    else FAIL() << "off-support sample " << v;
+  }
+  EXPECT_NEAR(c50 / static_cast<double>(n), 0.4, 0.01);
+  EXPECT_NEAR(c100 / static_cast<double>(n), 0.5, 0.01);
+  EXPECT_NEAR(c150 / static_cast<double>(n), 0.1, 0.01);
+}
+
+TEST(DiscreteDistributionTest, MapValuesTransforms) {
+  DiscreteDistribution d = Tri();
+  DiscreteDistribution shifted = d.MapValues([](double v) { return v + 10; });
+  EXPECT_DOUBLE_EQ(shifted.MinValue(), 60);
+  EXPECT_DOUBLE_EQ(shifted.PrEqual(110), 0.5);
+}
+
+TEST(DiscreteDistributionTest, MapValuesMergesCollisions) {
+  DiscreteDistribution d = Tri();
+  DiscreteDistribution clamped =
+      d.MapValues([](double v) { return std::min(v, 100.0); });
+  EXPECT_EQ(clamped.size(), 2u);
+  EXPECT_DOUBLE_EQ(clamped.PrEqual(100), 0.6);
+}
+
+TEST(DiscreteDistributionTest, ToStringFormat) {
+  DiscreteDistribution d = DiscreteDistribution::Impulse(1.0);
+  EXPECT_EQ(d.ToString(1), "{1.0: 1.0}");
+}
+
+TEST(DiscreteDistributionTest, EqualityOperator) {
+  EXPECT_EQ(Tri(), Tri());
+  EXPECT_NE(Tri(), DiscreteDistribution::Impulse(50));
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace metaprobe

@@ -1,0 +1,210 @@
+#include "core/error_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include "core/relevancy_distribution.h"
+
+namespace metaprobe {
+namespace core {
+namespace {
+
+// ------------------------------------------------------------ RelativeError
+
+TEST(RelativeErrorTest, PaperExample) {
+  // Section 3.1: the estimator predicts 650 while the truth is 1300, an
+  // underestimation of 100% -> error +1.0 under Eq. 2.
+  EXPECT_DOUBLE_EQ(RelativeError(1300.0, 650.0), 1.0);
+}
+
+TEST(RelativeErrorTest, ZeroActualGivesMinusOne) {
+  EXPECT_DOUBLE_EQ(RelativeError(0.0, 200.0), -1.0);
+}
+
+TEST(RelativeErrorTest, PerfectEstimateIsZero) {
+  EXPECT_DOUBLE_EQ(RelativeError(200.0, 200.0), 0.0);
+}
+
+TEST(RelativeErrorTest, UnitFloorOnDenominator) {
+  // r_hat = 0 with actual 5 would divide by zero under raw Eq. 2; the unit
+  // floor yields +5 instead.
+  EXPECT_DOUBLE_EQ(RelativeError(5.0, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(RelativeError(5.0, 0.5), 4.5);
+}
+
+TEST(RelativeErrorTest, NeverBelowMinusOne) {
+  for (double est : {0.0, 0.5, 1.0, 10.0, 1e6}) {
+    EXPECT_GE(RelativeError(0.0, est), -1.0);
+  }
+}
+
+// -------------------------------------------------------- ErrorDistribution
+
+TEST(ErrorDistributionTest, DefaultBinningHasTenCells) {
+  // dof 9 in the paper's chi-square setup -> 10 cells.
+  ErrorDistribution ed;
+  EXPECT_EQ(ed.histogram().num_cells(), 10u);
+  EXPECT_TRUE(ed.empty());
+}
+
+TEST(ErrorDistributionTest, EmptyYieldsZeroImpulse) {
+  ErrorDistribution ed;
+  stats::DiscreteDistribution d = ed.ToDistribution();
+  EXPECT_TRUE(d.IsImpulse());
+  EXPECT_DOUBLE_EQ(d.Mean(), 0.0);
+}
+
+TEST(ErrorDistributionTest, ObservationsAccumulate) {
+  ErrorDistribution ed;
+  ed.AddObservation(-0.5);
+  ed.AddObservation(0.0);
+  ed.AddObservation(2.0);
+  EXPECT_EQ(ed.sample_count(), 3u);
+  EXPECT_FALSE(ed.empty());
+}
+
+TEST(ErrorDistributionTest, AddSampleComputesError) {
+  ErrorDistribution ed;
+  ed.AddSample(1300.0, 650.0);  // +1.0
+  stats::DiscreteDistribution d = ed.ToDistribution();
+  EXPECT_TRUE(d.IsImpulse());
+  // +1.0 lands in the [1, 2.5) cell whose representative is 1.75.
+  EXPECT_NEAR(d.Mean(), 1.75, 1e-9);
+}
+
+TEST(ErrorDistributionTest, ErrorsBelowMinusOneClamped) {
+  ErrorDistribution ed;
+  ed.AddObservation(-3.0);  // impossible; clamp to -1
+  stats::DiscreteDistribution d = ed.ToDistribution();
+  EXPECT_GE(d.MinValue(), -1.0 - 1e-12);
+}
+
+TEST(ErrorDistributionTest, RepresentativesClampedToMinusOne) {
+  ErrorDistribution ed;
+  ed.AddObservation(-1.0);  // lowest cell
+  stats::DiscreteDistribution d = ed.ToDistribution();
+  EXPECT_GE(d.MinValue(), -1.0);
+}
+
+TEST(ErrorDistributionTest, DistributionMatchesHistogramProbs) {
+  ErrorDistribution ed;
+  for (int i = 0; i < 40; ++i) ed.AddObservation(-0.7);  // one cell
+  for (int i = 0; i < 50; ++i) ed.AddObservation(0.0);   // another
+  for (int i = 0; i < 10; ++i) ed.AddObservation(0.7);   // a third
+  stats::DiscreteDistribution d = ed.ToDistribution();
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_NEAR(d.atom(0).prob, 0.4, 1e-12);
+  EXPECT_NEAR(d.atom(1).prob, 0.5, 1e-12);
+  EXPECT_NEAR(d.atom(2).prob, 0.1, 1e-12);
+}
+
+TEST(ErrorDistributionTest, CustomEdges) {
+  auto ed = ErrorDistribution::MakeWithEdges({-0.5, 0.5});
+  ASSERT_TRUE(ed.ok());
+  EXPECT_EQ(ed->histogram().num_cells(), 3u);
+  EXPECT_TRUE(ErrorDistribution::MakeWithEdges({}).status()
+                  .IsInvalidArgument());
+}
+
+TEST(ErrorDistributionTest, MergeCombinesSamples) {
+  ErrorDistribution a, b;
+  a.AddObservation(0.0);
+  b.AddObservation(1.5);
+  b.AddObservation(1.5);
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_EQ(a.sample_count(), 3u);
+}
+
+TEST(ErrorDistributionTest, MergeRejectsDifferentBinning) {
+  ErrorDistribution a;
+  auto b = ErrorDistribution::MakeWithEdges({-0.5, 0.5});
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(a.MergeFrom(*b).ok());
+}
+
+// ------------------------------------------------- RelevancyDistribution
+
+TEST(RelevancyDistributionTest, PaperExample3) {
+  // Example 3 / Figure 5(b): ED with bars at -50% (0.4), 0% (0.5),
+  // +50% (0.1); r_hat = 100 yields RD {50: 0.4, 100: 0.5, 150: 0.1}.
+  stats::DiscreteDistribution errors =
+      stats::DiscreteDistribution::Make(
+          {{-0.5, 0.4}, {0.0, 0.5}, {0.5, 0.1}})
+          .ValueOrDie();
+  RelevancyDistribution rd = RelevancyDistribution::FromErrorDist(100, errors);
+  EXPECT_FALSE(rd.probed);
+  EXPECT_DOUBLE_EQ(rd.estimate, 100.0);
+  ASSERT_EQ(rd.dist.size(), 3u);
+  EXPECT_DOUBLE_EQ(rd.dist.PrEqual(50), 0.4);
+  EXPECT_DOUBLE_EQ(rd.dist.PrEqual(100), 0.5);
+  EXPECT_DOUBLE_EQ(rd.dist.PrEqual(150), 0.1);
+}
+
+TEST(RelevancyDistributionTest, Figure5cDerivation) {
+  // db2: ED {0%: 0.1, +100%: 0.9}, r_hat = 65 -> RD {65: 0.1, 130: 0.9}.
+  stats::DiscreteDistribution errors =
+      stats::DiscreteDistribution::Make({{0.0, 0.1}, {1.0, 0.9}})
+          .ValueOrDie();
+  RelevancyDistribution rd = RelevancyDistribution::FromErrorDist(65, errors);
+  EXPECT_DOUBLE_EQ(rd.dist.PrEqual(65), 0.1);
+  EXPECT_DOUBLE_EQ(rd.dist.PrEqual(130), 0.9);
+}
+
+TEST(RelevancyDistributionTest, NegativeRelevancyClampedToZero) {
+  stats::DiscreteDistribution errors =
+      stats::DiscreteDistribution::Make({{-1.0, 0.5}, {0.0, 0.5}})
+          .ValueOrDie();
+  RelevancyDistribution rd = RelevancyDistribution::FromErrorDist(80, errors);
+  EXPECT_DOUBLE_EQ(rd.dist.PrEqual(0), 0.5);
+  EXPECT_DOUBLE_EQ(rd.dist.PrEqual(80), 0.5);
+}
+
+TEST(RelevancyDistributionTest, SmallEstimateUsesUnitDenominator) {
+  // r_hat = 0.2: r = max(0, 0.2 + err * 1.0) mirrors the error definition.
+  stats::DiscreteDistribution errors =
+      stats::DiscreteDistribution::Make({{2.0, 1.0}}).ValueOrDie();
+  RelevancyDistribution rd = RelevancyDistribution::FromErrorDist(0.2, errors);
+  EXPECT_DOUBLE_EQ(rd.dist.Mean(), 2.2);
+}
+
+TEST(RelevancyDistributionTest, EmptyEdTrustsEstimate) {
+  ErrorDistribution ed;
+  RelevancyDistribution rd = RelevancyDistribution::FromEstimate(42.0, ed);
+  EXPECT_TRUE(rd.dist.IsImpulse());
+  EXPECT_DOUBLE_EQ(rd.dist.Mean(), 42.0);
+}
+
+TEST(RelevancyDistributionTest, FromEstimateUsesLearnedEd) {
+  ErrorDistribution ed;
+  for (int i = 0; i < 10; ++i) ed.AddObservation(0.0);
+  RelevancyDistribution rd = RelevancyDistribution::FromEstimate(100.0, ed);
+  EXPECT_TRUE(rd.dist.IsImpulse());
+  EXPECT_DOUBLE_EQ(rd.dist.Mean(), 100.0);  // zero-error cell representative
+}
+
+TEST(RelevancyDistributionTest, ProbedIsImpulse) {
+  RelevancyDistribution rd = RelevancyDistribution::Probed(73.0);
+  EXPECT_TRUE(rd.probed);
+  EXPECT_TRUE(rd.dist.IsImpulse());
+  EXPECT_DOUBLE_EQ(rd.dist.Mean(), 73.0);
+}
+
+TEST(RelevancyDistributionTest, ProbedNegativeClamped) {
+  EXPECT_DOUBLE_EQ(RelevancyDistribution::Probed(-5.0).dist.Mean(), 0.0);
+}
+
+TEST(RelevancyDistributionTest, RoundTripErrorInversion) {
+  // Observing error e on estimate r_hat and re-deriving must reproduce the
+  // actual relevancy at the cell representative's accuracy; with an exact
+  // atom it is exact.
+  double actual = 480.0, estimate = 300.0;
+  double err = RelativeError(actual, estimate);
+  stats::DiscreteDistribution errors =
+      stats::DiscreteDistribution::Make({{err, 1.0}}).ValueOrDie();
+  RelevancyDistribution rd =
+      RelevancyDistribution::FromErrorDist(estimate, errors);
+  EXPECT_NEAR(rd.dist.Mean(), actual, 1e-9);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace metaprobe

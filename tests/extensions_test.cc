@@ -1,0 +1,277 @@
+// Tests for the extension surfaces: the document-similarity relevancy
+// definition, the coverage-similarity estimator, the CORI comparator, and
+// probabilistic consistency laws of the TopKModel.
+
+#include <memory>
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/correctness.h"
+#include "core/estimator.h"
+#include "core/metasearcher.h"
+#include "core/related_selectors.h"
+#include "core/relevancy_definition.h"
+
+namespace metaprobe {
+namespace core {
+namespace {
+
+std::shared_ptr<LocalDatabase> MakeDb(const std::string& name,
+                                      int both_every, int num_docs) {
+  index::InvertedIndex::Builder builder;
+  for (int d = 0; d < num_docs; ++d) {
+    std::vector<std::string> terms{"filler"};
+    if (d % both_every == 0) {
+      terms.push_back("alpha");
+      terms.push_back("beta");
+    } else if (d % 2 == 0) {
+      terms.push_back("alpha");
+    }
+    builder.AddDocument(terms);
+  }
+  return std::make_shared<LocalDatabase>(
+      name, std::move(builder).Build().ValueOrDie());
+}
+
+Query MakeQuery(std::vector<std::string> terms) {
+  Query q;
+  q.terms = std::move(terms);
+  return q;
+}
+
+// ------------------------------------------------- RelevancyDefinition
+
+TEST(RelevancyDefinitionTest, Names) {
+  EXPECT_STREQ(
+      RelevancyDefinitionName(RelevancyDefinition::kDocumentFrequency),
+      "document-frequency");
+  EXPECT_STREQ(
+      RelevancyDefinitionName(RelevancyDefinition::kDocumentSimilarity),
+      "document-similarity");
+}
+
+TEST(RelevancyDefinitionTest, FrequencyProbeCountsMatches) {
+  auto db = MakeDb("db", 4, 100);
+  auto result = ProbeRelevancy(*db, MakeQuery({"alpha", "beta"}),
+                               RelevancyDefinition::kDocumentFrequency);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(*result, 25.0);  // every 4th doc has both
+}
+
+TEST(RelevancyDefinitionTest, SimilarityProbeReturnsBestCosine) {
+  auto db = MakeDb("db", 4, 100);
+  auto result = ProbeRelevancy(*db, MakeQuery({"alpha", "beta"}),
+                               RelevancyDefinition::kDocumentSimilarity);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(*result, 0.0);
+  EXPECT_LE(*result, 1.0 + 1e-9);
+}
+
+TEST(RelevancyDefinitionTest, SimilarityProbeZeroWhenNoMatch) {
+  auto db = MakeDb("db", 4, 50);
+  auto result = ProbeRelevancy(*db, MakeQuery({"zebra"}),
+                               RelevancyDefinition::kDocumentSimilarity);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(*result, 0.0);
+}
+
+TEST(RelevancyDefinitionTest, MetasearcherServesSimilarityDefinition) {
+  MetasearcherOptions options;
+  options.relevancy_definition = RelevancyDefinition::kDocumentSimilarity;
+  options.query_class.estimate_threshold = 0.8;
+  Metasearcher searcher(options);
+  EXPECT_EQ(searcher.estimator().name(), "coverage-similarity");
+  ASSERT_TRUE(searcher.AddLocalDatabase(MakeDb("rich", 3, 150)).ok());
+  ASSERT_TRUE(searcher.AddLocalDatabase(MakeDb("sparse", 50, 150)).ok());
+  std::vector<Query> training(30, MakeQuery({"alpha", "beta"}));
+  ASSERT_TRUE(searcher.Train(training).ok());
+  auto report = searcher.Select(MakeQuery({"alpha", "beta"}), 1, 0.5);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->databases.size(), 1u);
+}
+
+// ------------------------------------------- CoverageSimilarityEstimator
+
+TEST(CoverageSimilarityTest, FullCoverageIsOne) {
+  StatSummary summary("db", 1000);
+  summary.SetDocumentFrequency("a", 100);
+  summary.SetDocumentFrequency("b", 200);
+  CoverageSimilarityEstimator estimator;
+  EXPECT_NEAR(estimator.Estimate(summary, MakeQuery({"a", "b"})), 1.0, 1e-12);
+}
+
+TEST(CoverageSimilarityTest, NoCoverageIsZero) {
+  StatSummary summary("db", 1000);
+  CoverageSimilarityEstimator estimator;
+  EXPECT_DOUBLE_EQ(estimator.Estimate(summary, MakeQuery({"x", "y"})), 0.0);
+}
+
+TEST(CoverageSimilarityTest, PartialCoverageBetweenZeroAndOne) {
+  StatSummary summary("db", 1000);
+  summary.SetDocumentFrequency("a", 100);
+  CoverageSimilarityEstimator estimator;
+  double partial = estimator.Estimate(summary, MakeQuery({"a", "missing"}));
+  EXPECT_GT(partial, 0.0);
+  EXPECT_LT(partial, 1.0);
+}
+
+TEST(CoverageSimilarityTest, RareCoveredTermWeighsMore) {
+  // Covering a rare keyword should count for more of the estimate than
+  // covering a ubiquitous one.
+  StatSummary rare_covered("db1", 1000);
+  rare_covered.SetDocumentFrequency("rare", 2);
+  StatSummary common_covered("db2", 1000);
+  common_covered.SetDocumentFrequency("common", 900);
+  CoverageSimilarityEstimator estimator;
+  double with_rare =
+      estimator.Estimate(rare_covered, MakeQuery({"rare", "common"}));
+  double with_common =
+      estimator.Estimate(common_covered, MakeQuery({"rare", "common"}));
+  EXPECT_GT(with_rare, with_common);
+}
+
+TEST(CoverageSimilarityTest, EdgeCases) {
+  StatSummary summary("db", 0);
+  CoverageSimilarityEstimator estimator;
+  EXPECT_DOUBLE_EQ(estimator.Estimate(summary, MakeQuery({"a"})), 0.0);
+  StatSummary ok("db", 10);
+  EXPECT_DOUBLE_EQ(estimator.Estimate(ok, MakeQuery({})), 0.0);
+}
+
+// ----------------------------------------------------------------- CORI
+
+class CoriTest : public ::testing::Test {
+ protected:
+  CoriTest() {
+    summaries_.emplace_back("big", 2000);
+    summaries_.back().SetDocumentFrequency("cancer", 500);
+    summaries_.back().SetDocumentFrequency("common", 1800);
+    summaries_.emplace_back("small", 500);
+    summaries_.back().SetDocumentFrequency("cancer", 400);
+    summaries_.back().SetDocumentFrequency("common", 450);
+    summaries_.emplace_back("offtopic", 1000);
+    summaries_.back().SetDocumentFrequency("common", 900);
+    for (const StatSummary& s : summaries_) ptrs_.push_back(&s);
+  }
+
+  std::vector<StatSummary> summaries_;
+  std::vector<const StatSummary*> ptrs_;
+};
+
+TEST_F(CoriTest, CollectionFrequency) {
+  CoriSelector cori(ptrs_);
+  EXPECT_EQ(cori.CollectionFrequency("cancer"), 2u);
+  EXPECT_EQ(cori.CollectionFrequency("common"), 3u);
+  EXPECT_EQ(cori.CollectionFrequency("absent"), 0u);
+}
+
+TEST_F(CoriTest, ScoresFavorTopicalDatabases) {
+  CoriSelector cori(ptrs_);
+  std::vector<double> scores = cori.Score(MakeQuery({"cancer"}));
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_GT(scores[0], scores[2]);  // big beats offtopic on "cancer"
+  EXPECT_GT(scores[1], scores[2]);  // small beats offtopic too
+}
+
+TEST_F(CoriTest, UbiquitousTermsCarryNoSignal) {
+  // "common" appears in every database: its I component is
+  // log(3.5/3)/log(4), tiny, so scores cluster near the default belief.
+  CoriSelector cori(ptrs_);
+  std::vector<double> scores = cori.Score(MakeQuery({"common"}));
+  for (double s : scores) {
+    EXPECT_GT(s, 0.39);
+    EXPECT_LT(s, 0.55);
+  }
+}
+
+TEST_F(CoriTest, ScoresBoundedByBeliefRange) {
+  CoriSelector cori(ptrs_);
+  for (auto terms : {std::vector<std::string>{"cancer"},
+                     std::vector<std::string>{"cancer", "common"},
+                     std::vector<std::string>{"absent"}}) {
+    for (double s : cori.Score(MakeQuery(terms))) {
+      EXPECT_GE(s, 0.4 - 1e-12);
+      EXPECT_LE(s, 1.0);
+    }
+  }
+}
+
+TEST_F(CoriTest, EmptyInputs) {
+  CoriSelector cori(ptrs_);
+  EXPECT_TRUE(cori.Score(MakeQuery({})).empty() ||
+              cori.Score(MakeQuery({})).size() == 3);
+  CoriSelector empty({});
+  EXPECT_TRUE(empty.Score(MakeQuery({"x"})).empty());
+}
+
+// --------------------------------------- TopKModel probability laws
+
+RelevancyDistribution Rd(std::vector<stats::Atom> atoms) {
+  RelevancyDistribution rd;
+  rd.dist = stats::DiscreteDistribution::Make(std::move(atoms)).ValueOrDie();
+  return rd;
+}
+
+TEST(TopKModelLawsTest, TotalProbabilityOverConditioning) {
+  // Law of total probability: sum_v Pr(X_i = v) Pr(S top | X_i = v)
+  // must equal Pr(S top), for every database i and candidate set S.
+  stats::Rng rng(4242);
+  std::vector<RelevancyDistribution> rds;
+  for (int i = 0; i < 5; ++i) {
+    std::vector<stats::Atom> atoms;
+    for (int a = 0; a < 3; ++a) {
+      atoms.push_back(
+          {std::floor(rng.Uniform(0, 15)) * 7, rng.Uniform(0.1, 1.0)});
+    }
+    rds.push_back(Rd(std::move(atoms)));
+  }
+  TopKModel model(std::move(rds));
+  for (std::size_t i = 0; i < model.num_databases(); ++i) {
+    for (std::vector<std::size_t> set :
+         {std::vector<std::size_t>{0}, std::vector<std::size_t>{1, 3},
+          std::vector<std::size_t>{0, 2, 4}}) {
+      double prior = model.PrExactTopSet(set);
+      double total = 0.0;
+      const std::vector<stats::Atom> support = model.SupportOf(i);
+      for (const stats::Atom& atom : support) {
+        TopKModel::ScopedCondition cond(&model, i, atom.value);
+        total += atom.prob * model.PrExactTopSet(set);
+      }
+      EXPECT_NEAR(total, prior, 1e-10) << "db " << i;
+    }
+  }
+}
+
+TEST(TopKModelLawsTest, MembershipIsMonotoneInValueShift) {
+  // Shifting one database's RD upward cannot decrease its membership
+  // probability.
+  std::vector<RelevancyDistribution> rds;
+  rds.push_back(Rd({{40, 0.5}, {80, 0.5}}));
+  rds.push_back(Rd({{50, 0.5}, {70, 0.5}}));
+  rds.push_back(Rd({{30, 0.5}, {90, 0.5}}));
+  TopKModel base(rds);
+  std::vector<RelevancyDistribution> shifted_rds = rds;
+  shifted_rds[1] = Rd({{60, 0.5}, {80, 0.5}});
+  TopKModel shifted(shifted_rds);
+  for (int k : {1, 2}) {
+    EXPECT_GE(shifted.MembershipProbabilities(k)[1] + 1e-12,
+              base.MembershipProbabilities(k)[1])
+        << "k=" << k;
+  }
+}
+
+TEST(TopKModelLawsTest, ObservingTruthNeverContradictsSupport) {
+  std::vector<RelevancyDistribution> rds;
+  rds.push_back(Rd({{40, 0.5}, {80, 0.5}}));
+  rds.push_back(Rd({{50, 1.0}}));
+  TopKModel model(std::move(rds));
+  model.Observe(0, 80);
+  EXPECT_NEAR(model.PrExactTopSet({0}), 1.0, 1e-9);
+  model.Observe(0, 40);  // re-observation overwrites
+  EXPECT_NEAR(model.PrExactTopSet({1}), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace metaprobe

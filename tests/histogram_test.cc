@@ -1,0 +1,184 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace metaprobe {
+namespace stats {
+namespace {
+
+Histogram MakeSimple() {
+  // Edges {0, 1, 2} -> cells (-inf,0) [0,1) [1,2) [2,inf).
+  return Histogram::Make({0.0, 1.0, 2.0}).ValueOrDie();
+}
+
+TEST(HistogramTest, MakeRejectsEmptyEdges) {
+  EXPECT_TRUE(Histogram::Make({}).status().IsInvalidArgument());
+}
+
+TEST(HistogramTest, MakeRejectsNonIncreasingEdges) {
+  EXPECT_TRUE(Histogram::Make({1.0, 1.0}).status().IsInvalidArgument());
+  EXPECT_TRUE(Histogram::Make({2.0, 1.0}).status().IsInvalidArgument());
+}
+
+TEST(HistogramTest, MakeRejectsNonFiniteEdges) {
+  EXPECT_TRUE(Histogram::Make({0.0, std::numeric_limits<double>::infinity()})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(HistogramTest, CellCountIsEdgesPlusOne) {
+  EXPECT_EQ(MakeSimple().num_cells(), 4u);
+}
+
+TEST(HistogramTest, CellForRoutesValues) {
+  Histogram h = MakeSimple();
+  EXPECT_EQ(h.CellFor(-5.0), 0u);
+  EXPECT_EQ(h.CellFor(0.0), 1u);   // lower edge inclusive
+  EXPECT_EQ(h.CellFor(0.5), 1u);
+  EXPECT_EQ(h.CellFor(1.0), 2u);
+  EXPECT_EQ(h.CellFor(1.999), 2u);
+  EXPECT_EQ(h.CellFor(2.0), 3u);
+  EXPECT_EQ(h.CellFor(100.0), 3u);
+}
+
+TEST(HistogramTest, AddAccumulates) {
+  Histogram h = MakeSimple();
+  h.Add(0.5);
+  h.Add(0.6);
+  h.Add(1.5);
+  EXPECT_DOUBLE_EQ(h.count(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(2), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(HistogramTest, AddWeighted) {
+  Histogram h = MakeSimple();
+  h.AddWeighted(0.5, 2.5);
+  EXPECT_DOUBLE_EQ(h.count(1), 2.5);
+  EXPECT_DOUBLE_EQ(h.total(), 2.5);
+}
+
+TEST(HistogramTest, NonPositiveWeightIgnored) {
+  Histogram h = MakeSimple();
+  h.AddWeighted(0.5, 0.0);
+  h.AddWeighted(0.5, -1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 0.0);
+}
+
+TEST(HistogramTest, NonFiniteValueIgnored) {
+  Histogram h = MakeSimple();
+  h.Add(std::nan(""));
+  h.Add(std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(h.total(), 0.0);
+}
+
+TEST(HistogramTest, ProbabilitiesNormalize) {
+  Histogram h = MakeSimple();
+  h.Add(0.5);
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(2.5);
+  std::vector<double> p = h.Probabilities();
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  EXPECT_DOUBLE_EQ(p[1], 0.5);
+  EXPECT_DOUBLE_EQ(p[2], 0.25);
+  EXPECT_DOUBLE_EQ(p[3], 0.25);
+}
+
+TEST(HistogramTest, EmptyProbabilitiesAreZero) {
+  std::vector<double> p = MakeSimple().Probabilities();
+  for (double v : p) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(HistogramTest, InteriorRepresentativeIsMidpoint) {
+  Histogram h = MakeSimple();
+  EXPECT_DOUBLE_EQ(h.Representative(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.Representative(2), 1.5);
+}
+
+TEST(HistogramTest, TailRepresentativesExtendHalfWidth) {
+  Histogram h = MakeSimple();
+  EXPECT_DOUBLE_EQ(h.Representative(0), -0.5);  // 0 - 1/2
+  EXPECT_DOUBLE_EQ(h.Representative(3), 2.5);   // 2 + 1/2
+}
+
+TEST(HistogramTest, SingleEdgeRepresentatives) {
+  Histogram h = Histogram::Make({0.0}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(h.Representative(0), -1.0);
+  EXPECT_DOUBLE_EQ(h.Representative(1), 1.0);
+}
+
+TEST(HistogramTest, EdgesOfCells) {
+  Histogram h = MakeSimple();
+  EXPECT_EQ(h.LowerEdge(0), -std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(h.UpperEdge(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.LowerEdge(2), 1.0);
+  EXPECT_DOUBLE_EQ(h.UpperEdge(2), 2.0);
+  EXPECT_EQ(h.UpperEdge(3), std::numeric_limits<double>::infinity());
+}
+
+TEST(HistogramTest, MergeFromSameEdges) {
+  Histogram a = MakeSimple();
+  Histogram b = MakeSimple();
+  a.Add(0.5);
+  b.Add(0.5);
+  b.Add(1.5);
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_DOUBLE_EQ(a.count(1), 2.0);
+  EXPECT_DOUBLE_EQ(a.count(2), 1.0);
+  EXPECT_DOUBLE_EQ(a.total(), 3.0);
+}
+
+TEST(HistogramTest, MergeRejectsDifferentEdges) {
+  Histogram a = MakeSimple();
+  Histogram b = Histogram::Make({0.0, 5.0}).ValueOrDie();
+  EXPECT_TRUE(a.MergeFrom(b).IsInvalidArgument());
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h = MakeSimple();
+  h.Add(0.5);
+  h.Clear();
+  EXPECT_DOUBLE_EQ(h.total(), 0.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 0.0);
+}
+
+TEST(HistogramTest, ToAsciiHasOneLinePerCell) {
+  Histogram h = MakeSimple();
+  h.Add(0.5);
+  std::string art = h.ToAscii(10);
+  std::size_t lines = std::count(art.begin(), art.end(), '\n');
+  EXPECT_EQ(lines, h.num_cells());
+}
+
+class HistogramPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistogramPropertyTest, TotalEqualsSumOfCells) {
+  Histogram h =
+      Histogram::Make({-1.0, -0.5, 0.0, 0.5, 1.0, 2.0}).ValueOrDie();
+  // Deterministic pseudo-random values.
+  unsigned seed = static_cast<unsigned>(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    seed = seed * 1664525u + 1013904223u;
+    double v = (seed % 10000) / 2000.0 - 2.0;  // [-2, 3)
+    h.Add(v);
+  }
+  double sum = 0.0;
+  for (std::size_t c = 0; c < h.num_cells(); ++c) sum += h.count(c);
+  EXPECT_DOUBLE_EQ(sum, h.total());
+  std::vector<double> p = h.Probabilities();
+  double prob_sum = 0.0;
+  for (double v : p) prob_sum += v;
+  EXPECT_NEAR(prob_sum, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace stats
+}  // namespace metaprobe

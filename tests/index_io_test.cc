@@ -1,0 +1,180 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "corpus/domain.h"
+#include "corpus/synthetic_corpus.h"
+#include "index/inverted_index.h"
+#include "stats/random.h"
+#include "text/analyzer.h"
+
+namespace metaprobe {
+namespace index {
+namespace {
+
+InvertedIndex SmallIndex() {
+  InvertedIndex::Builder builder;
+  builder.AddDocument({"breast", "cancer", "treatment"});
+  builder.AddDocument({"breast", "cancer", "cancer", "biopsy"});
+  builder.AddDocument({"heart", "attack"});
+  builder.AddDocument({"breast", "feeding"});
+  builder.AddDocument({"cancer", "screening"});
+  return std::move(builder).Build().ValueOrDie();
+}
+
+TEST(IndexIoTest, RoundTripSmall) {
+  InvertedIndex original = SmallIndex();
+  std::ostringstream os(std::ios::binary);
+  ASSERT_TRUE(original.SaveTo(os).ok());
+  std::istringstream is(os.str(), std::ios::binary);
+  auto loaded = InvertedIndex::LoadFrom(is);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  EXPECT_EQ(loaded->num_docs(), original.num_docs());
+  IndexStats a = original.GetStats();
+  IndexStats b = loaded->GetStats();
+  EXPECT_EQ(a.num_terms, b.num_terms);
+  EXPECT_EQ(a.num_postings, b.num_postings);
+  EXPECT_EQ(a.total_tokens, b.total_tokens);
+
+  for (const char* term : {"breast", "cancer", "heart", "unknown"}) {
+    EXPECT_EQ(loaded->DocumentFrequency(term),
+              original.DocumentFrequency(term))
+        << term;
+  }
+  EXPECT_EQ(loaded->CountConjunctive({"breast", "cancer"}),
+            original.CountConjunctive({"breast", "cancer"}));
+  EXPECT_EQ(loaded->TopKCosine({"breast", "cancer"}, 5),
+            original.TopKCosine({"breast", "cancer"}, 5));
+}
+
+TEST(IndexIoTest, RoundTripSyntheticCorpus) {
+  text::Analyzer analyzer;
+  corpus::CorpusGenerator generator(corpus::HealthTopics(), {}, &analyzer);
+  corpus::DatabaseSpec spec;
+  spec.name = "io-test";
+  spec.num_docs = 500;
+  spec.mixture = {{"oncology", 1.0}, {"cardiology", 1.0}};
+  spec.seed = 321;
+  InvertedIndex original = std::move(generator.Generate(spec)->index);
+
+  std::ostringstream os(std::ios::binary);
+  ASSERT_TRUE(original.SaveTo(os).ok());
+  std::istringstream is(os.str(), std::ios::binary);
+  auto loaded = InvertedIndex::LoadFrom(is);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  // Behavioural equivalence on a sweep of real queries.
+  for (auto terms : {std::vector<std::string>{"cancer"},
+                     std::vector<std::string>{"cancer", "breast"},
+                     std::vector<std::string>{"heart", "arteri"},
+                     std::vector<std::string>{"tumor", "biopsi", "cancer"}}) {
+    EXPECT_EQ(loaded->CountConjunctive(terms),
+              original.CountConjunctive(terms));
+    EXPECT_EQ(loaded->TopKCosine(terms, 10), original.TopKCosine(terms, 10));
+  }
+}
+
+TEST(IndexIoTest, RoundTripIsByteStable) {
+  InvertedIndex original = SmallIndex();
+  std::ostringstream first(std::ios::binary);
+  ASSERT_TRUE(original.SaveTo(first).ok());
+  std::istringstream is(first.str(), std::ios::binary);
+  auto loaded = InvertedIndex::LoadFrom(is);
+  ASSERT_TRUE(loaded.ok());
+  std::ostringstream second(std::ios::binary);
+  ASSERT_TRUE(loaded->SaveTo(second).ok());
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(IndexIoTest, RejectsBadMagic) {
+  std::istringstream is("JUNKJUNKJUNK", std::ios::binary);
+  EXPECT_TRUE(InvertedIndex::LoadFrom(is).status().IsInvalidArgument());
+}
+
+TEST(IndexIoTest, RejectsEmptyStream) {
+  std::istringstream is("", std::ios::binary);
+  EXPECT_FALSE(InvertedIndex::LoadFrom(is).ok());
+}
+
+TEST(IndexIoTest, RejectsTruncation) {
+  InvertedIndex original = SmallIndex();
+  std::ostringstream os(std::ios::binary);
+  ASSERT_TRUE(original.SaveTo(os).ok());
+  std::string payload = os.str();
+  // Any prefix must be rejected, never crash.
+  for (std::size_t cut : {4ul, 12ul, 20ul, payload.size() / 2,
+                          payload.size() - 3}) {
+    std::istringstream is(payload.substr(0, cut), std::ios::binary);
+    EXPECT_FALSE(InvertedIndex::LoadFrom(is).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(IndexIoTest, RejectsCorruptedBytes) {
+  InvertedIndex original = SmallIndex();
+  std::ostringstream os(std::ios::binary);
+  ASSERT_TRUE(original.SaveTo(os).ok());
+  std::string payload = os.str();
+  // Flip bytes across the payload; loads must either fail cleanly or (for
+  // benign flips inside term text) succeed — never crash or hang.
+  stats::Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string mutated = payload;
+    std::size_t pos = 8 + rng.UniformInt(mutated.size() - 8);
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x5b);
+    std::istringstream is(mutated, std::ios::binary);
+    auto result = InvertedIndex::LoadFrom(is);
+    if (result.ok()) {
+      EXPECT_EQ(result->num_docs(), original.num_docs());
+    }
+  }
+}
+
+TEST(PostingListEncodedTest, FromEncodedRoundTrip) {
+  PostingList list;
+  for (DocId d = 0; d < 300; ++d) {
+    ASSERT_TRUE(list.Append(d * 5 + 1, (d % 4) + 1).ok());
+  }
+  auto restored =
+      PostingList::FromEncoded(list.size(), list.encoded_bytes());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->Decode(), list.Decode());
+  // SkipTo works on the restored list (skip table was rebuilt).
+  auto it = restored->begin();
+  it.SkipTo(1001);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.doc(), 1001u);
+}
+
+TEST(PostingListEncodedTest, RejectsTruncatedPayload) {
+  PostingList list;
+  for (DocId d = 0; d < 100; ++d) ASSERT_TRUE(list.Append(d * 2, 1).ok());
+  std::vector<std::uint8_t> bytes = list.encoded_bytes();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_TRUE(PostingList::FromEncoded(list.size(), std::move(bytes))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PostingListEncodedTest, RejectsCountMismatch) {
+  PostingList list;
+  for (DocId d = 0; d < 10; ++d) ASSERT_TRUE(list.Append(d, 1).ok());
+  // Fewer claimed postings than the payload encodes -> trailing garbage.
+  EXPECT_TRUE(PostingList::FromEncoded(5, list.encoded_bytes())
+                  .status()
+                  .IsInvalidArgument());
+  // More claimed postings than encoded -> truncation.
+  EXPECT_TRUE(PostingList::FromEncoded(20, list.encoded_bytes())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PostingListEncodedTest, EmptyList) {
+  auto restored = PostingList::FromEncoded(0, {});
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->empty());
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace metaprobe

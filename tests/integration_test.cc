@@ -1,0 +1,199 @@
+// End-to-end integration tests on a shrunken version of the paper's
+// Section 6 testbed: synthetic health/science/news databases, disjoint
+// train/test query traces, trained metasearcher, golden-standard scoring.
+// These validate the paper's *qualitative* claims at small scale:
+//   1. RD-based selection beats the term-independence baseline.
+//   2. Adaptive probing raises correctness further.
+//   3. Higher certainty thresholds cost more probes.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/correctness.h"
+#include "core/metasearcher.h"
+#include "core/selection.h"
+#include "eval/golden.h"
+#include "eval/testbed.h"
+
+namespace metaprobe {
+namespace eval {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TestbedOptions options;
+    options.scale = 1;
+    options.train_queries_per_term_count = 150;
+    options.test_queries_per_term_count = 100;
+    options.seed = 20260707;
+    testbed_ = new Testbed(BuildHealthTestbed(options).ValueOrDie());
+    // Shrink per-database size for test speed: regenerate at tiny scale is
+    // not needed; the default testbed is already laptop scale.
+    metasearcher_ =
+        BuildTrainedMetasearcher(*testbed_).ValueOrDie().release();
+    golden_ = new GoldenStandard(
+        GoldenStandard::Build(testbed_->database_ptrs(),
+                              testbed_->test_queries)
+            .ValueOrDie());
+  }
+
+  static void TearDownTestSuite() {
+    delete golden_;
+    delete metasearcher_;
+    delete testbed_;
+    golden_ = nullptr;
+    metasearcher_ = nullptr;
+    testbed_ = nullptr;
+  }
+
+  static Testbed* testbed_;
+  static core::Metasearcher* metasearcher_;
+  static GoldenStandard* golden_;
+};
+
+Testbed* IntegrationTest::testbed_ = nullptr;
+core::Metasearcher* IntegrationTest::metasearcher_ = nullptr;
+GoldenStandard* IntegrationTest::golden_ = nullptr;
+
+TEST_F(IntegrationTest, TestbedShape) {
+  EXPECT_EQ(testbed_->num_databases(), 20u);
+  EXPECT_EQ(testbed_->train_queries.size(), 300u);
+  EXPECT_EQ(testbed_->test_queries.size(), 200u);
+  for (const auto& db : testbed_->databases) {
+    EXPECT_GT(db->size(), 1000u) << db->name();
+  }
+}
+
+TEST_F(IntegrationTest, QueriesHitDifferentDatabases) {
+  // The golden standard must not be degenerate: different queries favor
+  // different databases.
+  std::set<std::size_t> winners;
+  for (std::size_t q = 0; q < golden_->num_queries(); ++q) {
+    winners.insert(golden_->TopK(q, 1)[0]);
+  }
+  EXPECT_GE(winners.size(), 5u);
+}
+
+TEST_F(IntegrationTest, EstimatorErrsNonUniformly) {
+  // Section 2.3's premise: for a meaningful fraction of test queries the
+  // baseline picks the wrong top-1 database.
+  int wrong = 0;
+  for (std::size_t q = 0; q < golden_->num_queries(); ++q) {
+    core::SelectionResult baseline = core::SelectByEstimate(
+        metasearcher_->EstimateAll(testbed_->test_queries[q]), 1);
+    if (core::AbsoluteCorrectness(baseline.databases, golden_->TopK(q, 1)) <
+        1.0) {
+      ++wrong;
+    }
+  }
+  EXPECT_GT(wrong, static_cast<int>(golden_->num_queries()) / 10);
+}
+
+TEST_F(IntegrationTest, RdBasedBeatsBaselineTopOne) {
+  // The paper's headline Figure 15 effect, at reduced scale.
+  double baseline_total = 0.0, rd_total = 0.0;
+  for (std::size_t q = 0; q < golden_->num_queries(); ++q) {
+    const core::Query& query = testbed_->test_queries[q];
+    std::vector<std::size_t> actual = golden_->TopK(q, 1);
+    core::SelectionResult baseline =
+        core::SelectByEstimate(metasearcher_->EstimateAll(query), 1);
+    baseline_total +=
+        core::AbsoluteCorrectness(baseline.databases, actual);
+    core::TopKModel model =
+        metasearcher_->BuildModel(query).ValueOrDie();
+    core::SelectionResult rd_based =
+        core::SelectByRd(model, 1, core::CorrectnessMetric::kAbsolute);
+    rd_total += core::AbsoluteCorrectness(rd_based.databases, actual);
+  }
+  double n = static_cast<double>(golden_->num_queries());
+  EXPECT_GT(rd_total / n, baseline_total / n)
+      << "baseline=" << baseline_total / n << " rd=" << rd_total / n;
+}
+
+TEST_F(IntegrationTest, ProbingImprovesCorrectness) {
+  // Average correctness after 2 probes must exceed the no-probe answer
+  // (Figure 16's qualitative shape), measured on a query subsample.
+  double no_probe_total = 0.0, probed_total = 0.0;
+  const std::size_t sample = std::min<std::size_t>(60, golden_->num_queries());
+  core::GreedyUsefulnessPolicy policy;
+  for (std::size_t q = 0; q < sample; ++q) {
+    const core::Query& query = testbed_->test_queries[q];
+    std::vector<std::size_t> actual = golden_->TopK(q, 1);
+    core::TopKModel model = metasearcher_->BuildModel(query).ValueOrDie();
+    core::AProOptions options;
+    options.k = 1;
+    options.threshold = 1.0;
+    options.max_probes = 2;
+    options.record_trace = true;
+    core::AdaptiveProber prober(&policy, options);
+    core::ProbeFn probe = [&](std::size_t db) -> Result<double> {
+      return golden_->Relevancy(q, db);
+    };
+    core::AProResult result = prober.Run(&model, probe).ValueOrDie();
+    no_probe_total += core::AbsoluteCorrectness(
+        result.trace.front().databases, actual);
+    probed_total +=
+        core::AbsoluteCorrectness(result.selected, actual);
+  }
+  // Probing helps in expectation; on a 60-query subsample a one-query dip
+  // is within noise, so allow small slack around equality.
+  EXPECT_GE(probed_total, no_probe_total - 2.0);
+  EXPECT_GT(probed_total / static_cast<double>(sample), 0.5);
+}
+
+TEST_F(IntegrationTest, HigherThresholdCostsMoreProbes) {
+  const std::size_t sample = std::min<std::size_t>(50, golden_->num_queries());
+  core::GreedyUsefulnessPolicy policy;
+  auto average_probes = [&](double threshold) {
+    double total = 0.0;
+    for (std::size_t q = 0; q < sample; ++q) {
+      core::TopKModel model =
+          metasearcher_->BuildModel(testbed_->test_queries[q]).ValueOrDie();
+      core::AProOptions options;
+      options.k = 1;
+      options.threshold = threshold;
+      core::AdaptiveProber prober(&policy, options);
+      core::ProbeFn probe = [&](std::size_t db) -> Result<double> {
+        return golden_->Relevancy(q, db);
+      };
+      core::AProResult result = prober.Run(&model, probe).ValueOrDie();
+      EXPECT_TRUE(result.reached_threshold);
+      total += result.num_probes();
+    }
+    return total / static_cast<double>(sample);
+  };
+  double low = average_probes(0.7);
+  double high = average_probes(0.95);
+  EXPECT_LE(low, high);
+}
+
+TEST_F(IntegrationTest, SelectReportsConsistent) {
+  auto report = metasearcher_->Select(testbed_->test_queries[0], 3, 0.7);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->databases.size(), 3u);
+  EXPECT_EQ(report->database_names.size(), 3u);
+  EXPECT_EQ(report->estimates.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(report->databases.begin(),
+                             report->databases.end()));
+}
+
+TEST_F(IntegrationTest, NewsgroupTestbedBuilds) {
+  TestbedOptions options;
+  options.scale = 1;
+  options.train_queries_per_term_count = 20;
+  options.test_queries_per_term_count = 10;
+  options.seed = 5;
+  auto testbed = BuildNewsgroupTestbed(options);
+  ASSERT_TRUE(testbed.ok());
+  EXPECT_EQ(testbed->num_databases(), 20u);
+  for (const auto& db : testbed->databases) {
+    EXPECT_GE(db->size(), 1000u);
+  }
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace metaprobe

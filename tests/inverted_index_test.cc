@@ -1,0 +1,255 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "index/document_store.h"
+#include "stats/random.h"
+
+namespace metaprobe {
+namespace index {
+namespace {
+
+InvertedIndex SmallIndex() {
+  InvertedIndex::Builder builder;
+  builder.AddDocument({"breast", "cancer", "treatment"});        // doc 0
+  builder.AddDocument({"breast", "cancer", "cancer", "biopsy"});  // doc 1
+  builder.AddDocument({"heart", "attack"});                       // doc 2
+  builder.AddDocument({"breast", "feeding"});                     // doc 3
+  builder.AddDocument({"cancer", "screening"});                   // doc 4
+  return std::move(builder).Build().ValueOrDie();
+}
+
+TEST(InvertedIndexTest, EmptyDefaultIndex) {
+  InvertedIndex index;
+  EXPECT_EQ(index.num_docs(), 0u);
+  EXPECT_EQ(index.DocumentFrequency("x"), 0u);
+  EXPECT_EQ(index.CountConjunctive({"x"}), 0u);
+}
+
+TEST(InvertedIndexTest, BuildRejectsEmpty) {
+  InvertedIndex::Builder builder;
+  EXPECT_TRUE(std::move(builder).Build().status().IsFailedPrecondition());
+}
+
+TEST(InvertedIndexTest, NumDocs) {
+  EXPECT_EQ(SmallIndex().num_docs(), 5u);
+}
+
+TEST(InvertedIndexTest, DocumentFrequency) {
+  InvertedIndex index = SmallIndex();
+  EXPECT_EQ(index.DocumentFrequency("breast"), 3u);
+  EXPECT_EQ(index.DocumentFrequency("cancer"), 3u);
+  EXPECT_EQ(index.DocumentFrequency("heart"), 1u);
+  EXPECT_EQ(index.DocumentFrequency("unknown"), 0u);
+}
+
+TEST(InvertedIndexTest, DuplicateTermsFoldIntoTf) {
+  InvertedIndex index = SmallIndex();
+  const PostingList* cancer = index.Postings("cancer");
+  ASSERT_NE(cancer, nullptr);
+  std::vector<Posting> postings = cancer->Decode();
+  ASSERT_EQ(postings.size(), 3u);
+  EXPECT_EQ(postings[1].doc, 1u);
+  EXPECT_EQ(postings[1].tf, 2u);  // "cancer" twice in doc 1
+}
+
+TEST(InvertedIndexTest, CountConjunctiveSingleTerm) {
+  EXPECT_EQ(SmallIndex().CountConjunctive({"breast"}), 3u);
+}
+
+TEST(InvertedIndexTest, CountConjunctivePair) {
+  // "breast cancer" matches docs 0 and 1 only.
+  EXPECT_EQ(SmallIndex().CountConjunctive({"breast", "cancer"}), 2u);
+}
+
+TEST(InvertedIndexTest, CountConjunctiveOrderInvariant) {
+  InvertedIndex index = SmallIndex();
+  EXPECT_EQ(index.CountConjunctive({"breast", "cancer"}),
+            index.CountConjunctive({"cancer", "breast"}));
+}
+
+TEST(InvertedIndexTest, CountConjunctiveUnknownTermIsZero) {
+  EXPECT_EQ(SmallIndex().CountConjunctive({"breast", "zebra"}), 0u);
+}
+
+TEST(InvertedIndexTest, CountConjunctiveEmptyQueryIsZero) {
+  EXPECT_EQ(SmallIndex().CountConjunctive({}), 0u);
+}
+
+TEST(InvertedIndexTest, CountConjunctiveDuplicateQueryTermsIgnored) {
+  InvertedIndex index = SmallIndex();
+  EXPECT_EQ(index.CountConjunctive({"breast", "breast"}),
+            index.CountConjunctive({"breast"}));
+}
+
+TEST(InvertedIndexTest, FindConjunctiveReturnsDocIds) {
+  InvertedIndex index = SmallIndex();
+  EXPECT_EQ(index.FindConjunctive({"breast", "cancer"}, 10),
+            (std::vector<DocId>{0, 1}));
+}
+
+TEST(InvertedIndexTest, FindConjunctiveHonorsLimit) {
+  InvertedIndex index = SmallIndex();
+  EXPECT_EQ(index.FindConjunctive({"breast"}, 2).size(), 2u);
+  EXPECT_TRUE(index.FindConjunctive({"breast"}, 0).empty());
+}
+
+TEST(InvertedIndexTest, TopKCosineRanksByRelevance) {
+  InvertedIndex index = SmallIndex();
+  std::vector<ScoredDoc> top = index.TopKCosine({"breast", "cancer"}, 3);
+  ASSERT_GE(top.size(), 2u);
+  // Docs 0 and 1 contain both terms and must outrank single-term matches.
+  std::set<DocId> best{top[0].doc, top[1].doc};
+  EXPECT_TRUE(best.count(0));
+  EXPECT_TRUE(best.count(1));
+  // Scores descend.
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_LE(top[i].score, top[i - 1].score);
+  }
+}
+
+TEST(InvertedIndexTest, TopKCosineScoresWithinUnitBall) {
+  InvertedIndex index = SmallIndex();
+  for (const ScoredDoc& sd : index.TopKCosine({"breast", "cancer"}, 10)) {
+    EXPECT_GT(sd.score, 0.0);
+    EXPECT_LE(sd.score, 1.0 + 1e-9);
+  }
+}
+
+TEST(InvertedIndexTest, TopKCosineEmptyForUnknownTerms) {
+  EXPECT_TRUE(SmallIndex().TopKCosine({"zebra"}, 5).empty());
+  EXPECT_TRUE(SmallIndex().TopKCosine({}, 5).empty());
+  EXPECT_TRUE(SmallIndex().TopKCosine({"breast"}, 0).empty());
+}
+
+TEST(InvertedIndexTest, BestCosineScore) {
+  InvertedIndex index = SmallIndex();
+  EXPECT_GT(index.BestCosineScore({"breast", "cancer"}), 0.0);
+  EXPECT_DOUBLE_EQ(index.BestCosineScore({"zebra"}), 0.0);
+}
+
+TEST(InvertedIndexTest, StatsReflectContent) {
+  IndexStats stats = SmallIndex().GetStats();
+  EXPECT_EQ(stats.num_docs, 5u);
+  EXPECT_EQ(stats.num_terms, 8u);
+  EXPECT_EQ(stats.total_tokens, 3u + 4u + 2u + 2u + 2u);
+  EXPECT_GT(stats.num_postings, 0u);
+  EXPECT_GT(stats.posting_bytes, 0u);
+}
+
+TEST(InvertedIndexTest, VocabularyExposesTerms) {
+  InvertedIndex index = SmallIndex();
+  EXPECT_NE(index.vocabulary().Lookup("breast"), text::kInvalidTermId);
+  EXPECT_EQ(index.vocabulary().Lookup("zebra"), text::kInvalidTermId);
+}
+
+// Brute-force oracle for conjunctive counting.
+std::uint64_t NaiveCount(const std::vector<std::vector<std::string>>& docs,
+                         const std::vector<std::string>& terms) {
+  if (terms.empty()) return 0;
+  std::uint64_t count = 0;
+  for (const auto& doc : docs) {
+    bool all = true;
+    for (const std::string& t : terms) {
+      if (std::find(doc.begin(), doc.end(), t) == doc.end()) {
+        all = false;
+        break;
+      }
+    }
+    if (all) ++count;
+  }
+  return count;
+}
+
+class InvertedIndexPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(InvertedIndexPropertyTest, ConjunctiveCountMatchesBruteForce) {
+  stats::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  const std::vector<std::string> lexicon{"aa", "bb", "cc", "dd", "ee",
+                                         "ff", "gg", "hh"};
+  std::vector<std::vector<std::string>> docs;
+  InvertedIndex::Builder builder;
+  const int num_docs = 200;
+  for (int d = 0; d < num_docs; ++d) {
+    std::vector<std::string> terms;
+    std::size_t len = 1 + rng.UniformInt(std::uint64_t{10});
+    for (std::size_t t = 0; t < len; ++t) {
+      terms.push_back(lexicon[rng.UniformInt(lexicon.size())]);
+    }
+    builder.AddDocument(terms);
+    docs.push_back(std::move(terms));
+  }
+  InvertedIndex index = std::move(builder).Build().ValueOrDie();
+
+  // Every 1-, 2- and 3-term combination agrees with the oracle.
+  for (std::size_t a = 0; a < lexicon.size(); ++a) {
+    EXPECT_EQ(index.CountConjunctive({lexicon[a]}),
+              NaiveCount(docs, {lexicon[a]}));
+    for (std::size_t b = a + 1; b < lexicon.size(); ++b) {
+      EXPECT_EQ(index.CountConjunctive({lexicon[a], lexicon[b]}),
+                NaiveCount(docs, {lexicon[a], lexicon[b]}))
+          << lexicon[a] << " " << lexicon[b];
+      for (std::size_t c = b + 1; c < lexicon.size(); c += 3) {
+        EXPECT_EQ(
+            index.CountConjunctive({lexicon[a], lexicon[b], lexicon[c]}),
+            NaiveCount(docs, {lexicon[a], lexicon[b], lexicon[c]}));
+      }
+    }
+  }
+}
+
+TEST_P(InvertedIndexPropertyTest, DocumentFrequencyMatchesBruteForce) {
+  stats::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  const std::vector<std::string> lexicon{"xx", "yy", "zz", "ww"};
+  std::vector<std::vector<std::string>> docs;
+  InvertedIndex::Builder builder;
+  for (int d = 0; d < 150; ++d) {
+    std::vector<std::string> terms;
+    std::size_t len = 1 + rng.UniformInt(std::uint64_t{6});
+    for (std::size_t t = 0; t < len; ++t) {
+      terms.push_back(lexicon[rng.UniformInt(lexicon.size())]);
+    }
+    builder.AddDocument(terms);
+    docs.push_back(std::move(terms));
+  }
+  InvertedIndex index = std::move(builder).Build().ValueOrDie();
+  for (const std::string& term : lexicon) {
+    EXPECT_EQ(index.DocumentFrequency(term), NaiveCount(docs, {term}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvertedIndexPropertyTest,
+                         ::testing::Range(1, 9));
+
+// ------------------------------------------------------------ DocumentStore
+
+TEST(DocumentStoreTest, AddAndGet) {
+  DocumentStore store;
+  DocId id = store.Add({"Title", "Body text"});
+  EXPECT_EQ(id, 0u);
+  EXPECT_EQ(store.size(), 1u);
+  auto doc = store.Get(id);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->title, "Title");
+}
+
+TEST(DocumentStoreTest, GetOutOfRange) {
+  DocumentStore store;
+  EXPECT_TRUE(store.Get(0).status().IsNotFound());
+  store.Add({"t", "b"});
+  EXPECT_TRUE(store.Get(1).status().IsNotFound());
+}
+
+TEST(DocumentStoreTest, IdsAreSequential) {
+  DocumentStore store;
+  EXPECT_EQ(store.Add({"a", ""}), 0u);
+  EXPECT_EQ(store.Add({"b", ""}), 1u);
+  EXPECT_EQ(store.Add({"c", ""}), 2u);
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace metaprobe

@@ -1,0 +1,292 @@
+#include "core/metasearcher.h"
+
+#include <memory>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/ed_learner.h"
+#include "eval/golden.h"
+#include "eval/table.h"
+
+namespace metaprobe {
+namespace core {
+namespace {
+
+// A tiny deterministic world: three databases with hand-built contents.
+// "alpha beta" co-occur perfectly in db0 (underestimated), never co-occur
+// in db1 (overestimated), and are independent-ish in db2.
+std::shared_ptr<LocalDatabase> MakeDb(const std::string& name,
+                                      int pattern, int num_docs) {
+  index::InvertedIndex::Builder builder;
+  for (int d = 0; d < num_docs; ++d) {
+    std::vector<std::string> terms;
+    switch (pattern) {
+      case 0:  // correlated: half the docs have both terms
+        terms = d % 2 == 0 ? std::vector<std::string>{"alpha", "beta", "pad"}
+                           : std::vector<std::string>{"pad", "fill"};
+        break;
+      case 1:  // anti-correlated: terms never co-occur
+        terms = d % 2 == 0 ? std::vector<std::string>{"alpha", "pad"}
+                           : std::vector<std::string>{"beta", "fill"};
+        break;
+      default:  // independent-ish mix
+        if (d % 4 == 0) terms = {"alpha", "beta"};
+        else if (d % 4 == 1) terms = {"alpha", "pad"};
+        else if (d % 4 == 2) terms = {"beta", "pad"};
+        else terms = {"pad", "fill"};
+        break;
+    }
+    builder.AddDocument(terms);
+  }
+  return std::make_shared<LocalDatabase>(
+      name, std::move(builder).Build().ValueOrDie());
+}
+
+Query MakeQuery(std::vector<std::string> terms) {
+  Query q;
+  q.terms = std::move(terms);
+  return q;
+}
+
+class MetasearcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    searcher_ = std::make_unique<Metasearcher>();
+    ASSERT_TRUE(searcher_->AddLocalDatabase(MakeDb("corr", 0, 200)).ok());
+    ASSERT_TRUE(searcher_->AddLocalDatabase(MakeDb("anti", 1, 200)).ok());
+    ASSERT_TRUE(searcher_->AddLocalDatabase(MakeDb("mix", 2, 200)).ok());
+  }
+
+  std::vector<Query> TrainingQueries() {
+    // The deterministic world has a tiny vocabulary; train on the
+    // combinations that exist.
+    std::vector<Query> queries;
+    for (int i = 0; i < 30; ++i) {
+      queries.push_back(MakeQuery({"alpha", "beta"}));
+      // "alpha fill" never co-occurs anywhere, so the low-estimate EDs mix
+      // -100% with the positive "alpha beta" errors and stay spread out.
+      queries.push_back(MakeQuery({"alpha", "fill"}));
+      queries.push_back(MakeQuery({"alpha", "pad"}));
+      queries.push_back(MakeQuery({"beta", "pad"}));
+      queries.push_back(MakeQuery({"pad", "fill"}));
+    }
+    return queries;
+  }
+
+  std::unique_ptr<Metasearcher> searcher_;
+};
+
+TEST_F(MetasearcherTest, LifecycleGuards) {
+  Query q = MakeQuery({"alpha", "beta"});
+  EXPECT_TRUE(searcher_->BuildModel(q).status().IsFailedPrecondition());
+  EXPECT_TRUE(searcher_->Select(q, 1, 0.5).status().IsFailedPrecondition());
+  EXPECT_TRUE(searcher_->Train({}).IsInvalidArgument());
+  ASSERT_TRUE(searcher_->Train(TrainingQueries()).ok());
+  EXPECT_TRUE(searcher_->trained());
+  // No structural mutation after training.
+  EXPECT_TRUE(searcher_->AddLocalDatabase(MakeDb("late", 0, 10))
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(searcher_->SetEstimator(
+                  std::make_unique<TermIndependenceEstimator>())
+                  .IsFailedPrecondition());
+}
+
+TEST_F(MetasearcherTest, RejectsNullInputs) {
+  EXPECT_TRUE(searcher_->AddLocalDatabase(nullptr).IsInvalidArgument());
+  EXPECT_TRUE(searcher_->SetEstimator(nullptr).IsInvalidArgument());
+}
+
+TEST_F(MetasearcherTest, EstimatesFollowEq1) {
+  // db "corr": 200 docs, df(alpha)=df(beta)=100 -> estimate 50.
+  std::vector<double> estimates =
+      searcher_->EstimateAll(MakeQuery({"alpha", "beta"}));
+  ASSERT_EQ(estimates.size(), 3u);
+  EXPECT_DOUBLE_EQ(estimates[0], 50.0);
+  EXPECT_DOUBLE_EQ(estimates[1], 50.0);
+  EXPECT_DOUBLE_EQ(estimates[2], 50.0);
+}
+
+TEST_F(MetasearcherTest, RdModelCorrectsCorrelationErrors) {
+  ASSERT_TRUE(searcher_->Train(TrainingQueries()).ok());
+  auto model = searcher_->BuildModel(MakeQuery({"alpha", "beta"}));
+  ASSERT_TRUE(model.ok());
+  // True relevancies: corr=100, anti=0, mix=50. All estimates equal 50, so
+  // only the learned EDs can separate them: the corr database's RD must sit
+  // above the anti database's.
+  EXPECT_GT(model->rd(0).Mean(), model->rd(1).Mean());
+  TopKModel::BestSet best =
+      model->FindBestSet(1, CorrectnessMetric::kAbsolute);
+  EXPECT_EQ(best.members, (std::vector<std::size_t>{0}));
+}
+
+TEST_F(MetasearcherTest, SelectWithoutProbingWhenConfident) {
+  ASSERT_TRUE(searcher_->Train(TrainingQueries()).ok());
+  auto report = searcher_->Select(MakeQuery({"alpha", "beta"}), 1, 0.05);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->reached_threshold);
+  EXPECT_EQ(report->num_probes(), 0);
+  ASSERT_EQ(report->databases.size(), 1u);
+  EXPECT_EQ(report->database_names[0], "corr");
+}
+
+TEST_F(MetasearcherTest, SelectProbesForHighCertainty) {
+  ASSERT_TRUE(searcher_->Train(TrainingQueries()).ok());
+  auto report = searcher_->Select(MakeQuery({"alpha", "beta"}), 1, 0.999);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->num_probes(), 0);
+  EXPECT_EQ(report->databases, (std::vector<std::size_t>{0}));
+  EXPECT_GE(report->expected_correctness, 0.999);
+}
+
+TEST_F(MetasearcherTest, SelectRejectsEmptyQuery) {
+  ASSERT_TRUE(searcher_->Train(TrainingQueries()).ok());
+  EXPECT_TRUE(
+      searcher_->Select(MakeQuery({}), 1, 0.5).status().IsInvalidArgument());
+}
+
+TEST_F(MetasearcherTest, SearchFusesResults) {
+  ASSERT_TRUE(searcher_->Train(TrainingQueries()).ok());
+  auto hits = searcher_->Search(MakeQuery({"alpha", "beta"}), 2, 0.05, 5, 8);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_FALSE(hits->empty());
+  EXPECT_LE(hits->size(), 8u);
+  for (const FusedHit& hit : *hits) {
+    EXPECT_FALSE(hit.database_name.empty());
+    EXPECT_FALSE(hit.title.empty());
+  }
+}
+
+TEST_F(MetasearcherTest, ProbeAccountingVisible) {
+  ASSERT_TRUE(searcher_->Train(TrainingQueries()).ok());
+  std::uint64_t before = searcher_->database(0).queries_served();
+  ASSERT_TRUE(searcher_->Select(MakeQuery({"alpha", "beta"}), 1, 0.999).ok());
+  std::uint64_t after = searcher_->database(0).queries_served();
+  EXPECT_GT(after, before);
+}
+
+TEST_F(MetasearcherTest, CustomPolicyIsUsed) {
+  ASSERT_TRUE(searcher_->Train(TrainingQueries()).ok());
+  searcher_->SetProbingPolicy(std::make_unique<RoundRobinProbingPolicy>());
+  auto report = searcher_->Select(MakeQuery({"alpha", "beta"}), 1, 0.999);
+  ASSERT_TRUE(report.ok());
+  // Round-robin probes databases in id order.
+  for (std::size_t i = 0; i < report->probe_order.size(); ++i) {
+    EXPECT_EQ(report->probe_order[i], i);
+  }
+}
+
+// -------------------------------------------------------------- EdLearner
+
+TEST(EdLearnerTest, LearnsPerTypeDistributions) {
+  auto db = MakeDb("corr", 0, 100);
+  StatSummary summary =
+      StatSummary::FromIndex("corr", db->index_for_summaries());
+  TermIndependenceEstimator estimator;
+  QueryTypeClassifier classifier;
+  EdLearner learner(&estimator, &classifier, {});
+  std::vector<Query> queries;
+  for (int i = 0; i < 10; ++i) queries.push_back(MakeQuery({"alpha", "beta"}));
+  auto table = learner.Learn({db.get()}, {&summary}, queries);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_databases(), 1u);
+  EXPECT_EQ(table->num_types(), classifier.num_types());
+  EXPECT_EQ(table->total_samples(), 10u);
+  // "alpha beta" estimates to 25 on 100 docs -> low-estimate 2-term type.
+  QueryTypeId type = classifier.Classify(MakeQuery({"alpha", "beta"}), 25.0);
+  EXPECT_EQ(table->Get(0, type).sample_count(), 10u);
+}
+
+TEST(EdLearnerTest, SampleCapRespected) {
+  auto db = MakeDb("corr", 0, 100);
+  StatSummary summary =
+      StatSummary::FromIndex("corr", db->index_for_summaries());
+  TermIndependenceEstimator estimator;
+  QueryTypeClassifier classifier;
+  EdLearnerOptions options;
+  options.max_samples_per_type = 5;
+  EdLearner learner(&estimator, &classifier, options);
+  std::vector<Query> queries(20, MakeQuery({"alpha", "beta"}));
+  auto table = learner.Learn({db.get()}, {&summary}, queries);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->total_samples(), 5u);
+}
+
+TEST(EdLearnerTest, MismatchedInputsRejected) {
+  TermIndependenceEstimator estimator;
+  QueryTypeClassifier classifier;
+  EdLearner learner(&estimator, &classifier, {});
+  auto db = MakeDb("x", 0, 10);
+  EXPECT_TRUE(
+      learner.Learn({db.get()}, {}, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(learner.Learn({}, {}, {}).status().IsInvalidArgument());
+}
+
+// ------------------------------------------------------ GoldenStandard
+
+TEST(GoldenStandardTest, RecordsTrueRelevancies) {
+  auto corr = MakeDb("corr", 0, 100);
+  auto anti = MakeDb("anti", 1, 100);
+  std::vector<const HiddenWebDatabase*> dbs{corr.get(), anti.get()};
+  std::vector<Query> queries{MakeQuery({"alpha", "beta"}),
+                             MakeQuery({"alpha"})};
+  auto golden = eval::GoldenStandard::Build(dbs, queries);
+  ASSERT_TRUE(golden.ok());
+  EXPECT_EQ(golden->num_queries(), 2u);
+  EXPECT_EQ(golden->num_databases(), 2u);
+  EXPECT_DOUBLE_EQ(golden->Relevancy(0, 0), 50.0);  // both terms, half docs
+  EXPECT_DOUBLE_EQ(golden->Relevancy(0, 1), 0.0);   // never co-occur
+  EXPECT_EQ(golden->TopK(0, 1), (std::vector<std::size_t>{0}));
+}
+
+TEST(GoldenStandardTest, TopKTieBreak) {
+  auto a = MakeDb("a", 1, 100);
+  auto b = MakeDb("b", 1, 100);
+  std::vector<const HiddenWebDatabase*> dbs{a.get(), b.get()};
+  std::vector<Query> queries{MakeQuery({"alpha"})};
+  auto golden = eval::GoldenStandard::Build(dbs, queries);
+  ASSERT_TRUE(golden.ok());
+  // Equal relevancies: lower id wins.
+  EXPECT_EQ(golden->TopK(0, 1), (std::vector<std::size_t>{0}));
+}
+
+// ------------------------------------------------------------- TablePrinter
+
+TEST(TablePrinterTest, AlignsColumns) {
+  eval::TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22"});
+  std::ostringstream os;
+  table.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("name   value"), std::string::npos);
+  EXPECT_NE(out.find("alpha  1"), std::string::npos);
+  EXPECT_NE(out.find("b      22"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  eval::TablePrinter table({"a", "b", "c"});
+  table.AddRow({"x"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(TablePrinterTest, CsvEscaping) {
+  eval::TablePrinter table({"name", "note"});
+  table.AddRow({"a,b", "say \"hi\""});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TablePrinterTest, CellFormatting) {
+  EXPECT_EQ(eval::Cell(0.7554, 3), "0.755");
+  EXPECT_EQ(eval::Cell(std::size_t{42}), "42");
+  EXPECT_EQ(eval::Cell(-3), "-3");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace metaprobe

@@ -1,0 +1,204 @@
+#include <memory>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/metasearcher.h"
+
+namespace metaprobe {
+namespace core {
+namespace {
+
+std::shared_ptr<LocalDatabase> MakeDb(const std::string& name, int shift,
+                                      int num_docs) {
+  index::InvertedIndex::Builder builder;
+  for (int d = 0; d < num_docs; ++d) {
+    std::vector<std::string> terms{"base"};
+    if ((d + shift) % 2 == 0) terms.push_back("alpha");
+    if ((d + shift) % 3 == 0) terms.push_back("beta");
+    if ((d + shift) % 5 == 0) terms.push_back("gamma");
+    builder.AddDocument(terms);
+  }
+  return std::make_shared<LocalDatabase>(
+      name, std::move(builder).Build().ValueOrDie());
+}
+
+Query MakeQuery(std::vector<std::string> terms) {
+  Query q;
+  q.terms = std::move(terms);
+  return q;
+}
+
+class ModelIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dbs_ = {MakeDb("db-a", 0, 120), MakeDb("db-b", 1, 150),
+            MakeDb("db-c", 2, 90)};
+    searcher_ = std::make_unique<Metasearcher>();
+    for (const auto& db : dbs_) {
+      ASSERT_TRUE(searcher_->AddLocalDatabase(db).ok());
+    }
+    std::vector<Query> training;
+    for (int i = 0; i < 20; ++i) {
+      training.push_back(MakeQuery({"alpha", "beta"}));
+      training.push_back(MakeQuery({"alpha", "gamma"}));
+      training.push_back(MakeQuery({"beta", "gamma"}));
+    }
+    ASSERT_TRUE(searcher_->Train(training).ok());
+  }
+
+  std::vector<std::shared_ptr<LocalDatabase>> dbs_;
+  std::unique_ptr<Metasearcher> searcher_;
+};
+
+std::vector<std::shared_ptr<HiddenWebDatabase>> AsHidden(
+    const std::vector<std::shared_ptr<LocalDatabase>>& dbs) {
+  return {dbs.begin(), dbs.end()};
+}
+
+TEST_F(ModelIoTest, SaveRequiresTraining) {
+  Metasearcher untrained;
+  std::ostringstream os;
+  EXPECT_TRUE(untrained.SaveTrainedModel(os).IsFailedPrecondition());
+}
+
+TEST_F(ModelIoTest, RoundTripPreservesBehaviour) {
+  std::ostringstream os;
+  ASSERT_TRUE(searcher_->SaveTrainedModel(os).ok());
+  std::istringstream is(os.str());
+  auto loaded = Metasearcher::LoadTrainedModel(is, AsHidden(dbs_));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  // Identical estimates, models and selections for a spread of queries.
+  for (auto terms : {std::vector<std::string>{"alpha", "beta"},
+                     std::vector<std::string>{"alpha", "gamma"},
+                     std::vector<std::string>{"beta", "gamma"}}) {
+    Query q = MakeQuery(terms);
+    EXPECT_EQ(searcher_->EstimateAll(q), (*loaded)->EstimateAll(q));
+    TopKModel original = searcher_->BuildModel(q).ValueOrDie();
+    TopKModel restored = (*loaded)->BuildModel(q).ValueOrDie();
+    ASSERT_EQ(original.num_databases(), restored.num_databases());
+    for (std::size_t i = 0; i < original.num_databases(); ++i) {
+      EXPECT_EQ(original.rd(i), restored.rd(i)) << "db " << i;
+    }
+    auto report_a = searcher_->Select(q, 1, 0.9);
+    auto report_b = (*loaded)->Select(q, 1, 0.9);
+    ASSERT_TRUE(report_a.ok() && report_b.ok());
+    EXPECT_EQ(report_a->databases, report_b->databases);
+    EXPECT_DOUBLE_EQ(report_a->expected_correctness,
+                     report_b->expected_correctness);
+  }
+}
+
+TEST_F(ModelIoTest, RoundTripIsByteStable) {
+  std::ostringstream first, second;
+  ASSERT_TRUE(searcher_->SaveTrainedModel(first).ok());
+  std::istringstream is(first.str());
+  auto loaded = Metasearcher::LoadTrainedModel(is, AsHidden(dbs_));
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE((*loaded)->SaveTrainedModel(second).ok());
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST_F(ModelIoTest, LoadedSearcherIsTrained) {
+  std::ostringstream os;
+  ASSERT_TRUE(searcher_->SaveTrainedModel(os).ok());
+  std::istringstream is(os.str());
+  auto loaded = Metasearcher::LoadTrainedModel(is, AsHidden(dbs_));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE((*loaded)->trained());
+  EXPECT_EQ((*loaded)->ed_table()->total_samples(),
+            searcher_->ed_table()->total_samples());
+  EXPECT_EQ((*loaded)->summary(0).DocumentFrequency("alpha"),
+            searcher_->summary(0).DocumentFrequency("alpha"));
+}
+
+TEST_F(ModelIoTest, RejectsWrongDatabaseCount) {
+  std::ostringstream os;
+  ASSERT_TRUE(searcher_->SaveTrainedModel(os).ok());
+  std::istringstream is(os.str());
+  std::vector<std::shared_ptr<HiddenWebDatabase>> two{dbs_[0], dbs_[1]};
+  EXPECT_TRUE(Metasearcher::LoadTrainedModel(is, two)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(ModelIoTest, RejectsMismatchedDatabaseName) {
+  std::ostringstream os;
+  ASSERT_TRUE(searcher_->SaveTrainedModel(os).ok());
+  std::istringstream is(os.str());
+  auto impostor = MakeDb("impostor", 0, 120);
+  std::vector<std::shared_ptr<HiddenWebDatabase>> swapped{impostor, dbs_[1],
+                                                          dbs_[2]};
+  EXPECT_TRUE(Metasearcher::LoadTrainedModel(is, swapped)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(ModelIoTest, RejectsGarbageInput) {
+  std::istringstream garbage("not a model file\n");
+  EXPECT_FALSE(Metasearcher::LoadTrainedModel(garbage, AsHidden(dbs_)).ok());
+}
+
+TEST_F(ModelIoTest, RejectsTruncatedInput) {
+  std::ostringstream os;
+  ASSERT_TRUE(searcher_->SaveTrainedModel(os).ok());
+  std::string payload = os.str();
+  std::istringstream truncated(payload.substr(0, payload.size() / 2));
+  EXPECT_FALSE(
+      Metasearcher::LoadTrainedModel(truncated, AsHidden(dbs_)).ok());
+}
+
+TEST_F(ModelIoTest, RejectsUnsupportedVersion) {
+  std::ostringstream os;
+  ASSERT_TRUE(searcher_->SaveTrainedModel(os).ok());
+  std::string payload = os.str();
+  payload.replace(payload.find("metaprobe-model 1"),
+                  std::string("metaprobe-model 1").size(),
+                  "metaprobe-model 9");
+  std::istringstream is(payload);
+  EXPECT_TRUE(Metasearcher::LoadTrainedModel(is, AsHidden(dbs_))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(ModelIoTest, CustomEstimatorRefusesToSerialize) {
+  Metasearcher custom;
+  for (const auto& db : dbs_) ASSERT_TRUE(custom.AddLocalDatabase(db).ok());
+  ASSERT_TRUE(
+      custom.SetEstimator(std::make_unique<MinFrequencyEstimator>()).ok());
+  std::vector<Query> training(10, MakeQuery({"alpha", "beta"}));
+  ASSERT_TRUE(custom.Train(training).ok());
+  std::ostringstream os;
+  EXPECT_TRUE(custom.SaveTrainedModel(os).IsNotImplemented());
+}
+
+TEST(ErrorDistributionRestoreTest, RoundTrip) {
+  ErrorDistribution original;
+  for (double e : {-0.8, -0.8, 0.0, 0.3, 1.4, 7.0}) {
+    original.AddObservation(e);
+  }
+  const stats::Histogram& h = original.histogram();
+  std::vector<double> counts;
+  for (std::size_t c = 0; c < h.num_cells(); ++c) {
+    counts.push_back(h.count(c));
+  }
+  auto restored = ErrorDistribution::Restore(DefaultErrorBinEdges(), counts,
+                                             original.sample_count());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->sample_count(), original.sample_count());
+  EXPECT_EQ(restored->ToDistribution(), original.ToDistribution());
+}
+
+TEST(ErrorDistributionRestoreTest, RejectsBadCounts) {
+  EXPECT_FALSE(
+      ErrorDistribution::Restore(DefaultErrorBinEdges(), {1.0, 2.0}, 3).ok());
+  std::vector<double> negative(10, 0.0);
+  negative[3] = -1.0;
+  EXPECT_FALSE(
+      ErrorDistribution::Restore(DefaultErrorBinEdges(), negative, 1).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace metaprobe

@@ -1,0 +1,172 @@
+#include "index/posting_list.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "stats/random.h"
+
+namespace metaprobe {
+namespace index {
+namespace {
+
+TEST(PostingListTest, EmptyList) {
+  PostingList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_FALSE(list.begin().Valid());
+  EXPECT_TRUE(list.Decode().empty());
+}
+
+TEST(PostingListTest, AppendAndDecode) {
+  PostingList list;
+  ASSERT_TRUE(list.Append(3, 1).ok());
+  ASSERT_TRUE(list.Append(7, 2).ok());
+  ASSERT_TRUE(list.Append(1000, 5).ok());
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.Decode(),
+            (std::vector<Posting>{{3, 1}, {7, 2}, {1000, 5}}));
+}
+
+TEST(PostingListTest, RejectsNonIncreasingDocIds) {
+  PostingList list;
+  ASSERT_TRUE(list.Append(5, 1).ok());
+  EXPECT_TRUE(list.Append(5, 1).IsInvalidArgument());
+  EXPECT_TRUE(list.Append(4, 1).IsInvalidArgument());
+}
+
+TEST(PostingListTest, RejectsZeroTf) {
+  PostingList list;
+  EXPECT_TRUE(list.Append(1, 0).IsInvalidArgument());
+}
+
+TEST(PostingListTest, IteratorWalksInOrder) {
+  PostingList list;
+  for (DocId d = 0; d < 10; ++d) ASSERT_TRUE(list.Append(d * 3, d + 1).ok());
+  DocId expected = 0;
+  std::uint32_t tf = 1;
+  for (auto it = list.begin(); it.Valid(); it.Next()) {
+    EXPECT_EQ(it.doc(), expected);
+    EXPECT_EQ(it.tf(), tf);
+    expected += 3;
+    ++tf;
+  }
+  EXPECT_EQ(tf, 11u);
+}
+
+TEST(PostingListTest, LargeDocIdsAndTfsSurviveVarint) {
+  PostingList list;
+  ASSERT_TRUE(list.Append(0, 1).ok());
+  ASSERT_TRUE(list.Append(1u << 20, 300).ok());
+  ASSERT_TRUE(list.Append(0xFFFFFFF0u, 70000).ok());
+  std::vector<Posting> decoded = list.Decode();
+  EXPECT_EQ(decoded[1].doc, 1u << 20);
+  EXPECT_EQ(decoded[1].tf, 300u);
+  EXPECT_EQ(decoded[2].doc, 0xFFFFFFF0u);
+  EXPECT_EQ(decoded[2].tf, 70000u);
+}
+
+TEST(PostingListTest, SkipToExactTarget) {
+  PostingList list;
+  for (DocId d = 0; d < 1000; ++d) ASSERT_TRUE(list.Append(d * 2, 1).ok());
+  auto it = list.begin();
+  it.SkipTo(500);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.doc(), 500u);
+}
+
+TEST(PostingListTest, SkipToBetweenPostings) {
+  PostingList list;
+  for (DocId d = 0; d < 1000; ++d) ASSERT_TRUE(list.Append(d * 2, 1).ok());
+  auto it = list.begin();
+  it.SkipTo(501);  // odd: lands on 502
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.doc(), 502u);
+}
+
+TEST(PostingListTest, SkipToPastEndInvalidates) {
+  PostingList list;
+  ASSERT_TRUE(list.Append(1, 1).ok());
+  ASSERT_TRUE(list.Append(2, 1).ok());
+  auto it = list.begin();
+  it.SkipTo(100);
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(PostingListTest, SkipToBehindCurrentIsNoOp) {
+  PostingList list;
+  for (DocId d = 0; d < 200; ++d) ASSERT_TRUE(list.Append(d, 1).ok());
+  auto it = list.begin();
+  it.SkipTo(150);
+  EXPECT_EQ(it.doc(), 150u);
+  it.SkipTo(10);  // behind: stays put
+  EXPECT_EQ(it.doc(), 150u);
+}
+
+TEST(PostingListTest, SkipToAcrossManyBlocks) {
+  PostingList list;
+  // > kSkipInterval postings so the skip table is exercised.
+  for (DocId d = 0; d < 10 * PostingList::kSkipInterval; ++d) {
+    ASSERT_TRUE(list.Append(d * 7 + 1, (d % 9) + 1).ok());
+  }
+  auto it = list.begin();
+  it.SkipTo(7 * 451 + 1);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.doc(), static_cast<DocId>(7 * 451 + 1));
+  EXPECT_EQ(it.tf(), (451u % 9) + 1);
+}
+
+TEST(PostingListTest, InterleavedNextAndSkipTo) {
+  PostingList list;
+  for (DocId d = 0; d < 500; ++d) ASSERT_TRUE(list.Append(d * 3, 1).ok());
+  auto it = list.begin();
+  it.Next();
+  EXPECT_EQ(it.doc(), 3u);
+  it.SkipTo(300);
+  EXPECT_EQ(it.doc(), 300u);
+  it.Next();
+  EXPECT_EQ(it.doc(), 303u);
+  it.SkipTo(303);  // already there
+  EXPECT_EQ(it.doc(), 303u);
+}
+
+class PostingListPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PostingListPropertyTest, RandomRoundTripAndSkips) {
+  stats::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  PostingList list;
+  std::vector<Posting> reference;
+  DocId doc = 0;
+  const int n = 50 + static_cast<int>(rng.UniformInt(std::uint64_t{500}));
+  for (int i = 0; i < n; ++i) {
+    doc += 1 + static_cast<DocId>(rng.UniformInt(std::uint64_t{1000}));
+    std::uint32_t tf = 1 + static_cast<std::uint32_t>(
+                               rng.UniformInt(std::uint64_t{50}));
+    ASSERT_TRUE(list.Append(doc, tf).ok());
+    reference.push_back({doc, tf});
+  }
+  EXPECT_EQ(list.Decode(), reference);
+
+  // Random SkipTo targets agree with a linear scan of the reference.
+  for (int trial = 0; trial < 30; ++trial) {
+    DocId target = static_cast<DocId>(rng.UniformInt(std::uint64_t{doc + 10}));
+    auto it = list.begin();
+    it.SkipTo(target);
+    auto ref = std::find_if(reference.begin(), reference.end(),
+                            [&](const Posting& p) { return p.doc >= target; });
+    if (ref == reference.end()) {
+      EXPECT_FALSE(it.Valid()) << "target " << target;
+    } else {
+      ASSERT_TRUE(it.Valid()) << "target " << target;
+      EXPECT_EQ(it.doc(), ref->doc);
+      EXPECT_EQ(it.tf(), ref->tf);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PostingListPropertyTest,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace index
+}  // namespace metaprobe

@@ -1,0 +1,522 @@
+#include "core/probing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace metaprobe {
+namespace core {
+namespace {
+
+RelevancyDistribution Rd(std::vector<stats::Atom> atoms) {
+  RelevancyDistribution rd;
+  rd.dist = stats::DiscreteDistribution::Make(std::move(atoms)).ValueOrDie();
+  return rd;
+}
+
+// Example 6 / Figures 12-13: db1 RD {50:.3, 100:.4, 150:.3},
+// db2 RD {70:.4, 130:.6}; k=1, t=0.8.
+TopKModel Example6Model() {
+  std::vector<RelevancyDistribution> rds;
+  rds.push_back(Rd({{50, 0.3}, {100, 0.4}, {150, 0.3}}));
+  rds.push_back(Rd({{70, 0.4}, {130, 0.6}}));
+  return TopKModel(std::move(rds));
+}
+
+ProbingContext Ctx(int k = 1, int width = 10, double threshold = 1.0) {
+  ProbingContext context;
+  context.k = k;
+  context.search_width = width;
+  context.threshold = threshold;
+  return context;
+}
+
+ProbeFn FixedTruth(std::vector<double> truths) {
+  return [truths](std::size_t db) -> Result<double> { return truths[db]; };
+}
+
+TEST(GreedyPolicyTest, PaperExample6UsefulnessComputation) {
+  // Reconstructing Figure 13 by hand:
+  //   probing db1: outcomes 50 -> usefulness 1, 150 -> 1,
+  //                100 -> max(Pr(db2<100), Pr(db2>100)) = 0.6
+  //   expected = .3*1 + .4*.6 + .3*1 = 0.84
+  //   probing db2: outcomes 70 -> max(.3, .7) = .7, 130 -> max(.7, .3) = .7
+  //   expected = 0.70
+  // Greedy must pick db1.
+  TopKModel model = Example6Model();
+  GreedyUsefulnessPolicy policy;
+  std::vector<bool> probed{false, false};
+  std::size_t choice =
+      policy.SelectDb(&model, probed, Ctx(1, 10));
+  EXPECT_EQ(choice, 0u);
+}
+
+TEST(GreedyPolicyTest, ConditioningLeavesModelIntact) {
+  TopKModel model = Example6Model();
+  double before = model.PrExactTopSet({1});
+  GreedyUsefulnessPolicy policy;
+  std::vector<bool> probed{false, false};
+  policy.SelectDb(&model, probed, Ctx(1, 10));
+  EXPECT_NEAR(model.PrExactTopSet({1}), before, 1e-12);
+}
+
+TEST(GreedyPolicyTest, SkipsProbedDatabases) {
+  TopKModel model = Example6Model();
+  GreedyUsefulnessPolicy policy;
+  std::vector<bool> probed{true, false};
+  EXPECT_EQ(policy.SelectDb(&model, probed, Ctx(1, 10)),
+            1u);
+}
+
+TEST(RandomPolicyTest, OnlyPicksUnprobed) {
+  RandomProbingPolicy policy(7);
+  TopKModel model = Example6Model();
+  std::vector<bool> probed{false, true};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(policy.SelectDb(&model, probed, Ctx(1, 4)),
+              0u);
+  }
+}
+
+TEST(RoundRobinPolicyTest, PicksLowestUnprobed) {
+  RoundRobinProbingPolicy policy;
+  TopKModel model = Example6Model();
+  std::vector<bool> probed{false, false};
+  EXPECT_EQ(policy.SelectDb(&model, probed, Ctx(1, 4)),
+            0u);
+  probed[0] = true;
+  EXPECT_EQ(policy.SelectDb(&model, probed, Ctx(1, 4)),
+            1u);
+}
+
+TEST(MaxVariancePolicyTest, PicksWidestRd) {
+  std::vector<RelevancyDistribution> rds;
+  rds.push_back(Rd({{99, 0.5}, {101, 0.5}}));   // stddev 1
+  rds.push_back(Rd({{0, 0.5}, {200, 0.5}}));    // stddev 100
+  TopKModel model(std::move(rds));
+  MaxVarianceProbingPolicy policy;
+  std::vector<bool> probed{false, false};
+  EXPECT_EQ(policy.SelectDb(&model, probed, Ctx(1, 4)),
+            1u);
+}
+
+TEST(MembershipEntropyPolicyTest, PicksMostUncertainMember) {
+  std::vector<RelevancyDistribution> rds;
+  rds.push_back(Rd({{500, 1.0}}));              // certain member (H ~ 0)
+  rds.push_back(Rd({{90, 0.5}, {110, 0.5}}));   // contender, H ~ max
+  rds.push_back(Rd({{1, 0.9}, {100, 0.1}}));    // mostly out
+  TopKModel model(std::move(rds));
+  MembershipEntropyPolicy policy;
+  std::vector<bool> probed{false, false, false};
+  EXPECT_EQ(policy.SelectDb(&model, probed, Ctx(2, 10)), 1u);
+}
+
+TEST(MembershipEntropyPolicyTest, SkipsProbed) {
+  std::vector<RelevancyDistribution> rds;
+  rds.push_back(Rd({{90, 0.5}, {110, 0.5}}));
+  rds.push_back(Rd({{95, 0.5}, {105, 0.5}}));
+  TopKModel model(std::move(rds));
+  MembershipEntropyPolicy policy;
+  std::vector<bool> probed{true, false};
+  EXPECT_EQ(policy.SelectDb(&model, probed, Ctx(1, 10)), 1u);
+}
+
+TEST(StoppingProbabilityPolicyTest, PaperExample6PicksDb1) {
+  // t = 0.8: probing db1 crosses t on outcomes 50 and 150 (prob 0.6);
+  // probing db2 can never cross (both outcomes leave best E at 0.7).
+  TopKModel model = Example6Model();
+  StoppingProbabilityPolicy policy;
+  std::vector<bool> probed{false, false};
+  EXPECT_EQ(policy.SelectDb(&model, probed, Ctx(1, 10, 0.8)), 0u);
+}
+
+TEST(StoppingProbabilityPolicyTest, MaximizesCrossingChance) {
+  // db0 {80:.5, 120:.5}, db1 {60:.8, 100:.2}; prior Pr(db0 top) = 0.9.
+  // With t = 0.95: probing db1 stops w.p. 0.8 (outcome 60 -> certainty 1);
+  // probing db0 stops w.p. 0.5 (outcome 120).
+  std::vector<RelevancyDistribution> rds;
+  rds.push_back(Rd({{80, 0.5}, {120, 0.5}}));
+  rds.push_back(Rd({{60, 0.8}, {100, 0.2}}));
+  TopKModel model(std::move(rds));
+  StoppingProbabilityPolicy policy;
+  std::vector<bool> probed{false, false};
+  EXPECT_EQ(policy.SelectDb(&model, probed, Ctx(1, 10, 0.95)), 1u);
+}
+
+TEST(ExpectimaxPolicyTest, PicksProbeMinimizingExpectedProbes) {
+  // Example 6 state, t = 0.8: probing db1 finishes immediately with
+  // probability 0.6 (expected total ~1.4 probes); probing db2 never
+  // finishes in one step (expected total 2). Expectimax must pick db1.
+  TopKModel model = Example6Model();
+  ExpectimaxProbingPolicy policy(2);
+  std::vector<bool> probed{false, false};
+  EXPECT_EQ(policy.SelectDb(&model, probed, Ctx(1, 10, 0.8)), 0u);
+}
+
+TEST(ExpectimaxPolicyTest, DepthOneStillWorks) {
+  TopKModel model = Example6Model();
+  ExpectimaxProbingPolicy policy(1);
+  std::vector<bool> probed{false, false};
+  std::size_t choice = policy.SelectDb(&model, probed, Ctx(1, 10, 0.8));
+  EXPECT_EQ(choice, 0u);
+}
+
+TEST(ExpectimaxPolicyTest, LeavesModelIntact) {
+  TopKModel model = Example6Model();
+  double before = model.PrExactTopSet({1});
+  ExpectimaxProbingPolicy policy(3);
+  std::vector<bool> probed{false, false};
+  policy.SelectDb(&model, probed, Ctx(1, 10, 0.9));
+  EXPECT_NEAR(model.PrExactTopSet({1}), before, 1e-12);
+}
+
+TEST(ExpectimaxPolicyTest, NameIncludesDepth) {
+  EXPECT_EQ(ExpectimaxProbingPolicy(2).name(), "expectimax(depth=2)");
+  EXPECT_EQ(ExpectimaxProbingPolicy(0).name(), "expectimax(depth=1)");
+}
+
+TEST(ExpectimaxPolicyTest, AgreesWithFullExpectimaxOnTinyInstances) {
+  // With depth >= number of databases, the policy IS the optimal policy of
+  // the paper's extended report on these instances.
+  stats::Rng rng(777);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<RelevancyDistribution> rds;
+    for (int i = 0; i < 3; ++i) {
+      std::vector<stats::Atom> atoms;
+      for (int a = 0; a < 2; ++a) {
+        atoms.push_back(
+            {std::floor(rng.Uniform(0, 10)) * 10, rng.Uniform(0.1, 1.0)});
+      }
+      rds.push_back(Rd(std::move(atoms)));
+    }
+    TopKModel model(std::move(rds));
+    ExpectimaxProbingPolicy deep(3);
+    std::vector<bool> probed(3, false);
+    std::size_t choice = deep.SelectDb(&model, probed, Ctx(1, 100, 0.9));
+    EXPECT_LT(choice, 3u);
+  }
+}
+
+// ------------------------- heterogeneous probing costs (Section 5.2) -----
+
+TEST(CostAwareProbingTest, StoppingPolicyPrefersCheapInformativeProbe) {
+  // Two contenders with identical RDs (equally informative probes by
+  // symmetry); db0 costs 10x as much to probe. The cost-aware stopping
+  // policy must pick db1.
+  std::vector<RelevancyDistribution> rds;
+  rds.push_back(Rd({{10, 0.5}, {100, 0.5}}));
+  rds.push_back(Rd({{10, 0.5}, {100, 0.5}}));
+  TopKModel model(std::move(rds));
+  StoppingProbabilityPolicy policy;
+  std::vector<bool> probed{false, false};
+  std::vector<double> costs{10.0, 1.0};
+  ProbingContext context = Ctx(1, 10, 0.95);
+  context.probe_costs = &costs;
+  EXPECT_EQ(policy.SelectDb(&model, probed, context), 1u);
+  // With the cost skew reversed, the choice flips.
+  costs = {1.0, 10.0};
+  EXPECT_EQ(policy.SelectDb(&model, probed, context), 0u);
+}
+
+TEST(CostAwareProbingTest, TotalCostAccounted) {
+  TopKModel model = Example6Model();
+  AProOptions options;
+  options.k = 1;
+  options.threshold = 1.0;
+  options.probe_costs = {3.0, 5.0};
+  GreedyUsefulnessPolicy policy;
+  AdaptiveProber prober(&policy, options);
+  auto result = prober.Run(&model, FixedTruth({100, 130}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_probes(), 2);
+  EXPECT_DOUBLE_EQ(result->total_cost, 8.0);
+}
+
+TEST(CostAwareProbingTest, UnitCostsEqualAttemptCount) {
+  TopKModel model = Example6Model();
+  AProOptions options;
+  options.k = 1;
+  options.threshold = 1.0;
+  GreedyUsefulnessPolicy policy;
+  AdaptiveProber prober(&policy, options);
+  auto result = prober.Run(&model, FixedTruth({100, 130}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->total_cost,
+                   static_cast<double>(result->num_probes()));
+}
+
+TEST(CostAwareProbingTest, MaxCostBudgetStopsTheLoop) {
+  TopKModel model = Example6Model();
+  AProOptions options;
+  options.k = 1;
+  options.threshold = 1.0;
+  options.probe_costs = {4.0, 4.0};
+  options.max_cost = 4.0;  // one probe's worth
+  GreedyUsefulnessPolicy policy;
+  AdaptiveProber prober(&policy, options);
+  auto result = prober.Run(&model, FixedTruth({100, 130}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_probes(), 1);
+  EXPECT_FALSE(result->reached_threshold);
+}
+
+TEST(CostAwareProbingTest, RejectsMismatchedCostVector) {
+  TopKModel model = Example6Model();
+  AProOptions options;
+  options.k = 1;
+  options.probe_costs = {1.0, 2.0, 3.0};  // three costs, two databases
+  GreedyUsefulnessPolicy policy;
+  AdaptiveProber prober(&policy, options);
+  EXPECT_TRUE(prober.Run(&model, FixedTruth({100, 130}))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(GreedyUsefulnessTest, ExpectedUsefulnessIsAMartingale) {
+  // Reproduction finding (see DESIGN.md): unless some probe outcome flips
+  // the best answer set, the expected usefulness of EVERY probe equals the
+  // prior certainty exactly — so the paper's greedy cannot distinguish
+  // informative from useless probes in flip-free situations.
+  std::vector<RelevancyDistribution> rds;
+  rds.push_back(Rd({{80, 0.5}, {120, 0.5}}));
+  rds.push_back(Rd({{60, 0.5}, {100, 0.5}}));
+  TopKModel model(std::move(rds));
+  double prior = model.FindBestSet(1, CorrectnessMetric::kAbsolute, 10)
+                     .expected_correctness;
+  EXPECT_NEAR(prior, 0.75, 1e-9);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const std::vector<stats::Atom> support = model.SupportOf(i);
+    double usefulness = 0.0;
+    for (const stats::Atom& atom : support) {
+      TopKModel::ScopedCondition cond(&model, i, atom.value);
+      usefulness += atom.prob *
+                    model.FindBestSet(1, CorrectnessMetric::kAbsolute, 10)
+                        .expected_correctness;
+    }
+    EXPECT_NEAR(usefulness, prior, 1e-9) << "db " << i;
+  }
+}
+
+TEST(AdaptiveProberTest, StopsImmediatelyWhenCertaintyMet) {
+  TopKModel model = Example6Model();
+  AProOptions options;
+  options.k = 1;
+  // RD-based certainty: Pr(db2 top) = .6*.7 + .4*.3 = 0.54 >= 0.5.
+  options.threshold = 0.5;
+  GreedyUsefulnessPolicy policy;
+  AdaptiveProber prober(&policy, options);
+  auto result = prober.Run(&model, FixedTruth({100, 130}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_probes(), 0);
+  EXPECT_TRUE(result->reached_threshold);
+  EXPECT_EQ(result->selected, (std::vector<std::size_t>{1}));
+  EXPECT_NEAR(result->expected_correctness, 0.54, 1e-9);
+}
+
+TEST(AdaptiveProberTest, ProbesUntilThreshold) {
+  TopKModel model = Example6Model();
+  AProOptions options;
+  options.k = 1;
+  options.threshold = 0.9;
+  GreedyUsefulnessPolicy policy;
+  AdaptiveProber prober(&policy, options);
+  // Truth: db1 = 100, db2 = 130 -> after probing db1 (greedy pick), the
+  // certainty of db2 is Pr(db2 > 100) = 0.6... then db2 must be probed too.
+  auto result = prober.Run(&model, FixedTruth({100, 130}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->reached_threshold);
+  EXPECT_GE(result->expected_correctness, 0.9);
+  EXPECT_EQ(result->selected, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(result->num_probes(), 2);
+  EXPECT_EQ(result->probe_order, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(AdaptiveProberTest, ThresholdOneProbesEverythingAtWorst) {
+  TopKModel model = Example6Model();
+  AProOptions options;
+  options.k = 1;
+  options.threshold = 1.0;
+  GreedyUsefulnessPolicy policy;
+  AdaptiveProber prober(&policy, options);
+  auto result = prober.Run(&model, FixedTruth({150, 70}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->reached_threshold);
+  EXPECT_EQ(result->selected, (std::vector<std::size_t>{0}));
+  EXPECT_NEAR(result->expected_correctness, 1.0, 1e-12);
+}
+
+TEST(AdaptiveProberTest, MaxProbesBudgetRespected) {
+  TopKModel model = Example6Model();
+  AProOptions options;
+  options.k = 1;
+  options.threshold = 1.0;
+  options.max_probes = 1;
+  GreedyUsefulnessPolicy policy;
+  AdaptiveProber prober(&policy, options);
+  auto result = prober.Run(&model, FixedTruth({100, 130}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_probes(), 1);
+  EXPECT_FALSE(result->reached_threshold);
+}
+
+TEST(AdaptiveProberTest, TraceRecordsEveryStep) {
+  TopKModel model = Example6Model();
+  AProOptions options;
+  options.k = 1;
+  options.threshold = 1.0;
+  options.record_trace = true;
+  GreedyUsefulnessPolicy policy;
+  AdaptiveProber prober(&policy, options);
+  auto result = prober.Run(&model, FixedTruth({100, 130}));
+  ASSERT_TRUE(result.ok());
+  // Entry 0 = RD-based answer (no probing), then one entry per probe.
+  ASSERT_EQ(result->trace.size(),
+            static_cast<std::size_t>(result->num_probes()) + 1);
+  EXPECT_NEAR(result->trace[0].expected_correctness, 0.54, 1e-9);
+  // Certainty of the reported answer never decreases... not guaranteed in
+  // general, but holds on this example.
+  EXPECT_GE(result->trace.back().expected_correctness,
+            result->trace.front().expected_correctness);
+}
+
+TEST(AdaptiveProberTest, ProbeObservationsAreApplied) {
+  TopKModel model = Example6Model();
+  AProOptions options;
+  options.k = 1;
+  options.threshold = 1.0;
+  GreedyUsefulnessPolicy policy;
+  AdaptiveProber prober(&policy, options);
+  auto result = prober.Run(&model, FixedTruth({150, 70}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(model.rd(0).IsImpulse());
+}
+
+TEST(AdaptiveProberTest, RejectsBadArguments) {
+  GreedyUsefulnessPolicy policy;
+  AProOptions options;
+  options.k = 0;
+  AdaptiveProber prober(&policy, options);
+  TopKModel model = Example6Model();
+  EXPECT_TRUE(prober.Run(&model, FixedTruth({1, 2})).status()
+                  .IsInvalidArgument());
+}
+
+TEST(AdaptiveProberTest, PropagatesProbeFailure) {
+  TopKModel model = Example6Model();
+  AProOptions options;
+  options.k = 1;
+  options.threshold = 1.0;
+  GreedyUsefulnessPolicy policy;
+  AdaptiveProber prober(&policy, options);
+  ProbeFn failing = [](std::size_t) -> Result<double> {
+    return Status::IoError("database unreachable");
+  };
+  EXPECT_TRUE(prober.Run(&model, failing).status().IsIoError());
+}
+
+// ----------- Greedy vs exhaustive-optimal policy on tiny instances --------
+
+// Expectimax value of the optimal probing strategy: minimal expected number
+// of probes to reach certainty >= t for top-1 selection.
+double OptimalExpectedProbes(TopKModel* model, double t,
+                             std::set<std::size_t> probed) {
+  TopKModel::BestSet best =
+      model->FindBestSet(1, CorrectnessMetric::kAbsolute, 100);
+  if (best.expected_correctness >= t) return 0.0;
+  if (probed.size() == model->num_databases()) return 0.0;
+  double best_cost = 1e18;
+  for (std::size_t i = 0; i < model->num_databases(); ++i) {
+    if (probed.count(i)) continue;
+    std::vector<stats::Atom> support = model->SupportOf(i);
+    double cost = 1.0;
+    for (const stats::Atom& atom : support) {
+      TopKModel::ScopedCondition cond(model, i, atom.value);
+      std::set<std::size_t> next = probed;
+      next.insert(i);
+      cost += atom.prob * OptimalExpectedProbes(model, t, next);
+    }
+    best_cost = std::min(best_cost, cost);
+  }
+  return best_cost;
+}
+
+// Expected probes of a policy (expectimax over the policy's fixed choices).
+double PolicyExpectedProbes(TopKModel* model, ProbingPolicy* policy, double t,
+                            std::vector<bool> probed) {
+  TopKModel::BestSet best =
+      model->FindBestSet(1, CorrectnessMetric::kAbsolute, 100);
+  if (best.expected_correctness >= t) return 0.0;
+  if (std::count(probed.begin(), probed.end(), false) == 0) return 0.0;
+  std::size_t i =
+      policy->SelectDb(model, probed, Ctx(1, 100, t));
+  std::vector<stats::Atom> support = model->SupportOf(i);
+  double cost = 1.0;
+  for (const stats::Atom& atom : support) {
+    TopKModel::ScopedCondition cond(model, i, atom.value);
+    std::vector<bool> next = probed;
+    next[i] = true;
+    cost += atom.prob * PolicyExpectedProbes(model, policy, t, next);
+  }
+  return cost;
+}
+
+class GreedyVsOptimalTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyVsOptimalTest, GreedyNearOptimalOnTinyInstances) {
+  stats::Rng rng(static_cast<std::uint64_t>(GetParam()) * 1315423911ULL);
+  std::vector<RelevancyDistribution> rds;
+  for (int i = 0; i < 3; ++i) {
+    std::vector<stats::Atom> atoms;
+    for (int a = 0; a < 3; ++a) {
+      atoms.push_back(
+          {std::floor(rng.Uniform(0, 10)) * 10, rng.Uniform(0.1, 1.0)});
+    }
+    rds.push_back(Rd(std::move(atoms)));
+  }
+  TopKModel model(std::move(rds));
+  const double t = 0.9;
+
+  TopKModel opt_model = model;
+  double optimal = OptimalExpectedProbes(&opt_model, t, {});
+  GreedyUsefulnessPolicy greedy;
+  TopKModel greedy_model = model;
+  double greedy_cost = PolicyExpectedProbes(&greedy_model, &greedy, t,
+                                            std::vector<bool>(3, false));
+  EXPECT_GE(greedy_cost + 1e-9, optimal);      // optimal is a lower bound
+  EXPECT_LE(greedy_cost, optimal + 1.0 + 1e-9);  // and greedy is close
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyVsOptimalTest, ::testing::Range(1, 9));
+
+TEST(GreedyVsRandomTest, GreedyNeedsNoMoreProbesOnAverage) {
+  stats::Rng rng(2024);
+  double greedy_total = 0.0, random_total = 0.0;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<RelevancyDistribution> rds;
+    for (int i = 0; i < 4; ++i) {
+      std::vector<stats::Atom> atoms;
+      for (int a = 0; a < 2; ++a) {
+        atoms.push_back(
+            {std::floor(rng.Uniform(0, 12)) * 10, rng.Uniform(0.1, 1.0)});
+      }
+      rds.push_back(Rd(std::move(atoms)));
+    }
+    TopKModel model(std::move(rds));
+    GreedyUsefulnessPolicy greedy;
+    RoundRobinProbingPolicy round_robin;
+    TopKModel m1 = model;
+    greedy_total += PolicyExpectedProbes(&m1, &greedy, 0.95,
+                                         std::vector<bool>(4, false));
+    TopKModel m2 = model;
+    random_total += PolicyExpectedProbes(&m2, &round_robin, 0.95,
+                                         std::vector<bool>(4, false));
+  }
+  EXPECT_LE(greedy_total, random_total + 1e-9);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace metaprobe

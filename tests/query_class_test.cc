@@ -1,0 +1,142 @@
+#include "core/query_class.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace metaprobe {
+namespace core {
+namespace {
+
+Query MakeQuery(int num_terms) {
+  Query q;
+  for (int i = 0; i < num_terms; ++i) {
+    q.terms.push_back("t" + std::to_string(i));
+  }
+  return q;
+}
+
+TEST(QueryClassTest, DefaultProducesFourTypes) {
+  QueryTypeClassifier classifier;
+  EXPECT_EQ(classifier.num_types(), 4u);
+}
+
+TEST(QueryClassTest, PaperDecisionTree) {
+  // Figure 9: 2-term/3-term x r_hat </>= 100 give four distinct types.
+  QueryTypeClassifier classifier;
+  std::set<QueryTypeId> types;
+  types.insert(classifier.Classify(MakeQuery(2), 50.0));
+  types.insert(classifier.Classify(MakeQuery(2), 500.0));
+  types.insert(classifier.Classify(MakeQuery(3), 50.0));
+  types.insert(classifier.Classify(MakeQuery(3), 500.0));
+  EXPECT_EQ(types.size(), 4u);
+  for (QueryTypeId t : types) EXPECT_LT(t, classifier.num_types());
+}
+
+TEST(QueryClassTest, ThresholdBoundaryIsInclusiveAbove) {
+  QueryTypeClassifier classifier;
+  EXPECT_NE(classifier.Classify(MakeQuery(2), 99.999),
+            classifier.Classify(MakeQuery(2), 100.0));
+  EXPECT_EQ(classifier.Classify(MakeQuery(2), 100.0),
+            classifier.Classify(MakeQuery(2), 1e9));
+}
+
+TEST(QueryClassTest, TermCountsClampIntoRange) {
+  QueryTypeClassifier classifier;
+  // 1-term behaves like 2-term; 7-term like 3-term.
+  EXPECT_EQ(classifier.Classify(MakeQuery(1), 10.0),
+            classifier.Classify(MakeQuery(2), 10.0));
+  EXPECT_EQ(classifier.Classify(MakeQuery(7), 10.0),
+            classifier.Classify(MakeQuery(3), 10.0));
+}
+
+TEST(QueryClassTest, DatabaseDependence) {
+  // The same query maps to different types on databases where its estimate
+  // differs (Section 4.1: classification is database dependent).
+  QueryTypeClassifier classifier;
+  Query q = MakeQuery(2);
+  EXPECT_NE(classifier.Classify(q, 5.0), classifier.Classify(q, 5000.0));
+}
+
+TEST(QueryClassTest, EstimateSplitDisabled) {
+  QueryClassOptions options;
+  options.split_by_estimate = false;
+  QueryTypeClassifier classifier(options);
+  EXPECT_EQ(classifier.num_types(), 2u);
+  EXPECT_EQ(classifier.Classify(MakeQuery(2), 5.0),
+            classifier.Classify(MakeQuery(2), 5000.0));
+}
+
+TEST(QueryClassTest, TermSplitDisabled) {
+  QueryClassOptions options;
+  options.split_by_term_count = false;
+  QueryTypeClassifier classifier(options);
+  EXPECT_EQ(classifier.num_types(), 2u);
+  EXPECT_EQ(classifier.Classify(MakeQuery(2), 5.0),
+            classifier.Classify(MakeQuery(3), 5.0));
+}
+
+TEST(QueryClassTest, SingleTypeConfiguration) {
+  QueryClassOptions options;
+  options.split_by_term_count = false;
+  options.split_by_estimate = false;
+  QueryTypeClassifier classifier(options);
+  EXPECT_EQ(classifier.num_types(), 1u);
+  EXPECT_EQ(classifier.Classify(MakeQuery(2), 5.0), 0u);
+  EXPECT_EQ(classifier.Classify(MakeQuery(3), 5000.0), 0u);
+}
+
+TEST(QueryClassTest, CustomThreshold) {
+  QueryClassOptions options;
+  options.estimate_threshold = 10.0;
+  QueryTypeClassifier classifier(options);
+  EXPECT_NE(classifier.Classify(MakeQuery(2), 9.0),
+            classifier.Classify(MakeQuery(2), 11.0));
+}
+
+TEST(QueryClassTest, WiderTermRange) {
+  QueryClassOptions options;
+  options.min_terms = 1;
+  options.max_terms = 4;
+  QueryTypeClassifier classifier(options);
+  EXPECT_EQ(classifier.num_types(), 8u);
+  std::set<QueryTypeId> types;
+  for (int t = 1; t <= 4; ++t) {
+    types.insert(classifier.Classify(MakeQuery(t), 0.0));
+    types.insert(classifier.Classify(MakeQuery(t), 1000.0));
+  }
+  EXPECT_EQ(types.size(), 8u);
+}
+
+TEST(QueryClassTest, SwappedMinMaxRepaired) {
+  QueryClassOptions options;
+  options.min_terms = 3;
+  options.max_terms = 2;
+  QueryTypeClassifier classifier(options);
+  EXPECT_EQ(classifier.num_types(), 4u);
+}
+
+TEST(QueryClassTest, TypeNamesDescriptive) {
+  QueryTypeClassifier classifier;
+  QueryTypeId low2 = classifier.Classify(MakeQuery(2), 5.0);
+  QueryTypeId high3 = classifier.Classify(MakeQuery(3), 5000.0);
+  EXPECT_EQ(classifier.TypeName(low2), "2-term, r_hat<100");
+  EXPECT_EQ(classifier.TypeName(high3), "3-term, r_hat>=100");
+}
+
+TEST(QueryClassTest, AllTypeIdsDense) {
+  QueryTypeClassifier classifier;
+  std::set<QueryTypeId> seen;
+  for (int terms : {2, 3}) {
+    for (double est : {0.0, 1000.0}) {
+      seen.insert(classifier.Classify(MakeQuery(terms), est));
+    }
+  }
+  for (QueryTypeId t = 0; t < classifier.num_types(); ++t) {
+    EXPECT_TRUE(seen.count(t)) << "type " << t << " unreachable";
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace metaprobe

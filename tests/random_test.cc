@@ -1,0 +1,226 @@
+#include "stats/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace metaprobe {
+namespace stats {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t v = rng.UniformInt(std::uint64_t{7});
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit in 1000 draws
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    std::int64_t v = rng.UniformInt(std::int64_t{-2}, std::int64_t{2});
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(23);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, NormalShifted) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.LogNormal(4.0, 0.5), 0.0);
+  }
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndBounded) {
+  Rng rng(41);
+  std::vector<std::size_t> sample = rng.SampleIndices(100, 10);
+  ASSERT_EQ(sample.size(), 10u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (std::size_t i : sample) EXPECT_LT(i, 100u);
+}
+
+TEST(RngTest, SampleIndicesClampsToPopulation) {
+  Rng rng(43);
+  EXPECT_EQ(rng.SampleIndices(5, 50).size(), 5u);
+  EXPECT_TRUE(rng.SampleIndices(5, 0).empty());
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(47);
+  Rng forked = a.Fork();
+  // Forked stream should not mirror the parent.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Next() == forked.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(ZipfSamplerTest, ProbabilitiesSumToOne) {
+  ZipfSampler zipf(50, 1.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < zipf.size(); ++i) total += zipf.Probability(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, RankZeroIsMostLikely) {
+  ZipfSampler zipf(100, 1.0);
+  EXPECT_GT(zipf.Probability(0), zipf.Probability(1));
+  EXPECT_GT(zipf.Probability(1), zipf.Probability(50));
+}
+
+TEST(ZipfSamplerTest, ClassicRatio) {
+  // With exponent 1, P(rank 0) / P(rank 1) == 2.
+  ZipfSampler zipf(10, 1.0);
+  EXPECT_NEAR(zipf.Probability(0) / zipf.Probability(1), 2.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, EmpiricalFrequenciesMatch) {
+  ZipfSampler zipf(5, 1.0);
+  Rng rng(53);
+  std::vector<int> counts(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_NEAR(counts[r] / static_cast<double>(n), zipf.Probability(r), 0.01)
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfSamplerTest, ZeroSizeBecomesSingleton) {
+  ZipfSampler zipf(0, 1.0);
+  Rng rng(59);
+  EXPECT_EQ(zipf.Sample(&rng), 0u);
+}
+
+TEST(WeightedSamplerTest, RespectsWeights) {
+  WeightedSampler sampler({1.0, 3.0});
+  Rng rng(61);
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ones += sampler.Sample(&rng) == 1 ? 1 : 0;
+  EXPECT_NEAR(ones / static_cast<double>(n), 0.75, 0.02);
+}
+
+TEST(WeightedSamplerTest, ZeroWeightNeverSampled) {
+  WeightedSampler sampler({0.0, 1.0, 0.0});
+  Rng rng(67);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(sampler.Sample(&rng), 1u);
+}
+
+TEST(WeightedSamplerTest, DegenerateWeightsFallBackToUniform) {
+  WeightedSampler sampler({0.0, 0.0, 0.0});
+  Rng rng(71);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 300; ++i) seen.insert(sampler.Sample(&rng));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+class ZipfExponentTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponentTest, MonotoneDecreasingProbabilities) {
+  ZipfSampler zipf(30, GetParam());
+  for (std::size_t i = 1; i < zipf.size(); ++i) {
+    EXPECT_GE(zipf.Probability(i - 1), zipf.Probability(i)) << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentTest,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.3, 2.0));
+
+}  // namespace
+}  // namespace stats
+}  // namespace metaprobe

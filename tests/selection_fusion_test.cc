@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "core/fusion.h"
+#include "core/selection.h"
+
+namespace metaprobe {
+namespace core {
+namespace {
+
+RelevancyDistribution Rd(std::vector<stats::Atom> atoms) {
+  RelevancyDistribution rd;
+  rd.dist = stats::DiscreteDistribution::Make(std::move(atoms)).ValueOrDie();
+  return rd;
+}
+
+// ---------------------------------------------------------------- Selection
+
+TEST(SelectByEstimateTest, RanksByEstimate) {
+  SelectionResult r = SelectByEstimate({10, 50, 30}, 2);
+  EXPECT_EQ(r.databases, (std::vector<std::size_t>{1, 2}));
+  EXPECT_DOUBLE_EQ(r.expected_correctness, 0.0);  // baseline has no certainty
+}
+
+TEST(SelectByEstimateTest, TieBreaksTowardLowerIndex) {
+  SelectionResult r = SelectByEstimate({5, 5, 5}, 2);
+  EXPECT_EQ(r.databases, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(SelectByEstimateTest, EdgeCases) {
+  EXPECT_TRUE(SelectByEstimate({}, 2).databases.empty());
+  EXPECT_TRUE(SelectByEstimate({1, 2}, 0).databases.empty());
+  EXPECT_EQ(SelectByEstimate({1, 2}, 5).databases.size(), 2u);
+}
+
+TEST(SelectByRdTest, PaperExampleFlip) {
+  // The estimate ranking says db0; the RDs say db1 with certainty 0.85
+  // (Figure 5 worked example).
+  std::vector<RelevancyDistribution> rds;
+  rds.push_back(Rd({{50, 0.4}, {100, 0.5}, {150, 0.1}}));
+  rds.push_back(Rd({{65, 0.1}, {130, 0.9}}));
+  TopKModel model(std::move(rds));
+  SelectionResult baseline = SelectByEstimate({100, 65}, 1);
+  SelectionResult rd_based =
+      SelectByRd(model, 1, CorrectnessMetric::kAbsolute);
+  EXPECT_EQ(baseline.databases, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(rd_based.databases, (std::vector<std::size_t>{1}));
+  EXPECT_NEAR(rd_based.expected_correctness, 0.85, 1e-9);
+}
+
+TEST(SelectByRdTest, PartialMetric) {
+  std::vector<RelevancyDistribution> rds;
+  rds.push_back(Rd({{10, 1.0}}));
+  rds.push_back(Rd({{30, 1.0}}));
+  rds.push_back(Rd({{20, 1.0}}));
+  TopKModel model(std::move(rds));
+  SelectionResult r = SelectByRd(model, 2, CorrectnessMetric::kPartial);
+  EXPECT_EQ(r.databases, (std::vector<std::size_t>{1, 2}));
+  EXPECT_NEAR(r.expected_correctness, 1.0, 1e-9);
+}
+
+// ------------------------------------------------------------------- Fusion
+
+std::vector<std::vector<SearchHit>> TwoLists() {
+  return {
+      {{0, 0.9, "a0"}, {1, 0.6, "a1"}, {2, 0.3, "a2"}},
+      {{0, 0.5, "b0"}, {1, 0.25, "b1"}},
+  };
+}
+
+TEST(FusionTest, NormalizedScoreMergesAndSorts) {
+  std::vector<FusedHit> fused =
+      FuseResults(TwoLists(), {"dbA", "dbB"}, 10, {});
+  ASSERT_EQ(fused.size(), 5u);
+  // Per-database normalization: both top hits get score 1.0; ties break
+  // toward the lower database index.
+  EXPECT_EQ(fused[0].database, 0u);
+  EXPECT_EQ(fused[0].title, "a0");
+  EXPECT_EQ(fused[1].database, 1u);
+  EXPECT_EQ(fused[1].title, "b0");
+  for (std::size_t i = 1; i < fused.size(); ++i) {
+    EXPECT_LE(fused[i].score, fused[i - 1].score);
+  }
+}
+
+TEST(FusionTest, MaxResultsTruncates) {
+  EXPECT_EQ(FuseResults(TwoLists(), {"a", "b"}, 3, {}).size(), 3u);
+  EXPECT_TRUE(FuseResults(TwoLists(), {"a", "b"}, 0, {}).empty());
+}
+
+TEST(FusionTest, WeightsBoostRelevantDatabases) {
+  FusionOptions options;
+  options.database_weights = {0.0, 500.0};  // dbB far more relevant
+  std::vector<FusedHit> fused =
+      FuseResults(TwoLists(), {"dbA", "dbB"}, 10, options);
+  EXPECT_EQ(fused[0].database, 1u);
+}
+
+TEST(FusionTest, DatabaseNamesAttached) {
+  std::vector<FusedHit> fused =
+      FuseResults(TwoLists(), {"dbA", "dbB"}, 10, {});
+  for (const FusedHit& hit : fused) {
+    EXPECT_EQ(hit.database_name, hit.database == 0 ? "dbA" : "dbB");
+  }
+}
+
+TEST(FusionTest, RoundRobinInterleaves) {
+  FusionOptions options;
+  options.strategy = FusionStrategy::kRoundRobin;
+  std::vector<FusedHit> fused =
+      FuseResults(TwoLists(), {"dbA", "dbB"}, 10, options);
+  ASSERT_EQ(fused.size(), 5u);
+  EXPECT_EQ(fused[0].title, "a0");
+  EXPECT_EQ(fused[1].title, "b0");
+  EXPECT_EQ(fused[2].title, "a1");
+  EXPECT_EQ(fused[3].title, "b1");
+  EXPECT_EQ(fused[4].title, "a2");
+  // Synthetic scores strictly descend so re-sorting keeps the order.
+  for (std::size_t i = 1; i < fused.size(); ++i) {
+    EXPECT_LT(fused[i].score, fused[i - 1].score);
+  }
+}
+
+TEST(FusionTest, RoundRobinRespectsLimit) {
+  FusionOptions options;
+  options.strategy = FusionStrategy::kRoundRobin;
+  EXPECT_EQ(FuseResults(TwoLists(), {"a", "b"}, 2, options).size(), 2u);
+}
+
+TEST(FusionTest, EmptyListsYieldEmpty) {
+  EXPECT_TRUE(FuseResults({}, {}, 10, {}).empty());
+  std::vector<std::vector<SearchHit>> empties{{}, {}};
+  EXPECT_TRUE(FuseResults(empties, {"a", "b"}, 10, {}).empty());
+}
+
+TEST(FusionTest, ZeroScoresHandled) {
+  std::vector<std::vector<SearchHit>> lists{{{0, 0.0, "z"}}};
+  std::vector<FusedHit> fused = FuseResults(lists, {"db"}, 5, {});
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_DOUBLE_EQ(fused[0].score, 0.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace metaprobe

@@ -1,0 +1,147 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "common/result.h"
+
+namespace metaprobe {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k: ", 42);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k: 42");
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_FALSE(s.IsNotFound());
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::NotFound("missing db").ToString(),
+            "Not found: missing db");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status original = Status::Internal("boom");
+  Status copy = original;
+  EXPECT_TRUE(copy.IsInternal());
+  EXPECT_EQ(copy.message(), "boom");
+  EXPECT_TRUE(original.IsInternal());  // copy does not steal
+}
+
+TEST(StatusTest, MoveTransfersState) {
+  Status original = Status::Internal("boom");
+  Status moved = std::move(original);
+  EXPECT_TRUE(moved.IsInternal());
+}
+
+TEST(StatusTest, AssignmentOverwrites) {
+  Status s = Status::Internal("boom");
+  s = Status::OK();
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << Status::OutOfRange("idx");
+  EXPECT_EQ(os.str(), "Out of range: idx");
+}
+
+TEST(StatusCodeTest, NamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal error");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> ok = 3;
+  Result<int> err = Status::Internal("x");
+  EXPECT_EQ(ok.ValueOr(9), 3);
+  EXPECT_EQ(err.ValueOr(9), 9);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abcdef");
+  EXPECT_EQ(r->size(), 6u);
+}
+
+namespace {
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UseReturnNotOk(int x) {
+  RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> UseAssignOrReturn(int x) {
+  ASSIGN_OR_RETURN(int half, HalveEven(x));
+  return half + 1;
+}
+
+}  // namespace
+
+TEST(MacrosTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(UseReturnNotOk(1).ok());
+  EXPECT_TRUE(UseReturnNotOk(-1).IsInvalidArgument());
+}
+
+TEST(MacrosTest, AssignOrReturnBindsValue) {
+  Result<int> ok = UseAssignOrReturn(10);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 6);
+  EXPECT_TRUE(UseAssignOrReturn(3).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace metaprobe

@@ -1,0 +1,93 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace metaprobe {
+namespace {
+
+TEST(SplitStringTest, BasicSplit) {
+  EXPECT_EQ(SplitString("a b c", " "),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitStringTest, MultipleDelimiters) {
+  EXPECT_EQ(SplitString("a,b;c", ",;"),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitStringTest, DropsEmptyPieces) {
+  EXPECT_EQ(SplitString("  a   b  ", " "),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(SplitStringTest, EmptyInput) {
+  EXPECT_TRUE(SplitString("", " ").empty());
+}
+
+TEST(SplitStringTest, NoDelimiterPresent) {
+  EXPECT_EQ(SplitString("abc", ","), (std::vector<std::string>{"abc"}));
+}
+
+TEST(JoinStringsTest, Joins) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"only"}, ","), "only");
+}
+
+TEST(SplitJoinTest, RoundTrip) {
+  std::string original = "breast cancer treatment";
+  EXPECT_EQ(JoinStrings(SplitString(original, " "), " "), original);
+}
+
+TEST(ToLowerAsciiTest, Lowercases) {
+  EXPECT_EQ(ToLowerAscii("Breast CANCER"), "breast cancer");
+  EXPECT_EQ(ToLowerAscii("already"), "already");
+  EXPECT_EQ(ToLowerAscii("With-123"), "with-123");
+}
+
+TEST(StripAsciiWhitespaceTest, Strips) {
+  EXPECT_EQ(StripAsciiWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripAsciiWhitespace("hi"), "hi");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("database", "data"));
+  EXPECT_FALSE(StartsWith("data", "database"));
+  EXPECT_TRUE(EndsWith("database", "base"));
+  EXPECT_FALSE(EndsWith("base", "database"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(FormatDoubleTest, FixedDigits) {
+  EXPECT_EQ(FormatDouble(0.755, 3), "0.755");
+  EXPECT_EQ(FormatDouble(0.5, 2), "0.50");
+  EXPECT_EQ(FormatDouble(-1.0, 1), "-1.0");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(GetEnvLongTest, FallbackWhenUnset) {
+  unsetenv("METAPROBE_TEST_ENV_LONG");
+  EXPECT_EQ(GetEnvLong("METAPROBE_TEST_ENV_LONG", 42), 42);
+}
+
+TEST(GetEnvLongTest, ReadsValue) {
+  setenv("METAPROBE_TEST_ENV_LONG", "17", 1);
+  EXPECT_EQ(GetEnvLong("METAPROBE_TEST_ENV_LONG", 42), 17);
+  unsetenv("METAPROBE_TEST_ENV_LONG");
+}
+
+TEST(GetEnvLongTest, RejectsGarbageAndNonPositive) {
+  setenv("METAPROBE_TEST_ENV_LONG", "abc", 1);
+  EXPECT_EQ(GetEnvLong("METAPROBE_TEST_ENV_LONG", 42), 42);
+  setenv("METAPROBE_TEST_ENV_LONG", "-3", 1);
+  EXPECT_EQ(GetEnvLong("METAPROBE_TEST_ENV_LONG", 42), 42);
+  setenv("METAPROBE_TEST_ENV_LONG", "0", 1);
+  EXPECT_EQ(GetEnvLong("METAPROBE_TEST_ENV_LONG", 42), 42);
+  unsetenv("METAPROBE_TEST_ENV_LONG");
+}
+
+}  // namespace
+}  // namespace metaprobe

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "core/estimator.h"
+#include "core/summary.h"
+#include "index/inverted_index.h"
+#include "stats/random.h"
+
+namespace metaprobe {
+namespace core {
+namespace {
+
+Query MakeQuery(std::vector<std::string> terms) {
+  Query q;
+  q.terms = std::move(terms);
+  q.raw = "";
+  return q;
+}
+
+// ------------------------------------------------------------- StatSummary
+
+TEST(StatSummaryTest, SetAndGet) {
+  StatSummary summary("db1", 20000);
+  summary.SetDocumentFrequency("breast", 2000);
+  EXPECT_EQ(summary.database_name(), "db1");
+  EXPECT_EQ(summary.database_size(), 20000u);
+  EXPECT_EQ(summary.DocumentFrequency("breast"), 2000u);
+  EXPECT_EQ(summary.DocumentFrequency("unknown"), 0u);
+  EXPECT_EQ(summary.num_terms(), 1u);
+}
+
+TEST(StatSummaryTest, OverwriteDf) {
+  StatSummary summary("db", 10);
+  summary.SetDocumentFrequency("x", 1);
+  summary.SetDocumentFrequency("x", 5);
+  EXPECT_EQ(summary.DocumentFrequency("x"), 5u);
+  EXPECT_EQ(summary.num_terms(), 1u);
+}
+
+TEST(StatSummaryTest, FromIndexMatchesTrueDfs) {
+  index::InvertedIndex::Builder builder;
+  builder.AddDocument({"breast", "cancer"});
+  builder.AddDocument({"breast", "feeding"});
+  builder.AddDocument({"heart"});
+  index::InvertedIndex index = std::move(builder).Build().ValueOrDie();
+  StatSummary summary = StatSummary::FromIndex("db", index);
+  EXPECT_EQ(summary.database_size(), 3u);
+  EXPECT_EQ(summary.DocumentFrequency("breast"), 2u);
+  EXPECT_EQ(summary.DocumentFrequency("cancer"), 1u);
+  EXPECT_EQ(summary.DocumentFrequency("heart"), 1u);
+  EXPECT_EQ(summary.num_terms(), 4u);
+}
+
+TEST(StatSummaryTest, FromIndexSampledFullRateIsExact) {
+  index::InvertedIndex::Builder builder;
+  for (int i = 0; i < 50; ++i) {
+    builder.AddDocument(i % 2 == 0
+                            ? std::vector<std::string>{"even", "num"}
+                            : std::vector<std::string>{"odd", "num"});
+  }
+  index::InvertedIndex index = std::move(builder).Build().ValueOrDie();
+  stats::Rng rng(1);
+  StatSummary sampled = StatSummary::FromIndexSampled("db", index, 1.0, &rng);
+  EXPECT_EQ(sampled.DocumentFrequency("even"), 25u);
+  EXPECT_EQ(sampled.DocumentFrequency("num"), 50u);
+}
+
+TEST(StatSummaryTest, FromIndexSampledApproximatesDfs) {
+  index::InvertedIndex::Builder builder;
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<std::string> terms{"common"};
+    if (i % 4 == 0) terms.push_back("quarter");
+    builder.AddDocument(terms);
+  }
+  index::InvertedIndex index = std::move(builder).Build().ValueOrDie();
+  stats::Rng rng(7);
+  StatSummary sampled = StatSummary::FromIndexSampled("db", index, 0.2, &rng);
+  // Scaled-back estimates should be within ~25% of truth for these dfs.
+  EXPECT_NEAR(sampled.DocumentFrequency("common"), 2000.0, 120.0);
+  EXPECT_NEAR(sampled.DocumentFrequency("quarter"), 500.0, 125.0);
+  // Never exceeds the database size.
+  EXPECT_LE(sampled.DocumentFrequency("common"), 2000u);
+}
+
+// ----------------------------------------- TermIndependenceEstimator (Eq 1)
+
+TEST(TermIndependenceTest, PaperFigure2WorkedExample) {
+  // Figure 2 / Example 1: db1 and db2 each hold 20,000 documents.
+  StatSummary db1("db1", 20000);
+  db1.SetDocumentFrequency("breast", 2000);
+  db1.SetDocumentFrequency("cancer", 10000);
+  StatSummary db2("db2", 20000);
+  db2.SetDocumentFrequency("breast", 2600);
+  db2.SetDocumentFrequency("cancer", 5000);
+
+  TermIndependenceEstimator estimator;
+  Query q = MakeQuery({"breast", "cancer"});
+  // r_hat(db1) = 20000 * (2000/20000) * (10000/20000) = 1000.
+  EXPECT_DOUBLE_EQ(estimator.Estimate(db1, q), 1000.0);
+  // r_hat(db2) = 20000 * (2600/20000) * (5000/20000) = 650.
+  EXPECT_DOUBLE_EQ(estimator.Estimate(db2, q), 650.0);
+}
+
+TEST(TermIndependenceTest, SingleTermIsItsDf) {
+  StatSummary db("db", 100);
+  db.SetDocumentFrequency("x", 40);
+  TermIndependenceEstimator estimator;
+  EXPECT_DOUBLE_EQ(estimator.Estimate(db, MakeQuery({"x"})), 40.0);
+}
+
+TEST(TermIndependenceTest, UnknownTermZerosEstimate) {
+  StatSummary db("db", 100);
+  db.SetDocumentFrequency("x", 40);
+  TermIndependenceEstimator estimator;
+  EXPECT_DOUBLE_EQ(estimator.Estimate(db, MakeQuery({"x", "missing"})), 0.0);
+}
+
+TEST(TermIndependenceTest, EmptyQueryIsZero) {
+  StatSummary db("db", 100);
+  TermIndependenceEstimator estimator;
+  EXPECT_DOUBLE_EQ(estimator.Estimate(db, MakeQuery({})), 0.0);
+}
+
+TEST(TermIndependenceTest, EmptyDatabaseIsZero) {
+  StatSummary db("db", 0);
+  TermIndependenceEstimator estimator;
+  EXPECT_DOUBLE_EQ(estimator.Estimate(db, MakeQuery({"x"})), 0.0);
+}
+
+TEST(TermIndependenceTest, MoreTermsShrinkEstimate) {
+  StatSummary db("db", 1000);
+  db.SetDocumentFrequency("a", 500);
+  db.SetDocumentFrequency("b", 500);
+  db.SetDocumentFrequency("c", 500);
+  TermIndependenceEstimator estimator;
+  double two = estimator.Estimate(db, MakeQuery({"a", "b"}));
+  double three = estimator.Estimate(db, MakeQuery({"a", "b", "c"}));
+  EXPECT_DOUBLE_EQ(two, 250.0);
+  EXPECT_DOUBLE_EQ(three, 125.0);
+}
+
+TEST(TermIndependenceTest, NameIsStable) {
+  EXPECT_EQ(TermIndependenceEstimator().name(), "term-independence");
+}
+
+// ----------------------------------------------------- Other estimators
+
+TEST(MinFrequencyTest, ReturnsRarestTermDf) {
+  StatSummary db("db", 1000);
+  db.SetDocumentFrequency("a", 500);
+  db.SetDocumentFrequency("b", 30);
+  MinFrequencyEstimator estimator;
+  EXPECT_DOUBLE_EQ(estimator.Estimate(db, MakeQuery({"a", "b"})), 30.0);
+  EXPECT_DOUBLE_EQ(estimator.Estimate(db, MakeQuery({"a", "missing"})), 0.0);
+}
+
+TEST(MinFrequencyTest, IsUpperBoundOfIndependence) {
+  StatSummary db("db", 1000);
+  db.SetDocumentFrequency("a", 400);
+  db.SetDocumentFrequency("b", 100);
+  Query q = MakeQuery({"a", "b"});
+  EXPECT_GE(MinFrequencyEstimator().Estimate(db, q),
+            TermIndependenceEstimator().Estimate(db, q));
+}
+
+TEST(BlendedTest, AlphaZeroIsIndependence) {
+  StatSummary db("db", 1000);
+  db.SetDocumentFrequency("a", 400);
+  db.SetDocumentFrequency("b", 100);
+  Query q = MakeQuery({"a", "b"});
+  EXPECT_NEAR(BlendedEstimator(0.0).Estimate(db, q),
+              TermIndependenceEstimator().Estimate(db, q), 1e-9);
+}
+
+TEST(BlendedTest, AlphaOneIsMinFrequency) {
+  StatSummary db("db", 1000);
+  db.SetDocumentFrequency("a", 400);
+  db.SetDocumentFrequency("b", 100);
+  Query q = MakeQuery({"a", "b"});
+  EXPECT_NEAR(BlendedEstimator(1.0).Estimate(db, q),
+              MinFrequencyEstimator().Estimate(db, q), 1e-9);
+}
+
+TEST(BlendedTest, IntermediateAlphaBetweenBounds) {
+  StatSummary db("db", 1000);
+  db.SetDocumentFrequency("a", 400);
+  db.SetDocumentFrequency("b", 100);
+  Query q = MakeQuery({"a", "b"});
+  double mid = BlendedEstimator(0.5).Estimate(db, q);
+  EXPECT_GT(mid, TermIndependenceEstimator().Estimate(db, q));
+  EXPECT_LT(mid, MinFrequencyEstimator().Estimate(db, q));
+}
+
+TEST(BlendedTest, AlphaClampedAndNamed) {
+  EXPECT_EQ(BlendedEstimator(0.5).name(), "blended(alpha=0.50)");
+  StatSummary db("db", 100);
+  db.SetDocumentFrequency("a", 50);
+  Query q = MakeQuery({"a"});
+  EXPECT_NEAR(BlendedEstimator(7.0).Estimate(db, q),
+              BlendedEstimator(1.0).Estimate(db, q), 1e-9);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace metaprobe

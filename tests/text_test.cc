@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "text/analyzer.h"
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace metaprobe {
+namespace text {
+namespace {
+
+// ---------------------------------------------------------------- Tokenizer
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Tokenize("Breast CANCER treatment"),
+            (std::vector<std::string>{"breast", "cancer", "treatment"}));
+}
+
+TEST(TokenizerTest, PunctuationSeparates) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Tokenize("heart-attack, stroke; (fever)"),
+            (std::vector<std::string>{"heart", "attack", "stroke", "fever"}));
+}
+
+TEST(TokenizerTest, ApostropheCollapsed) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Tokenize("don't"), (std::vector<std::string>{"dont"}));
+}
+
+TEST(TokenizerTest, ShortTokensDropped) {
+  Tokenizer tok;  // min length 2
+  EXPECT_EQ(tok.Tokenize("a b cd"), (std::vector<std::string>{"cd"}));
+}
+
+TEST(TokenizerTest, OverlongTokensDropped) {
+  TokenizerOptions options;
+  options.max_token_length = 5;
+  Tokenizer tok(options);
+  EXPECT_EQ(tok.Tokenize("tiny enormousword"),
+            (std::vector<std::string>{"tiny"}));
+}
+
+TEST(TokenizerTest, NumbersDroppedByDefault) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Tokenize("covid 19 2004"), (std::vector<std::string>{"covid"}));
+}
+
+TEST(TokenizerTest, KeepNumbersInsideWords) {
+  TokenizerOptions options;
+  options.keep_numbers = true;
+  Tokenizer tok(options);
+  EXPECT_EQ(tok.Tokenize("covid19 2004"),
+            (std::vector<std::string>{"covid19"}));  // pure numbers still drop
+}
+
+TEST(TokenizerTest, NonAsciiActsAsSeparator) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Tokenize("caf\xc3\xa9 health"),
+            (std::vector<std::string>{"caf", "health"}));
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_TRUE(tok.Tokenize("  \t\n ").empty());
+}
+
+TEST(TokenizerTest, AppendOverloadAccumulates) {
+  Tokenizer tok;
+  std::vector<std::string> out{"seed"};
+  tok.Tokenize("more words", &out);
+  EXPECT_EQ(out, (std::vector<std::string>{"seed", "more", "words"}));
+}
+
+// ------------------------------------------------------------------ Stemmer
+
+struct StemCase {
+  const char* word;
+  const char* stem;
+};
+
+class PorterStemmerTest : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterStemmerTest, MatchesReferenceVector) {
+  PorterStemmer stemmer;
+  EXPECT_EQ(stemmer.Stem(GetParam().word), GetParam().stem)
+      << "input: " << GetParam().word;
+}
+
+// Reference outputs of the original Porter (1980) algorithm.
+INSTANTIATE_TEST_SUITE_P(
+    ClassicVectors, PorterStemmerTest,
+    ::testing::Values(
+        StemCase{"caresses", "caress"}, StemCase{"ponies", "poni"},
+        StemCase{"ties", "ti"}, StemCase{"caress", "caress"},
+        StemCase{"cats", "cat"}, StemCase{"feed", "feed"},
+        StemCase{"agreed", "agre"}, StemCase{"plastered", "plaster"},
+        StemCase{"bled", "bled"}, StemCase{"motoring", "motor"},
+        StemCase{"sing", "sing"}, StemCase{"conflated", "conflat"},
+        StemCase{"troubled", "troubl"}, StemCase{"sized", "size"},
+        StemCase{"hopping", "hop"}, StemCase{"tanned", "tan"},
+        StemCase{"falling", "fall"}, StemCase{"hissing", "hiss"},
+        StemCase{"fizzed", "fizz"}, StemCase{"failing", "fail"},
+        StemCase{"filing", "file"}, StemCase{"happy", "happi"},
+        StemCase{"sky", "sky"}, StemCase{"relational", "relat"},
+        StemCase{"conditional", "condit"}, StemCase{"rational", "ration"},
+        StemCase{"valenci", "valenc"}, StemCase{"hesitanci", "hesit"},
+        StemCase{"digitizer", "digit"}, StemCase{"conformabli", "conform"},
+        StemCase{"radicalli", "radic"}, StemCase{"differentli", "differ"},
+        StemCase{"vileli", "vile"}, StemCase{"analogousli", "analog"},
+        StemCase{"vietnamization", "vietnam"}, StemCase{"predication", "predic"},
+        StemCase{"operator", "oper"}, StemCase{"feudalism", "feudal"},
+        StemCase{"decisiveness", "decis"}, StemCase{"hopefulness", "hope"},
+        StemCase{"callousness", "callous"}, StemCase{"formaliti", "formal"},
+        StemCase{"sensitiviti", "sensit"}, StemCase{"sensibiliti", "sensibl"},
+        StemCase{"triplicate", "triplic"}, StemCase{"formative", "form"},
+        StemCase{"formalize", "formal"}, StemCase{"electriciti", "electr"},
+        StemCase{"electrical", "electr"}, StemCase{"hopeful", "hope"},
+        StemCase{"goodness", "good"}, StemCase{"revival", "reviv"},
+        StemCase{"allowance", "allow"}, StemCase{"inference", "infer"},
+        StemCase{"airliner", "airlin"}, StemCase{"gyroscopic", "gyroscop"},
+        StemCase{"adjustable", "adjust"}, StemCase{"defensible", "defens"},
+        StemCase{"irritant", "irrit"}, StemCase{"replacement", "replac"},
+        StemCase{"adjustment", "adjust"}, StemCase{"dependent", "depend"},
+        StemCase{"adoption", "adopt"}, StemCase{"homologou", "homolog"},
+        StemCase{"communism", "commun"}, StemCase{"activate", "activ"},
+        StemCase{"angulariti", "angular"}, StemCase{"homologous", "homolog"},
+        StemCase{"effective", "effect"}, StemCase{"bowdlerize", "bowdler"},
+        StemCase{"probate", "probat"}, StemCase{"rate", "rate"},
+        StemCase{"cease", "ceas"}, StemCase{"controll", "control"},
+        StemCase{"roll", "roll"}));
+
+TEST(PorterStemmerEdgeTest, ShortWordsUntouched) {
+  PorterStemmer stemmer;
+  EXPECT_EQ(stemmer.Stem("is"), "is");
+  EXPECT_EQ(stemmer.Stem("be"), "be");
+  EXPECT_EQ(stemmer.Stem("a"), "a");
+}
+
+TEST(PorterStemmerEdgeTest, NonLowercaseUntouched) {
+  PorterStemmer stemmer;
+  EXPECT_EQ(stemmer.Stem("Cancer"), "Cancer");
+  EXPECT_EQ(stemmer.Stem("covid19"), "covid19");
+}
+
+TEST(PorterStemmerEdgeTest, QueryAndDocumentFormsUnify) {
+  PorterStemmer stemmer;
+  EXPECT_EQ(stemmer.Stem("probing"), stemmer.Stem("probe"));
+  EXPECT_EQ(stemmer.Stem("databases"), stemmer.Stem("database"));
+  EXPECT_EQ(stemmer.Stem("infections"), stemmer.Stem("infection"));
+}
+
+// ---------------------------------------------------------------- Stopwords
+
+TEST(StopwordTest, DefaultListContainsFunctionWords) {
+  StopwordList stopwords;
+  EXPECT_TRUE(stopwords.Contains("the"));
+  EXPECT_TRUE(stopwords.Contains("and"));
+  EXPECT_TRUE(stopwords.Contains("of"));
+  EXPECT_FALSE(stopwords.Contains("cancer"));
+  EXPECT_FALSE(stopwords.Contains("heart"));
+  EXPECT_GT(stopwords.size(), 100u);
+}
+
+TEST(StopwordTest, CustomList) {
+  StopwordList stopwords{"foo", "bar"};
+  EXPECT_TRUE(stopwords.Contains("foo"));
+  EXPECT_FALSE(stopwords.Contains("the"));
+  EXPECT_EQ(stopwords.size(), 2u);
+}
+
+// --------------------------------------------------------------- Vocabulary
+
+TEST(VocabularyTest, InternAssignsDenseIds) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.Intern("alpha"), 0u);
+  EXPECT_EQ(vocab.Intern("beta"), 1u);
+  EXPECT_EQ(vocab.Intern("alpha"), 0u);  // idempotent
+  EXPECT_EQ(vocab.size(), 2u);
+}
+
+TEST(VocabularyTest, LookupAndTermOf) {
+  Vocabulary vocab;
+  TermId id = vocab.Intern("gamma");
+  EXPECT_EQ(vocab.Lookup("gamma"), id);
+  EXPECT_EQ(vocab.Lookup("missing"), kInvalidTermId);
+  EXPECT_EQ(vocab.TermOf(id), "gamma");
+}
+
+// ----------------------------------------------------------------- Analyzer
+
+TEST(AnalyzerTest, FullPipeline) {
+  Analyzer analyzer;
+  // "the" is a stopword; "treatments" stems to "treatment"-stem.
+  std::vector<std::string> terms =
+      analyzer.Analyze("The treatments of breast cancers");
+  EXPECT_EQ(terms, (std::vector<std::string>{"treatment", "breast", "cancer"}));
+}
+
+TEST(AnalyzerTest, StemmingDisabled) {
+  AnalyzerOptions options;
+  options.stem = false;
+  Analyzer analyzer(options);
+  EXPECT_EQ(analyzer.Analyze("running dogs"),
+            (std::vector<std::string>{"running", "dogs"}));
+}
+
+TEST(AnalyzerTest, StopwordsDisabled) {
+  AnalyzerOptions options;
+  options.remove_stopwords = false;
+  options.stem = false;
+  Analyzer analyzer(options);
+  EXPECT_EQ(analyzer.Analyze("the cat"),
+            (std::vector<std::string>{"the", "cat"}));
+}
+
+TEST(AnalyzerTest, AnalyzeTermSingle) {
+  Analyzer analyzer;
+  EXPECT_EQ(analyzer.AnalyzeTerm("Cancers"), "cancer");
+  EXPECT_EQ(analyzer.AnalyzeTerm("the"), "");  // stopword vanishes
+}
+
+TEST(AnalyzerTest, QueryMatchesDocumentAnalysis) {
+  // The core guarantee the metasearcher relies on: a query term analyzes to
+  // the same form as the document token.
+  Analyzer analyzer;
+  EXPECT_EQ(analyzer.Analyze("probing databases"),
+            analyzer.Analyze("Probed Database"));
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace metaprobe
