@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bestset_search.dir/bench/ablation_bestset_search.cc.o"
+  "CMakeFiles/ablation_bestset_search.dir/bench/ablation_bestset_search.cc.o.d"
+  "bench/ablation_bestset_search"
+  "bench/ablation_bestset_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bestset_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ed_bins.dir/bench/ablation_ed_bins.cc.o"
+  "CMakeFiles/ablation_ed_bins.dir/bench/ablation_ed_bins.cc.o.d"
+  "bench/ablation_ed_bins"
+  "bench/ablation_ed_bins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ed_bins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

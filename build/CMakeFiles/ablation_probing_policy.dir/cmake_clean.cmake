@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_probing_policy.dir/bench/ablation_probing_policy.cc.o"
+  "CMakeFiles/ablation_probing_policy.dir/bench/ablation_probing_policy.cc.o.d"
+  "bench/ablation_probing_policy"
+  "bench/ablation_probing_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_probing_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_query_types.dir/bench/ablation_query_types.cc.o"
+  "CMakeFiles/ablation_query_types.dir/bench/ablation_query_types.cc.o.d"
+  "bench/ablation_query_types"
+  "bench/ablation_query_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_query_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sampled_summary.dir/bench/ablation_sampled_summary.cc.o"
+  "CMakeFiles/ablation_sampled_summary.dir/bench/ablation_sampled_summary.cc.o.d"
+  "bench/ablation_sampled_summary"
+  "bench/ablation_sampled_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sampled_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fusion_quality.dir/bench/ext_fusion_quality.cc.o"
+  "CMakeFiles/ext_fusion_quality.dir/bench/ext_fusion_quality.cc.o.d"
+  "bench/ext_fusion_quality"
+  "bench/ext_fusion_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fusion_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

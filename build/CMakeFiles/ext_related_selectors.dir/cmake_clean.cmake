@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_related_selectors.dir/bench/ext_related_selectors.cc.o"
+  "CMakeFiles/ext_related_selectors.dir/bench/ext_related_selectors.cc.o.d"
+  "bench/ext_related_selectors"
+  "bench/ext_related_selectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_related_selectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_similarity_definition.dir/bench/ext_similarity_definition.cc.o"
+  "CMakeFiles/ext_similarity_definition.dir/bench/ext_similarity_definition.cc.o.d"
+  "bench/ext_similarity_definition"
+  "bench/ext_similarity_definition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_similarity_definition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_sampling_goodness.dir/bench/fig07_sampling_goodness.cc.o"
+  "CMakeFiles/fig07_sampling_goodness.dir/bench/fig07_sampling_goodness.cc.o.d"
+  "bench/fig07_sampling_goodness"
+  "bench/fig07_sampling_goodness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_sampling_goodness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_avg_goodness.dir/bench/fig08_avg_goodness.cc.o"
+  "CMakeFiles/fig08_avg_goodness.dir/bench/fig08_avg_goodness.cc.o.d"
+  "bench/fig08_avg_goodness"
+  "bench/fig08_avg_goodness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_avg_goodness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_avg_goodness.
+# This may be replaced when dependencies are built.

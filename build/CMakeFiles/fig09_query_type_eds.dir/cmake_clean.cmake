@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_query_type_eds.dir/bench/fig09_query_type_eds.cc.o"
+  "CMakeFiles/fig09_query_type_eds.dir/bench/fig09_query_type_eds.cc.o.d"
+  "bench/fig09_query_type_eds"
+  "bench/fig09_query_type_eds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_query_type_eds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_query_type_eds.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_rd_vs_baseline.dir/bench/fig15_rd_vs_baseline.cc.o"
+  "CMakeFiles/fig15_rd_vs_baseline.dir/bench/fig15_rd_vs_baseline.cc.o.d"
+  "bench/fig15_rd_vs_baseline"
+  "bench/fig15_rd_vs_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_rd_vs_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_correctness_vs_probing.dir/bench/fig16_correctness_vs_probing.cc.o"
+  "CMakeFiles/fig16_correctness_vs_probing.dir/bench/fig16_correctness_vs_probing.cc.o.d"
+  "bench/fig16_correctness_vs_probing"
+  "bench/fig16_correctness_vs_probing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_correctness_vs_probing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

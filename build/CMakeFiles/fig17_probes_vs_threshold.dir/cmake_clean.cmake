@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_probes_vs_threshold.dir/bench/fig17_probes_vs_threshold.cc.o"
+  "CMakeFiles/fig17_probes_vs_threshold.dir/bench/fig17_probes_vs_threshold.cc.o.d"
+  "bench/fig17_probes_vs_threshold"
+  "bench/fig17_probes_vs_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_probes_vs_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

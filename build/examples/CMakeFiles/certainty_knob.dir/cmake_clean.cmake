@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certainty_knob.dir/certainty_knob.cpp.o"
+  "CMakeFiles/certainty_knob.dir/certainty_knob.cpp.o.d"
+  "certainty_knob"
+  "certainty_knob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certainty_knob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

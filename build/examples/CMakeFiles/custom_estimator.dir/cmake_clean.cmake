@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_estimator.dir/custom_estimator.cpp.o"
+  "CMakeFiles/custom_estimator.dir/custom_estimator.cpp.o.d"
+  "custom_estimator"
+  "custom_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

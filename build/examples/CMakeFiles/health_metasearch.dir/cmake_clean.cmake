@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/health_metasearch.dir/health_metasearch.cpp.o"
+  "CMakeFiles/health_metasearch.dir/health_metasearch.cpp.o.d"
+  "health_metasearch"
+  "health_metasearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/health_metasearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

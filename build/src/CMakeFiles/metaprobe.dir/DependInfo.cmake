@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/metaprobe.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/metaprobe.dir/common/status.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/metaprobe.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/common/strings.cc.o.d"
+  "/root/repo/src/core/correctness.cc" "src/CMakeFiles/metaprobe.dir/core/correctness.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/core/correctness.cc.o.d"
+  "/root/repo/src/core/ed_learner.cc" "src/CMakeFiles/metaprobe.dir/core/ed_learner.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/core/ed_learner.cc.o.d"
+  "/root/repo/src/core/error_distribution.cc" "src/CMakeFiles/metaprobe.dir/core/error_distribution.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/core/error_distribution.cc.o.d"
+  "/root/repo/src/core/estimator.cc" "src/CMakeFiles/metaprobe.dir/core/estimator.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/core/estimator.cc.o.d"
+  "/root/repo/src/core/flaky_database.cc" "src/CMakeFiles/metaprobe.dir/core/flaky_database.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/core/flaky_database.cc.o.d"
+  "/root/repo/src/core/fusion.cc" "src/CMakeFiles/metaprobe.dir/core/fusion.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/core/fusion.cc.o.d"
+  "/root/repo/src/core/hidden_web_database.cc" "src/CMakeFiles/metaprobe.dir/core/hidden_web_database.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/core/hidden_web_database.cc.o.d"
+  "/root/repo/src/core/metasearcher.cc" "src/CMakeFiles/metaprobe.dir/core/metasearcher.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/core/metasearcher.cc.o.d"
+  "/root/repo/src/core/model_io.cc" "src/CMakeFiles/metaprobe.dir/core/model_io.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/core/model_io.cc.o.d"
+  "/root/repo/src/core/probing.cc" "src/CMakeFiles/metaprobe.dir/core/probing.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/core/probing.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/CMakeFiles/metaprobe.dir/core/query.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/core/query.cc.o.d"
+  "/root/repo/src/core/query_class.cc" "src/CMakeFiles/metaprobe.dir/core/query_class.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/core/query_class.cc.o.d"
+  "/root/repo/src/core/related_selectors.cc" "src/CMakeFiles/metaprobe.dir/core/related_selectors.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/core/related_selectors.cc.o.d"
+  "/root/repo/src/core/relevancy_definition.cc" "src/CMakeFiles/metaprobe.dir/core/relevancy_definition.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/core/relevancy_definition.cc.o.d"
+  "/root/repo/src/core/relevancy_distribution.cc" "src/CMakeFiles/metaprobe.dir/core/relevancy_distribution.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/core/relevancy_distribution.cc.o.d"
+  "/root/repo/src/core/selection.cc" "src/CMakeFiles/metaprobe.dir/core/selection.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/core/selection.cc.o.d"
+  "/root/repo/src/core/summary.cc" "src/CMakeFiles/metaprobe.dir/core/summary.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/core/summary.cc.o.d"
+  "/root/repo/src/corpus/domain.cc" "src/CMakeFiles/metaprobe.dir/corpus/domain.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/corpus/domain.cc.o.d"
+  "/root/repo/src/corpus/query_log.cc" "src/CMakeFiles/metaprobe.dir/corpus/query_log.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/corpus/query_log.cc.o.d"
+  "/root/repo/src/corpus/synthetic_corpus.cc" "src/CMakeFiles/metaprobe.dir/corpus/synthetic_corpus.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/corpus/synthetic_corpus.cc.o.d"
+  "/root/repo/src/corpus/topic_model.cc" "src/CMakeFiles/metaprobe.dir/corpus/topic_model.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/corpus/topic_model.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/metaprobe.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/golden.cc" "src/CMakeFiles/metaprobe.dir/eval/golden.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/eval/golden.cc.o.d"
+  "/root/repo/src/eval/sampling_study.cc" "src/CMakeFiles/metaprobe.dir/eval/sampling_study.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/eval/sampling_study.cc.o.d"
+  "/root/repo/src/eval/table.cc" "src/CMakeFiles/metaprobe.dir/eval/table.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/eval/table.cc.o.d"
+  "/root/repo/src/eval/testbed.cc" "src/CMakeFiles/metaprobe.dir/eval/testbed.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/eval/testbed.cc.o.d"
+  "/root/repo/src/index/document_store.cc" "src/CMakeFiles/metaprobe.dir/index/document_store.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/index/document_store.cc.o.d"
+  "/root/repo/src/index/index_io.cc" "src/CMakeFiles/metaprobe.dir/index/index_io.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/index/index_io.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/CMakeFiles/metaprobe.dir/index/inverted_index.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/index/inverted_index.cc.o.d"
+  "/root/repo/src/index/posting_list.cc" "src/CMakeFiles/metaprobe.dir/index/posting_list.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/index/posting_list.cc.o.d"
+  "/root/repo/src/stats/chi_square.cc" "src/CMakeFiles/metaprobe.dir/stats/chi_square.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/stats/chi_square.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/CMakeFiles/metaprobe.dir/stats/descriptive.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/stats/descriptive.cc.o.d"
+  "/root/repo/src/stats/discrete_distribution.cc" "src/CMakeFiles/metaprobe.dir/stats/discrete_distribution.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/stats/discrete_distribution.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/metaprobe.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/random.cc" "src/CMakeFiles/metaprobe.dir/stats/random.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/stats/random.cc.o.d"
+  "/root/repo/src/text/analyzer.cc" "src/CMakeFiles/metaprobe.dir/text/analyzer.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/text/analyzer.cc.o.d"
+  "/root/repo/src/text/porter_stemmer.cc" "src/CMakeFiles/metaprobe.dir/text/porter_stemmer.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/text/porter_stemmer.cc.o.d"
+  "/root/repo/src/text/stopwords.cc" "src/CMakeFiles/metaprobe.dir/text/stopwords.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/text/stopwords.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/metaprobe.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/CMakeFiles/metaprobe.dir/text/vocabulary.cc.o" "gcc" "src/CMakeFiles/metaprobe.dir/text/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discrete_distribution_test.dir/discrete_distribution_test.cc.o"
+  "CMakeFiles/discrete_distribution_test.dir/discrete_distribution_test.cc.o.d"
+  "discrete_distribution_test"
+  "discrete_distribution_test.pdb"
+  "discrete_distribution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discrete_distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

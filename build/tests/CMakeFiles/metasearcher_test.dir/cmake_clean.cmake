@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metasearcher_test.dir/metasearcher_test.cc.o"
+  "CMakeFiles/metasearcher_test.dir/metasearcher_test.cc.o.d"
+  "metasearcher_test"
+  "metasearcher_test.pdb"
+  "metasearcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metasearcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

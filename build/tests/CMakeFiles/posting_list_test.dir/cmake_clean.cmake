@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posting_list_test.dir/posting_list_test.cc.o"
+  "CMakeFiles/posting_list_test.dir/posting_list_test.cc.o.d"
+  "posting_list_test"
+  "posting_list_test.pdb"
+  "posting_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posting_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_fusion_test.dir/selection_fusion_test.cc.o"
+  "CMakeFiles/selection_fusion_test.dir/selection_fusion_test.cc.o.d"
+  "selection_fusion_test"
+  "selection_fusion_test.pdb"
+  "selection_fusion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_fusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_estimator_test.dir/summary_estimator_test.cc.o"
+  "CMakeFiles/summary_estimator_test.dir/summary_estimator_test.cc.o.d"
+  "summary_estimator_test"
+  "summary_estimator_test.pdb"
+  "summary_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/chi_square_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/correctness_test[1]_include.cmake")
+include("/root/repo/build/tests/descriptive_test[1]_include.cmake")
+include("/root/repo/build/tests/discrete_distribution_test[1]_include.cmake")
+include("/root/repo/build/tests/error_distribution_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/histogram_test[1]_include.cmake")
+include("/root/repo/build/tests/index_io_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/inverted_index_test[1]_include.cmake")
+include("/root/repo/build/tests/metasearcher_test[1]_include.cmake")
+include("/root/repo/build/tests/model_io_test[1]_include.cmake")
+include("/root/repo/build/tests/posting_list_test[1]_include.cmake")
+include("/root/repo/build/tests/probing_test[1]_include.cmake")
+include("/root/repo/build/tests/query_class_test[1]_include.cmake")
+include("/root/repo/build/tests/random_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/selection_fusion_test[1]_include.cmake")
+include("/root/repo/build/tests/status_test[1]_include.cmake")
+include("/root/repo/build/tests/strings_test[1]_include.cmake")
+include("/root/repo/build/tests/summary_estimator_test[1]_include.cmake")
+include("/root/repo/build/tests/text_test[1]_include.cmake")
