@@ -1,0 +1,171 @@
+// Throughput of the concurrent serving engine: queries/second of
+// Metasearcher::SelectBatch over a worker pool of 1/2/4/8 threads, against
+// the Section 6 health testbed with simulated per-probe network latency.
+//
+// Hidden-web probes are remote round-trips, so serving is latency-bound,
+// not compute-bound: each mediated database is wrapped in a delay shim that
+// sleeps METAPROBE_LATENCY_US microseconds per probe (default 20000, a
+// 20 ms WAN round-trip; set 0 to measure pure-compute scaling, which needs
+// as many physical cores as workers to show speedup). Training runs with
+// the shims dialled to zero so only serving pays the simulated network.
+//
+// Expected shape: near-linear qps scaling while workers <= concurrent
+// queries, 2x or better at 4 workers vs 1. A second table reports the same
+// run with the RD cache enabled, plus its hit rate.
+
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "core/metasearcher.h"
+#include "eval/table.h"
+#include "eval/testbed.h"
+
+namespace metaprobe {
+namespace {
+
+/// Delay shim: forwards every call to the wrapped database, sleeping
+/// `latency` per probe primitive to model the network round-trip a real
+/// hidden-web database would cost.
+class DelayedDatabase : public core::HiddenWebDatabase {
+ public:
+  explicit DelayedDatabase(std::shared_ptr<core::HiddenWebDatabase> inner)
+      : inner_(std::move(inner)) {}
+
+  void set_latency(std::chrono::microseconds latency) {
+    latency_us_.store(latency.count(), std::memory_order_relaxed);
+  }
+
+  const std::string& name() const override { return inner_->name(); }
+  std::uint32_t size() const override { return inner_->size(); }
+
+  Result<std::uint64_t> CountMatches(const core::Query& query) const override {
+    Sleep();
+    return inner_->CountMatches(query);
+  }
+
+  Result<std::vector<core::SearchHit>> Search(
+      const core::Query& query, std::size_t k) const override {
+    Sleep();
+    return inner_->Search(query, k);
+  }
+
+  std::uint64_t queries_served() const override {
+    return inner_->queries_served();
+  }
+
+ private:
+  void Sleep() const {
+    auto us = latency_us_.load(std::memory_order_relaxed);
+    if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+
+  std::shared_ptr<core::HiddenWebDatabase> inner_;
+  std::atomic<std::chrono::microseconds::rep> latency_us_{0};
+};
+
+struct RunStats {
+  double seconds = 0.0;
+  double qps = 0.0;
+  core::ServingStats serving;
+};
+
+RunStats TimeBatch(const core::Metasearcher& searcher,
+                   const std::vector<core::Query>& queries,
+                   unsigned num_threads, int k, double threshold) {
+  ThreadPool pool(num_threads);
+  auto start = std::chrono::steady_clock::now();
+  auto reports = searcher.SelectBatch(queries, k, threshold, &pool);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  reports.status().CheckOK();
+  RunStats stats;
+  stats.seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+          .count();
+  stats.qps = stats.seconds > 0.0
+                  ? static_cast<double>(queries.size()) / stats.seconds
+                  : 0.0;
+  stats.serving = searcher.stats();
+  return stats;
+}
+
+int Run() {
+  eval::TestbedOptions testbed_options;
+  testbed_options.scale =
+      static_cast<std::uint32_t>(GetEnvLong("METAPROBE_SCALE", 1));
+  testbed_options.train_queries_per_term_count =
+      static_cast<std::size_t>(GetEnvLong("METAPROBE_TRAIN", 150));
+  testbed_options.test_queries_per_term_count =
+      static_cast<std::size_t>(GetEnvLong("METAPROBE_TEST", 60));
+  testbed_options.seed =
+      static_cast<std::uint64_t>(GetEnvLong("METAPROBE_SEED", 42));
+  const std::chrono::microseconds latency(
+      GetEnvLong("METAPROBE_LATENCY_US", 20000));
+  const int k = static_cast<int>(GetEnvLong("METAPROBE_K", 3));
+  // High threshold so every query actually probes; otherwise the run
+  // measures model evaluation, not dispatch.
+  const double threshold = 0.99;
+
+  std::cout << "building health testbed..." << std::endl;
+  auto testbed = eval::BuildHealthTestbed(testbed_options);
+  testbed.status().CheckOK();
+  const std::vector<core::Query>& queries = testbed->test_queries;
+
+  std::vector<std::shared_ptr<DelayedDatabase>> delayed;
+  for (const auto& db : testbed->databases) {
+    delayed.push_back(std::make_shared<DelayedDatabase>(db));
+  }
+
+  std::cout << "serving " << queries.size() << " queries, probe latency "
+            << latency.count() << " us, threshold " << threshold << "\n\n";
+
+  const std::vector<unsigned> worker_counts{1, 2, 4, 8};
+  for (int cached = 0; cached < 2; ++cached) {
+    // Same serving setup twice, differing only in the RD cache; training
+    // probes pay the shim latency too, so parallelize the learner.
+    core::MetasearcherOptions options;
+    options.enable_rd_cache = cached == 1;
+    auto server = std::make_unique<core::Metasearcher>(options);
+    for (std::size_t i = 0; i < delayed.size(); ++i) {
+      server->AddDatabase(delayed[i], testbed->summaries[i]).CheckOK();
+    }
+    // Offline training is local; only live serving pays the network.
+    for (auto& db : delayed) db->set_latency(std::chrono::microseconds(0));
+    std::cout << "training (RD cache " << (cached ? "on" : "off") << ")..."
+              << std::endl;
+    server->Train(testbed->train_queries).CheckOK();
+    for (auto& db : delayed) db->set_latency(latency);
+
+    eval::TablePrinter table(
+        {"workers", "seconds", "qps", "speedup", "probes", "cache-hit%"});
+    double base_qps = 0.0;
+    for (unsigned workers : worker_counts) {
+      server->ResetStats();
+      RunStats run = TimeBatch(*server, queries, workers, k, threshold);
+      if (workers == 1) base_qps = run.qps;
+      table.AddRow({eval::Cell(static_cast<std::size_t>(workers)),
+                    eval::Cell(run.seconds, 3), eval::Cell(run.qps, 1),
+                    eval::Cell(base_qps > 0.0 ? run.qps / base_qps : 0.0, 2),
+                    eval::Cell(static_cast<std::size_t>(
+                        run.serving.probes_issued)),
+                    eval::Cell(100.0 * run.serving.rd_cache_hit_rate(), 1)});
+    }
+    std::cout << "\n=== SelectBatch throughput (RD cache "
+              << (cached ? "on" : "off") << ") ===\n";
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "(speedup = qps relative to 1 worker; with latency-bound\n"
+               " probes this tracks worker count even on a single core)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace metaprobe
+
+int main() { return metaprobe::Run(); }

@@ -1,0 +1,100 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_COMMON_THREAD_POOL_H_
+#define METAPROBE_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace metaprobe {
+
+/// \brief Fixed-size worker pool for the concurrent serving paths (batch
+/// query fan-out, speculative probe dispatch, parallel ED training).
+///
+/// Semantics chosen for predictability under test:
+///   * `Submit` never drops or rejects a task. With zero workers, or once
+///     `Shutdown` has begun, the task runs inline on the submitting thread
+///     and its future is ready on return — every configuration degrades
+///     gracefully to sequential execution instead of failing.
+///   * `Shutdown` drains every task queued before it was called, then joins
+///     the workers. It is idempotent and is invoked by the destructor.
+///   * Tasks must not block on futures of tasks queued behind them (the
+///     pool does no work stealing); the serving code only submits leaf
+///     tasks, which cannot deadlock.
+class ThreadPool {
+ public:
+  /// \param num_threads worker count; 0 creates a pool that executes every
+  ///   task inline in `Submit` (useful as a deterministic stand-in).
+  explicit ThreadPool(unsigned num_threads);
+
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Enqueues `fn` and returns a future for its result. Thread-safe;
+  /// callable from worker threads as long as the caller does not wait on a
+  /// task queued behind its own.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (!workers_.empty() && !stopping_) {
+        queue_.emplace_back([task]() { (*task)(); });
+        lock.unlock();
+        wake_.notify_one();
+        return future;
+      }
+    }
+    // Zero-worker pool, or submit raced with shutdown: run inline.
+    (*task)();
+    tasks_run_inline_.fetch_add(1, std::memory_order_relaxed);
+    return future;
+  }
+
+  /// \brief Drains the queue, joins all workers, and puts the pool in
+  /// inline mode (later Submits still execute, on the caller's thread).
+  void Shutdown();
+
+  std::size_t num_workers() const { return workers_.size(); }
+
+  /// \brief Tasks executed so far by pool workers (not inline fallbacks).
+  std::uint64_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Tasks that ran inline on the submitter (zero workers or
+  /// post-shutdown submits); test hooks assert on this.
+  std::uint64_t tasks_run_inline() const {
+    return tasks_run_inline_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> tasks_run_inline_{0};
+};
+
+}  // namespace metaprobe
+
+#endif  // METAPROBE_COMMON_THREAD_POOL_H_

@@ -1,6 +1,9 @@
 #include "core/metasearcher.h"
 
 #include <algorithm>
+#include <future>
+#include <mutex>
+#include <utility>
 
 #include "common/macros.h"
 
@@ -10,7 +13,8 @@ namespace core {
 Metasearcher::Metasearcher(MetasearcherOptions options)
     : options_(std::move(options)),
       classifier_(options_.query_class),
-      policy_(std::make_unique<StoppingProbabilityPolicy>()) {
+      policy_(std::make_unique<StoppingProbabilityPolicy>()),
+      rd_cache_(options_.rd_cache_buckets_per_decade) {
   // The probe primitive and the EDs must agree on the relevancy notion.
   options_.ed_learner.definition = options_.relevancy_definition;
   if (options_.relevancy_definition ==
@@ -76,8 +80,12 @@ Status Metasearcher::Train(const std::vector<Query>& training_queries) {
     dbs.push_back(databases_[i].get());
     sums.push_back(&summaries_[i]);
   }
+  // The learning probes run outside the lock (they touch no serving
+  // state); only the table swap excludes readers.
   ASSIGN_OR_RETURN(EdTable table, learner.Learn(dbs, sums, training_queries));
+  std::unique_lock<std::shared_mutex> lock(state_mutex_);
   ed_table_ = std::make_unique<EdTable>(std::move(table));
+  rd_cache_.Reset(databases_.size(), classifier_.num_types());
   return Status::OK();
 }
 
@@ -90,7 +98,7 @@ std::vector<double> Metasearcher::EstimateAll(const Query& query) const {
   return estimates;
 }
 
-Result<TopKModel> Metasearcher::BuildModel(const Query& query) const {
+Result<TopKModel> Metasearcher::BuildModelUnlocked(const Query& query) const {
   if (!trained()) {
     return Status::FailedPrecondition("Train must be called before serving");
   }
@@ -102,21 +110,42 @@ Result<TopKModel> Metasearcher::BuildModel(const Query& query) const {
   for (std::size_t i = 0; i < databases_.size(); ++i) {
     double estimate = estimator_->Estimate(summaries_[i], query);
     QueryTypeId type = classifier_.Classify(query, estimate);
-    rds.push_back(
-        RelevancyDistribution::FromEstimate(estimate, ed_table_->Get(i, type)));
+    if (options_.enable_rd_cache) {
+      rds.push_back(rd_cache_.GetOrDerive(
+          i, type, estimate, [this, i, type](double representative) {
+            return RelevancyDistribution::FromEstimate(
+                representative, ed_table_->Get(i, type));
+          }));
+    } else {
+      rds.push_back(RelevancyDistribution::FromEstimate(
+          estimate, ed_table_->Get(i, type)));
+    }
   }
   return TopKModel(std::move(rds));
 }
 
-Result<SelectionReport> Metasearcher::Select(const Query& query, int k,
-                                             double threshold) const {
+Result<TopKModel> Metasearcher::BuildModel(const Query& query) const {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  return BuildModelUnlocked(query);
+}
+
+Result<SelectionReport> Metasearcher::SelectWithPolicy(
+    const Query& query, int k, double threshold,
+    ProbingPolicy* policy) const {
+  // BuildModel takes the shared state lock just long enough to derive the
+  // per-query RDs from the trained tables; the probing loop below runs on
+  // that private model with no lock held, so an in-flight Train never
+  // waits behind probe round-trips (and cannot be starved by a stream of
+  // serving threads -- glibc rwlocks prefer readers).
   ASSIGN_OR_RETURN(TopKModel model, BuildModel(query));
   AProOptions apro_options;
   apro_options.k = k;
   apro_options.threshold = threshold;
   apro_options.metric = options_.metric;
   apro_options.search_width = options_.search_width;
-  AdaptiveProber prober(policy_.get(), apro_options);
+  apro_options.speculative_batch = options_.speculative_batch;
+  apro_options.pool = probe_pool_;
+  AdaptiveProber prober(policy, apro_options);
   ProbeFn probe = [this, &query](std::size_t db) -> Result<double> {
     return ProbeRelevancy(*databases_[db], query,
                           options_.relevancy_definition);
@@ -132,13 +161,25 @@ Result<SelectionReport> Metasearcher::Select(const Query& query, int k,
   report.reached_threshold = apro.reached_threshold;
   report.probe_order = std::move(apro.probe_order);
   report.estimates = EstimateAll(query);
+
+  counters_.queries_served.fetch_add(1, std::memory_order_relaxed);
+  counters_.probes_issued.fetch_add(report.probe_order.size(),
+                                    std::memory_order_relaxed);
+  counters_.probes_failed.fetch_add(apro.failed_probes.size(),
+                                    std::memory_order_relaxed);
   return report;
 }
 
-Result<std::vector<FusedHit>> Metasearcher::Search(
+Result<SelectionReport> Metasearcher::Select(const Query& query, int k,
+                                             double threshold) const {
+  return SelectWithPolicy(query, k, threshold, policy_.get());
+}
+
+Result<std::vector<FusedHit>> Metasearcher::SearchWithPolicy(
     const Query& query, int k, double threshold, std::size_t per_database,
-    std::size_t max_results) const {
-  ASSIGN_OR_RETURN(SelectionReport report, Select(query, k, threshold));
+    std::size_t max_results, ProbingPolicy* policy) const {
+  ASSIGN_OR_RETURN(SelectionReport report,
+                   SelectWithPolicy(query, k, threshold, policy));
   std::vector<std::vector<SearchHit>> lists;
   std::vector<std::string> names;
   FusionOptions fusion = options_.fusion;
@@ -151,6 +192,119 @@ Result<std::vector<FusedHit>> Metasearcher::Search(
     fusion.database_weights.push_back(report.estimates[id]);
   }
   return FuseResults(lists, names, max_results, fusion);
+}
+
+Result<std::vector<FusedHit>> Metasearcher::Search(
+    const Query& query, int k, double threshold, std::size_t per_database,
+    std::size_t max_results) const {
+  return SearchWithPolicy(query, k, threshold, per_database, max_results,
+                          policy_.get());
+}
+
+namespace {
+
+/// Fans `run(i)` over `pool` for i in [0, count) and collects the results
+/// in index order; the first error (by index, deterministically) fails the
+/// whole batch. Neither the coordinator nor the tasks hold the state lock
+/// across a wait: each task takes it briefly inside BuildModel only.
+template <typename T>
+Result<std::vector<T>> FanOut(
+    ThreadPool* pool, std::size_t count,
+    const std::function<Result<T>(std::size_t)>& run) {
+  std::vector<std::future<Result<T>>> futures;
+  futures.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (pool != nullptr) {
+      futures.push_back(pool->Submit([&run, i]() { return run(i); }));
+    } else {
+      std::promise<Result<T>> ready;
+      ready.set_value(run(i));
+      futures.push_back(ready.get_future());
+    }
+  }
+  std::vector<T> values;
+  values.reserve(count);
+  Status first_error = Status::OK();
+  for (std::future<Result<T>>& future : futures) {
+    Result<T> result = future.get();
+    if (!result.ok()) {
+      if (first_error.ok()) first_error = result.status();
+      continue;
+    }
+    if (first_error.ok()) values.push_back(std::move(result).ValueOrDie());
+  }
+  if (!first_error.ok()) return first_error;
+  return values;
+}
+
+}  // namespace
+
+Result<std::vector<SelectionReport>> Metasearcher::SelectBatch(
+    const std::vector<Query>& queries, int k, double threshold,
+    ThreadPool* pool) const {
+  // One policy clone per in-flight query: stateful policies never see two
+  // threads, and a clone of a stateless one behaves identically to the
+  // installed instance, keeping batch results equal to sequential ones.
+  std::vector<std::unique_ptr<ProbingPolicy>> policies;
+  policies.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    policies.push_back(policy_->Clone());
+  }
+  auto run = [this, &queries, &policies, k,
+              threshold](std::size_t i) -> Result<SelectionReport> {
+    return SelectWithPolicy(queries[i], k, threshold, policies[i].get());
+  };
+  Result<std::vector<SelectionReport>> reports =
+      FanOut<SelectionReport>(pool, queries.size(), run);
+  if (reports.ok()) {
+    counters_.batches_served.fetch_add(1, std::memory_order_relaxed);
+  }
+  return reports;
+}
+
+Result<std::vector<std::vector<FusedHit>>> Metasearcher::SearchBatch(
+    const std::vector<Query>& queries, int k, double threshold,
+    std::size_t per_database, std::size_t max_results,
+    ThreadPool* pool) const {
+  std::vector<std::unique_ptr<ProbingPolicy>> policies;
+  policies.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    policies.push_back(policy_->Clone());
+  }
+  auto run = [this, &queries, &policies, k, threshold, per_database,
+              max_results](std::size_t i) -> Result<std::vector<FusedHit>> {
+    return SearchWithPolicy(queries[i], k, threshold, per_database,
+                            max_results, policies[i].get());
+  };
+  Result<std::vector<std::vector<FusedHit>>> results =
+      FanOut<std::vector<FusedHit>>(pool, queries.size(), run);
+  if (results.ok()) {
+    counters_.batches_served.fetch_add(1, std::memory_order_relaxed);
+  }
+  return results;
+}
+
+ServingStats Metasearcher::stats() const {
+  ServingStats stats;
+  stats.queries_served =
+      counters_.queries_served.load(std::memory_order_relaxed);
+  stats.batches_served =
+      counters_.batches_served.load(std::memory_order_relaxed);
+  stats.probes_issued =
+      counters_.probes_issued.load(std::memory_order_relaxed);
+  stats.probes_failed =
+      counters_.probes_failed.load(std::memory_order_relaxed);
+  stats.rd_cache_hits = rd_cache_.hits();
+  stats.rd_cache_misses = rd_cache_.misses();
+  stats.rd_cache_entries = rd_cache_.entries();
+  return stats;
+}
+
+void Metasearcher::ResetStats() {
+  counters_.queries_served.store(0, std::memory_order_relaxed);
+  counters_.batches_served.store(0, std::memory_order_relaxed);
+  counters_.probes_issued.store(0, std::memory_order_relaxed);
+  counters_.probes_failed.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace core

@@ -6,10 +6,12 @@
 #include <istream>
 #include <memory>
 #include <ostream>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/correctness.h"
 #include "core/ed_learner.h"
 #include "core/estimator.h"
@@ -18,6 +20,7 @@
 #include "core/probing.h"
 #include "core/query_class.h"
 #include "core/relevancy_definition.h"
+#include "core/serving_stats.h"
 #include "core/summary.h"
 
 namespace metaprobe {
@@ -34,6 +37,16 @@ struct MetasearcherOptions {
   CorrectnessMetric metric = CorrectnessMetric::kAbsolute;
   int search_width = 4;
   FusionOptions fusion;
+  /// Probes dispatched concurrently per APro round (see
+  /// AProOptions::speculative_batch). 1 = the paper's sequential loop
+  /// ("deterministic mode"); larger values speculate, trading extra probes
+  /// for latency, and use the pool installed with SetProbePool.
+  int speculative_batch = 1;
+  /// Memoize derived RDs per (database, query type, r_hat bucket). Opt-in:
+  /// the cache quantizes r_hat onto a log grid (see RdCache), so selections
+  /// can differ slightly from the uncached, bit-exact reproduction path.
+  bool enable_rd_cache = false;
+  double rd_cache_buckets_per_decade = 20.0;
 };
 
 /// \brief Outcome of one database-selection request.
@@ -62,6 +75,20 @@ struct SelectionReport {
 /// The estimator and probing policy are pluggable; the defaults are the
 /// paper's term-independence estimator and the stopping-probability probing
 /// policy (a refinement of the paper's greedy; see probing.h).
+///
+/// Concurrency contract (see DESIGN.md, "Serving architecture"): setup
+/// calls (AddDatabase, SetEstimator, SetProbingPolicy, SetProbePool) are
+/// single-threaded. After that, the serving methods (Select, Search,
+/// SelectBatch, SearchBatch, BuildModel, EstimateAll) may run concurrently
+/// from any number of threads. They take a shared lock on the trained
+/// state only while deriving the per-query model; Train takes it
+/// exclusively for the table swap. Probing then runs on the private model
+/// with no lock held, so retraining interleaves with live traffic without
+/// waiting on probe round-trips (and reader-preferring rwlocks cannot
+/// starve the writer). The batch paths clone the probing policy per query;
+/// concurrent *direct* Select calls share the installed policy instance and
+/// are safe with any stateless policy (every built-in except
+/// RandomProbingPolicy).
 class Metasearcher {
  public:
   explicit Metasearcher(MetasearcherOptions options = {});
@@ -76,8 +103,15 @@ class Metasearcher {
   /// \brief Replaces the relevancy estimator (before Train).
   Status SetEstimator(std::unique_ptr<RelevancyEstimator> estimator);
 
-  /// \brief Replaces the probing policy (any time).
+  /// \brief Replaces the probing policy (setup phase only; the serving
+  /// paths read it without synchronization).
   void SetProbingPolicy(std::unique_ptr<ProbingPolicy> policy);
+
+  /// \brief Installs a borrowed worker pool for speculative probe dispatch
+  /// (used when options().speculative_batch > 1). Must outlive serving and
+  /// must be a *different* pool from the one passed to SelectBatch, or the
+  /// nested waits could starve each other.
+  void SetProbePool(ThreadPool* pool) { probe_pool_ = pool; }
 
   /// \brief Learns one ED per (database, query type) by sampling every
   /// database with `training_queries` (Section 4).
@@ -104,6 +138,22 @@ class Metasearcher {
                                        std::size_t per_database,
                                        std::size_t max_results) const;
 
+  /// \brief Runs Select for every query, fanned across `pool` (null =
+  /// inline, sequentially). Reports are returned in query order and — with
+  /// the default deterministic options — are identical to running Select on
+  /// each query in sequence. Fails as a whole on the first per-query error
+  /// (by query order, deterministically).
+  Result<std::vector<SelectionReport>> SelectBatch(
+      const std::vector<Query>& queries, int k, double threshold,
+      ThreadPool* pool) const;
+
+  /// \brief Batch counterpart of Search, fanned across `pool` like
+  /// SelectBatch.
+  Result<std::vector<std::vector<FusedHit>>> SearchBatch(
+      const std::vector<Query>& queries, int k, double threshold,
+      std::size_t per_database, std::size_t max_results,
+      ThreadPool* pool) const;
+
   /// \brief Serializes the trained state -- options, per-database
   /// summaries and the learned error distributions -- in a versioned,
   /// line-oriented text format. The database *connections* are not
@@ -123,6 +173,13 @@ class Metasearcher {
       std::istream& is,
       std::vector<std::shared_ptr<HiddenWebDatabase>> databases);
 
+  /// \brief Snapshot of the serving counters (queries, probes, RD cache).
+  ServingStats stats() const;
+
+  /// \brief Zeroes the query/probe counters (the RD cache keeps its
+  /// entries; its hit/miss counters reset with Train).
+  void ResetStats();
+
   std::size_t num_databases() const { return databases_.size(); }
   const HiddenWebDatabase& database(std::size_t i) const {
     return *databases_[i];
@@ -134,13 +191,34 @@ class Metasearcher {
   const MetasearcherOptions& options() const { return options_; }
 
  private:
+  // BuildModelUnlocked requires state_mutex_ held (shared suffices);
+  // state_mutex_ is not recursive, hence the split from BuildModel. The
+  // WithPolicy workers take the lock themselves (via BuildModel) and run
+  // selection/probing lock-free on the derived per-query model.
+  Result<TopKModel> BuildModelUnlocked(const Query& query) const;
+  Result<SelectionReport> SelectWithPolicy(const Query& query, int k,
+                                           double threshold,
+                                           ProbingPolicy* policy) const;
+  Result<std::vector<FusedHit>> SearchWithPolicy(const Query& query, int k,
+                                                 double threshold,
+                                                 std::size_t per_database,
+                                                 std::size_t max_results,
+                                                 ProbingPolicy* policy) const;
+
   MetasearcherOptions options_;
   QueryTypeClassifier classifier_;
   std::unique_ptr<RelevancyEstimator> estimator_;
   std::unique_ptr<ProbingPolicy> policy_;
+  ThreadPool* probe_pool_ = nullptr;  // borrowed; speculative dispatch
   std::vector<std::shared_ptr<HiddenWebDatabase>> databases_;
   std::vector<StatSummary> summaries_;
   std::unique_ptr<EdTable> ed_table_;
+
+  /// Guards the trained model state (ed_table_, rd_cache_ keying):
+  /// exclusive for Train, shared for every serving read.
+  mutable std::shared_mutex state_mutex_;
+  mutable RdCache rd_cache_;
+  mutable ServingCounters counters_;
 };
 
 }  // namespace core

@@ -230,6 +230,8 @@ Result<AProResult> AdaptiveProber::Run(TopKModel* model,
           ? n
           : std::min<std::size_t>(n, static_cast<std::size_t>(
                                          options_.max_probes));
+  const std::size_t batch_limit = static_cast<std::size_t>(
+      std::max(options_.speculative_batch, 1));
 
   ProbingContext context;
   context.k = options_.k;
@@ -271,27 +273,90 @@ Result<AProResult> AdaptiveProber::Run(TopKModel* model,
         (options_.max_cost >= 0.0 && result.total_cost >= options_.max_cost)) {
       break;  // budget exhausted; return the best answer found
     }
-    std::size_t next = policy_->SelectDb(model, probed, context);
-    if (next >= n || probed[next]) {
-      return Status::Internal("probing policy '", policy_->name(),
-                              "' returned invalid database ", next);
-    }
-    result.total_cost += context.CostOf(next);
-    Result<double> actual = probe(next);
-    if (!actual.ok()) {
-      if (options_.failure_mode == ProbeFailureMode::kAbort) {
-        return actual.status();
+
+    // Pick this round's probe targets. With batch_limit == 1 this is the
+    // paper's loop verbatim. Beyond the first target the picks are
+    // *speculative*: the policy re-runs on the same beliefs with earlier
+    // picks masked out, without observing their outcomes. The extension
+    // stops where the sequential loop would have stopped probing anyway
+    // (probe/cost budget), so speculation never exceeds the budget by more
+    // than the final in-flight batch — mirroring the sequential loop, which
+    // also only checks budgets between probes.
+    std::vector<std::size_t> batch;
+    std::vector<bool> planned = probed;
+    std::size_t planned_count = num_probed;
+    double planned_cost = 0.0;
+    while (batch.size() < batch_limit && planned_count < n) {
+      if (!batch.empty()) {
+        if (attempts + batch.size() >= max_probes) break;
+        if (options_.max_cost >= 0.0 &&
+            result.total_cost + planned_cost >= options_.max_cost) {
+          break;
+        }
       }
-      // Skip mode: the database keeps its RD but is never probed again;
-      // the failed attempt counts against the probe budget so a fully
-      // unreachable backend cannot stall the loop.
-      probed[next] = true;
-      result.failed_probes.push_back(next);
-      continue;
+      std::size_t next = policy_->SelectDb(model, planned, context);
+      if (next >= n || planned[next]) {
+        return Status::Internal("probing policy '", policy_->name(),
+                                "' returned invalid database ", next);
+      }
+      planned[next] = true;
+      ++planned_count;
+      planned_cost += context.CostOf(next);
+      batch.push_back(next);
     }
-    model->Observe(next, *actual);
-    probed[next] = true;
-    result.probe_order.push_back(next);
+
+    // Dispatch: concurrent across the batch when a pool is supplied, the
+    // probes being independent remote calls; otherwise in order.
+    std::vector<Result<double>> outcomes;
+    outcomes.reserve(batch.size());
+    if (options_.pool != nullptr && batch.size() > 1) {
+      std::vector<std::future<Result<double>>> futures;
+      futures.reserve(batch.size());
+      for (std::size_t db : batch) {
+        futures.push_back(
+            options_.pool->Submit([&probe, db]() { return probe(db); }));
+      }
+      for (std::future<Result<double>>& future : futures) {
+        outcomes.push_back(future.get());
+      }
+    } else {
+      for (std::size_t db : batch) outcomes.push_back(probe(db));
+    }
+
+    // Merge the observed relevancies into the model in selection order —
+    // the coordinating thread is the only writer, so the merged state is a
+    // deterministic function of the inputs no matter how the concurrent
+    // probes interleaved.
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      std::size_t db = batch[b];
+      result.total_cost += context.CostOf(db);
+      if (!outcomes[b].ok()) {
+        if (options_.failure_mode == ProbeFailureMode::kAbort) {
+          return outcomes[b].status();
+        }
+        // Skip mode: the database keeps its RD but is never probed again;
+        // the failed attempt counts against the probe budget so a fully
+        // unreachable backend cannot stall the loop.
+        probed[db] = true;
+        result.failed_probes.push_back(db);
+      } else {
+        model->Observe(db, *outcomes[b]);
+        probed[db] = true;
+        result.probe_order.push_back(db);
+      }
+      // The round's last merge gets its trace entry at the top of the next
+      // iteration (as in the sequential loop); intermediate merges of a
+      // speculative batch record theirs here so the trace still holds one
+      // entry per probe attempt.
+      if (options_.record_trace && b + 1 < batch.size()) {
+        TopKModel::BestSet after = model->FindBestSet(
+            options_.k, options_.metric, options_.search_width);
+        SelectionResult step;
+        step.databases = after.members;
+        step.expected_correctness = after.expected_correctness;
+        result.trace.push_back(std::move(step));
+      }
+    }
   }
   return result;
 }

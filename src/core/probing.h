@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/correctness.h"
 #include "core/selection.h"
 #include "stats/random.h"
@@ -51,6 +52,12 @@ class ProbingPolicy {
   virtual std::size_t SelectDb(TopKModel* model,
                                const std::vector<bool>& probed,
                                const ProbingContext& context) = 0;
+
+  /// \brief Fresh policy equivalent to this one's configuration. The
+  /// concurrent serving paths clone the installed policy once per in-flight
+  /// query, so SelectDb never runs on a shared instance from two threads
+  /// (stateful policies like RandomProbingPolicy would race otherwise).
+  virtual std::unique_ptr<ProbingPolicy> Clone() const = 0;
 };
 
 /// \brief The paper's greedy policy (Section 5.4): probe the database with
@@ -62,6 +69,9 @@ class GreedyUsefulnessPolicy : public ProbingPolicy {
   std::string name() const override { return "greedy-usefulness"; }
   std::size_t SelectDb(TopKModel* model, const std::vector<bool>& probed,
                        const ProbingContext& context) override;
+  std::unique_ptr<ProbingPolicy> Clone() const override {
+    return std::make_unique<GreedyUsefulnessPolicy>();
+  }
 };
 
 /// \brief Ablation baseline: probe a uniformly random unprobed database.
@@ -72,6 +82,11 @@ class RandomProbingPolicy : public ProbingPolicy {
   std::string name() const override { return "random"; }
   std::size_t SelectDb(TopKModel* model, const std::vector<bool>& probed,
                        const ProbingContext& context) override;
+  /// The clone carries the current generator state, so per-query clones in
+  /// a batch draw the same sequence a fresh sequential run would.
+  std::unique_ptr<ProbingPolicy> Clone() const override {
+    return std::unique_ptr<ProbingPolicy>(new RandomProbingPolicy(*this));
+  }
 
  private:
   stats::Rng rng_;
@@ -83,6 +98,9 @@ class RoundRobinProbingPolicy : public ProbingPolicy {
   std::string name() const override { return "round-robin"; }
   std::size_t SelectDb(TopKModel* model, const std::vector<bool>& probed,
                        const ProbingContext& context) override;
+  std::unique_ptr<ProbingPolicy> Clone() const override {
+    return std::make_unique<RoundRobinProbingPolicy>();
+  }
 };
 
 /// \brief Ablation baseline: probe the unprobed database whose RD has the
@@ -93,6 +111,9 @@ class MaxVarianceProbingPolicy : public ProbingPolicy {
   std::string name() const override { return "max-variance"; }
   std::size_t SelectDb(TopKModel* model, const std::vector<bool>& probed,
                        const ProbingContext& context) override;
+  std::unique_ptr<ProbingPolicy> Clone() const override {
+    return std::make_unique<MaxVarianceProbingPolicy>();
+  }
 };
 
 /// \brief Probes the database whose top-k membership is most uncertain:
@@ -108,6 +129,9 @@ class MembershipEntropyPolicy : public ProbingPolicy {
   std::string name() const override { return "membership-entropy"; }
   std::size_t SelectDb(TopKModel* model, const std::vector<bool>& probed,
                        const ProbingContext& context) override;
+  std::unique_ptr<ProbingPolicy> Clone() const override {
+    return std::make_unique<MembershipEntropyPolicy>();
+  }
 };
 
 /// \brief Probes the database maximizing the probability that the APro
@@ -125,6 +149,9 @@ class StoppingProbabilityPolicy : public ProbingPolicy {
   std::string name() const override { return "stopping-probability"; }
   std::size_t SelectDb(TopKModel* model, const std::vector<bool>& probed,
                        const ProbingContext& context) override;
+  std::unique_ptr<ProbingPolicy> Clone() const override {
+    return std::make_unique<StoppingProbabilityPolicy>();
+  }
 };
 
 /// \brief Depth-limited expectimax policy: approximates the optimal probe
@@ -146,6 +173,9 @@ class ExpectimaxProbingPolicy : public ProbingPolicy {
   std::string name() const override;
   std::size_t SelectDb(TopKModel* model, const std::vector<bool>& probed,
                        const ProbingContext& context) override;
+  std::unique_ptr<ProbingPolicy> Clone() const override {
+    return std::make_unique<ExpectimaxProbingPolicy>(max_depth_);
+  }
 
  private:
   double ExpectedProbes(TopKModel* model, std::vector<bool>* probed,
@@ -187,6 +217,21 @@ struct AProOptions {
   std::vector<double> probe_costs;
   /// Total probing budget in cost units; < 0 means unlimited.
   double max_cost = -1.0;
+  /// Maximum probes dispatched concurrently per APro round. 1 (the
+  /// default, "deterministic mode") reproduces the paper's strictly
+  /// sequential loop: observe each outcome before choosing the next probe.
+  /// Larger values probe speculatively: the policy picks a batch of
+  /// distinct databases *without* seeing the intermediate outcomes, the
+  /// probes run concurrently on `pool`, and the observed relevancies are
+  /// merged into the model in selection order — still fully deterministic
+  /// given the same inputs, but the probe schedule can differ from the
+  /// sequential one's. Trades extra probes for wall-clock latency when
+  /// probes are remote round-trips.
+  int speculative_batch = 1;
+  /// Worker pool for speculative dispatch (borrowed, not owned); when null
+  /// the batch's probes are issued sequentially (identical results, no
+  /// concurrency).
+  ThreadPool* pool = nullptr;
 };
 
 /// \brief Outcome of an adaptive-probing run.

@@ -1,0 +1,85 @@
+#include "core/serving_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+namespace metaprobe {
+namespace core {
+
+RdCache::RdCache(double buckets_per_decade)
+    : buckets_per_decade_(std::max(buckets_per_decade, 1.0)) {}
+
+void RdCache::Reset(std::size_t num_databases, std::uint32_t num_types) {
+  (void)num_databases;  // sizing hint only; the map grows on demand
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  num_types_ = num_types;
+  entries_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+// Log-grid bucket of a non-negative estimate. Estimates below 1 share one
+// bucket (the RD derivation unit-floors the denominator there anyway);
+// bucket b covers one buckets_per_decade-th of a decade.
+int BucketIndex(double r_hat, double buckets_per_decade) {
+  if (!(r_hat > 1.0)) return -1;
+  return static_cast<int>(std::floor(std::log10(r_hat) * buckets_per_decade));
+}
+
+}  // namespace
+
+double RdCache::Representative(double r_hat) const {
+  int bucket = BucketIndex(r_hat, buckets_per_decade_);
+  if (bucket < 0) return r_hat;  // sub-unit estimates pass through exactly
+  // Geometric midpoint of the bucket.
+  return std::pow(10.0, (bucket + 0.5) / buckets_per_decade_);
+}
+
+std::uint64_t RdCache::KeyOf(std::size_t db, QueryTypeId type,
+                             double r_hat) const {
+  int bucket = BucketIndex(r_hat, buckets_per_decade_);
+  // Estimates are document counts, so buckets fit comfortably in 16 bits
+  // even at web scale (10^9 docs -> bucket ~180 at 20/decade).
+  std::uint64_t bucket_code =
+      static_cast<std::uint64_t>(std::clamp(bucket + 2, 0, 0xFFFF));
+  std::uint64_t cell = static_cast<std::uint64_t>(db) * num_types_ + type;
+  return (cell << 16) | bucket_code;
+}
+
+RelevancyDistribution RdCache::GetOrDerive(
+    std::size_t db, QueryTypeId type, double r_hat,
+    const std::function<RelevancyDistribution(double)>& derive) {
+  // Sub-unit estimates are not quantized, so caching them would key
+  // distinct RDs to one bucket; derive those directly.
+  if (BucketIndex(r_hat, buckets_per_decade_) < 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return derive(r_hat);
+  }
+  std::uint64_t key = KeyOf(db, type, r_hat);
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  RelevancyDistribution rd = derive(Representative(r_hat));
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    entries_.emplace(key, rd);  // a racing inserter won: keep the original
+  }
+  return rd;
+}
+
+std::uint64_t RdCache::entries() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace core
+}  // namespace metaprobe

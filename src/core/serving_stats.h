@@ -1,0 +1,100 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_CORE_SERVING_STATS_H_
+#define METAPROBE_CORE_SERVING_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "core/query_class.h"
+#include "core/relevancy_distribution.h"
+
+namespace metaprobe {
+namespace core {
+
+/// \brief Snapshot of a Metasearcher's serving counters; throughput benches
+/// and operational dashboards read these instead of instrumenting callers.
+struct ServingStats {
+  std::uint64_t queries_served = 0;   ///< Select/Search calls completed.
+  std::uint64_t batches_served = 0;   ///< SelectBatch/SearchBatch calls.
+  std::uint64_t probes_issued = 0;    ///< Successful probes across queries.
+  std::uint64_t probes_failed = 0;    ///< Probe attempts that errored.
+  std::uint64_t rd_cache_hits = 0;
+  std::uint64_t rd_cache_misses = 0;
+  std::uint64_t rd_cache_entries = 0;  ///< Distinct cached RDs right now.
+
+  double rd_cache_hit_rate() const {
+    std::uint64_t total = rd_cache_hits + rd_cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(rd_cache_hits) / total;
+  }
+};
+
+/// \brief Thread-safe counters behind ServingStats; lives in the
+/// Metasearcher as mutable state so the const serving path can record.
+struct ServingCounters {
+  std::atomic<std::uint64_t> queries_served{0};
+  std::atomic<std::uint64_t> batches_served{0};
+  std::atomic<std::uint64_t> probes_issued{0};
+  std::atomic<std::uint64_t> probes_failed{0};
+};
+
+/// \brief Memoizes derived relevancy distributions per
+/// (database, query type, r_hat bucket).
+///
+/// Deriving an RD (RelevancyDistribution::FromEstimate) costs one pass over
+/// the ED's atoms per database per query. Across real query traces the
+/// estimates cluster heavily, so the derivation keys repeat; the cache
+/// quantizes r_hat onto a logarithmic grid and memoizes the RD derived from
+/// the bucket's representative estimate.
+///
+/// Quantization is an approximation: with `buckets_per_decade` = 20 the
+/// representative estimate is within ~6% of the true r_hat. Selection is
+/// tolerant to that (the EDs model far larger estimator error), but the
+/// cache is opt-in (MetasearcherOptions::enable_rd_cache) so reproduction
+/// figures are bit-exact against the uncached path by default.
+///
+/// Readers take a shared lock; a miss upgrades to an exclusive lock for the
+/// insert. All counters are atomics, so hot hits contend only on the shared
+/// lock.
+class RdCache {
+ public:
+  explicit RdCache(double buckets_per_decade = 20.0);
+
+  /// \brief Drops all entries and re-keys for a (re)trained model.
+  void Reset(std::size_t num_databases, std::uint32_t num_types);
+
+  /// \brief The bucket-representative estimate that stands in for `r_hat`.
+  double Representative(double r_hat) const;
+
+  /// \brief Returns the cached RD for (db, type, bucket(r_hat)), deriving
+  /// it with `derive` (called on the representative estimate) on a miss.
+  RelevancyDistribution GetOrDerive(
+      std::size_t db, QueryTypeId type, double r_hat,
+      const std::function<RelevancyDistribution(double)>& derive);
+
+  std::uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t entries() const;
+
+ private:
+  std::uint64_t KeyOf(std::size_t db, QueryTypeId type, double r_hat) const;
+
+  double buckets_per_decade_;
+  std::uint32_t num_types_ = 0;
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::uint64_t, RelevancyDistribution> entries_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace core
+}  // namespace metaprobe
+
+#endif  // METAPROBE_CORE_SERVING_STATS_H_

@@ -1,0 +1,411 @@
+// Concurrency/stress tier: the ThreadPool primitive, the batch serving
+// paths, speculative probe dispatch, and retrain-under-traffic. Every
+// shared-state assertion here is meant to run under ThreadSanitizer (see
+// tools/check.sh); the equality assertions pin the concurrent paths to the
+// sequential, deterministic ones.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "core/metasearcher.h"
+
+namespace metaprobe {
+namespace core {
+namespace {
+
+// ------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([i, &counter]() {
+      counter.fetch_add(1, std::memory_order_relaxed);
+      return i * i;
+    }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+  EXPECT_EQ(counter.load(), 64);
+  EXPECT_EQ(pool.tasks_executed() + pool.tasks_run_inline(), 64u);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0u);
+  std::thread::id submitter = std::this_thread::get_id();
+  std::future<std::thread::id> future =
+      pool.Submit([]() { return std::this_thread::get_id(); });
+  // Inline execution: the future is ready on return and ran on the caller.
+  EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(future.get(), submitter);
+  EXPECT_EQ(pool.tasks_run_inline(), 1u);
+  EXPECT_EQ(pool.tasks_executed(), 0u);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownRunsInline) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.Submit([]() { return 1; }).get(), 1);
+  pool.Shutdown();
+  EXPECT_EQ(pool.num_workers(), 0u);
+  std::future<int> late = pool.Submit([]() { return 2; });
+  EXPECT_EQ(late.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(late.get(), 2);
+  EXPECT_GE(pool.tasks_run_inline(), 1u);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsPendingTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&done]() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        done.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    pool.Shutdown();
+    // Every task queued before Shutdown ran to completion.
+    EXPECT_EQ(done.load(), 32);
+  }
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  pool.Shutdown();  // second call must be a no-op, not a crash
+  EXPECT_EQ(pool.num_workers(), 0u);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  std::future<int> future =
+      pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The worker survives the throwing task.
+  EXPECT_EQ(pool.Submit([]() { return 7; }).get(), 7);
+}
+
+// ------------------------------------------------- Metasearcher serving
+
+// The deterministic three-database world of metasearcher_test.cc.
+std::shared_ptr<LocalDatabase> MakeDb(const std::string& name, int pattern,
+                                      int num_docs) {
+  index::InvertedIndex::Builder builder;
+  for (int d = 0; d < num_docs; ++d) {
+    std::vector<std::string> terms;
+    switch (pattern) {
+      case 0:
+        terms = d % 2 == 0 ? std::vector<std::string>{"alpha", "beta", "pad"}
+                           : std::vector<std::string>{"pad", "fill"};
+        break;
+      case 1:
+        terms = d % 2 == 0 ? std::vector<std::string>{"alpha", "pad"}
+                           : std::vector<std::string>{"beta", "fill"};
+        break;
+      default:
+        if (d % 4 == 0) terms = {"alpha", "beta"};
+        else if (d % 4 == 1) terms = {"alpha", "pad"};
+        else if (d % 4 == 2) terms = {"beta", "pad"};
+        else terms = {"pad", "fill"};
+        break;
+    }
+    builder.AddDocument(terms);
+  }
+  return std::make_shared<LocalDatabase>(
+      name, std::move(builder).Build().ValueOrDie());
+}
+
+Query MakeQuery(std::vector<std::string> terms) {
+  Query q;
+  q.terms = std::move(terms);
+  return q;
+}
+
+std::vector<Query> TrainingQueries() {
+  std::vector<Query> queries;
+  for (int i = 0; i < 30; ++i) {
+    queries.push_back(MakeQuery({"alpha", "beta"}));
+    queries.push_back(MakeQuery({"alpha", "fill"}));
+    queries.push_back(MakeQuery({"alpha", "pad"}));
+    queries.push_back(MakeQuery({"beta", "pad"}));
+    queries.push_back(MakeQuery({"pad", "fill"}));
+  }
+  return queries;
+}
+
+std::vector<Query> ServingQueries(int copies) {
+  std::vector<Query> queries;
+  for (int i = 0; i < copies; ++i) {
+    queries.push_back(MakeQuery({"alpha", "beta"}));
+    queries.push_back(MakeQuery({"alpha", "pad"}));
+    queries.push_back(MakeQuery({"beta", "pad"}));
+    queries.push_back(MakeQuery({"pad", "fill"}));
+  }
+  return queries;
+}
+
+void ExpectReportsEqual(const SelectionReport& a, const SelectionReport& b) {
+  EXPECT_EQ(a.databases, b.databases);
+  EXPECT_EQ(a.database_names, b.database_names);
+  EXPECT_DOUBLE_EQ(a.expected_correctness, b.expected_correctness);
+  EXPECT_EQ(a.reached_threshold, b.reached_threshold);
+  EXPECT_EQ(a.probe_order, b.probe_order);
+  EXPECT_EQ(a.estimates, b.estimates);
+}
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Metasearcher> MakeTrained(MetasearcherOptions options = {}) {
+    auto searcher = std::make_unique<Metasearcher>(std::move(options));
+    EXPECT_TRUE(searcher->AddLocalDatabase(MakeDb("corr", 0, 200)).ok());
+    EXPECT_TRUE(searcher->AddLocalDatabase(MakeDb("anti", 1, 200)).ok());
+    EXPECT_TRUE(searcher->AddLocalDatabase(MakeDb("mix", 2, 200)).ok());
+    EXPECT_TRUE(searcher->Train(TrainingQueries()).ok());
+    return searcher;
+  }
+};
+
+TEST_F(ConcurrencyTest, SelectBatchMatchesSequentialSelect) {
+  auto searcher = MakeTrained();
+  std::vector<Query> queries = ServingQueries(6);  // 24 queries
+  ThreadPool pool(8);
+  auto batch = searcher->SelectBatch(queries, 1, 0.999, &pool);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto sequential = searcher->Select(queries[i], 1, 0.999);
+    ASSERT_TRUE(sequential.ok());
+    ExpectReportsEqual((*batch)[i], *sequential);
+  }
+}
+
+TEST_F(ConcurrencyTest, SelectBatchNullPoolMatchesPooled) {
+  auto searcher = MakeTrained();
+  std::vector<Query> queries = ServingQueries(3);
+  ThreadPool pool(8);
+  auto pooled = searcher->SelectBatch(queries, 1, 0.9, &pool);
+  auto inline_run = searcher->SelectBatch(queries, 1, 0.9, nullptr);
+  ASSERT_TRUE(pooled.ok());
+  ASSERT_TRUE(inline_run.ok());
+  ASSERT_EQ(pooled->size(), inline_run->size());
+  for (std::size_t i = 0; i < pooled->size(); ++i) {
+    ExpectReportsEqual((*pooled)[i], (*inline_run)[i]);
+  }
+}
+
+TEST_F(ConcurrencyTest, SelectBatchZeroWorkerPoolMatches) {
+  auto searcher = MakeTrained();
+  std::vector<Query> queries = ServingQueries(2);
+  ThreadPool inline_pool(0);
+  auto batch = searcher->SelectBatch(queries, 1, 0.999, &inline_pool);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(inline_pool.tasks_run_inline(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto sequential = searcher->Select(queries[i], 1, 0.999);
+    ASSERT_TRUE(sequential.ok());
+    ExpectReportsEqual((*batch)[i], *sequential);
+  }
+}
+
+TEST_F(ConcurrencyTest, SelectBatchFailsDeterministicallyOnBadQuery) {
+  auto searcher = MakeTrained();
+  std::vector<Query> queries = ServingQueries(2);
+  queries[3] = MakeQuery({});  // empty query -> InvalidArgument
+  ThreadPool pool(4);
+  auto batch = searcher->SelectBatch(queries, 1, 0.9, &pool);
+  EXPECT_TRUE(batch.status().IsInvalidArgument());
+}
+
+TEST_F(ConcurrencyTest, HammerSelectFromManyThreads) {
+  auto searcher = MakeTrained();
+  // Reference answers computed sequentially first.
+  std::vector<Query> queries = ServingQueries(1);
+  std::vector<SelectionReport> expected;
+  for (const Query& q : queries) {
+    expected.push_back(searcher->Select(q, 1, 0.999).ValueOrDie());
+  }
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&searcher, &queries, &expected, &mismatches, t]() {
+      for (int iter = 0; iter < 25; ++iter) {
+        std::size_t i =
+            static_cast<std::size_t>(t + iter) % queries.size();
+        auto report = searcher->Select(queries[i], 1, 0.999);
+        if (!report.ok() ||
+            report->databases != expected[i].databases ||
+            report->probe_order != expected[i].probe_order ||
+            report->expected_correctness !=
+                expected[i].expected_correctness) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(ConcurrencyTest, ConcurrentBatchCoordinatorsShareOnePool) {
+  auto searcher = MakeTrained();
+  std::vector<Query> queries = ServingQueries(4);
+  ThreadPool pool(8);
+  auto reference = searcher->SelectBatch(queries, 1, 0.999, nullptr);
+  ASSERT_TRUE(reference.ok());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> coordinators;
+  for (int t = 0; t < 4; ++t) {
+    coordinators.emplace_back([&searcher, &queries, &pool, &reference,
+                               &failures]() {
+      auto batch = searcher->SelectBatch(queries, 1, 0.999, &pool);
+      if (!batch.ok() || batch->size() != reference->size()) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      for (std::size_t i = 0; i < batch->size(); ++i) {
+        if ((*batch)[i].databases != (*reference)[i].databases ||
+            (*batch)[i].probe_order != (*reference)[i].probe_order) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : coordinators) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(ConcurrencyTest, TrainWhileServingIsSafe) {
+  auto searcher = MakeTrained();
+  std::vector<Query> training = TrainingQueries();
+  Query q = MakeQuery({"alpha", "beta"});
+  std::atomic<int> errors{0};
+  std::vector<std::thread> servers;
+  // Bounded loops (not a stop flag) so the test terminates even if lock
+  // scheduling regresses; each Train takes long enough that serving and
+  // retraining genuinely overlap.
+  for (int t = 0; t < 4; ++t) {
+    servers.emplace_back([&searcher, &q, &errors]() {
+      for (int iter = 0; iter < 80; ++iter) {
+        auto report = searcher->Select(q, 1, 0.999);
+        // Serving against either the old or the new table is fine; an
+        // error status is not.
+        if (!report.ok()) errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_TRUE(searcher->Train(training).ok());
+  }
+  for (std::thread& t : servers) t.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_TRUE(searcher->trained());
+}
+
+TEST_F(ConcurrencyTest, SpeculativeBatchDispatchSelectsSameDatabases) {
+  auto sequential = MakeTrained();
+  MetasearcherOptions options;
+  options.speculative_batch = 4;
+  auto speculative = MakeTrained(options);
+  ThreadPool pool(4);
+  speculative->SetProbePool(&pool);
+  for (const Query& q : ServingQueries(1)) {
+    auto seq_report = sequential->Select(q, 1, 0.999);
+    auto spec_report = speculative->Select(q, 1, 0.999);
+    ASSERT_TRUE(seq_report.ok());
+    ASSERT_TRUE(spec_report.ok());
+    // Speculation may spend extra probes, but on this fully probeable
+    // world it must reach the threshold and agree on the answer set.
+    EXPECT_TRUE(spec_report->reached_threshold);
+    EXPECT_EQ(spec_report->databases, seq_report->databases);
+    EXPECT_GE(spec_report->num_probes(), seq_report->num_probes());
+  }
+}
+
+TEST_F(ConcurrencyTest, ServingStatsCountQueriesAndProbes) {
+  auto searcher = MakeTrained();
+  searcher->ResetStats();
+  Query q = MakeQuery({"alpha", "beta"});
+  auto report = searcher->Select(q, 1, 0.999);
+  ASSERT_TRUE(report.ok());
+  ASSERT_GT(report->num_probes(), 0);
+  ThreadPool pool(4);
+  std::vector<Query> queries = ServingQueries(1);
+  ASSERT_TRUE(searcher->SelectBatch(queries, 1, 0.999, &pool).ok());
+  ServingStats stats = searcher->stats();
+  EXPECT_EQ(stats.queries_served, 1u + queries.size());
+  EXPECT_EQ(stats.batches_served, 1u);
+  EXPECT_GE(stats.probes_issued, static_cast<std::uint64_t>(
+                                     report->num_probes()));
+  EXPECT_EQ(stats.probes_failed, 0u);
+  searcher->ResetStats();
+  ServingStats zeroed = searcher->stats();
+  EXPECT_EQ(zeroed.queries_served, 0u);
+  EXPECT_EQ(zeroed.batches_served, 0u);
+  EXPECT_EQ(zeroed.probes_issued, 0u);
+}
+
+TEST_F(ConcurrencyTest, RdCacheServesRepeatsFromCache) {
+  MetasearcherOptions options;
+  options.enable_rd_cache = true;
+  auto searcher = MakeTrained(options);
+  Query q = MakeQuery({"alpha", "beta"});
+  ASSERT_TRUE(searcher->Select(q, 1, 0.9).ok());
+  ServingStats first = searcher->stats();
+  EXPECT_GT(first.rd_cache_misses, 0u);
+  EXPECT_GT(first.rd_cache_entries, 0u);
+  ASSERT_TRUE(searcher->Select(q, 1, 0.9).ok());
+  ServingStats second = searcher->stats();
+  // The repeat query lands every per-database lookup in the cache.
+  EXPECT_GE(second.rd_cache_hits,
+            first.rd_cache_hits + searcher->num_databases());
+  EXPECT_EQ(second.rd_cache_misses, first.rd_cache_misses);
+}
+
+TEST_F(ConcurrencyTest, RdCacheResetsOnRetrain) {
+  MetasearcherOptions options;
+  options.enable_rd_cache = true;
+  auto searcher = MakeTrained(options);
+  ASSERT_TRUE(searcher->Select(MakeQuery({"alpha", "beta"}), 1, 0.9).ok());
+  EXPECT_GT(searcher->stats().rd_cache_entries, 0u);
+  ASSERT_TRUE(searcher->Train(TrainingQueries()).ok());
+  // New EDs invalidate every derived RD.
+  EXPECT_EQ(searcher->stats().rd_cache_entries, 0u);
+}
+
+TEST_F(ConcurrencyTest, SearchBatchMatchesSequentialSearch) {
+  auto searcher = MakeTrained();
+  std::vector<Query> queries = ServingQueries(2);
+  ThreadPool pool(8);
+  auto batch = searcher->SearchBatch(queries, 1, 0.9, 5, 8, &pool);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto sequential = searcher->Search(queries[i], 1, 0.9, 5, 8);
+    ASSERT_TRUE(sequential.ok());
+    const std::vector<FusedHit>& got = (*batch)[i];
+    ASSERT_EQ(got.size(), sequential->size());
+    for (std::size_t h = 0; h < got.size(); ++h) {
+      EXPECT_EQ(got[h].database_name, (*sequential)[h].database_name);
+      EXPECT_EQ(got[h].title, (*sequential)[h].title);
+      EXPECT_DOUBLE_EQ(got[h].score, (*sequential)[h].score);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace metaprobe

@@ -1,0 +1,159 @@
+// Determinism guarantees of the serving engine: in deterministic mode
+// (speculative_batch = 1) the same seed and corpus must yield byte-identical
+// selection reports across independently built metasearchers, and the batch
+// paths must reproduce the sequential ones field for field. The figures in
+// EXPERIMENTS.md rely on this to stay reproducible run over run.
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "core/metasearcher.h"
+#include "eval/testbed.h"
+
+namespace metaprobe {
+namespace eval {
+namespace {
+
+TestbedOptions SmallOptions() {
+  TestbedOptions options;
+  options.scale = 1;
+  options.train_queries_per_term_count = 80;
+  options.test_queries_per_term_count = 60;
+  options.seed = 20260806;
+  return options;
+}
+
+// A canonical text form of a report; byte-equality of these strings is the
+// test's notion of "identical selection".
+std::string Serialize(const core::SelectionReport& report) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "selected:";
+  for (std::size_t id : report.databases) os << ' ' << id;
+  os << "\nnames:";
+  for (const std::string& name : report.database_names) os << ' ' << name;
+  os << "\ncorrectness: " << report.expected_correctness;
+  os << "\nreached: " << report.reached_threshold;
+  os << "\nprobes:";
+  for (std::size_t id : report.probe_order) os << ' ' << id;
+  os << "\nestimates:";
+  for (double estimate : report.estimates) os << ' ' << estimate;
+  os << '\n';
+  return os.str();
+}
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    testbed_ = new Testbed(BuildHealthTestbed(SmallOptions()).ValueOrDie());
+    metasearcher_ =
+        BuildTrainedMetasearcher(*testbed_).ValueOrDie().release();
+  }
+
+  static void TearDownTestSuite() {
+    delete metasearcher_;
+    delete testbed_;
+    metasearcher_ = nullptr;
+    testbed_ = nullptr;
+  }
+
+  static std::vector<core::Query> ProbeQueries(std::size_t count) {
+    std::vector<core::Query> queries(
+        testbed_->test_queries.begin(),
+        testbed_->test_queries.begin() +
+            static_cast<std::ptrdiff_t>(
+                std::min(count, testbed_->test_queries.size())));
+    return queries;
+  }
+
+  static Testbed* testbed_;
+  static core::Metasearcher* metasearcher_;
+};
+
+Testbed* DeterminismTest::testbed_ = nullptr;
+core::Metasearcher* DeterminismTest::metasearcher_ = nullptr;
+
+TEST_F(DeterminismTest, RebuildingTheWorldReproducesReports) {
+  // Build the whole world a second time from the same options: corpus,
+  // databases, training, serving must all be bit-stable.
+  Testbed second = BuildHealthTestbed(SmallOptions()).ValueOrDie();
+  std::unique_ptr<core::Metasearcher> other =
+      BuildTrainedMetasearcher(second).ValueOrDie();
+  for (const core::Query& q : ProbeQueries(12)) {
+    auto a = metasearcher_->Select(q, 3, 0.9);
+    auto b = other->Select(q, 3, 0.9);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(Serialize(*a), Serialize(*b));
+  }
+}
+
+TEST_F(DeterminismTest, RepeatedSelectOnOneInstanceIsStable) {
+  // Serving mutates per-query model copies only; the trained state must
+  // not drift between calls.
+  for (const core::Query& q : ProbeQueries(6)) {
+    auto first = metasearcher_->Select(q, 3, 0.95);
+    auto second = metasearcher_->Select(q, 3, 0.95);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(Serialize(*first), Serialize(*second));
+  }
+}
+
+TEST_F(DeterminismTest, BatchReproducesSequentialByteForByte) {
+  std::vector<core::Query> queries = ProbeQueries(16);
+  ThreadPool pool(8);
+  auto batch = metasearcher_->SelectBatch(queries, 3, 0.9, &pool);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto sequential = metasearcher_->Select(queries[i], 3, 0.9);
+    ASSERT_TRUE(sequential.ok());
+    EXPECT_EQ(Serialize((*batch)[i]), Serialize(*sequential))
+        << "query " << i;
+  }
+}
+
+TEST_F(DeterminismTest, BatchIsStableAcrossPoolShapes) {
+  std::vector<core::Query> queries = ProbeQueries(10);
+  ThreadPool wide(8);
+  ThreadPool narrow(2);
+  auto a = metasearcher_->SelectBatch(queries, 2, 0.9, &wide);
+  auto b = metasearcher_->SelectBatch(queries, 2, 0.9, &narrow);
+  auto c = metasearcher_->SelectBatch(queries, 2, 0.9, nullptr);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(Serialize((*a)[i]), Serialize((*b)[i])) << "query " << i;
+    EXPECT_EQ(Serialize((*a)[i]), Serialize((*c)[i])) << "query " << i;
+  }
+}
+
+TEST_F(DeterminismTest, SavedModelServesIdentically) {
+  // Round-trip through the model serializer: a serving replica loaded from
+  // the persisted model must answer exactly like the trainer.
+  std::stringstream stream;
+  ASSERT_TRUE(metasearcher_->SaveTrainedModel(stream).ok());
+  std::vector<std::shared_ptr<core::HiddenWebDatabase>> databases(
+      testbed_->databases.begin(), testbed_->databases.end());
+  auto replica = core::Metasearcher::LoadTrainedModel(stream, databases);
+  ASSERT_TRUE(replica.ok());
+  for (const core::Query& q : ProbeQueries(8)) {
+    auto a = metasearcher_->Select(q, 3, 0.9);
+    auto b = (*replica)->Select(q, 3, 0.9);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(Serialize(*a), Serialize(*b));
+  }
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace metaprobe

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -490,6 +491,225 @@ TEST_P(GreedyVsOptimalTest, GreedyNearOptimalOnTinyInstances) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GreedyVsOptimalTest, ::testing::Range(1, 9));
+
+// --------------------- policy/loop invariants on random instances ---------
+
+// Random discrete model: `num_dbs` databases, 2-4 atoms each.
+TopKModel RandomModel(stats::Rng* rng, int num_dbs) {
+  std::vector<RelevancyDistribution> rds;
+  for (int i = 0; i < num_dbs; ++i) {
+    int atoms = 2 + static_cast<int>(rng->Uniform(0, 3));
+    std::vector<stats::Atom> raw;
+    for (int a = 0; a < atoms; ++a) {
+      raw.push_back(
+          {std::floor(rng->Uniform(0, 15)) * 10, rng->Uniform(0.05, 1.0)});
+    }
+    rds.push_back(Rd(std::move(raw)));
+  }
+  return TopKModel(std::move(rds));
+}
+
+std::vector<std::unique_ptr<ProbingPolicy>> AllPolicies() {
+  std::vector<std::unique_ptr<ProbingPolicy>> policies;
+  policies.push_back(std::make_unique<GreedyUsefulnessPolicy>());
+  policies.push_back(std::make_unique<RandomProbingPolicy>(99));
+  policies.push_back(std::make_unique<RoundRobinProbingPolicy>());
+  policies.push_back(std::make_unique<MaxVarianceProbingPolicy>());
+  policies.push_back(std::make_unique<MembershipEntropyPolicy>());
+  policies.push_back(std::make_unique<StoppingProbabilityPolicy>());
+  policies.push_back(std::make_unique<ExpectimaxProbingPolicy>(2));
+  return policies;
+}
+
+TEST(ProbingPropertyTest, NoPolicyEverProbesADatabaseTwice) {
+  stats::Rng rng(515151);
+  for (auto& policy : AllPolicies()) {
+    for (int trial = 0; trial < 4; ++trial) {
+      const int num_dbs = 4;
+      TopKModel model = RandomModel(&rng, num_dbs);
+      std::vector<double> truths;
+      for (int i = 0; i < num_dbs; ++i) {
+        truths.push_back(std::floor(rng.Uniform(0, 15)) * 10);
+      }
+      AProOptions options;
+      options.k = 2;
+      options.threshold = 1.0;  // force a long probing run
+      AdaptiveProber prober(policy.get(), options);
+      auto result = prober.Run(&model, FixedTruth(truths));
+      ASSERT_TRUE(result.ok()) << policy->name();
+      // Termination: never more attempts than databases...
+      EXPECT_LE(result->probe_order.size(),
+                static_cast<std::size_t>(num_dbs))
+          << policy->name();
+      // ...and no database attempted twice.
+      std::set<std::size_t> unique(result->probe_order.begin(),
+                                   result->probe_order.end());
+      EXPECT_EQ(unique.size(), result->probe_order.size())
+          << policy->name();
+      // Probing everything reaches certainty 1 >= any threshold.
+      EXPECT_TRUE(result->reached_threshold) << policy->name();
+    }
+  }
+}
+
+TEST(ProbingPropertyTest, TotalCostIsTheSumOfPerProbeCosts) {
+  stats::Rng rng(717171);
+  for (auto& policy : AllPolicies()) {
+    const int num_dbs = 4;
+    TopKModel model = RandomModel(&rng, num_dbs);
+    std::vector<double> truths;
+    AProOptions options;
+    options.k = 1;
+    options.threshold = 1.0;
+    for (int i = 0; i < num_dbs; ++i) {
+      truths.push_back(std::floor(rng.Uniform(0, 15)) * 10);
+      options.probe_costs.push_back(std::floor(rng.Uniform(1, 9)));
+    }
+    AdaptiveProber prober(policy.get(), options);
+    auto result = prober.Run(&model, FixedTruth(truths));
+    ASSERT_TRUE(result.ok()) << policy->name();
+    ProbingContext context;
+    context.probe_costs = &options.probe_costs;
+    double expected_cost = 0.0;
+    for (std::size_t db : result->probe_order) {
+      expected_cost += context.CostOf(db);
+    }
+    EXPECT_DOUBLE_EQ(result->total_cost, expected_cost) << policy->name();
+  }
+}
+
+TEST(ProbingPropertyTest, ClonesReproduceTheOriginalRun) {
+  // Clone() must preserve behaviour — including RandomProbingPolicy's
+  // generator state, which the batch serving paths rely on.
+  stats::Rng rng(323232);
+  for (auto& policy : AllPolicies()) {
+    TopKModel model = RandomModel(&rng, 4);
+    TopKModel copy = model;
+    std::vector<double> truths;
+    for (int i = 0; i < 4; ++i) {
+      truths.push_back(std::floor(rng.Uniform(0, 15)) * 10);
+    }
+    std::unique_ptr<ProbingPolicy> clone = policy->Clone();
+    EXPECT_EQ(clone->name(), policy->name());
+    AProOptions options;
+    options.k = 1;
+    options.threshold = 1.0;
+    AdaptiveProber original(policy.get(), options);
+    AdaptiveProber cloned(clone.get(), options);
+    auto a = original.Run(&model, FixedTruth(truths));
+    auto b = cloned.Run(&copy, FixedTruth(truths));
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->probe_order, b->probe_order) << policy->name();
+    EXPECT_EQ(a->selected, b->selected) << policy->name();
+  }
+}
+
+// ----------------------- speculative batch dispatch -----------------------
+
+TEST(SpeculativeBatchTest, BatchOfOneIsTheSequentialLoop) {
+  TopKModel a = Example6Model();
+  TopKModel b = Example6Model();
+  AProOptions sequential;
+  sequential.k = 1;
+  sequential.threshold = 0.9;
+  sequential.record_trace = true;
+  AProOptions batched = sequential;
+  batched.speculative_batch = 1;
+  ThreadPool pool(2);
+  batched.pool = &pool;  // pool present but unused at batch size 1
+  GreedyUsefulnessPolicy policy;
+  auto seq = AdaptiveProber(&policy, sequential).Run(&a, FixedTruth({100, 130}));
+  auto bat = AdaptiveProber(&policy, batched).Run(&b, FixedTruth({100, 130}));
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(bat.ok());
+  EXPECT_EQ(seq->probe_order, bat->probe_order);
+  EXPECT_EQ(seq->selected, bat->selected);
+  EXPECT_DOUBLE_EQ(seq->expected_correctness, bat->expected_correctness);
+  EXPECT_EQ(seq->trace.size(), bat->trace.size());
+}
+
+TEST(SpeculativeBatchTest, KeepsLoopInvariantsWithAndWithoutPool) {
+  stats::Rng rng(454545);
+  for (int with_pool = 0; with_pool < 2; ++with_pool) {
+    ThreadPool pool(3);
+    for (int trial = 0; trial < 4; ++trial) {
+      const int num_dbs = 5;
+      TopKModel model = RandomModel(&rng, num_dbs);
+      std::vector<double> truths;
+      for (int i = 0; i < num_dbs; ++i) {
+        truths.push_back(std::floor(rng.Uniform(0, 15)) * 10);
+      }
+      AProOptions options;
+      options.k = 2;
+      options.threshold = 1.0;
+      options.speculative_batch = 3;
+      options.pool = with_pool == 1 ? &pool : nullptr;
+      options.record_trace = true;
+      StoppingProbabilityPolicy policy;
+      AdaptiveProber prober(&policy, options);
+      auto result = prober.Run(&model, FixedTruth(truths));
+      ASSERT_TRUE(result.ok());
+      std::set<std::size_t> unique(result->probe_order.begin(),
+                                   result->probe_order.end());
+      EXPECT_EQ(unique.size(), result->probe_order.size());
+      EXPECT_LE(result->probe_order.size(),
+                static_cast<std::size_t>(num_dbs));
+      EXPECT_TRUE(result->reached_threshold);
+      // Trace keeps its one-entry-per-attempt shape under batching.
+      EXPECT_EQ(result->trace.size(), result->probe_order.size() + 1);
+    }
+  }
+}
+
+TEST(SpeculativeBatchTest, RespectsProbeBudgetMidBatch) {
+  stats::Rng rng(616161);
+  TopKModel model = RandomModel(&rng, 6);
+  std::vector<double> truths{10, 20, 30, 40, 50, 60};
+  AProOptions options;
+  options.k = 1;
+  options.threshold = 1.0;
+  options.speculative_batch = 4;
+  options.max_probes = 3;  // not a multiple of the batch size
+  StoppingProbabilityPolicy policy;
+  AdaptiveProber prober(&policy, options);
+  auto result = prober.Run(&model, FixedTruth(truths));
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->num_probes(), 3);
+}
+
+TEST(SpeculativeBatchTest, PooledDispatchMatchesInlineDispatch) {
+  // The pool only changes *where* probes run; merge order is the policy's
+  // selection order either way, so results must be identical.
+  stats::Rng rng(818181);
+  for (int trial = 0; trial < 3; ++trial) {
+    TopKModel inline_model = RandomModel(&rng, 5);
+    TopKModel pooled_model = inline_model;
+    std::vector<double> truths;
+    for (int i = 0; i < 5; ++i) {
+      truths.push_back(std::floor(rng.Uniform(0, 15)) * 10);
+    }
+    AProOptions options;
+    options.k = 2;
+    options.threshold = 1.0;
+    options.speculative_batch = 3;
+    StoppingProbabilityPolicy policy;
+    auto inline_run =
+        AdaptiveProber(&policy, options).Run(&inline_model,
+                                             FixedTruth(truths));
+    ThreadPool pool(3);
+    options.pool = &pool;
+    auto pooled_run =
+        AdaptiveProber(&policy, options).Run(&pooled_model,
+                                             FixedTruth(truths));
+    ASSERT_TRUE(inline_run.ok());
+    ASSERT_TRUE(pooled_run.ok());
+    EXPECT_EQ(inline_run->probe_order, pooled_run->probe_order);
+    EXPECT_EQ(inline_run->selected, pooled_run->selected);
+    EXPECT_DOUBLE_EQ(inline_run->expected_correctness,
+                     pooled_run->expected_correctness);
+  }
+}
 
 TEST(GreedyVsRandomTest, GreedyNeedsNoMoreProbesOnAverage) {
   stats::Rng rng(2024);

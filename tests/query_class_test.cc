@@ -11,7 +11,9 @@ namespace {
 Query MakeQuery(int num_terms) {
   Query q;
   for (int i = 0; i < num_terms; ++i) {
-    q.terms.push_back("t" + std::to_string(i));
+    std::string term = "t";
+    term += std::to_string(i);
+    q.terms.push_back(std::move(term));
   }
   return q;
 }

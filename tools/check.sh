@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Full pre-merge check: build and test the tree in two configurations.
+#
+#   1. Release      -- optimized build, full ctest suite.
+#   2. ThreadSanitizer -- RelWithDebInfo + -fsanitize=thread, running the
+#      concurrency-sensitive suites (thread pool, batch serving,
+#      determinism, speculative probing). Any reported race fails the run.
+#
+# Usage: tools/check.sh [jobs]
+#   jobs                parallel build/test jobs (default: nproc)
+# Environment:
+#   METAPROBE_TSAN_FULL=1   run the entire test suite under TSAN (slow)
+#   METAPROBE_SKIP_RELEASE=1 / METAPROBE_SKIP_TSAN=1   skip a configuration
+#
+# Build trees land in build-release/ and build-tsan/, separate from the
+# default build/ so a developer's incremental tree is never clobbered.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+# Test-name filter for the TSAN pass: every suite that exercises threads.
+TSAN_FILTER='ThreadPool|Concurrency|Determinism|SpeculativeBatch'
+
+run_release() {
+  echo "=== [1/2] Release build + full test suite ==="
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+  cmake --build build-release -j "$JOBS"
+  ctest --test-dir build-release --output-on-failure -j "$JOBS"
+}
+
+run_tsan() {
+  echo "=== [2/2] ThreadSanitizer build + concurrency suites ==="
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" > /dev/null
+  cmake --build build-tsan -j "$JOBS"
+  local filter=(-R "$TSAN_FILTER")
+  if [[ "${METAPROBE_TSAN_FULL:-0}" == "1" ]]; then
+    filter=()
+  fi
+  # halt_on_error: the first race aborts the offending test immediately,
+  # and TSAN's nonzero exit code fails ctest.
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan --output-on-failure -j "$JOBS" "${filter[@]}"
+}
+
+if [[ "${METAPROBE_SKIP_RELEASE:-0}" != "1" ]]; then
+  run_release
+fi
+if [[ "${METAPROBE_SKIP_TSAN:-0}" != "1" ]]; then
+  run_tsan
+fi
+echo "=== all checks passed ==="
