@@ -1,5 +1,13 @@
 // Microbenchmarks for the probabilistic core: RD derivation, expected
 // correctness evaluation, best-set search and the greedy probing step.
+//
+// `--json[=path]` additionally writes the results as google-benchmark JSON
+// (default path BENCH_core.json), the machine-readable perf trajectory the
+// CI perf-smoke step uploads; see EXPERIMENTS.md.
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -43,8 +51,13 @@ BENCHMARK(BM_RdDerivation);
 void BM_MembershipProbabilities(benchmark::State& state) {
   core::TopKModel model = MakeModel(11);
   const int k = static_cast<int>(state.range(0));
+  // Alternate k between iterations: the model memoizes the marginals per
+  // k, and the bench should time the leave-one-out sweep, not the memo hit.
+  const int ks[2] = {k, k == 1 ? 2 : k - 1};
+  int which = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(model.MembershipProbabilities(k));
+    benchmark::DoNotOptimize(model.MembershipProbabilities(ks[which]));
+    which ^= 1;
   }
 }
 BENCHMARK(BM_MembershipProbabilities)->Arg(1)->Arg(3);
@@ -117,4 +130,33 @@ BENCHMARK(BM_PearsonChiSquare);
 }  // namespace
 }  // namespace metaprobe
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Translate `--json[=path]` into google-benchmark's JSON output flags,
+  // forwarding everything else untouched.
+  std::string out_path = "BENCH_core.json";
+  bool json = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json", 6) == 0 &&
+        (argv[i][6] == '\0' || argv[i][6] == '=')) {
+      json = true;
+      if (argv[i][6] == '=') out_path = argv[i] + 7;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  std::string out_flag = "--benchmark_out=" + out_path;
+  std::string format_flag = "--benchmark_out_format=json";
+  if (json) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

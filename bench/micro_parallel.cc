@@ -13,10 +13,18 @@
 // queries, 2x or better at 4 workers vs 1. A second table reports the same
 // run with the RD cache enabled, plus its hit rate.
 
+// `--json[=path]` additionally writes the per-configuration results as JSON
+// (default path BENCH_parallel.json) for the machine-readable perf
+// trajectory; see EXPERIMENTS.md.
+
 #include <atomic>
 #include <chrono>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -94,7 +102,7 @@ RunStats TimeBatch(const core::Metasearcher& searcher,
   return stats;
 }
 
-int Run() {
+int Run(const char* json_path) {
   eval::TestbedOptions testbed_options;
   testbed_options.scale =
       static_cast<std::uint32_t>(GetEnvLong("METAPROBE_SCALE", 1));
@@ -123,6 +131,14 @@ int Run() {
 
   std::cout << "serving " << queries.size() << " queries, probe latency "
             << latency.count() << " us, threshold " << threshold << "\n\n";
+
+  std::ostringstream json;
+  json << "{\n  \"context\": {\"scale\": " << testbed_options.scale
+       << ", \"train\": " << testbed_options.train_queries_per_term_count
+       << ", \"test\": " << testbed_options.test_queries_per_term_count
+       << ", \"latency_us\": " << latency.count() << ", \"k\": " << k
+       << ", \"threshold\": " << threshold << "},\n  \"benchmarks\": [";
+  bool first_json_row = true;
 
   const std::vector<unsigned> worker_counts{1, 2, 4, 8};
   for (int cached = 0; cached < 2; ++cached) {
@@ -154,6 +170,15 @@ int Run() {
                     eval::Cell(static_cast<std::size_t>(
                         run.serving.probes_issued)),
                     eval::Cell(100.0 * run.serving.rd_cache_hit_rate(), 1)});
+      json << (first_json_row ? "" : ",") << "\n    {\"name\": "
+           << "\"SelectBatch/cache_" << (cached ? "on" : "off")
+           << "/workers:" << workers << "\", \"seconds\": " << run.seconds
+           << ", \"qps\": " << run.qps
+           << ", \"speedup\": " << (base_qps > 0.0 ? run.qps / base_qps : 0.0)
+           << ", \"probes\": " << run.serving.probes_issued
+           << ", \"rd_cache_hit_pct\": "
+           << 100.0 * run.serving.rd_cache_hit_rate() << "}";
+      first_json_row = false;
     }
     std::cout << "\n=== SelectBatch throughput (RD cache "
               << (cached ? "on" : "off") << ") ===\n";
@@ -162,10 +187,31 @@ int Run() {
   }
   std::cout << "(speedup = qps relative to 1 worker; with latency-bound\n"
                " probes this tracks worker count even on a single core)\n";
+  if (json_path != nullptr) {
+    json << "\n  ]\n}\n";
+    std::ofstream out(json_path);
+    out << json.str();
+    if (!out) {
+      std::cerr << "failed to write " << json_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << json_path << "\n";
+  }
   return 0;
 }
 
 }  // namespace
 }  // namespace metaprobe
 
-int main() { return metaprobe::Run(); }
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json", 6) == 0) {
+      json_path = argv[i][6] == '=' ? argv[i] + 7 : "BENCH_parallel.json";
+    } else {
+      std::cerr << "unknown flag: " << argv[i] << "\n";
+      return 1;
+    }
+  }
+  return metaprobe::Run(json_path);
+}

@@ -42,109 +42,123 @@ void TopKModel::Observe(std::size_t i, double actual) {
   METAPROBE_DCHECK(i < dists_.size(), "Observe index out of range");
   dists_[i] = stats::DiscreteDistribution::Impulse(actual + Bias(i));
   probed_[i] = true;
+  // The observed value is usually off-grid, so EnsureCache's dirty-row check
+  // escalates to a full rebuild on the next evaluation.
+  InvalidateDb(i);
 }
 
-std::vector<double> TopKModel::MembershipProbabilities(int k) const {
-  const std::size_t n = dists_.size();
-  std::vector<double> result(n, 1.0);
-  if (k <= 0) {
-    std::fill(result.begin(), result.end(), 0.0);
-    return result;
-  }
-  if (static_cast<std::size_t>(k) >= n) return result;
+// ------------------------------------------------------------ kernel cache
 
-  std::vector<double> dp(static_cast<std::size_t>(k), 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    double p_in = 0.0;
-    for (const stats::Atom& atom : dists_[i].atoms()) {
-      // Poisson-binomial DP over the other databases: dp[c] = probability
-      // that exactly c of them exceed atom.value; mass reaching c == k is
-      // dropped (absorbed by "not in top-k").
-      std::fill(dp.begin(), dp.end(), 0.0);
-      dp[0] = 1.0;
-      for (std::size_t j = 0; j < n; ++j) {
-        if (j == i) continue;
-        double q = dists_[j].PrGreaterThan(atom.value);
-        if (q <= 0.0) continue;
-        for (int c = k - 1; c >= 1; --c) {
-          dp[c] = dp[c] * (1.0 - q) + dp[c - 1] * q;
-        }
-        dp[0] *= (1.0 - q);
+void TopKModel::InvalidateDb(std::size_t i) const {
+  cache_.marginals_k = -1;
+  if (cache_.valid) {
+    cache_.dirty[i] = true;
+    cache_.any_dirty = true;
+  }
+}
+
+void TopKModel::RecomputeRow(std::size_t i) const {
+  KernelCache& c = cache_;
+  const std::size_t g_size = c.grid.size();
+  dists_[i].FillTailTables(c.grid, &c.tail_ge[i * g_size],
+                           &c.tail_gt[i * g_size]);
+  std::vector<std::uint32_t>& index = c.atom_index[i];
+  index.clear();
+  auto git = c.grid.begin();
+  for (const stats::Atom& a : dists_[i].atoms()) {
+    git = std::lower_bound(git, c.grid.end(), a.value);
+    METAPROBE_DCHECK(git != c.grid.end() && *git == a.value,
+                     "support value missing from kernel grid");
+    index.push_back(static_cast<std::uint32_t>(git - c.grid.begin()));
+  }
+}
+
+void TopKModel::RebuildCache() const {
+  KernelCache& c = cache_;
+  const std::size_t n = dists_.size();
+  c.grid.clear();
+  for (const stats::DiscreteDistribution& dist : dists_) {
+    for (const stats::Atom& a : dist.atoms()) c.grid.push_back(a.value);
+  }
+  std::sort(c.grid.begin(), c.grid.end());
+  c.grid.erase(std::unique(c.grid.begin(), c.grid.end()), c.grid.end());
+  const std::size_t g_size = c.grid.size();
+  c.tail_ge.assign(n * g_size, 0.0);
+  c.tail_gt.assign(n * g_size, 0.0);
+  c.atom_index.resize(n);
+  c.dirty.assign(n, false);
+  c.any_dirty = false;
+  c.marginals_k = -1;
+  for (std::size_t i = 0; i < n; ++i) RecomputeRow(i);
+  ++c.generation;
+  c.valid = true;
+}
+
+void TopKModel::EnsureCache() const {
+  if (!cache_.valid) {
+    RebuildCache();
+    return;
+  }
+  if (!cache_.any_dirty) return;
+  // Row-level repair is only possible while every stale database's support
+  // still lies on the grid (ScopedCondition pins to existing grid points;
+  // Observe typically introduces a new value and lands in the else branch).
+  for (std::size_t i = 0; i < dists_.size(); ++i) {
+    if (!cache_.dirty[i]) continue;
+    for (const stats::Atom& a : dists_[i].atoms()) {
+      auto it = std::lower_bound(cache_.grid.begin(), cache_.grid.end(),
+                                 a.value);
+      if (it == cache_.grid.end() || *it != a.value) {
+        RebuildCache();
+        return;
       }
-      double pr_at_most_k_minus_1 =
-          std::accumulate(dp.begin(), dp.end(), 0.0);
-      p_in += atom.prob * pr_at_most_k_minus_1;
-    }
-    result[i] = std::min(p_in, 1.0);
-  }
-  return result;
-}
-
-double TopKModel::PrExactTopSet(const std::vector<std::size_t>& set) const {
-  const std::size_t n = dists_.size();
-  if (set.empty()) return 0.0;
-  if (set.size() >= n) return 1.0;
-
-  // Candidate thresholds: every support value of the set's members (the
-  // minimum over the set must land on one of them).
-  std::vector<double> thresholds;
-  for (std::size_t s : set) {
-    METAPROBE_DCHECK(s < n, "set member out of range");
-    for (const stats::Atom& atom : dists_[s].atoms()) {
-      thresholds.push_back(atom.value);
     }
   }
-  std::sort(thresholds.begin(), thresholds.end());
-  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
-                   thresholds.end());
-
-  std::vector<bool> in_set(n, false);
-  for (std::size_t s : set) in_set[s] = true;
-
-  double total = 0.0;
-  for (double v : thresholds) {
-    // Pr(min over set == v) = prod Pr(X_s >= v) - prod Pr(X_s > v).
-    double pr_all_ge = 1.0;
-    double pr_all_gt = 1.0;
-    for (std::size_t s : set) {
-      pr_all_ge *= dists_[s].PrAtLeast(v);
-      pr_all_gt *= dists_[s].PrGreaterThan(v);
-      if (pr_all_ge <= 0.0) break;
+  for (std::size_t i = 0; i < dists_.size(); ++i) {
+    if (cache_.dirty[i]) {
+      RecomputeRow(i);
+      cache_.dirty[i] = false;
     }
-    double pr_min_eq = pr_all_ge - pr_all_gt;
-    if (pr_min_eq <= 0.0) continue;
-    // Every non-member must fall strictly below v.
-    double pr_others_below = 1.0;
-    for (std::size_t j = 0; j < n && pr_others_below > 0.0; ++j) {
-      if (!in_set[j]) pr_others_below *= dists_[j].PrLessThan(v);
-    }
-    total += pr_min_eq * pr_others_below;
   }
-  return std::clamp(total, 0.0, 1.0);
-}
-
-double TopKModel::ExpectedPartialCorrectness(
-    const std::vector<std::size_t>& set) const {
-  if (set.empty()) return 0.0;
-  std::vector<double> marginals =
-      MembershipProbabilities(static_cast<int>(set.size()));
-  double sum = 0.0;
-  for (std::size_t s : set) sum += marginals[s];
-  return sum / static_cast<double>(set.size());
-}
-
-double TopKModel::ExpectedCorrectness(const std::vector<std::size_t>& set,
-                                      CorrectnessMetric metric) const {
-  switch (metric) {
-    case CorrectnessMetric::kAbsolute:
-      return PrExactTopSet(set);
-    case CorrectnessMetric::kPartial:
-      return ExpectedPartialCorrectness(set);
-  }
-  return 0.0;
+  cache_.any_dirty = false;
 }
 
 namespace {
+
+// Truncated Poisson-binomial DP helpers. dp[c] = Pr(exactly c successes)
+// for c < k; mass at >= k is dropped (absorbed by "not in top-k").
+
+// Folds one Bernoulli(q) into dp. Numerically benign: a convex average.
+inline void AddBernoulli(double* dp, std::size_t k, double q) {
+  for (std::size_t c = k; c-- > 1;) {
+    dp[c] = dp[c] * (1.0 - q) + dp[c - 1] * q;
+  }
+  dp[0] *= (1.0 - q);
+}
+
+// Inverse of AddBernoulli (bottom-up deconvolution):
+//   out[c] = (dp[c] - out[c-1] * q) / (1 - q).
+// Divides by (1 - q), so existing error is amplified by ~1/(1 - 2q);
+// callers gate on q before using it (DESIGN.md §9 derives the thresholds).
+inline void RemoveBernoulli(const double* dp, std::size_t k, double q,
+                            double* out) {
+  const double r = 1.0 / (1.0 - q);
+  out[0] = dp[0] * r;
+  for (std::size_t c = 1; c < k; ++c) {
+    out[c] = (dp[c] - out[c - 1] * q) * r;
+  }
+}
+
+// Direct DP over every q[j] except j == skip (pass q.size() to skip none).
+inline void BuildDp(const std::vector<double>& q, std::size_t skip,
+                    std::size_t k, double* dp) {
+  std::fill(dp, dp + k, 0.0);
+  dp[0] = 1.0;
+  for (std::size_t j = 0; j < q.size(); ++j) {
+    if (j == skip || q[j] <= 0.0) continue;
+    AddBernoulli(dp, k, q[j]);
+  }
+}
 
 // Enumerates k-subsets of `candidates`, invoking fn(subset).
 void ForEachSubset(const std::vector<std::size_t>& candidates, std::size_t k,
@@ -163,6 +177,190 @@ void ForEachSubset(const std::vector<std::size_t>& candidates, std::size_t k,
 }
 
 }  // namespace
+
+std::vector<double> TopKModel::MembershipProbabilities(int k) const {
+  const std::size_t n = dists_.size();
+  std::vector<double> result(n, 1.0);
+  if (k <= 0) {
+    std::fill(result.begin(), result.end(), 0.0);
+    return result;
+  }
+  if (static_cast<std::size_t>(k) >= n) return result;
+  EnsureCache();
+  KernelCache& c = cache_;
+  if (c.marginals_k == k) return c.marginals;
+
+  const std::size_t kk = static_cast<std::size_t>(k);
+  const std::size_t g_size = c.grid.size();
+
+  // CSR reverse index: the (database, atom prob) pairs sitting at each grid
+  // point. Distinct databases share a grid point only when conditioning
+  // makes two adjusted values collide, but the layout handles it anyway.
+  c.entry_start.assign(g_size + 1, 0);
+  std::size_t total_atoms = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::uint32_t g : c.atom_index[i]) ++c.entry_start[g + 1];
+    total_atoms += c.atom_index[i].size();
+  }
+  for (std::size_t g = 0; g < g_size; ++g) {
+    c.entry_start[g + 1] += c.entry_start[g];
+  }
+  c.entry_db.resize(total_atoms);
+  c.entry_prob.resize(total_atoms);
+  c.scratch_u32.assign(c.entry_start.begin(), c.entry_start.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<stats::Atom>& atoms = dists_[i].atoms();
+    for (std::size_t a = 0; a < atoms.size(); ++a) {
+      std::uint32_t pos = c.scratch_u32[c.atom_index[i][a]]++;
+      c.entry_db[pos] = static_cast<std::uint32_t>(i);
+      c.entry_prob[pos] = atoms[a].prob;
+    }
+  }
+
+  // Leave-one-out sweep (DESIGN.md §9): walk the grid top-down maintaining
+  // dp = PoissonBinomial({q_j = Pr(X_j > v)}) truncated below k. At a grid
+  // point carrying database i's atom, deconvolving q_i out of dp yields the
+  // "others" DP the membership integrand needs; afterwards the atom's mass
+  // moves into q_i (it counts as "exceeding" for all lower thresholds).
+  //
+  // Numerical policy: deconvolution divides by (1 - q) and amplifies error
+  // by ~1/(1 - 2q) per entry, so (a) query removals fall back to the direct
+  // DP once q exceeds a k-aware bound, (b) update removals only run while
+  // q <= 0.25 and a running amplification product triggers a fresh rebuild
+  // of dp before accumulated error can reach the 1e-12 equivalence budget.
+  const double query_q_max =
+      1.0 - std::pow(10.0, -1.5 / static_cast<double>(kk));
+  const double update_q_max = 0.25;
+  const double err_cap = 32.0;
+  double err_scale = 1.0;
+
+  c.q.assign(n, 0.0);
+  c.dp.assign(kk, 0.0);
+  c.dp[0] = 1.0;
+  c.loo.resize(kk);
+  c.dp_scratch.resize(kk);
+  std::fill(result.begin(), result.end(), 0.0);
+
+  for (std::size_t g = g_size; g-- > 0;) {
+    const std::uint32_t begin = c.entry_start[g];
+    const std::uint32_t end = c.entry_start[g + 1];
+    // Queries first: dp still excludes the atoms at this grid point, so
+    // q_j == Pr(X_j > grid[g]) for every j, exactly what the naive kernel
+    // evaluates at this threshold.
+    for (std::uint32_t e = begin; e < end; ++e) {
+      const std::size_t i = c.entry_db[e];
+      const double qi = c.q[i];
+      if (qi <= 0.0) {
+        std::copy(c.dp.begin(), c.dp.end(), c.loo.begin());
+      } else if (qi < query_q_max) {
+        RemoveBernoulli(c.dp.data(), kk, qi, c.loo.data());
+      } else {
+        BuildDp(c.q, i, kk, c.loo.data());
+      }
+      double pr_at_most = 0.0;
+      for (std::size_t cc = 0; cc < kk; ++cc) pr_at_most += c.loo[cc];
+      result[i] += c.entry_prob[e] * pr_at_most;
+    }
+    // Updates: fold the atoms at this grid point into their databases' q.
+    for (std::uint32_t e = begin; e < end; ++e) {
+      const std::size_t i = c.entry_db[e];
+      const double q_old = c.q[i];
+      const double q_new = q_old + c.entry_prob[e];
+      if (q_old <= 0.0) {
+        AddBernoulli(c.dp.data(), kk, q_new);
+        c.q[i] = q_new;
+      } else if (q_old < update_q_max) {
+        RemoveBernoulli(c.dp.data(), kk, q_old, c.dp_scratch.data());
+        AddBernoulli(c.dp_scratch.data(), kk, q_new);
+        std::copy(c.dp_scratch.begin(), c.dp_scratch.end(), c.dp.begin());
+        c.q[i] = q_new;
+        err_scale *= 1.0 / (1.0 - 2.0 * q_old);
+        if (err_scale > err_cap) {
+          BuildDp(c.q, n, kk, c.dp.data());
+          err_scale = 1.0;
+        }
+      } else {
+        c.q[i] = q_new;
+        BuildDp(c.q, n, kk, c.dp.data());
+        err_scale = 1.0;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) result[i] = std::min(result[i], 1.0);
+  c.marginals_k = k;
+  c.marginals = result;
+  return result;
+}
+
+double TopKModel::PrExactTopSet(const std::vector<std::size_t>& set) const {
+  const std::size_t n = dists_.size();
+  if (set.empty()) return 0.0;
+  if (set.size() >= n) return 1.0;
+  EnsureCache();
+  const KernelCache& c = cache_;
+  const std::size_t g_size = c.grid.size();
+
+  // Candidate thresholds: every support point of the set's members (the
+  // minimum over the set must land on one of them), as grid indices.
+  std::vector<std::uint32_t> thresholds;
+  std::vector<char> in_set(n, 0);
+  for (std::size_t s : set) {
+    METAPROBE_DCHECK(s < n, "set member out of range");
+    in_set[s] = 1;
+    thresholds.insert(thresholds.end(), c.atom_index[s].begin(),
+                      c.atom_index[s].end());
+  }
+  std::sort(thresholds.begin(), thresholds.end());
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                   thresholds.end());
+
+  double total = 0.0;
+  for (std::uint32_t g : thresholds) {
+    // Pr(min over set == v) = prod Pr(X_s >= v) - prod Pr(X_s > v).
+    double pr_all_ge = 1.0;
+    double pr_all_gt = 1.0;
+    for (std::size_t s : set) {
+      pr_all_ge *= c.tail_ge[s * g_size + g];
+      pr_all_gt *= c.tail_gt[s * g_size + g];
+    }
+    double pr_min_eq = pr_all_ge - pr_all_gt;
+    if (pr_min_eq <= 0.0) continue;
+    // Every non-member must fall strictly below v.
+    double pr_others_below = 1.0;
+    for (std::size_t j = 0; j < n && pr_others_below > 0.0; ++j) {
+      if (!in_set[j]) pr_others_below *= 1.0 - c.tail_ge[j * g_size + g];
+    }
+    total += pr_min_eq * pr_others_below;
+  }
+  return std::clamp(total, 0.0, 1.0);
+}
+
+double TopKModel::ExpectedPartialCorrectness(
+    const std::vector<std::size_t>& set) const {
+  if (set.empty()) return 0.0;
+  return ExpectedPartialCorrectness(
+      set, MembershipProbabilities(static_cast<int>(set.size())));
+}
+
+double TopKModel::ExpectedPartialCorrectness(
+    const std::vector<std::size_t>& set,
+    const std::vector<double>& marginals) const {
+  if (set.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t s : set) sum += marginals[s];
+  return sum / static_cast<double>(set.size());
+}
+
+double TopKModel::ExpectedCorrectness(const std::vector<std::size_t>& set,
+                                      CorrectnessMetric metric) const {
+  switch (metric) {
+    case CorrectnessMetric::kAbsolute:
+      return PrExactTopSet(set);
+    case CorrectnessMetric::kPartial:
+      return ExpectedPartialCorrectness(set);
+  }
+  return 0.0;
+}
 
 TopKModel::BestSet TopKModel::FindBestSet(int k, CorrectnessMetric metric,
                                           int search_width) const {
@@ -188,9 +386,8 @@ TopKModel::BestSet TopKModel::FindBestSet(int k, CorrectnessMetric metric,
     // E[Cor_p] of a set is the mean of its members' membership
     // probabilities, so the top-k by marginal is exactly optimal.
     best.members.assign(order.begin(), order.begin() + k);
-    double sum = 0.0;
-    for (std::size_t s : best.members) sum += marginals[s];
-    best.expected_correctness = sum / static_cast<double>(k);
+    best.expected_correctness =
+        ExpectedPartialCorrectness(best.members, marginals);
     std::sort(best.members.begin(), best.members.end());
     return best;
   }
@@ -200,41 +397,166 @@ TopKModel::BestSet TopKModel::FindBestSet(int k, CorrectnessMetric metric,
       n, static_cast<std::size_t>(k) + static_cast<std::size_t>(
                                            std::max(search_width, 0)));
   std::vector<std::size_t> candidates(order.begin(), order.begin() + pool);
+
+  // Subset scoring runs on the kernel cache in O(k) per threshold: the
+  // product of Pr(X_j < v) over ALL databases is precomputed per grid point
+  // (zero factors counted separately so they can be divided back out), and
+  // a subset's "everyone else falls below v" term is that product with the
+  // subset's own k factors divided out.
+  KernelCache& c = cache_;
+  const std::size_t g_size = c.grid.size();
+  c.all_prod.assign(g_size, 1.0);
+  c.all_zero.assign(g_size, 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double* ge = &c.tail_ge[j * g_size];
+    for (std::size_t g = 0; g < g_size; ++g) {
+      const double lt = 1.0 - ge[g];
+      if (lt <= 0.0) {
+        ++c.all_zero[g];
+      } else {
+        c.all_prod[g] *= lt;
+      }
+    }
+  }
+
   best.expected_correctness = -1.0;
   std::vector<std::size_t> scratch;
-  ForEachSubset(candidates, static_cast<std::size_t>(k), 0, &scratch,
-                [&](const std::vector<std::size_t>& subset) {
-                  double p = PrExactTopSet(subset);
-                  if (p > best.expected_correctness) {
-                    best.expected_correctness = p;
-                    best.members = subset;
-                  }
-                });
+  ForEachSubset(
+      candidates, static_cast<std::size_t>(k), 0, &scratch,
+      [&](const std::vector<std::size_t>& subset) {
+        // Thresholds: union of the members' support points (off-support
+        // grid values contribute Pr(min == v) = 0 and can be skipped).
+        std::vector<std::uint32_t>& thresholds = c.scratch_u32;
+        thresholds.clear();
+        for (std::size_t s : subset) {
+          thresholds.insert(thresholds.end(), c.atom_index[s].begin(),
+                            c.atom_index[s].end());
+        }
+        std::sort(thresholds.begin(), thresholds.end());
+        thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                         thresholds.end());
+        double total = 0.0;
+        for (std::uint32_t g : thresholds) {
+          double pr_all_ge = 1.0;
+          double pr_all_gt = 1.0;
+          for (std::size_t s : subset) {
+            pr_all_ge *= c.tail_ge[s * g_size + g];
+            pr_all_gt *= c.tail_gt[s * g_size + g];
+          }
+          const double pr_min_eq = pr_all_ge - pr_all_gt;
+          if (pr_min_eq <= 0.0) continue;
+          std::uint32_t zeros = c.all_zero[g];
+          double member_prod = 1.0;
+          for (std::size_t s : subset) {
+            const double lt = 1.0 - c.tail_ge[s * g_size + g];
+            if (lt <= 0.0) {
+              --zeros;
+            } else {
+              member_prod *= lt;
+            }
+          }
+          if (zeros > 0) continue;  // some non-member never falls below v
+          double pr_others_below;
+          if (member_prod > 1e-290) {
+            pr_others_below = c.all_prod[g] / member_prod;
+          } else {
+            // Underflow guard: recompute the complement product directly.
+            pr_others_below = 1.0;
+            for (std::size_t j = 0; j < n; ++j) {
+              if (std::find(subset.begin(), subset.end(), j) ==
+                  subset.end()) {
+                pr_others_below *= 1.0 - c.tail_ge[j * g_size + g];
+              }
+            }
+          }
+          total += pr_min_eq * pr_others_below;
+        }
+        total = std::clamp(total, 0.0, 1.0);
+        if (total > best.expected_correctness) {
+          best.expected_correctness = total;
+          best.members = subset;
+        }
+      });
   std::sort(best.members.begin(), best.members.end());
   return best;
 }
 
 TopKModel::ScopedCondition::ScopedCondition(TopKModel* model, std::size_t i,
                                             double adjusted_value)
-    : model_(model), index_(i), saved_(model->dists_[i]) {
+    : model_(model), index_(i) {
+  // Swap (not copy) the RD out; the saved distribution goes back in the
+  // destructor, so no atom vector is ever duplicated.
+  using std::swap;
+  swap(saved_, model_->dists_[i]);
   model_->dists_[i] = stats::DiscreteDistribution::Impulse(adjusted_value);
+  KernelCache& c = model_->cache_;
+  c.marginals_k = -1;
+  if (c.valid && !c.dirty[i]) {
+    auto it = std::lower_bound(c.grid.begin(), c.grid.end(), adjusted_value);
+    if (it != c.grid.end() && *it == adjusted_value) {
+      // Fast path: the pinned value is a grid point (it always is when the
+      // caller pins to a SupportOf value), so the grid stays valid and only
+      // this database's tail row changes. Save the row, overwrite it with
+      // the impulse pattern, restore on destruction.
+      const std::size_t g_size = c.grid.size();
+      const std::size_t idx =
+          static_cast<std::size_t>(it - c.grid.begin());
+      fast_restore_ = true;
+      generation_ = c.generation;
+      double* ge = &c.tail_ge[i * g_size];
+      double* gt = &c.tail_gt[i * g_size];
+      saved_ge_.assign(ge, ge + g_size);
+      saved_gt_.assign(gt, gt + g_size);
+      saved_atom_index_ = std::move(c.atom_index[i]);
+      std::fill(ge, ge + idx + 1, 1.0);
+      std::fill(ge + idx + 1, ge + g_size, 0.0);
+      std::fill(gt, gt + idx, 1.0);
+      std::fill(gt + idx, gt + g_size, 0.0);
+      c.atom_index[i] = {static_cast<std::uint32_t>(idx)};
+      return;
+    }
+  }
+  model_->InvalidateDb(i);
 }
 
 TopKModel::ScopedCondition::~ScopedCondition() {
   model_->dists_[index_] = std::move(saved_);
+  KernelCache& c = model_->cache_;
+  c.marginals_k = -1;
+  if (fast_restore_ && c.valid && c.generation == generation_) {
+    const std::size_t g_size = c.grid.size();
+    std::copy(saved_ge_.begin(), saved_ge_.end(),
+              &c.tail_ge[index_ * g_size]);
+    std::copy(saved_gt_.begin(), saved_gt_.end(),
+              &c.tail_gt[index_ * g_size]);
+    c.atom_index[index_] = std::move(saved_atom_index_);
+    // If something inside the scope marked this row dirty (e.g. a nested
+    // Observe), the flag survives and EnsureCache recomputes the row from
+    // the restored RD — the restore above is then merely redundant.
+  } else {
+    model_->InvalidateDb(index_);
+  }
 }
 
 std::vector<std::size_t> TopKModel::SampleRanking(stats::Rng* rng) const {
+  std::vector<double> sampled;
+  std::vector<std::size_t> order;
+  SampleRankingInto(rng, &sampled, &order);
+  return order;
+}
+
+void TopKModel::SampleRankingInto(stats::Rng* rng,
+                                  std::vector<double>* sampled,
+                                  std::vector<std::size_t>* order) const {
   const std::size_t n = dists_.size();
-  std::vector<double> sampled(n);
-  for (std::size_t i = 0; i < n; ++i) sampled[i] = dists_[i].Sample(rng);
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    if (sampled[a] != sampled[b]) return sampled[a] > sampled[b];
+  sampled->resize(n);
+  for (std::size_t i = 0; i < n; ++i) (*sampled)[i] = dists_[i].Sample(rng);
+  order->resize(n);
+  std::iota(order->begin(), order->end(), 0);
+  std::sort(order->begin(), order->end(), [&](std::size_t a, std::size_t b) {
+    if ((*sampled)[a] != (*sampled)[b]) return (*sampled)[a] > (*sampled)[b];
     return a < b;
   });
-  return order;
 }
 
 double MonteCarloExpectedCorrectness(const TopKModel& model,
@@ -243,17 +565,30 @@ double MonteCarloExpectedCorrectness(const TopKModel& model,
                                      std::size_t num_samples,
                                      stats::Rng* rng) {
   if (num_samples == 0 || set.empty()) return 0.0;
-  const int k = static_cast<int>(set.size());
+  const std::size_t k = set.size();
   std::vector<std::size_t> sorted_set = set;
   std::sort(sorted_set.begin(), sorted_set.end());
+  // Scratch reused across samples: the per-sample draw/sort used to
+  // allocate three vectors per iteration.
+  std::vector<double> sampled;
+  std::vector<std::size_t> ranking;
+  std::vector<std::size_t> topk;
+  std::vector<std::size_t> overlap;
   double total = 0.0;
   for (std::size_t s = 0; s < num_samples; ++s) {
-    std::vector<std::size_t> ranking = model.SampleRanking(rng);
-    std::vector<std::size_t> topk(ranking.begin(), ranking.begin() + k);
+    model.SampleRankingInto(rng, &sampled, &ranking);
+    topk.assign(ranking.begin(), ranking.begin() + k);
     std::sort(topk.begin(), topk.end());
-    total += metric == CorrectnessMetric::kAbsolute
-                 ? AbsoluteCorrectness(sorted_set, topk)
-                 : PartialCorrectness(sorted_set, topk);
+    if (metric == CorrectnessMetric::kAbsolute) {
+      total += sorted_set == topk ? 1.0 : 0.0;
+    } else {
+      overlap.clear();
+      std::set_intersection(sorted_set.begin(), sorted_set.end(),
+                            topk.begin(), topk.end(),
+                            std::back_inserter(overlap));
+      total += static_cast<double>(overlap.size()) /
+               static_cast<double>(sorted_set.size());
+    }
   }
   return total / static_cast<double>(num_samples);
 }
@@ -294,6 +629,148 @@ double PartialCorrectness(const std::vector<std::size_t>& selected,
   return static_cast<double>(overlap.size()) /
          static_cast<double>(selected.size());
 }
+
+// ---------------------------------------------------- reference kernel
+
+namespace reference {
+
+std::vector<double> MembershipProbabilities(const TopKModel& model, int k) {
+  const std::size_t n = model.num_databases();
+  std::vector<double> result(n, 1.0);
+  if (k <= 0) {
+    std::fill(result.begin(), result.end(), 0.0);
+    return result;
+  }
+  if (static_cast<std::size_t>(k) >= n) return result;
+
+  std::vector<double> dp(static_cast<std::size_t>(k), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double p_in = 0.0;
+    for (const stats::Atom& atom : model.rd(i).atoms()) {
+      // Poisson-binomial DP over the other databases: dp[c] = probability
+      // that exactly c of them exceed atom.value; mass reaching c == k is
+      // dropped (absorbed by "not in top-k").
+      std::fill(dp.begin(), dp.end(), 0.0);
+      dp[0] = 1.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        double q = model.rd(j).PrGreaterThan(atom.value);
+        if (q <= 0.0) continue;
+        for (int c = k - 1; c >= 1; --c) {
+          dp[c] = dp[c] * (1.0 - q) + dp[c - 1] * q;
+        }
+        dp[0] *= (1.0 - q);
+      }
+      double pr_at_most_k_minus_1 =
+          std::accumulate(dp.begin(), dp.end(), 0.0);
+      p_in += atom.prob * pr_at_most_k_minus_1;
+    }
+    result[i] = std::min(p_in, 1.0);
+  }
+  return result;
+}
+
+double PrExactTopSet(const TopKModel& model,
+                     const std::vector<std::size_t>& set) {
+  const std::size_t n = model.num_databases();
+  if (set.empty()) return 0.0;
+  if (set.size() >= n) return 1.0;
+
+  std::vector<double> thresholds;
+  for (std::size_t s : set) {
+    for (const stats::Atom& atom : model.rd(s).atoms()) {
+      thresholds.push_back(atom.value);
+    }
+  }
+  std::sort(thresholds.begin(), thresholds.end());
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                   thresholds.end());
+
+  std::vector<bool> in_set(n, false);
+  for (std::size_t s : set) in_set[s] = true;
+
+  double total = 0.0;
+  for (double v : thresholds) {
+    double pr_all_ge = 1.0;
+    double pr_all_gt = 1.0;
+    for (std::size_t s : set) {
+      pr_all_ge *= model.rd(s).PrAtLeast(v);
+      pr_all_gt *= model.rd(s).PrGreaterThan(v);
+      if (pr_all_ge <= 0.0) break;
+    }
+    double pr_min_eq = pr_all_ge - pr_all_gt;
+    if (pr_min_eq <= 0.0) continue;
+    double pr_others_below = 1.0;
+    for (std::size_t j = 0; j < n && pr_others_below > 0.0; ++j) {
+      if (!in_set[j]) pr_others_below *= model.rd(j).PrLessThan(v);
+    }
+    total += pr_min_eq * pr_others_below;
+  }
+  return std::clamp(total, 0.0, 1.0);
+}
+
+double ExpectedCorrectness(const TopKModel& model,
+                           const std::vector<std::size_t>& set,
+                           CorrectnessMetric metric) {
+  if (set.empty()) return 0.0;
+  if (metric == CorrectnessMetric::kAbsolute) {
+    return PrExactTopSet(model, set);
+  }
+  std::vector<double> marginals =
+      MembershipProbabilities(model, static_cast<int>(set.size()));
+  double sum = 0.0;
+  for (std::size_t s : set) sum += marginals[s];
+  return sum / static_cast<double>(set.size());
+}
+
+TopKModel::BestSet FindBestSet(const TopKModel& model, int k,
+                               CorrectnessMetric metric, int search_width) {
+  const std::size_t n = model.num_databases();
+  TopKModel::BestSet best;
+  if (k <= 0 || n == 0) return best;
+  if (static_cast<std::size_t>(k) >= n) {
+    best.members.resize(n);
+    std::iota(best.members.begin(), best.members.end(), 0);
+    best.expected_correctness = 1.0;
+    return best;
+  }
+
+  std::vector<double> marginals = MembershipProbabilities(model, k);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (marginals[a] != marginals[b]) return marginals[a] > marginals[b];
+    return a < b;
+  });
+
+  if (metric == CorrectnessMetric::kPartial) {
+    best.members.assign(order.begin(), order.begin() + k);
+    double sum = 0.0;
+    for (std::size_t s : best.members) sum += marginals[s];
+    best.expected_correctness = sum / static_cast<double>(k);
+    std::sort(best.members.begin(), best.members.end());
+    return best;
+  }
+
+  std::size_t pool = std::min(
+      n, static_cast<std::size_t>(k) + static_cast<std::size_t>(
+                                           std::max(search_width, 0)));
+  std::vector<std::size_t> candidates(order.begin(), order.begin() + pool);
+  best.expected_correctness = -1.0;
+  std::vector<std::size_t> scratch;
+  ForEachSubset(candidates, static_cast<std::size_t>(k), 0, &scratch,
+                [&](const std::vector<std::size_t>& subset) {
+                  double p = PrExactTopSet(model, subset);
+                  if (p > best.expected_correctness) {
+                    best.expected_correctness = p;
+                    best.members = subset;
+                  }
+                });
+  std::sort(best.members.begin(), best.members.end());
+  return best;
+}
+
+}  // namespace reference
 
 }  // namespace core
 }  // namespace metaprobe

@@ -35,7 +35,21 @@ const char* CorrectnessMetricName(CorrectnessMetric metric);
 /// over the union support, and `MembershipProbabilities` evaluates
 /// Pr(db_i ∈ DB_topk) with a Poisson-binomial dynamic program. Both are
 /// exact up to floating-point rounding and are cross-validated against
-/// Monte-Carlo sampling in the test suite.
+/// Monte-Carlo sampling and the naive reference implementations (the
+/// `reference` namespace below) in the test suite.
+///
+/// Evaluation runs on a lazily built *kernel cache* (DESIGN.md §9): a
+/// merged, deduplicated grid of every database's support values plus one
+/// flat (value, tail-CDF) row per database, so every Pr(X >= v) / Pr(X > v)
+/// the order-statistics math needs is an index lookup instead of a binary
+/// search. `Observe` and `ScopedCondition` invalidate only the touched
+/// database's row when they can (full rebuilds happen only when a new
+/// support value appears, i.e. on off-grid probe outcomes).
+///
+/// Thread-compatibility: the cache is memoized under `const` evaluation
+/// methods, so a TopKModel instance must be confined to one thread at a
+/// time. The serving paths honor this by building one model per query and
+/// cloning it per scoring task (see GreedyUsefulnessPolicy).
 class TopKModel {
  public:
   static constexpr double kTieEpsilon = 1e-7;
@@ -56,7 +70,9 @@ class TopKModel {
   /// (a raw, unadjusted relevancy).
   void Observe(std::size_t i, double actual);
 
-  /// \brief Pr(db_i ∈ DB_topk) for every database.
+  /// \brief Pr(db_i ∈ DB_topk) for every database. The result is memoized
+  /// per `k` until the model is mutated, so policies and the APro loop can
+  /// each ask for the marginals without recomputing them.
   std::vector<double> MembershipProbabilities(int k) const;
 
   /// \brief Pr(`set` is exactly the top-|set| databases).
@@ -64,6 +80,12 @@ class TopKModel {
 
   /// \brief E[Cor_p(set)] with |set| = k.
   double ExpectedPartialCorrectness(const std::vector<std::size_t>& set) const;
+
+  /// \brief E[Cor_p(set)] from marginals the caller already holds (the
+  /// result of MembershipProbabilities(set.size())); avoids recomputing
+  /// them when scoring many sets against one model state.
+  double ExpectedPartialCorrectness(const std::vector<std::size_t>& set,
+                                    const std::vector<double>& marginals) const;
 
   /// \brief E[Cor(set)] under `metric`.
   double ExpectedCorrectness(const std::vector<std::size_t>& set,
@@ -92,10 +114,18 @@ class TopKModel {
     return dists_[i].atoms();
   }
 
+  /// \brief Builds the kernel cache now instead of on first evaluation.
+  /// Callers that clone a model per scoring task call this once on the
+  /// original so every clone copies a ready cache instead of rebuilding.
+  void WarmKernelCache() const { EnsureCache(); }
+
   /// \brief Temporarily pins database `i` to the *adjusted* support value
   /// `adjusted_value`, restoring the prior RD on destruction. The greedy
   /// probing policy uses this to evaluate hypothetical probe outcomes
-  /// without copying the whole model.
+  /// without copying the whole model. The saved RD is swapped out (not
+  /// copied), and the kernel cache keeps its grid: the pinned value is one
+  /// of the grid's own points, so only database `i`'s tail row is saved
+  /// and restored.
   class ScopedCondition {
    public:
     ScopedCondition(TopKModel* model, std::size_t i, double adjusted_value);
@@ -108,19 +138,63 @@ class TopKModel {
     TopKModel* model_;
     std::size_t index_;
     stats::DiscreteDistribution saved_;
+    // Fast cache restore: the pre-condition tail row and atom indices of
+    // database `index_`, valid only while the cache generation matches.
+    bool fast_restore_ = false;
+    std::uint64_t generation_ = 0;
+    std::vector<double> saved_ge_;
+    std::vector<double> saved_gt_;
+    std::vector<std::uint32_t> saved_atom_index_;
   };
 
   /// \brief Draws one joint sample of raw-ordering ranks: returns database
   /// ids sorted by sampled relevancy, best first (Monte-Carlo validation).
   std::vector<std::size_t> SampleRanking(stats::Rng* rng) const;
 
+  /// \brief Allocation-free SampleRanking: `sampled` and `order` are
+  /// caller-owned scratch, resized as needed (Monte-Carlo loops reuse them
+  /// across samples). Draws from `rng` exactly like SampleRanking.
+  void SampleRankingInto(stats::Rng* rng, std::vector<double>* sampled,
+                         std::vector<std::size_t>* order) const;
+
  private:
+  /// Merged-grid kernel cache (the "TopKModelScratch" of DESIGN.md §9).
+  /// grid = ascending deduplicated union of all support values; row i of
+  /// tail_ge/tail_gt holds Pr(X_i >= grid[g]) / Pr(X_i > grid[g]) as flat
+  /// SoA arrays. atom_index[i] maps database i's atoms (in support order)
+  /// to their grid positions. The remaining vectors are reusable scratch
+  /// for the sweep/scoring kernels, kept here so hot paths do not allocate.
+  struct KernelCache {
+    bool valid = false;
+    std::uint64_t generation = 0;  // bumped on every full rebuild
+    std::vector<double> grid;
+    std::vector<double> tail_ge;  // num_databases x grid.size(), row-major
+    std::vector<double> tail_gt;
+    std::vector<std::vector<std::uint32_t>> atom_index;
+    std::vector<bool> dirty;  // per-database row invalidation
+    bool any_dirty = false;
+    // Memoized marginals: MembershipProbabilities(marginals_k).
+    int marginals_k = -1;
+    std::vector<double> marginals;
+    // Sweep + best-set scratch (contents meaningless between calls).
+    std::vector<std::uint32_t> entry_start, entry_db, scratch_u32;
+    std::vector<double> entry_prob, dp, loo, dp_scratch, q, all_prod;
+    std::vector<std::uint32_t> all_zero;
+  };
+
   double Bias(std::size_t i) const {
     return static_cast<double>(dists_.size() - i) * kTieEpsilon;
   }
 
+  void EnsureCache() const;
+  void RebuildCache() const;
+  void RecomputeRow(std::size_t i) const;
+  /// Marks database `i`'s row stale and drops the marginals memo.
+  void InvalidateDb(std::size_t i) const;
+
   std::vector<stats::DiscreteDistribution> dists_;  // tie-adjusted
   std::vector<bool> probed_;
+  mutable KernelCache cache_;
 };
 
 /// \brief Monte-Carlo estimate of E[Cor(set)] by sampling the joint RDs
@@ -142,6 +216,29 @@ double AbsoluteCorrectness(const std::vector<std::size_t>& selected,
 /// \brief Cor_p of `selected` against the golden `actual_topk` (Eq. 4).
 double PartialCorrectness(const std::vector<std::size_t>& selected,
                           const std::vector<std::size_t>& actual_topk);
+
+/// \brief Naive reference implementations of the expected-correctness
+/// kernel, retained verbatim from the pre-optimization code: one
+/// Poisson-binomial DP per (database, atom) pair and per-threshold binary
+/// searches, no caching. O(n^2 * A * k) versus the production kernel's
+/// O(n * A * k) sweep. The randomized equivalence suite
+/// (tests/correctness_kernel_test.cc) pins the fast kernel against these
+/// to 1e-12; they are not for production use.
+namespace reference {
+
+std::vector<double> MembershipProbabilities(const TopKModel& model, int k);
+
+double PrExactTopSet(const TopKModel& model,
+                     const std::vector<std::size_t>& set);
+
+double ExpectedCorrectness(const TopKModel& model,
+                           const std::vector<std::size_t>& set,
+                           CorrectnessMetric metric);
+
+TopKModel::BestSet FindBestSet(const TopKModel& model, int k,
+                               CorrectnessMetric metric, int search_width = 4);
+
+}  // namespace reference
 
 }  // namespace core
 }  // namespace metaprobe

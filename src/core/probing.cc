@@ -11,12 +11,18 @@ namespace core {
 
 namespace {
 
-std::vector<std::size_t> UnprobedIndices(const std::vector<bool>& probed) {
-  std::vector<std::size_t> indices;
+// Refills the calling thread's candidate scratch with the unprobed indices
+// and returns it. Thread-local (not a policy member) because direct
+// Metasearcher::Select calls share the installed policy instance across
+// threads — stateless policies must stay stateless — while still making
+// the per-SelectDb allocation disappear after each thread's first call.
+std::vector<std::size_t>& UnprobedIndices(const std::vector<bool>& probed) {
+  static thread_local std::vector<std::size_t> scratch;
+  scratch.clear();
   for (std::size_t i = 0; i < probed.size(); ++i) {
-    if (!probed[i]) indices.push_back(i);
+    if (!probed[i]) scratch.push_back(i);
   }
-  return indices;
+  return scratch;
 }
 
 double BinaryEntropy(double p) {
@@ -25,30 +31,65 @@ double BinaryEntropy(double p) {
   return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
 }
 
+// Expected usefulness of probing database `i`: average over the RD's
+// outcomes of the best achievable expected correctness after pinning the
+// outcome (Figure 13). Pure given the model state, so the parallel scorer
+// can run it on per-candidate clones and get the sequential loop's exact
+// floating-point results.
+double CandidateUsefulness(TopKModel* model, std::size_t i,
+                           const ProbingContext& context) {
+  // Copy the support: conditioning swaps the RD out under us.
+  const std::vector<stats::Atom> support = model->SupportOf(i);
+  double usefulness = 0.0;
+  for (const stats::Atom& atom : support) {
+    TopKModel::ScopedCondition condition(model, i, atom.value);
+    TopKModel::BestSet best =
+        model->FindBestSet(context.k, context.metric, context.search_width);
+    usefulness += atom.prob * best.expected_correctness;
+  }
+  return usefulness;
+}
+
 }  // namespace
 
 std::size_t GreedyUsefulnessPolicy::SelectDb(TopKModel* model,
                                              const std::vector<bool>& probed,
                                              const ProbingContext& context) {
-  std::vector<std::size_t> candidates = UnprobedIndices(probed);
+  std::vector<std::size_t>& candidates = UnprobedIndices(probed);
   METAPROBE_DCHECK(!candidates.empty(), "no unprobed database left");
+  std::vector<double> usefulness(candidates.size());
+  if (context.pool != nullptr && context.pool->num_workers() > 0 &&
+      candidates.size() > 1) {
+    // Fan the candidates across the pool on independent clones. Warm the
+    // cache first so every clone copies a ready kernel instead of each
+    // rebuilding its own; the original is then never mutated while worker
+    // tasks read it (the clone copy is a pure read).
+    model->WarmKernelCache();
+    std::vector<std::future<double>> futures;
+    futures.reserve(candidates.size());
+    for (std::size_t db : candidates) {
+      const TopKModel* original = model;
+      futures.push_back(context.pool->Submit([original, db, &context]() {
+        TopKModel clone(*original);
+        return CandidateUsefulness(&clone, db, context);
+      }));
+    }
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      usefulness[c] = futures[c].get();
+    }
+  } else {
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      usefulness[c] = CandidateUsefulness(model, candidates[c], context);
+    }
+  }
+  // Deterministic argmax: ascending database order, first strict maximum
+  // wins — the same tie-breaking the sequential loop applies.
   std::size_t best_db = candidates.front();
   double best_usefulness = -1.0;
-  for (std::size_t i : candidates) {
-    // Expected usefulness: average over the RD's outcomes of the best
-    // achievable expected correctness after pinning the outcome.
-    // Copy the support: conditioning swaps the RD out under us.
-    const std::vector<stats::Atom> support = model->SupportOf(i);
-    double usefulness = 0.0;
-    for (const stats::Atom& atom : support) {
-      TopKModel::ScopedCondition condition(model, i, atom.value);
-      TopKModel::BestSet best = model->FindBestSet(
-          context.k, context.metric, context.search_width);
-      usefulness += atom.prob * best.expected_correctness;
-    }
-    if (usefulness > best_usefulness) {
-      best_usefulness = usefulness;
-      best_db = i;
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    if (usefulness[c] > best_usefulness) {
+      best_usefulness = usefulness[c];
+      best_db = candidates[c];
     }
   }
   return best_db;
@@ -59,7 +100,7 @@ std::size_t RandomProbingPolicy::SelectDb(TopKModel* model,
                                           const ProbingContext& context) {
   (void)model;
   (void)context;
-  std::vector<std::size_t> candidates = UnprobedIndices(probed);
+  std::vector<std::size_t>& candidates = UnprobedIndices(probed);
   METAPROBE_DCHECK(!candidates.empty(), "no unprobed database left");
   return candidates[rng_.UniformInt(candidates.size())];
 }
@@ -80,7 +121,7 @@ std::size_t MaxVarianceProbingPolicy::SelectDb(TopKModel* model,
                                                const std::vector<bool>& probed,
                                                const ProbingContext& context) {
   (void)context;
-  std::vector<std::size_t> candidates = UnprobedIndices(probed);
+  std::vector<std::size_t>& candidates = UnprobedIndices(probed);
   METAPROBE_DCHECK(!candidates.empty(), "no unprobed database left");
   std::size_t best_db = candidates.front();
   double best_stddev = -1.0;
@@ -97,7 +138,7 @@ std::size_t MaxVarianceProbingPolicy::SelectDb(TopKModel* model,
 std::size_t MembershipEntropyPolicy::SelectDb(TopKModel* model,
                                               const std::vector<bool>& probed,
                                               const ProbingContext& context) {
-  std::vector<std::size_t> candidates = UnprobedIndices(probed);
+  std::vector<std::size_t>& candidates = UnprobedIndices(probed);
   METAPROBE_DCHECK(!candidates.empty(), "no unprobed database left");
   std::vector<double> marginals = model->MembershipProbabilities(context.k);
   std::size_t best_db = candidates.front();
@@ -115,7 +156,7 @@ std::size_t MembershipEntropyPolicy::SelectDb(TopKModel* model,
 std::size_t StoppingProbabilityPolicy::SelectDb(
     TopKModel* model, const std::vector<bool>& probed,
     const ProbingContext& context) {
-  std::vector<std::size_t> candidates = UnprobedIndices(probed);
+  std::vector<std::size_t>& candidates = UnprobedIndices(probed);
   METAPROBE_DCHECK(!candidates.empty(), "no unprobed database left");
   // The threshold the loop will actually test against.
   const double t = std::clamp(context.threshold, 0.0, 1.0);
@@ -190,7 +231,7 @@ double ExpectimaxProbingPolicy::ExpectedProbes(TopKModel* model,
 std::size_t ExpectimaxProbingPolicy::SelectDb(TopKModel* model,
                                               const std::vector<bool>& probed,
                                               const ProbingContext& context) {
-  std::vector<std::size_t> candidates = UnprobedIndices(probed);
+  std::vector<std::size_t>& candidates = UnprobedIndices(probed);
   METAPROBE_DCHECK(!candidates.empty(), "no unprobed database left");
   std::vector<bool> scratch = probed;
   std::size_t best_db = candidates.front();
@@ -238,6 +279,10 @@ Result<AProResult> AdaptiveProber::Run(TopKModel* model,
   context.metric = options_.metric;
   context.search_width = options_.search_width;
   context.threshold = threshold;
+  // Policies may parallelize candidate scoring on the probe pool: SelectDb
+  // runs on the coordinating thread while no probes are in flight, and the
+  // pool's workers only ever execute leaf tasks, so sharing it is safe.
+  context.pool = options_.pool;
   if (!options_.probe_costs.empty()) {
     if (options_.probe_costs.size() != n) {
       return Status::InvalidArgument("got ", options_.probe_costs.size(),

@@ -31,6 +31,14 @@ struct ProbingContext {
   /// divide their information signal by the cost.
   const std::vector<double>* probe_costs = nullptr;
 
+  /// Worker pool for policies that can parallelize their candidate scoring
+  /// (borrowed, not owned; null = score sequentially). AdaptiveProber wires
+  /// this to AProOptions::pool. The pool's tasks must be leaves: SelectDb
+  /// blocks on them, so it must never run as a worker of this same pool
+  /// (the serving layer guarantees that by keeping the query/batch pool and
+  /// the probe pool distinct; see Metasearcher::SetProbePool).
+  ThreadPool* pool = nullptr;
+
   /// \brief Cost of probing database `i` (1 when no costs are configured).
   double CostOf(std::size_t i) const {
     if (probe_costs == nullptr || i >= probe_costs->size()) return 1.0;
@@ -64,6 +72,14 @@ class ProbingPolicy {
 /// the highest expected *usefulness*, where the usefulness of an outcome is
 /// the best achievable E[Cor(DB^k)] after observing it, and the expectation
 /// runs over the database's current RD (the computation of Figure 13).
+///
+/// When `context.pool` is set, the per-candidate usefulness evaluations fan
+/// out across the pool on independent `TopKModel` clones (each clone copies
+/// the warmed kernel cache, so workers never share mutable state). The
+/// argmax reduction walks candidates in ascending database order on the
+/// calling thread, and each clone performs exactly the floating-point
+/// operations the sequential loop would, so the selected database is
+/// bit-identical to the sequential policy's regardless of scheduling.
 class GreedyUsefulnessPolicy : public ProbingPolicy {
  public:
   std::string name() const override { return "greedy-usefulness"; }

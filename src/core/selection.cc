@@ -24,6 +24,9 @@ SelectionResult SelectByEstimate(const std::vector<double>& estimates,
 
 SelectionResult SelectByRd(const TopKModel& model, int k,
                            CorrectnessMetric metric, int search_width) {
+  // FindBestSet computes the membership marginals once per call and scores
+  // the partial metric from them directly (and memoizes them on the model's
+  // kernel cache), so this path never recomputes marginals for one query.
   TopKModel::BestSet best = model.FindBestSet(k, metric, search_width);
   SelectionResult result;
   result.databases = std::move(best.members);

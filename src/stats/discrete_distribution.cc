@@ -9,10 +9,18 @@
 namespace metaprobe {
 namespace stats {
 
-DiscreteDistribution::DiscreteDistribution() : atoms_{{0.0, 1.0}} {}
+DiscreteDistribution::DiscreteDistribution() : atoms_{{0.0, 1.0}} {
+  tails_ = {1.0, 0.0};
+}
 
 DiscreteDistribution::DiscreteDistribution(std::vector<Atom> atoms)
-    : atoms_(std::move(atoms)) {}
+    : atoms_(std::move(atoms)) {
+  tails_.resize(atoms_.size() + 1);
+  tails_.back() = 0.0;
+  for (std::size_t i = atoms_.size(); i-- > 0;) {
+    tails_[i] = tails_[i + 1] + atoms_[i].prob;
+  }
+}
 
 Result<DiscreteDistribution> DiscreteDistribution::Make(
     std::vector<Atom> atoms) {
@@ -77,18 +85,28 @@ double DiscreteDistribution::PrAtLeast(double v) const {
   auto it = std::lower_bound(
       atoms_.begin(), atoms_.end(), v,
       [](const Atom& a, double x) { return a.value < x; });
-  double p = 0.0;
-  for (; it != atoms_.end(); ++it) p += it->prob;
-  return p;
+  return tails_[static_cast<std::size_t>(it - atoms_.begin())];
 }
 
 double DiscreteDistribution::PrGreaterThan(double v) const {
   auto it = std::upper_bound(
       atoms_.begin(), atoms_.end(), v,
       [](double x, const Atom& a) { return x < a.value; });
-  double p = 0.0;
-  for (; it != atoms_.end(); ++it) p += it->prob;
-  return p;
+  return tails_[static_cast<std::size_t>(it - atoms_.begin())];
+}
+
+void DiscreteDistribution::FillTailTables(const std::vector<double>& grid,
+                                          double* ge, double* gt) const {
+  // Walk the grid and the support together, descending; the atom cursor
+  // only ever moves down, so the pass is linear in both sizes. tails_[a]
+  // gives Pr(X >= atoms_[a].value) directly.
+  std::size_t a = atoms_.size();  // atoms_[a..] have value > current grid v
+  for (std::size_t g = grid.size(); g-- > 0;) {
+    const double v = grid[g];
+    while (a > 0 && atoms_[a - 1].value > v) --a;
+    gt[g] = tails_[a];
+    ge[g] = (a > 0 && atoms_[a - 1].value == v) ? tails_[a - 1] : tails_[a];
+  }
 }
 
 double DiscreteDistribution::Sample(Rng* rng) const {

@@ -26,7 +26,10 @@ struct Atom {
 /// values and probabilities normalized to 1. This is the representation of
 /// the paper's relevancy distributions (RDs); the order-statistics math in
 /// core/correctness.cc relies on the sortedness to evaluate
-/// `Pr(X >= v)` / `Pr(X < v)` with binary searches.
+/// `Pr(X >= v)` / `Pr(X < v)`. Alongside the atoms the distribution keeps
+/// the suffix sums tail[i] = sum of probs from atom i to the end, so the
+/// tail queries are a binary search plus one lookup instead of a linear
+/// accumulation.
 class DiscreteDistribution {
  public:
   /// Creates an impulse at 0 (also the value-initialized state).
@@ -69,6 +72,14 @@ class DiscreteDistribution {
   /// \brief Pr(X <= v).
   double PrAtMost(double v) const { return 1.0 - PrGreaterThan(v); }
 
+  /// \brief Fills `ge[g]` = Pr(X >= grid[g]) and `gt[g]` = Pr(X > grid[g])
+  /// for every value of `grid` (ascending, deduplicated) in one merged
+  /// descending pass: O(grid.size() + size()) instead of a binary search
+  /// per entry. The expected-correctness kernel uses this to build its
+  /// per-database tail tables (see core/correctness.h).
+  void FillTailTables(const std::vector<double>& grid, double* ge,
+                      double* gt) const;
+
   /// \brief Draws a value.
   double Sample(Rng* rng) const;
 
@@ -87,12 +98,17 @@ class DiscreteDistribution {
   /// \brief Renders "{v1: p1, v2: p2, ...}" for logging and test output.
   std::string ToString(int digits = 3) const;
 
-  bool operator==(const DiscreteDistribution&) const = default;
+  bool operator==(const DiscreteDistribution& other) const {
+    return atoms_ == other.atoms_;  // tails_ is derived state
+  }
 
  private:
   explicit DiscreteDistribution(std::vector<Atom> atoms);
 
   std::vector<Atom> atoms_;
+  /// tails_[i] = sum of atoms_[i..].prob; tails_[size()] = 0. Derived from
+  /// atoms_ on construction, never mutated afterwards.
+  std::vector<double> tails_;
 };
 
 }  // namespace stats

@@ -1,0 +1,251 @@
+// Copyright 2026 The metaprobe Authors
+//
+// Randomized equivalence suite for the expected-correctness kernel: the
+// production implementation (merged-grid tail tables + leave-one-out DP +
+// incremental best-set scoring, see DESIGN.md §9) is pinned against the
+// retained naive reference implementations in core::reference to 1e-12,
+// across random models and across the mutation paths that invalidate the
+// kernel cache (Observe, ScopedCondition, nesting thereof).
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/correctness.h"
+
+namespace metaprobe {
+namespace core {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+RelevancyDistribution Rd(std::vector<stats::Atom> atoms) {
+  RelevancyDistribution rd;
+  rd.dist = stats::DiscreteDistribution::Make(std::move(atoms)).ValueOrDie();
+  return rd;
+}
+
+struct ModelSpec {
+  int num_dbs = 0;
+  int k = 1;
+};
+
+// Random model stressing the kernel's edge cases: values drawn from a small
+// integer lattice (cross-database ties are the norm, exercising grid
+// dedup + the >=/> split), occasional impulses (already-probed databases),
+// and 1-6 atoms per RD.
+TopKModel RandomModel(stats::Rng* rng, ModelSpec* spec) {
+  spec->num_dbs = 2 + static_cast<int>(rng->UniformInt(std::uint64_t{11}));
+  spec->k = 1 + static_cast<int>(rng->UniformInt(
+                    static_cast<std::uint64_t>(std::min(spec->num_dbs - 1, 4))));
+  std::vector<RelevancyDistribution> rds;
+  for (int i = 0; i < spec->num_dbs; ++i) {
+    std::vector<stats::Atom> atoms;
+    if (rng->Uniform() < 0.15) {
+      // Impulse (a probed database's collapsed RD).
+      atoms.push_back({std::floor(rng->Uniform(0, 12)) * 10, 1.0});
+    } else {
+      int count = 1 + static_cast<int>(rng->UniformInt(std::uint64_t{6}));
+      for (int a = 0; a < count; ++a) {
+        atoms.push_back(
+            {std::floor(rng->Uniform(0, 12)) * 10, rng->Uniform(0.01, 1.0)});
+      }
+    }
+    rds.push_back(Rd(std::move(atoms)));
+  }
+  return TopKModel(std::move(rds));
+}
+
+std::vector<std::size_t> RandomSet(stats::Rng* rng, int num_dbs, int size) {
+  std::vector<std::size_t> all(static_cast<std::size_t>(num_dbs));
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  rng->Shuffle(&all);
+  all.resize(static_cast<std::size_t>(size));
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+// Compares every kernel entry point against the reference on the model's
+// current state.
+void ExpectKernelMatchesReference(const TopKModel& model, int k,
+                                  stats::Rng* rng, const char* where) {
+  SCOPED_TRACE(where);
+  const int n = static_cast<int>(model.num_databases());
+
+  std::vector<double> fast = model.MembershipProbabilities(k);
+  std::vector<double> naive = reference::MembershipProbabilities(model, k);
+  ASSERT_EQ(fast.size(), naive.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], naive[i], kTol) << "db " << i << " k=" << k;
+  }
+
+  std::vector<std::size_t> set = RandomSet(rng, n, k);
+  EXPECT_NEAR(model.PrExactTopSet(set), reference::PrExactTopSet(model, set),
+              kTol);
+  for (CorrectnessMetric metric :
+       {CorrectnessMetric::kAbsolute, CorrectnessMetric::kPartial}) {
+    EXPECT_NEAR(model.ExpectedCorrectness(set, metric),
+                reference::ExpectedCorrectness(model, set, metric), kTol);
+
+    int width = static_cast<int>(rng->UniformInt(std::uint64_t{5}));
+    if (rng->Uniform() < 0.2) width = n;  // occasionally exhaustive
+    TopKModel::BestSet fast_best = model.FindBestSet(k, metric, width);
+    TopKModel::BestSet naive_best =
+        reference::FindBestSet(model, k, metric, width);
+    EXPECT_EQ(fast_best.members, naive_best.members);
+    EXPECT_NEAR(fast_best.expected_correctness,
+                naive_best.expected_correctness, kTol);
+  }
+}
+
+// ~1000 random models through every entry point. The reference recomputes
+// from the RDs on each call, so any stale-cache bug shows up as a mismatch.
+TEST(CorrectnessKernelTest, RandomizedEquivalence) {
+  stats::Rng rng(20260806);
+  for (int trial = 0; trial < 350; ++trial) {
+    ModelSpec spec;
+    TopKModel model = RandomModel(&rng, &spec);
+    ExpectKernelMatchesReference(model, spec.k, &rng, "fresh model");
+    if (spec.k > 1) {
+      // A second k on the same model exercises the marginal memo swap.
+      ExpectKernelMatchesReference(model, spec.k - 1, &rng, "second k");
+    }
+  }
+}
+
+TEST(CorrectnessKernelTest, EquivalencePostObserve) {
+  stats::Rng rng(7151);
+  for (int trial = 0; trial < 200; ++trial) {
+    ModelSpec spec;
+    TopKModel model = RandomModel(&rng, &spec);
+    // Evaluate once to build the cache, then mutate through Observe.
+    (void)model.MembershipProbabilities(spec.k);
+    int probes = 1 + static_cast<int>(rng.UniformInt(std::uint64_t{3}));
+    for (int p = 0; p < probes; ++p) {
+      std::size_t db = rng.UniformInt(
+          static_cast<std::uint64_t>(spec.num_dbs));
+      // Half on-lattice (likely colliding with existing grid values), half
+      // strictly off-grid, so both invalidation paths run.
+      double value = rng.Uniform() < 0.5 ? std::floor(rng.Uniform(0, 12)) * 10
+                                          : rng.Uniform(0.0, 120.0);
+      model.Observe(db, value);
+      ExpectKernelMatchesReference(model, spec.k, &rng, "after Observe");
+    }
+  }
+}
+
+TEST(CorrectnessKernelTest, EquivalenceUnderScopedCondition) {
+  stats::Rng rng(90210);
+  for (int trial = 0; trial < 150; ++trial) {
+    ModelSpec spec;
+    TopKModel model = RandomModel(&rng, &spec);
+    (void)model.MembershipProbabilities(spec.k);  // warm cache
+
+    std::size_t outer_db =
+        rng.UniformInt(static_cast<std::uint64_t>(spec.num_dbs));
+    const std::vector<stats::Atom> outer_support = model.SupportOf(outer_db);
+    const stats::Atom& outer_atom = outer_support[rng.UniformInt(
+        static_cast<std::uint64_t>(outer_support.size()))];
+    {
+      TopKModel::ScopedCondition outer(&model, outer_db, outer_atom.value);
+      ExpectKernelMatchesReference(model, spec.k, &rng, "outer condition");
+
+      std::size_t inner_db =
+          rng.UniformInt(static_cast<std::uint64_t>(spec.num_dbs));
+      if (inner_db == outer_db) inner_db = (inner_db + 1) % spec.num_dbs;
+      const std::vector<stats::Atom> inner_support = model.SupportOf(inner_db);
+      const stats::Atom& inner_atom = inner_support[rng.UniformInt(
+          static_cast<std::uint64_t>(inner_support.size()))];
+      {
+        TopKModel::ScopedCondition inner(&model, inner_db, inner_atom.value);
+        ExpectKernelMatchesReference(model, spec.k, &rng, "nested condition");
+      }
+      ExpectKernelMatchesReference(model, spec.k, &rng, "inner restored");
+    }
+    ExpectKernelMatchesReference(model, spec.k, &rng, "outer restored");
+  }
+}
+
+// Observe *inside* a ScopedCondition forces the generation-mismatch restore
+// path (the scope's fast row restore must be abandoned when the cache was
+// rebuilt mid-scope).
+TEST(CorrectnessKernelTest, ObserveInsideScopedConditionInvalidatesSafely) {
+  stats::Rng rng(31337);
+  for (int trial = 0; trial < 100; ++trial) {
+    ModelSpec spec;
+    TopKModel model = RandomModel(&rng, &spec);
+    (void)model.MembershipProbabilities(spec.k);
+
+    std::size_t pinned =
+        rng.UniformInt(static_cast<std::uint64_t>(spec.num_dbs));
+    std::size_t observed =
+        rng.UniformInt(static_cast<std::uint64_t>(spec.num_dbs));
+    if (observed == pinned) observed = (observed + 1) % spec.num_dbs;
+    const std::vector<stats::Atom> support = model.SupportOf(pinned);
+    {
+      TopKModel::ScopedCondition condition(&model, pinned,
+                                           support.front().value);
+      model.Observe(observed, rng.Uniform(0.0, 120.0));  // off-grid rebuild
+      ExpectKernelMatchesReference(model, spec.k, &rng,
+                                   "observe inside condition");
+    }
+    ExpectKernelMatchesReference(model, spec.k, &rng,
+                                 "restored after mid-scope observe");
+  }
+}
+
+// Monte-Carlo cross-validation on the production kernel: a statistical
+// check that the exact math (not just fast-vs-naive agreement) is right.
+TEST(CorrectnessKernelTest, MonteCarloCrossValidation) {
+  stats::Rng rng(5150);
+  for (int trial = 0; trial < 8; ++trial) {
+    ModelSpec spec;
+    TopKModel model = RandomModel(&rng, &spec);
+    TopKModel::BestSet best =
+        model.FindBestSet(spec.k, CorrectnessMetric::kAbsolute);
+    for (CorrectnessMetric metric :
+         {CorrectnessMetric::kAbsolute, CorrectnessMetric::kPartial}) {
+      double exact = model.ExpectedCorrectness(best.members, metric);
+      double sampled = MonteCarloExpectedCorrectness(model, best.members,
+                                                     metric, 20000, &rng);
+      EXPECT_NEAR(sampled, exact, 0.02)
+          << CorrectnessMetricName(metric) << " trial " << trial;
+    }
+  }
+}
+
+// SampleRankingInto is the allocation-free twin of SampleRanking: same rng
+// stream in, same ranking out.
+TEST(CorrectnessKernelTest, SampleRankingIntoMatchesSampleRanking) {
+  stats::Rng rng(8080);
+  ModelSpec spec;
+  TopKModel model = RandomModel(&rng, &spec);
+  stats::Rng a(123), b(123);
+  std::vector<double> sampled;
+  std::vector<std::size_t> order;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<std::size_t> want = model.SampleRanking(&a);
+    model.SampleRankingInto(&b, &sampled, &order);
+    EXPECT_EQ(order, want);
+  }
+}
+
+// Deterministic worked example locking the leave-one-out DP against values
+// computed by hand from the paper's Figure 5 model.
+TEST(CorrectnessKernelTest, PaperModelGoldenValues) {
+  std::vector<RelevancyDistribution> rds;
+  rds.push_back(Rd({{50, 0.4}, {100, 0.5}, {150, 0.1}}));
+  rds.push_back(Rd({{65, 0.1}, {130, 0.9}}));
+  TopKModel model(std::move(rds));
+  EXPECT_NEAR(model.PrExactTopSet({1}), 0.85, kTol);
+  EXPECT_NEAR(model.PrExactTopSet({0}), 0.15, kTol);
+  std::vector<double> m = model.MembershipProbabilities(1);
+  EXPECT_NEAR(m[0], 0.15, kTol);
+  EXPECT_NEAR(m[1], 0.85, kTol);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace metaprobe

@@ -737,6 +737,74 @@ TEST(GreedyVsRandomTest, GreedyNeedsNoMoreProbesOnAverage) {
   EXPECT_LE(greedy_total, random_total + 1e-9);
 }
 
+// ----------------------- parallel greedy scoring --------------------------
+
+// The pooled scorer must pick the same database as the sequential loop at
+// every probe state: the per-candidate clones run the identical
+// floating-point computation and the argmax reduction is index-ordered.
+TEST(ParallelGreedyTest, PoolSelectionMatchesSequential) {
+  stats::Rng rng(777);
+  ThreadPool pool(4);
+  for (int trial = 0; trial < 5; ++trial) {
+    const int num_dbs = 8;
+    TopKModel model = RandomModel(&rng, num_dbs);
+    ProbingContext sequential_context;
+    sequential_context.k = 2;
+    sequential_context.metric = CorrectnessMetric::kAbsolute;
+    ProbingContext pooled_context = sequential_context;
+    pooled_context.pool = &pool;
+    std::vector<bool> probed(num_dbs, false);
+    for (int step = 0; step < 4; ++step) {
+      GreedyUsefulnessPolicy sequential;
+      GreedyUsefulnessPolicy parallel;
+      TopKModel sequential_model = model;
+      TopKModel pooled_model = model;
+      std::size_t want =
+          sequential.SelectDb(&sequential_model, probed, sequential_context);
+      std::size_t got =
+          parallel.SelectDb(&pooled_model, probed, pooled_context);
+      EXPECT_EQ(got, want) << "trial " << trial << " step " << step;
+      model.Observe(want, std::floor(rng.Uniform(0, 15)) * 10);
+      probed[want] = true;
+    }
+  }
+}
+
+// End-to-end: an APro run whose policy scores candidates on a pool yields
+// exactly the sequential run's probe schedule and answer.
+TEST(ParallelGreedyTest, AProRunMatchesSequential) {
+  stats::Rng rng(4242);
+  ThreadPool pool(3);
+  for (int trial = 0; trial < 4; ++trial) {
+    const int num_dbs = 6;
+    TopKModel sequential_model = RandomModel(&rng, num_dbs);
+    TopKModel pooled_model = sequential_model;
+    std::vector<double> truths;
+    for (int i = 0; i < num_dbs; ++i) {
+      truths.push_back(std::floor(rng.Uniform(0, 15)) * 10);
+    }
+    AProOptions options;
+    options.k = 2;
+    options.threshold = 0.95;
+    GreedyUsefulnessPolicy sequential_policy;
+    AdaptiveProber sequential_prober(&sequential_policy, options);
+    auto sequential_result =
+        sequential_prober.Run(&sequential_model, FixedTruth(truths));
+    ASSERT_TRUE(sequential_result.ok());
+
+    options.pool = &pool;  // parallel candidate scoring, same schedule
+    GreedyUsefulnessPolicy pooled_policy;
+    AdaptiveProber pooled_prober(&pooled_policy, options);
+    auto pooled_result = pooled_prober.Run(&pooled_model, FixedTruth(truths));
+    ASSERT_TRUE(pooled_result.ok());
+
+    EXPECT_EQ(pooled_result->probe_order, sequential_result->probe_order);
+    EXPECT_EQ(pooled_result->selected, sequential_result->selected);
+    EXPECT_EQ(pooled_result->expected_correctness,
+              sequential_result->expected_correctness);
+  }
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace metaprobe

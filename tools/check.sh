@@ -1,19 +1,25 @@
 #!/usr/bin/env bash
-# Full pre-merge check: build and test the tree in two configurations.
+# Full pre-merge check: build and test the tree in three configurations.
 #
 #   1. Release      -- optimized build, full ctest suite.
 #   2. ThreadSanitizer -- RelWithDebInfo + -fsanitize=thread, running the
 #      concurrency-sensitive suites (thread pool, batch serving,
-#      determinism, speculative probing). Any reported race fails the run.
+#      determinism, speculative probing, parallel greedy scoring). Any
+#      reported race fails the run.
+#   3. UndefinedBehaviorSanitizer -- Debug + -fsanitize=undefined over the
+#      probabilistic-kernel suites (correctness, kernel equivalence,
+#      probing, discrete distributions). Any UB report fails the run.
 #
 # Usage: tools/check.sh [jobs]
 #   jobs                parallel build/test jobs (default: nproc)
 # Environment:
 #   METAPROBE_TSAN_FULL=1   run the entire test suite under TSAN (slow)
-#   METAPROBE_SKIP_RELEASE=1 / METAPROBE_SKIP_TSAN=1   skip a configuration
+#   METAPROBE_SKIP_RELEASE=1 / METAPROBE_SKIP_TSAN=1 / METAPROBE_SKIP_UBSAN=1
+#                           skip a configuration
 #
-# Build trees land in build-release/ and build-tsan/, separate from the
-# default build/ so a developer's incremental tree is never clobbered.
+# Build trees land in build-release/, build-tsan/ and build-ubsan/,
+# separate from the default build/ so a developer's incremental tree is
+# never clobbered.
 
 set -euo pipefail
 
@@ -21,17 +27,21 @@ cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
 # Test-name filter for the TSAN pass: every suite that exercises threads.
-TSAN_FILTER='ThreadPool|Concurrency|Determinism|SpeculativeBatch'
+TSAN_FILTER='ThreadPool|Concurrency|Determinism|SpeculativeBatch|ParallelGreedy'
+
+# Test-name filter for the UBSAN pass: the numeric kernels where UB (signed
+# overflow, bad indexing, misaligned loads) would silently corrupt results.
+UBSAN_FILTER='Correctness|Kernel|Probing|DiscreteDistribution|TopKModel'
 
 run_release() {
-  echo "=== [1/2] Release build + full test suite ==="
+  echo "=== [1/3] Release build + full test suite ==="
   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
   cmake --build build-release -j "$JOBS"
   ctest --test-dir build-release --output-on-failure -j "$JOBS"
 }
 
 run_tsan() {
-  echo "=== [2/2] ThreadSanitizer build + concurrency suites ==="
+  echo "=== [2/3] ThreadSanitizer build + concurrency suites ==="
   cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
@@ -47,10 +57,25 @@ run_tsan() {
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" "${filter[@]}"
 }
 
+run_ubsan() {
+  echo "=== [3/3] UndefinedBehaviorSanitizer build + kernel suites ==="
+  cmake -B build-ubsan -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=undefined -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=undefined" > /dev/null
+  cmake --build build-ubsan -j "$JOBS"
+  UBSAN_OPTIONS="print_stacktrace=1" \
+    ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" \
+      -R "$UBSAN_FILTER"
+}
+
 if [[ "${METAPROBE_SKIP_RELEASE:-0}" != "1" ]]; then
   run_release
 fi
 if [[ "${METAPROBE_SKIP_TSAN:-0}" != "1" ]]; then
   run_tsan
+fi
+if [[ "${METAPROBE_SKIP_UBSAN:-0}" != "1" ]]; then
+  run_ubsan
 fi
 echo "=== all checks passed ==="
