@@ -1,0 +1,107 @@
+// Observability: serve a few queries with the tracer installed, then dump
+// everything an operator would scrape — the Prometheus text exposition of
+// the serving metrics and the JSON-lines trace of the last query's probing
+// trajectory.
+//
+//   build/examples/observability
+//
+// The trace shows APro's decision making step by step: the estimate and
+// model-build stages, one span per probe (database, observed relevancy,
+// certainty before/after, the policy's score), and the stop decision.
+
+#include <iostream>
+#include <memory>
+
+#include "core/metasearcher.h"
+#include "index/inverted_index.h"
+#include "obs/trace.h"
+#include "text/analyzer.h"
+
+namespace {
+
+using metaprobe::core::LocalDatabase;
+using metaprobe::core::Metasearcher;
+using metaprobe::core::MetasearcherOptions;
+using metaprobe::core::ParseQuery;
+using metaprobe::core::Query;
+
+std::shared_ptr<LocalDatabase> MakeDatabase(
+    const metaprobe::text::Analyzer& analyzer, const std::string& name,
+    const std::vector<std::string>& docs) {
+  metaprobe::index::InvertedIndex::Builder builder;
+  for (const std::string& body : docs) {
+    builder.AddDocument(analyzer.Analyze(body));
+  }
+  return std::make_shared<LocalDatabase>(
+      name, std::move(builder).Build().ValueOrDie());
+}
+
+}  // namespace
+
+int main() {
+  metaprobe::text::Analyzer analyzer;
+
+  auto pubmed = MakeDatabase(
+      analyzer, "pubmed",
+      {"Breast cancer patients receiving adjuvant chemotherapy showed "
+       "improved survival after mastectomy and radiation treatment.",
+       "Tamoxifen reduces recurrence of breast cancer in patients with "
+       "positive biopsy results.",
+       "Regular mammogram screening detects breast tumors earlier and "
+       "lowers cancer mortality.",
+       "Patients recovering from heart attack benefit from supervised "
+       "exercise and cholesterol management."});
+  auto medlineplus = MakeDatabase(
+      analyzer, "medlineplus",
+      {"Breast cancer is a disease in which malignant cells form in breast "
+       "tissue. Treatment includes surgery, chemotherapy and radiation.",
+       "Coronary artery disease is the most common heart disease and can "
+       "lead to heart attack.",
+       "Managing blood glucose with insulin and diet prevents diabetes "
+       "complications."});
+  auto sportsdaily = MakeDatabase(
+      analyzer, "sports-daily",
+      {"The quarterback returns from injury as the team chases a "
+       "championship berth this season.",
+       "Thousands of runners finished the city marathon under clear "
+       "skies."});
+
+  MetasearcherOptions options;
+  options.enable_rd_cache = true;  // so the cache series carry traffic
+  Metasearcher searcher(options);
+  searcher.AddLocalDatabase(pubmed).CheckOK();
+  searcher.AddLocalDatabase(medlineplus).CheckOK();
+  searcher.AddLocalDatabase(sportsdaily).CheckOK();
+
+  std::vector<Query> training;
+  for (const char* raw :
+       {"breast cancer", "cancer treatment", "heart attack",
+        "chemotherapy radiation", "blood glucose", "championship season",
+        "marathon runners", "heart disease", "cancer screening",
+        "insulin diet"}) {
+    training.push_back(ParseQuery(analyzer, raw));
+  }
+  searcher.Train(training).CheckOK();
+
+  // Install the tracer, then serve: every Select records a structured trace.
+  metaprobe::obs::QueryTracer tracer;
+  searcher.SetTracer(&tracer);
+  for (const char* raw : {"heart attack", "breast cancer", "breast cancer"}) {
+    searcher.Select(ParseQuery(analyzer, raw), /*k=*/1, /*threshold=*/0.95)
+        .status()
+        .CheckOK();
+  }
+
+  // What a Prometheus scrape of this process would return.
+  std::cout << "==== metrics exposition ====\n"
+            << searcher.metrics().ExpositionText();
+
+  // The probing trajectory of the most recent query, one JSON object per
+  // span — pipe into jq or a trace viewer.
+  std::cout << "\n==== trace (JSON lines, latest query) ====\n";
+  auto latest = tracer.Latest();
+  if (latest != nullptr) {
+    std::cout << metaprobe::obs::QueryTracer::ExportJsonLines(*latest);
+  }
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +20,23 @@ LogLevel ThresholdFromEnv() {
   if (std::strcmp(env, "warning") == 0) return LogLevel::kWarning;
   if (std::strcmp(env, "error") == 0) return LogLevel::kError;
   return LogLevel::kInfo;
+}
+
+// Monotonic seconds since the first log record of the process; wall-clock
+// stamps would jump under NTP and say nothing about intervals, which is
+// what log readers correlate with latency histograms.
+double SecondsSinceStart() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Small sequential per-thread id: stable within a run and readable, unlike
+// the hashed std::thread::id values.
+int ThisThreadLogId() {
+  static std::atomic<int> next{0};
+  static thread_local const int id = next.fetch_add(1);
+  return id;
 }
 
 const char* LevelName(LogLevel level) {
@@ -50,13 +68,20 @@ void SetLogThreshold(LogLevel level) {
   g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+void ResetLogThresholdForTest() {
+  g_threshold.store(-1, std::memory_order_relaxed);
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(level >= GetLogThreshold()), level_(level) {
   if (enabled_) {
     const char* basename = std::strrchr(file, '/');
-    stream_ << "[" << LevelName(level_) << " "
+    char prefix[64];
+    std::snprintf(prefix, sizeof(prefix), "%.6f tid=%d", SecondsSinceStart(),
+                  ThisThreadLogId());
+    stream_ << "[" << LevelName(level_) << " " << prefix << " "
             << (basename ? basename + 1 : file) << ":" << line << "] ";
   }
 }

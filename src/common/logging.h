@@ -19,6 +19,12 @@ LogLevel GetLogThreshold();
 /// \brief Overrides the process-wide log threshold.
 void SetLogThreshold(LogLevel level);
 
+/// \brief Forgets any SetLogThreshold override so the next GetLogThreshold
+/// re-reads METAPROBE_LOG_LEVEL. Test helper: lets a test that lowers the
+/// threshold restore whatever the environment configured, instead of
+/// guessing the prior value.
+void ResetLogThresholdForTest();
+
 namespace internal {
 
 /// \brief Accumulates one log record and emits it to stderr on destruction.

@@ -6,9 +6,20 @@
 #include <numeric>
 
 #include "common/macros.h"
+#include "obs/metric_registry.h"
 
 namespace metaprobe {
 namespace core {
+
+namespace {
+
+// Telemetry counters are optional at two levels (no struct, null counter);
+// every bump site funnels through here so the disabled path is one branch.
+inline void Bump(obs::Counter* counter, std::uint64_t n = 1) {
+  if (counter != nullptr && n > 0) counter->Add(n);
+}
+
+}  // namespace
 
 const char* CorrectnessMetricName(CorrectnessMetric metric) {
   switch (metric) {
@@ -92,6 +103,7 @@ void TopKModel::RebuildCache() const {
   for (std::size_t i = 0; i < n; ++i) RecomputeRow(i);
   ++c.generation;
   c.valid = true;
+  if (telemetry_ != nullptr) Bump(telemetry_->full_rebuilds);
 }
 
 void TopKModel::EnsureCache() const {
@@ -114,13 +126,16 @@ void TopKModel::EnsureCache() const {
       }
     }
   }
+  std::uint64_t repaired = 0;
   for (std::size_t i = 0; i < dists_.size(); ++i) {
     if (cache_.dirty[i]) {
       RecomputeRow(i);
       cache_.dirty[i] = false;
+      ++repaired;
     }
   }
   cache_.any_dirty = false;
+  if (telemetry_ != nullptr) Bump(telemetry_->row_repairs, repaired);
 }
 
 namespace {
@@ -188,7 +203,10 @@ std::vector<double> TopKModel::MembershipProbabilities(int k) const {
   if (static_cast<std::size_t>(k) >= n) return result;
   EnsureCache();
   KernelCache& c = cache_;
-  if (c.marginals_k == k) return c.marginals;
+  if (c.marginals_k == k) {
+    if (telemetry_ != nullptr) Bump(telemetry_->marginals_memo_hits);
+    return c.marginals;
+  }
 
   const std::size_t kk = static_cast<std::size_t>(k);
   const std::size_t g_size = c.grid.size();
@@ -233,6 +251,9 @@ std::vector<double> TopKModel::MembershipProbabilities(int k) const {
   const double update_q_max = 0.25;
   const double err_cap = 32.0;
   double err_scale = 1.0;
+  // Local tally, published once after the sweep: the hot loop must not pay
+  // even a sharded atomic per fallback.
+  std::uint64_t dp_fallbacks = 0;
 
   c.q.assign(n, 0.0);
   c.dp.assign(kk, 0.0);
@@ -256,6 +277,7 @@ std::vector<double> TopKModel::MembershipProbabilities(int k) const {
         RemoveBernoulli(c.dp.data(), kk, qi, c.loo.data());
       } else {
         BuildDp(c.q, i, kk, c.loo.data());
+        ++dp_fallbacks;
       }
       double pr_at_most = 0.0;
       for (std::size_t cc = 0; cc < kk; ++cc) pr_at_most += c.loo[cc];
@@ -278,15 +300,18 @@ std::vector<double> TopKModel::MembershipProbabilities(int k) const {
         if (err_scale > err_cap) {
           BuildDp(c.q, n, kk, c.dp.data());
           err_scale = 1.0;
+          ++dp_fallbacks;
         }
       } else {
         c.q[i] = q_new;
         BuildDp(c.q, n, kk, c.dp.data());
         err_scale = 1.0;
+        ++dp_fallbacks;
       }
     }
   }
   for (std::size_t i = 0; i < n; ++i) result[i] = std::min(result[i], 1.0);
+  if (telemetry_ != nullptr) Bump(telemetry_->dp_fallbacks, dp_fallbacks);
   c.marginals_k = k;
   c.marginals = result;
   return result;
@@ -513,6 +538,9 @@ TopKModel::ScopedCondition::ScopedCondition(TopKModel* model, std::size_t i,
       std::fill(gt, gt + idx, 1.0);
       std::fill(gt + idx, gt + g_size, 0.0);
       c.atom_index[i] = {static_cast<std::uint32_t>(idx)};
+      if (model_->telemetry_ != nullptr) {
+        Bump(model_->telemetry_->fast_restores);
+      }
       return;
     }
   }

@@ -11,6 +11,11 @@
 #include "stats/random.h"
 
 namespace metaprobe {
+
+namespace obs {
+class Counter;
+}  // namespace obs
+
 namespace core {
 
 /// \brief Which correctness definition of Section 3.2 to target.
@@ -53,6 +58,19 @@ const char* CorrectnessMetricName(CorrectnessMetric metric);
 class TopKModel {
  public:
   static constexpr double kTieEpsilon = 1e-7;
+
+  /// \brief Counters the kernel cache reports into (all borrowed, any may
+  /// be null). The serving layer points one instance at its metric
+  /// registry and shares it across every model built from the searcher;
+  /// obs::Counter is sharded and thread-safe, so clones scoring on worker
+  /// threads bump the same counters without synchronization.
+  struct KernelTelemetry {
+    obs::Counter* full_rebuilds = nullptr;   ///< Whole-grid cache rebuilds.
+    obs::Counter* row_repairs = nullptr;     ///< Single-row recomputes.
+    obs::Counter* fast_restores = nullptr;   ///< ScopedCondition fast saves.
+    obs::Counter* dp_fallbacks = nullptr;    ///< Deconvolution -> direct DP.
+    obs::Counter* marginals_memo_hits = nullptr;  ///< Memoized marginals.
+  };
 
   /// Builds the model from per-database RDs (index = database id).
   explicit TopKModel(std::vector<RelevancyDistribution> rds);
@@ -147,6 +165,13 @@ class TopKModel {
     std::vector<std::uint32_t> saved_atom_index_;
   };
 
+  /// \brief Installs kernel cache telemetry. `telemetry` is borrowed and
+  /// must outlive the model and every clone of it (clones copy the
+  /// pointer); the counters it names must be thread-safe. Null detaches.
+  void set_telemetry(const KernelTelemetry* telemetry) {
+    telemetry_ = telemetry;
+  }
+
   /// \brief Draws one joint sample of raw-ordering ranks: returns database
   /// ids sorted by sampled relevancy, best first (Monte-Carlo validation).
   std::vector<std::size_t> SampleRanking(stats::Rng* rng) const;
@@ -195,6 +220,7 @@ class TopKModel {
   std::vector<stats::DiscreteDistribution> dists_;  // tie-adjusted
   std::vector<bool> probed_;
   mutable KernelCache cache_;
+  const KernelTelemetry* telemetry_ = nullptr;  // borrowed; see set_telemetry
 };
 
 /// \brief Monte-Carlo estimate of E[Cor(set)] by sampling the joint RDs

@@ -23,6 +23,49 @@ Metasearcher::Metasearcher(MetasearcherOptions options)
   } else {
     estimator_ = std::make_unique<TermIndependenceEstimator>();
   }
+
+  // Register the serving metrics once; the resolved pointers are what the
+  // hot paths touch. Registration order is exposition order.
+  telemetry_.queries_served =
+      registry_.GetCounter("metaprobe_queries_served_total");
+  telemetry_.batches_served =
+      registry_.GetCounter("metaprobe_batches_served_total");
+  telemetry_.probes_ok =
+      registry_.GetCounter("metaprobe_probes_total", "result=\"ok\"");
+  telemetry_.probes_failed =
+      registry_.GetCounter("metaprobe_probes_total", "result=\"failed\"");
+  telemetry_.speculative_probes =
+      registry_.GetCounter("metaprobe_speculative_probes_total");
+  telemetry_.speculative_waste =
+      registry_.GetCounter("metaprobe_speculative_waste_total");
+  telemetry_.rd_cache_hits =
+      registry_.GetCounter("metaprobe_rd_cache_requests_total",
+                           "result=\"hit\"");
+  telemetry_.rd_cache_misses =
+      registry_.GetCounter("metaprobe_rd_cache_requests_total",
+                           "result=\"miss\"");
+  rd_cache_.SetCounters(telemetry_.rd_cache_hits, telemetry_.rd_cache_misses);
+  registry_.RegisterCallbackGauge(
+      "metaprobe_rd_cache_entries", "",
+      [this]() { return static_cast<double>(rd_cache_.entries()); });
+  kernel_telemetry_.full_rebuilds = registry_.GetCounter(
+      "metaprobe_kernel_cache_events_total", "event=\"full_rebuild\"");
+  kernel_telemetry_.row_repairs = registry_.GetCounter(
+      "metaprobe_kernel_cache_events_total", "event=\"row_repair\"");
+  kernel_telemetry_.fast_restores = registry_.GetCounter(
+      "metaprobe_kernel_cache_events_total", "event=\"fast_restore\"");
+  kernel_telemetry_.dp_fallbacks = registry_.GetCounter(
+      "metaprobe_kernel_cache_events_total", "event=\"dp_fallback\"");
+  kernel_telemetry_.marginals_memo_hits = registry_.GetCounter(
+      "metaprobe_kernel_cache_events_total", "event=\"marginals_memo_hit\"");
+  telemetry_.select_latency =
+      registry_.GetHistogram("metaprobe_select_latency_seconds");
+  telemetry_.model_build_latency =
+      registry_.GetHistogram("metaprobe_model_build_latency_seconds");
+  telemetry_.probe_latency =
+      registry_.GetHistogram("metaprobe_probe_latency_seconds");
+  telemetry_.train_latency =
+      registry_.GetHistogram("metaprobe_train_latency_seconds");
 }
 
 Status Metasearcher::AddDatabase(std::shared_ptr<HiddenWebDatabase> database,
@@ -67,6 +110,7 @@ void Metasearcher::SetProbingPolicy(std::unique_ptr<ProbingPolicy> policy) {
 }
 
 Status Metasearcher::Train(const std::vector<Query>& training_queries) {
+  obs::ScopedTimer train_timer(telemetry_.train_latency, clock_);
   if (databases_.empty()) {
     return Status::FailedPrecondition("no databases registered");
   }
@@ -121,7 +165,12 @@ Result<TopKModel> Metasearcher::BuildModelUnlocked(const Query& query) const {
           estimate, ed_table_->Get(i, type)));
     }
   }
-  return TopKModel(std::move(rds));
+  TopKModel model(std::move(rds));
+  // Kernel cache events from every model (and its per-task clones) land in
+  // the searcher's registry; counter bumps have no floating-point effect,
+  // so the bit-exact reproduction paths are unaffected.
+  model.set_telemetry(&kernel_telemetry_);
+  return model;
 }
 
 Result<TopKModel> Metasearcher::BuildModel(const Query& query) const {
@@ -129,15 +178,61 @@ Result<TopKModel> Metasearcher::BuildModel(const Query& query) const {
   return BuildModelUnlocked(query);
 }
 
+namespace {
+
+std::string QueryText(const Query& query) {
+  if (!query.raw.empty()) return query.raw;
+  std::string text;
+  for (const std::string& term : query.terms) {
+    if (!text.empty()) text.push_back(' ');
+    text += term;
+  }
+  return text;
+}
+
+}  // namespace
+
 Result<SelectionReport> Metasearcher::SelectWithPolicy(
     const Query& query, int k, double threshold,
     ProbingPolicy* policy) const {
+  obs::ScopedTimer select_timer(telemetry_.select_latency, clock_);
+  // One trace per query while a tracer is installed; this coordinator
+  // thread is the only span writer, per QueryTrace's contract.
+  std::unique_ptr<obs::QueryTrace> trace;
+  if (tracer_ != nullptr) trace = tracer_->StartTrace(QueryText(query));
+  auto finish_trace = [this, &trace]() {
+    if (trace != nullptr) tracer_->Finish(std::move(trace));
+  };
+
+  obs::TraceSpan* estimate_span =
+      trace != nullptr ? trace->StartSpan("estimate") : nullptr;
+  std::vector<double> estimates = EstimateAll(query);
+  if (estimate_span != nullptr) {
+    estimate_span->Num("databases", static_cast<double>(estimates.size()));
+    trace->EndSpan(estimate_span);
+  }
+
   // BuildModel takes the shared state lock just long enough to derive the
   // per-query RDs from the trained tables; the probing loop below runs on
   // that private model with no lock held, so an in-flight Train never
   // waits behind probe round-trips (and cannot be starved by a stream of
   // serving threads -- glibc rwlocks prefer readers).
-  ASSIGN_OR_RETURN(TopKModel model, BuildModel(query));
+  obs::TraceSpan* model_span =
+      trace != nullptr ? trace->StartSpan("model_build") : nullptr;
+  Result<TopKModel> model_result = [this, &query]() {
+    obs::ScopedTimer model_timer(telemetry_.model_build_latency, clock_);
+    return BuildModel(query);
+  }();
+  if (!model_result.ok()) {
+    finish_trace();
+    return model_result.status();
+  }
+  TopKModel model = std::move(model_result).ValueOrDie();
+  if (model_span != nullptr) {
+    model_span->Num("databases", static_cast<double>(model.num_databases()));
+    trace->EndSpan(model_span);
+  }
+
   AProOptions apro_options;
   apro_options.k = k;
   apro_options.threshold = threshold;
@@ -145,12 +240,22 @@ Result<SelectionReport> Metasearcher::SelectWithPolicy(
   apro_options.search_width = options_.search_width;
   apro_options.speculative_batch = options_.speculative_batch;
   apro_options.pool = probe_pool_;
+  apro_options.trace = trace.get();
+  apro_options.probe_latency = telemetry_.probe_latency;
+  apro_options.clock = clock_;
+  apro_options.speculative_probes = telemetry_.speculative_probes;
+  apro_options.speculative_waste = telemetry_.speculative_waste;
   AdaptiveProber prober(policy, apro_options);
   ProbeFn probe = [this, &query](std::size_t db) -> Result<double> {
     return ProbeRelevancy(*databases_[db], query,
                           options_.relevancy_definition);
   };
-  ASSIGN_OR_RETURN(AProResult apro, prober.Run(&model, probe));
+  Result<AProResult> apro_result = prober.Run(&model, probe);
+  if (!apro_result.ok()) {
+    finish_trace();
+    return apro_result.status();
+  }
+  AProResult apro = std::move(apro_result).ValueOrDie();
 
   SelectionReport report;
   report.databases = std::move(apro.selected);
@@ -160,13 +265,12 @@ Result<SelectionReport> Metasearcher::SelectWithPolicy(
   report.expected_correctness = apro.expected_correctness;
   report.reached_threshold = apro.reached_threshold;
   report.probe_order = std::move(apro.probe_order);
-  report.estimates = EstimateAll(query);
+  report.estimates = std::move(estimates);
 
-  counters_.queries_served.fetch_add(1, std::memory_order_relaxed);
-  counters_.probes_issued.fetch_add(report.probe_order.size(),
-                                    std::memory_order_relaxed);
-  counters_.probes_failed.fetch_add(apro.failed_probes.size(),
-                                    std::memory_order_relaxed);
+  telemetry_.queries_served->Increment();
+  telemetry_.probes_ok->Add(report.probe_order.size());
+  telemetry_.probes_failed->Add(apro.failed_probes.size());
+  finish_trace();
   return report;
 }
 
@@ -256,9 +360,7 @@ Result<std::vector<SelectionReport>> Metasearcher::SelectBatch(
   };
   Result<std::vector<SelectionReport>> reports =
       FanOut<SelectionReport>(pool, queries.size(), run);
-  if (reports.ok()) {
-    counters_.batches_served.fetch_add(1, std::memory_order_relaxed);
-  }
+  if (reports.ok()) telemetry_.batches_served->Increment();
   return reports;
 }
 
@@ -278,34 +380,23 @@ Result<std::vector<std::vector<FusedHit>>> Metasearcher::SearchBatch(
   };
   Result<std::vector<std::vector<FusedHit>>> results =
       FanOut<std::vector<FusedHit>>(pool, queries.size(), run);
-  if (results.ok()) {
-    counters_.batches_served.fetch_add(1, std::memory_order_relaxed);
-  }
+  if (results.ok()) telemetry_.batches_served->Increment();
   return results;
 }
 
 ServingStats Metasearcher::stats() const {
   ServingStats stats;
-  stats.queries_served =
-      counters_.queries_served.load(std::memory_order_relaxed);
-  stats.batches_served =
-      counters_.batches_served.load(std::memory_order_relaxed);
-  stats.probes_issued =
-      counters_.probes_issued.load(std::memory_order_relaxed);
-  stats.probes_failed =
-      counters_.probes_failed.load(std::memory_order_relaxed);
-  stats.rd_cache_hits = rd_cache_.hits();
-  stats.rd_cache_misses = rd_cache_.misses();
+  stats.queries_served = telemetry_.queries_served->Value();
+  stats.batches_served = telemetry_.batches_served->Value();
+  stats.probes_issued = telemetry_.probes_ok->Value();
+  stats.probes_failed = telemetry_.probes_failed->Value();
+  stats.rd_cache_hits = telemetry_.rd_cache_hits->Value();
+  stats.rd_cache_misses = telemetry_.rd_cache_misses->Value();
   stats.rd_cache_entries = rd_cache_.entries();
   return stats;
 }
 
-void Metasearcher::ResetStats() {
-  counters_.queries_served.store(0, std::memory_order_relaxed);
-  counters_.batches_served.store(0, std::memory_order_relaxed);
-  counters_.probes_issued.store(0, std::memory_order_relaxed);
-  counters_.probes_failed.store(0, std::memory_order_relaxed);
-}
+void Metasearcher::ResetStats() { registry_.ResetCounters(); }
 
 }  // namespace core
 }  // namespace metaprobe

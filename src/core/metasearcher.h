@@ -13,6 +13,8 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/correctness.h"
+#include "obs/metric_registry.h"
+#include "obs/trace.h"
 #include "core/ed_learner.h"
 #include "core/estimator.h"
 #include "core/fusion.h"
@@ -113,6 +115,28 @@ class Metasearcher {
   /// nested waits could starve each other.
   void SetProbePool(ThreadPool* pool) { probe_pool_ = pool; }
 
+  /// \brief Installs a borrowed query tracer (setup phase only). While set,
+  /// every Select/Search records a structured trace — estimate, model
+  /// build, one span per probe with certainty before/after, the stop
+  /// decision — retrievable from the tracer. Tracing costs one best-set
+  /// search per probe on speculative rounds (the sequential loop already
+  /// pays it), so leave it null for bit-exact reproduction benches.
+  void SetTracer(obs::QueryTracer* tracer) { tracer_ = tracer; }
+  obs::QueryTracer* tracer() const { return tracer_; }
+
+  /// \brief Swaps the monotonic clock behind every latency metric and span
+  /// timestamp (setup phase only; tests inject an obs::FakeClock). Null
+  /// restores the real clock.
+  void SetClock(const obs::MonotonicClock* clock) {
+    clock_ = clock != nullptr ? clock : obs::RealClock::Get();
+  }
+
+  /// \brief The searcher's metric registry: every serving counter and
+  /// latency histogram, Prometheus-scrapeable via ExpositionText(). Safe to
+  /// scrape concurrently with serving. Mutable so callers can toggle
+  /// registry.set_enabled() around benches.
+  obs::MetricRegistry& metrics() const { return registry_; }
+
   /// \brief Learns one ED per (database, query type) by sampling every
   /// database with `training_queries` (Section 4).
   Status Train(const std::vector<Query>& training_queries);
@@ -173,11 +197,14 @@ class Metasearcher {
       std::istream& is,
       std::vector<std::shared_ptr<HiddenWebDatabase>> databases);
 
-  /// \brief Snapshot of the serving counters (queries, probes, RD cache).
+  /// \brief Snapshot of the serving counters (queries, probes, RD cache),
+  /// sampled from the metric registry — the same series the Prometheus
+  /// exposition exports.
   ServingStats stats() const;
 
-  /// \brief Zeroes the query/probe counters (the RD cache keeps its
-  /// entries; its hit/miss counters reset with Train).
+  /// \brief Zeroes every registry counter and histogram (queries, probes,
+  /// RD cache hit/miss, kernel cache events). The RD cache keeps its
+  /// entries — only Train drops those.
   void ResetStats();
 
   std::size_t num_databases() const { return databases_.size(); }
@@ -218,7 +245,32 @@ class Metasearcher {
   /// exclusive for Train, shared for every serving read.
   mutable std::shared_mutex state_mutex_;
   mutable RdCache rd_cache_;
-  mutable ServingCounters counters_;
+
+  /// Resolved registry handles for the hot serving paths; looked up once in
+  /// the constructor so recording is pointer-chasing, never a map lookup.
+  struct Telemetry {
+    obs::Counter* queries_served = nullptr;
+    obs::Counter* batches_served = nullptr;
+    obs::Counter* probes_ok = nullptr;
+    obs::Counter* probes_failed = nullptr;
+    obs::Counter* rd_cache_hits = nullptr;
+    obs::Counter* rd_cache_misses = nullptr;
+    obs::Counter* speculative_probes = nullptr;
+    obs::Counter* speculative_waste = nullptr;
+    obs::Histogram* select_latency = nullptr;
+    obs::Histogram* model_build_latency = nullptr;
+    obs::Histogram* probe_latency = nullptr;
+    obs::Histogram* train_latency = nullptr;
+  };
+
+  // registry_ is declared after rd_cache_ on purpose: its callback gauge
+  // reads rd_cache_.entries(), so the registry (and the callback) must be
+  // destroyed first.
+  mutable obs::MetricRegistry registry_;
+  Telemetry telemetry_;
+  TopKModel::KernelTelemetry kernel_telemetry_;
+  obs::QueryTracer* tracer_ = nullptr;  // borrowed; see SetTracer
+  const obs::MonotonicClock* clock_ = obs::RealClock::Get();
 };
 
 }  // namespace core

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <utility>
 
 #include "common/macros.h"
+#include "obs/metric_registry.h"
+#include "obs/trace.h"
 
 namespace metaprobe {
 namespace core {
@@ -29,6 +33,15 @@ double BinaryEntropy(double p) {
   p = std::clamp(p, 0.0, 1.0);
   if (p <= 0.0 || p >= 1.0) return 0.0;
   return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+// Exports a policy's candidate score when the serving layer asked for them.
+void RecordPolicyScore(const ProbingContext& context, std::size_t db,
+                       double score) {
+  if (context.policy_scores != nullptr &&
+      db < context.policy_scores->size()) {
+    (*context.policy_scores)[db] = score;
+  }
 }
 
 // Expected usefulness of probing database `i`: average over the RD's
@@ -87,6 +100,7 @@ std::size_t GreedyUsefulnessPolicy::SelectDb(TopKModel* model,
   std::size_t best_db = candidates.front();
   double best_usefulness = -1.0;
   for (std::size_t c = 0; c < candidates.size(); ++c) {
+    RecordPolicyScore(context, candidates[c], usefulness[c]);
     if (usefulness[c] > best_usefulness) {
       best_usefulness = usefulness[c];
       best_db = candidates[c];
@@ -127,6 +141,7 @@ std::size_t MaxVarianceProbingPolicy::SelectDb(TopKModel* model,
   double best_stddev = -1.0;
   for (std::size_t i : candidates) {
     double stddev = model->rd(i).StdDev();
+    RecordPolicyScore(context, i, stddev);
     if (stddev > best_stddev) {
       best_stddev = stddev;
       best_db = i;
@@ -145,6 +160,7 @@ std::size_t MembershipEntropyPolicy::SelectDb(TopKModel* model,
   double best_entropy = -1.0;
   for (std::size_t i : candidates) {
     double entropy = BinaryEntropy(marginals[i]) / context.CostOf(i);
+    RecordPolicyScore(context, i, entropy);
     if (entropy > best_entropy) {
       best_entropy = entropy;
       best_db = i;
@@ -180,6 +196,7 @@ std::size_t StoppingProbabilityPolicy::SelectDb(
     double cost = context.CostOf(i);
     double stop_rate = stop / cost;
     double entropy_rate = BinaryEntropy(marginals[i]) / cost;
+    RecordPolicyScore(context, i, stop_rate);
     if (stop_rate > best_stop + 1e-12 ||
         (stop_rate > best_stop - 1e-12 && entropy_rate > best_entropy)) {
       best_stop = std::max(stop_rate, best_stop);
@@ -247,6 +264,7 @@ std::size_t ExpectimaxProbingPolicy::SelectDb(TopKModel* model,
       if (cost >= best_cost) break;
     }
     scratch[i] = false;
+    RecordPolicyScore(context, i, -cost);  // higher = better, like the rest
     if (cost < best_cost) {
       best_cost = cost;
       best_db = i;
@@ -291,19 +309,42 @@ Result<AProResult> AdaptiveProber::Run(TopKModel* model,
     context.probe_costs = &options_.probe_costs;
   }
 
+  // Tracing (legacy trajectory vector or structured spans) recomputes the
+  // best set after *every* merge so each trace step reflects exactly the
+  // beliefs after its probe; without it a speculative round recomputes only
+  // once, after its last merge.
+  const bool tracing = options_.record_trace || options_.trace != nullptr;
+  // Probe timing needs a clock and at least one sink that wants durations.
+  const obs::MonotonicClock* clock =
+      (options_.clock != nullptr && (options_.probe_latency != nullptr ||
+                                     options_.trace != nullptr))
+          ? options_.clock
+          : nullptr;
+
   AProResult result;
   std::vector<bool> probed(n, false);
   for (std::size_t i = 0; i < n; ++i) probed[i] = model->probed(i);
 
+  // Candidate-score scratch, db-indexed; refilled before each SelectDb so
+  // the chosen database's policy score can ride along in its probe span.
+  std::vector<double> scores;
+  std::vector<double> batch_scores;
+
+  auto record_step = [this, &result](const TopKModel::BestSet& best) {
+    if (!options_.record_trace) return;
+    SelectionResult step;
+    step.databases = best.members;
+    step.expected_correctness = best.expected_correctness;
+    result.trace.push_back(std::move(step));
+  };
+
+  // Entry 0 of the trace: the answer before any probing (the RD method).
+  TopKModel::BestSet best =
+      model->FindBestSet(options_.k, options_.metric, options_.search_width);
+  record_step(best);
+
+  std::size_t round = 0;
   while (true) {
-    TopKModel::BestSet best =
-        model->FindBestSet(options_.k, options_.metric, options_.search_width);
-    if (options_.record_trace) {
-      SelectionResult step;
-      step.databases = best.members;
-      step.expected_correctness = best.expected_correctness;
-      result.trace.push_back(std::move(step));
-    }
     result.selected = best.members;
     result.expected_correctness = best.expected_correctness;
     if (best.expected_correctness >= threshold) {
@@ -328,6 +369,7 @@ Result<AProResult> AdaptiveProber::Run(TopKModel* model,
     // than the final in-flight batch — mirroring the sequential loop, which
     // also only checks budgets between probes.
     std::vector<std::size_t> batch;
+    batch_scores.clear();
     std::vector<bool> planned = probed;
     std::size_t planned_count = num_probed;
     double planned_cost = 0.0;
@@ -339,11 +381,17 @@ Result<AProResult> AdaptiveProber::Run(TopKModel* model,
           break;
         }
       }
+      if (options_.trace != nullptr) {
+        scores.assign(n, std::numeric_limits<double>::quiet_NaN());
+        context.policy_scores = &scores;
+      }
       std::size_t next = policy_->SelectDb(model, planned, context);
+      context.policy_scores = nullptr;
       if (next >= n || planned[next]) {
         return Status::Internal("probing policy '", policy_->name(),
                                 "' returned invalid database ", next);
       }
+      if (options_.trace != nullptr) batch_scores.push_back(scores[next]);
       planned[next] = true;
       ++planned_count;
       planned_cost += context.CostOf(next);
@@ -351,57 +399,111 @@ Result<AProResult> AdaptiveProber::Run(TopKModel* model,
     }
 
     // Dispatch: concurrent across the batch when a pool is supplied, the
-    // probes being independent remote calls; otherwise in order.
-    std::vector<Result<double>> outcomes;
+    // probes being independent remote calls; otherwise in order. Each
+    // worker times its own probe (a wall-clock read is thread-local and the
+    // latency histogram is sharded, so this adds no synchronization).
+    struct TimedOutcome {
+      Result<double> value;
+      double seconds;
+    };
+    auto run_probe = [this, &probe, clock](std::size_t db) -> TimedOutcome {
+      if (clock == nullptr) return {probe(db), -1.0};
+      const std::uint64_t start = clock->NowNanos();
+      Result<double> value = probe(db);
+      const double seconds =
+          static_cast<double>(clock->NowNanos() - start) * 1e-9;
+      if (options_.probe_latency != nullptr) {
+        options_.probe_latency->Observe(seconds);
+      }
+      return {std::move(value), seconds};
+    };
+    std::vector<TimedOutcome> outcomes;
     outcomes.reserve(batch.size());
     if (options_.pool != nullptr && batch.size() > 1) {
-      std::vector<std::future<Result<double>>> futures;
+      std::vector<std::future<TimedOutcome>> futures;
       futures.reserve(batch.size());
       for (std::size_t db : batch) {
         futures.push_back(
-            options_.pool->Submit([&probe, db]() { return probe(db); }));
+            options_.pool->Submit([&run_probe, db]() { return run_probe(db); }));
       }
-      for (std::future<Result<double>>& future : futures) {
+      for (std::future<TimedOutcome>& future : futures) {
         outcomes.push_back(future.get());
       }
     } else {
-      for (std::size_t db : batch) outcomes.push_back(probe(db));
+      for (std::size_t db : batch) outcomes.push_back(run_probe(db));
     }
 
     // Merge the observed relevancies into the model in selection order —
     // the coordinating thread is the only writer, so the merged state is a
     // deterministic function of the inputs no matter how the concurrent
-    // probes interleaved.
+    // probes interleaved. Trace steps are emitted here, at the merge that
+    // produced them, so they appear in observation order.
     for (std::size_t b = 0; b < batch.size(); ++b) {
       std::size_t db = batch[b];
       result.total_cost += context.CostOf(db);
-      if (!outcomes[b].ok()) {
+      if (b > 0 && options_.speculative_probes != nullptr) {
+        options_.speculative_probes->Increment();
+      }
+      const double certainty_before = best.expected_correctness;
+      obs::TraceSpan* span = nullptr;
+      if (options_.trace != nullptr) {
+        span = options_.trace->StartSpan("probe");
+        span->Num("db", static_cast<double>(db))
+            .Num("round", static_cast<double>(round))
+            .Num("batch_index", static_cast<double>(b))
+            .Num("certainty_before", certainty_before);
+        if (b < batch_scores.size() && !std::isnan(batch_scores[b])) {
+          span->Num("policy_score", batch_scores[b]);
+        }
+        if (outcomes[b].seconds >= 0.0) {
+          span->Num("probe_seconds", outcomes[b].seconds);
+        }
+      }
+      if (!outcomes[b].value.ok()) {
         if (options_.failure_mode == ProbeFailureMode::kAbort) {
-          return outcomes[b].status();
+          return outcomes[b].value.status();
         }
         // Skip mode: the database keeps its RD but is never probed again;
         // the failed attempt counts against the probe budget so a fully
         // unreachable backend cannot stall the loop.
         probed[db] = true;
         result.failed_probes.push_back(db);
+        if (span != nullptr) {
+          span->Num("ok", 0.0).Str("error",
+                                   outcomes[b].value.status().message());
+        }
       } else {
-        model->Observe(db, *outcomes[b]);
+        model->Observe(db, *outcomes[b].value);
         probed[db] = true;
         result.probe_order.push_back(db);
+        if (span != nullptr) {
+          span->Num("ok", 1.0).Num("observed_r", *outcomes[b].value);
+        }
       }
-      // The round's last merge gets its trace entry at the top of the next
-      // iteration (as in the sequential loop); intermediate merges of a
-      // speculative batch record theirs here so the trace still holds one
-      // entry per probe attempt.
-      if (options_.record_trace && b + 1 < batch.size()) {
-        TopKModel::BestSet after = model->FindBestSet(
-            options_.k, options_.metric, options_.search_width);
-        SelectionResult step;
-        step.databases = after.members;
-        step.expected_correctness = after.expected_correctness;
-        result.trace.push_back(std::move(step));
+      if (tracing || b + 1 == batch.size()) {
+        best = model->FindBestSet(options_.k, options_.metric,
+                                  options_.search_width);
+        record_step(best);
+        if (span != nullptr) {
+          span->Num("certainty_after", best.expected_correctness);
+        }
+        if (tracing && b > 0 && certainty_before >= threshold &&
+            options_.speculative_waste != nullptr) {
+          options_.speculative_waste->Increment();
+        }
       }
+      if (span != nullptr) options_.trace->EndSpan(span);
     }
+    ++round;
+  }
+
+  if (options_.trace != nullptr) {
+    options_.trace->AddEvent("stop")
+        ->Num("reached_threshold", result.reached_threshold ? 1.0 : 0.0)
+        .Num("expected_correctness", result.expected_correctness)
+        .Num("probes", static_cast<double>(result.probe_order.size()))
+        .Num("failed_probes", static_cast<double>(result.failed_probes.size()))
+        .Num("total_cost", result.total_cost);
   }
   return result;
 }

@@ -15,6 +15,14 @@
 #include "stats/random.h"
 
 namespace metaprobe {
+
+namespace obs {
+class Counter;
+class Histogram;
+class MonotonicClock;
+class QueryTrace;
+}  // namespace obs
+
 namespace core {
 
 /// \brief The selection task a probing policy is serving.
@@ -38,6 +46,14 @@ struct ProbingContext {
   /// (the serving layer guarantees that by keeping the query/batch pool and
   /// the probe pool distinct; see Metasearcher::SetProbePool).
   ThreadPool* pool = nullptr;
+
+  /// When non-null (the serving layer sets it while tracing), SelectDb
+  /// fills entry i with the policy's internal score for candidate database
+  /// i, NaN where none was computed; the chosen database's score is
+  /// exported into the query trace. Score-free policies (random,
+  /// round-robin) leave it untouched. Writing scores must not change the
+  /// selection arithmetic.
+  std::vector<double>* policy_scores = nullptr;
 
   /// \brief Cost of probing database `i` (1 when no costs are configured).
   double CostOf(std::size_t i) const {
@@ -248,6 +264,27 @@ struct AProOptions {
   /// the batch's probes are issued sequentially (identical results, no
   /// concurrency).
   ThreadPool* pool = nullptr;
+
+  // --- Observability sinks (all borrowed, all optional). ---
+
+  /// Structured span sink for this run: one "probe" span per probe attempt
+  /// (database id, observed r, certainty before/after, policy score) plus a
+  /// final "stop" event. Enabling it costs one best-set search per probe —
+  /// the same price record_trace pays.
+  obs::QueryTrace* trace = nullptr;
+  /// Per-probe wall-time histogram; each worker observes its own probe's
+  /// duration. Requires `clock`.
+  obs::Histogram* probe_latency = nullptr;
+  /// Time source for probe timing and span timestamps. Null disables all
+  /// timing (probes are then never clocked, even with `trace` set).
+  const obs::MonotonicClock* clock = nullptr;
+  /// Probes dispatched speculatively (position > 0 in their round's batch).
+  obs::Counter* speculative_probes = nullptr;
+  /// Speculative probes merged after the threshold had already been
+  /// reached by an earlier merge of the same batch. Exact only while a
+  /// trace is active — detecting waste otherwise would cost the per-merge
+  /// best-set searches speculation exists to avoid.
+  obs::Counter* speculative_waste = nullptr;
 };
 
 /// \brief Outcome of an adaptive-probing run.

@@ -15,8 +15,11 @@ void RdCache::Reset(std::size_t num_databases, std::uint32_t num_types) {
   std::unique_lock<std::shared_mutex> lock(mutex_);
   num_types_ = num_types;
   entries_.clear();
-  hits_.store(0, std::memory_order_relaxed);
-  misses_.store(0, std::memory_order_relaxed);
+}
+
+void RdCache::SetCounters(obs::Counter* hits, obs::Counter* misses) {
+  if (hits != nullptr) hits_ = hits;
+  if (misses != nullptr) misses_ = misses;
 }
 
 namespace {
@@ -55,7 +58,7 @@ RelevancyDistribution RdCache::GetOrDerive(
   // Sub-unit estimates are not quantized, so caching them would key
   // distinct RDs to one bucket; derive those directly.
   if (BucketIndex(r_hat, buckets_per_decade_) < 0) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_->Increment();
     return derive(r_hat);
   }
   std::uint64_t key = KeyOf(db, type, r_hat);
@@ -63,11 +66,11 @@ RelevancyDistribution RdCache::GetOrDerive(
     std::shared_lock<std::shared_mutex> lock(mutex_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_->Increment();
       return it->second;
     }
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_->Increment();
   RelevancyDistribution rd = derive(Representative(r_hat));
   {
     std::unique_lock<std::shared_mutex> lock(mutex_);

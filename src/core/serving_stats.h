@@ -3,7 +3,6 @@
 #ifndef METAPROBE_CORE_SERVING_STATS_H_
 #define METAPROBE_CORE_SERVING_STATS_H_
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <shared_mutex>
@@ -11,12 +10,17 @@
 
 #include "core/query_class.h"
 #include "core/relevancy_distribution.h"
+#include "obs/metric_registry.h"
 
 namespace metaprobe {
 namespace core {
 
 /// \brief Snapshot of a Metasearcher's serving counters; throughput benches
 /// and operational dashboards read these instead of instrumenting callers.
+/// Since the observability layer landed this is a *view* over the
+/// searcher's obs::MetricRegistry — the same series the Prometheus
+/// exposition exports — kept as a plain struct for callers that want a
+/// coherent sample without parsing text.
 struct ServingStats {
   std::uint64_t queries_served = 0;   ///< Select/Search calls completed.
   std::uint64_t batches_served = 0;   ///< SelectBatch/SearchBatch calls.
@@ -30,15 +34,6 @@ struct ServingStats {
     std::uint64_t total = rd_cache_hits + rd_cache_misses;
     return total == 0 ? 0.0 : static_cast<double>(rd_cache_hits) / total;
   }
-};
-
-/// \brief Thread-safe counters behind ServingStats; lives in the
-/// Metasearcher as mutable state so the const serving path can record.
-struct ServingCounters {
-  std::atomic<std::uint64_t> queries_served{0};
-  std::atomic<std::uint64_t> batches_served{0};
-  std::atomic<std::uint64_t> probes_issued{0};
-  std::atomic<std::uint64_t> probes_failed{0};
 };
 
 /// \brief Memoizes derived relevancy distributions per
@@ -57,14 +52,22 @@ struct ServingCounters {
 /// figures are bit-exact against the uncached path by default.
 ///
 /// Readers take a shared lock; a miss upgrades to an exclusive lock for the
-/// insert. All counters are atomics, so hot hits contend only on the shared
-/// lock.
+/// insert. Hit/miss accounting goes through sharded obs::Counters, so hot
+/// hits contend only on the shared lock.
 class RdCache {
  public:
   explicit RdCache(double buckets_per_decade = 20.0);
 
-  /// \brief Drops all entries and re-keys for a (re)trained model.
+  /// \brief Drops all entries and re-keys for a (re)trained model. Hit and
+  /// miss counters are monotonic and survive retraining (scrapers expect
+  /// counters to only move forward); entries() reflects the empty cache.
   void Reset(std::size_t num_databases, std::uint32_t num_types);
+
+  /// \brief Redirects hit/miss accounting to externally owned counters —
+  /// the Metasearcher points these at its metric registry so the cache's
+  /// traffic shows up in the exposition. Call during setup, before the
+  /// cache serves concurrent traffic; null pointers are ignored.
+  void SetCounters(obs::Counter* hits, obs::Counter* misses);
 
   /// \brief The bucket-representative estimate that stands in for `r_hat`.
   double Representative(double r_hat) const;
@@ -75,12 +78,8 @@ class RdCache {
       std::size_t db, QueryTypeId type, double r_hat,
       const std::function<RelevancyDistribution(double)>& derive);
 
-  std::uint64_t hits() const {
-    return hits_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t misses() const {
-    return misses_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t hits() const { return hits_->Value(); }
+  std::uint64_t misses() const { return misses_->Value(); }
   std::uint64_t entries() const;
 
  private:
@@ -90,8 +89,12 @@ class RdCache {
   std::uint32_t num_types_ = 0;
   mutable std::shared_mutex mutex_;
   std::unordered_map<std::uint64_t, RelevancyDistribution> entries_;
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
+  // Standalone fallbacks so a bare RdCache still counts; SetCounters swaps
+  // in the owning searcher's registry series.
+  obs::Counter own_hits_{"rd_cache_hits"};
+  obs::Counter own_misses_{"rd_cache_misses"};
+  obs::Counter* hits_ = &own_hits_;
+  obs::Counter* misses_ = &own_misses_;
 };
 
 }  // namespace core

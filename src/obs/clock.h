@@ -1,0 +1,74 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_OBS_CLOCK_H_
+#define METAPROBE_OBS_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace metaprobe {
+namespace obs {
+
+/// \brief Injectable monotonic time source for the observability layer.
+///
+/// Every timestamp the metrics and tracing code records flows through one of
+/// these, so tests swap in a FakeClock and assert on exact span durations
+/// and histogram cells instead of sleeping and hoping.
+class MonotonicClock {
+ public:
+  virtual ~MonotonicClock() = default;
+
+  /// \brief Nanoseconds since an arbitrary (per-clock) epoch. Never
+  /// decreases across calls from any thread.
+  virtual std::uint64_t NowNanos() const = 0;
+
+  double NowSeconds() const { return static_cast<double>(NowNanos()) * 1e-9; }
+};
+
+/// \brief Production clock: std::chrono::steady_clock.
+class RealClock : public MonotonicClock {
+ public:
+  std::uint64_t NowNanos() const override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  /// \brief Shared process-wide instance (the default everywhere a clock is
+  /// optional).
+  static const RealClock* Get() {
+    static RealClock clock;
+    return &clock;
+  }
+};
+
+/// \brief Deterministic test clock. Time moves only when the test advances
+/// it — either explicitly via Advance, or implicitly by `auto_step_ns` on
+/// every NowNanos() call (so consecutive reads yield strictly increasing,
+/// predictable timestamps without any per-callsite bookkeeping).
+class FakeClock : public MonotonicClock {
+ public:
+  explicit FakeClock(std::uint64_t start_ns = 0,
+                     std::uint64_t auto_step_ns = 0)
+      : now_ns_(start_ns), auto_step_ns_(auto_step_ns) {}
+
+  std::uint64_t NowNanos() const override {
+    if (auto_step_ns_ == 0) return now_ns_.load(std::memory_order_relaxed);
+    return now_ns_.fetch_add(auto_step_ns_, std::memory_order_relaxed);
+  }
+
+  void Advance(std::uint64_t ns) {
+    now_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::atomic<std::uint64_t> now_ns_;
+  std::uint64_t auto_step_ns_;
+};
+
+}  // namespace obs
+}  // namespace metaprobe
+
+#endif  // METAPROBE_OBS_CLOCK_H_

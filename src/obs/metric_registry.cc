@@ -1,0 +1,266 @@
+#include "obs/metric_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace metaprobe {
+namespace obs {
+
+namespace {
+
+// CAS add for the histogram sums; atomic<double>::fetch_add is C++20 but
+// not guaranteed lock-free, and a plain CAS loop is portable.
+void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<double> SanitizedBounds(std::vector<double> bounds) {
+  if (bounds.empty()) return MetricRegistry::DefaultLatencyBoundsSeconds();
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  return bounds;
+}
+
+std::string MetricKey(const std::string& name, const std::string& labels) {
+  std::string key = name;
+  key.push_back('\x01');
+  key += labels;
+  return key;
+}
+
+// Prometheus sample line: name{labels} value. `extra_label` is appended to
+// the label set (the histogram `le` label).
+void WriteSample(std::ostream& os, const std::string& name,
+                 const std::string& labels, const std::string& extra_label,
+                 double value) {
+  os << name;
+  if (!labels.empty() || !extra_label.empty()) {
+    os << '{' << labels;
+    if (!labels.empty() && !extra_label.empty()) os << ',';
+    os << extra_label << '}';
+  }
+  if (value == static_cast<double>(static_cast<std::uint64_t>(
+                   value < 0 ? 0 : value)) &&
+      value >= 0) {
+    os << ' ' << static_cast<std::uint64_t>(value) << '\n';
+  } else {
+    std::ostringstream fmt;
+    fmt.precision(17);
+    fmt << value;
+    os << ' ' << fmt.str() << '\n';
+  }
+}
+
+std::string FormatBound(double bound) {
+  std::ostringstream fmt;
+  fmt.precision(12);
+  fmt << bound;
+  return fmt.str();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::string name, std::string labels,
+                     std::vector<double> bounds,
+                     const std::atomic<bool>* enabled)
+    : layout_(
+          stats::Histogram::Make(SanitizedBounds(std::move(bounds)))
+              .MoveValueUnsafe()),
+      name_(std::move(name)),
+      labels_(std::move(labels)),
+      enabled_(enabled),
+      counts_(new std::atomic<std::uint64_t>[kNumShards *
+                                             layout_.num_cells()]) {
+  const std::size_t total = kNumShards * layout_.num_cells();
+  for (std::size_t i = 0; i < total; ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double value) {
+#ifndef METAPROBE_OBS_DISABLED
+  if (!enabled()) return;
+  const std::size_t cell = layout_.CellFor(value);
+  const std::size_t shard = ThisThreadShard();
+  counts_[shard * layout_.num_cells() + cell].fetch_add(
+      1, std::memory_order_relaxed);
+  AtomicAddDouble(&sums_[shard].value, value);
+#else
+  (void)value;
+#endif
+}
+
+std::vector<std::uint64_t> Histogram::BucketCounts() const {
+  const std::size_t cells = layout_.num_cells();
+  std::vector<std::uint64_t> merged(cells, 0);
+  for (std::size_t shard = 0; shard < kNumShards; ++shard) {
+    for (std::size_t cell = 0; cell < cells; ++cell) {
+      merged[cell] +=
+          counts_[shard * cells + cell].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+std::uint64_t Histogram::TotalCount() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t count : BucketCounts()) total += count;
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const SumCell& cell : sums_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Reset() {
+  const std::size_t total = kNumShards * layout_.num_cells();
+  for (std::size_t i = 0; i < total; ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  for (SumCell& cell : sums_) {
+    cell.value.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+// ----------------------------------------------------------- MetricRegistry
+
+std::vector<double> MetricRegistry::DefaultLatencyBoundsSeconds() {
+  return {1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2,
+          5e-2, 1e-1,   0.25, 0.5,  1.0,    2.5,  5.0,  10.0};
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name,
+                                    const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_key_.find(MetricKey(name, labels));
+  if (it != by_key_.end()) {
+    const Entry& entry = order_[it->second];
+    return entry.kind == Kind::kCounter ? &counters_[entry.index] : nullptr;
+  }
+  counters_.emplace_back(name, labels);
+  by_key_[MetricKey(name, labels)] = order_.size();
+  order_.push_back({Kind::kCounter, counters_.size() - 1});
+  return &counters_.back();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name,
+                                const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_key_.find(MetricKey(name, labels));
+  if (it != by_key_.end()) {
+    const Entry& entry = order_[it->second];
+    return entry.kind == Kind::kGauge ? &gauges_[entry.index] : nullptr;
+  }
+  gauges_.emplace_back(name, labels);
+  by_key_[MetricKey(name, labels)] = order_.size();
+  order_.push_back({Kind::kGauge, gauges_.size() - 1});
+  return &gauges_.back();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        const std::string& labels,
+                                        std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_key_.find(MetricKey(name, labels));
+  if (it != by_key_.end()) {
+    const Entry& entry = order_[it->second];
+    return entry.kind == Kind::kHistogram ? &histograms_[entry.index]
+                                          : nullptr;
+  }
+  histograms_.emplace_back(name, labels, std::move(bounds), &enabled_);
+  by_key_[MetricKey(name, labels)] = order_.size();
+  order_.push_back({Kind::kHistogram, histograms_.size() - 1});
+  return &histograms_.back();
+}
+
+void MetricRegistry::RegisterCallbackGauge(const std::string& name,
+                                           const std::string& labels,
+                                           std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (by_key_.count(MetricKey(name, labels)) > 0) return;
+  callbacks_.push_back({name, labels, std::move(fn)});
+  by_key_[MetricKey(name, labels)] = order_.size();
+  order_.push_back({Kind::kCallbackGauge, callbacks_.size() - 1});
+}
+
+void MetricRegistry::WriteExposition(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string* last_family = nullptr;
+  auto type_line = [&os, &last_family](const std::string& family,
+                                       const char* type) {
+    if (last_family == nullptr || *last_family != family) {
+      os << "# TYPE " << family << ' ' << type << '\n';
+    }
+    last_family = &family;
+  };
+  for (const Entry& entry : order_) {
+    switch (entry.kind) {
+      case Kind::kCounter: {
+        const Counter& c = counters_[entry.index];
+        type_line(c.name(), "counter");
+        WriteSample(os, c.name(), c.labels(), "",
+                    static_cast<double>(c.Value()));
+        break;
+      }
+      case Kind::kGauge: {
+        const Gauge& g = gauges_[entry.index];
+        type_line(g.name(), "gauge");
+        WriteSample(os, g.name(), g.labels(), "", g.Value());
+        break;
+      }
+      case Kind::kCallbackGauge: {
+        const CallbackGauge& g = callbacks_[entry.index];
+        type_line(g.name, "gauge");
+        WriteSample(os, g.name, g.labels, "", g.fn());
+        break;
+      }
+      case Kind::kHistogram: {
+        const Histogram& h = histograms_[entry.index];
+        type_line(h.name(), "histogram");
+        const std::vector<std::uint64_t> counts = h.BucketCounts();
+        const std::vector<double>& edges = h.layout().edges();
+        std::uint64_t cumulative = 0;
+        // Cell i of the layout is [e_{i-1}, e_i): everything the paper's
+        // histogram counted below edge i belongs to the le="e_i" bucket.
+        for (std::size_t i = 0; i < edges.size(); ++i) {
+          cumulative += counts[i];
+          WriteSample(os, h.name() + "_bucket", h.labels(),
+                      "le=\"" + FormatBound(edges[i]) + "\"",
+                      static_cast<double>(cumulative));
+        }
+        cumulative += counts[edges.size()];
+        WriteSample(os, h.name() + "_bucket", h.labels(), "le=\"+Inf\"",
+                    static_cast<double>(cumulative));
+        WriteSample(os, h.name() + "_sum", h.labels(), "", h.Sum());
+        WriteSample(os, h.name() + "_count", h.labels(), "",
+                    static_cast<double>(cumulative));
+        break;
+      }
+    }
+  }
+}
+
+std::string MetricRegistry::ExpositionText() const {
+  std::ostringstream os;
+  WriteExposition(os);
+  return os.str();
+}
+
+void MetricRegistry::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Counter& c : counters_) c.Reset();
+  for (Histogram& h : histograms_) h.Reset();
+}
+
+}  // namespace obs
+}  // namespace metaprobe

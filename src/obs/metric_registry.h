@@ -1,0 +1,268 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_OBS_METRIC_REGISTRY_H_
+#define METAPROBE_OBS_METRIC_REGISTRY_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/clock.h"
+#include "stats/histogram.h"
+
+namespace metaprobe {
+namespace obs {
+
+/// Number of per-thread shards each counter/histogram spreads its writes
+/// over. Power of two; threads hash onto shards, so writers on different
+/// cores rarely touch the same cache line and a scrape merges all shards.
+inline constexpr std::size_t kNumShards = 8;
+
+/// \brief Stable shard index of the calling thread, < kNumShards.
+inline std::size_t ThisThreadShard() {
+  static thread_local const std::size_t shard =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) &
+      (kNumShards - 1);
+  return shard;
+}
+
+/// \brief Monotonically increasing event count, sharded per thread.
+///
+/// `Add` is one relaxed fetch_add on the calling thread's shard — no lock,
+/// no shared cache line between threads on distinct shards. `Value` merges
+/// the shards; it is O(kNumShards) and intended for scrapes, not hot paths.
+/// Counters record unconditionally (they are the ServingStats path and cost
+/// what the pre-registry atomic counters cost); only histograms honor the
+/// registry's enabled flag.
+class Counter {
+ public:
+  explicit Counter(std::string name, std::string labels = "")
+      : name_(std::move(name)), labels_(std::move(labels)) {}
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(std::uint64_t n) {
+#ifndef METAPROBE_OBS_DISABLED
+    shards_[ThisThreadShard()].value.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+  void Increment() { Add(1); }
+
+  std::uint64_t Value() const {
+    std::uint64_t total = 0;
+    for (const Cell& cell : shards_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// \brief Zeroes every shard (ResetStats / bench isolation; scrapers
+  /// should treat counters as monotonic otherwise).
+  void Reset() {
+    for (Cell& cell : shards_) cell.value.store(0, std::memory_order_relaxed);
+  }
+
+  const std::string& name() const { return name_; }
+  const std::string& labels() const { return labels_; }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Cell, kNumShards> shards_;
+  std::string name_;
+  std::string labels_;
+};
+
+/// \brief Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  explicit Gauge(std::string name, std::string labels = "")
+      : name_(std::move(name)), labels_(std::move(labels)) {}
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+  const std::string& labels() const { return labels_; }
+
+ private:
+  std::atomic<double> value_{0.0};
+  std::string name_;
+  std::string labels_;
+};
+
+/// \brief Fixed-bucket histogram, sharded per thread like Counter.
+///
+/// The bucket layout (cell arithmetic, edges, representatives) is a
+/// `stats::Histogram` — the same container behind the paper's error
+/// distributions — while the counts live in per-shard atomic arrays so
+/// concurrent serving threads can observe without synchronization.
+/// `Observe` honors the owning registry's enabled flag: when observability
+/// is off it is one relaxed bool load and a branch.
+class Histogram {
+ public:
+  /// \param bounds strictly increasing bucket upper bounds (histogram edges);
+  ///   values >= the last bound land in the +Inf cell.
+  /// \param enabled optional gate (the registry's flag); null = always on.
+  Histogram(std::string name, std::string labels, std::vector<double> bounds,
+            const std::atomic<bool>* enabled = nullptr);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  bool enabled() const {
+    return enabled_ == nullptr || enabled_->load(std::memory_order_relaxed);
+  }
+
+  /// \brief Shard-merged per-cell counts (num_cells entries; the last cell
+  /// is the +Inf bucket).
+  std::vector<std::uint64_t> BucketCounts() const;
+  std::uint64_t TotalCount() const;
+  double Sum() const;
+  void Reset();
+
+  std::size_t num_cells() const { return layout_.num_cells(); }
+  const stats::Histogram& layout() const { return layout_; }
+  const std::string& name() const { return name_; }
+  const std::string& labels() const { return labels_; }
+
+ private:
+  stats::Histogram layout_;  // cell math only; its counts stay empty
+  std::string name_;
+  std::string labels_;
+  const std::atomic<bool>* enabled_;
+  // counts_[shard * num_cells + cell]; sums_[shard].
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  struct alignas(64) SumCell {
+    std::atomic<double> value{0.0};
+  };
+  std::array<SumCell, kNumShards> sums_;
+};
+
+/// \brief RAII latency sample: observes elapsed seconds into `histogram`
+/// on destruction. Null histogram, disabled registry, or null clock make
+/// it a no-op that never reads the clock — the "disabled path" the
+/// overhead bench measures.
+class ScopedTimer {
+ public:
+  ScopedTimer(Histogram* histogram, const MonotonicClock* clock)
+      : histogram_(histogram), clock_(clock) {
+    if (histogram_ != nullptr && clock_ != nullptr && histogram_->enabled()) {
+      start_ns_ = clock_->NowNanos();
+      armed_ = true;
+    }
+  }
+
+  ~ScopedTimer() {
+    if (armed_) {
+      histogram_->Observe(
+          static_cast<double>(clock_->NowNanos() - start_ns_) * 1e-9);
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  const MonotonicClock* clock_;
+  std::uint64_t start_ns_ = 0;
+  bool armed_ = false;
+};
+
+/// \brief Named metric directory with Prometheus text exposition.
+///
+/// Registration (GetCounter / GetGauge / GetHistogram /
+/// RegisterCallbackGauge) takes a mutex and is meant for setup or first
+/// use; it returns stable pointers the hot paths then use lock-free.
+/// Metrics registered under the same family name with different label sets
+/// share one `# TYPE` line in the exposition when registered consecutively.
+///
+/// `set_enabled(false)` freezes every histogram (and timers built on them)
+/// while counters and gauges keep recording — counters are the ServingStats
+/// substrate and must stay correct even with observability "off".
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// \brief Returns the counter registered under (name, labels), creating
+  /// it on first use. The pointer stays valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& name, const std::string& labels = "");
+  Gauge* GetGauge(const std::string& name, const std::string& labels = "");
+  Histogram* GetHistogram(const std::string& name,
+                          const std::string& labels = "",
+                          std::vector<double> bounds = {});
+
+  /// \brief Gauge whose value is computed by `fn` at scrape time (e.g. a
+  /// cache's current entry count). `fn` must be thread-safe.
+  void RegisterCallbackGauge(const std::string& name,
+                             const std::string& labels,
+                             std::function<double()> fn);
+
+  /// \brief Histogram bucket bounds used when GetHistogram gets none:
+  /// latencies in seconds from 100us to 10s, roughly 1-2.5-5 per decade.
+  static std::vector<double> DefaultLatencyBoundsSeconds();
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  const std::atomic<bool>* enabled_flag() const { return &enabled_; }
+
+  /// \brief Prometheus text exposition (one `# TYPE` line per family,
+  /// `name{labels} value` samples, histograms as cumulative `_bucket` +
+  /// `_sum` + `_count`).
+  void WriteExposition(std::ostream& os) const;
+  std::string ExpositionText() const;
+
+  /// \brief Zeroes every counter and histogram (gauges and callback gauges
+  /// are instantaneous and keep their sources). Test/bench helper.
+  void ResetCounters();
+
+ private:
+  struct CallbackGauge {
+    std::string name;
+    std::string labels;
+    std::function<double()> fn;
+  };
+  enum class Kind { kCounter, kGauge, kHistogram, kCallbackGauge };
+  struct Entry {
+    Kind kind;
+    std::size_t index;  // into the matching deque
+  };
+
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mutex_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::deque<CallbackGauge> callbacks_;
+  std::vector<Entry> order_;  // registration order for exposition
+  std::unordered_map<std::string, std::size_t> by_key_;  // key -> order_ idx
+};
+
+}  // namespace obs
+}  // namespace metaprobe
+
+#endif  // METAPROBE_OBS_METRIC_REGISTRY_H_

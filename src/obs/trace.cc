@@ -1,0 +1,183 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace metaprobe {
+namespace obs {
+
+namespace {
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  AppendJsonEscaped(out, s);
+  out->push_back('"');
+}
+
+void AppendJsonNumber(std::string* out, double value) {
+  char buf[64];
+  if (value == static_cast<double>(static_cast<long long>(value))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  *out += buf;
+}
+
+}  // namespace
+
+double TraceSpan::num(const std::string& key, double fallback) const {
+  for (auto it = num_attrs.rbegin(); it != num_attrs.rend(); ++it) {
+    if (it->first == key) return it->second;
+  }
+  return fallback;
+}
+
+const std::string* TraceSpan::str(const std::string& key) const {
+  for (auto it = str_attrs.rbegin(); it != str_attrs.rend(); ++it) {
+    if (it->first == key) return &it->second;
+  }
+  return nullptr;
+}
+
+TraceSpan* QueryTrace::StartSpan(std::string name) {
+  spans_.emplace_back();
+  TraceSpan& span = spans_.back();
+  span.name = std::move(name);
+  span.start_ns = clock_->NowNanos();
+  span.end_ns = span.start_ns;
+  return &span;
+}
+
+void QueryTrace::EndSpan(TraceSpan* span) {
+  span->end_ns = clock_->NowNanos();
+}
+
+TraceSpan* QueryTrace::AddEvent(std::string name) {
+  return StartSpan(std::move(name));
+}
+
+std::vector<const TraceSpan*> QueryTrace::SpansNamed(
+    const std::string& name) const {
+  std::vector<const TraceSpan*> out;
+  for (const TraceSpan& span : spans_) {
+    if (span.name == name) out.push_back(&span);
+  }
+  return out;
+}
+
+std::unique_ptr<QueryTrace> QueryTracer::StartTrace(std::string query) {
+  std::uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = next_trace_id_++;
+  }
+  return std::make_unique<QueryTrace>(id, std::move(query), clock_);
+}
+
+void QueryTracer::Finish(std::unique_ptr<QueryTrace> trace) {
+  if (trace == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  finished_.push_back(std::shared_ptr<const QueryTrace>(std::move(trace)));
+  while (finished_.size() > max_finished_) finished_.pop_front();
+}
+
+std::vector<std::shared_ptr<const QueryTrace>> QueryTracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {finished_.begin(), finished_.end()};
+}
+
+std::shared_ptr<const QueryTrace> QueryTracer::Latest() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return finished_.empty() ? nullptr : finished_.back();
+}
+
+void QueryTracer::ExportJsonLines(const QueryTrace& trace, std::ostream& os) {
+  for (const TraceSpan& span : trace.spans()) {
+    std::string line = "{\"trace_id\":";
+    AppendJsonNumber(&line, static_cast<double>(trace.trace_id()));
+    line += ",\"query\":";
+    AppendJsonString(&line, trace.query());
+    line += ",\"span\":";
+    AppendJsonString(&line, span.name);
+    line += ",\"start_ns\":";
+    AppendJsonNumber(&line, static_cast<double>(span.start_ns));
+    line += ",\"end_ns\":";
+    AppendJsonNumber(&line, static_cast<double>(span.end_ns));
+    line += ",\"duration_s\":";
+    AppendJsonNumber(&line, span.DurationSeconds());
+    for (const auto& [key, value] : span.num_attrs) {
+      line += ",";
+      AppendJsonString(&line, key);
+      line += ":";
+      AppendJsonNumber(&line, value);
+    }
+    for (const auto& [key, value] : span.str_attrs) {
+      line += ",";
+      AppendJsonString(&line, key);
+      line += ":";
+      AppendJsonString(&line, value);
+    }
+    line += "}\n";
+    os << line;
+  }
+}
+
+std::string QueryTracer::ExportJsonLines(const QueryTrace& trace) {
+  std::ostringstream os;
+  ExportJsonLines(trace, os);
+  return os.str();
+}
+
+void QueryTracer::ExportJsonLines(std::ostream& os) const {
+  for (const auto& trace : Snapshot()) ExportJsonLines(*trace, os);
+}
+
+std::string QueryTracer::ExportJsonLinesText() const {
+  std::ostringstream os;
+  ExportJsonLines(os);
+  return os.str();
+}
+
+std::size_t QueryTracer::finished_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return finished_.size();
+}
+
+void QueryTracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  finished_.clear();
+}
+
+}  // namespace obs
+}  // namespace metaprobe

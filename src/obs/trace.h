@@ -1,0 +1,145 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_OBS_TRACE_H_
+#define METAPROBE_OBS_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.h"
+
+namespace metaprobe {
+namespace obs {
+
+/// \brief One timed, attributed step inside a query trace.
+///
+/// Spans are flat (no parent pointers): a Select trace is a short ordered
+/// list — estimate, model_build, N probe rounds, stop — and a flat list
+/// keeps export and assertions trivial. Attributes are typed key/value
+/// pairs; numeric attributes stay doubles end-to-end so tests can
+/// EXPECT_DOUBLE_EQ against model outputs.
+struct TraceSpan {
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::vector<std::pair<std::string, double>> num_attrs;
+  std::vector<std::pair<std::string, std::string>> str_attrs;
+
+  TraceSpan& Num(std::string key, double value) {
+    num_attrs.emplace_back(std::move(key), value);
+    return *this;
+  }
+  TraceSpan& Str(std::string key, std::string value) {
+    str_attrs.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+
+  /// \brief Last value recorded under `key`, or `fallback`. Linear scan —
+  /// spans carry a handful of attributes.
+  double num(const std::string& key, double fallback = 0.0) const;
+  const std::string* str(const std::string& key) const;
+
+  double DurationSeconds() const {
+    return static_cast<double>(end_ns - start_ns) * 1e-9;
+  }
+};
+
+/// \brief The spans of one Select/SearchBatch call, in emission order.
+///
+/// A QueryTrace is written by exactly one coordinator thread (the thread
+/// running the probing loop); worker threads never touch it — they hand
+/// their measurements back through the probe futures. That keeps span
+/// recording lock-free and the span order deterministic.
+class QueryTrace {
+ public:
+  QueryTrace(std::uint64_t trace_id, std::string query,
+             const MonotonicClock* clock)
+      : trace_id_(trace_id), query_(std::move(query)), clock_(clock) {}
+
+  /// \brief Opens a span and returns it for attribute writes. The span stays
+  /// mutable until the next StartSpan or EndSpan; pointers are stable for
+  /// the trace's lifetime (deque storage).
+  TraceSpan* StartSpan(std::string name);
+
+  /// \brief Closes `span` at the current clock reading. Safe to skip — an
+  /// unclosed span keeps end_ns == start_ns.
+  void EndSpan(TraceSpan* span);
+
+  /// \brief Instantaneous span (start == end): a point event such as the
+  /// stop decision.
+  TraceSpan* AddEvent(std::string name);
+
+  std::uint64_t trace_id() const { return trace_id_; }
+  const std::string& query() const { return query_; }
+  const std::deque<TraceSpan>& spans() const { return spans_; }
+
+  /// \brief Spans with the given name, in order (e.g. all "probe" rounds).
+  std::vector<const TraceSpan*> SpansNamed(const std::string& name) const;
+
+ private:
+  std::uint64_t trace_id_;
+  std::string query_;
+  const MonotonicClock* clock_;
+  std::deque<TraceSpan> spans_;
+};
+
+/// \brief Owns finished traces and hands out fresh ones.
+///
+/// StartTrace/Finish are mutex-guarded (they run once per query, not per
+/// probe). Finished traces are kept in a bounded FIFO — old traces fall off
+/// so a long-lived server doesn't grow without bound.
+class QueryTracer {
+ public:
+  explicit QueryTracer(const MonotonicClock* clock = RealClock::Get(),
+                       std::size_t max_finished = 256)
+      : clock_(clock), max_finished_(max_finished) {}
+
+  QueryTracer(const QueryTracer&) = delete;
+  QueryTracer& operator=(const QueryTracer&) = delete;
+
+  /// \brief New trace for one query. The caller (the coordinator thread)
+  /// owns it until Finish.
+  std::unique_ptr<QueryTrace> StartTrace(std::string query);
+
+  /// \brief Files a completed trace into the finished ring.
+  void Finish(std::unique_ptr<QueryTrace> trace);
+
+  /// \brief Copies of the finished traces, oldest first.
+  std::vector<std::shared_ptr<const QueryTrace>> Snapshot() const;
+
+  /// \brief Most recent finished trace, or null.
+  std::shared_ptr<const QueryTrace> Latest() const;
+
+  /// \brief JSON-lines export: one object per span, flattened attributes.
+  /// Each line carries trace_id / query / span name / start+end ns /
+  /// duration, then the span's attributes as top-level keys. The static
+  /// overload serializes a single trace; the members export every finished
+  /// trace, oldest first.
+  static void ExportJsonLines(const QueryTrace& trace, std::ostream& os);
+  static std::string ExportJsonLines(const QueryTrace& trace);
+  void ExportJsonLines(std::ostream& os) const;
+  std::string ExportJsonLinesText() const;
+
+  std::size_t finished_count() const;
+  void Clear();
+
+  const MonotonicClock* clock() const { return clock_; }
+
+ private:
+  const MonotonicClock* clock_;
+  std::size_t max_finished_;
+  mutable std::mutex mutex_;
+  std::uint64_t next_trace_id_ = 1;
+  std::deque<std::shared_ptr<const QueryTrace>> finished_;
+};
+
+}  // namespace obs
+}  // namespace metaprobe
+
+#endif  // METAPROBE_OBS_TRACE_H_

@@ -358,6 +358,51 @@ TEST_F(ConcurrencyTest, ServingStatsCountQueriesAndProbes) {
   EXPECT_EQ(zeroed.probes_issued, 0u);
 }
 
+TEST_F(ConcurrencyTest, ServingStatsUnderConcurrentServingMatchSequential) {
+  // The registry counters are sharded per thread and merged on read; under
+  // concurrent batch serving the totals must still equal the deterministic
+  // single-thread run's exactly — no lost updates, no double counts.
+  auto searcher = MakeTrained();
+  std::vector<Query> queries = ServingQueries(4);  // 16 queries
+
+  // Reference totals from a sequential, inline run.
+  searcher->ResetStats();
+  ASSERT_TRUE(searcher->SelectBatch(queries, 1, 0.999, nullptr).ok());
+  ServingStats sequential = searcher->stats();
+  ASSERT_EQ(sequential.queries_served, queries.size());
+  ASSERT_GT(sequential.probes_issued, 0u);
+
+  // Same batch fanned across a pool.
+  searcher->ResetStats();
+  ThreadPool pool(8);
+  ASSERT_TRUE(searcher->SelectBatch(queries, 1, 0.999, &pool).ok());
+  ServingStats pooled = searcher->stats();
+  EXPECT_EQ(pooled.queries_served, sequential.queries_served);
+  EXPECT_EQ(pooled.batches_served, sequential.batches_served);
+  EXPECT_EQ(pooled.probes_issued, sequential.probes_issued);
+  EXPECT_EQ(pooled.probes_failed, sequential.probes_failed);
+
+  // Two concurrent batch coordinators sharing the pool: exactly twice the
+  // single-coordinator totals.
+  searcher->ResetStats();
+  std::atomic<int> failures{0};
+  std::vector<std::thread> coordinators;
+  for (int t = 0; t < 2; ++t) {
+    coordinators.emplace_back([&searcher, &queries, &pool, &failures]() {
+      if (!searcher->SelectBatch(queries, 1, 0.999, &pool).ok()) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : coordinators) t.join();
+  ASSERT_EQ(failures.load(), 0);
+  ServingStats doubled = searcher->stats();
+  EXPECT_EQ(doubled.queries_served, 2 * sequential.queries_served);
+  EXPECT_EQ(doubled.batches_served, 2 * sequential.batches_served);
+  EXPECT_EQ(doubled.probes_issued, 2 * sequential.probes_issued);
+  EXPECT_EQ(doubled.probes_failed, 2 * sequential.probes_failed);
+}
+
 TEST_F(ConcurrencyTest, RdCacheServesRepeatsFromCache) {
   MetasearcherOptions options;
   options.enable_rd_cache = true;

@@ -1,0 +1,81 @@
+// Tests for the logging satellite: record prefixes carry a monotonic
+// timestamp and a per-thread id, threshold filtering works, and the
+// test-helper reset makes the threshold re-readable from the environment.
+
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace metaprobe {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ResetLogThresholdForTest(); }
+};
+
+TEST_F(LoggingTest, PrefixCarriesLevelTimestampThreadIdAndLocation) {
+  SetLogThreshold(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  METAPROBE_LOG(Info) << "hello";
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[INFO "), std::string::npos);
+  EXPECT_NE(out.find(" tid="), std::string::npos);
+  EXPECT_NE(out.find("logging_test.cc:"), std::string::npos);
+  EXPECT_NE(out.find("hello"), std::string::npos);
+  // The timestamp is a fractional seconds count right after the level.
+  std::size_t level_end = out.find("[INFO ") + 6;
+  EXPECT_NE(out.find('.', level_end), std::string::npos);
+}
+
+TEST_F(LoggingTest, RecordsBelowThresholdAreDropped) {
+  SetLogThreshold(LogLevel::kWarning);
+  ::testing::internal::CaptureStderr();
+  METAPROBE_LOG(Info) << "quiet";
+  METAPROBE_LOG(Warning) << "loud";
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("quiet"), std::string::npos);
+  EXPECT_NE(out.find("loud"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ResetRereadsEnvironmentThreshold) {
+  // With METAPROBE_LOG_LEVEL unset in the test environment the default is
+  // kInfo; an explicit override survives until reset.
+  SetLogThreshold(LogLevel::kError);
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kError);
+  ResetLogThresholdForTest();
+  const char* env = std::getenv("METAPROBE_LOG_LEVEL");
+  if (env == nullptr) {
+    EXPECT_EQ(GetLogThreshold(), LogLevel::kInfo);
+  } else {
+    // Whatever the environment says, the override must be gone.
+    EXPECT_NE(GetLogThreshold(), LogLevel::kError);
+  }
+}
+
+TEST_F(LoggingTest, DistinctThreadsGetDistinctIds) {
+  SetLogThreshold(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  METAPROBE_LOG(Info) << "main";
+  std::thread t([]() { METAPROBE_LOG(Info) << "worker"; });
+  t.join();
+  std::string out = ::testing::internal::GetCapturedStderr();
+
+  // Extract the tid= value from each of the two records.
+  auto tid_at = [&out](std::size_t from) {
+    std::size_t pos = out.find(" tid=", from);
+    EXPECT_NE(pos, std::string::npos);
+    return std::stoi(out.substr(pos + 5));
+  };
+  std::size_t first = out.find(" tid=");
+  ASSERT_NE(first, std::string::npos);
+  int id_a = tid_at(first);
+  int id_b = tid_at(first + 5);
+  EXPECT_NE(id_a, id_b);
+}
+
+}  // namespace
+}  // namespace metaprobe

@@ -1,0 +1,265 @@
+// Unit tier for the observability layer: clocks, sharded counters,
+// histograms, the registry's Prometheus exposition, and the query tracer's
+// span recording + JSON-lines export. Everything time-dependent runs on a
+// FakeClock so the assertions are exact.
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/clock.h"
+#include "obs/metric_registry.h"
+#include "obs/trace.h"
+
+namespace metaprobe {
+namespace obs {
+namespace {
+
+// ------------------------------------------------------------------ Clock
+
+TEST(ClockTest, RealClockIsMonotonic) {
+  const RealClock* clock = RealClock::Get();
+  std::uint64_t a = clock->NowNanos();
+  std::uint64_t b = clock->NowNanos();
+  EXPECT_GE(b, a);
+}
+
+TEST(ClockTest, FakeClockAdvancesOnlyWhenTold) {
+  FakeClock clock(1000);
+  EXPECT_EQ(clock.NowNanos(), 1000u);
+  EXPECT_EQ(clock.NowNanos(), 1000u);
+  clock.Advance(500);
+  EXPECT_EQ(clock.NowNanos(), 1500u);
+}
+
+TEST(ClockTest, FakeClockAutoStepsPerRead) {
+  FakeClock clock(0, 10);
+  EXPECT_EQ(clock.NowNanos(), 0u);
+  EXPECT_EQ(clock.NowNanos(), 10u);
+  EXPECT_EQ(clock.NowNanos(), 20u);
+}
+
+// ---------------------------------------------------------------- Counter
+
+TEST(CounterTest, AddsAndMergesAcrossThreads) {
+  Counter counter("test_total");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&counter]() {
+      for (int i = 0; i < 1000; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), 8000u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+// -------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, CountsLandInTheRightBuckets) {
+  Histogram h("lat_seconds", "", {0.1, 1.0, 10.0});
+  h.Observe(0.05);   // < 0.1
+  h.Observe(0.5);    // [0.1, 1)
+  h.Observe(0.5);
+  h.Observe(5.0);    // [1, 10)
+  h.Observe(50.0);   // >= 10 -> +Inf cell
+  std::vector<std::uint64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 edges -> 4 cells
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.TotalCount(), 5u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.05 + 0.5 + 0.5 + 5.0 + 50.0);
+}
+
+TEST(HistogramTest, DisabledFlagFreezesObservations) {
+  std::atomic<bool> enabled{true};
+  Histogram h("lat_seconds", "", {1.0}, &enabled);
+  h.Observe(0.5);
+  enabled.store(false);
+  h.Observe(0.5);
+  EXPECT_EQ(h.TotalCount(), 1u);
+  enabled.store(true);
+  h.Observe(0.5);
+  EXPECT_EQ(h.TotalCount(), 2u);
+}
+
+TEST(ScopedTimerTest, ObservesElapsedSecondsFromInjectedClock) {
+  FakeClock clock(0);
+  Histogram h("lat_seconds", "", {0.1, 1.0});
+  {
+    ScopedTimer timer(&h, &clock);
+    clock.Advance(500'000'000);  // 0.5s
+  }
+  EXPECT_EQ(h.TotalCount(), 1u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.5);
+  EXPECT_EQ(h.BucketCounts()[1], 1u);  // [0.1, 1)
+}
+
+TEST(ScopedTimerTest, NullHistogramOrClockIsANoop) {
+  FakeClock clock(0, 10);  // auto-stepping: any read would advance it
+  { ScopedTimer timer(nullptr, &clock); }
+  EXPECT_EQ(clock.NowNanos(), 0u);  // the timer never read the clock
+  Histogram h("lat_seconds", "", {1.0});
+  { ScopedTimer timer(&h, nullptr); }
+  EXPECT_EQ(h.TotalCount(), 0u);
+}
+
+// --------------------------------------------------------- MetricRegistry
+
+TEST(MetricRegistryTest, GetReturnsSameInstanceForSameNameAndLabels) {
+  MetricRegistry registry;
+  Counter* a = registry.GetCounter("x_total", "kind=\"a\"");
+  Counter* b = registry.GetCounter("x_total", "kind=\"a\"");
+  Counter* c = registry.GetCounter("x_total", "kind=\"b\"");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // A kind clash on the same key is rejected, not aliased.
+  EXPECT_EQ(registry.GetGauge("x_total", "kind=\"a\""), nullptr);
+}
+
+TEST(MetricRegistryTest, ExpositionFormatsCountersGaugesAndLabels) {
+  MetricRegistry registry;
+  registry.GetCounter("requests_total", "result=\"ok\"")->Add(3);
+  registry.GetCounter("requests_total", "result=\"err\"")->Add(1);
+  registry.GetGauge("temperature")->Set(21.5);
+  registry.RegisterCallbackGauge("entries", "", []() { return 7.0; });
+  std::string text = registry.ExpositionText();
+  EXPECT_NE(text.find("# TYPE requests_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("requests_total{result=\"ok\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("requests_total{result=\"err\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE temperature gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("temperature 21.5\n"), std::string::npos);
+  EXPECT_NE(text.find("entries 7\n"), std::string::npos);
+  // One TYPE line for the two requests_total series (consecutive family).
+  std::size_t first = text.find("# TYPE requests_total");
+  EXPECT_EQ(text.find("# TYPE requests_total", first + 1), std::string::npos);
+}
+
+TEST(MetricRegistryTest, ExpositionHistogramBucketsAreCumulative) {
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram("lat_seconds", "", {0.1, 1.0});
+  // Powers of two: the sum is exact in binary and prints without noise.
+  h->Observe(0.0625);
+  h->Observe(0.5);
+  h->Observe(2.0);
+  std::string text = registry.ExpositionText();
+  EXPECT_NE(text.find("# TYPE lat_seconds histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"0.1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_sum 2.5625\n"), std::string::npos);
+}
+
+TEST(MetricRegistryTest, SetEnabledGatesHistogramsButNotCounters) {
+  MetricRegistry registry;
+  Counter* counter = registry.GetCounter("c_total");
+  Histogram* h = registry.GetHistogram("h_seconds");
+  registry.set_enabled(false);
+  counter->Increment();
+  h->Observe(0.5);
+  EXPECT_EQ(counter->Value(), 1u);  // counters are the ServingStats path
+  EXPECT_EQ(h->TotalCount(), 0u);
+  registry.set_enabled(true);
+  h->Observe(0.5);
+  EXPECT_EQ(h->TotalCount(), 1u);
+}
+
+TEST(MetricRegistryTest, ResetCountersZeroesCountersAndHistograms) {
+  MetricRegistry registry;
+  registry.GetCounter("c_total")->Add(5);
+  registry.GetGauge("g")->Set(3.0);
+  registry.GetHistogram("h_seconds")->Observe(0.5);
+  registry.ResetCounters();
+  EXPECT_EQ(registry.GetCounter("c_total")->Value(), 0u);
+  EXPECT_EQ(registry.GetHistogram("h_seconds")->TotalCount(), 0u);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("g")->Value(), 3.0);  // gauges keep
+}
+
+// ------------------------------------------------------------ QueryTracer
+
+TEST(QueryTracerTest, SpansRecordTimesAndAttributes) {
+  FakeClock clock(1'000'000'000);
+  QueryTracer tracer(&clock);
+  std::unique_ptr<QueryTrace> trace = tracer.StartTrace("alpha beta");
+  TraceSpan* span = trace->StartSpan("probe");
+  clock.Advance(2'000'000);  // 2ms
+  span->Num("db", 3).Str("note", "hello");
+  trace->EndSpan(span);
+  EXPECT_EQ(span->name, "probe");
+  EXPECT_DOUBLE_EQ(span->DurationSeconds(), 0.002);
+  EXPECT_DOUBLE_EQ(span->num("db"), 3.0);
+  EXPECT_DOUBLE_EQ(span->num("missing", -1.0), -1.0);
+  ASSERT_NE(span->str("note"), nullptr);
+  EXPECT_EQ(*span->str("note"), "hello");
+  tracer.Finish(std::move(trace));
+  ASSERT_EQ(tracer.finished_count(), 1u);
+  auto latest = tracer.Latest();
+  ASSERT_NE(latest, nullptr);
+  EXPECT_EQ(latest->query(), "alpha beta");
+  ASSERT_EQ(latest->spans().size(), 1u);
+}
+
+TEST(QueryTracerTest, FinishedRingIsBounded) {
+  FakeClock clock;
+  QueryTracer tracer(&clock, /*max_finished=*/2);
+  for (int i = 0; i < 5; ++i) {
+    std::string name = "q";
+    name += std::to_string(i);
+    tracer.Finish(tracer.StartTrace(name));
+  }
+  auto snapshot = tracer.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0]->query(), "q3");
+  EXPECT_EQ(snapshot[1]->query(), "q4");
+}
+
+TEST(QueryTracerTest, ExportJsonLinesEmitsOneObjectPerSpan) {
+  FakeClock clock(0);
+  QueryTracer tracer(&clock);
+  std::unique_ptr<QueryTrace> trace = tracer.StartTrace("say \"hi\"\n");
+  TraceSpan* span = trace->StartSpan("estimate");
+  clock.Advance(1'000'000);
+  span->Num("databases", 3);
+  trace->EndSpan(span);
+  trace->AddEvent("stop")->Num("reached_threshold", 1);
+  tracer.Finish(std::move(trace));
+
+  std::string text = tracer.ExportJsonLinesText();
+  std::istringstream lines(text);
+  std::string line;
+  std::vector<std::string> spans;
+  while (std::getline(lines, line)) spans.push_back(line);
+  ASSERT_EQ(spans.size(), 2u);
+  // Query text is escaped; attributes are flattened to top-level keys.
+  EXPECT_NE(spans[0].find("\"query\":\"say \\\"hi\\\"\\n\""),
+            std::string::npos);
+  EXPECT_NE(spans[0].find("\"span\":\"estimate\""), std::string::npos);
+  EXPECT_NE(spans[0].find("\"databases\":3"), std::string::npos);
+  EXPECT_NE(spans[0].find("\"duration_s\":0.001"), std::string::npos);
+  EXPECT_NE(spans[1].find("\"span\":\"stop\""), std::string::npos);
+  EXPECT_NE(spans[1].find("\"reached_threshold\":1"), std::string::npos);
+}
+
+TEST(QueryTracerTest, TraceIdsAreUniqueAndIncreasing) {
+  FakeClock clock;
+  QueryTracer tracer(&clock);
+  auto a = tracer.StartTrace("a");
+  auto b = tracer.StartTrace("b");
+  EXPECT_LT(a->trace_id(), b->trace_id());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace metaprobe

@@ -1,0 +1,287 @@
+// Integration tier for the observability layer: a Metasearcher wired with a
+// FakeClock and a QueryTracer must (a) expose the serving counters and
+// latency histograms through the Prometheus exposition, and (b) record one
+// span per probe from which the full certainty trajectory of a Select is
+// reconstructible — database id, observed r, certainty before and after —
+// ending at the reported expected correctness.
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/metasearcher.h"
+#include "obs/clock.h"
+#include "obs/trace.h"
+
+namespace metaprobe {
+namespace core {
+namespace {
+
+// The deterministic three-database world of metasearcher_test.cc.
+std::shared_ptr<LocalDatabase> MakeDb(const std::string& name, int pattern,
+                                      int num_docs) {
+  index::InvertedIndex::Builder builder;
+  for (int d = 0; d < num_docs; ++d) {
+    std::vector<std::string> terms;
+    switch (pattern) {
+      case 0:
+        terms = d % 2 == 0 ? std::vector<std::string>{"alpha", "beta", "pad"}
+                           : std::vector<std::string>{"pad", "fill"};
+        break;
+      case 1:
+        terms = d % 2 == 0 ? std::vector<std::string>{"alpha", "pad"}
+                           : std::vector<std::string>{"beta", "fill"};
+        break;
+      default:
+        if (d % 4 == 0) terms = {"alpha", "beta"};
+        else if (d % 4 == 1) terms = {"alpha", "pad"};
+        else if (d % 4 == 2) terms = {"beta", "pad"};
+        else terms = {"pad", "fill"};
+        break;
+    }
+    builder.AddDocument(terms);
+  }
+  return std::make_shared<LocalDatabase>(
+      name, std::move(builder).Build().ValueOrDie());
+}
+
+Query MakeQuery(std::vector<std::string> terms) {
+  Query q;
+  q.terms = std::move(terms);
+  return q;
+}
+
+std::vector<Query> TrainingQueries() {
+  std::vector<Query> queries;
+  for (int i = 0; i < 30; ++i) {
+    queries.push_back(MakeQuery({"alpha", "beta"}));
+    queries.push_back(MakeQuery({"alpha", "fill"}));
+    queries.push_back(MakeQuery({"alpha", "pad"}));
+    queries.push_back(MakeQuery({"beta", "pad"}));
+    queries.push_back(MakeQuery({"pad", "fill"}));
+  }
+  return queries;
+}
+
+class ObservabilityTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Metasearcher> MakeTrained(MetasearcherOptions options = {}) {
+    auto searcher = std::make_unique<Metasearcher>(std::move(options));
+    EXPECT_TRUE(searcher->AddLocalDatabase(MakeDb("corr", 0, 200)).ok());
+    EXPECT_TRUE(searcher->AddLocalDatabase(MakeDb("anti", 1, 200)).ok());
+    EXPECT_TRUE(searcher->AddLocalDatabase(MakeDb("mix", 2, 200)).ok());
+    EXPECT_TRUE(searcher->Train(TrainingQueries()).ok());
+    return searcher;
+  }
+};
+
+// --------------------------------------------------------------- Tracing
+
+TEST_F(ObservabilityTest, TracedSelectReconstructsCertaintyTrajectory) {
+  auto searcher = MakeTrained();
+  obs::FakeClock clock(0, 1000);  // every read advances 1us
+  obs::QueryTracer tracer(&clock);
+  searcher->SetClock(&clock);
+  searcher->SetTracer(&tracer);
+
+  Query query = MakeQuery({"alpha", "beta"});
+  auto report = searcher->Select(query, 1, 0.999);
+  ASSERT_TRUE(report.ok());
+  ASSERT_GT(report->num_probes(), 0) << "world too easy; raise threshold";
+
+  auto trace = tracer.Latest();
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->query(), "alpha beta");
+
+  // Pipeline stages are spanned.
+  EXPECT_EQ(trace->SpansNamed("estimate").size(), 1u);
+  EXPECT_EQ(trace->SpansNamed("model_build").size(), 1u);
+
+  // One probe span per probe, in observation order.
+  auto probes = trace->SpansNamed("probe");
+  ASSERT_EQ(probes.size(), report->probe_order.size());
+  double prev_after = -1.0;
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const obs::TraceSpan* span = probes[i];
+    EXPECT_EQ(static_cast<std::size_t>(span->num("db", -1.0)),
+              report->probe_order[i]);
+    EXPECT_EQ(span->num("ok", -1.0), 1.0);
+    EXPECT_GE(span->num("observed_r", -1.0), 0.0);
+    double before = span->num("certainty_before", -2.0);
+    double after = span->num("certainty_after", -2.0);
+    EXPECT_GE(before, 0.0);
+    EXPECT_LE(before, 1.0 + 1e-12);
+    EXPECT_GE(after, 0.0);
+    // Sequential probing: this probe starts where the last one ended.
+    if (i > 0) {
+      EXPECT_DOUBLE_EQ(before, prev_after);
+    }
+    prev_after = after;
+    // The injected clock timed the probe itself.
+    EXPECT_GT(span->num("probe_seconds", -1.0), 0.0);
+    EXPECT_GT(span->end_ns, span->start_ns);
+  }
+  // The trajectory ends at the reported certainty.
+  EXPECT_DOUBLE_EQ(prev_after, report->expected_correctness);
+
+  // Stop decision is recorded with the final state.
+  auto stops = trace->SpansNamed("stop");
+  ASSERT_EQ(stops.size(), 1u);
+  EXPECT_EQ(stops[0]->num("reached_threshold", -1.0),
+            report->reached_threshold ? 1.0 : 0.0);
+  EXPECT_DOUBLE_EQ(stops[0]->num("expected_correctness", -1.0),
+                   report->expected_correctness);
+  EXPECT_EQ(static_cast<int>(stops[0]->num("probes", -1.0)),
+            report->num_probes());
+
+  // Every probe span carries the policy score that won its planning round
+  // (the default stopping-probability policy always scores its pick).
+  for (const obs::TraceSpan* span : probes) {
+    EXPECT_TRUE(std::isfinite(span->num("policy_score", std::nan(""))));
+  }
+
+  // The JSON-lines export round-trips all spans of the trace.
+  std::string jsonl = tracer.ExportJsonLinesText();
+  EXPECT_NE(jsonl.find("\"span\":\"probe\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"span\":\"stop\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"query\":\"alpha beta\""), std::string::npos);
+}
+
+TEST_F(ObservabilityTest, TracingDoesNotChangeSelectionResults) {
+  auto traced = MakeTrained();
+  auto plain = MakeTrained();
+  obs::FakeClock clock(0, 1000);
+  obs::QueryTracer tracer(&clock);
+  traced->SetClock(&clock);
+  traced->SetTracer(&tracer);
+
+  for (const auto& terms : std::vector<std::vector<std::string>>{
+           {"alpha", "beta"}, {"alpha", "pad"}, {"beta", "pad"}}) {
+    Query q = MakeQuery(terms);
+    auto a = traced->Select(q, 1, 0.999);
+    auto b = plain->Select(q, 1, 0.999);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->databases, b->databases);
+    EXPECT_EQ(a->probe_order, b->probe_order);
+    EXPECT_DOUBLE_EQ(a->expected_correctness, b->expected_correctness);
+  }
+}
+
+TEST_F(ObservabilityTest, FailedSelectStillFinishesItsTrace) {
+  auto searcher = MakeTrained();
+  obs::FakeClock clock;
+  obs::QueryTracer tracer(&clock);
+  searcher->SetClock(&clock);
+  searcher->SetTracer(&tracer);
+  auto report = searcher->Select(MakeQuery({}), 1, 0.9);
+  EXPECT_FALSE(report.ok());
+  // The trace for the failed query was finished, not leaked.
+  EXPECT_EQ(tracer.finished_count(), 1u);
+}
+
+// ------------------------------------------------------------- Exposition
+
+TEST_F(ObservabilityTest, ExpositionExportsServingSeries) {
+  MetasearcherOptions options;
+  options.enable_rd_cache = true;
+  auto searcher = MakeTrained(std::move(options));
+  obs::FakeClock clock(0, 1000);
+  searcher->SetClock(&clock);
+
+  Query query = MakeQuery({"alpha", "beta"});
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(searcher->Select(query, 1, 0.999).ok());
+  }
+
+  std::string text = searcher->metrics().ExpositionText();
+  // Probe counters.
+  EXPECT_NE(text.find("# TYPE metaprobe_probes_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("metaprobe_probes_total{result=\"ok\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("metaprobe_queries_served_total 3\n"),
+            std::string::npos);
+  // Latency histograms (FakeClock advances on every read, so buckets fill).
+  EXPECT_NE(
+      text.find("# TYPE metaprobe_select_latency_seconds histogram\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("metaprobe_select_latency_seconds_count 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("metaprobe_probe_latency_seconds_bucket{le=\""),
+            std::string::npos);
+  // Kernel cache events.
+  EXPECT_NE(text.find(
+                "metaprobe_kernel_cache_events_total{event=\"full_rebuild\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find(
+                "metaprobe_kernel_cache_events_total{event=\"dp_fallback\"}"),
+            std::string::npos);
+  // RD cache: three identical queries -> hits on the repeats.
+  EXPECT_NE(text.find(
+                "metaprobe_rd_cache_requests_total{result=\"hit\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find(
+                "metaprobe_rd_cache_requests_total{result=\"miss\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("metaprobe_rd_cache_entries"), std::string::npos);
+
+  // The struct view and the exposition agree.
+  ServingStats stats = searcher->stats();
+  EXPECT_EQ(stats.queries_served, 3u);
+  EXPECT_GT(stats.probes_issued, 0u);
+  EXPECT_GT(stats.rd_cache_hits, 0u);
+  char expected[64];
+  std::snprintf(expected, sizeof(expected),
+                "metaprobe_probes_total{result=\"ok\"} %llu\n",
+                static_cast<unsigned long long>(stats.probes_issued));
+  EXPECT_NE(text.find(expected), std::string::npos);
+}
+
+TEST_F(ObservabilityTest, SelectLatencyObservedFromInjectedClock) {
+  auto searcher = MakeTrained();
+  obs::FakeClock clock(0, 1'000'000);  // 1ms per read: latencies are "real"
+  searcher->SetClock(&clock);
+  ASSERT_TRUE(searcher->Select(MakeQuery({"alpha", "beta"}), 1, 0.999).ok());
+  obs::Histogram* select = searcher->metrics().GetHistogram(
+      "metaprobe_select_latency_seconds");
+  ASSERT_NE(select, nullptr);
+  EXPECT_EQ(select->TotalCount(), 1u);
+  EXPECT_GT(select->Sum(), 0.0);
+}
+
+TEST_F(ObservabilityTest, ResetStatsZeroesCountersAndHistograms) {
+  auto searcher = MakeTrained();
+  obs::FakeClock clock(0, 1000);
+  searcher->SetClock(&clock);
+  ASSERT_TRUE(searcher->Select(MakeQuery({"alpha", "beta"}), 1, 0.999).ok());
+  ASSERT_GT(searcher->stats().queries_served, 0u);
+  searcher->ResetStats();
+  ServingStats stats = searcher->stats();
+  EXPECT_EQ(stats.queries_served, 0u);
+  EXPECT_EQ(stats.probes_issued, 0u);
+  EXPECT_EQ(searcher->metrics()
+                .GetHistogram("metaprobe_select_latency_seconds")
+                ->TotalCount(),
+            0u);
+}
+
+TEST_F(ObservabilityTest, DisablingRegistrySkipsHistogramsButKeepsCounters) {
+  auto searcher = MakeTrained();
+  obs::FakeClock clock(0, 1000);
+  searcher->SetClock(&clock);
+  searcher->metrics().set_enabled(false);
+  ASSERT_TRUE(searcher->Select(MakeQuery({"alpha", "beta"}), 1, 0.999).ok());
+  EXPECT_EQ(searcher->stats().queries_served, 1u);  // counters still move
+  EXPECT_EQ(searcher->metrics()
+                .GetHistogram("metaprobe_select_latency_seconds")
+                ->TotalCount(),
+            0u);  // histograms do not
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace metaprobe

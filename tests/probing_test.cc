@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/clock.h"
+#include "obs/trace.h"
+
 namespace metaprobe {
 namespace core {
 namespace {
@@ -676,6 +679,92 @@ TEST(SpeculativeBatchTest, RespectsProbeBudgetMidBatch) {
   auto result = prober.Run(&model, FixedTruth(truths));
   ASSERT_TRUE(result.ok());
   EXPECT_LE(result->num_probes(), 3);
+}
+
+TEST(SpeculativeBatchTest, TraceEntriesFollowObservationOrder) {
+  // Regression: with speculative batching, trace entry i+1 must reflect the
+  // model state right after merging the i-th observation — not the state at
+  // the end of the round the probe was dispatched in. Replaying the
+  // observations one by one on a model copy reconstructs the exact
+  // trajectory the trace must have recorded.
+  stats::Rng rng(929292);
+  for (int trial = 0; trial < 3; ++trial) {
+    const int num_dbs = 5;
+    TopKModel model = RandomModel(&rng, num_dbs);
+    TopKModel replay = model;
+    std::vector<double> truths;
+    for (int i = 0; i < num_dbs; ++i) {
+      truths.push_back(std::floor(rng.Uniform(0, 15)) * 10);
+    }
+    AProOptions options;
+    options.k = 2;
+    options.threshold = 1.0;
+    options.speculative_batch = 3;
+    options.record_trace = true;
+    StoppingProbabilityPolicy policy;
+    AdaptiveProber prober(&policy, options);
+    auto result = prober.Run(&model, FixedTruth(truths));
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->trace.size(), result->probe_order.size() + 1);
+    for (std::size_t i = 0; i <= result->probe_order.size(); ++i) {
+      if (i > 0) {
+        std::size_t db = result->probe_order[i - 1];
+        replay.Observe(db, truths[db]);
+      }
+      TopKModel::BestSet best = replay.FindBestSet(
+          options.k, options.metric, options.search_width);
+      EXPECT_EQ(result->trace[i].databases, best.members)
+          << "trial " << trial << " entry " << i;
+      EXPECT_DOUBLE_EQ(result->trace[i].expected_correctness,
+                       best.expected_correctness)
+          << "trial " << trial << " entry " << i;
+    }
+  }
+}
+
+TEST(SpeculativeBatchTest, QueryTraceSpansEmitInObservationOrder) {
+  // The structured spans must follow the same per-merge discipline: one
+  // "probe" span per attempt, db ids in probe_order, and each span's
+  // certainty_before continuing exactly where the previous merge ended —
+  // across round boundaries too.
+  stats::Rng rng(373737);
+  const int num_dbs = 5;
+  TopKModel model = RandomModel(&rng, num_dbs);
+  std::vector<double> truths;
+  for (int i = 0; i < num_dbs; ++i) {
+    truths.push_back(std::floor(rng.Uniform(0, 15)) * 10);
+  }
+  obs::FakeClock clock(0, 1000);
+  obs::QueryTracer tracer(&clock);
+  std::unique_ptr<obs::QueryTrace> trace = tracer.StartTrace("spec batch");
+  AProOptions options;
+  options.k = 2;
+  options.threshold = 1.0;
+  options.speculative_batch = 3;
+  options.trace = trace.get();
+  options.clock = &clock;
+  StoppingProbabilityPolicy policy;
+  AdaptiveProber prober(&policy, options);
+  auto result = prober.Run(&model, FixedTruth(truths));
+  ASSERT_TRUE(result.ok());
+
+  auto spans = trace->SpansNamed("probe");
+  ASSERT_EQ(spans.size(), result->probe_order.size());
+  double prev_after = -1.0;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(spans[i]->num("db", -1.0)),
+              result->probe_order[i]);
+    if (i > 0) {
+      EXPECT_DOUBLE_EQ(spans[i]->num("certainty_before", -2.0), prev_after);
+    }
+    prev_after = spans[i]->num("certainty_after", -2.0);
+  }
+  EXPECT_DOUBLE_EQ(prev_after, result->expected_correctness);
+  auto stops = trace->SpansNamed("stop");
+  ASSERT_EQ(stops.size(), 1u);
+  EXPECT_DOUBLE_EQ(stops[0]->num("expected_correctness", -1.0),
+                   result->expected_correctness);
+  tracer.Finish(std::move(trace));
 }
 
 TEST(SpeculativeBatchTest, PooledDispatchMatchesInlineDispatch) {

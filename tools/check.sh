@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Full pre-merge check: build and test the tree in three configurations.
+# Full pre-merge check: build and test the tree in three configurations,
+# then smoke-test the observability surface.
 #
 #   1. Release      -- optimized build, full ctest suite.
 #   2. ThreadSanitizer -- RelWithDebInfo + -fsanitize=thread, running the
@@ -9,12 +10,17 @@
 #   3. UndefinedBehaviorSanitizer -- Debug + -fsanitize=undefined over the
 #      probabilistic-kernel suites (correctness, kernel equivalence,
 #      probing, discrete distributions). Any UB report fails the run.
+#   4. Metrics smoke -- run the observability example from the Release
+#      tree, assert the Prometheus exposition parses and the key serving
+#      series are present, validate the trace dump is well-formed JSON
+#      lines, and schema-check the committed BENCH_*.json files.
 #
 # Usage: tools/check.sh [jobs]
 #   jobs                parallel build/test jobs (default: nproc)
 # Environment:
 #   METAPROBE_TSAN_FULL=1   run the entire test suite under TSAN (slow)
 #   METAPROBE_SKIP_RELEASE=1 / METAPROBE_SKIP_TSAN=1 / METAPROBE_SKIP_UBSAN=1
+#   / METAPROBE_SKIP_SMOKE=1
 #                           skip a configuration
 #
 # Build trees land in build-release/, build-tsan/ and build-ubsan/,
@@ -69,6 +75,68 @@ run_ubsan() {
       -R "$UBSAN_FILTER"
 }
 
+run_smoke() {
+  echo "=== [4/4] Metrics smoke: exposition + trace dump + bench schema ==="
+  # The Release tree has the example binary; build it if stage 1 was
+  # skipped.
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+  cmake --build build-release -j "$JOBS" --target observability
+  local out
+  out="$(mktemp -d)"
+  trap 'rm -rf "$out"' RETURN
+  ./build-release/examples/observability > "$out/smoke.txt"
+  # Split the example's output into exposition and trace sections.
+  awk '/^==== metrics exposition/{s=1;next} /^==== trace/{s=2;next}
+       s==1{print > "'"$out"'/metrics.txt"} s==2{print > "'"$out"'/trace.jsonl"}' \
+    "$out/smoke.txt"
+  # Key serving series must be present with traffic on them.
+  local series
+  for series in \
+    'metaprobe_queries_served_total 3' \
+    'metaprobe_probes_total{result="ok"}' \
+    'metaprobe_select_latency_seconds_bucket{le="' \
+    'metaprobe_select_latency_seconds_count 3' \
+    'metaprobe_kernel_cache_events_total{event="full_rebuild"}' \
+    'metaprobe_rd_cache_requests_total{result="hit"}' \
+    'metaprobe_rd_cache_entries'; do
+    grep -qF "$series" "$out/metrics.txt" \
+      || { echo "missing series: $series"; return 1; }
+  done
+  # The exposition parses: every non-comment line is "name[{labels}] value"
+  # and every histogram ends with matching _sum/_count lines.
+  python3 - "$out/metrics.txt" "$out/trace.jsonl" <<'PY'
+import json, re, sys
+sample = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9][0-9.eE+-]*$')
+families = set()
+for line in open(sys.argv[1]):
+    line = line.rstrip("\n")
+    if not line:
+        continue
+    if line.startswith("# TYPE "):
+        families.add(line.split()[2])
+        continue
+    if not sample.match(line):
+        sys.exit(f"unparseable exposition line: {line!r}")
+if not families:
+    sys.exit("no # TYPE lines in exposition")
+spans = 0
+for line in open(sys.argv[2]):
+    if not line.strip():
+        continue
+    obj = json.loads(line)
+    for key in ("trace_id", "query", "span", "start_ns", "end_ns"):
+        if key not in obj:
+            sys.exit(f"trace line missing {key!r}: {line!r}")
+    spans += 1
+if spans == 0:
+    sys.exit("trace dump is empty")
+print(f"exposition ok ({len(families)} families), trace ok ({spans} spans)")
+PY
+  # Committed benchmark artifacts match the schema.
+  python3 tools/validate_bench.py BENCH_*.json
+}
+
 if [[ "${METAPROBE_SKIP_RELEASE:-0}" != "1" ]]; then
   run_release
 fi
@@ -77,5 +145,8 @@ if [[ "${METAPROBE_SKIP_TSAN:-0}" != "1" ]]; then
 fi
 if [[ "${METAPROBE_SKIP_UBSAN:-0}" != "1" ]]; then
   run_ubsan
+fi
+if [[ "${METAPROBE_SKIP_SMOKE:-0}" != "1" ]]; then
+  run_smoke
 fi
 echo "=== all checks passed ==="

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Validates committed BENCH_*.json files against the repo's bench schema.
+
+Two layouts are accepted, both of which the perf-trajectory tooling knows
+how to read:
+
+  * Google Benchmark output (BENCH_core.json): top-level "context" object
+    and "benchmarks" list whose entries carry "name" plus timing fields
+    (real_time/cpu_time).
+  * The custom layout written by bench/micro_parallel.cc (BENCH_parallel,
+    BENCH_obs): top-level "context" object and "benchmarks" list whose
+    entries carry "name" plus at least one numeric result field.
+
+Usage: tools/validate_bench.py FILE...
+Exits nonzero with a per-file diagnostic on the first violation.
+"""
+
+import json
+import math
+import sys
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    return 1
+
+
+def is_finite_number(value):
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+    )
+
+
+def validate(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or invalid JSON: {e}")
+
+    if not isinstance(doc, dict):
+        return fail(path, "top level must be a JSON object")
+    if not isinstance(doc.get("context"), dict):
+        return fail(path, 'missing "context" object')
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        return fail(path, '"benchmarks" must be a non-empty list')
+
+    names = set()
+    for i, bench in enumerate(benchmarks):
+        where = f"benchmarks[{i}]"
+        if not isinstance(bench, dict):
+            return fail(path, f"{where} must be an object")
+        name = bench.get("name")
+        if not isinstance(name, str) or not name:
+            return fail(path, f'{where} needs a non-empty string "name"')
+        if name in names:
+            return fail(path, f"{where}: duplicate benchmark name {name!r}")
+        names.add(name)
+        numeric = {
+            k: v for k, v in bench.items() if is_finite_number(v)
+        }
+        if not numeric:
+            return fail(
+                path, f"{where} ({name}): no finite numeric result field"
+            )
+        for key, value in numeric.items():
+            if key in ("seconds", "qps", "real_time", "cpu_time",
+                       "ns_per_op") and value < 0:
+                return fail(
+                    path, f"{where} ({name}): {key} must be >= 0, got {value}"
+                )
+
+    print(f"{path}: ok ({len(benchmarks)} benchmarks)")
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv[1:]:
+        status |= validate(path)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
