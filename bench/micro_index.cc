@@ -1,11 +1,22 @@
 // Microbenchmarks for the search-engine substrate: posting-list iteration
-// and skipping, conjunctive intersection, tf-idf scoring, index build.
+// and skipping, conjunctive intersection, batched probing, tf-idf scoring,
+// index build — plus the legacy v1 varint decoder as a reference point for
+// the block-format numbers. `--json[=path]` writes google-benchmark JSON
+// (default BENCH_index.json) for tools/validate_bench.py.
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "core/hidden_web_database.h"
+#include "core/query.h"
+#include "core/relevancy_definition.h"
 #include "corpus/domain.h"
 #include "corpus/synthetic_corpus.h"
 #include "index/inverted_index.h"
+#include "index/varint_codec.h"
 #include "stats/random.h"
 #include "text/analyzer.h"
 
@@ -70,6 +81,44 @@ void BM_PostingListSkipTo(benchmark::State& state) {
 }
 BENCHMARK(BM_PostingListSkipTo);
 
+void BM_PostingListScanV1(benchmark::State& state) {
+  // The pre-block decoder: a varint-delta walk over the legacy payload,
+  // exactly as the old Iterator executed it. Kept as the baseline the
+  // BM_PostingListScan block numbers are compared against.
+  std::vector<index::Posting> postings;
+  postings.reserve(10000);
+  for (index::DocId d = 0; d < 10000; ++d) {
+    postings.push_back({d * 3, (d % 7) + 1});
+  }
+  const std::vector<std::uint8_t> bytes = index::v1::EncodePostings(postings);
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    std::size_t offset = 0;
+    index::DocId doc = 0;
+    auto varint = [&]() {
+      std::uint64_t value = 0;
+      int shift = 0;
+      for (;;) {
+        std::uint8_t byte = bytes[offset++];
+        value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0) return value;
+        shift += 7;
+      }
+    };
+    for (std::size_t i = 0; i < postings.size(); ++i) {
+      std::uint64_t delta = varint();
+      benchmark::DoNotOptimize(varint());  // tf
+      doc = (i % index::v1::kV1SkipInterval == 0)
+                ? static_cast<index::DocId>(delta)
+                : doc + static_cast<index::DocId>(delta);
+      sum += doc;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_PostingListScanV1);
+
 void BM_CountConjunctive2(benchmark::State& state) {
   const index::InvertedIndex& index = SharedIndex();
   for (auto _ : state) {
@@ -86,6 +135,58 @@ void BM_CountConjunctive3(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CountConjunctive3);
+
+std::vector<std::vector<std::string>> BenchQueryTerms(std::size_t n) {
+  const std::vector<std::vector<std::string>> seeds = {
+      {"breast", "cancer"},          {"patient", "heart", "cancer"},
+      {"heart", "patient"},          {"cancer", "patient"},
+      {"breast", "patient"},         {"heart", "cancer"},
+      {"breast", "cancer", "heart"}, {"cancer", "breast", "patient"},
+  };
+  std::vector<std::vector<std::string>> queries;
+  queries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) queries.push_back(seeds[i % seeds.size()]);
+  return queries;
+}
+
+void BM_CountConjunctiveBatch(benchmark::State& state) {
+  const index::InvertedIndex& index = SharedIndex();
+  const std::vector<std::vector<std::string>> queries =
+      BenchQueryTerms(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.CountConjunctiveBatch(queries));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CountConjunctiveBatch)->Arg(16)->Arg(128);
+
+void BM_ProbeBatch(benchmark::State& state) {
+  static const core::LocalDatabase* kDb = [] {
+    text::Analyzer analyzer;
+    corpus::CorpusGenerator generator(corpus::HealthTopics(), {}, &analyzer);
+    corpus::DatabaseSpec spec;
+    spec.name = "bench-db";
+    spec.num_docs = 20000;
+    spec.mixture = {{"clinical", 1.0}, {"oncology", 1.0}, {"cardiology", 1.0}};
+    spec.seed = 99;
+    return new core::LocalDatabase(
+        spec.name, std::move(generator.Generate(spec)->index));
+  }();
+  std::vector<core::Query> queries;
+  for (std::vector<std::string>& terms :
+       BenchQueryTerms(static_cast<std::size_t>(state.range(0)))) {
+    core::Query query;
+    query.terms = std::move(terms);
+    queries.push_back(std::move(query));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kDb->ProbeBatch(queries, core::RelevancyDefinition::kDocumentFrequency)
+            .ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ProbeBatch)->Arg(16)->Arg(128);
 
 void BM_TopKCosine(benchmark::State& state) {
   const index::InvertedIndex& index = SharedIndex();
@@ -115,4 +216,33 @@ BENCHMARK(BM_IndexBuild)->Arg(1000)->Arg(5000);
 }  // namespace
 }  // namespace metaprobe
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Translate `--json[=path]` into google-benchmark's JSON output flags,
+  // forwarding everything else untouched.
+  std::string out_path = "BENCH_index.json";
+  bool json = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json", 6) == 0 &&
+        (argv[i][6] == '\0' || argv[i][6] == '=')) {
+      json = true;
+      if (argv[i][6] == '=') out_path = argv[i] + 7;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  std::string out_flag = "--benchmark_out=" + out_path;
+  std::string format_flag = "--benchmark_out_format=json";
+  if (json) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -69,19 +69,64 @@ Result<EdTable> EdLearner::Learn(
   // One database's sampling never touches another's table row, so the
   // outer loop parallelizes with bit-identical results.
   auto learn_database = [&](std::size_t db) -> Status {
+    if (options_.probe_batch_size <= 1) {
+      // Legacy one-probe-at-a-time sweep.
+      for (const Query& query : training_queries) {
+        if (query.empty()) continue;
+        double estimate = estimator_->Estimate(*summaries[db], query);
+        QueryTypeId type = classifier_->Classify(query, estimate);
+        ErrorDistribution* ed = table.GetMutable(db, type);
+        if (options_.max_samples_per_type > 0 &&
+            ed->sample_count() >= options_.max_samples_per_type) {
+          continue;
+        }
+        ASSIGN_OR_RETURN(double actual,
+                         ProbeRelevancy(*databases[db], query,
+                                        options_.definition));
+        ed->AddSample(actual, estimate);
+      }
+      return Status::OK();
+    }
+    // Batched sweep. Estimation and classification read only the summary,
+    // never the database, so the whole trace can be planned up front: the
+    // per-type caps are simulated on counters (AddSample grows a cell by
+    // exactly one), leaving precisely the probes the sequential sweep
+    // would issue. Those then go out in ProbeBatch chunks, and samples are
+    // added in trace order — the resulting table is identical.
+    struct PlannedProbe {
+      const Query* query;
+      QueryTypeId type;
+      double estimate;
+    };
+    std::vector<PlannedProbe> planned;
+    std::vector<std::size_t> simulated_count(classifier_->num_types());
+    for (QueryTypeId t = 0; t < classifier_->num_types(); ++t) {
+      simulated_count[t] = table.Get(db, t).sample_count();
+    }
     for (const Query& query : training_queries) {
       if (query.empty()) continue;
       double estimate = estimator_->Estimate(*summaries[db], query);
       QueryTypeId type = classifier_->Classify(query, estimate);
-      ErrorDistribution* ed = table.GetMutable(db, type);
       if (options_.max_samples_per_type > 0 &&
-          ed->sample_count() >= options_.max_samples_per_type) {
+          simulated_count[type] >= options_.max_samples_per_type) {
         continue;
       }
-      ASSIGN_OR_RETURN(double actual,
-                       ProbeRelevancy(*databases[db], query,
-                                      options_.definition));
-      ed->AddSample(actual, estimate);
+      ++simulated_count[type];
+      planned.push_back({&query, type, estimate});
+    }
+    std::vector<const Query*> chunk;
+    for (std::size_t begin = 0; begin < planned.size();
+         begin += options_.probe_batch_size) {
+      const std::size_t end =
+          std::min(planned.size(), begin + options_.probe_batch_size);
+      chunk.clear();
+      for (std::size_t i = begin; i < end; ++i) chunk.push_back(planned[i].query);
+      ASSIGN_OR_RETURN(std::vector<double> actuals,
+                       databases[db]->ProbeBatch(chunk, options_.definition));
+      for (std::size_t i = begin; i < end; ++i) {
+        table.GetMutable(db, planned[i].type)
+            ->AddSample(actuals[i - begin], planned[i].estimate);
+      }
     }
     return Status::OK();
   };

@@ -57,6 +57,13 @@ struct EdLearnerOptions {
   /// them with identical results: 1 = serial (default), 0 = one thread per
   /// hardware core, n = exactly n threads.
   unsigned num_threads = 1;
+  /// Queries per HiddenWebDatabase::ProbeBatch dispatch during the training
+  /// sweep. The learner pre-classifies the trace and simulates the
+  /// per-type sample caps, so the batched sweep probes exactly the queries
+  /// the sequential sweep would and the resulting EdTable is identical;
+  /// batching only amortizes probe overhead. <= 1 probes one query at a
+  /// time through ProbeRelevancy.
+  std::size_t probe_batch_size = 128;
 };
 
 /// \brief Offline sampling driver: issues training queries to every

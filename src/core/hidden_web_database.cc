@@ -1,7 +1,31 @@
 #include "core/hidden_web_database.h"
 
+#include "common/macros.h"
+#include "core/relevancy_definition.h"
+#include "index/index_metrics.h"
+
 namespace metaprobe {
 namespace core {
+
+Result<std::vector<double>> HiddenWebDatabase::ProbeBatch(
+    const std::vector<const Query*>& queries,
+    RelevancyDefinition definition) const {
+  std::vector<double> relevancies;
+  relevancies.reserve(queries.size());
+  for (const Query* query : queries) {
+    ASSIGN_OR_RETURN(double r, ProbeRelevancy(*this, *query, definition));
+    relevancies.push_back(r);
+  }
+  return relevancies;
+}
+
+Result<std::vector<double>> HiddenWebDatabase::ProbeBatch(
+    const std::vector<Query>& queries, RelevancyDefinition definition) const {
+  std::vector<const Query*> pointers;
+  pointers.reserve(queries.size());
+  for (const Query& query : queries) pointers.push_back(&query);
+  return ProbeBatch(pointers, definition);
+}
 
 LocalDatabase::LocalDatabase(std::string name, index::InvertedIndex index,
                              std::shared_ptr<index::DocumentStore> documents)
@@ -42,6 +66,40 @@ Result<std::vector<SearchHit>> LocalDatabase::Search(const Query& query,
     hits.push_back(std::move(hit));
   }
   return hits;
+}
+
+Result<std::vector<double>> LocalDatabase::ProbeBatch(
+    const std::vector<const Query*>& queries,
+    RelevancyDefinition definition) const {
+  for (const Query* query : queries) {
+    if (query == nullptr || query->empty()) {
+      return Status::InvalidArgument("cannot probe '", name_,
+                                     "' with an empty query");
+    }
+  }
+  queries_served_.fetch_add(queries.size(), std::memory_order_relaxed);
+  index::IndexCounters::CountProbeBatch(queries.size());
+  std::vector<double> relevancies(queries.size(), 0.0);
+  switch (definition) {
+    case RelevancyDefinition::kDocumentFrequency: {
+      std::vector<const std::vector<std::string>*> term_lists;
+      term_lists.reserve(queries.size());
+      for (const Query* query : queries) term_lists.push_back(&query->terms);
+      std::vector<std::uint64_t> counts =
+          index_.CountConjunctiveBatch(term_lists);
+      for (std::size_t i = 0; i < counts.size(); ++i) {
+        relevancies[i] = static_cast<double>(counts[i]);
+      }
+      return relevancies;
+    }
+    case RelevancyDefinition::kDocumentSimilarity: {
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        relevancies[i] = index_.BestCosineScore(queries[i]->terms);
+      }
+      return relevancies;
+    }
+  }
+  return Status::InvalidArgument("unknown relevancy definition");
 }
 
 }  // namespace core

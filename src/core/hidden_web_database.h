@@ -17,6 +17,10 @@
 namespace metaprobe {
 namespace core {
 
+// Defined in relevancy_definition.h; forward-declared here to keep the
+// probe interface below it in the include graph.
+enum class RelevancyDefinition;
+
 /// \brief One search result returned by a database probe.
 struct SearchHit {
   index::DocId doc = 0;
@@ -55,6 +59,24 @@ class HiddenWebDatabase {
   virtual Result<std::vector<SearchHit>> Search(const Query& query,
                                                 std::size_t k) const = 0;
 
+  /// \brief Probes the relevancy r(db, q) of every query in `queries`
+  /// under `definition` in one round trip, returning one value per query
+  /// in order. Results are identical to calling ProbeRelevancy per query;
+  /// batching only amortizes per-call overhead (vocabulary lookups, decode
+  /// state), so training sweeps and golden-standard builds can run
+  /// thousands of probes per dispatch. Every query must be non-empty.
+  ///
+  /// The base implementation loops over ProbeRelevancy — decorators such
+  /// as FlakyDatabase inherit it so per-probe failure injection still
+  /// applies; LocalDatabase overrides it with a fused fast path.
+  virtual Result<std::vector<double>> ProbeBatch(
+      const std::vector<const Query*>& queries,
+      RelevancyDefinition definition) const;
+
+  /// \brief Convenience overload over owned queries.
+  Result<std::vector<double>> ProbeBatch(const std::vector<Query>& queries,
+                                         RelevancyDefinition definition) const;
+
   /// \brief Number of queries this database has served (both primitives);
   /// experiments use it to audit probing cost.
   virtual std::uint64_t queries_served() const = 0;
@@ -79,6 +101,10 @@ class LocalDatabase : public HiddenWebDatabase {
   Result<std::uint64_t> CountMatches(const Query& query) const override;
   Result<std::vector<SearchHit>> Search(const Query& query,
                                         std::size_t k) const override;
+  using HiddenWebDatabase::ProbeBatch;
+  Result<std::vector<double>> ProbeBatch(
+      const std::vector<const Query*>& queries,
+      RelevancyDefinition definition) const override;
   std::uint64_t queries_served() const override {
     return queries_served_.load(std::memory_order_relaxed);
   }

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "index/index_metrics.h"
 
 namespace metaprobe {
 namespace core {
@@ -66,6 +67,25 @@ Metasearcher::Metasearcher(MetasearcherOptions options)
       registry_.GetHistogram("metaprobe_probe_latency_seconds");
   telemetry_.train_latency =
       registry_.GetHistogram("metaprobe_train_latency_seconds");
+  // Index-substrate telemetry accumulates in process-wide counters (the
+  // index layer sits below any registry); surface it here so scrapes of a
+  // metasearcher see the block decoder and probe batching at work.
+  registry_.RegisterCallbackGauge(
+      "metaprobe_index_blocks_decoded_total", "", []() {
+        return static_cast<double>(index::IndexCounters::blocks_decoded.load(
+            std::memory_order_relaxed));
+      });
+  registry_.RegisterCallbackGauge(
+      "metaprobe_index_blocks_skipped_total", "", []() {
+        return static_cast<double>(index::IndexCounters::blocks_skipped.load(
+            std::memory_order_relaxed));
+      });
+  registry_.RegisterCallbackGauge(
+      "metaprobe_probe_batch_size", "", []() {
+        return static_cast<double>(
+            index::IndexCounters::last_probe_batch_size.load(
+                std::memory_order_relaxed));
+      });
 }
 
 Status Metasearcher::AddDatabase(std::shared_ptr<HiddenWebDatabase> database,

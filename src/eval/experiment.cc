@@ -24,9 +24,17 @@ Result<TrainedWorld> BuildTrainedHealthWorld(
   ASSIGN_OR_RETURN(world.testbed, BuildHealthTestbed(testbed_options));
   ASSIGN_OR_RETURN(world.metasearcher,
                    BuildTrainedMetasearcher(world.testbed, searcher_options));
-  ASSIGN_OR_RETURN(GoldenStandard golden,
-                   GoldenStandard::Build(world.testbed.database_ptrs(),
-                                         world.testbed.test_queries));
+  // Golden-standard values are deterministic per database, so fanning the
+  // per-database ProbeBatch columns over a transient pool cannot change
+  // them — it only overlaps the exhaustive probing.
+  ThreadPool golden_pool(std::max(1u, std::thread::hardware_concurrency()));
+  ASSIGN_OR_RETURN(
+      GoldenStandard golden,
+      GoldenStandard::Build(world.testbed.database_ptrs(),
+                            world.testbed.test_queries,
+                            searcher_options.relevancy_definition,
+                            &golden_pool));
+  golden_pool.Shutdown();
   world.golden = std::make_unique<GoldenStandard>(std::move(golden));
   return world;
 }

@@ -9,18 +9,33 @@ namespace eval {
 Result<GoldenStandard> GoldenStandard::Build(
     const std::vector<const core::HiddenWebDatabase*>& databases,
     const std::vector<core::Query>& queries,
-    core::RelevancyDefinition definition) {
-  std::vector<std::vector<double>> relevancies;
-  relevancies.reserve(queries.size());
-  for (const core::Query& query : queries) {
-    std::vector<double> row;
-    row.reserve(databases.size());
-    for (const core::HiddenWebDatabase* db : databases) {
-      ASSIGN_OR_RETURN(double relevancy,
-                       core::ProbeRelevancy(*db, query, definition));
-      row.push_back(relevancy);
+    core::RelevancyDefinition definition, ThreadPool* pool) {
+  // One ProbeBatch per database yields that database's column of the
+  // relevancy matrix; columns are independent, so they fan out over the
+  // pool and are transposed into rows afterwards.
+  std::vector<Result<std::vector<double>>> columns(
+      databases.size(), Status::Internal("golden column not built"));
+  auto build_column = [&](std::size_t db) {
+    columns[db] = databases[db]->ProbeBatch(queries, definition);
+  };
+  if (pool == nullptr || databases.size() <= 1) {
+    for (std::size_t db = 0; db < databases.size(); ++db) build_column(db);
+  } else {
+    std::vector<std::future<void>> pending;
+    pending.reserve(databases.size());
+    for (std::size_t db = 0; db < databases.size(); ++db) {
+      pending.push_back(pool->Submit([&build_column, db] { build_column(db); }));
     }
-    relevancies.push_back(std::move(row));
+    for (std::future<void>& f : pending) f.get();
+  }
+  std::vector<std::vector<double>> relevancies(
+      queries.size(), std::vector<double>(databases.size(), 0.0));
+  for (std::size_t db = 0; db < databases.size(); ++db) {
+    RETURN_NOT_OK(columns[db].status());
+    const std::vector<double>& column = *columns[db];
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      relevancies[q][db] = column[q];
+    }
   }
   return GoldenStandard(std::move(relevancies));
 }

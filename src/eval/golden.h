@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/hidden_web_database.h"
 #include "core/query.h"
 #include "core/relevancy_definition.h"
@@ -19,11 +20,18 @@ namespace eval {
 class GoldenStandard {
  public:
   /// \brief Probes all databases with all queries under `definition`.
+  ///
+  /// Each database receives the full query set as one ProbeBatch, and
+  /// databases fan out across `pool` when one is given (null = build on
+  /// the calling thread). Both choices leave the recorded relevancies
+  /// identical to query-at-a-time probing — batching amortizes probe
+  /// overhead and databases are independent.
   static Result<GoldenStandard> Build(
       const std::vector<const core::HiddenWebDatabase*>& databases,
       const std::vector<core::Query>& queries,
       core::RelevancyDefinition definition =
-          core::RelevancyDefinition::kDocumentFrequency);
+          core::RelevancyDefinition::kDocumentFrequency,
+      ThreadPool* pool = nullptr);
 
   std::size_t num_queries() const { return relevancies_.size(); }
   std::size_t num_databases() const {

@@ -1,0 +1,128 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_INDEX_BITPACK_H_
+#define METAPROBE_INDEX_BITPACK_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define METAPROBE_BITPACK_SSE2 1
+#endif
+
+namespace metaprobe {
+namespace index {
+
+/// Frame-of-reference bit packing for posting blocks: fixed-width values
+/// written LSB-first into a little-endian bit stream. The layout is
+/// byte-order independent (PackBits emits bytes explicitly); UnpackBits
+/// takes a word-at-a-time fast path on little-endian hosts and falls back
+/// to a portable byte loop elsewhere and near buffer ends.
+
+/// \brief Bits needed to represent `v` (0 for 0).
+inline std::uint32_t BitWidthOf(std::uint32_t v) {
+  return static_cast<std::uint32_t>(std::bit_width(v));
+}
+
+/// \brief Bytes occupied by `n` packed values of `bits` width each.
+inline std::size_t PackedBytes(std::size_t n, std::uint32_t bits) {
+  return (n * static_cast<std::size_t>(bits) + 7) / 8;
+}
+
+/// \brief Appends `n` values of `bits` width each to `out`. `bits` must be
+/// in [0, 32] and every value must fit in `bits` bits; bits == 0 appends
+/// nothing (all values are implicitly zero).
+inline void PackBits(const std::uint32_t* values, std::size_t n,
+                     std::uint32_t bits, std::vector<std::uint8_t>* out) {
+  if (bits == 0 || n == 0) return;
+  std::uint64_t acc = 0;
+  unsigned filled = 0;  // bits buffered in acc, always < 8 between values
+  for (std::size_t i = 0; i < n; ++i) {
+    acc |= static_cast<std::uint64_t>(values[i]) << filled;
+    filled += bits;
+    while (filled >= 8) {
+      out->push_back(static_cast<std::uint8_t>(acc));
+      acc >>= 8;
+      filled -= 8;
+    }
+  }
+  if (filled > 0) out->push_back(static_cast<std::uint8_t>(acc));
+}
+
+/// \brief Unpacks `n` values of `bits` width from `src` (holding at least
+/// PackedBytes(n, bits) readable bytes out of `src_len`) into `out`.
+/// The caller validates lengths; this only chooses safe load widths.
+inline void UnpackBits(const std::uint8_t* src, std::size_t src_len,
+                       std::size_t n, std::uint32_t bits, std::uint32_t* out) {
+  if (bits == 0) {
+    std::fill(out, out + n, 0u);
+    return;
+  }
+  const std::uint64_t mask =
+      bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+  std::size_t i = 0;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  // Fast path: one unaligned 8-byte load per value (a value of <= 32 bits
+  // at any bit offset spans <= 5 bytes, so 8 always covers it). Stops where
+  // the load would run past the buffer; the tail loop below finishes up.
+  // This loop is branch-free per value and auto-vectorizes well.
+  if (src_len >= 8) {
+    std::size_t fast_n = std::min(n, ((src_len - 8) * 8) / bits + 1);
+    while (fast_n > 0 && ((fast_n - 1) * bits) / 8 + 8 > src_len) --fast_n;
+    for (; i < fast_n; ++i) {
+      const std::size_t bitpos = i * bits;
+      std::uint64_t word;
+      std::memcpy(&word, src + (bitpos >> 3), 8);
+      out[i] = static_cast<std::uint32_t>((word >> (bitpos & 7)) & mask);
+    }
+  }
+#endif
+  // Portable / tail path: assemble the covering bytes explicitly.
+  for (; i < n; ++i) {
+    const std::size_t bitpos = i * bits;
+    const std::size_t byte = bitpos >> 3;
+    std::uint64_t word = 0;
+    const std::size_t take = std::min<std::size_t>(8, src_len - byte);
+    for (std::size_t b = 0; b < take; ++b) {
+      word |= static_cast<std::uint64_t>(src[byte + b]) << (8 * b);
+    }
+    out[i] = static_cast<std::uint32_t>((word >> (bitpos & 7)) & mask);
+  }
+}
+
+/// \brief Reconstructs absolute doc ids from frame-of-reference gaps:
+/// docs[0] = base, docs[i] = docs[i-1] + gaps[i-1] + 1 (strictly
+/// increasing sequences store gap-1, so a zero gap value is one step).
+/// SIMD prefix sum where SSE2 is available, scalar otherwise.
+inline void PrefixSumGaps(std::uint32_t base, const std::uint32_t* gaps,
+                          std::size_t n_gaps, std::uint32_t* docs) {
+  docs[0] = base;
+  std::size_t i = 0;
+#if defined(METAPROBE_BITPACK_SSE2)
+  if (n_gaps >= 4) {
+    const __m128i ones = _mm_set1_epi32(1);
+    __m128i carry = _mm_set1_epi32(static_cast<int>(base));
+    for (; i + 4 <= n_gaps; i += 4) {
+      __m128i g = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(gaps + i));
+      g = _mm_add_epi32(g, ones);
+      // In-register inclusive scan of the four lanes.
+      g = _mm_add_epi32(g, _mm_slli_si128(g, 4));
+      g = _mm_add_epi32(g, _mm_slli_si128(g, 8));
+      g = _mm_add_epi32(g, carry);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(docs + i + 1), g);
+      carry = _mm_shuffle_epi32(g, _MM_SHUFFLE(3, 3, 3, 3));
+    }
+  }
+#endif
+  for (; i < n_gaps; ++i) docs[i + 1] = docs[i] + gaps[i] + 1;
+}
+
+}  // namespace index
+}  // namespace metaprobe
+
+#endif  // METAPROBE_INDEX_BITPACK_H_

@@ -2,7 +2,7 @@
 //
 // Layout (little-endian fixed-width integers):
 //   magic   "MPIX"
-//   u32     format version (1)
+//   u32     format version (2)
 //   u32     num_docs
 //   u64     total_tokens
 //   u64     num_terms
@@ -10,6 +10,13 @@
 //     u32   term byte length, then the term bytes
 //     u32   posting count
 //     u64   encoded payload byte length, then the payload
+//
+// The envelope is identical across versions; only the per-term payload
+// codec differs. Version 2 payloads are the block format produced by
+// PostingList::EncodePayload (per-block directory + frame-of-reference
+// bit-packed sections); version 1 payloads are the legacy varint stream
+// (see varint_codec.h) and remain loadable — the reader dispatches on the
+// version field, so indexes written by older builds keep working.
 //
 // Scoring structures (idf, document norms) are derived data and are
 // recomputed on load, which doubles as a deep validation pass: every
@@ -28,8 +35,11 @@ namespace index {
 namespace {
 
 constexpr char kMagic[4] = {'M', 'P', 'I', 'X'};
-constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint32_t kFormatVersion = 2;
+constexpr std::uint32_t kOldestReadableVersion = 1;
 constexpr std::uint32_t kMaxTermBytes = 1 << 16;
+// Serialized size of one v2 block-directory entry (see posting_list.cc).
+constexpr std::uint64_t kV2DirEntryBytes = 10;
 // Minimum serialized footprint of one term entry: length, one term byte,
 // posting count, payload length.
 constexpr std::uint64_t kMinTermEntryBytes = 4 + 1 + 4 + 8;
@@ -107,7 +117,7 @@ Status InvertedIndex::SaveTo(std::ostream& os) const {
     os.write(term.data(), static_cast<std::streamsize>(term.size()));
     const PostingList& list = postings_[id];
     PutU32(os, list.size());
-    const std::vector<std::uint8_t>& payload = list.encoded_bytes();
+    const std::vector<std::uint8_t> payload = list.EncodePayload();
     PutU64(os, payload.size());
     os.write(reinterpret_cast<const char*>(payload.data()),
              static_cast<std::streamsize>(payload.size()));
@@ -123,7 +133,7 @@ Result<InvertedIndex> InvertedIndex::LoadFrom(std::istream& is) {
     return Status::InvalidArgument("not a metaprobe index file");
   }
   ASSIGN_OR_RETURN(std::uint32_t version, GetU32(is));
-  if (version != kFormatVersion) {
+  if (version < kOldestReadableVersion || version > kFormatVersion) {
     return Status::InvalidArgument("unsupported index version ", version);
   }
   ASSIGN_OR_RETURN(std::uint32_t num_docs, GetU32(is));
@@ -163,8 +173,15 @@ Result<InvertedIndex> InvertedIndex::LoadFrom(std::istream& is) {
     if (payload_bytes > RemainingBytes(is)) {
       return Status::InvalidArgument("payload length exceeds file size");
     }
-    // Every posting needs at least two varint bytes.
-    if (static_cast<std::uint64_t>(posting_count) * 2 > payload_bytes) {
+    // Version-specific floor on the payload size: v1 spends at least two
+    // varint bytes per posting, v2 at least one directory entry per block.
+    const std::uint64_t min_payload =
+        version == 1
+            ? static_cast<std::uint64_t>(posting_count) * 2
+            : (static_cast<std::uint64_t>(posting_count) +
+               PostingList::kBlockSize - 1) /
+                  PostingList::kBlockSize * kV2DirEntryBytes;
+    if (min_payload > payload_bytes) {
       return Status::InvalidArgument("posting count exceeds payload");
     }
     std::vector<std::uint8_t> payload(payload_bytes);
@@ -173,10 +190,12 @@ Result<InvertedIndex> InvertedIndex::LoadFrom(std::istream& is) {
                  static_cast<std::streamsize>(payload_bytes))) {
       return Status::IoError("index file truncated (postings)");
     }
-    ASSIGN_OR_RETURN(PostingList list,
-                     PostingList::FromEncoded(posting_count,
-                                              std::move(payload)));
-    index.postings_.push_back(std::move(list));
+    Result<PostingList> list =
+        version == 1 ? PostingList::FromV1Encoded(posting_count, payload)
+                     : PostingList::FromEncoded(posting_count,
+                                                std::move(payload));
+    if (!list.ok()) return list.status();
+    index.postings_.push_back(std::move(list).ValueOrDie());
   }
   if (num_docs == 0 && num_terms > 0) {
     return Status::InvalidArgument("postings present but num_docs is zero");

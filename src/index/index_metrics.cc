@@ -1,0 +1,13 @@
+#include "index/index_metrics.h"
+
+namespace metaprobe {
+namespace index {
+
+std::atomic<std::uint64_t> IndexCounters::blocks_decoded{0};
+std::atomic<std::uint64_t> IndexCounters::blocks_skipped{0};
+std::atomic<std::uint64_t> IndexCounters::batch_probe_queries{0};
+std::atomic<std::uint64_t> IndexCounters::batch_probe_calls{0};
+std::atomic<std::uint64_t> IndexCounters::last_probe_batch_size{0};
+
+}  // namespace index
+}  // namespace metaprobe

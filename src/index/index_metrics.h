@@ -1,0 +1,62 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_INDEX_INDEX_METRICS_H_
+#define METAPROBE_INDEX_INDEX_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace metaprobe {
+namespace index {
+
+/// \brief Process-wide counters for the index substrate's hot paths.
+///
+/// Posting lists and probe batches sit below any MetricRegistry (an index
+/// belongs to a database, not a metasearcher), so the decode/skip/batch
+/// telemetry accumulates into these relaxed globals; registry owners
+/// (Metasearcher) surface them as callback gauges in their exposition.
+/// Compiled out together with the rest of the observability hooks under
+/// METAPROBE_OBS_DISABLED.
+struct IndexCounters {
+  /// Blocks unpacked into a decoder's scratch buffer.
+  static std::atomic<std::uint64_t> blocks_decoded;
+  /// Blocks bypassed via the max-doc directory without decoding.
+  static std::atomic<std::uint64_t> blocks_skipped;
+  /// Queries routed through a batched probe call.
+  static std::atomic<std::uint64_t> batch_probe_queries;
+  /// Batched probe calls.
+  static std::atomic<std::uint64_t> batch_probe_calls;
+  /// Size of the most recent probe batch.
+  static std::atomic<std::uint64_t> last_probe_batch_size;
+
+  static void CountBlocksDecoded(std::uint64_t n) {
+#ifndef METAPROBE_OBS_DISABLED
+    blocks_decoded.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  static void CountBlocksSkipped(std::uint64_t n) {
+#ifndef METAPROBE_OBS_DISABLED
+    if (n > 0) blocks_skipped.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  static void CountProbeBatch(std::uint64_t queries) {
+#ifndef METAPROBE_OBS_DISABLED
+    batch_probe_calls.fetch_add(1, std::memory_order_relaxed);
+    batch_probe_queries.fetch_add(queries, std::memory_order_relaxed);
+    last_probe_batch_size.store(queries, std::memory_order_relaxed);
+#else
+    (void)queries;
+#endif
+  }
+};
+
+}  // namespace index
+}  // namespace metaprobe
+
+#endif  // METAPROBE_INDEX_INDEX_METRICS_H_

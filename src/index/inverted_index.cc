@@ -168,6 +168,50 @@ std::uint64_t InvertedIndex::CountConjunctive(
   return count;
 }
 
+std::vector<std::uint64_t> InvertedIndex::CountConjunctiveBatch(
+    const std::vector<const std::vector<std::string>*>& queries) const {
+  std::vector<std::uint64_t> counts(queries.size(), 0);
+  // Memoized term -> posting-list resolution. The views key into the
+  // callers' term strings, which outlive this call.
+  std::unordered_map<std::string_view, const PostingList*> resolved;
+  std::vector<const PostingList*> lists;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    std::vector<std::string_view> unique = UniqueTerms(*queries[q]);
+    if (unique.empty()) continue;
+    lists.clear();
+    bool missing_term = false;
+    for (std::string_view term : unique) {
+      auto [it, inserted] = resolved.try_emplace(term, nullptr);
+      if (inserted) it->second = Postings(term);
+      if (it->second == nullptr) {
+        missing_term = true;
+        break;
+      }
+      lists.push_back(it->second);
+    }
+    if (missing_term) continue;
+    if (lists.size() == 1) {
+      counts[q] = lists[0]->size();
+      continue;
+    }
+    std::uint64_t count = 0;
+    IntersectPostings(lists, [&count](DocId) {
+      ++count;
+      return true;
+    });
+    counts[q] = count;
+  }
+  return counts;
+}
+
+std::vector<std::uint64_t> InvertedIndex::CountConjunctiveBatch(
+    const std::vector<std::vector<std::string>>& queries) const {
+  std::vector<const std::vector<std::string>*> ptrs;
+  ptrs.reserve(queries.size());
+  for (const std::vector<std::string>& q : queries) ptrs.push_back(&q);
+  return CountConjunctiveBatch(ptrs);
+}
+
 std::vector<DocId> InvertedIndex::FindConjunctive(
     const std::vector<std::string>& terms, std::size_t limit) const {
   std::vector<DocId> docs;

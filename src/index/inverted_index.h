@@ -97,6 +97,18 @@ class InvertedIndex {
   /// unknown term. Duplicate terms are ignored.
   std::uint64_t CountConjunctive(const std::vector<std::string>& terms) const;
 
+  /// \brief Conjunctive counts for a batch of term lists: the returned
+  /// vector holds `CountConjunctive(*queries[i])` at position i. Term
+  /// lookups are memoized across the batch, so repeated vocabulary probes
+  /// (ubiquitous in ED-learning sweeps, where every query classifies
+  /// against the same vocabulary) cost one hash each.
+  std::vector<std::uint64_t> CountConjunctiveBatch(
+      const std::vector<const std::vector<std::string>*>& queries) const;
+
+  /// \brief Convenience overload over owned term lists.
+  std::vector<std::uint64_t> CountConjunctiveBatch(
+      const std::vector<std::vector<std::string>>& queries) const;
+
   /// \brief DocIds of up to `limit` conjunctive matches, ascending.
   std::vector<DocId> FindConjunctive(const std::vector<std::string>& terms,
                                      std::size_t limit) const;

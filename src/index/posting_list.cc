@@ -2,34 +2,35 @@
 
 #include <algorithm>
 
+#include "common/macros.h"
+#include "index/bitpack.h"
+#include "index/index_metrics.h"
+#include "index/varint_codec.h"
+
 namespace metaprobe {
 namespace index {
 
 namespace {
 
-std::uint64_t GetVarint(const std::vector<std::uint8_t>& bytes,
-                        std::size_t* offset) {
-  std::uint64_t value = 0;
-  int shift = 0;
-  while (true) {
-    std::uint8_t byte = bytes[*offset];
-    ++*offset;
-    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
-    if ((byte & 0x80) == 0) break;
-    shift += 7;
-  }
-  return value;
+// Serialized size of one directory entry: first_doc, last_doc (u32 LE each)
+// plus the two bit widths.
+constexpr std::size_t kDirEntryBytes = 4 + 4 + 1 + 1;
+
+void PutU32Le(std::uint32_t v, std::vector<std::uint8_t>* out) {
+  out->push_back(static_cast<std::uint8_t>(v));
+  out->push_back(static_cast<std::uint8_t>(v >> 8));
+  out->push_back(static_cast<std::uint8_t>(v >> 16));
+  out->push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t GetU32Le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
 }
 
 }  // namespace
-
-void PostingList::PutVarint(std::uint64_t value) {
-  while (value >= 0x80) {
-    bytes_.push_back(static_cast<std::uint8_t>(value) | 0x80);
-    value >>= 7;
-  }
-  bytes_.push_back(static_cast<std::uint8_t>(value));
-}
 
 Status PostingList::Append(DocId doc, std::uint32_t tf) {
   if (has_last_ && doc <= last_doc_) {
@@ -39,79 +40,51 @@ Status PostingList::Append(DocId doc, std::uint32_t tf) {
   if (tf == 0) {
     return Status::InvalidArgument("posting tf must be positive");
   }
-  if (count_ % kSkipInterval == 0) {
-    skips_.push_back({doc, count_, bytes_.size()});
-  }
-  // The first posting of each skip block stores its absolute DocId so the
-  // decoder can resume delta decoding from a skip entry.
-  DocId delta = (count_ % kSkipInterval == 0) ? doc : doc - last_doc_;
-  PutVarint(delta);
-  PutVarint(tf);
+  tail_docs_.push_back(doc);
+  tail_tfs_.push_back(tf);
   last_doc_ = doc;
   has_last_ = true;
   ++count_;
+  if (tail_docs_.size() == kBlockSize) FlushTailBlock();
   return Status::OK();
+}
+
+void PostingList::FlushTailBlock() {
+  BlockMeta m;
+  m.first_doc = tail_docs_.front();
+  m.last_doc = tail_docs_.back();
+  m.offset = bytes_.size();
+  std::uint32_t gaps[kBlockSize - 1];
+  std::uint32_t tfs[kBlockSize];
+  std::uint32_t max_gap = 0;
+  std::uint32_t max_tf = 0;
+  for (std::uint32_t i = 0; i + 1 < kBlockSize; ++i) {
+    gaps[i] = tail_docs_[i + 1] - tail_docs_[i] - 1;
+    max_gap |= gaps[i];
+  }
+  for (std::uint32_t i = 0; i < kBlockSize; ++i) {
+    tfs[i] = tail_tfs_[i] - 1;
+    max_tf |= tfs[i];
+  }
+  m.doc_bits = static_cast<std::uint8_t>(BitWidthOf(max_gap));
+  m.tf_bits = static_cast<std::uint8_t>(BitWidthOf(max_tf));
+  PackBits(gaps, kBlockSize - 1, m.doc_bits, &bytes_);
+  PackBits(tfs, kBlockSize, m.tf_bits, &bytes_);
+  blocks_.push_back(m);
+  tail_docs_.clear();
+  tail_tfs_.clear();
+}
+
+std::size_t PostingList::ByteSize() const {
+  return bytes_.size() + blocks_.size() * sizeof(BlockMeta) +
+         tail_docs_.size() * (sizeof(DocId) + sizeof(std::uint32_t));
 }
 
 void PostingList::ShrinkToFit() {
   bytes_.shrink_to_fit();
-  skips_.shrink_to_fit();
-}
-
-Result<PostingList> PostingList::FromEncoded(std::uint32_t count,
-                                             std::vector<std::uint8_t> bytes) {
-  PostingList list;
-  list.bytes_ = std::move(bytes);
-  list.count_ = count;
-  // Validation + skip-table reconstruction in one checked decode pass.
-  std::size_t offset = 0;
-  DocId prev_doc = 0;
-  auto checked_varint = [&](std::uint64_t* value) -> bool {
-    *value = 0;
-    int shift = 0;
-    while (offset < list.bytes_.size()) {
-      std::uint8_t byte = list.bytes_[offset++];
-      if (shift >= 64) return false;
-      *value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
-      if ((byte & 0x80) == 0) return true;
-      shift += 7;
-    }
-    return false;
-  };
-  for (std::uint32_t i = 0; i < count; ++i) {
-    std::size_t entry_offset = offset;
-    std::uint64_t delta = 0;
-    std::uint64_t tf = 0;
-    if (!checked_varint(&delta) || !checked_varint(&tf)) {
-      return Status::InvalidArgument("posting payload truncated at entry ", i);
-    }
-    DocId doc;
-    if (i % kSkipInterval == 0) {
-      doc = static_cast<DocId>(delta);  // absolute at block start
-      list.skips_.push_back({doc, i, entry_offset});
-    } else {
-      if (delta == 0) {
-        return Status::InvalidArgument("zero DocId delta at entry ", i);
-      }
-      doc = prev_doc + static_cast<DocId>(delta);
-      if (doc <= prev_doc) {
-        return Status::InvalidArgument("DocId overflow at entry ", i);
-      }
-    }
-    if (i > 0 && doc <= prev_doc) {
-      return Status::InvalidArgument("non-increasing DocIds at entry ", i);
-    }
-    if (tf == 0 || tf > 0xFFFFFFFFull) {
-      return Status::InvalidArgument("invalid tf at entry ", i);
-    }
-    prev_doc = doc;
-  }
-  if (offset != list.bytes_.size()) {
-    return Status::InvalidArgument("trailing garbage after postings");
-  }
-  list.last_doc_ = prev_doc;
-  list.has_last_ = count > 0;
-  return list;
+  blocks_.shrink_to_fit();
+  tail_docs_.shrink_to_fit();
+  tail_tfs_.shrink_to_fit();
 }
 
 std::vector<Posting> PostingList::Decode() const {
@@ -121,60 +94,229 @@ std::vector<Posting> PostingList::Decode() const {
   return out;
 }
 
-PostingList::Iterator::Iterator(const PostingList* list)
-    : list_(list), remaining_(list->count_) {
-  if (remaining_ > 0) DecodeNext();
-}
+std::vector<std::uint8_t> PostingList::EncodePayload() const {
+  std::vector<std::uint8_t> out;
+  const std::size_t tail_n = tail_docs_.size();
 
-void PostingList::Iterator::DecodeNext() {
-  std::uint64_t delta = GetVarint(list_->bytes_, &offset_);
-  std::uint64_t tf = GetVarint(list_->bytes_, &offset_);
-  std::uint32_t index = list_->count_ - remaining_;
-  if (index % kSkipInterval == 0) {
-    current_.doc = static_cast<DocId>(delta);  // absolute at block start
-  } else {
-    current_.doc = prev_doc_ + static_cast<DocId>(delta);
-  }
-  current_.tf = static_cast<std::uint32_t>(tf);
-  prev_doc_ = current_.doc;
-  --remaining_;
-  valid_current_ = true;
-}
-
-void PostingList::Iterator::Next() {
-  if (remaining_ > 0) {
-    DecodeNext();
-  } else {
-    valid_current_ = false;
-  }
-}
-
-void PostingList::Iterator::SkipTo(DocId target) {
-  if (!Valid() || current_.doc >= target) return;
-  // Binary search the skip table for the last block starting at or before
-  // target that is still ahead of the current position.
-  const auto& skips = list_->skips_;
-  std::uint32_t current_index = list_->count_ - remaining_ - 1;
-  auto it = std::upper_bound(
-      skips.begin(), skips.end(), target,
-      [](DocId t, const SkipEntry& e) { return t < e.doc; });
-  if (it != skips.begin()) {
-    --it;
-    if (it->index > current_index) {
-      offset_ = it->offset;
-      remaining_ = list_->count_ - it->index;
-      prev_doc_ = 0;  // block start stores an absolute DocId
-      DecodeNext();
-      if (current_.doc >= target) return;
+  // The tail serializes as one final (possibly partial) packed block.
+  std::uint32_t tail_gaps[kBlockSize];
+  std::uint32_t tail_tfs[kBlockSize];
+  std::uint32_t tail_doc_bits = 0;
+  std::uint32_t tail_tf_bits = 0;
+  if (tail_n > 0) {
+    std::uint32_t max_gap = 0;
+    std::uint32_t max_tf = 0;
+    for (std::size_t i = 0; i + 1 < tail_n; ++i) {
+      tail_gaps[i] = tail_docs_[i + 1] - tail_docs_[i] - 1;
+      max_gap |= tail_gaps[i];
     }
-  }
-  while (current_.doc < target) {
-    if (remaining_ == 0) {
-      valid_current_ = false;
-      return;
+    for (std::size_t i = 0; i < tail_n; ++i) {
+      tail_tfs[i] = tail_tfs_[i] - 1;
+      max_tf |= tail_tfs[i];
     }
-    DecodeNext();
+    tail_doc_bits = BitWidthOf(max_gap);
+    tail_tf_bits = BitWidthOf(max_tf);
   }
+
+  const std::size_t num_entries = blocks_.size() + (tail_n > 0 ? 1 : 0);
+  out.reserve(num_entries * kDirEntryBytes + bytes_.size() +
+              PackedBytes(tail_n > 0 ? tail_n - 1 : 0, tail_doc_bits) +
+              PackedBytes(tail_n, tail_tf_bits));
+  for (const BlockMeta& m : blocks_) {
+    PutU32Le(m.first_doc, &out);
+    PutU32Le(m.last_doc, &out);
+    out.push_back(m.doc_bits);
+    out.push_back(m.tf_bits);
+  }
+  if (tail_n > 0) {
+    PutU32Le(tail_docs_.front(), &out);
+    PutU32Le(tail_docs_.back(), &out);
+    out.push_back(static_cast<std::uint8_t>(tail_doc_bits));
+    out.push_back(static_cast<std::uint8_t>(tail_tf_bits));
+  }
+  out.insert(out.end(), bytes_.begin(), bytes_.end());
+  if (tail_n > 0) {
+    PackBits(tail_gaps, tail_n - 1, tail_doc_bits, &out);
+    PackBits(tail_tfs, tail_n, tail_tf_bits, &out);
+  }
+  return out;
+}
+
+Result<PostingList> PostingList::FromEncoded(std::uint32_t count,
+                                             std::vector<std::uint8_t> bytes) {
+  PostingList list;
+  if (count == 0) {
+    if (!bytes.empty()) {
+      return Status::InvalidArgument("empty posting list with ", bytes.size(),
+                                     " payload bytes");
+    }
+    return list;
+  }
+  const std::size_t full_blocks = count / kBlockSize;
+  const std::size_t tail_n = count % kBlockSize;
+  const std::size_t num_entries = full_blocks + (tail_n > 0 ? 1 : 0);
+  const std::size_t dir_bytes = num_entries * kDirEntryBytes;
+  if (bytes.size() < dir_bytes) {
+    return Status::InvalidArgument("posting payload truncated: ", bytes.size(),
+                                   " bytes cannot hold a ", num_entries,
+                                   "-block directory");
+  }
+
+  // Pass 1: parse and sanity-check the directory, deriving section sizes.
+  struct ParsedMeta {
+    DocId first_doc;
+    DocId last_doc;
+    std::uint32_t doc_bits;
+    std::uint32_t tf_bits;
+    std::uint32_t n;  // postings in this block
+  };
+  std::vector<ParsedMeta> metas(num_entries);
+  std::uint64_t payload_bytes = 0;
+  for (std::size_t b = 0; b < num_entries; ++b) {
+    const std::uint8_t* p = bytes.data() + b * kDirEntryBytes;
+    ParsedMeta& m = metas[b];
+    m.first_doc = GetU32Le(p);
+    m.last_doc = GetU32Le(p + 4);
+    m.doc_bits = p[8];
+    m.tf_bits = p[9];
+    m.n = (tail_n > 0 && b + 1 == num_entries) ? static_cast<std::uint32_t>(tail_n)
+                                               : kBlockSize;
+    if (m.doc_bits > 32 || m.tf_bits > 32) {
+      return Status::InvalidArgument("block ", b, " claims ", m.doc_bits, "/",
+                                     m.tf_bits, " bit widths (max 32)");
+    }
+    if (static_cast<std::uint64_t>(m.first_doc) + (m.n - 1) >
+        static_cast<std::uint64_t>(m.last_doc)) {
+      return Status::InvalidArgument("block ", b, " directory range [",
+                                     m.first_doc, ", ", m.last_doc,
+                                     "] cannot hold ", m.n, " postings");
+    }
+    if (b > 0 && m.first_doc <= metas[b - 1].last_doc) {
+      return Status::InvalidArgument("non-increasing DocIds between blocks ",
+                                     b - 1, " and ", b);
+    }
+    payload_bytes += PackedBytes(m.n - 1, m.doc_bits);
+    payload_bytes += PackedBytes(m.n, m.tf_bits);
+  }
+  if (dir_bytes + payload_bytes != bytes.size()) {
+    return Status::InvalidArgument("posting payload length mismatch: directory"
+                                   " derives ", dir_bytes + payload_bytes,
+                                   " bytes, got ", bytes.size());
+  }
+
+  // Pass 2: deep-validate every block's gap section (the decoded last DocId
+  // must reproduce the directory entry, which also rules out overflow) and
+  // split the payload into the in-memory layout.
+  std::uint32_t gaps[kBlockSize];
+  std::size_t offset = dir_bytes;
+  list.bytes_.reserve(bytes.size() - dir_bytes);
+  list.blocks_.reserve(full_blocks);
+  for (std::size_t b = 0; b < num_entries; ++b) {
+    const ParsedMeta& m = metas[b];
+    const std::size_t gap_bytes = PackedBytes(m.n - 1, m.doc_bits);
+    const std::size_t tf_bytes = PackedBytes(m.n, m.tf_bits);
+    UnpackBits(bytes.data() + offset, bytes.size() - offset, m.n - 1,
+               m.doc_bits, gaps);
+    std::uint64_t doc = m.first_doc;
+    for (std::uint32_t i = 0; i + 1 < m.n; ++i) {
+      doc += static_cast<std::uint64_t>(gaps[i]) + 1;
+    }
+    if (doc != m.last_doc) {
+      return Status::InvalidArgument("block ", b, " decodes to last DocId ",
+                                     doc, " but its directory claims ",
+                                     m.last_doc);
+    }
+    const bool is_tail = tail_n > 0 && b + 1 == num_entries;
+    if (!is_tail) {
+      BlockMeta meta;
+      meta.first_doc = m.first_doc;
+      meta.last_doc = m.last_doc;
+      meta.offset = list.bytes_.size();
+      meta.doc_bits = static_cast<std::uint8_t>(m.doc_bits);
+      meta.tf_bits = static_cast<std::uint8_t>(m.tf_bits);
+      list.bytes_.insert(list.bytes_.end(), bytes.begin() + offset,
+                         bytes.begin() + offset + gap_bytes + tf_bytes);
+      list.blocks_.push_back(meta);
+    } else {
+      std::uint32_t tfs[kBlockSize];
+      UnpackBits(bytes.data() + offset + gap_bytes,
+                 bytes.size() - offset - gap_bytes, m.n, m.tf_bits, tfs);
+      list.tail_docs_.resize(m.n);
+      list.tail_tfs_.resize(m.n);
+      PrefixSumGaps(m.first_doc, gaps, m.n - 1, list.tail_docs_.data());
+      for (std::uint32_t i = 0; i < m.n; ++i) list.tail_tfs_[i] = tfs[i] + 1;
+    }
+    offset += gap_bytes + tf_bytes;
+  }
+  list.count_ = count;
+  list.last_doc_ = metas.back().last_doc;
+  list.has_last_ = true;
+  return list;
+}
+
+Result<PostingList> PostingList::FromV1Encoded(
+    std::uint32_t count, const std::vector<std::uint8_t>& bytes) {
+  ASSIGN_OR_RETURN(std::vector<Posting> postings,
+                   v1::DecodePostings(count, bytes));
+  PostingList list;
+  for (const Posting& p : postings) {
+    RETURN_NOT_OK(list.Append(p.doc, p.tf));
+  }
+  return list;
+}
+
+PostingList::Iterator::Iterator(const PostingList* list) : list_(list) {
+  if (list->count_ > 0) LoadSpan(0);
+}
+
+void PostingList::Iterator::LoadSpan(std::size_t b) {
+  block_ = b;
+  tfs_loaded_ = false;
+  if (b < list_->blocks_.size()) {
+    const BlockMeta& m = list_->blocks_[b];
+    std::uint32_t gaps[kBlockSize - 1];
+    UnpackBits(list_->bytes_.data() + m.offset, list_->bytes_.size() - m.offset,
+               kBlockSize - 1, m.doc_bits, gaps);
+    PrefixSumGaps(m.first_doc, gaps, kBlockSize - 1, docs_);
+    span_len_ = kBlockSize;
+    IndexCounters::CountBlocksDecoded(1);
+  } else {
+    span_len_ = static_cast<std::uint32_t>(list_->tail_docs_.size());
+    std::copy(list_->tail_docs_.begin(), list_->tail_docs_.end(), docs_);
+  }
+}
+
+void PostingList::Iterator::DecodeTfs() const {
+  if (block_ < list_->blocks_.size()) {
+    const BlockMeta& m = list_->blocks_[block_];
+    const std::size_t tf_offset =
+        m.offset + PackedBytes(kBlockSize - 1, m.doc_bits);
+    UnpackBits(list_->bytes_.data() + tf_offset,
+               list_->bytes_.size() - tf_offset, kBlockSize, m.tf_bits, tfs_);
+    for (std::uint32_t i = 0; i < kBlockSize; ++i) ++tfs_[i];  // stored tf-1
+  } else {
+    std::copy(list_->tail_tfs_.begin(), list_->tail_tfs_.end(), tfs_);
+  }
+  tfs_loaded_ = true;
+}
+
+void PostingList::Iterator::SkipToNewSpan(DocId target) {
+  if (target > list_->last_doc_) {
+    pos_ = list_->count_;  // no posting can match: exhaust
+    return;
+  }
+  // Gallop over the max-doc directory: every block strictly between the
+  // current one and the landing block is skipped without decoding.
+  const auto& blocks = list_->blocks_;
+  const std::size_t lo = block_ + 1;
+  auto it = std::lower_bound(
+      blocks.begin() + static_cast<std::ptrdiff_t>(lo), blocks.end(), target,
+      [](const BlockMeta& m, DocId t) { return m.last_doc < t; });
+  const std::size_t b = static_cast<std::size_t>(it - blocks.begin());
+  IndexCounters::CountBlocksSkipped(b - lo);
+  LoadSpan(b);
+  idx_ = 0;
+  pos_ = static_cast<std::uint32_t>(b) * kBlockSize;
 }
 
 }  // namespace index

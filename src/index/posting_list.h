@@ -3,6 +3,7 @@
 #ifndef METAPROBE_INDEX_POSTING_LIST_H_
 #define METAPROBE_INDEX_POSTING_LIST_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -22,18 +23,27 @@ struct Posting {
   bool operator==(const Posting&) const = default;
 };
 
-/// \brief Compressed posting list for a single term.
+/// \brief Block-compressed posting list for a single term (format v2).
 ///
-/// Postings are stored as (delta-encoded DocId, tf) pairs in LEB128 varints,
-/// with a skip entry every `kSkipInterval` postings recording the absolute
-/// DocId and byte offset so that `Iterator::SkipTo` can jump over blocks
-/// during conjunctive intersection.
+/// Postings are grouped into fixed blocks of `kBlockSize`. Each full block
+/// stores frame-of-reference bit-packed values: the 127 doc-id gaps (gap-1,
+/// since DocIds are strictly increasing) at the block's minimal bit width,
+/// followed by the 128 tf values (tf-1) at theirs. A per-block directory
+/// entry records the first and last DocId plus both bit widths, so
+/// * `Iterator::SkipTo` gallops over whole blocks via the `last_doc`
+///   maxima without decoding them, and
+/// * the decoder unpacks an entire block into an aligned scratch buffer
+///   with tight auto-vectorizable loops (SIMD prefix sum where available)
+///   instead of one varint branch per posting.
+/// The sub-block tail (< kBlockSize newest postings) stays uncompressed in
+/// memory and is bit-packed only on serialization, so `Append` never
+/// repacks and a freshly built list is immediately readable.
 ///
 /// Append order must be strictly increasing by DocId; the builder in
 /// inverted_index.cc guarantees this by construction.
 class PostingList {
  public:
-  static constexpr std::uint32_t kSkipInterval = 64;
+  static constexpr std::uint32_t kBlockSize = 128;
 
   PostingList() = default;
 
@@ -44,42 +54,90 @@ class PostingList {
   std::uint32_t size() const { return count_; }
   bool empty() const { return count_ == 0; }
 
-  /// \brief Compressed payload size in bytes (diagnostics).
-  std::size_t ByteSize() const {
-    return bytes_.capacity() + skips_.capacity() * sizeof(SkipEntry);
-  }
+  /// \brief Actual in-memory payload size in bytes (packed blocks +
+  /// directory + uncompressed tail), independent of vector over-allocation.
+  std::size_t ByteSize() const;
 
   /// \brief Releases excess capacity after building.
   void ShrinkToFit();
 
   /// \brief Forward decoder over the postings.
+  ///
+  /// Decodes one block at a time into an internal scratch buffer; tf values
+  /// are unpacked lazily, so intersection-only consumers never touch the tf
+  /// sections. Iterators are value types (the scratch rides along) —
+  /// cheap to create, ~1.2 KiB to copy.
   class Iterator {
    public:
     explicit Iterator(const PostingList* list);
 
     /// \brief True while positioned on a posting.
-    bool Valid() const { return remaining_ > 0 || valid_current_; }
+    bool Valid() const { return pos_ < list_->count_; }
 
-    DocId doc() const { return current_.doc; }
-    std::uint32_t tf() const { return current_.tf; }
-    Posting posting() const { return current_; }
+    DocId doc() const { return docs_[idx_]; }
+    std::uint32_t tf() const {
+      if (!tfs_loaded_) DecodeTfs();
+      return tfs_[idx_];
+    }
+    Posting posting() const { return {doc(), tf()}; }
 
-    /// \brief Advances to the next posting.
-    void Next();
+    /// \brief Advances to the next posting. Inlined fast path: only a
+    /// block boundary leaves the decoded span.
+    void Next() {
+      if (pos_ >= list_->count_) return;
+      ++pos_;
+      if (++idx_ < span_len_ || pos_ >= list_->count_) return;
+      LoadSpan(block_ + 1);
+      idx_ = 0;
+    }
 
-    /// \brief Advances to the first posting with doc >= target, using the
-    /// skip table to bypass blocks. No-op if already there.
-    void SkipTo(DocId target);
+    /// \brief Advances to the first posting with doc >= target, skipping
+    /// whole blocks via the max-doc directory. No-op if already there.
+    ///
+    /// The in-span search gallops from the current position instead of
+    /// binary-searching the remaining span: conjunctive intersections
+    /// advance a handful of postings at a time through dense lists, so the
+    /// answer is almost always within the first few slots and a full
+    /// lower_bound wastes ~7 branchy probes. Leaving the span goes through
+    /// the out-of-line directory search.
+    void SkipTo(DocId target) {
+      if (pos_ >= list_->count_ || docs_[idx_] >= target) return;
+      if (target > docs_[span_len_ - 1]) {
+        SkipToNewSpan(target);
+        if (pos_ >= list_->count_) return;
+      }
+      const DocId* const base = docs_;
+      const std::uint32_t len = span_len_;
+      std::uint32_t lo = idx_;
+      std::uint32_t step = 1;
+      while (lo + step < len && base[lo + step] < target) {
+        lo += step;
+        step <<= 1;
+      }
+      const std::uint32_t hi = std::min(len, lo + step);
+      const DocId* found = std::lower_bound(base + lo, base + hi, target);
+      pos_ += static_cast<std::uint32_t>(found - base) - idx_;
+      idx_ = static_cast<std::uint32_t>(found - base);
+    }
 
    private:
-    void DecodeNext();
+    // Decodes block `b`'s doc ids into the scratch (b == blocks_.size()
+    // selects the uncompressed tail).
+    void LoadSpan(std::size_t b);
+    // Exhausts the iterator if target exceeds the list's last DocId, else
+    // lands on the first block whose last_doc >= target (skipping the
+    // blocks in between undecoded).
+    void SkipToNewSpan(DocId target);
+    void DecodeTfs() const;
 
     const PostingList* list_;
-    std::size_t offset_ = 0;       // byte position in list_->bytes_
-    std::uint32_t remaining_ = 0;  // postings not yet decoded
-    DocId prev_doc_ = 0;           // base for delta decoding
-    Posting current_{};
-    bool valid_current_ = false;
+    std::size_t block_ = 0;        // current span; blocks_.size() = tail
+    std::uint32_t pos_ = 0;        // global index of the current posting
+    std::uint32_t idx_ = 0;        // index within the decoded span
+    std::uint32_t span_len_ = 0;
+    mutable bool tfs_loaded_ = false;
+    alignas(64) DocId docs_[kBlockSize];
+    mutable std::uint32_t tfs_[kBlockSize];
   };
 
   Iterator begin() const { return Iterator(this); }
@@ -87,28 +145,44 @@ class PostingList {
   /// \brief Decodes the full list (tests and small-scale tooling).
   std::vector<Posting> Decode() const;
 
-  /// \brief Raw compressed payload (persistence).
-  const std::vector<std::uint8_t>& encoded_bytes() const { return bytes_; }
+  /// \brief Serializes the list into a self-contained v2 payload:
+  /// a directory of (first_doc, last_doc, doc_bits, tf_bits) entries — one
+  /// per block, the final one possibly partial — followed by the packed
+  /// gap/tf sections. Section lengths are derived from the directory, so
+  /// the layout carries no redundant length fields.
+  std::vector<std::uint8_t> EncodePayload() const;
 
-  /// \brief Rebuilds a list from a serialized payload, validating varint
-  /// framing, DocId monotonicity and positive term frequencies; the skip
-  /// table is reconstructed during the validation pass.
+  /// \brief Rebuilds a list from a v2 payload, validating directory
+  /// monotonicity, bit widths, exact payload length and that every block's
+  /// decoded gaps reproduce its directory `last_doc`.
   static Result<PostingList> FromEncoded(std::uint32_t count,
                                          std::vector<std::uint8_t> bytes);
+
+  /// \brief Rebuilds a list from a legacy v1 varint payload (see
+  /// varint_codec.h), fully validated; the result is re-encoded into the
+  /// block format.
+  static Result<PostingList> FromV1Encoded(
+      std::uint32_t count, const std::vector<std::uint8_t>& bytes);
 
  private:
   friend class Iterator;
 
-  struct SkipEntry {
-    DocId doc;            // DocId of the first posting in the block
-    std::uint32_t index;  // posting index of the block start
-    std::size_t offset;   // byte offset of the block start
+  struct BlockMeta {
+    DocId first_doc = 0;
+    DocId last_doc = 0;
+    std::uint64_t offset = 0;   // byte offset of the gap section in bytes_
+    std::uint8_t doc_bits = 0;  // width of each gap-1 value
+    std::uint8_t tf_bits = 0;   // width of each tf-1 value
   };
 
-  void PutVarint(std::uint64_t value);
+  // Packs the accumulated tail into a new full block (requires exactly
+  // kBlockSize pending postings).
+  void FlushTailBlock();
 
-  std::vector<std::uint8_t> bytes_;
-  std::vector<SkipEntry> skips_;
+  std::vector<BlockMeta> blocks_;      // directory of full blocks
+  std::vector<std::uint8_t> bytes_;    // packed payload of full blocks
+  std::vector<DocId> tail_docs_;       // < kBlockSize pending postings
+  std::vector<std::uint32_t> tail_tfs_;
   std::uint32_t count_ = 0;
   DocId last_doc_ = 0;
   bool has_last_ = false;

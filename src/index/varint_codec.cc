@@ -1,0 +1,90 @@
+#include "index/varint_codec.h"
+
+namespace metaprobe {
+namespace index {
+namespace v1 {
+
+namespace {
+
+void PutVarint(std::uint64_t value, std::vector<std::uint8_t>* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<std::uint8_t>(value));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodePostings(
+    const std::vector<Posting>& postings) {
+  std::vector<std::uint8_t> bytes;
+  DocId last_doc = 0;
+  for (std::size_t i = 0; i < postings.size(); ++i) {
+    // The first posting of each skip block stores its absolute DocId.
+    DocId delta = (i % kV1SkipInterval == 0) ? postings[i].doc
+                                             : postings[i].doc - last_doc;
+    PutVarint(delta, &bytes);
+    PutVarint(postings[i].tf, &bytes);
+    last_doc = postings[i].doc;
+  }
+  return bytes;
+}
+
+Result<std::vector<Posting>> DecodePostings(
+    std::uint32_t count, const std::vector<std::uint8_t>& bytes) {
+  std::vector<Posting> postings;
+  postings.reserve(count);
+  std::size_t offset = 0;
+  DocId prev_doc = 0;
+  auto checked_varint = [&](std::uint64_t* value) -> bool {
+    *value = 0;
+    int shift = 0;
+    while (offset < bytes.size()) {
+      std::uint8_t byte = bytes[offset++];
+      if (shift >= 64) return false;
+      *value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return true;
+      shift += 7;
+    }
+    return false;
+  };
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint64_t delta = 0;
+    std::uint64_t tf = 0;
+    if (!checked_varint(&delta) || !checked_varint(&tf)) {
+      return Status::InvalidArgument("posting payload truncated at entry ", i);
+    }
+    DocId doc;
+    if (i % kV1SkipInterval == 0) {
+      doc = static_cast<DocId>(delta);  // absolute at block start
+      if (delta > 0xFFFFFFFFull) {
+        return Status::InvalidArgument("DocId overflow at entry ", i);
+      }
+    } else {
+      if (delta == 0) {
+        return Status::InvalidArgument("zero DocId delta at entry ", i);
+      }
+      doc = prev_doc + static_cast<DocId>(delta);
+      if (doc <= prev_doc) {
+        return Status::InvalidArgument("DocId overflow at entry ", i);
+      }
+    }
+    if (i > 0 && doc <= prev_doc) {
+      return Status::InvalidArgument("non-increasing DocIds at entry ", i);
+    }
+    if (tf == 0 || tf > 0xFFFFFFFFull) {
+      return Status::InvalidArgument("invalid tf at entry ", i);
+    }
+    postings.push_back({doc, static_cast<std::uint32_t>(tf)});
+    prev_doc = doc;
+  }
+  if (offset != bytes.size()) {
+    return Status::InvalidArgument("trailing garbage after postings");
+  }
+  return postings;
+}
+
+}  // namespace v1
+}  // namespace index
+}  // namespace metaprobe

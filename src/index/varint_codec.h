@@ -1,0 +1,39 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_INDEX_VARINT_CODEC_H_
+#define METAPROBE_INDEX_VARINT_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "index/posting_list.h"
+
+namespace metaprobe {
+namespace index {
+namespace v1 {
+
+/// The legacy (index format v1) posting-list payload: (delta, tf) pairs in
+/// LEB128 varints, with the absolute DocId restated at every
+/// `kV1SkipInterval`-th posting so skip entries could resume delta
+/// decoding. Kept alive for three consumers: the v2 reader's
+/// back-compatibility path, test fixtures that fabricate v1 files, and the
+/// micro_index benchmarks that measure the old decoder against the block
+/// format.
+
+inline constexpr std::uint32_t kV1SkipInterval = 64;
+
+/// \brief Encodes `postings` (strictly increasing DocIds, positive tfs) in
+/// the v1 payload layout.
+std::vector<std::uint8_t> EncodePostings(const std::vector<Posting>& postings);
+
+/// \brief Decodes and validates a v1 payload claiming `count` postings:
+/// varint framing, DocId monotonicity, positive tfs, no trailing bytes.
+Result<std::vector<Posting>> DecodePostings(
+    std::uint32_t count, const std::vector<std::uint8_t>& bytes);
+
+}  // namespace v1
+}  // namespace index
+}  // namespace metaprobe
+
+#endif  // METAPROBE_INDEX_VARINT_CODEC_H_

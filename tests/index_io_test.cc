@@ -1,16 +1,49 @@
 #include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "corpus/domain.h"
 #include "corpus/synthetic_corpus.h"
 #include "index/inverted_index.h"
+#include "index/varint_codec.h"
 #include "stats/random.h"
 #include "text/analyzer.h"
 
 namespace metaprobe {
 namespace index {
 namespace {
+
+void PutU32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+// Serializes `index` exactly as format-v1 builds did: the shared MPIX
+// envelope with version 1 and per-term varint payloads.
+std::string SerializeAsV1(const InvertedIndex& index) {
+  std::string out("MPIX");
+  PutU32(&out, 1);
+  PutU32(&out, index.num_docs());
+  PutU64(&out, index.GetStats().total_tokens);
+  PutU64(&out, index.vocabulary().size());
+  for (text::TermId id = 0; id < index.vocabulary().size(); ++id) {
+    const std::string& term = index.vocabulary().TermOf(id);
+    PutU32(&out, static_cast<std::uint32_t>(term.size()));
+    out.append(term);
+    const PostingList* list = index.Postings(term);
+    PutU32(&out, list == nullptr ? 0 : list->size());
+    std::vector<std::uint8_t> payload =
+        list == nullptr ? std::vector<std::uint8_t>{}
+                        : v1::EncodePostings(list->Decode());
+    PutU64(&out, payload.size());
+    out.append(reinterpret_cast<const char*>(payload.data()), payload.size());
+  }
+  return out;
+}
 
 InvertedIndex SmallIndex() {
   InvertedIndex::Builder builder;
@@ -130,16 +163,94 @@ TEST(IndexIoTest, RejectsCorruptedBytes) {
   }
 }
 
+TEST(IndexIoTest, LoadsV1FormatFiles) {
+  // A v1-serialized index (varint payloads) must load under the v2 reader
+  // and behave identically to the original.
+  for (bool synthetic : {false, true}) {
+    InvertedIndex original;
+    if (synthetic) {
+      text::Analyzer analyzer;
+      corpus::CorpusGenerator generator(corpus::HealthTopics(), {}, &analyzer);
+      corpus::DatabaseSpec spec;
+      spec.name = "v1-compat";
+      spec.num_docs = 400;
+      spec.mixture = {{"oncology", 1.0}};
+      spec.seed = 7;
+      original = std::move(generator.Generate(spec)->index);
+    } else {
+      original = SmallIndex();
+    }
+    std::istringstream is(SerializeAsV1(original), std::ios::binary);
+    auto loaded = InvertedIndex::LoadFrom(is);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    EXPECT_EQ(loaded->num_docs(), original.num_docs());
+    IndexStats a = original.GetStats();
+    IndexStats b = loaded->GetStats();
+    EXPECT_EQ(a.num_terms, b.num_terms);
+    EXPECT_EQ(a.num_postings, b.num_postings);
+    for (auto terms : {std::vector<std::string>{"cancer"},
+                       std::vector<std::string>{"cancer", "breast"},
+                       std::vector<std::string>{"tumor", "biopsi"}}) {
+      EXPECT_EQ(loaded->CountConjunctive(terms),
+                original.CountConjunctive(terms));
+      EXPECT_EQ(loaded->TopKCosine(terms, 10), original.TopKCosine(terms, 10));
+    }
+    // Saving the loaded index upgrades it: the result is a v2 file that
+    // round-trips byte-stably.
+    std::ostringstream resaved(std::ios::binary);
+    ASSERT_TRUE(loaded->SaveTo(resaved).ok());
+    std::istringstream is2(resaved.str(), std::ios::binary);
+    auto upgraded = InvertedIndex::LoadFrom(is2);
+    ASSERT_TRUE(upgraded.ok()) << upgraded.status();
+    std::ostringstream resaved2(std::ios::binary);
+    ASSERT_TRUE(upgraded->SaveTo(resaved2).ok());
+    EXPECT_EQ(resaved.str(), resaved2.str());
+  }
+}
+
+TEST(IndexIoTest, RejectsUnsupportedVersion) {
+  InvertedIndex original = SmallIndex();
+  std::ostringstream os(std::ios::binary);
+  ASSERT_TRUE(original.SaveTo(os).ok());
+  for (std::uint32_t bad_version : {0u, 3u, 255u}) {
+    std::string mutated = os.str();
+    for (int i = 0; i < 4; ++i) {
+      mutated[4 + i] = static_cast<char>(bad_version >> (8 * i));
+    }
+    std::istringstream is(mutated, std::ios::binary);
+    EXPECT_TRUE(InvertedIndex::LoadFrom(is).status().IsInvalidArgument())
+        << "version " << bad_version;
+  }
+}
+
+TEST(IndexIoTest, RejectsCorruptV1Payload) {
+  InvertedIndex original = SmallIndex();
+  std::string v1_bytes = SerializeAsV1(original);
+  // Flip bytes across the v1 file: clean failure or benign success, no
+  // crashes — the legacy decoder keeps its full validation.
+  stats::Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string mutated = v1_bytes;
+    std::size_t pos = 8 + rng.UniformInt(mutated.size() - 8);
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x5b);
+    std::istringstream is(mutated, std::ios::binary);
+    auto result = InvertedIndex::LoadFrom(is);
+    if (result.ok()) {
+      EXPECT_EQ(result->num_docs(), original.num_docs());
+    }
+  }
+}
+
 TEST(PostingListEncodedTest, FromEncodedRoundTrip) {
   PostingList list;
   for (DocId d = 0; d < 300; ++d) {
     ASSERT_TRUE(list.Append(d * 5 + 1, (d % 4) + 1).ok());
   }
   auto restored =
-      PostingList::FromEncoded(list.size(), list.encoded_bytes());
+      PostingList::FromEncoded(list.size(), list.EncodePayload());
   ASSERT_TRUE(restored.ok());
   EXPECT_EQ(restored->Decode(), list.Decode());
-  // SkipTo works on the restored list (skip table was rebuilt).
+  // SkipTo works on the restored list (block directory was rebuilt).
   auto it = restored->begin();
   it.SkipTo(1001);
   ASSERT_TRUE(it.Valid());
@@ -149,7 +260,7 @@ TEST(PostingListEncodedTest, FromEncodedRoundTrip) {
 TEST(PostingListEncodedTest, RejectsTruncatedPayload) {
   PostingList list;
   for (DocId d = 0; d < 100; ++d) ASSERT_TRUE(list.Append(d * 2, 1).ok());
-  std::vector<std::uint8_t> bytes = list.encoded_bytes();
+  std::vector<std::uint8_t> bytes = list.EncodePayload();
   bytes.resize(bytes.size() / 2);
   EXPECT_TRUE(PostingList::FromEncoded(list.size(), std::move(bytes))
                   .status()
@@ -159,14 +270,70 @@ TEST(PostingListEncodedTest, RejectsTruncatedPayload) {
 TEST(PostingListEncodedTest, RejectsCountMismatch) {
   PostingList list;
   for (DocId d = 0; d < 10; ++d) ASSERT_TRUE(list.Append(d, 1).ok());
-  // Fewer claimed postings than the payload encodes -> trailing garbage.
-  EXPECT_TRUE(PostingList::FromEncoded(5, list.encoded_bytes())
+  // Fewer claimed postings than the payload encodes.
+  EXPECT_TRUE(PostingList::FromEncoded(5, list.EncodePayload())
                   .status()
                   .IsInvalidArgument());
-  // More claimed postings than encoded -> truncation.
-  EXPECT_TRUE(PostingList::FromEncoded(20, list.encoded_bytes())
+  // More claimed postings than encoded.
+  EXPECT_TRUE(PostingList::FromEncoded(20, list.EncodePayload())
                   .status()
                   .IsInvalidArgument());
+}
+
+TEST(PostingListEncodedTest, RejectsCorruptBlockHeaders) {
+  PostingList list;
+  for (DocId d = 0; d < 5 * PostingList::kBlockSize; ++d) {
+    ASSERT_TRUE(list.Append(d * 3 + 1, (d % 5) + 1).ok());
+  }
+  const std::vector<std::uint8_t> payload = list.EncodePayload();
+  const std::uint32_t count = list.size();
+
+  auto expect_rejected = [&](std::vector<std::uint8_t> bytes,
+                             const char* what) {
+    EXPECT_TRUE(PostingList::FromEncoded(count, std::move(bytes))
+                    .status()
+                    .IsInvalidArgument())
+        << what;
+  };
+  {
+    std::vector<std::uint8_t> bytes = payload;
+    bytes[8] = 40;  // block 0 doc_bits beyond 32
+    expect_rejected(std::move(bytes), "oversized bit width");
+  }
+  {
+    std::vector<std::uint8_t> bytes = payload;
+    // Zero block 0's last_doc: the range can no longer hold its postings.
+    for (int i = 4; i < 8; ++i) bytes[i] = 0;
+    expect_rejected(std::move(bytes), "inverted doc range");
+  }
+  {
+    std::vector<std::uint8_t> bytes = payload;
+    bytes.resize(9);  // mid-directory truncation
+    expect_rejected(std::move(bytes), "truncated directory");
+  }
+  {
+    std::vector<std::uint8_t> bytes = payload;
+    bytes.pop_back();  // section shorter than the directory derives
+    expect_rejected(std::move(bytes), "truncated section");
+  }
+  {
+    std::vector<std::uint8_t> bytes = payload;
+    bytes[0] ^= 0xff;  // block 0 first_doc no longer matches its gaps
+    expect_rejected(std::move(bytes), "first_doc mismatch");
+  }
+
+  // Every single-byte flip inside the directory must fail cleanly or load
+  // postings consistent with the claimed count — never crash.
+  const std::size_t dir_bytes = (count / PostingList::kBlockSize) * 10;
+  for (std::size_t pos = 0; pos < dir_bytes; ++pos) {
+    std::vector<std::uint8_t> bytes = payload;
+    bytes[pos] ^= 0x5b;
+    auto result = PostingList::FromEncoded(count, std::move(bytes));
+    if (result.ok()) {
+      EXPECT_EQ(result->size(), count);
+      EXPECT_EQ(result->Decode().size(), count);
+    }
+  }
 }
 
 TEST(PostingListEncodedTest, EmptyList) {

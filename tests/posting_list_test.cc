@@ -105,8 +105,8 @@ TEST(PostingListTest, SkipToBehindCurrentIsNoOp) {
 
 TEST(PostingListTest, SkipToAcrossManyBlocks) {
   PostingList list;
-  // > kSkipInterval postings so the skip table is exercised.
-  for (DocId d = 0; d < 10 * PostingList::kSkipInterval; ++d) {
+  // > kBlockSize postings so the block directory is exercised.
+  for (DocId d = 0; d < 10 * PostingList::kBlockSize; ++d) {
     ASSERT_TRUE(list.Append(d * 7 + 1, (d % 9) + 1).ok());
   }
   auto it = list.begin();
@@ -114,6 +114,60 @@ TEST(PostingListTest, SkipToAcrossManyBlocks) {
   ASSERT_TRUE(it.Valid());
   EXPECT_EQ(it.doc(), static_cast<DocId>(7 * 451 + 1));
   EXPECT_EQ(it.tf(), (451u % 9) + 1);
+}
+
+TEST(PostingListTest, SkipToBlockBoundaryDocs) {
+  // Targets landing exactly on the first and last posting of each block,
+  // and in the inter-block gap, from both a fresh and a reused iterator.
+  PostingList list;
+  const DocId stride = 5;
+  const std::uint32_t n = 4 * PostingList::kBlockSize + 17;
+  for (DocId d = 0; d < n; ++d) {
+    ASSERT_TRUE(list.Append(d * stride, (d % 7) + 1).ok());
+  }
+  for (std::uint32_t block = 0; block < 5; ++block) {
+    const std::uint32_t first = block * PostingList::kBlockSize;
+    const std::uint32_t last =
+        std::min(n - 1, first + PostingList::kBlockSize - 1);
+    for (std::uint32_t idx : {first, last}) {
+      auto it = list.begin();
+      it.SkipTo(idx * stride);
+      ASSERT_TRUE(it.Valid()) << "block " << block << " idx " << idx;
+      EXPECT_EQ(it.doc(), idx * stride);
+      EXPECT_EQ(it.tf(), (idx % 7) + 1);
+      // In-gap target resolves to the next posting.
+      if (idx > 0) {
+        it = list.begin();
+        it.SkipTo(idx * stride - (stride - 1));
+        ASSERT_TRUE(it.Valid());
+        EXPECT_EQ(it.doc(), idx * stride);
+      }
+    }
+  }
+  // Walking off a block edge with Next continues into the next block.
+  auto it = list.begin();
+  it.SkipTo((PostingList::kBlockSize - 1) * stride);
+  ASSERT_TRUE(it.Valid());
+  it.Next();
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.doc(), PostingList::kBlockSize * stride);
+}
+
+TEST(PostingListTest, ByteSizeTracksPayloadNotCapacity) {
+  PostingList list;
+  EXPECT_EQ(list.ByteSize(), 0u);
+  ASSERT_TRUE(list.Append(10, 2).ok());
+  const std::size_t one = list.ByteSize();
+  EXPECT_GT(one, 0u);
+  for (DocId d = 11; d < 10 + PostingList::kBlockSize; ++d) {
+    ASSERT_TRUE(list.Append(d, 1).ok());
+  }
+  // A packed full block of dense postings must undercut the uncompressed
+  // tail representation it replaced (8 bytes per posting).
+  EXPECT_LT(list.ByteSize(), PostingList::kBlockSize * 8u);
+  const std::size_t before = list.ByteSize();
+  list.ShrinkToFit();
+  EXPECT_EQ(list.ByteSize(), before);
 }
 
 TEST(PostingListTest, InterleavedNextAndSkipTo) {
@@ -147,25 +201,84 @@ TEST_P(PostingListPropertyTest, RandomRoundTripAndSkips) {
   }
   EXPECT_EQ(list.Decode(), reference);
 
-  // Random SkipTo targets agree with a linear scan of the reference.
+  // Serialization round trip preserves the postings exactly.
+  Result<PostingList> reloaded =
+      PostingList::FromEncoded(list.size(), list.EncodePayload());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->Decode(), reference);
+
+  // Random SkipTo targets agree with a linear scan of the reference, on
+  // both the built list and its deserialized twin.
   for (int trial = 0; trial < 30; ++trial) {
     DocId target = static_cast<DocId>(rng.UniformInt(std::uint64_t{doc + 10}));
-    auto it = list.begin();
-    it.SkipTo(target);
     auto ref = std::find_if(reference.begin(), reference.end(),
                             [&](const Posting& p) { return p.doc >= target; });
-    if (ref == reference.end()) {
-      EXPECT_FALSE(it.Valid()) << "target " << target;
-    } else {
-      ASSERT_TRUE(it.Valid()) << "target " << target;
-      EXPECT_EQ(it.doc(), ref->doc);
-      EXPECT_EQ(it.tf(), ref->tf);
+    for (const PostingList* probed : {&list, &*reloaded}) {
+      auto it = probed->begin();
+      it.SkipTo(target);
+      if (ref == reference.end()) {
+        EXPECT_FALSE(it.Valid()) << "target " << target;
+      } else {
+        ASSERT_TRUE(it.Valid()) << "target " << target;
+        EXPECT_EQ(it.doc(), ref->doc);
+        EXPECT_EQ(it.tf(), ref->tf);
+      }
     }
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PostingListPropertyTest,
                          ::testing::Range(1, 11));
+
+class PostingListBoundarySizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PostingListBoundarySizeTest, RoundTripAndBoundarySkips) {
+  // Sizes straddling block boundaries: empty, single, one-short-of-full,
+  // exactly full, one-into-the-next, and multi-block variants.
+  const std::uint32_t n = static_cast<std::uint32_t>(GetParam());
+  stats::Rng rng(n + 1);
+  PostingList list;
+  std::vector<Posting> reference;
+  DocId doc = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    doc += 1 + static_cast<DocId>(rng.UniformInt(std::uint64_t{99}));
+    std::uint32_t tf =
+        1 + static_cast<std::uint32_t>(rng.UniformInt(std::uint64_t{9}));
+    ASSERT_TRUE(list.Append(doc, tf).ok());
+    reference.push_back({doc, tf});
+  }
+  ASSERT_EQ(list.size(), n);
+  EXPECT_EQ(list.Decode(), reference);
+
+  std::vector<std::uint8_t> payload = list.EncodePayload();
+  if (n == 0) {
+    EXPECT_TRUE(payload.empty());
+  }
+  Result<PostingList> reloaded = PostingList::FromEncoded(n, payload);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->Decode(), reference);
+  // Re-encoding the reloaded list is byte-stable.
+  EXPECT_EQ(reloaded->EncodePayload(), payload);
+
+  // SkipTo to every posting, to every posting's predecessor gap, and past
+  // the end, against both copies.
+  for (const PostingList* probed : {&list, &*reloaded}) {
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      auto it = probed->begin();
+      it.SkipTo(reference[i].doc);
+      ASSERT_TRUE(it.Valid()) << "posting " << i;
+      EXPECT_EQ(it.doc(), reference[i].doc);
+      EXPECT_EQ(it.tf(), reference[i].tf);
+    }
+    auto it = probed->begin();
+    it.SkipTo(doc + 1);  // past the last DocId
+    EXPECT_FALSE(it.Valid());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BlockEdges, PostingListBoundarySizeTest,
+    ::testing::Values(0, 1, 2, 127, 128, 129, 255, 256, 257, 640));
 
 }  // namespace
 }  // namespace index

@@ -1,0 +1,180 @@
+// Equivalence tests for the batched probe path: batching may only
+// amortize overhead, never change a single probed value, a learned
+// table, or a golden standard.
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "core/flaky_database.h"
+#include "core/hidden_web_database.h"
+#include "core/metasearcher.h"
+#include "core/relevancy_definition.h"
+#include "corpus/domain.h"
+#include "corpus/synthetic_corpus.h"
+#include "eval/golden.h"
+#include "eval/testbed.h"
+#include "stats/random.h"
+#include "text/analyzer.h"
+
+namespace metaprobe {
+namespace {
+
+std::shared_ptr<core::LocalDatabase> MakeDatabase(std::uint64_t seed) {
+  text::Analyzer analyzer;
+  corpus::CorpusGenerator generator(corpus::HealthTopics(), {}, &analyzer);
+  corpus::DatabaseSpec spec;
+  spec.name = "probe-batch-db";
+  spec.num_docs = 600;
+  spec.mixture = {{"oncology", 1.0}, {"cardiology", 0.5}};
+  spec.seed = seed;
+  return std::make_shared<core::LocalDatabase>(
+      spec.name, std::move(generator.Generate(spec)->index));
+}
+
+std::vector<core::Query> MixedQueries() {
+  std::vector<core::Query> queries;
+  for (std::vector<std::string> terms :
+       {std::vector<std::string>{"cancer"},
+        std::vector<std::string>{"cancer", "breast"},
+        std::vector<std::string>{"heart", "arteri"},
+        std::vector<std::string>{"tumor", "biopsi", "cancer"},
+        std::vector<std::string>{"cancer", "cancer", "breast"},  // duplicate
+        std::vector<std::string>{"zzz-unknown-term"},
+        std::vector<std::string>{"cancer", "zzz-unknown-term"}}) {
+    core::Query query;
+    query.terms = std::move(terms);
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+TEST(ProbingBatchTest, CountConjunctiveBatchMatchesSequential) {
+  auto db = MakeDatabase(31);
+  const index::InvertedIndex& idx = db->index_for_summaries();
+  std::vector<std::vector<std::string>> term_lists;
+  for (const core::Query& q : MixedQueries()) term_lists.push_back(q.terms);
+  term_lists.push_back({});  // empty list counts zero, matching sequential
+  std::vector<std::uint64_t> batched = idx.CountConjunctiveBatch(term_lists);
+  ASSERT_EQ(batched.size(), term_lists.size());
+  for (std::size_t i = 0; i < term_lists.size(); ++i) {
+    EXPECT_EQ(batched[i], idx.CountConjunctive(term_lists[i])) << "query " << i;
+  }
+}
+
+TEST(ProbingBatchTest, LocalProbeBatchMatchesProbeRelevancy) {
+  for (core::RelevancyDefinition definition :
+       {core::RelevancyDefinition::kDocumentFrequency,
+        core::RelevancyDefinition::kDocumentSimilarity}) {
+    auto db = MakeDatabase(32);
+    const std::vector<core::Query> queries = MixedQueries();
+    auto batched = db->ProbeBatch(queries, definition);
+    ASSERT_TRUE(batched.ok()) << batched.status();
+    ASSERT_EQ(batched->size(), queries.size());
+    EXPECT_EQ(db->queries_served(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      auto sequential = core::ProbeRelevancy(*db, queries[i], definition);
+      ASSERT_TRUE(sequential.ok());
+      EXPECT_EQ((*batched)[i], *sequential) << "query " << i;
+    }
+  }
+}
+
+TEST(ProbingBatchTest, ProbeBatchRejectsEmptyQuery) {
+  auto db = MakeDatabase(33);
+  std::vector<core::Query> queries = MixedQueries();
+  queries.emplace_back();  // empty query is an error, as in CountMatches
+  EXPECT_TRUE(db->ProbeBatch(queries,
+                             core::RelevancyDefinition::kDocumentFrequency)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ProbingBatchTest, DefaultProbeBatchLoopsThePrimitives) {
+  // FlakyDatabase does not override ProbeBatch, so the base-class loop
+  // runs — and per-probe failure injection still applies.
+  auto inner = MakeDatabase(34);
+  const std::vector<core::Query> queries = MixedQueries();
+  core::FlakyDatabase reliable(inner, 0.0, 5);
+  auto batched = reliable.ProbeBatch(
+      queries, core::RelevancyDefinition::kDocumentFrequency);
+  ASSERT_TRUE(batched.ok()) << batched.status();
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto direct = core::ProbeRelevancy(
+        *inner, queries[i], core::RelevancyDefinition::kDocumentFrequency);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ((*batched)[i], *direct) << "query " << i;
+  }
+
+  core::FlakyDatabase broken(inner, 1.0, 5);
+  EXPECT_FALSE(broken
+                   .ProbeBatch(queries,
+                               core::RelevancyDefinition::kDocumentFrequency)
+                   .ok());
+  EXPECT_GT(broken.failures_injected(), 0u);
+}
+
+TEST(ProbingBatchTest, BatchedTrainingMatchesSequentialByteForByte) {
+  eval::TestbedOptions testbed_options;
+  testbed_options.train_queries_per_term_count = 60;
+  testbed_options.test_queries_per_term_count = 10;
+  testbed_options.seed = 17;
+  auto testbed = eval::BuildHealthTestbed(testbed_options);
+  ASSERT_TRUE(testbed.ok()) << testbed.status();
+
+  auto train = [&](std::size_t batch_size) -> std::string {
+    core::MetasearcherOptions options;
+    options.ed_learner.max_samples_per_type = 25;  // exercise the caps
+    options.ed_learner.probe_batch_size = batch_size;
+    core::Metasearcher searcher(options);
+    for (std::size_t i = 0; i < testbed->num_databases(); ++i) {
+      EXPECT_TRUE(
+          searcher.AddDatabase(testbed->databases[i], testbed->summaries[i])
+              .ok());
+    }
+    EXPECT_TRUE(searcher.Train(testbed->train_queries).ok());
+    std::ostringstream os;
+    EXPECT_TRUE(searcher.SaveTrainedModel(os).ok());
+    return os.str();
+  };
+
+  const std::string sequential = train(1);
+  // Both a large batch and an odd chunk size that straddles the trace.
+  EXPECT_EQ(train(128), sequential);
+  EXPECT_EQ(train(7), sequential);
+}
+
+TEST(ConcurrencyBatchTest, PooledGoldenBuildMatchesSerial) {
+  eval::TestbedOptions testbed_options;
+  testbed_options.train_queries_per_term_count = 10;
+  testbed_options.test_queries_per_term_count = 40;
+  testbed_options.seed = 23;
+  auto testbed = eval::BuildHealthTestbed(testbed_options);
+  ASSERT_TRUE(testbed.ok()) << testbed.status();
+
+  for (core::RelevancyDefinition definition :
+       {core::RelevancyDefinition::kDocumentFrequency,
+        core::RelevancyDefinition::kDocumentSimilarity}) {
+    auto serial = eval::GoldenStandard::Build(
+        testbed->database_ptrs(), testbed->test_queries, definition);
+    ASSERT_TRUE(serial.ok()) << serial.status();
+    ThreadPool pool(4);
+    auto pooled = eval::GoldenStandard::Build(
+        testbed->database_ptrs(), testbed->test_queries, definition, &pool);
+    ASSERT_TRUE(pooled.ok()) << pooled.status();
+    ASSERT_EQ(pooled->num_queries(), serial->num_queries());
+    ASSERT_EQ(pooled->num_databases(), serial->num_databases());
+    for (std::size_t q = 0; q < serial->num_queries(); ++q) {
+      for (std::size_t d = 0; d < serial->num_databases(); ++d) {
+        EXPECT_EQ(pooled->Relevancy(q, d), serial->Relevancy(q, d))
+            << "query " << q << " db " << d;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace metaprobe

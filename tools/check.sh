@@ -98,7 +98,10 @@ run_smoke() {
     'metaprobe_select_latency_seconds_count 3' \
     'metaprobe_kernel_cache_events_total{event="full_rebuild"}' \
     'metaprobe_rd_cache_requests_total{result="hit"}' \
-    'metaprobe_rd_cache_entries'; do
+    'metaprobe_rd_cache_entries' \
+    'metaprobe_index_blocks_decoded_total' \
+    'metaprobe_index_blocks_skipped_total' \
+    'metaprobe_probe_batch_size'; do
     grep -qF "$series" "$out/metrics.txt" \
       || { echo "missing series: $series"; return 1; }
   done

@@ -4,9 +4,11 @@
 Two layouts are accepted, both of which the perf-trajectory tooling knows
 how to read:
 
-  * Google Benchmark output (BENCH_core.json): top-level "context" object
-    and "benchmarks" list whose entries carry "name" plus timing fields
-    (real_time/cpu_time).
+  * Google Benchmark output (BENCH_core.json, BENCH_index.json): top-level
+    "context" object and "benchmarks" list whose entries carry "name" plus
+    timing fields (real_time/cpu_time). BENCH_index.json additionally
+    carries frozen pre-block-format entries under "<name>/v1baseline" so
+    the block-format speedup stays visible in the committed artifact.
   * The custom layout written by bench/micro_parallel.cc (BENCH_parallel,
     BENCH_obs): top-level "context" object and "benchmarks" list whose
     entries carry "name" plus at least one numeric result field.
