@@ -1,0 +1,450 @@
+// Load generator for the always-on serving loop (MetasearchServer):
+// replays the health testbed's Zipf query trace (corpus::QueryLogGenerator
+// via eval::BuildHealthTestbed) against a running server and reports
+// latency percentiles and saturation throughput from the server's own
+// metric registry. Three scenarios, mirroring the serving acceptance
+// criteria:
+//
+//   1. scaling    -- closed-loop clients against 1/2/4/8 workers,
+//                    admission off. Hidden-web probes are remote
+//                    round-trips, so each database is wrapped in a delay
+//                    shim sleeping METAPROBE_LATENCY_US per probe
+//                    (default 10000, a 10 ms round-trip); serving is
+//                    latency-bound and qps
+//                    tracks worker count even on one core. The RCU
+//                    trained-state snapshot plus the sharded RD cache is
+//                    what keeps the 8-worker row near-linear.
+//   2. saturation -- open-loop arrivals at 2x the measured saturation qps.
+//                    With admission on, the per-tenant token bucket sheds
+//                    the excess (throttled, retry-after) and p99 plus the
+//                    queue stay bounded; with admission off the queue
+//                    grows without bound for the length of the run and
+//                    tail latency follows it.
+//   3. deadline   -- every request carries a budget smaller than one
+//                    probe round-trip. Expiring deadlines cut probing and
+//                    return the estimate-only answer with degraded=true;
+//                    the run asserts zero errors.
+//
+// Percentiles are interpolated from the server registry's
+// metaprobe_server_latency_seconds histogram (the same series a scrape
+// would see), not from a client-side sample array.
+//
+// `--json[=path]` (default path BENCH_serving.json) additionally writes
+// the per-scenario results for the perf trajectory; see EXPERIMENTS.md.
+// Environment: METAPROBE_SCALE/TRAIN/TEST/SEED (testbed),
+// METAPROBE_LATENCY_US, METAPROBE_REQUESTS, METAPROBE_CLIENTS,
+// METAPROBE_SAT_WORKERS, METAPROBE_DEADLINE_US.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/strings.h"
+#include "core/metasearcher.h"
+#include "eval/table.h"
+#include "eval/testbed.h"
+#include "obs/metric_registry.h"
+#include "serving/metasearch_server.h"
+
+namespace metaprobe {
+namespace {
+
+/// Delay shim: forwards every call to the wrapped database, sleeping
+/// `latency` per probe primitive to model the network round-trip a real
+/// hidden-web database would cost.
+class DelayedDatabase : public core::HiddenWebDatabase {
+ public:
+  explicit DelayedDatabase(std::shared_ptr<core::HiddenWebDatabase> inner)
+      : inner_(std::move(inner)) {}
+
+  void set_latency(std::chrono::microseconds latency) {
+    latency_us_.store(latency.count(), std::memory_order_relaxed);
+  }
+
+  const std::string& name() const override { return inner_->name(); }
+  std::uint32_t size() const override { return inner_->size(); }
+
+  Result<std::uint64_t> CountMatches(const core::Query& query) const override {
+    Sleep();
+    return inner_->CountMatches(query);
+  }
+
+  Result<std::vector<core::SearchHit>> Search(
+      const core::Query& query, std::size_t k) const override {
+    Sleep();
+    return inner_->Search(query, k);
+  }
+
+  std::uint64_t queries_served() const override {
+    return inner_->queries_served();
+  }
+
+ private:
+  void Sleep() const {
+    auto us = latency_us_.load(std::memory_order_relaxed);
+    if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+
+  std::shared_ptr<core::HiddenWebDatabase> inner_;
+  std::atomic<std::chrono::microseconds::rep> latency_us_{0};
+};
+
+/// Quantile of the server's latency histogram by linear interpolation
+/// inside the bucket holding the target rank. The first cell is clamped
+/// to [0, e_0); the open-ended +Inf cell reports its lower edge (an
+/// underestimate, flagged by the caller never hitting it in practice).
+double Percentile(const obs::Histogram& hist, double q) {
+  const std::vector<std::uint64_t> counts = hist.BucketCounts();
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double next = cum + static_cast<double>(counts[i]);
+    if (next >= rank && counts[i] > 0) {
+      const double lower = i == 0 ? 0.0 : hist.layout().LowerEdge(i);
+      if (i + 1 == counts.size()) return lower;
+      const double upper = hist.layout().UpperEdge(i);
+      const double fraction = (rank - cum) / static_cast<double>(counts[i]);
+      return lower + fraction * (upper - lower);
+    }
+    cum = next;
+  }
+  return hist.layout().LowerEdge(counts.size() - 1);
+}
+
+struct LoopResult {
+  double seconds = 0.0;
+  double qps = 0.0;  ///< completed / seconds
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t degraded = 0;
+  std::uint64_t errors = 0;
+  std::size_t max_queue_depth = 0;
+  serving::ServerStats stats;
+};
+
+void FillPercentiles(const serving::MetasearchServer& server,
+                     LoopResult* result) {
+  const obs::Histogram* latency =
+      server.metrics().GetHistogram("metaprobe_server_latency_seconds");
+  result->p50_ms = Percentile(*latency, 0.50) * 1e3;
+  result->p95_ms = Percentile(*latency, 0.95) * 1e3;
+  result->p99_ms = Percentile(*latency, 0.99) * 1e3;
+}
+
+/// Closed loop: `num_clients` synchronous clients, each submitting the
+/// next trace query and blocking on its future before issuing another.
+/// Measures the server's saturation throughput at the configured worker
+/// count (in-flight load is capped by the client count, so the queue
+/// never rejects).
+LoopResult RunClosedLoop(const core::Metasearcher& searcher,
+                         serving::MetasearchServerOptions options,
+                         const std::vector<core::Query>& trace,
+                         std::size_t num_requests, unsigned num_clients) {
+  serving::MetasearchServer server(&searcher, options);
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> degraded{0};
+  std::atomic<std::uint64_t> errors{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  for (unsigned c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= num_requests) return;
+        serving::ServeRequest request;
+        request.query = trace[i % trace.size()];
+        serving::Ticket ticket;
+        for (;;) {
+          ticket = server.Submit(request);
+          if (ticket.accepted()) break;
+          // A closed loop only trips backpressure transiently; retry.
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        const serving::ServeResponse response = ticket.response.get();
+        if (!response.status.ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        } else if (response.degraded) {
+          degraded.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  LoopResult result;
+  result.seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+          .count();
+  result.qps = result.seconds > 0.0
+                   ? static_cast<double>(num_requests) / result.seconds
+                   : 0.0;
+  result.degraded = degraded.load();
+  result.errors = errors.load();
+  FillPercentiles(server, &result);
+  server.Shutdown();
+  result.stats = server.stats();
+  return result;
+}
+
+/// Open loop: one dispatcher submitting at a fixed arrival rate
+/// regardless of completions (the "users do not wait" regime where an
+/// unprotected server's queue grows without bound past saturation).
+/// Queue depth is sampled after every submit; accepted requests are
+/// drained to completion before the clock stops.
+LoopResult RunOpenLoop(const core::Metasearcher& searcher,
+                       serving::MetasearchServerOptions options,
+                       const std::vector<core::Query>& trace,
+                       std::size_t num_requests, double arrival_qps) {
+  serving::MetasearchServer server(&searcher, options);
+  std::vector<std::future<serving::ServeResponse>> futures;
+  futures.reserve(num_requests);
+  LoopResult result;
+  const std::chrono::nanoseconds interarrival(
+      static_cast<std::int64_t>(1e9 / arrival_qps));
+  const auto start = std::chrono::steady_clock::now();
+  auto next_arrival = start;
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    std::this_thread::sleep_until(next_arrival);
+    next_arrival += interarrival;
+    serving::ServeRequest request;
+    request.query = trace[i % trace.size()];
+    serving::Ticket ticket = server.Submit(request);
+    if (ticket.accepted()) futures.push_back(std::move(ticket.response));
+    result.max_queue_depth =
+        std::max(result.max_queue_depth, server.queue_depth());
+  }
+  for (auto& future : futures) {
+    const serving::ServeResponse response = future.get();
+    if (!response.status.ok()) {
+      ++result.errors;
+    } else if (response.degraded) {
+      ++result.degraded;
+    }
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  result.seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+          .count();
+  result.qps = result.seconds > 0.0
+                   ? static_cast<double>(futures.size()) / result.seconds
+                   : 0.0;
+  FillPercentiles(server, &result);
+  server.Shutdown();
+  result.stats = server.stats();
+  return result;
+}
+
+int Run(const char* json_path) {
+  eval::TestbedOptions testbed_options;
+  testbed_options.scale =
+      static_cast<std::uint32_t>(GetEnvLong("METAPROBE_SCALE", 1));
+  testbed_options.train_queries_per_term_count =
+      static_cast<std::size_t>(GetEnvLong("METAPROBE_TRAIN", 150));
+  testbed_options.test_queries_per_term_count =
+      static_cast<std::size_t>(GetEnvLong("METAPROBE_TEST", 60));
+  testbed_options.seed =
+      static_cast<std::uint64_t>(GetEnvLong("METAPROBE_SEED", 42));
+  const std::chrono::microseconds latency(
+      GetEnvLong("METAPROBE_LATENCY_US", 10000));
+  const auto num_requests =
+      static_cast<std::size_t>(GetEnvLong("METAPROBE_REQUESTS", 240));
+  const auto num_clients =
+      static_cast<unsigned>(GetEnvLong("METAPROBE_CLIENTS", 16));
+  const auto sat_workers =
+      static_cast<int>(GetEnvLong("METAPROBE_SAT_WORKERS", 4));
+  const std::chrono::microseconds deadline(
+      GetEnvLong("METAPROBE_DEADLINE_US", 3000));
+
+  std::cout << "building health testbed..." << std::endl;
+  auto testbed = eval::BuildHealthTestbed(testbed_options);
+  testbed.status().CheckOK();
+  const std::vector<core::Query>& trace = testbed->test_queries;
+
+  std::vector<std::shared_ptr<DelayedDatabase>> delayed;
+  for (const auto& db : testbed->databases) {
+    delayed.push_back(std::make_shared<DelayedDatabase>(db));
+  }
+  core::Metasearcher searcher;
+  for (std::size_t i = 0; i < delayed.size(); ++i) {
+    searcher.AddDatabase(delayed[i], testbed->summaries[i]).CheckOK();
+  }
+  // Offline training is local; only live serving pays the network.
+  std::cout << "training..." << std::endl;
+  searcher.Train(testbed->train_queries).CheckOK();
+  for (auto& db : delayed) db->set_latency(latency);
+
+  std::cout << "replaying " << trace.size() << " trace queries, "
+            << num_requests << " requests per run, probe latency "
+            << latency.count() << " us\n\n";
+
+  std::ostringstream json;
+  json << "{\n  \"context\": {\"scale\": " << testbed_options.scale
+       << ", \"train\": " << testbed_options.train_queries_per_term_count
+       << ", \"test\": " << testbed_options.test_queries_per_term_count
+       << ", \"latency_us\": " << latency.count()
+       << ", \"requests\": " << num_requests
+       << ", \"clients\": " << num_clients
+       << ", \"sat_workers\": " << sat_workers
+       << ", \"deadline_us\": " << deadline.count() << "},\n  \"benchmarks\": [";
+  bool first_json_row = true;
+
+  // --- Scenario 1: closed-loop worker scaling -----------------------------
+  serving::MetasearchServerOptions base_options;
+  base_options.admission_enabled = false;
+  base_options.max_queue_depth = num_clients * 2;
+  base_options.default_threshold = 0.99;
+
+  eval::TablePrinter scaling_table(
+      {"workers", "seconds", "qps", "speedup", "p50ms", "p95ms", "p99ms"});
+  double base_qps = 0.0;
+  double saturation_qps = 0.0;
+  for (int workers : {1, 2, 4, 8}) {
+    serving::MetasearchServerOptions options = base_options;
+    options.num_workers = workers;
+    LoopResult run =
+        RunClosedLoop(searcher, options, trace, num_requests, num_clients);
+    if (workers == 1) base_qps = run.qps;
+    if (workers == sat_workers) saturation_qps = run.qps;
+    const double speedup = base_qps > 0.0 ? run.qps / base_qps : 0.0;
+    scaling_table.AddRow({eval::Cell(static_cast<std::size_t>(workers)),
+                          eval::Cell(run.seconds, 3), eval::Cell(run.qps, 1),
+                          eval::Cell(speedup, 2), eval::Cell(run.p50_ms, 2),
+                          eval::Cell(run.p95_ms, 2),
+                          eval::Cell(run.p99_ms, 2)});
+    json << (first_json_row ? "" : ",")
+         << "\n    {\"name\": \"serving/scaling/workers:" << workers
+         << "\", \"seconds\": " << run.seconds << ", \"qps\": " << run.qps
+         << ", \"speedup\": " << speedup << ", \"p50_ms\": " << run.p50_ms
+         << ", \"p95_ms\": " << run.p95_ms << ", \"p99_ms\": " << run.p99_ms
+         << ", \"errors\": " << run.errors << "}";
+    first_json_row = false;
+  }
+  std::cout << "=== closed-loop worker scaling (admission off) ===\n";
+  scaling_table.Print(std::cout);
+  std::cout << "\n";
+
+  // --- Scenario 2: open-loop at 2x saturation, admission on vs off --------
+  const double arrival_qps = std::max(1.0, 2.0 * saturation_qps);
+  eval::TablePrinter sat_table({"admission", "accepted", "throttled", "p50ms",
+                                "p99ms", "max-queue", "errors"});
+  for (int admission = 1; admission >= 0; --admission) {
+    serving::MetasearchServerOptions options;
+    options.num_workers = sat_workers;
+    options.default_threshold = 0.99;
+    options.admission_enabled = admission == 1;
+    if (admission == 1) {
+      // Budget the tenant at the measured capacity; the bucket sheds the
+      // structural 2x excess while the bounded queue absorbs bursts.
+      options.tenant_rate.refill_per_second = saturation_qps;
+      options.tenant_rate.burst = 16.0;
+      options.max_queue_depth = 64;
+    } else {
+      // The control arm: no admission, queue effectively unbounded, so
+      // the backlog (and with it tail latency) grows for the whole run.
+      options.max_queue_depth = num_requests + num_clients;
+    }
+    LoopResult run =
+        RunOpenLoop(searcher, options, trace, num_requests, arrival_qps);
+    sat_table.AddRow(
+        {admission ? "on" : "off",
+         eval::Cell(static_cast<std::size_t>(run.stats.accepted)),
+         eval::Cell(static_cast<std::size_t>(run.stats.throttled)),
+         eval::Cell(run.p50_ms, 2), eval::Cell(run.p99_ms, 2),
+         eval::Cell(run.max_queue_depth),
+         eval::Cell(static_cast<std::size_t>(run.errors))});
+    json << ",\n    {\"name\": \"serving/saturation/admission:"
+         << (admission ? "on" : "off") << "\", \"seconds\": " << run.seconds
+         << ", \"qps\": " << run.qps << ", \"arrival_qps\": " << arrival_qps
+         << ", \"accepted\": " << run.stats.accepted
+         << ", \"throttled\": " << run.stats.throttled
+         << ", \"p50_ms\": " << run.p50_ms << ", \"p99_ms\": " << run.p99_ms
+         << ", \"max_queue_depth\": " << run.max_queue_depth
+         << ", \"errors\": " << run.errors << "}";
+  }
+  std::cout << "=== open-loop at 2x saturation (" << sat_workers
+            << " workers, arrival " << arrival_qps << " qps) ===\n";
+  sat_table.Print(std::cout);
+  std::cout << "\n";
+
+  // --- Scenario 3: deadline-cut serving, degraded never errors ------------
+  {
+    serving::MetasearchServerOptions options;
+    options.num_workers = sat_workers;
+    options.admission_enabled = false;
+    options.max_queue_depth = num_clients * 2;
+    // Threshold high enough that every query wants to probe; the budget is
+    // on the order of one probe round-trip, so most runs are cut.
+    options.default_threshold = 0.9999;
+    options.default_deadline_ns =
+        static_cast<std::uint64_t>(deadline.count()) * 1000;
+    LoopResult run =
+        RunClosedLoop(searcher, options, trace, num_requests, num_clients);
+    const std::uint64_t ok = run.stats.completed_ok;
+    eval::TablePrinter deadline_table(
+        {"requests", "ok", "degraded", "errors", "p50ms", "p99ms"});
+    deadline_table.AddRow({eval::Cell(num_requests),
+                           eval::Cell(static_cast<std::size_t>(ok)),
+                           eval::Cell(static_cast<std::size_t>(run.degraded)),
+                           eval::Cell(static_cast<std::size_t>(run.errors)),
+                           eval::Cell(run.p50_ms, 2),
+                           eval::Cell(run.p99_ms, 2)});
+    json << ",\n    {\"name\": \"serving/deadline\", \"seconds\": "
+         << run.seconds << ", \"qps\": " << run.qps
+         << ", \"completed_ok\": " << ok << ", \"degraded\": " << run.degraded
+         << ", \"errors\": " << run.errors << ", \"p50_ms\": " << run.p50_ms
+         << ", \"p99_ms\": " << run.p99_ms << "}";
+    std::cout << "=== deadline " << deadline.count()
+              << " us (probe latency " << latency.count() << " us) ===\n";
+    deadline_table.Print(std::cout);
+    if (run.errors != 0) {
+      std::cerr << "FAIL: deadline-expired requests must degrade, not "
+                   "error (got "
+                << run.errors << " errors)\n";
+      return 1;
+    }
+  }
+
+  std::cout << "\n(speedup = qps relative to 1 worker; latency-bound probes\n"
+               " make this track worker count even on a single core)\n";
+  if (json_path != nullptr) {
+    json << "\n  ]\n}\n";
+    std::ofstream out(json_path);
+    out << json.str();
+    if (!out) {
+      std::cerr << "failed to write " << json_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace metaprobe
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json", 6) == 0) {
+      json_path = argv[i][6] == '=' ? argv[i] + 7 : "BENCH_serving.json";
+    } else {
+      std::cerr << "unknown flag: " << argv[i] << "\n";
+      return 1;
+    }
+  }
+  return metaprobe::Run(json_path);
+}

@@ -1,0 +1,139 @@
+// Serving loop: wrap a trained Metasearcher in the always-on
+// MetasearchServer — bounded queue, worker pool, per-tenant token-bucket
+// admission, and deadline propagation into the probing loop.
+//
+//   build/examples/serving_loop
+//
+// The example submits from two tenants until one is throttled (the ticket
+// carries a retry-after hint), then sends a request with a deliberately
+// expired deadline: it still succeeds, returning the estimate-only
+// selection with degraded=true — an expiring budget degrades the answer,
+// it never becomes an error. Shutdown drains every accepted request.
+
+#include <iostream>
+#include <memory>
+
+#include "core/metasearcher.h"
+#include "index/inverted_index.h"
+#include "serving/metasearch_server.h"
+#include "text/analyzer.h"
+
+namespace {
+
+using metaprobe::core::LocalDatabase;
+using metaprobe::core::Metasearcher;
+using metaprobe::core::ParseQuery;
+using metaprobe::core::Query;
+using metaprobe::serving::AdmitResultName;
+using metaprobe::serving::MetasearchServer;
+using metaprobe::serving::MetasearchServerOptions;
+using metaprobe::serving::ServeRequest;
+using metaprobe::serving::ServeResponse;
+using metaprobe::serving::Ticket;
+
+std::shared_ptr<LocalDatabase> MakeDatabase(
+    const metaprobe::text::Analyzer& analyzer, const std::string& name,
+    const std::vector<std::string>& docs) {
+  metaprobe::index::InvertedIndex::Builder builder;
+  for (const std::string& body : docs) {
+    builder.AddDocument(analyzer.Analyze(body));
+  }
+  return std::make_shared<LocalDatabase>(
+      name, std::move(builder).Build().ValueOrDie());
+}
+
+}  // namespace
+
+int main() {
+  metaprobe::text::Analyzer analyzer;
+
+  auto pubmed = MakeDatabase(
+      analyzer, "pubmed",
+      {"Breast cancer patients receiving adjuvant chemotherapy showed "
+       "improved survival after mastectomy and radiation treatment.",
+       "Tamoxifen reduces recurrence of breast cancer in patients with "
+       "positive biopsy results.",
+       "Regular mammogram screening detects breast tumors earlier and "
+       "lowers cancer mortality."});
+  auto medlineplus = MakeDatabase(
+      analyzer, "medlineplus",
+      {"Breast cancer is a disease in which malignant cells form in breast "
+       "tissue. Treatment includes surgery, chemotherapy and radiation.",
+       "Coronary artery disease is the most common heart disease and can "
+       "lead to heart attack."});
+  auto sportsdaily = MakeDatabase(
+      analyzer, "sports-daily",
+      {"The quarterback returns from injury as the team chases a "
+       "championship berth this season."});
+
+  Metasearcher searcher;
+  searcher.AddLocalDatabase(pubmed).CheckOK();
+  searcher.AddLocalDatabase(medlineplus).CheckOK();
+  searcher.AddLocalDatabase(sportsdaily).CheckOK();
+
+  std::vector<Query> training;
+  for (const char* raw :
+       {"breast cancer", "cancer treatment", "heart attack",
+        "chemotherapy radiation", "championship season", "heart disease",
+        "cancer screening", "mammogram screening"}) {
+    training.push_back(ParseQuery(analyzer, raw));
+  }
+  searcher.Train(training).CheckOK();
+
+  // A small server: two workers, a short queue, and a deliberately tiny
+  // per-tenant budget so the admission path is visible immediately.
+  MetasearchServerOptions options;
+  options.num_workers = 2;
+  options.max_queue_depth = 8;
+  options.tenant_rate.refill_per_second = 1.0;
+  options.tenant_rate.burst = 2.0;
+  options.default_k = 1;
+  options.default_threshold = 0.95;
+  MetasearchServer server(&searcher, options);
+
+  // Tenant "alpha" burns through its burst; "beta" has its own bucket and
+  // is still admitted.
+  std::cout << "==== admission ====\n";
+  for (const char* tenant : {"alpha", "alpha", "alpha", "beta"}) {
+    ServeRequest request;
+    request.query = ParseQuery(analyzer, "breast cancer");
+    request.tenant = tenant;
+    Ticket ticket = server.Submit(std::move(request));
+    std::cout << tenant << ": " << AdmitResultName(ticket.admit);
+    if (!ticket.accepted()) {
+      std::cout << " (retry after " << ticket.retry_after_seconds << "s)\n";
+      continue;
+    }
+    ServeResponse response = ticket.response.get();
+    response.status.CheckOK();
+    std::cout << " -> db " << response.report.databases[0]
+              << ", certainty " << response.report.expected_correctness
+              << ", " << response.report.probe_order.size() << " probes\n";
+  }
+
+  // An already-expired deadline (1 ns budget, stamped at enqueue) cuts
+  // probing before it starts: the answer falls back to the summary-based
+  // estimate and is flagged degraded — status stays OK.
+  std::cout << "\n==== deadline ====\n";
+  ServeRequest rushed;
+  rushed.query = ParseQuery(analyzer, "heart attack");
+  rushed.tenant = "beta";
+  rushed.deadline_ns = 1;
+  rushed.threshold = 0.9999;
+  Ticket ticket = server.Submit(std::move(rushed));
+  ServeResponse response = ticket.response.get();
+  response.status.CheckOK();
+  std::cout << "degraded=" << (response.degraded ? "true" : "false")
+            << ", probes=" << response.report.probe_order.size()
+            << ", estimate-only certainty "
+            << response.report.expected_correctness << "\n";
+
+  server.Shutdown();  // drains the queue; accepted work is never dropped
+  auto stats = server.stats();
+  std::cout << "\n==== server stats ====\n"
+            << "accepted " << stats.accepted << ", throttled "
+            << stats.throttled << ", completed_ok " << stats.completed_ok
+            << ", completed_degraded " << stats.completed_degraded
+            << ", failed " << stats.failed << "\n";
+  return 0;
+}

@@ -25,6 +25,7 @@ enum class StatusCode : int {
   kIoError = 6,
   kNotImplemented = 7,
   kInternal = 8,
+  kDeadlineExceeded = 9,
 };
 
 /// \brief Returns a stable human-readable name for a status code.
@@ -89,6 +90,9 @@ class Status {
   bool IsIoError() const { return code() == StatusCode::kIoError; }
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// \brief Builds a status of the given code by streaming all arguments.
   template <typename... Args>
@@ -129,6 +133,10 @@ class Status {
   template <typename... Args>
   static Status Internal(Args&&... args) {
     return FromArgs(StatusCode::kInternal, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status DeadlineExceeded(Args&&... args) {
+    return FromArgs(StatusCode::kDeadlineExceeded, std::forward<Args>(args)...);
   }
 
   /// \brief Aborts the process with the status message unless OK. Reserved

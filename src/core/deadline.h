@@ -1,0 +1,70 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_CORE_DEADLINE_H_
+#define METAPROBE_CORE_DEADLINE_H_
+
+#include <cstdint>
+
+#include "obs/clock.h"
+
+namespace metaprobe {
+namespace core {
+
+/// \brief An absolute wall-clock cutoff carried alongside a request.
+///
+/// The serving layer stamps each admitted request with a deadline on the
+/// server's clock; the probe dispatch loop (AdaptiveProber) and the batched
+/// probe primitives (HiddenWebDatabase::ProbeBatch) check it *between*
+/// probes — never mid-probe — so an expiring deadline cuts probing at a
+/// probe boundary and the answer is always built from fully-applied
+/// observations.
+///
+/// A default-constructed Deadline is inactive: `expired()` is false forever
+/// and checking it never reads a clock, so the bit-exact reproduction paths
+/// pay nothing.
+struct Deadline {
+  /// Time source the cutoff is measured on (borrowed; tests inject an
+  /// obs::FakeClock). Null means no deadline.
+  const obs::MonotonicClock* clock = nullptr;
+  /// Absolute cutoff in `clock` nanoseconds; 0 means no deadline.
+  std::uint64_t at_ns = 0;
+
+  /// \brief True when a cutoff is configured.
+  bool active() const { return clock != nullptr && at_ns != 0; }
+
+  /// \brief True when the cutoff has passed. One clock read when active.
+  bool expired() const { return active() && clock->NowNanos() >= at_ns; }
+
+  /// \brief Nanoseconds until the cutoff (0 when expired or inactive —
+  /// callers distinguish via active()).
+  std::uint64_t remaining_ns() const {
+    if (!active()) return 0;
+    std::uint64_t now = clock->NowNanos();
+    return now >= at_ns ? 0 : at_ns - now;
+  }
+
+  /// \brief Deadline `budget_ns` from `clock`'s current instant. A zero
+  /// budget yields a deadline that expires at the current instant (the
+  /// probing loop then serves the estimate-only answer); the only caveat is
+  /// a clock that currently reads 0, where the cutoff shifts to 1 ns so the
+  /// deadline still registers as active.
+  static Deadline After(const obs::MonotonicClock* clock,
+                        std::uint64_t budget_ns) {
+    Deadline deadline;
+    if (clock != nullptr) {
+      deadline.clock = clock;
+      std::uint64_t now = clock->NowNanos();
+      deadline.at_ns = now + budget_ns;
+      if (deadline.at_ns == 0) deadline.at_ns = 1;  // budget from epoch 0
+    }
+    return deadline;
+  }
+
+  /// \brief The inactive deadline (never expires, never reads a clock).
+  static Deadline None() { return Deadline{}; }
+};
+
+}  // namespace core
+}  // namespace metaprobe
+
+#endif  // METAPROBE_CORE_DEADLINE_H_

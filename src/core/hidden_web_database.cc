@@ -8,11 +8,18 @@ namespace metaprobe {
 namespace core {
 
 Result<std::vector<double>> HiddenWebDatabase::ProbeBatch(
-    const std::vector<const Query*>& queries,
-    RelevancyDefinition definition) const {
+    const std::vector<const Query*>& queries, RelevancyDefinition definition,
+    const Deadline& deadline) const {
   std::vector<double> relevancies;
   relevancies.reserve(queries.size());
   for (const Query* query : queries) {
+    // Cancellation point: checked before each probe, so a batch riding on a
+    // slow backend stops at the first probe boundary past the cutoff.
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded("probe batch against '", name(),
+                                      "' cut after ", relevancies.size(),
+                                      " of ", queries.size(), " probes");
+    }
     ASSIGN_OR_RETURN(double r, ProbeRelevancy(*this, *query, definition));
     relevancies.push_back(r);
   }
@@ -20,11 +27,18 @@ Result<std::vector<double>> HiddenWebDatabase::ProbeBatch(
 }
 
 Result<std::vector<double>> HiddenWebDatabase::ProbeBatch(
-    const std::vector<Query>& queries, RelevancyDefinition definition) const {
+    const std::vector<const Query*>& queries,
+    RelevancyDefinition definition) const {
+  return ProbeBatch(queries, definition, Deadline::None());
+}
+
+Result<std::vector<double>> HiddenWebDatabase::ProbeBatch(
+    const std::vector<Query>& queries, RelevancyDefinition definition,
+    const Deadline& deadline) const {
   std::vector<const Query*> pointers;
   pointers.reserve(queries.size());
   for (const Query& query : queries) pointers.push_back(&query);
-  return ProbeBatch(pointers, definition);
+  return ProbeBatch(pointers, definition, deadline);
 }
 
 LocalDatabase::LocalDatabase(std::string name, index::InvertedIndex index,
@@ -69,8 +83,14 @@ Result<std::vector<SearchHit>> LocalDatabase::Search(const Query& query,
 }
 
 Result<std::vector<double>> LocalDatabase::ProbeBatch(
-    const std::vector<const Query*>& queries,
-    RelevancyDefinition definition) const {
+    const std::vector<const Query*>& queries, RelevancyDefinition definition,
+    const Deadline& deadline) const {
+  // The fused index path answers the whole batch in one local operation, so
+  // the only meaningful boundary is entry.
+  if (deadline.expired()) {
+    return Status::DeadlineExceeded("probe batch against '", name_,
+                                    "' arrived past its deadline");
+  }
   for (const Query* query : queries) {
     if (query == nullptr || query->empty()) {
       return Status::InvalidArgument("cannot probe '", name_,

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/deadline.h"
 #include "core/query.h"
 #include "index/document_store.h"
 #include "index/inverted_index.h"
@@ -69,13 +70,24 @@ class HiddenWebDatabase {
   /// The base implementation loops over ProbeRelevancy — decorators such
   /// as FlakyDatabase inherit it so per-probe failure injection still
   /// applies; LocalDatabase overrides it with a fused fast path.
+  ///
+  /// `deadline` is the batch's cancellation point: the base loop checks it
+  /// between probes and returns DeadlineExceeded the moment it passes, so
+  /// one slow backend overruns the cutoff by at most a single probe, never
+  /// by the remaining batch. Implementations that answer the whole batch in
+  /// one fused local operation (LocalDatabase) check it only on entry. The
+  /// inactive default never reads a clock.
   virtual Result<std::vector<double>> ProbeBatch(
+      const std::vector<const Query*>& queries, RelevancyDefinition definition,
+      const Deadline& deadline) const;
+
+  /// \brief Convenience overloads without a deadline / over owned queries.
+  Result<std::vector<double>> ProbeBatch(
       const std::vector<const Query*>& queries,
       RelevancyDefinition definition) const;
-
-  /// \brief Convenience overload over owned queries.
   Result<std::vector<double>> ProbeBatch(const std::vector<Query>& queries,
-                                         RelevancyDefinition definition) const;
+                                         RelevancyDefinition definition,
+                                         const Deadline& deadline = {}) const;
 
   /// \brief Number of queries this database has served (both primitives);
   /// experiments use it to audit probing cost.
@@ -103,8 +115,8 @@ class LocalDatabase : public HiddenWebDatabase {
                                         std::size_t k) const override;
   using HiddenWebDatabase::ProbeBatch;
   Result<std::vector<double>> ProbeBatch(
-      const std::vector<const Query*>& queries,
-      RelevancyDefinition definition) const override;
+      const std::vector<const Query*>& queries, RelevancyDefinition definition,
+      const Deadline& deadline) const override;
   std::uint64_t queries_served() const override {
     return queries_served_.load(std::memory_order_relaxed);
   }

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <future>
-#include <mutex>
 #include <utility>
 
 #include "common/macros.h"
@@ -14,8 +13,7 @@ namespace core {
 Metasearcher::Metasearcher(MetasearcherOptions options)
     : options_(std::move(options)),
       classifier_(options_.query_class),
-      policy_(std::make_unique<StoppingProbabilityPolicy>()),
-      rd_cache_(options_.rd_cache_buckets_per_decade) {
+      policy_(std::make_unique<StoppingProbabilityPolicy>()) {
   // The probe primitive and the EDs must agree on the relevancy notion.
   options_.ed_learner.definition = options_.relevancy_definition;
   if (options_.relevancy_definition ==
@@ -29,6 +27,8 @@ Metasearcher::Metasearcher(MetasearcherOptions options)
   // hot paths touch. Registration order is exposition order.
   telemetry_.queries_served =
       registry_.GetCounter("metaprobe_queries_served_total");
+  telemetry_.queries_degraded =
+      registry_.GetCounter("metaprobe_queries_degraded_total");
   telemetry_.batches_served =
       registry_.GetCounter("metaprobe_batches_served_total");
   telemetry_.probes_ok =
@@ -45,10 +45,13 @@ Metasearcher::Metasearcher(MetasearcherOptions options)
   telemetry_.rd_cache_misses =
       registry_.GetCounter("metaprobe_rd_cache_requests_total",
                            "result=\"miss\"");
-  rd_cache_.SetCounters(telemetry_.rd_cache_hits, telemetry_.rd_cache_misses);
   registry_.RegisterCallbackGauge(
-      "metaprobe_rd_cache_entries", "",
-      [this]() { return static_cast<double>(rd_cache_.entries()); });
+      "metaprobe_rd_cache_entries", "", [this]() {
+        std::shared_ptr<const TrainedState> state = snapshot();
+        return state == nullptr
+                   ? 0.0
+                   : static_cast<double>(state->rd_cache.entries());
+      });
   kernel_telemetry_.full_rebuilds = registry_.GetCounter(
       "metaprobe_kernel_cache_events_total", "event=\"full_rebuild\"");
   kernel_telemetry_.row_repairs = registry_.GetCounter(
@@ -144,13 +147,24 @@ Status Metasearcher::Train(const std::vector<Query>& training_queries) {
     dbs.push_back(databases_[i].get());
     sums.push_back(&summaries_[i]);
   }
-  // The learning probes run outside the lock (they touch no serving
-  // state); only the table swap excludes readers.
+  // The learning probes run concurrently with any live serving (they
+  // touch no serving state); publishing the new snapshot is one atomic
+  // store, so no reader ever waits on training.
   ASSIGN_OR_RETURN(EdTable table, learner.Learn(dbs, sums, training_queries));
-  std::unique_lock<std::shared_mutex> lock(state_mutex_);
-  ed_table_ = std::make_unique<EdTable>(std::move(table));
-  rd_cache_.Reset(databases_.size(), classifier_.num_types());
+  PublishTrainedState(std::move(table));
   return Status::OK();
+}
+
+void Metasearcher::PublishTrainedState(EdTable table) {
+  auto state = std::make_shared<TrainedState>(
+      std::move(table), options_.rd_cache_buckets_per_decade);
+  // Key and wire the fresh cache before anyone can see it; counters are
+  // monotonic registry series that survive retraining.
+  state->rd_cache.Reset(databases_.size(), classifier_.num_types());
+  state->rd_cache.SetCounters(telemetry_.rd_cache_hits,
+                              telemetry_.rd_cache_misses);
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  state_ = std::move(state);
 }
 
 std::vector<double> Metasearcher::EstimateAll(const Query& query) const {
@@ -162,10 +176,8 @@ std::vector<double> Metasearcher::EstimateAll(const Query& query) const {
   return estimates;
 }
 
-Result<TopKModel> Metasearcher::BuildModelUnlocked(const Query& query) const {
-  if (!trained()) {
-    return Status::FailedPrecondition("Train must be called before serving");
-  }
+Result<TopKModel> Metasearcher::BuildModelFromState(const TrainedState& state,
+                                                    const Query& query) const {
   if (query.empty()) {
     return Status::InvalidArgument("query has no usable keywords");
   }
@@ -175,14 +187,14 @@ Result<TopKModel> Metasearcher::BuildModelUnlocked(const Query& query) const {
     double estimate = estimator_->Estimate(summaries_[i], query);
     QueryTypeId type = classifier_.Classify(query, estimate);
     if (options_.enable_rd_cache) {
-      rds.push_back(rd_cache_.GetOrDerive(
-          i, type, estimate, [this, i, type](double representative) {
+      rds.push_back(state.rd_cache.GetOrDerive(
+          i, type, estimate, [&state, i, type](double representative) {
             return RelevancyDistribution::FromEstimate(
-                representative, ed_table_->Get(i, type));
+                representative, state.table.Get(i, type));
           }));
     } else {
       rds.push_back(RelevancyDistribution::FromEstimate(
-          estimate, ed_table_->Get(i, type)));
+          estimate, state.table.Get(i, type)));
     }
   }
   TopKModel model(std::move(rds));
@@ -194,8 +206,11 @@ Result<TopKModel> Metasearcher::BuildModelUnlocked(const Query& query) const {
 }
 
 Result<TopKModel> Metasearcher::BuildModel(const Query& query) const {
-  std::shared_lock<std::shared_mutex> lock(state_mutex_);
-  return BuildModelUnlocked(query);
+  std::shared_ptr<const TrainedState> state = snapshot();
+  if (state == nullptr) {
+    return Status::FailedPrecondition("Train must be called before serving");
+  }
+  return BuildModelFromState(*state, query);
 }
 
 namespace {
@@ -213,8 +228,8 @@ std::string QueryText(const Query& query) {
 }  // namespace
 
 Result<SelectionReport> Metasearcher::SelectWithPolicy(
-    const Query& query, int k, double threshold,
-    ProbingPolicy* policy) const {
+    const Query& query, int k, double threshold, ProbingPolicy* policy,
+    const Deadline& deadline) const {
   obs::ScopedTimer select_timer(telemetry_.select_latency, clock_);
   // One trace per query while a tracer is installed; this coordinator
   // thread is the only span writer, per QueryTrace's contract.
@@ -232,11 +247,10 @@ Result<SelectionReport> Metasearcher::SelectWithPolicy(
     trace->EndSpan(estimate_span);
   }
 
-  // BuildModel takes the shared state lock just long enough to derive the
-  // per-query RDs from the trained tables; the probing loop below runs on
-  // that private model with no lock held, so an in-flight Train never
-  // waits behind probe round-trips (and cannot be starved by a stream of
-  // serving threads -- glibc rwlocks prefer readers).
+  // BuildModel loads the published snapshot once and derives the
+  // per-query RDs from it lock-free; the probing loop below runs on that
+  // private model, so an in-flight Train neither blocks this query nor
+  // waits behind its probe round-trips.
   obs::TraceSpan* model_span =
       trace != nullptr ? trace->StartSpan("model_build") : nullptr;
   Result<TopKModel> model_result = [this, &query]() {
@@ -263,6 +277,7 @@ Result<SelectionReport> Metasearcher::SelectWithPolicy(
   apro_options.trace = trace.get();
   apro_options.probe_latency = telemetry_.probe_latency;
   apro_options.clock = clock_;
+  apro_options.deadline = deadline;
   apro_options.speculative_probes = telemetry_.speculative_probes;
   apro_options.speculative_waste = telemetry_.speculative_waste;
   AdaptiveProber prober(policy, apro_options);
@@ -284,10 +299,12 @@ Result<SelectionReport> Metasearcher::SelectWithPolicy(
   }
   report.expected_correctness = apro.expected_correctness;
   report.reached_threshold = apro.reached_threshold;
+  report.degraded = apro.deadline_expired;
   report.probe_order = std::move(apro.probe_order);
   report.estimates = std::move(estimates);
 
   telemetry_.queries_served->Increment();
+  if (report.degraded) telemetry_.queries_degraded->Increment();
   telemetry_.probes_ok->Add(report.probe_order.size());
   telemetry_.probes_failed->Add(apro.failed_probes.size());
   finish_trace();
@@ -296,14 +313,22 @@ Result<SelectionReport> Metasearcher::SelectWithPolicy(
 
 Result<SelectionReport> Metasearcher::Select(const Query& query, int k,
                                              double threshold) const {
-  return SelectWithPolicy(query, k, threshold, policy_.get());
+  return SelectWithPolicy(query, k, threshold, policy_.get(),
+                          Deadline::None());
+}
+
+Result<SelectionReport> Metasearcher::Select(const Query& query, int k,
+                                             double threshold,
+                                             const Deadline& deadline) const {
+  return SelectWithPolicy(query, k, threshold, policy_.get(), deadline);
 }
 
 Result<std::vector<FusedHit>> Metasearcher::SearchWithPolicy(
     const Query& query, int k, double threshold, std::size_t per_database,
-    std::size_t max_results, ProbingPolicy* policy) const {
+    std::size_t max_results, ProbingPolicy* policy,
+    const Deadline& deadline) const {
   ASSIGN_OR_RETURN(SelectionReport report,
-                   SelectWithPolicy(query, k, threshold, policy));
+                   SelectWithPolicy(query, k, threshold, policy, deadline));
   std::vector<std::vector<SearchHit>> lists;
   std::vector<std::string> names;
   FusionOptions fusion = options_.fusion;
@@ -322,7 +347,14 @@ Result<std::vector<FusedHit>> Metasearcher::Search(
     const Query& query, int k, double threshold, std::size_t per_database,
     std::size_t max_results) const {
   return SearchWithPolicy(query, k, threshold, per_database, max_results,
-                          policy_.get());
+                          policy_.get(), Deadline::None());
+}
+
+Result<std::vector<FusedHit>> Metasearcher::Search(
+    const Query& query, int k, double threshold, std::size_t per_database,
+    std::size_t max_results, const Deadline& deadline) const {
+  return SearchWithPolicy(query, k, threshold, per_database, max_results,
+                          policy_.get(), deadline);
 }
 
 namespace {
@@ -376,7 +408,8 @@ Result<std::vector<SelectionReport>> Metasearcher::SelectBatch(
   }
   auto run = [this, &queries, &policies, k,
               threshold](std::size_t i) -> Result<SelectionReport> {
-    return SelectWithPolicy(queries[i], k, threshold, policies[i].get());
+    return SelectWithPolicy(queries[i], k, threshold, policies[i].get(),
+                            Deadline::None());
   };
   Result<std::vector<SelectionReport>> reports =
       FanOut<SelectionReport>(pool, queries.size(), run);
@@ -396,7 +429,7 @@ Result<std::vector<std::vector<FusedHit>>> Metasearcher::SearchBatch(
   auto run = [this, &queries, &policies, k, threshold, per_database,
               max_results](std::size_t i) -> Result<std::vector<FusedHit>> {
     return SearchWithPolicy(queries[i], k, threshold, per_database,
-                            max_results, policies[i].get());
+                            max_results, policies[i].get(), Deadline::None());
   };
   Result<std::vector<std::vector<FusedHit>>> results =
       FanOut<std::vector<FusedHit>>(pool, queries.size(), run);
@@ -412,7 +445,8 @@ ServingStats Metasearcher::stats() const {
   stats.probes_failed = telemetry_.probes_failed->Value();
   stats.rd_cache_hits = telemetry_.rd_cache_hits->Value();
   stats.rd_cache_misses = telemetry_.rd_cache_misses->Value();
-  stats.rd_cache_entries = rd_cache_.entries();
+  std::shared_ptr<const TrainedState> state = snapshot();
+  stats.rd_cache_entries = state == nullptr ? 0 : state->rd_cache.entries();
   return stats;
 }
 

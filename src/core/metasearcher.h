@@ -3,10 +3,10 @@
 #ifndef METAPROBE_CORE_METASEARCHER_H_
 #define METAPROBE_CORE_METASEARCHER_H_
 
+#include <mutex>
 #include <istream>
 #include <memory>
 #include <ostream>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -15,6 +15,7 @@
 #include "core/correctness.h"
 #include "obs/metric_registry.h"
 #include "obs/trace.h"
+#include "core/deadline.h"
 #include "core/ed_learner.h"
 #include "core/estimator.h"
 #include "core/fusion.h"
@@ -57,6 +58,11 @@ struct SelectionReport {
   std::vector<std::string> database_names;  ///< Names, aligned with ids.
   double expected_correctness = 0.0;
   bool reached_threshold = false;
+  /// True when the request's deadline expired before probing could reach
+  /// the certainty threshold: the selection is the best estimate-only (or
+  /// partially probed) answer, not an error. Serving layers surface this
+  /// so callers can distinguish a degraded answer from a confident one.
+  bool degraded = false;
   std::vector<std::size_t> probe_order;     ///< Databases probed, in order.
   std::vector<double> estimates;            ///< r_hat per database.
 
@@ -82,12 +88,14 @@ struct SelectionReport {
 /// calls (AddDatabase, SetEstimator, SetProbingPolicy, SetProbePool) are
 /// single-threaded. After that, the serving methods (Select, Search,
 /// SelectBatch, SearchBatch, BuildModel, EstimateAll) may run concurrently
-/// from any number of threads. They take a shared lock on the trained
-/// state only while deriving the per-query model; Train takes it
-/// exclusively for the table swap. Probing then runs on the private model
-/// with no lock held, so retraining interleaves with live traffic without
-/// waiting on probe round-trips (and reader-preferring rwlocks cannot
-/// starve the writer). The batch paths clone the probing policy per query;
+/// from any number of threads. The trained state (ED table + RD cache) is
+/// published as an immutable snapshot: serving reads pin the snapshot
+/// pointer once (a mutex held only for the shared_ptr copy) and derive the
+/// per-query model from it with no lock held at all, while Train builds
+/// the next snapshot off to the side and swaps it into the slot. Readers
+/// mid-query keep the old snapshot alive through their shared_ptr, so
+/// retraining never waits on probe round-trips and serving never waits on
+/// retraining. The batch paths clone the probing policy per query;
 /// concurrent *direct* Select calls share the installed policy instance and
 /// are safe with any stateless policy (every built-in except
 /// RandomProbingPolicy).
@@ -141,7 +149,7 @@ class Metasearcher {
   /// database with `training_queries` (Section 4).
   Status Train(const std::vector<Query>& training_queries);
 
-  bool trained() const { return ed_table_ != nullptr; }
+  bool trained() const { return snapshot() != nullptr; }
 
   /// \brief Point estimates r_hat(db, q) for all databases.
   std::vector<double> EstimateAll(const Query& query) const;
@@ -155,12 +163,30 @@ class Metasearcher {
   Result<SelectionReport> Select(const Query& query, int k,
                                  double threshold) const;
 
+  /// \brief Select with a latency budget. The deadline is threaded into
+  /// the probing loop: when it expires, probing stops at the next probe
+  /// boundary and the best answer so far — the pure estimate-only
+  /// selection if it expired before the first probe — is returned with
+  /// report.degraded = true. A deadline never turns a servable query into
+  /// an error. Deadline::None() behaves exactly like the overload above.
+  Result<SelectionReport> Select(const Query& query, int k, double threshold,
+                                 const Deadline& deadline) const;
+
   /// \brief Selection + dispatch + result fusion: queries the selected
   /// databases for their best `per_database` documents and merges them.
   Result<std::vector<FusedHit>> Search(const Query& query, int k,
                                        double threshold,
                                        std::size_t per_database,
                                        std::size_t max_results) const;
+
+  /// \brief Search with a latency budget applied to the selection phase
+  /// (see the Select overload); the result fetch from the — possibly
+  /// degraded — selection always completes.
+  Result<std::vector<FusedHit>> Search(const Query& query, int k,
+                                       double threshold,
+                                       std::size_t per_database,
+                                       std::size_t max_results,
+                                       const Deadline& deadline) const;
 
   /// \brief Runs Select for every query, fanned across `pool` (null =
   /// inline, sequentially). Reports are returned in query order and — with
@@ -214,23 +240,51 @@ class Metasearcher {
   const StatSummary& summary(std::size_t i) const { return summaries_[i]; }
   const RelevancyEstimator& estimator() const { return *estimator_; }
   const QueryTypeClassifier& classifier() const { return classifier_; }
-  const EdTable* ed_table() const { return ed_table_.get(); }
+  /// \brief The learned ED table of the current trained snapshot (null
+  /// before Train). The returned pointer shares ownership of the snapshot,
+  /// so it stays valid even across a concurrent retrain.
+  std::shared_ptr<const EdTable> ed_table() const;
   const MetasearcherOptions& options() const { return options_; }
 
  private:
-  // BuildModelUnlocked requires state_mutex_ held (shared suffices);
-  // state_mutex_ is not recursive, hence the split from BuildModel. The
-  // WithPolicy workers take the lock themselves (via BuildModel) and run
-  // selection/probing lock-free on the derived per-query model.
-  Result<TopKModel> BuildModelUnlocked(const Query& query) const;
+  /// The immutable trained model: the ED table learned by Train plus the
+  /// RD cache keyed against it. Published behind state_ as a whole, so a
+  /// snapshot's cache can never serve entries derived from a different
+  /// table. The cache is internally synchronized (sharded rwlocks), hence
+  /// mutable inside the logically-const snapshot.
+  struct TrainedState {
+    EdTable table;
+    mutable RdCache rd_cache;
+    TrainedState(EdTable t, double buckets_per_decade)
+        : table(std::move(t)), rd_cache(buckets_per_decade) {}
+  };
+
+  /// Pins the current snapshot; null before Train. The slot lock covers
+  /// only the shared_ptr copy (a refcount bump — nanoseconds, once per
+  /// query); everything derived from the snapshot then runs lock-free.
+  /// (Not std::atomic<shared_ptr>: libstdc++ 12's _Sp_atomic lacks the
+  /// TSAN annotations added in GCC 13, so TSAN flags its internal
+  /// lock-bit protocol as a race and the sanitizer tier would fail.)
+  std::shared_ptr<const TrainedState> snapshot() const {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    return state_;
+  }
+  /// Wires the new state's cache counters into the registry and publishes
+  /// it into the slot. Used by Train and LoadTrainedModel.
+  void PublishTrainedState(EdTable table);
+
+  Result<TopKModel> BuildModelFromState(const TrainedState& state,
+                                        const Query& query) const;
   Result<SelectionReport> SelectWithPolicy(const Query& query, int k,
                                            double threshold,
-                                           ProbingPolicy* policy) const;
+                                           ProbingPolicy* policy,
+                                           const Deadline& deadline) const;
   Result<std::vector<FusedHit>> SearchWithPolicy(const Query& query, int k,
                                                  double threshold,
                                                  std::size_t per_database,
                                                  std::size_t max_results,
-                                                 ProbingPolicy* policy) const;
+                                                 ProbingPolicy* policy,
+                                                 const Deadline& deadline) const;
 
   MetasearcherOptions options_;
   QueryTypeClassifier classifier_;
@@ -239,17 +293,20 @@ class Metasearcher {
   ThreadPool* probe_pool_ = nullptr;  // borrowed; speculative dispatch
   std::vector<std::shared_ptr<HiddenWebDatabase>> databases_;
   std::vector<StatSummary> summaries_;
-  std::unique_ptr<EdTable> ed_table_;
 
-  /// Guards the trained model state (ed_table_, rd_cache_ keying):
-  /// exclusive for Train, shared for every serving read.
-  mutable std::shared_mutex state_mutex_;
-  mutable RdCache rd_cache_;
+  /// RCU-style published trained state: serving threads pin the pointer
+  /// once per query and work on the immutable snapshot without further
+  /// synchronization; Train publishes a freshly built snapshot into the
+  /// slot. Old snapshots are reclaimed when the last in-flight query
+  /// drops its reference.
+  mutable std::mutex state_mutex_;  ///< guards the state_ slot only
+  std::shared_ptr<const TrainedState> state_;
 
   /// Resolved registry handles for the hot serving paths; looked up once in
   /// the constructor so recording is pointer-chasing, never a map lookup.
   struct Telemetry {
     obs::Counter* queries_served = nullptr;
+    obs::Counter* queries_degraded = nullptr;
     obs::Counter* batches_served = nullptr;
     obs::Counter* probes_ok = nullptr;
     obs::Counter* probes_failed = nullptr;
@@ -263,15 +320,22 @@ class Metasearcher {
     obs::Histogram* train_latency = nullptr;
   };
 
-  // registry_ is declared after rd_cache_ on purpose: its callback gauge
-  // reads rd_cache_.entries(), so the registry (and the callback) must be
-  // destroyed first.
+  // registry_ is declared after state_ on purpose: its callback gauge
+  // reads the snapshot's rd_cache.entries(), so the registry (and the
+  // callback) must be destroyed first.
   mutable obs::MetricRegistry registry_;
   Telemetry telemetry_;
   TopKModel::KernelTelemetry kernel_telemetry_;
   obs::QueryTracer* tracer_ = nullptr;  // borrowed; see SetTracer
   const obs::MonotonicClock* clock_ = obs::RealClock::Get();
 };
+
+inline std::shared_ptr<const EdTable> Metasearcher::ed_table() const {
+  std::shared_ptr<const TrainedState> state = snapshot();
+  if (state == nullptr) return nullptr;
+  // Aliasing constructor: the table pointer keeps the whole snapshot alive.
+  return std::shared_ptr<const EdTable>(state, &state->table);
+}
 
 }  // namespace core
 }  // namespace metaprobe

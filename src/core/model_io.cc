@@ -85,7 +85,10 @@ std::string DefaultEstimatorName(RelevancyDefinition definition) {
 }  // namespace
 
 Status Metasearcher::SaveTrainedModel(std::ostream& os) const {
-  if (!trained()) {
+  // Pin the snapshot for the whole save so a concurrent retrain cannot
+  // swap the table out from under the serialization loop.
+  std::shared_ptr<const EdTable> table = ed_table();
+  if (table == nullptr) {
     return Status::FailedPrecondition(
         "nothing to save: the metasearcher has not been trained");
   }
@@ -127,7 +130,7 @@ Status Metasearcher::SaveTrainedModel(std::ostream& os) const {
 
   for (std::size_t db = 0; db < databases_.size(); ++db) {
     for (QueryTypeId type = 0; type < classifier_.num_types(); ++type) {
-      const ErrorDistribution& ed = ed_table_->Get(db, type);
+      const ErrorDistribution& ed = table->Get(db, type);
       os << "ed " << db << " " << type << " " << ed.sample_count();
       const stats::Histogram& histogram = ed.histogram();
       for (std::size_t cell = 0; cell < histogram.num_cells(); ++cell) {
@@ -294,7 +297,7 @@ Result<std::unique_ptr<Metasearcher>> Metasearcher::LoadTrainedModel(
   }
   RETURN_NOT_OK(ExpectLine(is, "end").status());
 
-  searcher->ed_table_ = std::make_unique<EdTable>(std::move(table));
+  searcher->PublishTrainedState(std::move(table));
   return searcher;
 }
 

@@ -359,6 +359,13 @@ Result<AProResult> AdaptiveProber::Run(TopKModel* model,
         (options_.max_cost >= 0.0 && result.total_cost >= options_.max_cost)) {
       break;  // budget exhausted; return the best answer found
     }
+    if (options_.deadline.expired()) {
+      // Degrade, don't error: the answer standing at this boundary is built
+      // from fully-merged observations only (the estimate-only answer when
+      // the deadline arrived already expired).
+      result.deadline_expired = true;
+      break;
+    }
 
     // Pick this round's probe targets. With batch_limit == 1 this is the
     // paper's loop verbatim. Beyond the first target the picks are
@@ -430,7 +437,20 @@ Result<AProResult> AdaptiveProber::Run(TopKModel* model,
         outcomes.push_back(future.get());
       }
     } else {
-      for (std::size_t db : batch) outcomes.push_back(run_probe(db));
+      // Sequential dispatch: a cheap deadline check between probes is the
+      // batch's cancellation point — one slow backend can overrun the
+      // deadline by at most its own probe, never by the rest of the batch.
+      // The un-dispatched tail is dropped from the batch entirely (those
+      // databases stay unprobed and unbilled); the expiry itself is acted
+      // on at the top of the round loop, after the merge below.
+      for (std::size_t b = 0; b < batch.size(); ++b) {
+        if (b > 0 && options_.deadline.expired()) {
+          batch.resize(b);
+          if (batch_scores.size() > b) batch_scores.resize(b);
+          break;
+        }
+        outcomes.push_back(run_probe(batch[b]));
+      }
     }
 
     // Merge the observed relevancies into the model in selection order —
@@ -500,6 +520,7 @@ Result<AProResult> AdaptiveProber::Run(TopKModel* model,
   if (options_.trace != nullptr) {
     options_.trace->AddEvent("stop")
         ->Num("reached_threshold", result.reached_threshold ? 1.0 : 0.0)
+        .Num("deadline_expired", result.deadline_expired ? 1.0 : 0.0)
         .Num("expected_correctness", result.expected_correctness)
         .Num("probes", static_cast<double>(result.probe_order.size()))
         .Num("failed_probes", static_cast<double>(result.failed_probes.size()))

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/correctness.h"
+#include "core/deadline.h"
 #include "core/selection.h"
 #include "stats/random.h"
 
@@ -264,6 +265,16 @@ struct AProOptions {
   /// the batch's probes are issued sequentially (identical results, no
   /// concurrency).
   ThreadPool* pool = nullptr;
+  /// Absolute cutoff for the run. Checked between rounds and — on the
+  /// sequential dispatch path — between the probes of a batch, so one slow
+  /// backend cannot overrun the deadline by a full batch; an in-flight
+  /// concurrent batch is never cancelled mid-probe. When the cutoff passes,
+  /// the loop stops probing and returns the best answer derivable from the
+  /// observations merged so far (the estimate-only answer when no probe
+  /// completed), with AProResult::deadline_expired set — never an error.
+  /// Inactive by default: no clock is read and behavior is bit-identical to
+  /// the deadline-free loop.
+  Deadline deadline;
 
   // --- Observability sinks (all borrowed, all optional). ---
 
@@ -293,6 +304,10 @@ struct AProResult {
   double expected_correctness = 0.0;     ///< E[Cor] of the final answer.
   bool reached_threshold = false;        ///< Whether t was met.
   std::vector<std::size_t> probe_order;  ///< Databases probed, in order.
+  /// The deadline cut probing short before the threshold was reached; the
+  /// answer reflects every fully-merged observation up to the cut (degraded
+  /// mode — see AProOptions::deadline).
+  bool deadline_expired = false;
   /// Databases whose probe failed (kSkipDatabase mode only).
   std::vector<std::size_t> failed_probes;
   /// Total cost spent on probes (successful and failed attempts alike);

@@ -11,10 +11,14 @@ RdCache::RdCache(double buckets_per_decade)
     : buckets_per_decade_(std::max(buckets_per_decade, 1.0)) {}
 
 void RdCache::Reset(std::size_t num_databases, std::uint32_t num_types) {
-  (void)num_databases;  // sizing hint only; the map grows on demand
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  (void)num_databases;  // sizing hint only; the maps grow on demand
+  // Shards are cleared one at a time; callers that need the clear to be
+  // atomic against readers (Train) swap in a whole new cache instead.
+  for (Shard& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    shard.entries.clear();
+  }
   num_types_ = num_types;
-  entries_.clear();
 }
 
 void RdCache::SetCounters(obs::Counter* hits, obs::Counter* misses) {
@@ -62,10 +66,11 @@ RelevancyDistribution RdCache::GetOrDerive(
     return derive(r_hat);
   }
   std::uint64_t key = KeyOf(db, type, r_hat);
+  Shard& shard = shards_[ShardOf(key)];
   {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
-    auto it = entries_.find(key);
-    if (it != entries_.end()) {
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
       hits_->Increment();
       return it->second;
     }
@@ -73,15 +78,19 @@ RelevancyDistribution RdCache::GetOrDerive(
   misses_->Increment();
   RelevancyDistribution rd = derive(Representative(r_hat));
   {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
-    entries_.emplace(key, rd);  // a racing inserter won: keep the original
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    shard.entries.emplace(key, rd);  // a racing inserter won: keep the original
   }
   return rd;
 }
 
 std::uint64_t RdCache::entries() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return entries_.size();
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    total += shard.entries.size();
+  }
+  return total;
 }
 
 }  // namespace core

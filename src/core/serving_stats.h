@@ -3,6 +3,7 @@
 #ifndef METAPROBE_CORE_SERVING_STATS_H_
 #define METAPROBE_CORE_SERVING_STATS_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <shared_mutex>
@@ -51,9 +52,12 @@ struct ServingStats {
 /// cache is opt-in (MetasearcherOptions::enable_rd_cache) so reproduction
 /// figures are bit-exact against the uncached path by default.
 ///
-/// Readers take a shared lock; a miss upgrades to an exclusive lock for the
-/// insert. Hit/miss accounting goes through sharded obs::Counters, so hot
-/// hits contend only on the shared lock.
+/// The table is split into 16 shards, each behind its own reader/writer
+/// lock, so concurrent serving threads hitting different keys never touch
+/// the same cache line, let alone the same lock. Readers take the shard's
+/// shared lock; a miss re-acquires it exclusively for the insert. Hit/miss
+/// accounting goes through sharded obs::Counters as well, so a hot hit
+/// path contends on nothing searcher-wide.
 class RdCache {
  public:
   explicit RdCache(double buckets_per_decade = 20.0);
@@ -61,6 +65,9 @@ class RdCache {
   /// \brief Drops all entries and re-keys for a (re)trained model. Hit and
   /// miss counters are monotonic and survive retraining (scrapers expect
   /// counters to only move forward); entries() reflects the empty cache.
+  /// Not atomic against concurrent readers — call before the cache is
+  /// shared (the Metasearcher builds a fresh cache per trained snapshot
+  /// and publishes it afterwards, so this never races in practice).
   void Reset(std::size_t num_databases, std::uint32_t num_types);
 
   /// \brief Redirects hit/miss accounting to externally owned counters —
@@ -83,12 +90,24 @@ class RdCache {
   std::uint64_t entries() const;
 
  private:
+  static constexpr std::size_t kNumShards = 16;
+
+  /// Padded to a cache line so two shards never false-share.
+  struct alignas(64) Shard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<std::uint64_t, RelevancyDistribution> entries;
+  };
+
   std::uint64_t KeyOf(std::size_t db, QueryTypeId type, double r_hat) const;
+  /// Fibonacci-hash the key so adjacent (db, type) cells spread across
+  /// shards instead of clustering in one.
+  static std::size_t ShardOf(std::uint64_t key) {
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> 60);
+  }
 
   double buckets_per_decade_;
   std::uint32_t num_types_ = 0;
-  mutable std::shared_mutex mutex_;
-  std::unordered_map<std::uint64_t, RelevancyDistribution> entries_;
+  std::array<Shard, kNumShards> shards_;
   // Standalone fallbacks so a bare RdCache still counts; SetCounters swaps
   // in the owning searcher's registry series.
   obs::Counter own_hits_{"rd_cache_hits"};

@@ -1,0 +1,76 @@
+#include "serving/admission.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace metaprobe {
+namespace serving {
+
+TokenBucket::TokenBucket(const TokenBucketOptions& options,
+                         std::uint64_t now_ns)
+    : options_(options),
+      tokens_(std::max(options.burst, 1.0)),
+      last_refill_ns_(now_ns) {
+  // A bucket that cannot hold one token would refuse everything forever;
+  // floor the capacity at a single query.
+  options_.burst = std::max(options_.burst, 1.0);
+}
+
+bool TokenBucket::TryAcquire(std::uint64_t now_ns,
+                             double* retry_after_seconds) {
+  if (now_ns > last_refill_ns_ && options_.refill_per_second > 0.0) {
+    double elapsed_seconds =
+        static_cast<double>(now_ns - last_refill_ns_) * 1e-9;
+    tokens_ = std::min(options_.burst,
+                       tokens_ + elapsed_seconds * options_.refill_per_second);
+  }
+  last_refill_ns_ = std::max(last_refill_ns_, now_ns);
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return true;
+  }
+  if (retry_after_seconds != nullptr) {
+    *retry_after_seconds =
+        options_.refill_per_second > 0.0
+            ? (1.0 - tokens_) / options_.refill_per_second
+            : std::numeric_limits<double>::infinity();
+  }
+  return false;
+}
+
+AdmissionController::AdmissionController(TokenBucketOptions defaults,
+                                         const obs::MonotonicClock* clock)
+    : defaults_(defaults),
+      clock_(clock != nullptr ? clock : obs::RealClock::Get()) {}
+
+void AdmissionController::SetTenantRate(const std::string& tenant,
+                                        TokenBucketOptions options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  overrides_[tenant] = options;
+  auto it = buckets_.find(tenant);
+  if (it != buckets_.end()) {
+    it->second = TokenBucket(options, clock_->NowNanos());
+  }
+}
+
+bool AdmissionController::Admit(const std::string& tenant,
+                                double* retry_after_seconds) {
+  std::uint64_t now_ns = clock_->NowNanos();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    auto override_it = overrides_.find(tenant);
+    const TokenBucketOptions& rate =
+        override_it != overrides_.end() ? override_it->second : defaults_;
+    it = buckets_.emplace(tenant, TokenBucket(rate, now_ns)).first;
+  }
+  return it->second.TryAcquire(now_ns, retry_after_seconds);
+}
+
+std::size_t AdmissionController::num_tenants() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buckets_.size();
+}
+
+}  // namespace serving
+}  // namespace metaprobe

@@ -1,0 +1,79 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_SERVING_ADMISSION_H_
+#define METAPROBE_SERVING_ADMISSION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "obs/clock.h"
+
+namespace metaprobe {
+namespace serving {
+
+/// \brief Rate shape of one tenant's token bucket.
+struct TokenBucketOptions {
+  /// Steady-state admitted queries per second. Zero or negative means the
+  /// bucket never refills: the tenant gets its burst and nothing more.
+  double refill_per_second = 100.0;
+  /// Bucket capacity — how far a tenant may run ahead of its steady rate.
+  double burst = 20.0;
+};
+
+/// \brief Classic token bucket over an injected monotonic timebase.
+///
+/// Not internally synchronized: the AdmissionController serializes access
+/// under its own mutex, and tests drive a bucket directly from one thread.
+class TokenBucket {
+ public:
+  TokenBucket(const TokenBucketOptions& options, std::uint64_t now_ns);
+
+  /// \brief Consumes one token if available (refilling for the elapsed
+  /// time first). On refusal fills `*retry_after_seconds` with the time
+  /// until a full token accrues — infinity for non-refilling buckets.
+  bool TryAcquire(std::uint64_t now_ns, double* retry_after_seconds);
+
+  double tokens() const { return tokens_; }
+
+ private:
+  TokenBucketOptions options_;
+  double tokens_;
+  std::uint64_t last_refill_ns_;
+};
+
+/// \brief Per-tenant admission control: one token bucket per tenant id,
+/// created on first sight with the default rate (or a per-tenant override
+/// installed during setup). Thread-safe; the bucket map is tiny (one entry
+/// per tenant) and the critical section is a map lookup plus arithmetic.
+class AdmissionController {
+ public:
+  /// \param defaults rate applied to tenants without an override
+  /// \param clock borrowed timebase (tests inject obs::FakeClock)
+  AdmissionController(TokenBucketOptions defaults,
+                      const obs::MonotonicClock* clock);
+
+  /// \brief Installs a per-tenant rate. Setup-phase only if the tenant has
+  /// already been seen (the existing bucket is rebuilt, forfeiting its
+  /// accumulated tokens).
+  void SetTenantRate(const std::string& tenant, TokenBucketOptions options);
+
+  /// \brief Admits or refuses one query for `tenant`; on refusal
+  /// `*retry_after_seconds` says when a token will be available.
+  bool Admit(const std::string& tenant, double* retry_after_seconds);
+
+  std::size_t num_tenants() const;
+
+ private:
+  TokenBucketOptions defaults_;
+  const obs::MonotonicClock* clock_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, TokenBucket> buckets_;
+  std::unordered_map<std::string, TokenBucketOptions> overrides_;
+};
+
+}  // namespace serving
+}  // namespace metaprobe
+
+#endif  // METAPROBE_SERVING_ADMISSION_H_

@@ -1,0 +1,201 @@
+#include "serving/metasearch_server.h"
+
+#include <utility>
+
+namespace metaprobe {
+namespace serving {
+
+const char* AdmitResultName(AdmitResult result) {
+  switch (result) {
+    case AdmitResult::kAccepted:
+      return "accepted";
+    case AdmitResult::kThrottled:
+      return "throttled";
+    case AdmitResult::kQueueFull:
+      return "queue_full";
+    case AdmitResult::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+MetasearchServer::MetasearchServer(const core::Metasearcher* searcher,
+                                   MetasearchServerOptions options)
+    : searcher_(searcher),
+      options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock
+                                       : obs::RealClock::Get()),
+      admission_(options_.tenant_rate, clock_) {
+  telemetry_.accepted = registry_.GetCounter(
+      "metaprobe_server_requests_total", "result=\"accepted\"");
+  telemetry_.throttled = registry_.GetCounter(
+      "metaprobe_server_requests_total", "result=\"throttled\"");
+  telemetry_.queue_rejections = registry_.GetCounter(
+      "metaprobe_server_requests_total", "result=\"queue_full\"");
+  telemetry_.shutdown_rejections = registry_.GetCounter(
+      "metaprobe_server_requests_total", "result=\"shutdown\"");
+  telemetry_.completed_ok = registry_.GetCounter(
+      "metaprobe_server_completed_total", "outcome=\"ok\"");
+  telemetry_.completed_degraded = registry_.GetCounter(
+      "metaprobe_server_completed_total", "outcome=\"degraded\"");
+  telemetry_.failed = registry_.GetCounter(
+      "metaprobe_server_completed_total", "outcome=\"error\"");
+  registry_.RegisterCallbackGauge(
+      "metaprobe_server_queue_depth", "",
+      [this]() { return static_cast<double>(queue_depth()); });
+  telemetry_.queue_wait =
+      registry_.GetHistogram("metaprobe_server_queue_wait_seconds");
+  telemetry_.latency =
+      registry_.GetHistogram("metaprobe_server_latency_seconds");
+
+  workers_.reserve(options_.num_workers > 0 ? options_.num_workers : 0);
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+MetasearchServer::~MetasearchServer() { Shutdown(); }
+
+Ticket MetasearchServer::Submit(ServeRequest request) {
+  Ticket ticket;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!accepting_) {
+      ticket.admit = AdmitResult::kShutdown;
+      telemetry_.shutdown_rejections->Increment();
+      return ticket;
+    }
+    if (options_.admission_enabled &&
+        !admission_.Admit(request.tenant, &ticket.retry_after_seconds)) {
+      ticket.admit = AdmitResult::kThrottled;
+      telemetry_.throttled->Increment();
+      return ticket;
+    }
+    if (queue_.size() >= options_.max_queue_depth) {
+      ticket.admit = AdmitResult::kQueueFull;
+      telemetry_.queue_rejections->Increment();
+      return ticket;
+    }
+    Work work;
+    work.enqueue_ns = clock_->NowNanos();
+    // The deadline starts at enqueue: a request that rots in the queue
+    // burns its budget there and is served estimate-only the moment a
+    // worker picks it up, instead of probing into an already-blown SLO.
+    std::uint64_t budget_ns = request.deadline_ns != 0
+                                  ? request.deadline_ns
+                                  : options_.default_deadline_ns;
+    if (budget_ns != 0) {
+      work.deadline = core::Deadline::After(clock_, budget_ns);
+    }
+    work.request = std::move(request);
+    ticket.response = work.promise.get_future();
+    queue_.push_back(std::move(work));
+    telemetry_.accepted->Increment();
+  }
+  work_available_.notify_one();
+  return ticket;
+}
+
+bool MetasearchServer::RunOne() {
+  Work work;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    work = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  Process(std::move(work));
+  return true;
+}
+
+void MetasearchServer::WorkerLoop() {
+  for (;;) {
+    Work work;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this]() { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stopping_ and nothing left: the queue is drained, not dropped.
+        return;
+      }
+      work = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Process(std::move(work));
+  }
+}
+
+void MetasearchServer::Process(Work work) {
+  std::uint64_t start_ns = clock_->NowNanos();
+  ServeResponse response;
+  response.queue_seconds =
+      static_cast<double>(start_ns - work.enqueue_ns) * 1e-9;
+  telemetry_.queue_wait->Observe(response.queue_seconds);
+
+  const ServeRequest& request = work.request;
+  int k = request.k > 0 ? request.k : options_.default_k;
+  double threshold =
+      request.threshold > 0.0 ? request.threshold : options_.default_threshold;
+  Result<core::SelectionReport> result =
+      searcher_->Select(request.query, k, threshold, work.deadline);
+  if (result.ok()) {
+    response.report = std::move(result).ValueOrDie();
+    response.degraded = response.report.degraded;
+    (response.degraded ? telemetry_.completed_degraded
+                       : telemetry_.completed_ok)
+        ->Increment();
+  } else {
+    response.status = result.status();
+    telemetry_.failed->Increment();
+  }
+
+  std::uint64_t end_ns = clock_->NowNanos();
+  response.total_seconds =
+      static_cast<double>(end_ns - work.enqueue_ns) * 1e-9;
+  telemetry_.latency->Observe(response.total_seconds);
+  work.promise.set_value(std::move(response));
+}
+
+void MetasearchServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && workers_.empty()) {
+      // A second Shutdown after the first finished; the inline drain
+      // below would find an empty queue anyway, so just return.
+      if (queue_.empty()) return;
+    }
+    accepting_ = false;
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // No workers (num_workers = 0, or they already exited): drain inline so
+  // every accepted promise is fulfilled.
+  while (RunOne()) {
+  }
+}
+
+ServerStats MetasearchServer::stats() const {
+  ServerStats stats;
+  stats.accepted = telemetry_.accepted->Value();
+  stats.throttled = telemetry_.throttled->Value();
+  stats.queue_rejections = telemetry_.queue_rejections->Value();
+  stats.shutdown_rejections = telemetry_.shutdown_rejections->Value();
+  stats.completed_ok = telemetry_.completed_ok->Value();
+  stats.completed_degraded = telemetry_.completed_degraded->Value();
+  stats.failed = telemetry_.failed->Value();
+  stats.queue_depth = queue_depth();
+  return stats;
+}
+
+std::size_t MetasearchServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace serving
+}  // namespace metaprobe

@@ -1,0 +1,209 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_SERVING_METASEARCH_SERVER_H_
+#define METAPROBE_SERVING_METASEARCH_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "core/deadline.h"
+#include "core/metasearcher.h"
+#include "core/query.h"
+#include "obs/clock.h"
+#include "obs/metric_registry.h"
+#include "serving/admission.h"
+
+namespace metaprobe {
+namespace serving {
+
+/// \brief Configuration of a MetasearchServer.
+struct MetasearchServerOptions {
+  /// Worker threads draining the queue. 0 spawns none: requests queue up
+  /// and the owner pumps them with RunOne() — the deterministic mode the
+  /// serving tests drive with a FakeClock.
+  int num_workers = 4;
+  /// Queue slots beyond the in-flight workers. A Submit that finds the
+  /// queue full is refused with kQueueFull (backpressure) instead of
+  /// growing the queue without bound.
+  std::size_t max_queue_depth = 64;
+  /// Per-tenant token-bucket admission. Disabled, every request goes
+  /// straight to the queue — the load generator's control arm.
+  bool admission_enabled = true;
+  TokenBucketOptions tenant_rate;
+  /// Latency budget applied to requests that do not carry their own.
+  /// 0 = no deadline. Measured from *enqueue*, so time spent waiting in
+  /// the queue counts against the budget.
+  std::uint64_t default_deadline_ns = 0;
+  /// Selection parameters for requests that do not override them.
+  int default_k = 3;
+  double default_threshold = 0.9;
+  /// Borrowed timebase for admission, deadlines and latency metrics;
+  /// null = the real clock. Tests inject obs::FakeClock.
+  const obs::MonotonicClock* clock = nullptr;
+};
+
+/// \brief Admission outcome of one Submit.
+enum class AdmitResult {
+  kAccepted,   ///< Queued; the ticket's future will be fulfilled.
+  kThrottled,  ///< Tenant over its rate; retry after `retry_after_seconds`.
+  kQueueFull,  ///< Server saturated; back off and retry.
+  kShutdown,   ///< Server no longer accepts work.
+};
+
+const char* AdmitResultName(AdmitResult result);
+
+/// \brief One selection request as submitted by a client.
+struct ServeRequest {
+  core::Query query;
+  std::string tenant = "default";
+  /// Latency budget for this request; 0 inherits the server default.
+  std::uint64_t deadline_ns = 0;
+  /// Selection parameters; 0 inherits the server defaults.
+  int k = 0;
+  double threshold = 0.0;
+};
+
+/// \brief What the worker hands back through the ticket's future.
+struct ServeResponse {
+  Status status = Status::OK();   ///< Non-OK only for malformed queries.
+  core::SelectionReport report;   ///< Valid when status is OK.
+  /// True when the deadline expired before probing reached the certainty
+  /// threshold: `report` holds the best (possibly estimate-only) answer.
+  bool degraded = false;
+  double queue_seconds = 0.0;     ///< Enqueue -> dequeue.
+  double total_seconds = 0.0;     ///< Enqueue -> completion.
+};
+
+/// \brief Submit outcome: the admission decision plus, when accepted, the
+/// future that delivers the response. Every accepted ticket is fulfilled
+/// exactly once — including during shutdown drain (zero loss).
+struct Ticket {
+  AdmitResult admit = AdmitResult::kAccepted;
+  double retry_after_seconds = 0.0;  ///< Meaningful when throttled.
+  std::future<ServeResponse> response;
+
+  bool accepted() const { return admit == AdmitResult::kAccepted; }
+};
+
+/// \brief Counter snapshot mirroring the server's registry series.
+struct ServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t throttled = 0;
+  std::uint64_t queue_rejections = 0;
+  std::uint64_t shutdown_rejections = 0;
+  std::uint64_t completed_ok = 0;        ///< Served, full certainty path.
+  std::uint64_t completed_degraded = 0;  ///< Served, deadline cut probing.
+  std::uint64_t failed = 0;              ///< Served with an error status.
+  std::uint64_t queue_depth = 0;         ///< Requests queued right now.
+
+  std::uint64_t completed() const {
+    return completed_ok + completed_degraded + failed;
+  }
+};
+
+/// \brief Always-on serving loop around a trained Metasearcher: a bounded
+/// request queue drained by a worker pool, fronted by per-tenant
+/// token-bucket admission control.
+///
+/// Life of a request (see DESIGN.md §12):
+///   1. Submit() — admission: shutdown check, tenant token bucket
+///      (kThrottled + retry-after), bounded queue (kQueueFull). Accepted
+///      requests get their deadline stamped *now*, so queueing time counts
+///      against the budget, and are enqueued with a promise.
+///   2. A worker dequeues, records the queue wait, and runs
+///      Metasearcher::Select with the propagated deadline. An expired or
+///      expiring deadline degrades the answer (estimate-only selection,
+///      degraded=true) — it never becomes an error.
+///   3. The response is delivered through the ticket's future.
+///
+/// Shutdown() stops admission, lets the workers drain every queued
+/// request, and joins them: accepted work is never dropped. The destructor
+/// calls Shutdown().
+///
+/// Thread-safety: Submit may be called from any number of threads; stats()
+/// and metrics() may be scraped concurrently. The wrapped Metasearcher
+/// must stay alive and untouched by setup calls for the server's lifetime
+/// (Train is fine — the searcher publishes trained state atomically).
+class MetasearchServer {
+ public:
+  MetasearchServer(const core::Metasearcher* searcher,
+                   MetasearchServerOptions options);
+  ~MetasearchServer();
+
+  MetasearchServer(const MetasearchServer&) = delete;
+  MetasearchServer& operator=(const MetasearchServer&) = delete;
+
+  /// \brief Admission + enqueue; never blocks on serving work.
+  Ticket Submit(ServeRequest request);
+
+  /// \brief Dequeues and serves one request on the calling thread;
+  /// returns false if the queue was empty. The num_workers = 0 pump —
+  /// with a FakeClock this makes the whole server a deterministic state
+  /// machine. Safe alongside worker threads (they share the same queue).
+  bool RunOne();
+
+  /// \brief Stops admission, drains the queue, joins the workers.
+  /// Idempotent. With num_workers = 0 the drain happens inline.
+  void Shutdown();
+
+  ServerStats stats() const;
+  std::size_t queue_depth() const;
+
+  /// \brief The server's own registry (admission counters, queue depth,
+  /// queue-wait and end-to-end latency histograms) — scrape alongside the
+  /// searcher's registry for the full serving picture.
+  obs::MetricRegistry& metrics() const { return registry_; }
+
+  AdmissionController& admission() { return admission_; }
+  const MetasearchServerOptions& options() const { return options_; }
+
+ private:
+  struct Work {
+    ServeRequest request;
+    std::promise<ServeResponse> promise;
+    std::uint64_t enqueue_ns = 0;
+    core::Deadline deadline;
+  };
+
+  void WorkerLoop();
+  void Process(Work work);
+
+  const core::Metasearcher* searcher_;  // borrowed
+  MetasearchServerOptions options_;
+  const obs::MonotonicClock* clock_;
+  AdmissionController admission_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<Work> queue_;
+  bool accepting_ = true;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  struct Telemetry {
+    obs::Counter* accepted = nullptr;
+    obs::Counter* throttled = nullptr;
+    obs::Counter* queue_rejections = nullptr;
+    obs::Counter* shutdown_rejections = nullptr;
+    obs::Counter* completed_ok = nullptr;
+    obs::Counter* completed_degraded = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Histogram* queue_wait = nullptr;
+    obs::Histogram* latency = nullptr;
+  };
+
+  mutable obs::MetricRegistry registry_;
+  Telemetry telemetry_;
+};
+
+}  // namespace serving
+}  // namespace metaprobe
+
+#endif  // METAPROBE_SERVING_METASEARCH_SERVER_H_

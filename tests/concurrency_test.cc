@@ -7,6 +7,7 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -15,6 +16,7 @@
 
 #include "common/thread_pool.h"
 #include "core/metasearcher.h"
+#include "serving/metasearch_server.h"
 
 namespace metaprobe {
 namespace core {
@@ -429,6 +431,113 @@ TEST_F(ConcurrencyTest, RdCacheResetsOnRetrain) {
   ASSERT_TRUE(searcher->Train(TrainingQueries()).ok());
   // New EDs invalidate every derived RD.
   EXPECT_EQ(searcher->stats().rd_cache_entries, 0u);
+}
+
+// --------------------------------------------- MetasearchServer stress
+
+// The deterministic state-machine coverage of the server lives in
+// serving_test.cc; these runs exist to put the admission path, the bounded
+// queue, and the worker pool under genuine thread contention (TSAN tier)
+// and to pin the server's counters to exact totals regardless of
+// interleaving.
+
+TEST_F(ConcurrencyTest, ServerSaturationStressAccountsForEveryRequest) {
+  auto searcher = MakeTrained();
+  serving::MetasearchServerOptions options;
+  options.num_workers = 4;
+  options.max_queue_depth = 8;  // far below the offered load
+  options.admission_enabled = false;
+  serving::MetasearchServer server(searcher.get(), options);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::atomic<int> accepted{0};
+  std::atomic<int> queue_full{0};
+  std::atomic<int> unfulfilled{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&]() {
+      std::vector<serving::Ticket> tickets;
+      for (int i = 0; i < kPerThread; ++i) {
+        serving::ServeRequest request;
+        request.query = MakeQuery({"alpha", "beta"});
+        serving::Ticket ticket = server.Submit(std::move(request));
+        if (ticket.accepted()) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+          tickets.push_back(std::move(ticket));
+        } else if (ticket.admit == serving::AdmitResult::kQueueFull) {
+          queue_full.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      // Every accepted ticket must be fulfilled — saturation sheds load at
+      // admission, never by dropping accepted work.
+      for (serving::Ticket& ticket : tickets) {
+        serving::ServeResponse response = ticket.response.get();
+        if (!response.status.ok()) {
+          unfulfilled.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  server.Shutdown();
+
+  EXPECT_EQ(accepted.load() + queue_full.load(), kThreads * kPerThread);
+  EXPECT_GT(accepted.load(), 0);
+  EXPECT_EQ(unfulfilled.load(), 0);
+  serving::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, static_cast<std::uint64_t>(accepted.load()));
+  EXPECT_EQ(stats.queue_rejections,
+            static_cast<std::uint64_t>(queue_full.load()));
+  EXPECT_EQ(stats.completed(), static_cast<std::uint64_t>(accepted.load()));
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST_F(ConcurrencyTest, ServerAdmissionCountsExactUnderContention) {
+  auto searcher = MakeTrained();
+  serving::MetasearchServerOptions options;
+  options.num_workers = 2;
+  options.max_queue_depth = 1000;  // queue never the limiting factor
+  options.admission_enabled = true;
+  options.tenant_rate.refill_per_second = 0.0;  // no refill: burst only
+  options.tenant_rate.burst = 100.0;
+  serving::MetasearchServer server(searcher.get(), options);
+
+  // 8 threads race 400 submissions through one tenant's bucket of exactly
+  // 100 tokens: whatever the interleaving, precisely 100 are admitted.
+  std::atomic<int> accepted{0};
+  std::atomic<int> throttled{0};
+  std::vector<std::thread> submitters;
+  std::mutex tickets_mutex;
+  std::vector<serving::Ticket> tickets;
+  for (int t = 0; t < 8; ++t) {
+    submitters.emplace_back([&]() {
+      for (int i = 0; i < 50; ++i) {
+        serving::ServeRequest request;
+        request.query = MakeQuery({"alpha", "beta"});
+        serving::Ticket ticket = server.Submit(std::move(request));
+        if (ticket.accepted()) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(tickets_mutex);
+          tickets.push_back(std::move(ticket));
+        } else {
+          throttled.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  EXPECT_EQ(accepted.load(), 100);
+  EXPECT_EQ(throttled.load(), 300);
+  server.Shutdown();
+  for (serving::Ticket& ticket : tickets) {
+    EXPECT_TRUE(ticket.response.get().status.ok());
+  }
+  serving::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, 100u);
+  EXPECT_EQ(stats.throttled, 300u);
+  EXPECT_EQ(stats.completed(), 100u);
 }
 
 TEST_F(ConcurrencyTest, SearchBatchMatchesSequentialSearch) {

@@ -1,0 +1,317 @@
+// Deadline tier: the Deadline primitive, its propagation through the APro
+// loop (degraded, never-error answers), and the ProbeBatch cancellation
+// point. The property at the heart of this file: a deadline may only cut
+// probing at a probe boundary, so replaying the reported probe_order
+// against a fresh model reproduces the returned answer bit-for-bit — there
+// is no such thing as a partially-applied observation.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/deadline.h"
+#include "core/metasearcher.h"
+#include "core/probing.h"
+#include "core/relevancy_definition.h"
+#include "obs/clock.h"
+
+namespace metaprobe {
+namespace core {
+namespace {
+
+// ------------------------------------------------------ Deadline primitive
+
+TEST(DeadlineTest, DefaultIsInactive) {
+  Deadline none = Deadline::None();
+  EXPECT_FALSE(none.active());
+  EXPECT_FALSE(none.expired());
+  EXPECT_EQ(none.remaining_ns(), 0u);
+}
+
+TEST(DeadlineTest, AfterCountsDownAndExpires) {
+  obs::FakeClock clock(1000);
+  Deadline deadline = Deadline::After(&clock, 500);
+  EXPECT_TRUE(deadline.active());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_EQ(deadline.remaining_ns(), 500u);
+  clock.Advance(499);
+  EXPECT_FALSE(deadline.expired());
+  clock.Advance(1);
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_EQ(deadline.remaining_ns(), 0u);
+}
+
+TEST(DeadlineTest, ZeroBudgetExpiresImmediately) {
+  obs::FakeClock clock(1000);
+  Deadline deadline = Deadline::After(&clock, 0);
+  EXPECT_TRUE(deadline.active());
+  EXPECT_TRUE(deadline.expired());
+}
+
+TEST(DeadlineTest, ZeroBudgetAtClockZeroStaysActive) {
+  // A clock reading 0 would make `now + 0` collide with the "inactive"
+  // encoding; the cutoff shifts to 1ns so the deadline still registers as
+  // active and expires on the very next tick.
+  obs::FakeClock clock(0);
+  Deadline deadline = Deadline::After(&clock, 0);
+  EXPECT_TRUE(deadline.active());
+  clock.Advance(1);
+  EXPECT_TRUE(deadline.expired());
+}
+
+// -------------------------------------------------- deterministic testbed
+
+// The deterministic three-database world of metasearcher_test.cc.
+std::shared_ptr<LocalDatabase> MakeDb(const std::string& name, int pattern,
+                                      int num_docs) {
+  index::InvertedIndex::Builder builder;
+  for (int d = 0; d < num_docs; ++d) {
+    std::vector<std::string> terms;
+    switch (pattern) {
+      case 0:
+        terms = d % 2 == 0 ? std::vector<std::string>{"alpha", "beta", "pad"}
+                           : std::vector<std::string>{"pad", "fill"};
+        break;
+      case 1:
+        terms = d % 2 == 0 ? std::vector<std::string>{"alpha", "pad"}
+                           : std::vector<std::string>{"beta", "fill"};
+        break;
+      default:
+        if (d % 4 == 0) terms = {"alpha", "beta"};
+        else if (d % 4 == 1) terms = {"alpha", "pad"};
+        else if (d % 4 == 2) terms = {"beta", "pad"};
+        else terms = {"pad", "fill"};
+        break;
+    }
+    builder.AddDocument(terms);
+  }
+  return std::make_shared<LocalDatabase>(
+      name, std::move(builder).Build().ValueOrDie());
+}
+
+Query MakeQuery(std::vector<std::string> terms) {
+  Query q;
+  q.terms = std::move(terms);
+  return q;
+}
+
+std::vector<Query> TrainingQueries() {
+  std::vector<Query> queries;
+  for (int i = 0; i < 30; ++i) {
+    queries.push_back(MakeQuery({"alpha", "beta"}));
+    queries.push_back(MakeQuery({"alpha", "fill"}));
+    queries.push_back(MakeQuery({"alpha", "pad"}));
+    queries.push_back(MakeQuery({"beta", "pad"}));
+    queries.push_back(MakeQuery({"pad", "fill"}));
+  }
+  return queries;
+}
+
+class DeadlinePropagationTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Metasearcher> MakeTrained(MetasearcherOptions options = {}) {
+    auto searcher = std::make_unique<Metasearcher>(std::move(options));
+    EXPECT_TRUE(searcher->AddLocalDatabase(MakeDb("corr", 0, 200)).ok());
+    EXPECT_TRUE(searcher->AddLocalDatabase(MakeDb("anti", 1, 200)).ok());
+    EXPECT_TRUE(searcher->AddLocalDatabase(MakeDb("mix", 2, 200)).ok());
+    EXPECT_TRUE(searcher->Train(TrainingQueries()).ok());
+    return searcher;
+  }
+
+  /// Replays `report`'s probe order against a freshly built model and
+  /// asserts the reported answer is exactly what the replay derives —
+  /// every probe fully applied, nothing else observed.
+  void ExpectReplayMatches(const Metasearcher& searcher, const Query& query,
+                           int k, const SelectionReport& report) {
+    Result<TopKModel> model_result = searcher.BuildModel(query);
+    ASSERT_TRUE(model_result.ok());
+    TopKModel model = std::move(model_result).ValueOrDie();
+    for (std::size_t db : report.probe_order) {
+      Result<double> truth =
+          ProbeRelevancy(searcher.database(db), query,
+                         searcher.options().relevancy_definition);
+      ASSERT_TRUE(truth.ok());
+      model.Observe(db, *truth);
+    }
+    TopKModel::BestSet best =
+        model.FindBestSet(k, searcher.options().metric,
+                          searcher.options().search_width);
+    EXPECT_EQ(best.members, report.databases);
+    EXPECT_DOUBLE_EQ(best.expected_correctness, report.expected_correctness);
+  }
+};
+
+// ------------------------------------------------- propagation properties
+
+TEST_F(DeadlinePropagationTest, InactiveDeadlineMatchesDeadlineFreeSelect) {
+  auto searcher = MakeTrained();
+  Query q = MakeQuery({"alpha", "beta"});
+  auto plain = searcher->Select(q, 1, 0.999);
+  auto with_none = searcher->Select(q, 1, 0.999, Deadline::None());
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(with_none.ok());
+  EXPECT_EQ(plain->databases, with_none->databases);
+  EXPECT_EQ(plain->probe_order, with_none->probe_order);
+  EXPECT_DOUBLE_EQ(plain->expected_correctness,
+                   with_none->expected_correctness);
+  EXPECT_FALSE(plain->degraded);
+  EXPECT_FALSE(with_none->degraded);
+}
+
+TEST_F(DeadlinePropagationTest, ExpiredAtStartEqualsZeroProbeBudget) {
+  auto searcher = MakeTrained();
+  Query q = MakeQuery({"alpha", "beta"});
+
+  obs::FakeClock clock(1000);
+  Deadline expired{&clock, 1};  // long past
+  ASSERT_TRUE(expired.expired());
+  auto report = searcher->Select(q, 2, 0.9999, expired);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->degraded);
+  EXPECT_TRUE(report->probe_order.empty());
+  EXPECT_FALSE(report->reached_threshold);
+
+  // The estimate-only reference: the same run with a zero probe budget and
+  // no deadline at all. The probe oracle must never be consulted.
+  Result<TopKModel> model_result = searcher->BuildModel(q);
+  ASSERT_TRUE(model_result.ok());
+  TopKModel model = std::move(model_result).ValueOrDie();
+  AProOptions options;
+  options.k = 2;
+  options.threshold = 0.9999;
+  options.metric = searcher->options().metric;
+  options.search_width = searcher->options().search_width;
+  options.max_probes = 0;
+  StoppingProbabilityPolicy policy;
+  AdaptiveProber prober(&policy, options);
+  ProbeFn never = [](std::size_t) -> Result<double> {
+    ADD_FAILURE() << "zero-budget run issued a probe";
+    return Status::Internal("unreachable");
+  };
+  auto zero_budget = prober.Run(&model, never);
+  ASSERT_TRUE(zero_budget.ok());
+  EXPECT_EQ(report->databases, zero_budget->selected);
+  EXPECT_DOUBLE_EQ(report->expected_correctness,
+                   zero_budget->expected_correctness);
+}
+
+TEST_F(DeadlinePropagationTest, CutAtAnyPointReplaysToSameAnswer) {
+  auto searcher = MakeTrained();
+  Query q = MakeQuery({"alpha", "beta"});
+
+  // Sweep cutoffs across the whole run: with the clock auto-stepping on
+  // every read, each budget expires at a different probe boundary. For
+  // every one of them the answer must be OK (never an error) and must be
+  // exactly reproducible from the reported probe order.
+  for (std::uint64_t budget_ns :
+       {std::uint64_t{1}, std::uint64_t{500}, std::uint64_t{1500},
+        std::uint64_t{4000}, std::uint64_t{20000}, std::uint64_t{500000}}) {
+    obs::FakeClock clock(0, 100);  // 100ns per clock read
+    Deadline deadline = Deadline::After(&clock, budget_ns);
+    auto report = searcher->Select(q, 1, 0.9999, deadline);
+    ASSERT_TRUE(report.ok()) << "budget " << budget_ns << ": "
+                             << report.status().ToString();
+    if (report->degraded) {
+      EXPECT_FALSE(report->reached_threshold) << "budget " << budget_ns;
+    }
+    ExpectReplayMatches(*searcher, q, 1, *report);
+  }
+}
+
+TEST_F(DeadlinePropagationTest, TightDeadlineProbesLessThanNoDeadline) {
+  auto searcher = MakeTrained();
+  Query q = MakeQuery({"alpha", "beta"});
+  auto unlimited = searcher->Select(q, 1, 0.9999);
+  ASSERT_TRUE(unlimited.ok());
+  ASSERT_GT(unlimited->num_probes(), 0);
+
+  obs::FakeClock clock(0);
+  Deadline expired = Deadline::After(&clock, 1);
+  clock.Advance(10);
+  auto cut = searcher->Select(q, 1, 0.9999, expired);
+  ASSERT_TRUE(cut.ok());
+  EXPECT_TRUE(cut->degraded);
+  EXPECT_LT(cut->num_probes(), unlimited->num_probes());
+}
+
+// --------------------------------------- ProbeBatch cancellation point
+
+/// Latency-injecting decorator: every CountMatches advances the injected
+/// FakeClock, simulating a slow remote backend. It inherits the base-class
+/// ProbeBatch loop, so the deadline cancellation point between probes is
+/// exactly what a real decorated (e.g. flaky-wrapped) database exercises.
+class SlowDatabase : public HiddenWebDatabase {
+ public:
+  SlowDatabase(std::shared_ptr<LocalDatabase> inner, obs::FakeClock* clock,
+               std::uint64_t latency_ns)
+      : inner_(std::move(inner)), clock_(clock), latency_ns_(latency_ns) {}
+
+  const std::string& name() const override { return inner_->name(); }
+  std::uint32_t size() const override { return inner_->size(); }
+  Result<std::uint64_t> CountMatches(const Query& query) const override {
+    clock_->Advance(latency_ns_);
+    return inner_->CountMatches(query);
+  }
+  Result<std::vector<SearchHit>> Search(const Query& query,
+                                        std::size_t k) const override {
+    clock_->Advance(latency_ns_);
+    return inner_->Search(query, k);
+  }
+  std::uint64_t queries_served() const override {
+    return inner_->queries_served();
+  }
+
+ private:
+  std::shared_ptr<LocalDatabase> inner_;
+  obs::FakeClock* clock_;
+  std::uint64_t latency_ns_;
+};
+
+TEST(ProbeBatchDeadlineTest, SlowBackendCutBetweenProbes) {
+  obs::FakeClock clock(0);
+  SlowDatabase slow(MakeDb("slow", 0, 100), &clock, 100000);  // 100us/probe
+
+  std::vector<Query> queries;
+  for (int i = 0; i < 8; ++i) queries.push_back(MakeQuery({"alpha"}));
+
+  // Budget covers 2.5 probes: the check before probe 3 (t = 300us >= 250us)
+  // must cancel the rest of the batch.
+  Deadline deadline = Deadline::After(&clock, 250000);
+  auto result = slow.ProbeBatch(queries, RelevancyDefinition::kDocumentFrequency,
+                                deadline);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded());
+  EXPECT_EQ(slow.queries_served(), 3u);  // overran by at most one probe
+}
+
+TEST(ProbeBatchDeadlineTest, NoDeadlineRunsFullBatch) {
+  obs::FakeClock clock(0);
+  SlowDatabase slow(MakeDb("slow", 0, 100), &clock, 100000);
+  std::vector<Query> queries;
+  for (int i = 0; i < 5; ++i) queries.push_back(MakeQuery({"alpha"}));
+  auto result =
+      slow.ProbeBatch(queries, RelevancyDefinition::kDocumentFrequency);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 5u);
+  EXPECT_EQ(slow.queries_served(), 5u);
+}
+
+TEST(ProbeBatchDeadlineTest, LocalDatabaseRejectsExpiredAtEntry) {
+  obs::FakeClock clock(1000);
+  auto db = MakeDb("local", 0, 100);
+  std::vector<Query> queries = {MakeQuery({"alpha"}), MakeQuery({"beta"})};
+  Deadline expired{&clock, 1};
+  auto result = db->ProbeBatch(queries,
+                               RelevancyDefinition::kDocumentFrequency,
+                               expired);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded());
+  EXPECT_EQ(db->queries_served(), 0u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace metaprobe

@@ -1,0 +1,437 @@
+// Serving tier: the MetasearchServer state machine, driven deterministically
+// — zero worker threads, a FakeClock, and manual RunOne() pumping — so every
+// admission decision, queue transition, deadline expiry and drain step is
+// asserted exactly, not raced. Thread-pool behavior itself is covered in
+// concurrency_test.cc's saturation stress.
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/clock.h"
+#include "serving/admission.h"
+#include "serving/metasearch_server.h"
+
+namespace metaprobe {
+namespace serving {
+namespace {
+
+using core::LocalDatabase;
+using core::Metasearcher;
+using core::MetasearcherOptions;
+using core::Query;
+
+// ------------------------------------------------------------ TokenBucket
+
+TEST(TokenBucketTest, BurstThenSteadyRefill) {
+  TokenBucketOptions options;
+  options.refill_per_second = 2.0;
+  options.burst = 2.0;
+  TokenBucket bucket(options, 0);
+
+  EXPECT_TRUE(bucket.TryAcquire(0, nullptr));
+  EXPECT_TRUE(bucket.TryAcquire(0, nullptr));
+  double retry_after = 0.0;
+  EXPECT_FALSE(bucket.TryAcquire(0, &retry_after));
+  EXPECT_NEAR(retry_after, 0.5, 1e-9);
+
+  // Half a second accrues exactly one token at 2/s.
+  EXPECT_TRUE(bucket.TryAcquire(500000000, nullptr));
+  EXPECT_FALSE(bucket.TryAcquire(500000000, &retry_after));
+}
+
+TEST(TokenBucketTest, RefillCapsAtBurst) {
+  TokenBucketOptions options;
+  options.refill_per_second = 100.0;
+  options.burst = 3.0;
+  TokenBucket bucket(options, 0);
+  // An hour of idling still only holds `burst` tokens.
+  std::uint64_t hour_ns = 3600ull * 1000000000ull;
+  EXPECT_TRUE(bucket.TryAcquire(hour_ns, nullptr));
+  EXPECT_TRUE(bucket.TryAcquire(hour_ns, nullptr));
+  EXPECT_TRUE(bucket.TryAcquire(hour_ns, nullptr));
+  EXPECT_FALSE(bucket.TryAcquire(hour_ns, nullptr));
+}
+
+TEST(TokenBucketTest, NonRefillingBucketReportsInfiniteRetry) {
+  TokenBucketOptions options;
+  options.refill_per_second = 0.0;
+  options.burst = 1.0;
+  TokenBucket bucket(options, 0);
+  EXPECT_TRUE(bucket.TryAcquire(0, nullptr));
+  double retry_after = 0.0;
+  EXPECT_FALSE(bucket.TryAcquire(1000000000, &retry_after));
+  EXPECT_TRUE(std::isinf(retry_after));
+}
+
+// ---------------------------------------------------- AdmissionController
+
+TEST(AdmissionControllerTest, TenantsAreIsolated) {
+  obs::FakeClock clock(0);
+  TokenBucketOptions one_per_second;
+  one_per_second.refill_per_second = 1.0;
+  one_per_second.burst = 1.0;
+  AdmissionController admission(one_per_second, &clock);
+
+  double retry_after = 0.0;
+  EXPECT_TRUE(admission.Admit("alice", &retry_after));
+  EXPECT_FALSE(admission.Admit("alice", &retry_after));
+  EXPECT_NEAR(retry_after, 1.0, 1e-9);
+  // A different tenant has its own bucket.
+  EXPECT_TRUE(admission.Admit("bob", &retry_after));
+  EXPECT_EQ(admission.num_tenants(), 2u);
+
+  clock.Advance(1000000000);  // 1s: alice's token is back
+  EXPECT_TRUE(admission.Admit("alice", &retry_after));
+}
+
+TEST(AdmissionControllerTest, PerTenantOverride) {
+  obs::FakeClock clock(0);
+  TokenBucketOptions stingy;
+  stingy.refill_per_second = 1.0;
+  stingy.burst = 1.0;
+  AdmissionController admission(stingy, &clock);
+  TokenBucketOptions generous;
+  generous.refill_per_second = 100.0;
+  generous.burst = 10.0;
+  admission.SetTenantRate("vip", generous);
+
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(admission.Admit("vip", nullptr)) << "request " << i;
+  }
+  EXPECT_FALSE(admission.Admit("vip", nullptr));
+  EXPECT_TRUE(admission.Admit("regular", nullptr));
+  EXPECT_FALSE(admission.Admit("regular", nullptr));
+}
+
+// ------------------------------------------------- deterministic testbed
+
+std::shared_ptr<LocalDatabase> MakeDb(const std::string& name, int pattern,
+                                      int num_docs) {
+  index::InvertedIndex::Builder builder;
+  for (int d = 0; d < num_docs; ++d) {
+    std::vector<std::string> terms;
+    switch (pattern) {
+      case 0:
+        terms = d % 2 == 0 ? std::vector<std::string>{"alpha", "beta", "pad"}
+                           : std::vector<std::string>{"pad", "fill"};
+        break;
+      case 1:
+        terms = d % 2 == 0 ? std::vector<std::string>{"alpha", "pad"}
+                           : std::vector<std::string>{"beta", "fill"};
+        break;
+      default:
+        if (d % 4 == 0) terms = {"alpha", "beta"};
+        else if (d % 4 == 1) terms = {"alpha", "pad"};
+        else if (d % 4 == 2) terms = {"beta", "pad"};
+        else terms = {"pad", "fill"};
+        break;
+    }
+    builder.AddDocument(terms);
+  }
+  return std::make_shared<LocalDatabase>(
+      name, std::move(builder).Build().ValueOrDie());
+}
+
+Query MakeQuery(std::vector<std::string> terms) {
+  Query q;
+  q.terms = std::move(terms);
+  return q;
+}
+
+class ServingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    searcher_ = std::make_unique<Metasearcher>();
+    ASSERT_TRUE(searcher_->AddLocalDatabase(MakeDb("corr", 0, 200)).ok());
+    ASSERT_TRUE(searcher_->AddLocalDatabase(MakeDb("anti", 1, 200)).ok());
+    ASSERT_TRUE(searcher_->AddLocalDatabase(MakeDb("mix", 2, 200)).ok());
+    std::vector<Query> training;
+    for (int i = 0; i < 30; ++i) {
+      training.push_back(MakeQuery({"alpha", "beta"}));
+      training.push_back(MakeQuery({"alpha", "fill"}));
+      training.push_back(MakeQuery({"alpha", "pad"}));
+      training.push_back(MakeQuery({"beta", "pad"}));
+      training.push_back(MakeQuery({"pad", "fill"}));
+    }
+    ASSERT_TRUE(searcher_->Train(training).ok());
+  }
+
+  /// A server the test pumps by hand: no workers, fake time. k = 1 so
+  /// selection is a real contest (k = 3 of 3 databases has certainty 1
+  /// with zero probes, which would make every deadline moot).
+  MetasearchServerOptions ManualOptions() {
+    MetasearchServerOptions options;
+    options.num_workers = 0;
+    options.clock = &clock_;
+    options.default_k = 1;
+    return options;
+  }
+
+  ServeRequest Request(const std::string& tenant = "default") {
+    ServeRequest request;
+    request.query = MakeQuery({"alpha", "beta"});
+    request.tenant = tenant;
+    return request;
+  }
+
+  obs::FakeClock clock_{0};
+  std::unique_ptr<Metasearcher> searcher_;
+};
+
+// ------------------------------------------------------ admission states
+
+TEST_F(ServingTest, AdmissionAcceptsWithinRateThrottlesBeyond) {
+  MetasearchServerOptions options = ManualOptions();
+  options.tenant_rate.refill_per_second = 1.0;
+  options.tenant_rate.burst = 2.0;
+  MetasearchServer server(searcher_.get(), options);
+
+  Ticket first = server.Submit(Request());
+  Ticket second = server.Submit(Request());
+  EXPECT_TRUE(first.accepted());
+  EXPECT_TRUE(second.accepted());
+
+  Ticket third = server.Submit(Request());
+  EXPECT_EQ(third.admit, AdmitResult::kThrottled);
+  EXPECT_NEAR(third.retry_after_seconds, 1.0, 1e-9);
+
+  // A different tenant is not affected by this tenant's bucket.
+  Ticket other = server.Submit(Request("other-tenant"));
+  EXPECT_TRUE(other.accepted());
+
+  // After the advertised retry-after, the tenant is admitted again.
+  clock_.Advance(1000000000);
+  Ticket fourth = server.Submit(Request());
+  EXPECT_TRUE(fourth.accepted());
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, 4u);
+  EXPECT_EQ(stats.throttled, 1u);
+  EXPECT_EQ(stats.queue_depth, 4u);
+  server.Shutdown();
+}
+
+TEST_F(ServingTest, QueueOverflowAppliesBackpressure) {
+  MetasearchServerOptions options = ManualOptions();
+  options.admission_enabled = false;
+  options.max_queue_depth = 2;
+  MetasearchServer server(searcher_.get(), options);
+
+  EXPECT_TRUE(server.Submit(Request()).accepted());
+  EXPECT_TRUE(server.Submit(Request()).accepted());
+  Ticket overflow = server.Submit(Request());
+  EXPECT_EQ(overflow.admit, AdmitResult::kQueueFull);
+  EXPECT_EQ(server.queue_depth(), 2u);
+
+  // Draining one request frees one slot.
+  EXPECT_TRUE(server.RunOne());
+  EXPECT_EQ(server.queue_depth(), 1u);
+  EXPECT_TRUE(server.Submit(Request()).accepted());
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(stats.queue_rejections, 1u);
+  server.Shutdown();
+}
+
+TEST_F(ServingTest, RunOneReturnsFalseOnEmptyQueue) {
+  MetasearchServer server(searcher_.get(), ManualOptions());
+  EXPECT_FALSE(server.RunOne());
+}
+
+// ------------------------------------------------------ deadline serving
+
+TEST_F(ServingTest, DeadlineExpiredInQueueServesDegradedEstimateOnly) {
+  MetasearchServerOptions options = ManualOptions();
+  options.admission_enabled = false;
+  options.default_deadline_ns = 1000000;  // 1ms budget, stamped at enqueue
+  options.default_threshold = 0.9999;     // unreachable without probing
+  MetasearchServer server(searcher_.get(), options);
+
+  Ticket ticket = server.Submit(Request());
+  ASSERT_TRUE(ticket.accepted());
+  // The request rots in the queue past its whole budget.
+  clock_.Advance(2000000);
+  ASSERT_TRUE(server.RunOne());
+
+  ServeResponse response = ticket.response.get();
+  EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_TRUE(response.degraded);
+  EXPECT_TRUE(response.report.probe_order.empty());  // estimate-only
+  EXPECT_FALSE(response.report.databases.empty());
+  EXPECT_NEAR(response.queue_seconds, 0.002, 1e-9);
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed_degraded, 1u);
+  EXPECT_EQ(stats.completed_ok, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  server.Shutdown();
+}
+
+TEST_F(ServingTest, GenerousDeadlineServesFullAnswer) {
+  MetasearchServerOptions options = ManualOptions();
+  options.admission_enabled = false;
+  options.default_deadline_ns = 3600ull * 1000000000ull;
+  options.default_threshold = 0.999;
+  MetasearchServer server(searcher_.get(), options);
+
+  Ticket ticket = server.Submit(Request());
+  ASSERT_TRUE(ticket.accepted());
+  ASSERT_TRUE(server.RunOne());
+  ServeResponse response = ticket.response.get();
+  EXPECT_TRUE(response.status.ok());
+  EXPECT_FALSE(response.degraded);
+  EXPECT_EQ(server.stats().completed_ok, 1u);
+  server.Shutdown();
+}
+
+TEST_F(ServingTest, PerRequestDeadlineOverridesDefault) {
+  MetasearchServerOptions options = ManualOptions();
+  options.admission_enabled = false;
+  options.default_deadline_ns = 0;  // no server-wide deadline
+  MetasearchServer server(searcher_.get(), options);
+
+  ServeRequest request = Request();
+  request.deadline_ns = 1000;   // 1us — hopeless
+  request.threshold = 0.9999;   // unreachable without probing
+  Ticket ticket = server.Submit(std::move(request));
+  ASSERT_TRUE(ticket.accepted());
+  clock_.Advance(1000000);
+  ASSERT_TRUE(server.RunOne());
+  ServeResponse response = ticket.response.get();
+  EXPECT_TRUE(response.status.ok());
+  EXPECT_TRUE(response.degraded);
+  server.Shutdown();
+}
+
+TEST_F(ServingTest, MalformedQueryFailsWithoutPoisoningTheServer) {
+  MetasearchServerOptions options = ManualOptions();
+  options.admission_enabled = false;
+  MetasearchServer server(searcher_.get(), options);
+
+  ServeRequest bad;
+  bad.query = MakeQuery({});  // empty query -> InvalidArgument
+  Ticket bad_ticket = server.Submit(std::move(bad));
+  Ticket good_ticket = server.Submit(Request());
+  ASSERT_TRUE(bad_ticket.accepted());
+  ASSERT_TRUE(good_ticket.accepted());
+  ASSERT_TRUE(server.RunOne());
+  ASSERT_TRUE(server.RunOne());
+
+  EXPECT_TRUE(bad_ticket.response.get().status.IsInvalidArgument());
+  EXPECT_TRUE(good_ticket.response.get().status.ok());
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed_ok, 1u);
+  server.Shutdown();
+}
+
+// ----------------------------------------------------- request overrides
+
+TEST_F(ServingTest, RequestOverridesSelectionParameters) {
+  MetasearchServerOptions options = ManualOptions();
+  options.admission_enabled = false;
+  options.default_k = 1;
+  MetasearchServer server(searcher_.get(), options);
+
+  ServeRequest request = Request();
+  request.k = 2;
+  request.threshold = 0.5;
+  Ticket ticket = server.Submit(std::move(request));
+  ASSERT_TRUE(ticket.accepted());
+  ASSERT_TRUE(server.RunOne());
+  ServeResponse response = ticket.response.get();
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_EQ(response.report.databases.size(), 2u);
+  server.Shutdown();
+}
+
+// ------------------------------------------------------- shutdown drain
+
+TEST_F(ServingTest, ShutdownDrainsEveryAcceptedRequest) {
+  MetasearchServerOptions options = ManualOptions();
+  options.admission_enabled = false;
+  options.max_queue_depth = 16;
+  MetasearchServer server(searcher_.get(), options);
+
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 10; ++i) {
+    tickets.push_back(server.Submit(Request()));
+    ASSERT_TRUE(tickets.back().accepted());
+  }
+  EXPECT_EQ(server.queue_depth(), 10u);
+
+  server.Shutdown();  // num_workers = 0: the drain runs inline
+
+  for (Ticket& ticket : tickets) {
+    ServeResponse response = ticket.response.get();  // fulfilled, no hang
+    EXPECT_TRUE(response.status.ok());
+  }
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed(), 10u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+
+  // Post-shutdown submissions are refused, not queued.
+  Ticket late = server.Submit(Request());
+  EXPECT_EQ(late.admit, AdmitResult::kShutdown);
+  EXPECT_EQ(server.stats().shutdown_rejections, 1u);
+
+  server.Shutdown();  // idempotent
+}
+
+// -------------------------------------------------------- worker threads
+
+TEST_F(ServingTest, WorkerPoolServesSubmittedRequests) {
+  MetasearchServerOptions options;  // real clock, real workers
+  options.num_workers = 2;
+  options.admission_enabled = false;
+  options.max_queue_depth = 64;
+  MetasearchServer server(searcher_.get(), options);
+
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 16; ++i) {
+    tickets.push_back(server.Submit(Request()));
+    ASSERT_TRUE(tickets.back().accepted());
+  }
+  for (Ticket& ticket : tickets) {
+    ServeResponse response = ticket.response.get();
+    EXPECT_TRUE(response.status.ok());
+    EXPECT_FALSE(response.degraded);  // no deadline configured
+  }
+  server.Shutdown();
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, 16u);
+  EXPECT_EQ(stats.completed_ok, 16u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+// --------------------------------------------------------------- metrics
+
+TEST_F(ServingTest, ExpositionCoversServerSeries) {
+  MetasearchServerOptions options = ManualOptions();
+  options.admission_enabled = false;
+  MetasearchServer server(searcher_.get(), options);
+  Ticket ticket = server.Submit(Request());
+  ASSERT_TRUE(ticket.accepted());
+  ASSERT_TRUE(server.RunOne());
+  ticket.response.get();
+
+  std::string text = server.metrics().ExpositionText();
+  EXPECT_NE(text.find("metaprobe_server_requests_total"), std::string::npos);
+  EXPECT_NE(text.find("result=\"accepted\""), std::string::npos);
+  EXPECT_NE(text.find("metaprobe_server_completed_total"), std::string::npos);
+  EXPECT_NE(text.find("metaprobe_server_queue_depth"), std::string::npos);
+  EXPECT_NE(text.find("metaprobe_server_queue_wait_seconds"),
+            std::string::npos);
+  EXPECT_NE(text.find("metaprobe_server_latency_seconds"), std::string::npos);
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace serving
+}  // namespace metaprobe

@@ -13,7 +13,9 @@
 #   4. Metrics smoke -- run the observability example from the Release
 #      tree, assert the Prometheus exposition parses and the key serving
 #      series are present, validate the trace dump is well-formed JSON
-#      lines, and schema-check the committed BENCH_*.json files.
+#      lines, schema-check the committed BENCH_*.json files, and run the
+#      serving load generator (bench/load_gen) at smoke scale, which
+#      asserts deadline-expired requests degrade instead of erroring.
 #
 # Usage: tools/check.sh [jobs]
 #   jobs                parallel build/test jobs (default: nproc)
@@ -33,7 +35,7 @@ cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
 # Test-name filter for the TSAN pass: every suite that exercises threads.
-TSAN_FILTER='ThreadPool|Concurrency|Determinism|SpeculativeBatch|ParallelGreedy'
+TSAN_FILTER='ThreadPool|Concurrency|Determinism|SpeculativeBatch|ParallelGreedy|Serving|TokenBucket|Admission|Deadline|ProbeBatchDeadline'
 
 # Test-name filter for the UBSAN pass: the numeric kernels where UB (signed
 # overflow, bad indexing, misaligned loads) would silently corrupt results.
@@ -138,6 +140,14 @@ print(f"exposition ok ({len(families)} families), trace ok ({spans} spans)")
 PY
   # Committed benchmark artifacts match the schema.
   python3 tools/validate_bench.py BENCH_*.json
+  # Serving load generator at smoke scale: the run itself asserts that
+  # deadline-expired requests degrade instead of erroring, and the JSON it
+  # writes must satisfy the serving schema.
+  cmake --build build-release -j "$JOBS" --target load_gen
+  METAPROBE_TRAIN=60 METAPROBE_TEST=24 METAPROBE_REQUESTS=48 \
+    METAPROBE_LATENCY_US=1000 METAPROBE_DEADLINE_US=1500 \
+    ./build-release/bench/load_gen --json="$out/BENCH_serving.json"
+  python3 tools/validate_bench.py "$out/BENCH_serving.json"
 }
 
 if [[ "${METAPROBE_SKIP_RELEASE:-0}" != "1" ]]; then

@@ -9,9 +9,13 @@ how to read:
     timing fields (real_time/cpu_time). BENCH_index.json additionally
     carries frozen pre-block-format entries under "<name>/v1baseline" so
     the block-format speedup stays visible in the committed artifact.
-  * The custom layout written by bench/micro_parallel.cc (BENCH_parallel,
-    BENCH_obs): top-level "context" object and "benchmarks" list whose
-    entries carry "name" plus at least one numeric result field.
+  * The custom layout written by bench/micro_parallel.cc and
+    bench/load_gen.cc (BENCH_parallel, BENCH_obs, BENCH_serving):
+    top-level "context" object and "benchmarks" list whose entries carry
+    "name" plus at least one numeric result field. BENCH_serving entries
+    are additionally required to be namespaced "serving/..." and, when
+    they carry an "errors" field, to report zero errors (deadline-expired
+    requests must degrade, never fail).
 
 Usage: tools/validate_bench.py FILE...
 Exits nonzero with a per-file diagnostic on the first violation.
@@ -50,6 +54,7 @@ def validate(path):
     if not isinstance(benchmarks, list) or not benchmarks:
         return fail(path, '"benchmarks" must be a non-empty list')
 
+    serving = "serving" in path.rsplit("/", 1)[-1]
     names = set()
     for i, bench in enumerate(benchmarks):
         where = f"benchmarks[{i}]"
@@ -73,6 +78,20 @@ def validate(path):
                        "ns_per_op") and value < 0:
                 return fail(
                     path, f"{where} ({name}): {key} must be >= 0, got {value}"
+                )
+        if serving:
+            if not name.startswith("serving/"):
+                return fail(
+                    path,
+                    f'{where}: serving entries must be named "serving/...", '
+                    f"got {name!r}",
+                )
+            errors = bench.get("errors")
+            if errors not in (None, 0):
+                return fail(
+                    path,
+                    f"{where} ({name}): serving runs must report zero "
+                    f"errors, got {errors}",
                 )
 
     print(f"{path}: ok ({len(benchmarks)} benchmarks)")
