@@ -4,18 +4,21 @@
 // the block-format numbers. `--json[=path]` writes google-benchmark JSON
 // (default BENCH_index.json) for tools/validate_bench.py.
 
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "common/thread_pool.h"
 #include "core/hidden_web_database.h"
 #include "core/query.h"
 #include "core/relevancy_definition.h"
 #include "corpus/domain.h"
 #include "corpus/synthetic_corpus.h"
 #include "index/inverted_index.h"
+#include "index/simd_intersect.h"
 #include "index/varint_codec.h"
 #include "stats/random.h"
 #include "text/analyzer.h"
@@ -160,6 +163,61 @@ void BM_CountConjunctiveBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_CountConjunctiveBatch)->Arg(16)->Arg(128);
 
+void BM_CountConjunctiveBatchDupTerms(benchmark::State& state) {
+  // Regression guard for per-call canonicalization: every query repeats
+  // its terms, so the memo pass must fold the duplicates once instead of
+  // each intersection re-sorting and re-deduping.
+  const index::InvertedIndex& index = SharedIndex();
+  std::vector<std::vector<std::string>> queries;
+  for (std::vector<std::string>& terms :
+       BenchQueryTerms(static_cast<std::size_t>(state.range(0)))) {
+    std::vector<std::string> doubled = terms;
+    doubled.insert(doubled.end(), terms.begin(), terms.end());
+    queries.push_back(std::move(doubled));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.CountConjunctiveBatch(queries));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CountConjunctiveBatchDupTerms)->Arg(128);
+
+void BM_CountConjunctiveBatchPooled(benchmark::State& state) {
+  const index::InvertedIndex& index = SharedIndex();
+  const std::vector<std::vector<std::string>> queries =
+      BenchQueryTerms(static_cast<std::size_t>(state.range(0)));
+  ThreadPool pool(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.CountConjunctiveBatch(queries, &pool));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CountConjunctiveBatchPooled)->Arg(128);
+
+// Dense two-list intersection (multi-block lists on both sides) through
+// the runtime-dispatched kernel, with a scalar-forced twin as the live
+// baseline the SIMD speedup is measured against.
+void RunConjunctiveDense(benchmark::State& state,
+                         index::IntersectKernel kernel) {
+  const index::InvertedIndex& index = SharedIndex();
+  index::ForceIntersectKernelForTest(kernel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.CountConjunctive({"patient", "cancer"}));
+  }
+  index::ForceIntersectKernelForTest(index::IntersectKernel::kAvx2);
+  state.SetLabel(index::IntersectKernelName(kernel));
+}
+
+void BM_ConjunctiveDense(benchmark::State& state) {
+  RunConjunctiveDense(state, index::ActiveIntersectKernel());
+}
+BENCHMARK(BM_ConjunctiveDense);
+
+void BM_ConjunctiveDenseScalar(benchmark::State& state) {
+  RunConjunctiveDense(state, index::IntersectKernel::kScalar);
+}
+BENCHMARK(BM_ConjunctiveDenseScalar);
+
 void BM_ProbeBatch(benchmark::State& state) {
   static const core::LocalDatabase* kDb = [] {
     text::Analyzer analyzer;
@@ -198,6 +256,33 @@ void BM_TopKCosine(benchmark::State& state) {
 }
 BENCHMARK(BM_TopKCosine)->Arg(10)->Arg(100);
 
+// A high-df disjunctive query wide enough (7 terms) for threshold pruning
+// to matter, against the exhaustive scorer on the same query — the live
+// measure of what block-max WAND buys.
+const std::vector<std::string>& ManyTermsQuery() {
+  static const std::vector<std::string> kQuery = {
+      "breast", "cancer", "patient", "heart", "tumor", "biopsi", "screen"};
+  return kQuery;
+}
+
+void BM_TopKCosineManyTerms(benchmark::State& state) {
+  const index::InvertedIndex& index = SharedIndex();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.TopKCosine(
+        ManyTermsQuery(), static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_TopKCosineManyTerms)->Arg(10)->Arg(100);
+
+void BM_TopKCosineExhaustive(benchmark::State& state) {
+  const index::InvertedIndex& index = SharedIndex();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.TopKCosineExhaustive(
+        ManyTermsQuery(), static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_TopKCosineExhaustive)->Arg(10)->Arg(100);
+
 void BM_IndexBuild(benchmark::State& state) {
   text::Analyzer analyzer;
   corpus::CorpusGenerator generator(corpus::HealthTopics(), {}, &analyzer);
@@ -218,9 +303,13 @@ BENCHMARK(BM_IndexBuild)->Arg(1000)->Arg(5000);
 
 int main(int argc, char** argv) {
   // Translate `--json[=path]` into google-benchmark's JSON output flags,
-  // forwarding everything else untouched.
+  // forwarding everything else untouched. `--assert-simd` logs the
+  // intersection kernel the dispatcher resolved and fails when a build
+  // with vector kernels compiled in silently fell back to scalar (the
+  // CI perf-smoke guard against sanitizer flags eating the SIMD paths).
   std::string out_path = "BENCH_index.json";
   bool json = false;
+  bool assert_simd = false;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json", 6) == 0 &&
@@ -229,7 +318,27 @@ int main(int argc, char** argv) {
       if (argv[i][6] == '=') out_path = argv[i] + 7;
       continue;
     }
+    if (std::strcmp(argv[i], "--assert-simd") == 0) {
+      assert_simd = true;
+      continue;
+    }
     args.push_back(argv[i]);
+  }
+  const metaprobe::index::IntersectKernel kernel =
+      metaprobe::index::ActiveIntersectKernel();
+  std::fprintf(stderr, "intersect kernel: %s\n",
+               metaprobe::index::IntersectKernelName(kernel));
+  if (assert_simd) {
+#if defined(METAPROBE_INTERSECT_SSE2)
+    if (kernel == metaprobe::index::IntersectKernel::kScalar) {
+      std::fprintf(stderr,
+                   "--assert-simd: SSE2 kernel compiled in but dispatch "
+                   "resolved to scalar\n");
+      return 1;
+    }
+#else
+    std::fprintf(stderr, "--assert-simd: no vector kernel in this build\n");
+#endif
   }
   std::string out_flag = "--benchmark_out=" + out_path;
   std::string format_flag = "--benchmark_out_format=json";

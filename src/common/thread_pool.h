@@ -95,6 +95,32 @@ class ThreadPool {
   std::atomic<std::uint64_t> tasks_run_inline_{0};
 };
 
+/// \brief Fans `fn(begin, end)` over [0, n) in contiguous chunks on `pool`
+/// and blocks until every chunk finishes. With a null or zero-worker pool
+/// (or a single item) it degrades to one inline `fn(0, n)` call. The chunk
+/// boundaries are an execution detail only — callers must write disjoint
+/// output slots so the result is identical either way. The caller blocks on
+/// the futures, so `pool` must not be one whose workers issue this call
+/// themselves (no work stealing — the leaf-task rule above).
+template <typename Fn>
+void ParallelForRanges(ThreadPool* pool, std::size_t n, Fn fn) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->num_workers() == 0 || n < 2) {
+    fn(std::size_t{0}, n);
+    return;
+  }
+  // A few chunks per worker evens out skew without per-item dispatch cost.
+  const std::size_t chunks = std::min(n, pool->num_workers() * 4);
+  const std::size_t step = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t begin = 0; begin < n; begin += step) {
+    const std::size_t end = std::min(n, begin + step);
+    futures.push_back(pool->Submit([&fn, begin, end] { fn(begin, end); }));
+  }
+  for (std::future<void>& f : futures) f.get();
+}
+
 }  // namespace metaprobe
 
 #endif  // METAPROBE_COMMON_THREAD_POOL_H_

@@ -1,6 +1,7 @@
 #include "core/hidden_web_database.h"
 
 #include "common/macros.h"
+#include "common/thread_pool.h"
 #include "core/relevancy_definition.h"
 #include "index/index_metrics.h"
 
@@ -106,16 +107,22 @@ Result<std::vector<double>> LocalDatabase::ProbeBatch(
       term_lists.reserve(queries.size());
       for (const Query* query : queries) term_lists.push_back(&query->terms);
       std::vector<std::uint64_t> counts =
-          index_.CountConjunctiveBatch(term_lists);
+          index_.CountConjunctiveBatch(term_lists, batch_pool_);
       for (std::size_t i = 0; i < counts.size(); ++i) {
         relevancies[i] = static_cast<double>(counts[i]);
       }
       return relevancies;
     }
     case RelevancyDefinition::kDocumentSimilarity: {
-      for (std::size_t i = 0; i < queries.size(); ++i) {
-        relevancies[i] = index_.BestCosineScore(queries[i]->terms);
-      }
+      // Each query scores independently and writes only its own slot, so
+      // fanning across the pool reproduces the sequential result exactly.
+      ParallelForRanges(batch_pool_, queries.size(),
+                        [&](std::size_t begin, std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i) {
+                            relevancies[i] =
+                                index_.BestCosineScore(queries[i]->terms);
+                          }
+                        });
       return relevancies;
     }
   }

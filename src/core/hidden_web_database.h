@@ -125,10 +125,20 @@ class LocalDatabase : public HiddenWebDatabase {
   /// evaluation harnesses (never by selection algorithms).
   const index::InvertedIndex& index_for_summaries() const { return index_; }
 
+  /// \brief Installs a worker pool for ProbeBatch fan-out (not owned; must
+  /// outlive the database, or be reset to null first). Results are
+  /// byte-identical with or without a pool — parallelism only changes
+  /// wall-clock. The batch caller blocks on the fan-out, so the pool must
+  /// not be one whose own workers issue ProbeBatch against this database
+  /// (the pool does no work stealing — the leaf-task rule of
+  /// ThreadPool::Submit). Passing nullptr restores the sequential path.
+  void set_batch_pool(ThreadPool* pool) { batch_pool_ = pool; }
+
  private:
   std::string name_;
   index::InvertedIndex index_;
   std::shared_ptr<index::DocumentStore> documents_;
+  ThreadPool* batch_pool_ = nullptr;
   mutable std::atomic<std::uint64_t> queries_served_{0};
 };
 

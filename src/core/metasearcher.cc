@@ -84,6 +84,18 @@ Metasearcher::Metasearcher(MetasearcherOptions options)
             std::memory_order_relaxed));
       });
   registry_.RegisterCallbackGauge(
+      "metaprobe_index_blocks_wand_skipped_total", "", []() {
+        return static_cast<double>(
+            index::IndexCounters::wand_blocks_skipped.load(
+                std::memory_order_relaxed));
+      });
+  registry_.RegisterCallbackGauge(
+      "metaprobe_index_simd_intersections_total", "", []() {
+        return static_cast<double>(
+            index::IndexCounters::simd_intersections.load(
+                std::memory_order_relaxed));
+      });
+  registry_.RegisterCallbackGauge(
       "metaprobe_probe_batch_size", "", []() {
         return static_cast<double>(
             index::IndexCounters::last_probe_batch_size.load(

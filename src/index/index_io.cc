@@ -2,7 +2,7 @@
 //
 // Layout (little-endian fixed-width integers):
 //   magic   "MPIX"
-//   u32     format version (2)
+//   u32     format version (3)
 //   u32     num_docs
 //   u64     total_tokens
 //   u64     num_terms
@@ -12,15 +12,19 @@
 //     u64   encoded payload byte length, then the payload
 //
 // The envelope is identical across versions; only the per-term payload
-// codec differs. Version 2 payloads are the block format produced by
-// PostingList::EncodePayload (per-block directory + frame-of-reference
-// bit-packed sections); version 1 payloads are the legacy varint stream
-// (see varint_codec.h) and remain loadable — the reader dispatches on the
-// version field, so indexes written by older builds keep working.
+// codec differs. Version 3 payloads are the block format produced by
+// PostingList::EncodePayload (per-block directory with max-tf entries +
+// frame-of-reference bit-packed sections); version 2 lacks the max-tf
+// field (the maxima are recovered by decoding the tf sections once on
+// load); version 1 payloads are the legacy varint stream (see
+// varint_codec.h). All three remain loadable — the reader dispatches on
+// the version field, so indexes written by older builds keep working.
 //
-// Scoring structures (idf, document norms) are derived data and are
-// recomputed on load, which doubles as a deep validation pass: every
-// posting is decoded, bounds-checked against num_docs and monotonicity.
+// Scoring structures (idf, document norms, WAND block bounds) are derived
+// data and are recomputed on load, which doubles as a deep validation
+// pass: every posting is decoded, bounds-checked against num_docs and
+// monotonicity, and every v3 directory max-tf entry is cross-checked
+// against the decoded tf values.
 
 #include <array>
 #include <cstring>
@@ -35,11 +39,13 @@ namespace index {
 namespace {
 
 constexpr char kMagic[4] = {'M', 'P', 'I', 'X'};
-constexpr std::uint32_t kFormatVersion = 2;
+constexpr std::uint32_t kFormatVersion = 3;
 constexpr std::uint32_t kOldestReadableVersion = 1;
 constexpr std::uint32_t kMaxTermBytes = 1 << 16;
-// Serialized size of one v2 block-directory entry (see posting_list.cc).
+// Serialized sizes of one block-directory entry per format version (see
+// posting_list.cc); v3 entries carry the extra u32 max-tf field.
 constexpr std::uint64_t kV2DirEntryBytes = 10;
+constexpr std::uint64_t kV3DirEntryBytes = 14;
 // Minimum serialized footprint of one term entry: length, one term byte,
 // posting count, payload length.
 constexpr std::uint64_t kMinTermEntryBytes = 4 + 1 + 4 + 8;
@@ -174,13 +180,16 @@ Result<InvertedIndex> InvertedIndex::LoadFrom(std::istream& is) {
       return Status::InvalidArgument("payload length exceeds file size");
     }
     // Version-specific floor on the payload size: v1 spends at least two
-    // varint bytes per posting, v2 at least one directory entry per block.
+    // varint bytes per posting, v2/v3 at least one directory entry per
+    // block.
+    const std::uint64_t blocks =
+        (static_cast<std::uint64_t>(posting_count) +
+         PostingList::kBlockSize - 1) /
+        PostingList::kBlockSize;
     const std::uint64_t min_payload =
-        version == 1
-            ? static_cast<std::uint64_t>(posting_count) * 2
-            : (static_cast<std::uint64_t>(posting_count) +
-               PostingList::kBlockSize - 1) /
-                  PostingList::kBlockSize * kV2DirEntryBytes;
+        version == 1 ? static_cast<std::uint64_t>(posting_count) * 2
+        : version == 2 ? blocks * kV2DirEntryBytes
+                       : blocks * kV3DirEntryBytes;
     if (min_payload > payload_bytes) {
       return Status::InvalidArgument("posting count exceeds payload");
     }
@@ -191,9 +200,11 @@ Result<InvertedIndex> InvertedIndex::LoadFrom(std::istream& is) {
       return Status::IoError("index file truncated (postings)");
     }
     Result<PostingList> list =
-        version == 1 ? PostingList::FromV1Encoded(posting_count, payload)
-                     : PostingList::FromEncoded(posting_count,
-                                                std::move(payload));
+        version == 1   ? PostingList::FromV1Encoded(posting_count, payload)
+        : version == 2 ? PostingList::FromV2Encoded(posting_count,
+                                                    std::move(payload))
+                       : PostingList::FromEncoded(posting_count,
+                                                  std::move(payload));
     if (!list.ok()) return list.status();
     index.postings_.push_back(std::move(list).ValueOrDie());
   }

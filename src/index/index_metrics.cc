@@ -5,6 +5,8 @@ namespace index {
 
 std::atomic<std::uint64_t> IndexCounters::blocks_decoded{0};
 std::atomic<std::uint64_t> IndexCounters::blocks_skipped{0};
+std::atomic<std::uint64_t> IndexCounters::wand_blocks_skipped{0};
+std::atomic<std::uint64_t> IndexCounters::simd_intersections{0};
 std::atomic<std::uint64_t> IndexCounters::batch_probe_queries{0};
 std::atomic<std::uint64_t> IndexCounters::batch_probe_calls{0};
 std::atomic<std::uint64_t> IndexCounters::last_probe_batch_size{0};

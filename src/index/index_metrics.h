@@ -22,6 +22,13 @@ struct IndexCounters {
   static std::atomic<std::uint64_t> blocks_decoded;
   /// Blocks bypassed via the max-doc directory without decoding.
   static std::atomic<std::uint64_t> blocks_skipped;
+  /// Blocks the WAND scorer certified un-competitive via their block-max
+  /// bound and then cleared without evaluating: their remaining postings
+  /// are never scored and their tf sections never decoded.
+  static std::atomic<std::uint64_t> wand_blocks_skipped;
+  /// SIMD span-pair intersection kernel invocations (dense conjunctive
+  /// path); counts calls whichever kernel dispatch selected.
+  static std::atomic<std::uint64_t> simd_intersections;
   /// Queries routed through a batched probe call.
   static std::atomic<std::uint64_t> batch_probe_queries;
   /// Batched probe calls.
@@ -40,6 +47,22 @@ struct IndexCounters {
   static void CountBlocksSkipped(std::uint64_t n) {
 #ifndef METAPROBE_OBS_DISABLED
     if (n > 0) blocks_skipped.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  static void CountWandBlocksSkipped(std::uint64_t n) {
+#ifndef METAPROBE_OBS_DISABLED
+    if (n > 0) wand_blocks_skipped.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  static void CountSimdIntersections(std::uint64_t n) {
+#ifndef METAPROBE_OBS_DISABLED
+    simd_intersections.fetch_add(n, std::memory_order_relaxed);
 #else
     (void)n;
 #endif

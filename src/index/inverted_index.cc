@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "common/macros.h"
+#include "common/thread_pool.h"
+#include "index/index_metrics.h"
+#include "index/simd_intersect.h"
 
 namespace metaprobe {
 namespace index {
@@ -70,19 +75,72 @@ Status InvertedIndex::FinalizeScoring(std::uint32_t num_docs) {
     // Smoothed idf keeps terms present in every document from zeroing out.
     double idf = std::log((n + 1.0) / (static_cast<double>(list.size()) + 0.5));
     idf_[t] = idf;
+    // This pass touches every tf anyway, so it doubles as the deep
+    // validation of the v3 directory maxima: a block whose postings do not
+    // reach (or exceed) its claimed max_tf would hand WAND an unsound
+    // bound, so it is rejected here at load/build time.
+    std::size_t span = 0;
+    std::uint32_t span_max_seen = 0;
     for (auto it = list.begin(); it.Valid(); it.Next()) {
       if (it.doc() >= num_docs) {
         return Status::InvalidArgument("posting references DocId ", it.doc(),
                                        " but the index has ", num_docs,
                                        " documents");
       }
+      if (it.span_index() != span) {
+        if (span_max_seen != list.span_max_tf(span)) {
+          return Status::InvalidArgument(
+              "block ", span, " claims max tf ", list.span_max_tf(span),
+              " but its postings reach ", span_max_seen);
+        }
+        span = it.span_index();
+        span_max_seen = 0;
+      }
+      span_max_seen = std::max(span_max_seen, it.tf());
       double w = (1.0 + std::log(static_cast<double>(it.tf()))) * idf;
       norms_sq[it.doc()] += w * w;
+    }
+    if (span_max_seen != list.span_max_tf(span)) {
+      return Status::InvalidArgument(
+          "block ", span, " claims max tf ", list.span_max_tf(span),
+          " but its postings reach ", span_max_seen);
     }
   }
   doc_norms_.resize(norms_sq.size());
   for (std::size_t d = 0; d < norms_sq.size(); ++d) {
     doc_norms_[d] = norms_sq[d] > 0.0 ? std::sqrt(norms_sq[d]) : 1.0;
+  }
+
+  // Second pass: per-span WAND score bounds. Only the gap sections are
+  // decoded — the tf side of each bound comes from the directory max_tf
+  // validated above. The slack factor keeps the stored bound a few ulps
+  // above the true maximum so no floating-point rounding of the
+  // bound-product can ever prune a document the exhaustive scorer keeps.
+  constexpr double kBoundSlack = 1.0 + 1e-12;
+  span_bounds_.assign(postings_.size(), {});
+  max_impact_.assign(postings_.size(), 0.0);
+  for (std::size_t t = 0; t < postings_.size(); ++t) {
+    const PostingList& list = postings_[t];
+    if (list.empty()) continue;
+    std::vector<double>& bounds = span_bounds_[t];
+    bounds.assign(list.num_spans(), 0.0);
+    std::size_t span = 0;
+    double inv_norm_max = 0.0;
+    auto flush = [&](std::size_t s) {
+      const double tf_side =
+          1.0 + std::log(static_cast<double>(list.span_max_tf(s)));
+      bounds[s] = tf_side * idf_[t] * inv_norm_max * kBoundSlack;
+    };
+    for (auto it = list.begin(); it.Valid(); it.Next()) {
+      if (it.span_index() != span) {
+        flush(span);
+        span = it.span_index();
+        inv_norm_max = 0.0;
+      }
+      inv_norm_max = std::max(inv_norm_max, 1.0 / doc_norms_[it.doc()]);
+    }
+    flush(span);
+    max_impact_[t] = *std::max_element(bounds.begin(), bounds.end());
   }
   return Status::OK();
 }
@@ -100,6 +158,40 @@ const PostingList* InvertedIndex::Postings(std::string_view term) const {
 }
 
 template <typename Fn>
+void InvertedIndex::DenseIntersectPair(const PostingList& a,
+                                       const PostingList& b, Fn fn) const {
+  PostingList::Iterator ia = a.begin();
+  PostingList::Iterator ib = b.begin();
+  DocId matches[PostingList::kBlockSize];
+  while (ia.Valid() && ib.Valid()) {
+    // Align the decoded spans: a span wholly before the other cursor's
+    // document is jumped via the directory, not scanned.
+    if (ia.span_last() < ib.doc()) {
+      ia.SkipTo(ib.doc());
+      continue;
+    }
+    if (ib.span_last() < ia.doc()) {
+      ib.SkipTo(ia.doc());
+      continue;
+    }
+    // Overlapping spans: hand both contiguous remainders to the SIMD
+    // kernel. Everything up to the earlier span end is fully resolved by
+    // this one call.
+    const std::size_t n =
+        IntersectSorted(ia.span_remaining(), ia.span_remaining_len(),
+                        ib.span_remaining(), ib.span_remaining_len(), matches);
+    IndexCounters::CountSimdIntersections(1);
+    for (std::size_t m = 0; m < n; ++m) {
+      if (!fn(matches[m])) return;
+    }
+    const DocId boundary = std::min(ia.span_last(), ib.span_last());
+    if (boundary == std::numeric_limits<DocId>::max()) return;
+    ia.SkipTo(boundary + 1);
+    ib.SkipTo(boundary + 1);
+  }
+}
+
+template <typename Fn>
 void InvertedIndex::IntersectPostings(std::vector<const PostingList*> lists,
                                       Fn fn) const {
   // Rarest list drives the intersection.
@@ -107,6 +199,14 @@ void InvertedIndex::IntersectPostings(std::vector<const PostingList*> lists,
             [](const PostingList* a, const PostingList* b) {
               return a->size() < b->size();
             });
+  // Dense pairs — both lists at least a block, sizes within 8x — are
+  // better served by the vector merge over whole decoded spans than by the
+  // gallop, which advances a couple of postings per branchy probe.
+  if (lists.size() == 2 && lists[0]->size() >= PostingList::kBlockSize &&
+      lists[1]->size() <= static_cast<std::uint64_t>(lists[0]->size()) * 8) {
+    DenseIntersectPair(*lists[0], *lists[1], std::move(fn));
+    return;
+  }
   std::vector<PostingList::Iterator> its;
   its.reserve(lists.size());
   for (const PostingList* list : lists) its.push_back(list->begin());
@@ -169,47 +269,76 @@ std::uint64_t InvertedIndex::CountConjunctive(
 }
 
 std::vector<std::uint64_t> InvertedIndex::CountConjunctiveBatch(
-    const std::vector<const std::vector<std::string>*>& queries) const {
+    const std::vector<const std::vector<std::string>*>& queries,
+    ThreadPool* pool) const {
   std::vector<std::uint64_t> counts(queries.size(), 0);
-  // Memoized term -> posting-list resolution. The views key into the
-  // callers' term strings, which outlive this call.
+
+  // Phase 1 (sequential): memoized term -> posting-list resolution plus
+  // per-query canonicalization. Each distinct term costs one hash across
+  // the whole batch, and each query's lists are deduplicated and ordered
+  // rarest-first exactly once here — the intersections below never touch
+  // strings again. The views key into the callers' term strings, which
+  // outlive this call.
   std::unordered_map<std::string_view, const PostingList*> resolved;
-  std::vector<const PostingList*> lists;
+  std::vector<std::vector<const PostingList*>> canonical(queries.size());
+  std::vector<const PostingList*> scratch;
   for (std::size_t q = 0; q < queries.size(); ++q) {
-    std::vector<std::string_view> unique = UniqueTerms(*queries[q]);
-    if (unique.empty()) continue;
-    lists.clear();
+    const std::vector<std::string>& terms = *queries[q];
+    if (terms.empty()) continue;
+    scratch.clear();
     bool missing_term = false;
-    for (std::string_view term : unique) {
+    for (const std::string& term : terms) {
       auto [it, inserted] = resolved.try_emplace(term, nullptr);
       if (inserted) it->second = Postings(term);
       if (it->second == nullptr) {
         missing_term = true;
         break;
       }
-      lists.push_back(it->second);
+      scratch.push_back(it->second);
     }
     if (missing_term) continue;
-    if (lists.size() == 1) {
-      counts[q] = lists[0]->size();
+    // Distinct terms own distinct lists, so pointer identity is term
+    // identity: one (size, pointer) sort both orders the intersection
+    // rarest-first and makes duplicate terms adjacent for removal.
+    std::sort(scratch.begin(), scratch.end(),
+              [](const PostingList* a, const PostingList* b) {
+                if (a->size() != b->size()) return a->size() < b->size();
+                return a < b;
+              });
+    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+    if (scratch.size() == 1) {
+      counts[q] = scratch[0]->size();
       continue;
     }
-    std::uint64_t count = 0;
-    IntersectPostings(lists, [&count](DocId) {
-      ++count;
-      return true;
-    });
-    counts[q] = count;
+    canonical[q] = scratch;
   }
+
+  // Phase 2: the intersections, embarrassingly parallel — every chunk
+  // reads shared immutable state and writes only its own count slots, so
+  // pooled and sequential execution produce identical results.
+  ParallelForRanges(pool, queries.size(), [this, &canonical, &counts](
+                                              std::size_t begin,
+                                              std::size_t end) {
+    for (std::size_t q = begin; q < end; ++q) {
+      if (canonical[q].empty()) continue;
+      std::uint64_t count = 0;
+      IntersectPostings(canonical[q], [&count](DocId) {
+        ++count;
+        return true;
+      });
+      counts[q] = count;
+    }
+  });
   return counts;
 }
 
 std::vector<std::uint64_t> InvertedIndex::CountConjunctiveBatch(
-    const std::vector<std::vector<std::string>>& queries) const {
+    const std::vector<std::vector<std::string>>& queries,
+    ThreadPool* pool) const {
   std::vector<const std::vector<std::string>*> ptrs;
   ptrs.reserve(queries.size());
   for (const std::vector<std::string>& q : queries) ptrs.push_back(&q);
-  return CountConjunctiveBatch(ptrs);
+  return CountConjunctiveBatch(ptrs, pool);
 }
 
 std::vector<DocId> InvertedIndex::FindConjunctive(
@@ -231,25 +360,46 @@ std::vector<DocId> InvertedIndex::FindConjunctive(
   return docs;
 }
 
-std::vector<ScoredDoc> InvertedIndex::TopKCosine(
-    const std::vector<std::string>& terms, std::size_t k) const {
-  std::vector<ScoredDoc> result;
-  if (k == 0 || terms.empty()) return result;
-
-  // Query-side ltc weights over deduplicated terms.
-  std::unordered_map<text::TermId, std::uint32_t> query_tf;
+std::vector<std::pair<text::TermId, std::uint32_t>>
+InvertedIndex::QueryTermFreqs(const std::vector<std::string>& terms) const {
+  std::vector<std::pair<text::TermId, std::uint32_t>> out;
+  out.reserve(terms.size());
   for (const std::string& term : terms) {
     text::TermId id = vocab_.Lookup(term);
     if (id != text::kInvalidTermId && id < postings_.size() &&
         !postings_[id].empty()) {
-      ++query_tf[id];
+      out.push_back({id, 1});
     }
   }
-  if (query_tf.empty()) return result;
+  std::sort(out.begin(), out.end());
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < out.size();) {
+    std::size_t j = i;
+    std::uint32_t qtf = 0;
+    while (j < out.size() && out[j].first == out[i].first) {
+      ++qtf;
+      ++j;
+    }
+    out[w++] = {out[i].first, qtf};
+    i = j;
+  }
+  out.resize(w);
+  return out;
+}
 
+std::vector<ScoredDoc> InvertedIndex::TopKCosineExhaustive(
+    const std::vector<std::string>& terms, std::size_t k) const {
+  std::vector<ScoredDoc> result;
+  if (k == 0 || terms.empty()) return result;
+  const auto query = QueryTermFreqs(terms);
+  if (query.empty()) return result;
+
+  // Accumulation runs in ascending TermId order — the order the WAND
+  // driver replays per document, which is what makes the two scorers
+  // bit-identical.
   double query_norm_sq = 0.0;
   std::unordered_map<DocId, double> accumulator;
-  for (const auto& [id, qtf] : query_tf) {
+  for (const auto& [id, qtf] : query) {
     double qw = (1.0 + std::log(static_cast<double>(qtf))) * idf_[id];
     query_norm_sq += qw * qw;
     for (auto it = postings_[id].begin(); it.Valid(); it.Next()) {
@@ -271,6 +421,174 @@ std::vector<ScoredDoc> InvertedIndex::TopKCosine(
                     });
   result.resize(keep);
   return result;
+}
+
+std::vector<ScoredDoc> InvertedIndex::TopKCosine(
+    const std::vector<std::string>& terms, std::size_t k) const {
+  std::vector<ScoredDoc> result;
+  if (k == 0 || terms.empty()) return result;
+  const auto query = QueryTermFreqs(terms);
+  if (query.empty()) return result;
+
+  struct Cursor {
+    PostingList::Iterator it;
+    const PostingList* list;
+    const double* bounds;  // per-span score bounds of this term's list
+    double qw;
+    double idf;
+    double list_ub;  // qw * max bound across spans
+    text::TermId id;
+  };
+  double query_norm_sq = 0.0;
+  std::vector<Cursor> storage;
+  storage.reserve(query.size());
+  for (const auto& [id, qtf] : query) {
+    const double qw = (1.0 + std::log(static_cast<double>(qtf))) * idf_[id];
+    query_norm_sq += qw * qw;
+    storage.push_back({postings_[id].begin(), &postings_[id],
+                       span_bounds_[id].data(), qw, idf_[id],
+                       qw * max_impact_[id], id});
+  }
+  const double query_norm =
+      query_norm_sq > 0.0 ? std::sqrt(query_norm_sq) : 1.0;
+
+  // Worst-at-front heap of final scores under the exhaustive ordering
+  // (score desc, DocId asc), so threshold pruning — strict `< theta` only —
+  // and tie handling agree with TopKCosineExhaustive exactly. Candidates
+  // arrive in strictly increasing DocId order, so an incumbent tied on
+  // score always has the smaller DocId and correctly survives.
+  auto better = [](const ScoredDoc& x, const ScoredDoc& y) {
+    if (x.score != y.score) return x.score > y.score;
+    return x.doc < y.doc;
+  };
+  std::vector<ScoredDoc> heap;
+  heap.reserve(k);
+  double theta = -1.0;  // below any real score until the heap fills
+
+  auto doc_order = [](const Cursor* x, const Cursor* y) {
+    if (x->it.doc() != y->it.doc()) return x->it.doc() < y->it.doc();
+    return x->id < y->id;
+  };
+  std::vector<Cursor*> cursors;
+  cursors.reserve(storage.size());
+  for (Cursor& c : storage) cursors.push_back(&c);
+  std::sort(cursors.begin(), cursors.end(), doc_order);
+
+  constexpr DocId kMaxDoc = std::numeric_limits<DocId>::max();
+  std::uint64_t wand_skipped_blocks = 0;
+  std::vector<std::size_t> pivot_spans;  // refinement scratch
+
+  while (!cursors.empty()) {
+    // Pivot: shortest cursor prefix whose summed list-level bounds could
+    // reach the threshold, extended over cursors sharing the pivot's
+    // document. Bounds divide by query_norm before comparing so they live
+    // in the same final-score space as theta (division is monotone, so an
+    // upper bound stays an upper bound).
+    double acc = 0.0;
+    std::size_t pivot = cursors.size();
+    for (std::size_t i = 0; i < cursors.size(); ++i) {
+      acc += cursors[i]->list_ub;
+      if (acc / query_norm >= theta) {
+        pivot = i;
+        break;
+      }
+    }
+    if (pivot == cursors.size()) break;  // nothing left can enter the top k
+    const DocId pivot_doc = cursors[pivot]->it.doc();
+    while (pivot + 1 < cursors.size() &&
+           cursors[pivot + 1]->it.doc() == pivot_doc) {
+      ++pivot;
+    }
+
+    // Refine with the per-block bounds at pivot_doc (directory lookups
+    // only — nothing is decoded). A cursor whose list ends before
+    // pivot_doc contributes nothing and imposes no span boundary.
+    double block_acc = 0.0;
+    DocId min_span_last = kMaxDoc;
+    pivot_spans.assign(pivot + 1, 0);
+    for (std::size_t i = 0; i <= pivot; ++i) {
+      const Cursor* c = cursors[i];
+      const std::size_t s =
+          c->list->FindSpanContaining(pivot_doc, c->it.span_index());
+      pivot_spans[i] = s;
+      if (s < c->list->num_spans()) {
+        block_acc += c->qw * c->bounds[s];
+        min_span_last = std::min(min_span_last, c->list->span_last_doc(s));
+      }
+    }
+
+    if (block_acc / query_norm >= theta) {
+      if (cursors[0]->it.doc() == pivot_doc) {
+        // Every cursor up to the pivot sits on pivot_doc: evaluate it.
+        // The prefix is ordered by TermId (doc_order tie rule), giving the
+        // exhaustive scorer's exact accumulation sequence.
+        double sum = 0.0;
+        for (std::size_t i = 0; i < cursors.size() &&
+                                cursors[i]->it.doc() == pivot_doc;
+             ++i) {
+          Cursor* c = cursors[i];
+          const double dw =
+              (1.0 + std::log(static_cast<double>(c->it.tf()))) * c->idf;
+          sum += c->qw * dw / doc_norms_[pivot_doc];
+          c->it.Next();
+        }
+        const ScoredDoc candidate{pivot_doc, sum / query_norm};
+        if (heap.size() < k) {
+          heap.push_back(candidate);
+          std::push_heap(heap.begin(), heap.end(), better);
+          if (heap.size() == k) theta = heap.front().score;
+        } else if (better(candidate, heap.front())) {
+          std::pop_heap(heap.begin(), heap.end(), better);
+          heap.back() = candidate;
+          std::push_heap(heap.begin(), heap.end(), better);
+          theta = heap.front().score;
+        }
+      } else {
+        // A cursor below the pivot trails it: advance the trailing cursor
+        // with the largest bound up to the pivot document.
+        std::size_t which = cursors.size();
+        for (std::size_t i = 0; i < pivot; ++i) {
+          if (cursors[i]->it.doc() < pivot_doc &&
+              (which == cursors.size() ||
+               cursors[i]->list_ub > cursors[which]->list_ub)) {
+            which = i;
+          }
+        }
+        cursors[which]->it.SkipTo(pivot_doc);
+      }
+    } else {
+      // Block-max pruning: the blocks holding pivot_doc cannot reach the
+      // threshold, so every cursor in the prefix jumps past the earliest
+      // of those blocks (or to the next cursor's document, whichever is
+      // nearer) without decoding anything in between.
+      const std::uint64_t next_doc =
+          pivot + 1 < cursors.size()
+              ? cursors[pivot + 1]->it.doc()
+              : static_cast<std::uint64_t>(kMaxDoc) + 1;
+      const std::uint64_t target = std::min(
+          static_cast<std::uint64_t>(min_span_last) + 1, next_doc);
+      if (target > kMaxDoc) break;  // current spans reach the DocId horizon
+      const DocId skip_to = static_cast<DocId>(target);
+      for (std::size_t i = 0; i <= pivot; ++i) {
+        Cursor* c = cursors[i];
+        const std::size_t s = pivot_spans[i];
+        // The span holding pivot_doc was certified un-competitive; if the
+        // skip clears it, that block was pruned — its postings past the
+        // cursor are never evaluated and its tf section never decoded.
+        if (s < c->list->num_spans() && skip_to > c->list->span_last_doc(s)) {
+          ++wand_skipped_blocks;
+        }
+        c->it.SkipTo(skip_to);
+      }
+    }
+
+    std::erase_if(cursors, [](const Cursor* c) { return !c->it.Valid(); });
+    std::sort(cursors.begin(), cursors.end(), doc_order);
+  }
+
+  IndexCounters::CountWandBlocksSkipped(wand_skipped_blocks);
+  std::sort_heap(heap.begin(), heap.end(), better);
+  return heap;
 }
 
 double InvertedIndex::BestCosineScore(

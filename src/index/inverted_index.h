@@ -15,6 +15,9 @@
 #include "text/vocabulary.h"
 
 namespace metaprobe {
+
+class ThreadPool;
+
 namespace index {
 
 /// \brief A document with its retrieval score.
@@ -101,13 +104,24 @@ class InvertedIndex {
   /// vector holds `CountConjunctive(*queries[i])` at position i. Term
   /// lookups are memoized across the batch, so repeated vocabulary probes
   /// (ubiquitous in ED-learning sweeps, where every query classifies
-  /// against the same vocabulary) cost one hash each.
+  /// against the same vocabulary) cost one hash each; each query's terms
+  /// are canonicalized (resolved, deduplicated, ordered by list size) once
+  /// during that memoization pass, never re-sorted per intersection.
+  ///
+  /// With a non-null `pool` the intersections fan out across its workers
+  /// after the sequential canonicalization pass; every query writes only
+  /// its own slot, so the result is identical to the sequential path. The
+  /// caller blocks on the fan-out, so `pool` must not be a pool whose
+  /// workers themselves issue this call (the pool does no work stealing —
+  /// same leaf-task rule as ProbingContext::pool).
   std::vector<std::uint64_t> CountConjunctiveBatch(
-      const std::vector<const std::vector<std::string>*>& queries) const;
+      const std::vector<const std::vector<std::string>*>& queries,
+      ThreadPool* pool = nullptr) const;
 
   /// \brief Convenience overload over owned term lists.
   std::vector<std::uint64_t> CountConjunctiveBatch(
-      const std::vector<std::vector<std::string>>& queries) const;
+      const std::vector<std::vector<std::string>>& queries,
+      ThreadPool* pool = nullptr) const;
 
   /// \brief DocIds of up to `limit` conjunctive matches, ascending.
   std::vector<DocId> FindConjunctive(const std::vector<std::string>& terms,
@@ -115,8 +129,23 @@ class InvertedIndex {
 
   /// \brief Top-k documents by tf-idf cosine similarity to the bag of
   /// `terms` (lnc.ltc weighting), best first; ties broken by lower DocId.
+  ///
+  /// Implemented as a block-max WAND driver: document-ordered cursors over
+  /// the query's posting lists, a running k-th-best threshold, and
+  /// per-block score upper bounds (from the format-v3 max-tf directory)
+  /// that let it skip whole blocks — and their tf sections — that cannot
+  /// beat the threshold. Every contribution a surviving document
+  /// accumulates is evaluated with the exact operation sequence of
+  /// `TopKCosineExhaustive`, so the two return bit-identical scores and
+  /// identical tie order.
   std::vector<ScoredDoc> TopKCosine(const std::vector<std::string>& terms,
                                     std::size_t k) const;
+
+  /// \brief Reference scorer: decodes every posting of every query term
+  /// and ranks exhaustively. Kept as the oracle the WAND driver is
+  /// property-tested (and benchmarked) against.
+  std::vector<ScoredDoc> TopKCosineExhaustive(
+      const std::vector<std::string>& terms, std::size_t k) const;
 
   /// \brief Score of the single best document, 0 when nothing matches. This
   /// is the document-similarity relevancy r(db, q) of Section 2.1.
@@ -138,19 +167,44 @@ class InvertedIndex {
  private:
   friend class Builder;
 
-  // Recomputes idf_ and doc_norms_ from the posting lists; fails if any
-  // posting references a DocId >= num_docs.
+  // Recomputes idf_, doc_norms_ and the per-block WAND score bounds from
+  // the posting lists; fails if any posting references a DocId >= num_docs
+  // or carries a tf exceeding its block's directory max (deep validation
+  // of the v3 max-tf entries on load).
   Status FinalizeScoring(std::uint32_t num_docs);
 
   // Leapfrog-intersects the posting lists, invoking `fn(DocId)` per match;
-  // returns early when `fn` returns false.
+  // returns early when `fn` returns false. Dense two-list intersections
+  // route through the SIMD span kernel (DenseIntersectPair).
   template <typename Fn>
   void IntersectPostings(std::vector<const PostingList*> lists, Fn fn) const;
+
+  // Kept out of line: inlining the dense kernel (two ~1.2 KiB iterators
+  // plus the SIMD call) into IntersectPostings degrades the leapfrog
+  // loop's register allocation and code layout, measurably slowing 3+-list
+  // intersections that never take the dense branch.
+  template <typename Fn>
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((noinline))
+#endif
+  void DenseIntersectPair(const PostingList& a, const PostingList& b,
+                          Fn fn) const;
+
+  // Resolves `terms` to (TermId, query tf) pairs over known non-empty
+  // terms, sorted by TermId — the deterministic accumulation order both
+  // scorers share.
+  std::vector<std::pair<text::TermId, std::uint32_t>> QueryTermFreqs(
+      const std::vector<std::string>& terms) const;
 
   text::Vocabulary vocab_;
   std::vector<PostingList> postings_;
   std::vector<double> doc_norms_;  // lnc vector norms for cosine scoring
   std::vector<double> idf_;        // ln(N / df) per term
+  // Per term, per span: upper bound on (1 + ln tf) * idf / doc_norm over
+  // the span's postings (a hair above the true maximum — see
+  // FinalizeScoring); max_impact_ is the per-term maximum across spans.
+  std::vector<std::vector<double>> span_bounds_;
+  std::vector<double> max_impact_;
   std::uint64_t total_tokens_ = 0;
 };
 

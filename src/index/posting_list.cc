@@ -12,9 +12,11 @@ namespace index {
 
 namespace {
 
-// Serialized size of one directory entry: first_doc, last_doc (u32 LE each)
-// plus the two bit widths.
-constexpr std::size_t kDirEntryBytes = 4 + 4 + 1 + 1;
+// Serialized size of one v3 directory entry: first_doc, last_doc, max_tf
+// (u32 LE each) plus the two bit widths.
+constexpr std::size_t kDirEntryBytes = 4 + 4 + 4 + 1 + 1;
+// v2 entries lacked max_tf.
+constexpr std::size_t kV2DirEntryBytes = 4 + 4 + 1 + 1;
 
 void PutU32Le(std::uint32_t v, std::vector<std::uint8_t>* out) {
   out->push_back(static_cast<std::uint8_t>(v));
@@ -57,6 +59,7 @@ void PostingList::FlushTailBlock() {
   std::uint32_t gaps[kBlockSize - 1];
   std::uint32_t tfs[kBlockSize];
   std::uint32_t max_gap = 0;
+  std::uint32_t tf_or = 0;  // OR shares its bit width with the max
   std::uint32_t max_tf = 0;
   for (std::uint32_t i = 0; i + 1 < kBlockSize; ++i) {
     gaps[i] = tail_docs_[i + 1] - tail_docs_[i] - 1;
@@ -64,15 +67,40 @@ void PostingList::FlushTailBlock() {
   }
   for (std::uint32_t i = 0; i < kBlockSize; ++i) {
     tfs[i] = tail_tfs_[i] - 1;
-    max_tf |= tfs[i];
+    tf_or |= tfs[i];
+    max_tf = std::max(max_tf, tail_tfs_[i]);
   }
+  m.max_tf = max_tf;
   m.doc_bits = static_cast<std::uint8_t>(BitWidthOf(max_gap));
-  m.tf_bits = static_cast<std::uint8_t>(BitWidthOf(max_tf));
+  m.tf_bits = static_cast<std::uint8_t>(BitWidthOf(tf_or));
   PackBits(gaps, kBlockSize - 1, m.doc_bits, &bytes_);
   PackBits(tfs, kBlockSize, m.tf_bits, &bytes_);
   blocks_.push_back(m);
   tail_docs_.clear();
   tail_tfs_.clear();
+}
+
+std::uint32_t PostingList::span_max_tf(std::size_t s) const {
+  if (s < blocks_.size()) return blocks_[s].max_tf;
+  return *std::max_element(tail_tfs_.begin(), tail_tfs_.end());
+}
+
+std::size_t PostingList::FindSpanContaining(DocId target,
+                                            std::size_t from) const {
+  const std::size_t nb = blocks_.size();
+  if (from < nb) {
+    if (blocks_[from].last_doc >= target) return from;
+    auto it = std::lower_bound(
+        blocks_.begin() + static_cast<std::ptrdiff_t>(from + 1), blocks_.end(),
+        target, [](const BlockMeta& m, DocId t) { return m.last_doc < t; });
+    const std::size_t b = static_cast<std::size_t>(it - blocks_.begin());
+    if (b < nb) return b;
+    from = nb;
+  }
+  if (from == nb && !tail_docs_.empty() && tail_docs_.back() >= target) {
+    return nb;
+  }
+  return num_spans();
 }
 
 std::size_t PostingList::ByteSize() const {
@@ -103,19 +131,21 @@ std::vector<std::uint8_t> PostingList::EncodePayload() const {
   std::uint32_t tail_tfs[kBlockSize];
   std::uint32_t tail_doc_bits = 0;
   std::uint32_t tail_tf_bits = 0;
+  std::uint32_t tail_max_tf = 0;
   if (tail_n > 0) {
     std::uint32_t max_gap = 0;
-    std::uint32_t max_tf = 0;
+    std::uint32_t tf_or = 0;
     for (std::size_t i = 0; i + 1 < tail_n; ++i) {
       tail_gaps[i] = tail_docs_[i + 1] - tail_docs_[i] - 1;
       max_gap |= tail_gaps[i];
     }
     for (std::size_t i = 0; i < tail_n; ++i) {
       tail_tfs[i] = tail_tfs_[i] - 1;
-      max_tf |= tail_tfs[i];
+      tf_or |= tail_tfs[i];
+      tail_max_tf = std::max(tail_max_tf, tail_tfs_[i]);
     }
     tail_doc_bits = BitWidthOf(max_gap);
-    tail_tf_bits = BitWidthOf(max_tf);
+    tail_tf_bits = BitWidthOf(tf_or);
   }
 
   const std::size_t num_entries = blocks_.size() + (tail_n > 0 ? 1 : 0);
@@ -125,12 +155,14 @@ std::vector<std::uint8_t> PostingList::EncodePayload() const {
   for (const BlockMeta& m : blocks_) {
     PutU32Le(m.first_doc, &out);
     PutU32Le(m.last_doc, &out);
+    PutU32Le(m.max_tf, &out);
     out.push_back(m.doc_bits);
     out.push_back(m.tf_bits);
   }
   if (tail_n > 0) {
     PutU32Le(tail_docs_.front(), &out);
     PutU32Le(tail_docs_.back(), &out);
+    PutU32Le(tail_max_tf, &out);
     out.push_back(static_cast<std::uint8_t>(tail_doc_bits));
     out.push_back(static_cast<std::uint8_t>(tail_tf_bits));
   }
@@ -144,6 +176,17 @@ std::vector<std::uint8_t> PostingList::EncodePayload() const {
 
 Result<PostingList> PostingList::FromEncoded(std::uint32_t count,
                                              std::vector<std::uint8_t> bytes) {
+  return FromEncodedImpl(count, std::move(bytes), /*with_max_tf=*/true);
+}
+
+Result<PostingList> PostingList::FromV2Encoded(std::uint32_t count,
+                                               std::vector<std::uint8_t> bytes) {
+  return FromEncodedImpl(count, std::move(bytes), /*with_max_tf=*/false);
+}
+
+Result<PostingList> PostingList::FromEncodedImpl(std::uint32_t count,
+                                                 std::vector<std::uint8_t> bytes,
+                                                 bool with_max_tf) {
   PostingList list;
   if (count == 0) {
     if (!bytes.empty()) {
@@ -152,10 +195,11 @@ Result<PostingList> PostingList::FromEncoded(std::uint32_t count,
     }
     return list;
   }
+  const std::size_t entry_bytes = with_max_tf ? kDirEntryBytes : kV2DirEntryBytes;
   const std::size_t full_blocks = count / kBlockSize;
   const std::size_t tail_n = count % kBlockSize;
   const std::size_t num_entries = full_blocks + (tail_n > 0 ? 1 : 0);
-  const std::size_t dir_bytes = num_entries * kDirEntryBytes;
+  const std::size_t dir_bytes = num_entries * entry_bytes;
   if (bytes.size() < dir_bytes) {
     return Status::InvalidArgument("posting payload truncated: ", bytes.size(),
                                    " bytes cannot hold a ", num_entries,
@@ -166,6 +210,7 @@ Result<PostingList> PostingList::FromEncoded(std::uint32_t count,
   struct ParsedMeta {
     DocId first_doc;
     DocId last_doc;
+    std::uint32_t max_tf;
     std::uint32_t doc_bits;
     std::uint32_t tf_bits;
     std::uint32_t n;  // postings in this block
@@ -173,17 +218,30 @@ Result<PostingList> PostingList::FromEncoded(std::uint32_t count,
   std::vector<ParsedMeta> metas(num_entries);
   std::uint64_t payload_bytes = 0;
   for (std::size_t b = 0; b < num_entries; ++b) {
-    const std::uint8_t* p = bytes.data() + b * kDirEntryBytes;
+    const std::uint8_t* p = bytes.data() + b * entry_bytes;
     ParsedMeta& m = metas[b];
     m.first_doc = GetU32Le(p);
     m.last_doc = GetU32Le(p + 4);
-    m.doc_bits = p[8];
-    m.tf_bits = p[9];
+    if (with_max_tf) {
+      m.max_tf = GetU32Le(p + 8);
+      m.doc_bits = p[12];
+      m.tf_bits = p[13];
+    } else {
+      m.max_tf = 0;  // recovered from the decoded tf section below
+      m.doc_bits = p[8];
+      m.tf_bits = p[9];
+    }
     m.n = (tail_n > 0 && b + 1 == num_entries) ? static_cast<std::uint32_t>(tail_n)
                                                : kBlockSize;
     if (m.doc_bits > 32 || m.tf_bits > 32) {
       return Status::InvalidArgument("block ", b, " claims ", m.doc_bits, "/",
                                      m.tf_bits, " bit widths (max 32)");
+    }
+    if (with_max_tf &&
+        (m.max_tf == 0 || BitWidthOf(m.max_tf - 1) != m.tf_bits)) {
+      return Status::InvalidArgument("block ", b, " claims max tf ", m.max_tf,
+                                     " inconsistent with its ", m.tf_bits,
+                                     "-bit tf width");
     }
     if (static_cast<std::uint64_t>(m.first_doc) + (m.n - 1) >
         static_cast<std::uint64_t>(m.last_doc)) {
@@ -232,8 +290,21 @@ Result<PostingList> PostingList::FromEncoded(std::uint32_t count,
       meta.first_doc = m.first_doc;
       meta.last_doc = m.last_doc;
       meta.offset = list.bytes_.size();
+      meta.max_tf = m.max_tf;
       meta.doc_bits = static_cast<std::uint8_t>(m.doc_bits);
       meta.tf_bits = static_cast<std::uint8_t>(m.tf_bits);
+      if (!with_max_tf) {
+        // v2 payloads carry no per-block maxima: recover them by decoding
+        // the tf section once (re-encode on load).
+        std::uint32_t tfs[kBlockSize];
+        UnpackBits(bytes.data() + offset + gap_bytes,
+                   bytes.size() - offset - gap_bytes, m.n, m.tf_bits, tfs);
+        std::uint32_t max_tf = 0;
+        for (std::uint32_t i = 0; i < m.n; ++i) {
+          max_tf = std::max(max_tf, tfs[i] + 1);
+        }
+        meta.max_tf = max_tf;
+      }
       list.bytes_.insert(list.bytes_.end(), bytes.begin() + offset,
                          bytes.begin() + offset + gap_bytes + tf_bytes);
       list.blocks_.push_back(meta);
@@ -244,7 +315,16 @@ Result<PostingList> PostingList::FromEncoded(std::uint32_t count,
       list.tail_docs_.resize(m.n);
       list.tail_tfs_.resize(m.n);
       PrefixSumGaps(m.first_doc, gaps, m.n - 1, list.tail_docs_.data());
-      for (std::uint32_t i = 0; i < m.n; ++i) list.tail_tfs_[i] = tfs[i] + 1;
+      std::uint32_t max_tf = 0;
+      for (std::uint32_t i = 0; i < m.n; ++i) {
+        list.tail_tfs_[i] = tfs[i] + 1;
+        max_tf = std::max(max_tf, tfs[i] + 1);
+      }
+      if (with_max_tf && max_tf != m.max_tf) {
+        return Status::InvalidArgument("tail block claims max tf ", m.max_tf,
+                                       " but its tf section decodes to ",
+                                       max_tf);
+      }
     }
     offset += gap_bytes + tf_bytes;
   }

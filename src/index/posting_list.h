@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/result.h"
 
 namespace metaprobe {
@@ -23,21 +24,27 @@ struct Posting {
   bool operator==(const Posting&) const = default;
 };
 
-/// \brief Block-compressed posting list for a single term (format v2).
+/// \brief Block-compressed posting list for a single term (format v3).
 ///
 /// Postings are grouped into fixed blocks of `kBlockSize`. Each full block
 /// stores frame-of-reference bit-packed values: the 127 doc-id gaps (gap-1,
 /// since DocIds are strictly increasing) at the block's minimal bit width,
 /// followed by the 128 tf values (tf-1) at theirs. A per-block directory
-/// entry records the first and last DocId plus both bit widths, so
+/// entry records the first and last DocId, the block's maximum tf, and both
+/// bit widths, so
 /// * `Iterator::SkipTo` gallops over whole blocks via the `last_doc`
-///   maxima without decoding them, and
+///   maxima without decoding them,
 /// * the decoder unpacks an entire block into an aligned scratch buffer
 ///   with tight auto-vectorizable loops (SIMD prefix sum where available)
-///   instead of one varint branch per posting.
+///   instead of one varint branch per posting, and
+/// * block-max WAND scoring (inverted_index.cc) derives a per-block score
+///   upper bound from `max_tf` without touching the packed tf sections.
 /// The sub-block tail (< kBlockSize newest postings) stays uncompressed in
 /// memory and is bit-packed only on serialization, so `Append` never
 /// repacks and a freshly built list is immediately readable.
+///
+/// "Span" below means one decodable unit: each full block is a span, and
+/// the uncompressed tail (when non-empty) is the final span.
 ///
 /// Append order must be strictly increasing by DocId; the builder in
 /// inverted_index.cc guarantees this by construction.
@@ -61,6 +68,26 @@ class PostingList {
   /// \brief Releases excess capacity after building.
   void ShrinkToFit();
 
+  /// \brief Number of spans: full blocks plus the tail span when non-empty.
+  std::size_t num_spans() const {
+    return blocks_.size() + (tail_docs_.empty() ? 0 : 1);
+  }
+
+  /// \brief Largest DocId in span `s` (directory lookup, no decode).
+  DocId span_last_doc(std::size_t s) const {
+    return s < blocks_.size() ? blocks_[s].last_doc : tail_docs_.back();
+  }
+
+  /// \brief Largest tf in span `s` (directory lookup for full blocks, a
+  /// linear scan of the small in-memory tail otherwise).
+  std::uint32_t span_max_tf(std::size_t s) const;
+
+  /// \brief First span at or after `from` whose last DocId is >= `target`
+  /// — i.e. the span that would contain `target` — or `num_spans()` when
+  /// every remaining posting is smaller. Pure directory search, no decode;
+  /// this is the WAND driver's block-bound lookup.
+  std::size_t FindSpanContaining(DocId target, std::size_t from) const;
+
   /// \brief Forward decoder over the postings.
   ///
   /// Decodes one block at a time into an internal scratch buffer; tf values
@@ -81,9 +108,21 @@ class PostingList {
     }
     Posting posting() const { return {doc(), tf()}; }
 
+    /// \brief Index of the span the iterator is positioned in.
+    std::size_t span_index() const { return block_; }
+
+    /// \brief Largest DocId of the current (decoded) span.
+    DocId span_last() const { return docs_[span_len_ - 1]; }
+
+    /// \brief Pointer to the not-yet-consumed suffix of the decoded span
+    /// (starting at the current posting) and its length. The dense
+    /// intersection kernel feeds these contiguous runs to SIMD directly.
+    const DocId* span_remaining() const { return docs_ + idx_; }
+    std::uint32_t span_remaining_len() const { return span_len_ - idx_; }
+
     /// \brief Advances to the next posting. Inlined fast path: only a
     /// block boundary leaves the decoded span.
-    void Next() {
+    METAPROBE_ALWAYS_INLINE void Next() {
       if (pos_ >= list_->count_) return;
       ++pos_;
       if (++idx_ < span_len_ || pos_ >= list_->count_) return;
@@ -99,8 +138,10 @@ class PostingList {
     /// advance a handful of postings at a time through dense lists, so the
     /// answer is almost always within the first few slots and a full
     /// lower_bound wastes ~7 branchy probes. Leaving the span goes through
-    /// the out-of-line directory search.
-    void SkipTo(DocId target) {
+    /// the out-of-line directory search. Forced inline: the fast paths
+    /// must fold into the intersection loops even when the surrounding
+    /// translation unit exhausts the compiler's inline growth budget.
+    METAPROBE_ALWAYS_INLINE void SkipTo(DocId target) {
       if (pos_ >= list_->count_ || docs_[idx_] >= target) return;
       if (target > docs_[span_len_ - 1]) {
         SkipToNewSpan(target);
@@ -145,18 +186,27 @@ class PostingList {
   /// \brief Decodes the full list (tests and small-scale tooling).
   std::vector<Posting> Decode() const;
 
-  /// \brief Serializes the list into a self-contained v2 payload:
-  /// a directory of (first_doc, last_doc, doc_bits, tf_bits) entries — one
-  /// per block, the final one possibly partial — followed by the packed
-  /// gap/tf sections. Section lengths are derived from the directory, so
-  /// the layout carries no redundant length fields.
+  /// \brief Serializes the list into a self-contained v3 payload: a
+  /// directory of (first_doc, last_doc, max_tf, doc_bits, tf_bits) entries
+  /// — one per block, the final one possibly partial — followed by the
+  /// packed gap/tf sections. Section lengths are derived from the
+  /// directory, so the layout carries no redundant length fields.
   std::vector<std::uint8_t> EncodePayload() const;
 
-  /// \brief Rebuilds a list from a v2 payload, validating directory
-  /// monotonicity, bit widths, exact payload length and that every block's
-  /// decoded gaps reproduce its directory `last_doc`.
+  /// \brief Rebuilds a list from a v3 payload, validating directory
+  /// monotonicity, bit widths (tf_bits must be exactly the width of
+  /// max_tf - 1), exact payload length and that every block's decoded gaps
+  /// reproduce its directory `last_doc`. Full-block `max_tf` entries are
+  /// width-checked here and cross-checked against the decoded tf values by
+  /// InvertedIndex::FinalizeScoring on index load.
   static Result<PostingList> FromEncoded(std::uint32_t count,
                                          std::vector<std::uint8_t> bytes);
+
+  /// \brief Rebuilds a list from a v2 payload (10-byte directory entries
+  /// without max_tf), same validation; the per-block maxima are recovered
+  /// by decoding the tf sections once on load.
+  static Result<PostingList> FromV2Encoded(std::uint32_t count,
+                                           std::vector<std::uint8_t> bytes);
 
   /// \brief Rebuilds a list from a legacy v1 varint payload (see
   /// varint_codec.h), fully validated; the result is re-encoded into the
@@ -170,10 +220,17 @@ class PostingList {
   struct BlockMeta {
     DocId first_doc = 0;
     DocId last_doc = 0;
-    std::uint64_t offset = 0;   // byte offset of the gap section in bytes_
-    std::uint8_t doc_bits = 0;  // width of each gap-1 value
-    std::uint8_t tf_bits = 0;   // width of each tf-1 value
+    std::uint64_t offset = 0;    // byte offset of the gap section in bytes_
+    std::uint32_t max_tf = 0;    // largest tf in the block (>= 1)
+    std::uint8_t doc_bits = 0;   // width of each gap-1 value
+    std::uint8_t tf_bits = 0;    // width of each tf-1 value
   };
+
+  // Shared decoder behind FromEncoded/FromV2Encoded; `with_max_tf` selects
+  // the directory-entry layout.
+  static Result<PostingList> FromEncodedImpl(std::uint32_t count,
+                                             std::vector<std::uint8_t> bytes,
+                                             bool with_max_tf);
 
   // Packs the accumulated tail into a new full block (requires exactly
   // kBlockSize pending postings).

@@ -1,0 +1,201 @@
+#include "index/simd_intersect.h"
+
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(METAPROBE_INTERSECT_SSE2)
+#include <emmintrin.h>
+#endif
+#if defined(METAPROBE_INTERSECT_AVX2_COMPILED)
+#include <immintrin.h>
+#endif
+
+namespace metaprobe {
+namespace index {
+
+namespace {
+
+// Finishes (or fully performs) a merge intersection from positions i/j.
+inline std::size_t ScalarTail(const std::uint32_t* a, std::size_t i,
+                              std::size_t na, const std::uint32_t* b,
+                              std::size_t j, std::size_t nb,
+                              std::uint32_t* out, std::size_t n) {
+  while (i < na && j < nb) {
+    const std::uint32_t x = a[i];
+    const std::uint32_t y = b[j];
+    if (x < y) {
+      ++i;
+    } else if (y < x) {
+      ++j;
+    } else {
+      out[n++] = x;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+const char* IntersectKernelName(IntersectKernel kernel) {
+  switch (kernel) {
+    case IntersectKernel::kScalar:
+      return "scalar";
+    case IntersectKernel::kSse2:
+      return "sse2";
+    case IntersectKernel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+std::size_t IntersectSortedScalar(const std::uint32_t* a, std::size_t na,
+                                  const std::uint32_t* b, std::size_t nb,
+                                  std::uint32_t* out) {
+  return ScalarTail(a, 0, na, b, 0, nb, out, 0);
+}
+
+#if defined(METAPROBE_INTERSECT_SSE2)
+std::size_t IntersectSortedSse2(const std::uint32_t* a, std::size_t na,
+                                const std::uint32_t* b, std::size_t nb,
+                                std::uint32_t* out) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t n = 0;
+  if (na >= 4 && nb >= 4) {
+    while (true) {
+      const __m128i va =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+      const __m128i vb =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+      // Compare va's four lanes against all four rotations of vb; each a
+      // lane matches at most one b lane (runs are duplicate-free), so the
+      // OR of the four equality masks flags exactly the common elements.
+      const __m128i r1 = _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1));
+      const __m128i r2 = _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2));
+      const __m128i r3 = _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3));
+      const __m128i eq = _mm_or_si128(
+          _mm_or_si128(_mm_cmpeq_epi32(va, vb), _mm_cmpeq_epi32(va, r1)),
+          _mm_or_si128(_mm_cmpeq_epi32(va, r2), _mm_cmpeq_epi32(va, r3)));
+      unsigned mask =
+          static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(eq)));
+      while (mask != 0) {
+        out[n++] = a[i + static_cast<std::size_t>(std::countr_zero(mask))];
+        mask &= mask - 1;
+      }
+      const std::uint32_t a_max = a[i + 3];
+      const std::uint32_t b_max = b[j + 3];
+      // Retire whichever window cannot match anything further (ties retire
+      // both); every element left behind is <= the other run's window max,
+      // so no match is lost.
+      if (a_max <= b_max) i += 4;
+      if (b_max <= a_max) j += 4;
+      if (i + 4 > na || j + 4 > nb) break;
+    }
+  }
+  return ScalarTail(a, i, na, b, j, nb, out, n);
+}
+#endif  // METAPROBE_INTERSECT_SSE2
+
+#if defined(METAPROBE_INTERSECT_AVX2_COMPILED)
+__attribute__((target("avx2"))) std::size_t IntersectSortedAvx2(
+    const std::uint32_t* a, std::size_t na, const std::uint32_t* b,
+    std::size_t nb, std::uint32_t* out) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t n = 0;
+  if (na >= 8 && nb >= 8) {
+    const __m256i rotate1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+    while (true) {
+      const __m256i va =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      __m256i rot =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+      // All eight rotations of the b window, cross-lane.
+      __m256i eq = _mm256_cmpeq_epi32(va, rot);
+      for (int r = 1; r < 8; ++r) {
+        rot = _mm256_permutevar8x32_epi32(rot, rotate1);
+        eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(va, rot));
+      }
+      unsigned mask =
+          static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(eq)));
+      while (mask != 0) {
+        out[n++] = a[i + static_cast<std::size_t>(std::countr_zero(mask))];
+        mask &= mask - 1;
+      }
+      const std::uint32_t a_max = a[i + 7];
+      const std::uint32_t b_max = b[j + 7];
+      if (a_max <= b_max) i += 8;
+      if (b_max <= a_max) j += 8;
+      if (i + 8 > na || j + 8 > nb) break;
+    }
+  }
+  return ScalarTail(a, i, na, b, j, nb, out, n);
+}
+
+bool Avx2IntersectAvailable() { return __builtin_cpu_supports("avx2") != 0; }
+#endif  // METAPROBE_INTERSECT_AVX2_COMPILED
+
+namespace {
+
+IntersectKernel ClampToAvailable(IntersectKernel wanted) {
+#if defined(METAPROBE_INTERSECT_AVX2_COMPILED)
+  if (wanted == IntersectKernel::kAvx2 && Avx2IntersectAvailable()) {
+    return IntersectKernel::kAvx2;
+  }
+#endif
+#if defined(METAPROBE_INTERSECT_SSE2)
+  if (wanted != IntersectKernel::kScalar) return IntersectKernel::kSse2;
+#endif
+  (void)wanted;
+  return IntersectKernel::kScalar;
+}
+
+IntersectKernel DetectKernel() {
+  if (const char* env = std::getenv("METAPROBE_SIMD_INTERSECT")) {
+    if (std::strcmp(env, "scalar") == 0) return IntersectKernel::kScalar;
+    if (std::strcmp(env, "sse2") == 0) {
+      return ClampToAvailable(IntersectKernel::kSse2);
+    }
+    if (std::strcmp(env, "avx2") == 0) {
+      return ClampToAvailable(IntersectKernel::kAvx2);
+    }
+  }
+  return ClampToAvailable(IntersectKernel::kAvx2);
+}
+
+IntersectKernel& KernelSlot() {
+  static IntersectKernel kernel = DetectKernel();
+  return kernel;
+}
+
+}  // namespace
+
+IntersectKernel ActiveIntersectKernel() { return KernelSlot(); }
+
+void ForceIntersectKernelForTest(IntersectKernel kernel) {
+  KernelSlot() =
+      kernel == IntersectKernel::kScalar ? kernel : ClampToAvailable(kernel);
+}
+
+std::size_t IntersectSorted(const std::uint32_t* a, std::size_t na,
+                            const std::uint32_t* b, std::size_t nb,
+                            std::uint32_t* out) {
+  switch (KernelSlot()) {
+#if defined(METAPROBE_INTERSECT_AVX2_COMPILED)
+    case IntersectKernel::kAvx2:
+      return IntersectSortedAvx2(a, na, b, nb, out);
+#endif
+#if defined(METAPROBE_INTERSECT_SSE2)
+    case IntersectKernel::kSse2:
+      return IntersectSortedSse2(a, na, b, nb, out);
+#endif
+    default:
+      return IntersectSortedScalar(a, na, b, nb, out);
+  }
+}
+
+}  // namespace index
+}  // namespace metaprobe

@@ -1,0 +1,73 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_INDEX_SIMD_INTERSECT_H_
+#define METAPROBE_INDEX_SIMD_INTERSECT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__SSE2__)
+#define METAPROBE_INTERSECT_SSE2 1
+#endif
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+// The AVX2 kernel is compiled with a function-level target attribute, so it
+// exists in every x86 build regardless of -m flags; whether it runs is a
+// CPUID decision made once at dispatch time.
+#define METAPROBE_INTERSECT_AVX2_COMPILED 1
+#endif
+
+namespace metaprobe {
+namespace index {
+
+/// \brief Intersection kernels for sorted, duplicate-free u32 runs (the
+/// decoded 128-slot posting spans). The scalar merge is the oracle the
+/// vector kernels are property-tested against; SSE2 compares each 4-wide
+/// window of one run against all four rotations of the other's, AVX2 does
+/// the same 8-wide via cross-lane permutes. Dispatch is resolved once per
+/// process from CPUID (overridable via METAPROBE_SIMD_INTERSECT=
+/// scalar|sse2|avx2 for A/B runs and sanitizer smoke checks).
+enum class IntersectKernel { kScalar, kSse2, kAvx2 };
+
+/// \brief Stable lower-case kernel name ("scalar", "sse2", "avx2").
+const char* IntersectKernelName(IntersectKernel kernel);
+
+/// \brief Scalar merge intersection: writes the common elements of the two
+/// strictly-increasing runs to `out` (caller provides min(na, nb) slots)
+/// and returns how many were written.
+std::size_t IntersectSortedScalar(const std::uint32_t* a, std::size_t na,
+                                  const std::uint32_t* b, std::size_t nb,
+                                  std::uint32_t* out);
+
+#if defined(METAPROBE_INTERSECT_SSE2)
+std::size_t IntersectSortedSse2(const std::uint32_t* a, std::size_t na,
+                                const std::uint32_t* b, std::size_t nb,
+                                std::uint32_t* out);
+#endif
+
+#if defined(METAPROBE_INTERSECT_AVX2_COMPILED)
+/// \brief AVX2 kernel; only call when `Avx2IntersectAvailable()`.
+std::size_t IntersectSortedAvx2(const std::uint32_t* a, std::size_t na,
+                                const std::uint32_t* b, std::size_t nb,
+                                std::uint32_t* out);
+bool Avx2IntersectAvailable();
+#endif
+
+/// \brief The kernel the dispatching `IntersectSorted` currently routes to.
+IntersectKernel ActiveIntersectKernel();
+
+/// \brief Test/bench hook: pins dispatch to `kernel` (falls back to the
+/// best available one when the requested kernel is not usable on this
+/// host). Not synchronized against concurrent queries — call it before
+/// spawning readers, as the benches and the scalar-oracle tests do.
+void ForceIntersectKernelForTest(IntersectKernel kernel);
+
+/// \brief Runtime-dispatched intersection of two sorted runs.
+std::size_t IntersectSorted(const std::uint32_t* a, std::size_t na,
+                            const std::uint32_t* b, std::size_t nb,
+                            std::uint32_t* out);
+
+}  // namespace index
+}  // namespace metaprobe
+
+#endif  // METAPROBE_INDEX_SIMD_INTERSECT_H_

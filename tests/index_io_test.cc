@@ -45,6 +45,43 @@ std::string SerializeAsV1(const InvertedIndex& index) {
   return out;
 }
 
+// Serializes `index` exactly as format-v2 builds did: the shared MPIX
+// envelope with version 2 and block payloads whose directory entries lack
+// the u32 max-tf field (v3 entries are 14 bytes, v2 entries 10).
+std::string SerializeAsV2(const InvertedIndex& index) {
+  std::string out("MPIX");
+  PutU32(&out, 2);
+  PutU32(&out, index.num_docs());
+  PutU64(&out, index.GetStats().total_tokens);
+  PutU64(&out, index.vocabulary().size());
+  for (text::TermId id = 0; id < index.vocabulary().size(); ++id) {
+    const std::string& term = index.vocabulary().TermOf(id);
+    PutU32(&out, static_cast<std::uint32_t>(term.size()));
+    out.append(term);
+    const PostingList* list = index.Postings(term);
+    const std::uint32_t count = list == nullptr ? 0 : list->size();
+    PutU32(&out, count);
+    const std::vector<std::uint8_t> v3 =
+        list == nullptr ? std::vector<std::uint8_t>{} : list->EncodePayload();
+    const std::size_t entries =
+        (count + PostingList::kBlockSize - 1) / PostingList::kBlockSize;
+    std::vector<std::uint8_t> v2;
+    v2.reserve(v3.size() - entries * 4);
+    for (std::size_t e = 0; e < entries; ++e) {
+      const std::uint8_t* entry = v3.data() + e * 14;
+      v2.insert(v2.end(), entry, entry + 8);  // first_doc, last_doc
+      v2.push_back(entry[12]);                // doc_bits
+      v2.push_back(entry[13]);                // tf_bits
+    }
+    v2.insert(v2.end(),
+              v3.begin() + static_cast<std::ptrdiff_t>(entries * 14),
+              v3.end());
+    PutU64(&out, v2.size());
+    out.append(reinterpret_cast<const char*>(v2.data()), v2.size());
+  }
+  return out;
+}
+
 InvertedIndex SmallIndex() {
   InvertedIndex::Builder builder;
   builder.AddDocument({"breast", "cancer", "treatment"});
@@ -164,8 +201,8 @@ TEST(IndexIoTest, RejectsCorruptedBytes) {
 }
 
 TEST(IndexIoTest, LoadsV1FormatFiles) {
-  // A v1-serialized index (varint payloads) must load under the v2 reader
-  // and behave identically to the original.
+  // A v1-serialized index (varint payloads) must load under the current
+  // reader and behave identically to the original.
   for (bool synthetic : {false, true}) {
     InvertedIndex original;
     if (synthetic) {
@@ -195,8 +232,8 @@ TEST(IndexIoTest, LoadsV1FormatFiles) {
                 original.CountConjunctive(terms));
       EXPECT_EQ(loaded->TopKCosine(terms, 10), original.TopKCosine(terms, 10));
     }
-    // Saving the loaded index upgrades it: the result is a v2 file that
-    // round-trips byte-stably.
+    // Saving the loaded index upgrades it: the result is a current-format
+    // file that round-trips byte-stably.
     std::ostringstream resaved(std::ios::binary);
     ASSERT_TRUE(loaded->SaveTo(resaved).ok());
     std::istringstream is2(resaved.str(), std::ios::binary);
@@ -208,11 +245,131 @@ TEST(IndexIoTest, LoadsV1FormatFiles) {
   }
 }
 
+TEST(IndexIoTest, LoadsV2FormatFiles) {
+  // A v2-serialized index (block payloads without the max-tf directory
+  // field) must load under the v3 reader — the maxima are recovered from
+  // the tf sections — and behave identically to the original.
+  for (bool synthetic : {false, true}) {
+    InvertedIndex original;
+    if (synthetic) {
+      text::Analyzer analyzer;
+      corpus::CorpusGenerator generator(corpus::HealthTopics(), {}, &analyzer);
+      corpus::DatabaseSpec spec;
+      spec.name = "v2-compat";
+      spec.num_docs = 400;
+      spec.mixture = {{"oncology", 1.0}};
+      spec.seed = 7;
+      original = std::move(generator.Generate(spec)->index);
+    } else {
+      original = SmallIndex();
+    }
+    std::istringstream is(SerializeAsV2(original), std::ios::binary);
+    auto loaded = InvertedIndex::LoadFrom(is);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    EXPECT_EQ(loaded->num_docs(), original.num_docs());
+    IndexStats a = original.GetStats();
+    IndexStats b = loaded->GetStats();
+    EXPECT_EQ(a.num_terms, b.num_terms);
+    EXPECT_EQ(a.num_postings, b.num_postings);
+    for (auto terms : {std::vector<std::string>{"cancer"},
+                       std::vector<std::string>{"cancer", "breast"},
+                       std::vector<std::string>{"tumor", "biopsi"}}) {
+      EXPECT_EQ(loaded->CountConjunctive(terms),
+                original.CountConjunctive(terms));
+      EXPECT_EQ(loaded->TopKCosine(terms, 10), original.TopKCosine(terms, 10));
+    }
+    // Re-saving upgrades the file to v3 — byte-identical to saving the
+    // original (the recovered maxima match the directory the original
+    // writes).
+    std::ostringstream resaved(std::ios::binary);
+    ASSERT_TRUE(loaded->SaveTo(resaved).ok());
+    std::ostringstream direct(std::ios::binary);
+    ASSERT_TRUE(original.SaveTo(direct).ok());
+    EXPECT_EQ(resaved.str(), direct.str());
+  }
+}
+
+TEST(IndexIoTest, RejectsCorruptMaxTfEntries) {
+  // Every single-byte flip of a max-tf directory field must fail the load:
+  // either the width consistency check in the payload decoder or the deep
+  // cross-check against the decoded tf values in FinalizeScoring.
+  InvertedIndex::Builder builder;
+  stats::Rng rng(17);
+  for (int d = 0; d < 600; ++d) {
+    std::vector<std::string> terms;
+    for (std::uint64_t c = 1 + rng.UniformInt(4); c > 0; --c) {
+      terms.push_back("common");
+    }
+    if (d % 3 == 0) terms.push_back("sparse");
+    builder.AddDocument(terms);
+  }
+  InvertedIndex original = std::move(builder).Build().ValueOrDie();
+  std::ostringstream os(std::ios::binary);
+  ASSERT_TRUE(original.SaveTo(os).ok());
+  const std::string file = os.str();
+
+  auto get_u32 = [&](std::size_t off) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(
+               file[off + i]))
+           << (8 * i);
+    }
+    return v;
+  };
+  auto get_u64 = [&](std::size_t off) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(
+               file[off + i]))
+           << (8 * i);
+    }
+    return v;
+  };
+
+  // Walk the envelope to find every max-tf byte: header is 28 bytes, then
+  // per term {u32 len, term, u32 count, u64 payload_len, payload}; within
+  // a payload the 14-byte directory entries lead, max-tf at bytes 8..11.
+  std::vector<std::size_t> max_tf_bytes;
+  std::size_t off = 28;
+  const std::uint64_t num_terms = get_u64(20);
+  for (std::uint64_t t = 0; t < num_terms; ++t) {
+    off += 4 + get_u32(off);
+    const std::uint32_t count = get_u32(off);
+    off += 4;
+    const std::uint64_t payload_len = get_u64(off);
+    off += 8;
+    const std::size_t entries =
+        (count + PostingList::kBlockSize - 1) / PostingList::kBlockSize;
+    for (std::size_t e = 0; e < entries; ++e) {
+      for (std::size_t b = 8; b < 12; ++b) {
+        max_tf_bytes.push_back(off + e * 14 + b);
+      }
+    }
+    off += payload_len;
+  }
+  ASSERT_EQ(off, file.size());
+  // 600 docs of "common" is four full blocks plus a tail, "sparse" one
+  // block plus a tail: seven directory entries, 28 max-tf bytes.
+  ASSERT_EQ(max_tf_bytes.size(), 28u);
+
+  for (std::size_t pos : max_tf_bytes) {
+    for (std::uint8_t flip : {0x01, 0x5b, 0x80}) {
+      std::string mutated = file;
+      mutated[pos] = static_cast<char>(mutated[pos] ^ flip);
+      std::istringstream is(mutated, std::ios::binary);
+      EXPECT_TRUE(InvertedIndex::LoadFrom(is).status().IsInvalidArgument())
+          << "flip 0x" << std::hex << int(flip) << " at byte " << std::dec
+          << pos;
+    }
+  }
+}
+
 TEST(IndexIoTest, RejectsUnsupportedVersion) {
   InvertedIndex original = SmallIndex();
   std::ostringstream os(std::ios::binary);
   ASSERT_TRUE(original.SaveTo(os).ok());
-  for (std::uint32_t bad_version : {0u, 3u, 255u}) {
+  for (std::uint32_t bad_version : {0u, 4u, 255u}) {
     std::string mutated = os.str();
     for (int i = 0; i < 4; ++i) {
       mutated[4 + i] = static_cast<char>(bad_version >> (8 * i));
@@ -297,7 +454,7 @@ TEST(PostingListEncodedTest, RejectsCorruptBlockHeaders) {
   };
   {
     std::vector<std::uint8_t> bytes = payload;
-    bytes[8] = 40;  // block 0 doc_bits beyond 32
+    bytes[12] = 40;  // block 0 doc_bits beyond 32
     expect_rejected(std::move(bytes), "oversized bit width");
   }
   {
@@ -324,7 +481,7 @@ TEST(PostingListEncodedTest, RejectsCorruptBlockHeaders) {
 
   // Every single-byte flip inside the directory must fail cleanly or load
   // postings consistent with the claimed count — never crash.
-  const std::size_t dir_bytes = (count / PostingList::kBlockSize) * 10;
+  const std::size_t dir_bytes = (count / PostingList::kBlockSize) * 14;
   for (std::size_t pos = 0; pos < dir_bytes; ++pos) {
     std::vector<std::uint8_t> bytes = payload;
     bytes[pos] ^= 0x5b;

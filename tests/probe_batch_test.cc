@@ -147,6 +147,56 @@ TEST(ProbingBatchTest, BatchedTrainingMatchesSequentialByteForByte) {
   EXPECT_EQ(train(7), sequential);
 }
 
+TEST(ConcurrencyBatchTest, PooledCountConjunctiveBatchMatchesSequential) {
+  auto db = MakeDatabase(41);
+  const index::InvertedIndex& idx = db->index_for_summaries();
+  std::vector<std::vector<std::string>> term_lists;
+  for (const core::Query& q : MixedQueries()) term_lists.push_back(q.terms);
+  // Pad the batch well past the chunk size so the fan-out engages.
+  stats::Rng rng(5);
+  const std::vector<std::string> pool_terms = {"cancer", "breast",  "tumor",
+                                               "heart",  "arteri",  "biopsi",
+                                               "screen", "diabetes"};
+  for (int i = 0; i < 120; ++i) {
+    std::vector<std::string> terms;
+    for (std::uint64_t t = 1 + rng.UniformInt(3); t > 0; --t) {
+      terms.push_back(pool_terms[rng.UniformInt(pool_terms.size())]);
+    }
+    term_lists.push_back(std::move(terms));
+  }
+  const std::vector<std::uint64_t> sequential =
+      idx.CountConjunctiveBatch(term_lists);
+  ThreadPool pool(4);
+  const std::vector<std::uint64_t> pooled =
+      idx.CountConjunctiveBatch(term_lists, &pool);
+  EXPECT_EQ(pooled, sequential);
+  EXPECT_GT(pool.tasks_executed(), 0u);
+}
+
+TEST(ConcurrencyBatchTest, PooledProbeBatchMatchesSequential) {
+  // A LocalDatabase with an installed batch pool must answer ProbeBatch
+  // byte-identically to the sequential path, for both relevancy
+  // definitions.
+  for (core::RelevancyDefinition definition :
+       {core::RelevancyDefinition::kDocumentFrequency,
+        core::RelevancyDefinition::kDocumentSimilarity}) {
+    auto db = MakeDatabase(42);
+    std::vector<core::Query> queries;
+    for (int copy = 0; copy < 12; ++copy) {
+      for (core::Query& q : MixedQueries()) queries.push_back(std::move(q));
+    }
+    const auto sequential = db->ProbeBatch(queries, definition);
+    ASSERT_TRUE(sequential.ok()) << sequential.status();
+    ThreadPool pool(4);
+    db->set_batch_pool(&pool);
+    const auto pooled = db->ProbeBatch(queries, definition);
+    db->set_batch_pool(nullptr);
+    ASSERT_TRUE(pooled.ok()) << pooled.status();
+    EXPECT_EQ(*pooled, *sequential);
+    EXPECT_GT(pool.tasks_executed(), 0u);
+  }
+}
+
 TEST(ConcurrencyBatchTest, PooledGoldenBuildMatchesSerial) {
   eval::TestbedOptions testbed_options;
   testbed_options.train_queries_per_term_count = 10;

@@ -1,0 +1,306 @@
+// Oracle tests for the block-max WAND scorer and the SIMD intersection
+// kernels: the optimized paths must reproduce their scalar/exhaustive
+// references exactly — WAND is a pruning strategy, never a scoring change,
+// and the vector kernels are drop-in replacements for the scalar merge.
+//
+// Suite names matter: check.sh runs *Kernel* suites under UBSan and
+// *Concurrency* suites under TSAN.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/domain.h"
+#include "corpus/synthetic_corpus.h"
+#include "index/index_metrics.h"
+#include "index/inverted_index.h"
+#include "index/simd_intersect.h"
+#include "stats/random.h"
+#include "text/analyzer.h"
+
+namespace metaprobe {
+namespace index {
+namespace {
+
+// Restores default kernel dispatch when a test scope ends (the force hook
+// clamps to the best available kernel).
+struct KernelGuard {
+  ~KernelGuard() { ForceIntersectKernelForTest(IntersectKernel::kAvx2); }
+};
+
+std::vector<std::string> Vocab(std::size_t n) {
+  std::vector<std::string> terms;
+  for (std::size_t i = 0; i < n; ++i) terms.push_back("t" + std::to_string(i));
+  return terms;
+}
+
+InvertedIndex RandomIndex(stats::Rng* rng, std::uint32_t max_docs,
+                          const std::vector<std::string>& vocab) {
+  InvertedIndex::Builder builder;
+  const std::uint32_t num_docs =
+      1 + static_cast<std::uint32_t>(rng->UniformInt(max_docs));
+  for (std::uint32_t d = 0; d < num_docs; ++d) {
+    std::vector<std::string> terms;
+    const std::size_t distinct = 1 + rng->UniformInt(vocab.size());
+    for (std::size_t t = 0; t < distinct; ++t) {
+      const std::string& term = vocab[rng->UniformInt(vocab.size())];
+      // Repeats fold into term frequency; skew toward 1 with a heavy tail.
+      std::uint64_t repeats = 1 + rng->UniformInt(3);
+      if (rng->UniformInt(8) == 0) repeats += rng->UniformInt(30);
+      for (std::uint64_t r = 0; r < repeats; ++r) terms.push_back(term);
+    }
+    builder.AddDocument(terms);
+  }
+  return std::move(builder).Build().ValueOrDie();
+}
+
+std::vector<std::string> RandomQuery(stats::Rng* rng,
+                                     const std::vector<std::string>& vocab) {
+  std::vector<std::string> terms;
+  const std::size_t n = 1 + rng->UniformInt(4);
+  for (std::size_t i = 0; i < n; ++i) {
+    terms.push_back(vocab[rng->UniformInt(vocab.size())]);
+  }
+  if (rng->UniformInt(8) == 0) terms.push_back("zzz-unknown");
+  if (rng->UniformInt(8) == 0) terms.push_back(terms.front());  // duplicate
+  return terms;
+}
+
+void ExpectSameRanking(const std::vector<ScoredDoc>& wand,
+                       const std::vector<ScoredDoc>& exhaustive,
+                       const char* what) {
+  ASSERT_EQ(wand.size(), exhaustive.size()) << what;
+  for (std::size_t i = 0; i < wand.size(); ++i) {
+    EXPECT_EQ(wand[i].doc, exhaustive[i].doc) << what << " rank " << i;
+    EXPECT_NEAR(wand[i].score, exhaustive[i].score, 1e-12)
+        << what << " rank " << i;
+  }
+}
+
+// The headline property: over random indexes (small single-span lists and
+// multi-block lists alike), WAND's results are indistinguishable from the
+// exhaustive scorer for every query and every k.
+TEST(WandKernelTest, MatchesExhaustiveOnRandomIndexes) {
+  const std::vector<std::string> vocab = Vocab(10);
+  stats::Rng rng(2026);
+  for (int trial = 0; trial < 1000; ++trial) {
+    // Most trials stay tiny (tail-only lists); a fifth span several blocks
+    // so the block-skip machinery actually engages.
+    const std::uint32_t max_docs = trial % 5 == 0 ? 448 : 64;
+    InvertedIndex index = RandomIndex(&rng, max_docs, vocab);
+    const std::vector<std::string> query = RandomQuery(&rng, vocab);
+    for (std::size_t k : {std::size_t{1}, std::size_t{3}, std::size_t{10},
+                          std::size_t{100}}) {
+      ExpectSameRanking(index.TopKCosine(query, k),
+                        index.TopKCosineExhaustive(query, k), "random trial");
+      if (::testing::Test::HasFailure()) {
+        FAIL() << "trial " << trial << " k " << k;
+      }
+    }
+  }
+}
+
+TEST(WandKernelTest, MatchesExhaustiveOnSyntheticCorpus) {
+  text::Analyzer analyzer;
+  corpus::CorpusGenerator generator(corpus::HealthTopics(), {}, &analyzer);
+  corpus::DatabaseSpec spec;
+  spec.name = "wand-oracle";
+  spec.num_docs = 1200;
+  spec.mixture = {{"oncology", 1.0}, {"cardiology", 0.7}};
+  spec.seed = 99;
+  InvertedIndex index = std::move(generator.Generate(spec)->index);
+  const std::vector<std::vector<std::string>> queries = {
+      {"cancer"},
+      {"cancer", "breast"},
+      {"heart", "arteri"},
+      {"tumor", "biopsi", "cancer"},
+      {"cancer", "breast", "tumor", "biopsi", "screen", "heart", "arteri"},
+  };
+#ifndef METAPROBE_OBS_DISABLED
+  const std::uint64_t skipped_before =
+      IndexCounters::wand_blocks_skipped.load(std::memory_order_relaxed);
+#endif
+  for (const auto& query : queries) {
+    for (std::size_t k : {std::size_t{10}, std::size_t{100}}) {
+      ExpectSameRanking(index.TopKCosine(query, k),
+                        index.TopKCosineExhaustive(query, k), "synthetic");
+    }
+  }
+#ifndef METAPROBE_OBS_DISABLED
+  // The pruning must actually fire on a corpus this size — equivalence
+  // alone would also pass for a scorer that never skips.
+  EXPECT_GT(IndexCounters::wand_blocks_skipped.load(std::memory_order_relaxed),
+            skipped_before);
+#endif
+}
+
+TEST(WandKernelTest, TieOrderPrefersLowerDocId) {
+  // Identical documents score identically; both scorers must emit the tied
+  // documents in ascending DocId order, including across the k cutoff.
+  InvertedIndex::Builder builder;
+  for (int d = 0; d < 12; ++d) {
+    builder.AddDocument({"alpha", "beta", "beta"});
+  }
+  builder.AddDocument({"alpha", "gamma"});
+  InvertedIndex index = std::move(builder).Build().ValueOrDie();
+  for (std::size_t k : {std::size_t{1}, std::size_t{5}, std::size_t{12},
+                        std::size_t{13}, std::size_t{50}}) {
+    std::vector<ScoredDoc> wand = index.TopKCosine({"alpha", "beta"}, k);
+    ExpectSameRanking(wand, index.TopKCosineExhaustive({"alpha", "beta"}, k),
+                      "ties");
+    for (std::size_t i = 0; i + 1 < wand.size(); ++i) {
+      if (wand[i].score == wand[i + 1].score) {
+        EXPECT_LT(wand[i].doc, wand[i + 1].doc) << "rank " << i;
+      }
+    }
+  }
+}
+
+TEST(WandKernelTest, DegenerateQueries) {
+  InvertedIndex index;  // empty index
+  EXPECT_TRUE(index.TopKCosine({"anything"}, 10).empty());
+  InvertedIndex::Builder builder;
+  builder.AddDocument({"alpha"});
+  InvertedIndex small = std::move(builder).Build().ValueOrDie();
+  EXPECT_TRUE(small.TopKCosine({}, 10).empty());
+  EXPECT_TRUE(small.TopKCosine({"unknown"}, 10).empty());
+  EXPECT_TRUE(small.TopKCosine({"alpha"}, 0).empty());
+  ExpectSameRanking(small.TopKCosine({"alpha"}, 10),
+                    small.TopKCosineExhaustive({"alpha"}, 10), "one doc");
+}
+
+std::vector<std::uint32_t> RandomSortedRun(stats::Rng* rng, std::size_t n,
+                                           std::uint32_t universe) {
+  std::vector<std::uint32_t> run;
+  run.reserve(n);
+  std::uint32_t next = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    next += 1 + static_cast<std::uint32_t>(rng->UniformInt(universe));
+    run.push_back(next);
+  }
+  return run;
+}
+
+using KernelFn = std::size_t (*)(const std::uint32_t*, std::size_t,
+                                 const std::uint32_t*, std::size_t,
+                                 std::uint32_t*);
+
+std::vector<std::pair<const char*, KernelFn>> CompiledVectorKernels() {
+  std::vector<std::pair<const char*, KernelFn>> kernels;
+#if defined(METAPROBE_INTERSECT_SSE2)
+  kernels.emplace_back("sse2", &IntersectSortedSse2);
+#endif
+#if defined(METAPROBE_INTERSECT_AVX2_COMPILED)
+  if (Avx2IntersectAvailable()) {
+    kernels.emplace_back("avx2", &IntersectSortedAvx2);
+  }
+#endif
+  return kernels;
+}
+
+// Scalar-oracle property: every compiled vector kernel produces exactly the
+// scalar merge's output on runs of every size, including the sub-width
+// tails (< 4 for SSE2, < 8 for AVX2) and skewed densities.
+TEST(IntersectKernelTest, KernelsMatchScalarOracle) {
+  const auto kernels = CompiledVectorKernels();
+  stats::Rng rng(7);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const std::size_t na = rng.UniformInt(40);
+    const std::size_t nb = rng.UniformInt(40);
+    // Small universes force dense overlap; large ones force misses.
+    const std::uint32_t universe =
+        trial % 3 == 0 ? 2 : 1 + static_cast<std::uint32_t>(rng.UniformInt(9));
+    const std::vector<std::uint32_t> a = RandomSortedRun(&rng, na, universe);
+    const std::vector<std::uint32_t> b = RandomSortedRun(&rng, nb, universe);
+    std::vector<std::uint32_t> expected(std::min(na, nb) + 1);
+    expected.resize(IntersectSortedScalar(a.data(), na, b.data(), nb,
+                                          expected.data()));
+    for (const auto& [name, kernel] : kernels) {
+      std::vector<std::uint32_t> got(std::min(na, nb) + 1);
+      got.resize(kernel(a.data(), na, b.data(), nb, got.data()));
+      EXPECT_EQ(got, expected) << name << " trial " << trial;
+    }
+  }
+  // Full-block-sized runs, the shape the dense conjunctive path feeds.
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::vector<std::uint32_t> a = RandomSortedRun(&rng, 128, 3);
+    const std::vector<std::uint32_t> b = RandomSortedRun(&rng, 128, 3);
+    std::vector<std::uint32_t> expected(129);
+    expected.resize(IntersectSortedScalar(a.data(), a.size(), b.data(),
+                                          b.size(), expected.data()));
+    for (const auto& [name, kernel] : kernels) {
+      std::vector<std::uint32_t> got(129);
+      got.resize(kernel(a.data(), a.size(), b.data(), b.size(), got.data()));
+      EXPECT_EQ(got, expected) << name << " block trial " << trial;
+    }
+  }
+}
+
+TEST(IntersectKernelTest, DispatchHonorsForcedKernel) {
+  KernelGuard guard;
+  stats::Rng rng(13);
+  const std::vector<std::uint32_t> a = RandomSortedRun(&rng, 100, 3);
+  const std::vector<std::uint32_t> b = RandomSortedRun(&rng, 100, 3);
+  std::vector<std::uint32_t> expected(101);
+  expected.resize(IntersectSortedScalar(a.data(), a.size(), b.data(), b.size(),
+                                        expected.data()));
+  for (IntersectKernel kernel :
+       {IntersectKernel::kScalar, IntersectKernel::kSse2,
+        IntersectKernel::kAvx2}) {
+    ForceIntersectKernelForTest(kernel);
+    const IntersectKernel active = ActiveIntersectKernel();
+    // The hook clamps to availability, so the active kernel is the request
+    // or a weaker one — never a stronger one that the host cannot run.
+    EXPECT_LE(static_cast<int>(active), static_cast<int>(kernel));
+    std::vector<std::uint32_t> got(101);
+    got.resize(IntersectSorted(a.data(), a.size(), b.data(), b.size(),
+                               got.data()));
+    EXPECT_EQ(got, expected) << IntersectKernelName(active);
+  }
+}
+
+// End-to-end: the dense two-list conjunctive path (which routes through the
+// dispatched kernel) returns the same counts and documents as scalar-forced
+// execution on multi-block lists.
+TEST(IntersectKernelTest, DenseConjunctivePathMatchesScalar) {
+  KernelGuard guard;
+  InvertedIndex::Builder builder;
+  stats::Rng rng(29);
+  std::uint64_t expected_both = 0;
+  for (int d = 0; d < 900; ++d) {
+    std::vector<std::string> terms{"filler"};
+    const bool has_a = rng.UniformInt(10) < 7;
+    const bool has_b = rng.UniformInt(10) < 5;
+    if (has_a) terms.push_back("alpha");
+    if (has_b) terms.push_back("beta");
+    if (has_a && has_b) ++expected_both;
+    builder.AddDocument(terms);
+  }
+  InvertedIndex index = std::move(builder).Build().ValueOrDie();
+
+  ForceIntersectKernelForTest(IntersectKernel::kScalar);
+  const std::uint64_t scalar_count =
+      index.CountConjunctive({"alpha", "beta"});
+  const std::vector<DocId> scalar_docs =
+      index.FindConjunctive({"alpha", "beta"}, 10000);
+  EXPECT_EQ(scalar_count, expected_both);
+
+  for (IntersectKernel kernel :
+       {IntersectKernel::kSse2, IntersectKernel::kAvx2}) {
+    ForceIntersectKernelForTest(kernel);
+    EXPECT_EQ(index.CountConjunctive({"alpha", "beta"}), scalar_count)
+        << IntersectKernelName(ActiveIntersectKernel());
+    EXPECT_EQ(index.FindConjunctive({"alpha", "beta"}, 10000), scalar_docs)
+        << IntersectKernelName(ActiveIntersectKernel());
+    // Early-exit limits slice the same prefix.
+    EXPECT_EQ(index.FindConjunctive({"alpha", "beta"}, 17),
+              std::vector<DocId>(scalar_docs.begin(), scalar_docs.begin() + 17))
+        << IntersectKernelName(ActiveIntersectKernel());
+  }
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace metaprobe

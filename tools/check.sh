@@ -63,6 +63,15 @@ run_tsan() {
   # and TSAN's nonzero exit code fails ctest.
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" "${filter[@]}"
+  # Perf smoke: the WAND and dense-intersection benches must run under the
+  # sanitizer with the dispatched SIMD kernel still active — the bench
+  # logs the kernel and --assert-simd fails if a build with vector
+  # kernels compiled in silently fell back to scalar.
+  cmake --build build-tsan -j "$JOBS" --target micro_index
+  TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/bench/micro_index --assert-simd \
+      --benchmark_filter='BM_TopKCosineManyTerms|BM_ConjunctiveDense' \
+      --benchmark_min_time=0.05 > /dev/null
 }
 
 run_ubsan() {
@@ -75,6 +84,14 @@ run_ubsan() {
   UBSAN_OPTIONS="print_stacktrace=1" \
     ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" \
       -R "$UBSAN_FILTER"
+  # Same perf smoke as the TSAN stage: WAND/dense benches with the SIMD
+  # dispatch asserted, so UB in the vector kernels cannot hide behind a
+  # silent scalar fallback.
+  cmake --build build-ubsan -j "$JOBS" --target micro_index
+  UBSAN_OPTIONS="print_stacktrace=1" \
+    ./build-ubsan/bench/micro_index --assert-simd \
+      --benchmark_filter='BM_TopKCosineManyTerms|BM_ConjunctiveDense' \
+      --benchmark_min_time=0.05 > /dev/null
 }
 
 run_smoke() {
@@ -103,6 +120,8 @@ run_smoke() {
     'metaprobe_rd_cache_entries' \
     'metaprobe_index_blocks_decoded_total' \
     'metaprobe_index_blocks_skipped_total' \
+    'metaprobe_index_blocks_wand_skipped_total' \
+    'metaprobe_index_simd_intersections_total' \
     'metaprobe_probe_batch_size'; do
     grep -qF "$series" "$out/metrics.txt" \
       || { echo "missing series: $series"; return 1; }

@@ -7,8 +7,13 @@ how to read:
   * Google Benchmark output (BENCH_core.json, BENCH_index.json): top-level
     "context" object and "benchmarks" list whose entries carry "name" plus
     timing fields (real_time/cpu_time). BENCH_index.json additionally
-    carries frozen pre-block-format entries under "<name>/v1baseline" so
-    the block-format speedup stays visible in the committed artifact.
+    carries frozen entries under "<name>/v1baseline" (pre-block-format)
+    and "<name>/v2baseline" (pre-WAND/SIMD) so those speedups stay visible
+    in the committed artifact; baseline entries are optional (fresh CI
+    regenerations lack them) but when present must shadow a live
+    benchmark of the same stem. Index files must cover the benchmark
+    families the perf-trajectory tooling tracks, including the WAND
+    scorer and the dense SIMD intersection pair.
   * The custom layout written by bench/micro_parallel.cc and
     bench/load_gen.cc (BENCH_parallel, BENCH_obs, BENCH_serving):
     top-level "context" object and "benchmarks" list whose entries carry
@@ -29,6 +34,21 @@ import sys
 def fail(path, message):
     print(f"{path}: {message}", file=sys.stderr)
     return 1
+
+
+# Benchmark families every BENCH_index.json must cover (a name matches a
+# family when it equals the family or extends it with an "/arg" suffix).
+INDEX_REQUIRED_FAMILIES = (
+    "BM_PostingListScan",
+    "BM_CountConjunctiveBatch",
+    "BM_CountConjunctiveBatchDupTerms",
+    "BM_CountConjunctiveBatchPooled",
+    "BM_ConjunctiveDense",
+    "BM_ConjunctiveDenseScalar",
+    "BM_TopKCosine",
+    "BM_TopKCosineManyTerms",
+    "BM_TopKCosineExhaustive",
+)
 
 
 def is_finite_number(value):
@@ -54,7 +74,9 @@ def validate(path):
     if not isinstance(benchmarks, list) or not benchmarks:
         return fail(path, '"benchmarks" must be a non-empty list')
 
-    serving = "serving" in path.rsplit("/", 1)[-1]
+    basename = path.rsplit("/", 1)[-1]
+    serving = "serving" in basename
+    index = "index" in basename
     names = set()
     for i, bench in enumerate(benchmarks):
         where = f"benchmarks[{i}]"
@@ -92,6 +114,21 @@ def validate(path):
                     path,
                     f"{where} ({name}): serving runs must report zero "
                     f"errors, got {errors}",
+                )
+
+    if index:
+        live = {n for n in names if "baseline" not in n}
+        for family in INDEX_REQUIRED_FAMILIES:
+            if not any(
+                n == family or n.startswith(family + "/") for n in live
+            ):
+                return fail(path, f"missing benchmark family {family!r}")
+        for name in names - live:
+            stem = name.rsplit("/", 1)[0]
+            if not any(n == stem or n.startswith(stem + "/") for n in live):
+                return fail(
+                    path,
+                    f"baseline entry {name!r} shadows no live benchmark",
                 )
 
     print(f"{path}: ok ({len(benchmarks)} benchmarks)")
