@@ -52,6 +52,7 @@
 #include "eval/table.h"
 #include "eval/testbed.h"
 #include "obs/metric_registry.h"
+#include "obs/percentile.h"
 #include "serving/metasearch_server.h"
 
 namespace metaprobe {
@@ -97,31 +98,6 @@ class DelayedDatabase : public core::HiddenWebDatabase {
   std::atomic<std::chrono::microseconds::rep> latency_us_{0};
 };
 
-/// Quantile of the server's latency histogram by linear interpolation
-/// inside the bucket holding the target rank. The first cell is clamped
-/// to [0, e_0); the open-ended +Inf cell reports its lower edge (an
-/// underestimate, flagged by the caller never hitting it in practice).
-double Percentile(const obs::Histogram& hist, double q) {
-  const std::vector<std::uint64_t> counts = hist.BucketCounts();
-  std::uint64_t total = 0;
-  for (std::uint64_t c : counts) total += c;
-  if (total == 0) return 0.0;
-  const double rank = q * static_cast<double>(total);
-  double cum = 0.0;
-  for (std::size_t i = 0; i < counts.size(); ++i) {
-    const double next = cum + static_cast<double>(counts[i]);
-    if (next >= rank && counts[i] > 0) {
-      const double lower = i == 0 ? 0.0 : hist.layout().LowerEdge(i);
-      if (i + 1 == counts.size()) return lower;
-      const double upper = hist.layout().UpperEdge(i);
-      const double fraction = (rank - cum) / static_cast<double>(counts[i]);
-      return lower + fraction * (upper - lower);
-    }
-    cum = next;
-  }
-  return hist.layout().LowerEdge(counts.size() - 1);
-}
-
 struct LoopResult {
   double seconds = 0.0;
   double qps = 0.0;  ///< completed / seconds
@@ -134,13 +110,16 @@ struct LoopResult {
   serving::ServerStats stats;
 };
 
+// Percentiles come from the shared obs::Percentile interpolation (also
+// behind the SLO monitor and /statusz), so load_gen's numbers line up with
+// what a live scrape of the same server would report.
 void FillPercentiles(const serving::MetasearchServer& server,
                      LoopResult* result) {
   const obs::Histogram* latency =
       server.metrics().GetHistogram("metaprobe_server_latency_seconds");
-  result->p50_ms = Percentile(*latency, 0.50) * 1e3;
-  result->p95_ms = Percentile(*latency, 0.95) * 1e3;
-  result->p99_ms = Percentile(*latency, 0.99) * 1e3;
+  result->p50_ms = obs::Percentile(*latency, 0.50) * 1e3;
+  result->p95_ms = obs::Percentile(*latency, 0.95) * 1e3;
+  result->p99_ms = obs::Percentile(*latency, 0.99) * 1e3;
 }
 
 /// Closed loop: `num_clients` synchronous clients, each submitting the

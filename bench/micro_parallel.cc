@@ -42,6 +42,7 @@
 #include "core/metasearcher.h"
 #include "eval/table.h"
 #include "eval/testbed.h"
+#include "obs/health.h"
 #include "obs/metric_registry.h"
 #include "obs/trace.h"
 
@@ -155,14 +156,21 @@ int RunObsOverhead(const char* json_path) {
   server.Train(testbed->train_queries).CheckOK();
 
   obs::QueryTracer tracer;
+  std::vector<std::string> db_names;
+  for (const auto& db : testbed->databases) db_names.push_back(db->name());
+  obs::DbHealthTracker health_tracker(db_names);
   struct Config {
     const char* name;
     bool metrics;
+    bool health;
     bool tracing;
   };
-  const std::vector<Config> configs{{"disabled", false, false},
-                                    {"metrics", true, false},
-                                    {"tracing", true, true}};
+  // "health" isolates the tracker's probe-path cost on top of metrics; its
+  // overhead_vs_metrics_pct is the CI-gated <1% budget.
+  const std::vector<Config> configs{{"disabled", false, false, false},
+                                    {"metrics", true, false, false},
+                                    {"health", true, true, false},
+                                    {"tracing", true, false, true}};
 
   std::ostringstream json;
   json << "{\n  \"context\": {\"scale\": " << testbed_options.scale
@@ -173,9 +181,11 @@ int RunObsOverhead(const char* json_path) {
 
   eval::TablePrinter table({"config", "seconds", "qps", "overhead%"});
   double base_qps = 0.0;
+  double metrics_qps = 0.0;
   for (const Config& config : configs) {
     server.metrics().set_enabled(config.metrics);
     server.SetTracer(config.tracing ? &tracer : nullptr);
+    server.SetHealthTracker(config.health ? &health_tracker : nullptr);
     server.ResetStats();
     // Zero-latency serving, inline (no pool): on this box the run is
     // compute-bound, the worst case for instrumentation overhead. Take the
@@ -195,17 +205,23 @@ int RunObsOverhead(const char* json_path) {
                      ? static_cast<double>(queries.size()) / seconds
                      : 0.0;
     if (base_qps == 0.0) base_qps = qps;
+    if (std::string(config.name) == "metrics") metrics_qps = qps;
     double overhead_pct =
         base_qps > 0.0 ? 100.0 * (base_qps - qps) / base_qps : 0.0;
     table.AddRow({config.name, eval::Cell(seconds, 3), eval::Cell(qps, 1),
                   eval::Cell(overhead_pct, 2)});
     json << (first_json_row ? "" : ",") << "\n    {\"name\": \"obs/"
          << config.name << "\", \"seconds\": " << seconds
-         << ", \"qps\": " << qps << ", \"overhead_pct\": " << overhead_pct
-         << "}";
+         << ", \"qps\": " << qps << ", \"overhead_pct\": " << overhead_pct;
+    if (std::string(config.name) == "health" && metrics_qps > 0.0) {
+      json << ", \"overhead_vs_metrics_pct\": "
+           << 100.0 * (metrics_qps - qps) / metrics_qps;
+    }
+    json << "}";
     first_json_row = false;
   }
   server.SetTracer(nullptr);
+  server.SetHealthTracker(nullptr);
   server.metrics().set_enabled(true);
   std::cout << "\n=== observability overhead (compute-bound serving) ===\n";
   table.Print(std::cout);
@@ -226,11 +242,26 @@ int RunObsOverhead(const char* json_path) {
   double disabled_s = TimeTightLoop(iters, [&](std::size_t i) {
     histogram->Observe(static_cast<double>(i & 1023) * 1e-5);
   });
+  // The health tracker's record hook, enabled and runtime-gated off — the
+  // two costs a deployment chooses between per probe.
+  obs::DbHealthTracker hook_tracker({"bench-db"});
+  double health_s = TimeTightLoop(iters, [&](std::size_t i) {
+    hook_tracker.RecordProbe(0, static_cast<double>(i & 1023) * 1e-5,
+                             obs::ProbeHealthOutcome::kOk);
+  });
+  hook_tracker.set_enabled(false);
+  double health_disabled_s = TimeTightLoop(iters, [&](std::size_t i) {
+    hook_tracker.RecordProbe(0, static_cast<double>(i & 1023) * 1e-5,
+                             obs::ProbeHealthOutcome::kOk);
+  });
   eval::TablePrinter hooks({"hook", "ns/op"});
   const double to_ns = 1e9 / static_cast<double>(iters);
   hooks.AddRow({"counter_add", eval::Cell(counter_s * to_ns, 2)});
   hooks.AddRow({"histogram_observe", eval::Cell(observe_s * to_ns, 2)});
   hooks.AddRow({"histogram_disabled", eval::Cell(disabled_s * to_ns, 2)});
+  hooks.AddRow({"health_record", eval::Cell(health_s * to_ns, 2)});
+  hooks.AddRow({"health_record_disabled",
+                eval::Cell(health_disabled_s * to_ns, 2)});
   std::cout << "\n=== metric hook cost ===\n";
   hooks.Print(std::cout);
   json << ",\n    {\"name\": \"obs/counter_add\", \"ns_per_op\": "
@@ -239,6 +270,10 @@ int RunObsOverhead(const char* json_path) {
        << observe_s * to_ns << "}";
   json << ",\n    {\"name\": \"obs/histogram_disabled\", \"ns_per_op\": "
        << disabled_s * to_ns << "}";
+  json << ",\n    {\"name\": \"obs/health_record\", \"ns_per_op\": "
+       << health_s * to_ns << "}";
+  json << ",\n    {\"name\": \"obs/health_record_disabled\", \"ns_per_op\": "
+       << health_disabled_s * to_ns << "}";
 
   if (json_path != nullptr) {
     json << "\n  ]\n}\n";

@@ -1,6 +1,8 @@
 // Serving loop: wrap a trained Metasearcher in the always-on
 // MetasearchServer — bounded queue, worker pool, per-tenant token-bucket
-// admission, and deadline propagation into the probing loop.
+// admission, deadline propagation into the probing loop, and the live
+// introspection surface (/metrics, /statusz, /tracez, /healthz) over a
+// dependency-free HTTP server.
 //
 //   build/examples/serving_loop
 //
@@ -9,12 +11,27 @@
 // expired deadline: it still succeeds, returning the estimate-only
 // selection with degraded=true — an expiring budget degrades the answer,
 // it never becomes an error. Shutdown drains every accepted request.
+//
+// Environment knobs (used by tools/check.sh's scrape stage):
+//   METAPROBE_SERVE_SECONDS  keep serving synthetic traffic and the HTTP
+//                            endpoints alive for this many seconds
+//   METAPROBE_PORT_FILE      write the bound introspection port here
 
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <thread>
 
+#include "common/strings.h"
 #include "core/metasearcher.h"
 #include "index/inverted_index.h"
+#include "obs/health.h"
+#include "obs/http_server.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
+#include "serving/introspection.h"
 #include "serving/metasearch_server.h"
 #include "text/analyzer.h"
 
@@ -25,6 +42,7 @@ using metaprobe::core::Metasearcher;
 using metaprobe::core::ParseQuery;
 using metaprobe::core::Query;
 using metaprobe::serving::AdmitResultName;
+using metaprobe::serving::IntrospectionService;
 using metaprobe::serving::MetasearchServer;
 using metaprobe::serving::MetasearchServerOptions;
 using metaprobe::serving::ServeRequest;
@@ -71,6 +89,16 @@ int main() {
   searcher.AddLocalDatabase(medlineplus).CheckOK();
   searcher.AddLocalDatabase(sportsdaily).CheckOK();
 
+  // The observability stack: a tracer with slow-trace sampling, and a
+  // per-database health tracker fed by every serving probe. Both are
+  // borrowed by the searcher, so they must outlive it.
+  metaprobe::obs::QueryTracer tracer;
+  tracer.set_slow_threshold_seconds(0.050);
+  searcher.SetTracer(&tracer);
+  metaprobe::obs::DbHealthTracker health(
+      {"pubmed", "medlineplus", "sports-daily"});
+  searcher.SetHealthTracker(&health);
+
   std::vector<Query> training;
   for (const char* raw :
        {"breast cancer", "cancer treatment", "heart attack",
@@ -91,9 +119,38 @@ int main() {
   options.default_threshold = 0.95;
   MetasearchServer server(&searcher, options);
 
+  // Rolling SLO over the server's end-to-end latency histogram: windowed
+  // percentiles and budget burn, exported as gauges and on /statusz.
+  metaprobe::obs::SloOptions slo_options;
+  slo_options.objective_seconds = 0.25;
+  slo_options.error_budget = 0.05;
+  metaprobe::obs::SloMonitor latency_slo(
+      "server_latency",
+      server.metrics().GetHistogram("metaprobe_server_latency_seconds"),
+      slo_options);
+  latency_slo.RegisterMetrics(&server.metrics());
+
+  // The introspection surface, served over a local ephemeral port.
+  IntrospectionService::Components components;
+  components.searcher = &searcher;
+  components.server = &server;
+  components.tracer = &tracer;
+  components.health = &health;
+  components.slos = {&latency_slo};
+  IntrospectionService introspection(components);
+  metaprobe::obs::HttpServer http;
+  introspection.RegisterEndpoints(&http);
+  const int port = http.Start("127.0.0.1", 0).ValueOrDie();
+  std::cout << "==== introspection ====\n"
+            << "serving /metrics /statusz /tracez /healthz on 127.0.0.1:"
+            << port << "\n";
+  if (const char* port_file = std::getenv("METAPROBE_PORT_FILE")) {
+    std::ofstream(port_file) << port << "\n";
+  }
+
   // Tenant "alpha" burns through its burst; "beta" has its own bucket and
   // is still admitted.
-  std::cout << "==== admission ====\n";
+  std::cout << "\n==== admission ====\n";
   for (const char* tenant : {"alpha", "alpha", "alpha", "beta"}) {
     ServeRequest request;
     request.query = ParseQuery(analyzer, "breast cancer");
@@ -128,6 +185,34 @@ int main() {
             << ", estimate-only certainty "
             << response.report.expected_correctness << "\n";
 
+  // With METAPROBE_SERVE_SECONDS set, keep a trickle of traffic flowing so
+  // an external scraper (tools/check.sh) sees live windowed telemetry.
+  const long serve_seconds =
+      metaprobe::GetEnvLong("METAPROBE_SERVE_SECONDS", 0);
+  if (serve_seconds > 0) {
+    std::cout << "\nserving for " << serve_seconds << "s...\n";
+    const auto stop_at = std::chrono::steady_clock::now() +
+                         std::chrono::seconds(serve_seconds);
+    // "heart attack" leads: its estimate-only certainty is below the
+    // demanded threshold, so every admitted occurrence actually probes and
+    // the scraper sees live per-database health windows, not just rows.
+    const char* rotation[] = {"heart attack", "breast cancer",
+                              "heart disease", "cancer screening"};
+    std::size_t i = 0;
+    while (std::chrono::steady_clock::now() < stop_at) {
+      ServeRequest request;
+      request.query = ParseQuery(analyzer, rotation[i++ % 4]);
+      request.tenant = "scrape-demo";
+      // Demand near-certainty: on this tiny world the 0.95 default is met
+      // by estimates alone (zero probes), which would leave the health
+      // windows empty for the scraper.
+      request.threshold = 0.9999;
+      Ticket t = server.Submit(std::move(request));
+      if (t.accepted()) t.response.get();
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+
   server.Shutdown();  // drains the queue; accepted work is never dropped
   auto stats = server.stats();
   std::cout << "\n==== server stats ====\n"
@@ -135,5 +220,15 @@ int main() {
             << stats.throttled << ", completed_ok " << stats.completed_ok
             << ", completed_degraded " << stats.completed_degraded
             << ", failed " << stats.failed << "\n";
+
+  // The per-database health table the drift detector (and /statusz) reads.
+  std::cout << "\n==== database health ====\n";
+  for (const auto& db : health.SnapshotAll()) {
+    std::cout << db.name << ": score " << db.health_score << ", probes "
+              << db.probes << ", error rate " << db.error_rate
+              << ", ewma latency " << db.ewma_latency_seconds << "s"
+              << (db.healthy ? "" : " (UNHEALTHY)") << "\n";
+  }
+  http.Stop();
   return 0;
 }

@@ -1,0 +1,64 @@
+#include "core/health_tracked_database.h"
+
+namespace metaprobe {
+namespace core {
+
+HealthTrackedDatabase::HealthTrackedDatabase(
+    std::shared_ptr<HiddenWebDatabase> inner, obs::DbHealthTracker* tracker,
+    std::size_t db)
+    : inner_(std::move(inner)),
+      tracker_(tracker),
+      db_(db),
+      clock_(tracker != nullptr && tracker->options().clock != nullptr
+                 ? tracker->options().clock
+                 : obs::RealClock::Get()) {}
+
+void HealthTrackedDatabase::Record(const Status& status, double total_seconds,
+                                   std::size_t count) const {
+  if (tracker_ == nullptr || count == 0) return;
+  obs::ProbeHealthOutcome outcome;
+  if (status.ok()) {
+    outcome = obs::ProbeHealthOutcome::kOk;
+  } else if (status.IsDeadlineExceeded()) {
+    outcome = obs::ProbeHealthOutcome::kTimeout;
+  } else {
+    outcome = obs::ProbeHealthOutcome::kError;
+  }
+  const double per_op = total_seconds / static_cast<double>(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    tracker_->RecordProbe(db_, per_op, outcome);
+  }
+}
+
+Result<std::uint64_t> HealthTrackedDatabase::CountMatches(
+    const Query& query) const {
+  const std::uint64_t start_ns = clock_->NowNanos();
+  Result<std::uint64_t> result = inner_->CountMatches(query);
+  Record(result.status(),
+         static_cast<double>(clock_->NowNanos() - start_ns) * 1e-9, 1);
+  return result;
+}
+
+Result<std::vector<SearchHit>> HealthTrackedDatabase::Search(
+    const Query& query, std::size_t k) const {
+  const std::uint64_t start_ns = clock_->NowNanos();
+  Result<std::vector<SearchHit>> result = inner_->Search(query, k);
+  Record(result.status(),
+         static_cast<double>(clock_->NowNanos() - start_ns) * 1e-9, 1);
+  return result;
+}
+
+Result<std::vector<double>> HealthTrackedDatabase::ProbeBatch(
+    const std::vector<const Query*>& queries, RelevancyDefinition definition,
+    const Deadline& deadline) const {
+  const std::uint64_t start_ns = clock_->NowNanos();
+  Result<std::vector<double>> result =
+      inner_->ProbeBatch(queries, definition, deadline);
+  Record(result.status(),
+         static_cast<double>(clock_->NowNanos() - start_ns) * 1e-9,
+         queries.size());
+  return result;
+}
+
+}  // namespace core
+}  // namespace metaprobe

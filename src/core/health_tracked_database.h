@@ -1,0 +1,71 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_CORE_HEALTH_TRACKED_DATABASE_H_
+#define METAPROBE_CORE_HEALTH_TRACKED_DATABASE_H_
+
+#include <memory>
+
+#include "core/hidden_web_database.h"
+#include "obs/clock.h"
+#include "obs/health.h"
+
+namespace metaprobe {
+namespace core {
+
+/// \brief Telemetry decorator: records every operation against the wrapped
+/// database — CountMatches, Search, and fused ProbeBatch alike — into a
+/// DbHealthTracker.
+///
+/// The Metasearcher's serving loop already records its own probes (it wraps
+/// the APro probe oracle directly, see SetHealthTracker); this decorator
+/// covers everything that bypasses that loop: training sweeps, ProbeBatch
+/// golden-standard builds, and direct Search fetches after selection. Pick
+/// ONE layer per backend — wrapping a database with this decorator *and*
+/// installing the same tracker on the owning Metasearcher records every
+/// serving probe twice. A batch of n queries records n outcomes (the batch
+/// latency is attributed per query, evenly), keeping windowed probe counts
+/// comparable between the batched and per-probe paths.
+///
+/// Decoration order with FlakyDatabase matters: wrap the flaky layer
+/// (tracker outermost) so injected failures are visible as errors, which is
+/// exactly what robustness tests assert.
+class HealthTrackedDatabase : public HiddenWebDatabase {
+ public:
+  /// \param inner the real database (shared; not modified)
+  /// \param tracker borrowed sink; must outlive this decorator
+  /// \param db the database's index inside the tracker
+  HealthTrackedDatabase(std::shared_ptr<HiddenWebDatabase> inner,
+                        obs::DbHealthTracker* tracker, std::size_t db);
+
+  const std::string& name() const override { return inner_->name(); }
+  std::uint32_t size() const override { return inner_->size(); }
+
+  Result<std::uint64_t> CountMatches(const Query& query) const override;
+  Result<std::vector<SearchHit>> Search(const Query& query,
+                                        std::size_t k) const override;
+  using HiddenWebDatabase::ProbeBatch;
+  Result<std::vector<double>> ProbeBatch(
+      const std::vector<const Query*>& queries, RelevancyDefinition definition,
+      const Deadline& deadline) const override;
+  std::uint64_t queries_served() const override {
+    return inner_->queries_served();
+  }
+
+  const std::shared_ptr<HiddenWebDatabase>& inner() const { return inner_; }
+
+ private:
+  /// Classifies a finished operation and records `count` outcomes of
+  /// `total_seconds` split evenly across them.
+  void Record(const Status& status, double total_seconds,
+              std::size_t count) const;
+
+  std::shared_ptr<HiddenWebDatabase> inner_;
+  obs::DbHealthTracker* tracker_;
+  std::size_t db_;
+  const obs::MonotonicClock* clock_;
+};
+
+}  // namespace core
+}  // namespace metaprobe
+
+#endif  // METAPROBE_CORE_HEALTH_TRACKED_DATABASE_H_

@@ -144,6 +144,11 @@ void Metasearcher::SetProbingPolicy(std::unique_ptr<ProbingPolicy> policy) {
   if (policy != nullptr) policy_ = std::move(policy);
 }
 
+void Metasearcher::SetHealthTracker(obs::DbHealthTracker* tracker) {
+  health_tracker_ = tracker;
+  if (tracker != nullptr) tracker->RegisterMetrics(&registry_);
+}
+
 Status Metasearcher::Train(const std::vector<Query>& training_queries) {
   obs::ScopedTimer train_timer(telemetry_.train_latency, clock_);
   if (databases_.empty()) {
@@ -293,9 +298,36 @@ Result<SelectionReport> Metasearcher::SelectWithPolicy(
   apro_options.speculative_probes = telemetry_.speculative_probes;
   apro_options.speculative_waste = telemetry_.speculative_waste;
   AdaptiveProber prober(policy, apro_options);
-  ProbeFn probe = [this, &query](std::size_t db) -> Result<double> {
-    return ProbeRelevancy(*databases_[db], query,
-                          options_.relevancy_definition);
+  // With a health tracker installed every probe is timed and classified,
+  // and the observed relevancies are kept so the estimate-vs-observation
+  // rank agreement can be fed back after the run. Speculative rounds call
+  // the probe from pool threads, hence the mutex around the observation
+  // list (RecordProbe itself is internally striped).
+  std::mutex observed_mutex;
+  std::vector<std::pair<std::size_t, double>> observed;
+  ProbeFn probe = [this, &query, &observed_mutex,
+                   &observed](std::size_t db) -> Result<double> {
+    if (health_tracker_ == nullptr) {
+      return ProbeRelevancy(*databases_[db], query,
+                            options_.relevancy_definition);
+    }
+    const std::uint64_t start_ns = clock_->NowNanos();
+    Result<double> result = ProbeRelevancy(*databases_[db], query,
+                                           options_.relevancy_definition);
+    const double seconds =
+        static_cast<double>(clock_->NowNanos() - start_ns) * 1e-9;
+    obs::ProbeHealthOutcome outcome;
+    if (result.ok()) {
+      outcome = obs::ProbeHealthOutcome::kOk;
+      std::lock_guard<std::mutex> lock(observed_mutex);
+      observed.emplace_back(db, result.ValueOrDie());
+    } else {
+      outcome = result.status().IsDeadlineExceeded()
+                    ? obs::ProbeHealthOutcome::kTimeout
+                    : obs::ProbeHealthOutcome::kError;
+    }
+    health_tracker_->RecordProbe(db, seconds, outcome);
+    return result;
   };
   Result<AProResult> apro_result = prober.Run(&model, probe);
   if (!apro_result.ok()) {
@@ -314,6 +346,28 @@ Result<SelectionReport> Metasearcher::SelectWithPolicy(
   report.degraded = apro.deadline_expired;
   report.probe_order = std::move(apro.probe_order);
   report.estimates = std::move(estimates);
+
+  if (health_tracker_ != nullptr) {
+    // Pairwise concordance between the estimates' order and the observed
+    // order, credited to both databases of each pair. Probed sets are small
+    // (bounded by the database count), so the quadratic pass is cheap.
+    for (std::size_t a = 0; a < observed.size(); ++a) {
+      for (std::size_t b = a + 1; b < observed.size(); ++b) {
+        const auto& [db_a, r_a] = observed[a];
+        const auto& [db_b, r_b] = observed[b];
+        const double est_delta =
+            report.estimates[db_a] - report.estimates[db_b];
+        const double obs_delta = r_a - r_b;
+        // Ties on either side are counted concordant: an estimator that
+        // says "equal" is not wrong about which side is bigger.
+        const bool concordant = est_delta == 0.0 || obs_delta == 0.0 ||
+                                (est_delta > 0.0) == (obs_delta > 0.0);
+        health_tracker_->RecordRankPair(db_a, concordant);
+        health_tracker_->RecordRankPair(db_b, concordant);
+      }
+    }
+    report.unhealthy_databases = health_tracker_->UnhealthyDatabases();
+  }
 
   telemetry_.queries_served->Increment();
   if (report.degraded) telemetry_.queries_degraded->Increment();

@@ -13,6 +13,7 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/correctness.h"
+#include "obs/health.h"
 #include "obs/metric_registry.h"
 #include "obs/trace.h"
 #include "core/deadline.h"
@@ -65,6 +66,11 @@ struct SelectionReport {
   bool degraded = false;
   std::vector<std::size_t> probe_order;     ///< Databases probed, in order.
   std::vector<double> estimates;            ///< r_hat per database.
+  /// Databases the installed health tracker currently reports unhealthy
+  /// (rolling-window view at selection time; empty without a tracker).
+  /// These are *not* excluded from the selection — the caller decides
+  /// whether to trust, retry, or reroute.
+  std::vector<std::size_t> unhealthy_databases;
 
   int num_probes() const { return static_cast<int>(probe_order.size()); }
 };
@@ -131,6 +137,16 @@ class Metasearcher {
   /// pays it), so leave it null for bit-exact reproduction benches.
   void SetTracer(obs::QueryTracer* tracer) { tracer_ = tracer; }
   obs::QueryTracer* tracer() const { return tracer_; }
+
+  /// \brief Installs a borrowed per-database health tracker (setup phase
+  /// only; must be built over the same databases, in registration order).
+  /// While set, every serving probe records its latency and outcome, each
+  /// selection feeds estimate-vs-observation rank pairs back, reports carry
+  /// unhealthy_databases, and the tracker's gauges join this searcher's
+  /// registry. Null detaches (the gauges of a previous tracker remain
+  /// registered; detach only at teardown).
+  void SetHealthTracker(obs::DbHealthTracker* tracker);
+  obs::DbHealthTracker* health_tracker() const { return health_tracker_; }
 
   /// \brief Swaps the monotonic clock behind every latency metric and span
   /// timestamp (setup phase only; tests inject an obs::FakeClock). Null
@@ -327,6 +343,7 @@ class Metasearcher {
   Telemetry telemetry_;
   TopKModel::KernelTelemetry kernel_telemetry_;
   obs::QueryTracer* tracer_ = nullptr;  // borrowed; see SetTracer
+  obs::DbHealthTracker* health_tracker_ = nullptr;  // borrowed
   const obs::MonotonicClock* clock_ = obs::RealClock::Get();
 };
 

@@ -1,0 +1,229 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metric_registry.h"
+
+namespace metaprobe {
+namespace obs {
+
+const char* ProbeHealthOutcomeName(ProbeHealthOutcome outcome) {
+  switch (outcome) {
+    case ProbeHealthOutcome::kOk:
+      return "ok";
+    case ProbeHealthOutcome::kDegraded:
+      return "degraded";
+    case ProbeHealthOutcome::kTimeout:
+      return "timeout";
+    case ProbeHealthOutcome::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+DbHealthTracker::DbHealthTracker(std::vector<std::string> database_names,
+                                 DbHealthOptions options)
+    : names_(std::move(database_names)),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock : RealClock::Get()) {
+  options_.num_slices = std::max(options_.num_slices, 1);
+  options_.window_seconds = std::max(options_.window_seconds, 1e-3);
+  options_.ewma_alpha = std::clamp(options_.ewma_alpha, 1e-6, 1.0);
+  slice_ns_ = static_cast<std::uint64_t>(
+      options_.window_seconds * 1e9 /
+      static_cast<double>(options_.num_slices));
+  if (slice_ns_ == 0) slice_ns_ = 1;
+  cells_.resize(names_.size());
+  for (Cell& cell : cells_) {
+    cell.ring.resize(static_cast<std::size_t>(options_.num_slices));
+  }
+}
+
+DbHealthTracker::Slice* DbHealthTracker::AdvanceTo(
+    Cell* cell, std::uint64_t now_ns) const {
+  const std::uint64_t now_epoch = now_ns / slice_ns_;
+  if (now_epoch > cell->epoch) {
+    const std::uint64_t gap = now_epoch - cell->epoch;
+    const std::uint64_t to_clear =
+        std::min<std::uint64_t>(gap, cell->ring.size());
+    for (std::uint64_t i = 1; i <= to_clear; ++i) {
+      cell->ring[(cell->epoch + i) % cell->ring.size()].Clear();
+    }
+    cell->epoch = now_epoch;
+  }
+  return &cell->ring[cell->epoch % cell->ring.size()];
+}
+
+void DbHealthTracker::RecordProbe(std::size_t db, double seconds,
+                                  ProbeHealthOutcome outcome) {
+#ifndef METAPROBE_OBS_DISABLED
+  if (!enabled() || db >= cells_.size()) return;
+  if (outcome == ProbeHealthOutcome::kOk && seconds >= 0.0 &&
+      seconds > options_.latency_slo_seconds) {
+    outcome = ProbeHealthOutcome::kDegraded;
+  }
+  const std::uint64_t now_ns = clock_->NowNanos();
+  std::lock_guard<std::mutex> lock(StripeFor(db));
+  Cell& cell = cells_[db];
+  Slice* slice = AdvanceTo(&cell, now_ns);
+  switch (outcome) {
+    case ProbeHealthOutcome::kOk:
+      ++slice->ok;
+      break;
+    case ProbeHealthOutcome::kDegraded:
+      ++slice->degraded;
+      break;
+    case ProbeHealthOutcome::kTimeout:
+      ++slice->timeouts;
+      break;
+    case ProbeHealthOutcome::kError:
+      ++slice->errors;
+      break;
+  }
+  const bool success = outcome == ProbeHealthOutcome::kOk ||
+                       outcome == ProbeHealthOutcome::kDegraded;
+  if (success && seconds >= 0.0) {
+    slice->latency_sum += seconds;
+    ++slice->latency_count;
+    if (!cell.ewma_primed) {
+      cell.ewma_latency = seconds;
+      cell.ewma_primed = true;
+    } else {
+      cell.ewma_latency += options_.ewma_alpha * (seconds - cell.ewma_latency);
+    }
+  }
+#else
+  (void)db;
+  (void)seconds;
+  (void)outcome;
+#endif
+}
+
+void DbHealthTracker::RecordRankPair(std::size_t db, bool concordant) {
+#ifndef METAPROBE_OBS_DISABLED
+  if (!enabled() || db >= cells_.size()) return;
+  const std::uint64_t now_ns = clock_->NowNanos();
+  std::lock_guard<std::mutex> lock(StripeFor(db));
+  Slice* slice = AdvanceTo(&cells_[db], now_ns);
+  ++slice->rank_pairs;
+  if (concordant) ++slice->rank_concordant;
+#else
+  (void)db;
+  (void)concordant;
+#endif
+}
+
+DbHealthSnapshot DbHealthTracker::SnapshotLocked(std::size_t db,
+                                                 std::uint64_t now_ns) const {
+  DbHealthSnapshot snap;
+  snap.db = db;
+  snap.name = names_[db];
+#ifndef METAPROBE_OBS_DISABLED
+  Cell& cell = cells_[db];
+  AdvanceTo(&cell, now_ns);
+  double latency_sum = 0.0;
+  std::uint64_t latency_count = 0;
+  for (const Slice& slice : cell.ring) {
+    snap.ok += slice.ok;
+    snap.degraded += slice.degraded;
+    snap.timeouts += slice.timeouts;
+    snap.errors += slice.errors;
+    snap.rank_pairs += slice.rank_pairs;
+    snap.rank_concordant += slice.rank_concordant;
+    latency_sum += slice.latency_sum;
+    latency_count += slice.latency_count;
+  }
+  snap.probes = snap.ok + snap.degraded + snap.timeouts + snap.errors;
+  if (snap.probes > 0) {
+    snap.error_rate = static_cast<double>(snap.timeouts + snap.errors) /
+                      static_cast<double>(snap.probes);
+  }
+  if (latency_count > 0) {
+    snap.window_mean_latency_seconds =
+        latency_sum / static_cast<double>(latency_count);
+  }
+  snap.ewma_latency_seconds = cell.ewma_primed ? cell.ewma_latency : 0.0;
+  if (snap.rank_pairs > 0) {
+    snap.rank_agreement = static_cast<double>(snap.rank_concordant) /
+                          static_cast<double>(snap.rank_pairs);
+  }
+  if (snap.probes == 0) {
+    snap.health_score = 1.0;  // no data is not evidence of sickness
+  } else {
+    const double availability = 1.0 - snap.error_rate;
+    const double latency_factor =
+        snap.ewma_latency_seconds > options_.latency_slo_seconds
+            ? options_.latency_slo_seconds / snap.ewma_latency_seconds
+            : 1.0;
+    const double agreement_factor = 0.5 + 0.5 * snap.rank_agreement;
+    snap.health_score = availability * latency_factor * agreement_factor;
+  }
+  snap.healthy = snap.health_score >= options_.unhealthy_below;
+#else
+  (void)now_ns;
+#endif
+  return snap;
+}
+
+DbHealthSnapshot DbHealthTracker::Snapshot(std::size_t db) const {
+  if (db >= cells_.size()) return DbHealthSnapshot{};
+  const std::uint64_t now_ns = clock_->NowNanos();
+  std::lock_guard<std::mutex> lock(StripeFor(db));
+  return SnapshotLocked(db, now_ns);
+}
+
+std::vector<DbHealthSnapshot> DbHealthTracker::SnapshotAll() const {
+  std::vector<DbHealthSnapshot> snaps;
+  snaps.reserve(cells_.size());
+  for (std::size_t db = 0; db < cells_.size(); ++db) {
+    snaps.push_back(Snapshot(db));
+  }
+  return snaps;
+}
+
+double DbHealthTracker::HealthScore(std::size_t db) const {
+  return Snapshot(db).health_score;
+}
+
+bool DbHealthTracker::healthy(std::size_t db) const {
+  return Snapshot(db).healthy;
+}
+
+std::vector<std::size_t> DbHealthTracker::UnhealthyDatabases() const {
+  std::vector<std::size_t> unhealthy;
+  for (std::size_t db = 0; db < cells_.size(); ++db) {
+    if (!healthy(db)) unhealthy.push_back(db);
+  }
+  return unhealthy;
+}
+
+void DbHealthTracker::RegisterMetrics(MetricRegistry* registry) const {
+#ifndef METAPROBE_OBS_DISABLED
+  if (registry == nullptr) return;
+  for (std::size_t db = 0; db < names_.size(); ++db) {
+    const std::string label = FormatLabel("db", names_[db]);
+    registry->RegisterCallbackGauge(
+        "metaprobe_db_health_score", label,
+        [this, db]() { return Snapshot(db).health_score; });
+    registry->RegisterCallbackGauge(
+        "metaprobe_db_probe_error_rate", label,
+        [this, db]() { return Snapshot(db).error_rate; });
+    registry->RegisterCallbackGauge(
+        "metaprobe_db_probe_latency_ewma_seconds", label,
+        [this, db]() { return Snapshot(db).ewma_latency_seconds; });
+    registry->RegisterCallbackGauge(
+        "metaprobe_db_window_probes", label,
+        [this, db]() { return static_cast<double>(Snapshot(db).probes); });
+  }
+  registry->RegisterCallbackGauge(
+      "metaprobe_db_unhealthy_total", "", [this]() {
+        return static_cast<double>(UnhealthyDatabases().size());
+      });
+#else
+  (void)registry;
+#endif
+}
+
+}  // namespace obs
+}  // namespace metaprobe

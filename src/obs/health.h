@@ -1,0 +1,201 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_OBS_HEALTH_H_
+#define METAPROBE_OBS_HEALTH_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/clock.h"
+
+namespace metaprobe {
+namespace obs {
+
+class MetricRegistry;
+
+/// \brief How one probe against a database ended.
+enum class ProbeHealthOutcome {
+  kOk,        ///< Answered within the latency SLO.
+  kDegraded,  ///< Answered, but slower than the latency SLO.
+  kTimeout,   ///< Deadline exceeded / cancelled mid-flight.
+  kError,     ///< Any other failure (IO error, rate limit, bad response).
+};
+
+const char* ProbeHealthOutcomeName(ProbeHealthOutcome outcome);
+
+/// \brief Tuning of the per-database health window and score.
+struct DbHealthOptions {
+  /// Length of the rolling window every rate below is computed over.
+  double window_seconds = 60.0;
+  /// Time slices the window is divided into; rollover granularity. The
+  /// effective window spans between (num_slices - 1) and num_slices slice
+  /// durations — the usual sliced-ring tradeoff.
+  int num_slices = 6;
+  /// Weight of the newest probe in the EWMA latency (0 < alpha <= 1).
+  double ewma_alpha = 0.2;
+  /// Probes slower than this are recorded as kDegraded even when they
+  /// succeed, and the EWMA latency is scored against it.
+  double latency_slo_seconds = 0.5;
+  /// Databases whose health score drops below this are reported unhealthy
+  /// (surfaced in SelectionReport::unhealthy_databases and /statusz).
+  double unhealthy_below = 0.5;
+  /// Borrowed timebase; null = the real clock. Tests inject FakeClock and
+  /// drive window rollover deterministically.
+  const MonotonicClock* clock = nullptr;
+};
+
+/// \brief Point-in-time health view of one database.
+struct DbHealthSnapshot {
+  std::size_t db = 0;
+  std::string name;
+  /// Probe outcomes inside the rolling window.
+  std::uint64_t probes = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t errors = 0;
+  /// (timeouts + errors) / probes; 0 with an empty window.
+  double error_rate = 0.0;
+  /// Mean probe latency inside the window (successful probes only).
+  double window_mean_latency_seconds = 0.0;
+  /// Exponentially weighted latency across windows (successes only);
+  /// 0 until the first successful probe.
+  double ewma_latency_seconds = 0.0;
+  /// Estimate-vs-observation rank concordance inside the window: of the
+  /// probe pairs this database took part in, the fraction whose observed
+  /// relevancy order matched the estimates' order. 1.0 when no pairs.
+  std::uint64_t rank_pairs = 0;
+  std::uint64_t rank_concordant = 0;
+  double rank_agreement = 1.0;
+  /// Composite score in [0, 1]; see DbHealthTracker.
+  double health_score = 1.0;
+  bool healthy = true;
+};
+
+/// \brief Per-database rolling-window probe telemetry with an exported
+/// health score — the substrate the drift detector and the /statusz
+/// scoreboard read.
+///
+/// Each database owns a ring of `num_slices` time slices; a record lands in
+/// the slice covering "now" and slices older than the window are zeroed
+/// lazily on the next record or snapshot (no background thread). Databases
+/// are lock-striped: db i hashes onto one of kHealthStripes mutexes, so
+/// concurrent probe loops touching different databases rarely contend, and
+/// a record is a short critical section of plain arithmetic (~tens of ns).
+///
+/// The health score multiplies three independently-normalized factors:
+///   availability = 1 - error_rate                       (hard failures)
+///   latency      = min(1, slo / ewma_latency)           (sustained slowness)
+///   agreement    = 0.5 + 0.5 * rank_agreement           (model drift signal)
+/// so a backend that is up but drifting — probes succeed yet their observed
+/// ranking stops matching the trained estimates — degrades toward 0.5
+/// rather than hiding behind a perfect error rate. An empty window scores
+/// 1.0: "no data" must not mark a freshly added backend unhealthy.
+///
+/// Under METAPROBE_OBS_DISABLED every record is compiled out (the methods
+/// stay so call sites need no guards) and snapshots report the empty
+/// window. set_enabled(false) is the runtime equivalent: one relaxed load
+/// and a branch per record — the cost the overhead bench's
+/// obs/health_record_disabled entry tracks.
+class DbHealthTracker {
+ public:
+  DbHealthTracker(std::vector<std::string> database_names,
+                  DbHealthOptions options = {});
+
+  DbHealthTracker(const DbHealthTracker&) = delete;
+  DbHealthTracker& operator=(const DbHealthTracker&) = delete;
+
+  /// \brief Records one probe attempt against database `db`. `seconds` is
+  /// the probe's wall time (< 0 = not timed; excluded from latency stats).
+  /// A successful probe slower than the latency SLO is auto-upgraded to
+  /// kDegraded.
+  void RecordProbe(std::size_t db, double seconds,
+                   ProbeHealthOutcome outcome);
+
+  /// \brief Records one estimate-vs-observation order comparison this
+  /// database took part in (see DbHealthSnapshot::rank_agreement).
+  void RecordRankPair(std::size_t db, bool concordant);
+
+  DbHealthSnapshot Snapshot(std::size_t db) const;
+  std::vector<DbHealthSnapshot> SnapshotAll() const;
+
+  /// \brief Health score of `db` right now (1.0 for an empty window).
+  double HealthScore(std::size_t db) const;
+  bool healthy(std::size_t db) const;
+
+  /// \brief Indices of databases currently below the unhealthy threshold,
+  /// ascending.
+  std::vector<std::size_t> UnhealthyDatabases() const;
+
+  /// \brief Registers per-database callback gauges
+  /// (metaprobe_db_health_score / _probe_error_rate /
+  /// _probe_latency_ewma_seconds, label db="<name>", name escaped per the
+  /// exposition format) plus metaprobe_db_unhealthy_total. The tracker must
+  /// outlive the registry's scrapes. No-op when observability is compiled
+  /// out.
+  void RegisterMetrics(MetricRegistry* registry) const;
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  std::size_t num_databases() const { return names_.size(); }
+  const std::string& database_name(std::size_t db) const {
+    return names_[db];
+  }
+  const DbHealthOptions& options() const { return options_; }
+
+ private:
+  static constexpr std::size_t kHealthStripes = 8;
+
+  struct Slice {
+    std::uint64_t ok = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t rank_pairs = 0;
+    std::uint64_t rank_concordant = 0;
+    double latency_sum = 0.0;     ///< successes only
+    std::uint64_t latency_count = 0;
+
+    void Clear() { *this = Slice(); }
+  };
+
+  struct Cell {
+    std::vector<Slice> ring;       ///< num_slices entries
+    std::uint64_t epoch = 0;       ///< slice index of ring head
+    double ewma_latency = 0.0;
+    bool ewma_primed = false;
+  };
+
+  struct alignas(64) Stripe {
+    mutable std::mutex mutex;
+  };
+
+  std::mutex& StripeFor(std::size_t db) const {
+    return stripes_[db % kHealthStripes].mutex;
+  }
+  /// Zeroes slices between the cell's epoch and the slice covering now,
+  /// then points the cell at the current slice. Caller holds the stripe.
+  Slice* AdvanceTo(Cell* cell, std::uint64_t now_ns) const;
+  DbHealthSnapshot SnapshotLocked(std::size_t db,
+                                  std::uint64_t now_ns) const;
+
+  std::vector<std::string> names_;
+  DbHealthOptions options_;
+  const MonotonicClock* clock_;
+  std::uint64_t slice_ns_;
+  std::atomic<bool> enabled_{true};
+  mutable std::array<Stripe, kHealthStripes> stripes_;
+  mutable std::vector<Cell> cells_;
+};
+
+}  // namespace obs
+}  // namespace metaprobe
+
+#endif  // METAPROBE_OBS_HEALTH_H_

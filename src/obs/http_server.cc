@@ -1,0 +1,200 @@
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace metaprobe {
+namespace obs {
+
+namespace {
+
+const char* StatusReason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Error";
+  }
+}
+
+bool WriteAll(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Reads until the end of the request head ("\r\n\r\n") or the cap. GET
+// requests carry no body, so the head is all we need.
+bool ReadRequestHead(int fd, std::string* head) {
+  constexpr std::size_t kMaxHead = 16 * 1024;
+  char buf[1024];
+  while (head->size() < kMaxHead) {
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/2000);
+    if (ready <= 0) return false;  // timeout or error: drop the connection
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // peer closed before finishing the head
+    head->append(buf, static_cast<std::size_t>(n));
+    if (head->find("\r\n\r\n") != std::string::npos ||
+        head->find("\n\n") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(std::string path, Handler handler) {
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+Result<int> HttpServer::Start(const std::string& address, int port) {
+  if (running()) {
+    return Status::FailedPrecondition("http server already running");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError("socket(): ", std::strerror(errno));
+  }
+  const int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen address: ", address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("bind(", address, ":", port,
+                           "): ", std::strerror(err));
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("listen(): ", std::strerror(err));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("getsockname(): ", std::strerror(err));
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::pipe(wake_pipe_) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("pipe(): ", std::strerror(err));
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { ServeLoop(); });
+  return port_;
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  const char wake = 'x';
+  (void)!::write(wake_pipe_[1], &wake, 1);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+}
+
+void HttpServer::ServeLoop() {
+  while (running()) {
+    struct pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int ready = ::poll(fds, 2, /*timeout_ms=*/500);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // Stop() poked the self-pipe
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    ServeConnection(client);
+    ::close(client);
+  }
+}
+
+void HttpServer::ServeConnection(int client_fd) {
+  std::string head;
+  HttpResponse response;
+  if (!ReadRequestHead(client_fd, &head)) return;
+  // Request line: METHOD SP PATH SP VERSION.
+  const std::size_t line_end = head.find_first_of("\r\n");
+  const std::string line = head.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos
+                              ? std::string::npos
+                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    response = {400, "text/plain; charset=utf-8", "bad request\n"};
+  } else if (line.substr(0, sp1) != "GET") {
+    response = {405, "text/plain; charset=utf-8", "only GET is supported\n"};
+  } else {
+    std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+    auto it = handlers_.find(path);
+    if (it == handlers_.end()) {
+      response = {404, "text/plain; charset=utf-8", "not found\n"};
+    } else {
+      response = it->second(path);
+    }
+  }
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    StatusReason(response.status) +
+                    "\r\nContent-Type: " + response.content_type +
+                    "\r\nContent-Length: " +
+                    std::to_string(response.body.size()) +
+                    "\r\nConnection: close\r\n\r\n" + response.body;
+  WriteAll(client_fd, out.data(), out.size());
+}
+
+}  // namespace obs
+}  // namespace metaprobe

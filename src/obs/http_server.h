@@ -1,0 +1,83 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_OBS_HTTP_SERVER_H_
+#define METAPROBE_OBS_HTTP_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/result.h"
+
+namespace metaprobe {
+namespace obs {
+
+/// \brief One introspection response.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// \brief Minimal poll-based HTTP/1.1 GET server for introspection
+/// endpoints — /metrics, /statusz, /tracez, /healthz. Deliberately not a
+/// web framework: no dependencies, GET only, one short-lived connection per
+/// request (`Connection: close`), exact-path dispatch with the query string
+/// stripped.
+///
+/// A single background thread accepts and serves requests sequentially;
+/// handlers therefore must not block for long, and scrape endpoints (which
+/// snapshot lock-free or briefly-locked state) fit that budget. Shutdown is
+/// via a self-pipe the poll loop watches, so Stop() never waits out a poll
+/// timeout.
+///
+/// Usage:
+///     HttpServer server;
+///     server.Handle("/healthz", [](const std::string&) {
+///       return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+///     });
+///     auto port = server.Start("127.0.0.1", 0);  // 0 = ephemeral
+class HttpServer {
+ public:
+  /// Handler receives the request path (query string stripped).
+  using Handler = std::function<HttpResponse(const std::string& path)>;
+
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// \brief Registers `handler` for exact path `path`. Must be called
+  /// before Start (the dispatch map is read without a lock while serving).
+  void Handle(std::string path, Handler handler);
+
+  /// \brief Binds `address:port` (port 0 = kernel-assigned ephemeral port),
+  /// starts the serving thread, and returns the bound port.
+  Result<int> Start(const std::string& address = "127.0.0.1", int port = 0);
+
+  /// \brief Stops the serving thread and closes the listener. Idempotent;
+  /// also run by the destructor.
+  void Stop();
+
+  int port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  void ServeLoop();
+  void ServeConnection(int client_fd);
+
+  std::unordered_map<std::string, Handler> handlers_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // self-pipe: write end wakes the poll loop
+  int port_ = 0;
+};
+
+}  // namespace obs
+}  // namespace metaprobe
+
+#endif  // METAPROBE_OBS_HTTP_SERVER_H_

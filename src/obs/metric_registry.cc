@@ -10,8 +10,10 @@ namespace obs {
 namespace {
 
 // CAS add for the histogram sums; atomic<double>::fetch_add is C++20 but
-// not guaranteed lock-free, and a plain CAS loop is portable.
-void AtomicAddDouble(std::atomic<double>* target, double delta) {
+// not guaranteed lock-free, and a plain CAS loop is portable. Unused when
+// Observe is compiled out under METAPROBE_OBS_DISABLED.
+[[maybe_unused]] void AtomicAddDouble(std::atomic<double>* target,
+                                      double delta) {
   double current = target->load(std::memory_order_relaxed);
   while (!target->compare_exchange_weak(current, current + delta,
                                         std::memory_order_relaxed)) {
@@ -32,6 +34,24 @@ std::string MetricKey(const std::string& name, const std::string& labels) {
   return key;
 }
 
+// Last-resort defense for preformatted label strings built without
+// FormatLabel: a raw newline would truncate the sample line and corrupt
+// every line after it, so escape it here even though the proper fix is
+// escaping at label-construction time.
+void WriteLabels(std::ostream& os, const std::string& labels) {
+  if (labels.find('\n') == std::string::npos) {
+    os << labels;
+    return;
+  }
+  for (char c : labels) {
+    if (c == '\n') {
+      os << "\\n";
+    } else {
+      os << c;
+    }
+  }
+}
+
 // Prometheus sample line: name{labels} value. `extra_label` is appended to
 // the label set (the histogram `le` label).
 void WriteSample(std::ostream& os, const std::string& name,
@@ -39,7 +59,8 @@ void WriteSample(std::ostream& os, const std::string& name,
                  double value) {
   os << name;
   if (!labels.empty() || !extra_label.empty()) {
-    os << '{' << labels;
+    os << '{';
+    WriteLabels(os, labels);
     if (!labels.empty() && !extra_label.empty()) os << ',';
     os << extra_label << '}';
   }
@@ -63,6 +84,35 @@ std::string FormatBound(double bound) {
 }
 
 }  // namespace
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      default:
+        escaped.push_back(c);
+    }
+  }
+  return escaped;
+}
+
+std::string FormatLabel(const std::string& key, const std::string& value) {
+  std::string label = key;
+  label += "=\"";
+  label += EscapeLabelValue(value);
+  label += '"';
+  return label;
+}
 
 // ---------------------------------------------------------------- Histogram
 

@@ -35,6 +35,16 @@ inline std::size_t ThisThreadShard() {
   return shard;
 }
 
+/// \brief Escapes a Prometheus label value per the text exposition format:
+/// backslash, double quote, and newline become `\\`, `\"`, and `\n`.
+/// Apply this (or FormatLabel) whenever a label value comes from data —
+/// database names, tenant ids — rather than a string literal.
+std::string EscapeLabelValue(const std::string& value);
+
+/// \brief Builds one preformatted `key="value"` label pair with the value
+/// escaped. Join multiple pairs with ','.
+std::string FormatLabel(const std::string& key, const std::string& value);
+
 /// \brief Monotonically increasing event count, sharded per thread.
 ///
 /// `Add` is one relaxed fetch_add on the calling thread's shard — no lock,

@@ -1,0 +1,33 @@
+#include "obs/percentile.h"
+
+namespace metaprobe {
+namespace obs {
+
+double PercentileFromCounts(const stats::Histogram& layout,
+                            const std::vector<std::uint64_t>& counts,
+                            double q) {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double next = cum + static_cast<double>(counts[i]);
+    if (next >= rank && counts[i] > 0) {
+      const double lower = i == 0 ? 0.0 : layout.LowerEdge(i);
+      if (i + 1 == counts.size()) return lower;
+      const double upper = layout.UpperEdge(i);
+      const double fraction = (rank - cum) / static_cast<double>(counts[i]);
+      return lower + fraction * (upper - lower);
+    }
+    cum = next;
+  }
+  return layout.LowerEdge(counts.size() - 1);
+}
+
+double Percentile(const Histogram& histogram, double q) {
+  return PercentileFromCounts(histogram.layout(), histogram.BucketCounts(), q);
+}
+
+}  // namespace obs
+}  // namespace metaprobe

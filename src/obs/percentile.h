@@ -1,0 +1,38 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_OBS_PERCENTILE_H_
+#define METAPROBE_OBS_PERCENTILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metric_registry.h"
+#include "stats/histogram.h"
+
+namespace metaprobe {
+namespace obs {
+
+/// \brief Quantile q (in [0, 1]) of a bucketed sample by linear
+/// interpolation inside the bucket holding the target rank.
+///
+/// `layout` supplies the cell edges and `counts` the per-cell sample counts
+/// (one entry per layout cell; the last cell is the open +Inf tail). The
+/// first cell is clamped to [0, e_0); the open-ended last cell reports its
+/// lower edge (an underestimate — callers that care assert the tail stays
+/// empty). Returns 0 when the counts are empty.
+///
+/// This is the one interpolation the SLO monitor, the serving load
+/// generator and the /statusz endpoint all share, so their percentiles are
+/// comparable by construction.
+double PercentileFromCounts(const stats::Histogram& layout,
+                            const std::vector<std::uint64_t>& counts,
+                            double q);
+
+/// \brief PercentileFromCounts over a registry histogram's current
+/// (cumulative-since-start) shard-merged counts.
+double Percentile(const Histogram& histogram, double q);
+
+}  // namespace obs
+}  // namespace metaprobe
+
+#endif  // METAPROBE_OBS_PERCENTILE_H_

@@ -1,0 +1,107 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+
+#include "obs/metric_registry.h"
+#include "obs/percentile.h"
+
+namespace metaprobe {
+namespace obs {
+
+SloMonitor::SloMonitor(std::string name, const Histogram* histogram,
+                       SloOptions options)
+    : name_(std::move(name)),
+      histogram_(histogram),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock : RealClock::Get()) {
+  options_.num_slices = std::max(options_.num_slices, 1);
+  options_.window_seconds = std::max(options_.window_seconds, 1e-3);
+  options_.error_budget = std::max(options_.error_budget, 1e-9);
+  slice_ns_ = static_cast<std::uint64_t>(
+      options_.window_seconds * 1e9 /
+      static_cast<double>(options_.num_slices));
+  if (slice_ns_ == 0) slice_ns_ = 1;
+  if (histogram_ != nullptr) {
+    epoch_ = clock_->NowNanos() / slice_ns_;
+    boundaries_.assign(static_cast<std::size_t>(options_.num_slices),
+                       histogram_->BucketCounts());
+  }
+}
+
+std::vector<std::uint64_t> SloMonitor::WindowedCountsLocked(
+    std::uint64_t now_ns) const {
+  std::vector<std::uint64_t> current = histogram_->BucketCounts();
+  const std::uint64_t now_epoch = now_ns / slice_ns_;
+  if (now_epoch > epoch_) {
+    // Every boundary crossed since the last touch gets "the counts as of
+    // now" — for the usual one-slice advance that is the boundary snapshot
+    // (modulo scrape lag); after a long idle gap all slots are overwritten
+    // and the window correctly reads empty.
+    const std::uint64_t gap = now_epoch - epoch_;
+    const std::uint64_t to_fill =
+        std::min<std::uint64_t>(gap, boundaries_.size());
+    for (std::uint64_t i = 1; i <= to_fill; ++i) {
+      boundaries_[(epoch_ + i) % boundaries_.size()] = current;
+    }
+    epoch_ = now_epoch;
+  }
+  // Oldest retained boundary: start of epoch (epoch_ - num_slices + 1).
+  const std::vector<std::uint64_t>& baseline =
+      boundaries_[(epoch_ + 1) % boundaries_.size()];
+  for (std::size_t i = 0; i < current.size(); ++i) {
+    const std::uint64_t base = i < baseline.size() ? baseline[i] : 0;
+    current[i] = current[i] >= base ? current[i] - base : 0;
+  }
+  return current;
+}
+
+SloSnapshot SloMonitor::Snapshot() const {
+  SloSnapshot snap;
+  snap.name = name_;
+  snap.objective_seconds = options_.objective_seconds;
+  if (histogram_ == nullptr) return snap;
+  const std::uint64_t now_ns = clock_->NowNanos();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::vector<std::uint64_t> counts = WindowedCountsLocked(now_ns);
+  for (std::uint64_t c : counts) snap.window_count += c;
+  if (snap.window_count == 0) return snap;
+  const stats::Histogram& layout = histogram_->layout();
+  snap.p50_seconds = PercentileFromCounts(layout, counts, 0.50);
+  snap.p95_seconds = PercentileFromCounts(layout, counts, 0.95);
+  snap.p99_seconds = PercentileFromCounts(layout, counts, 0.99);
+  std::uint64_t violations = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    // Cell 0 spans (-inf, e_0); its lower edge is not a finite bound.
+    if (i == 0) continue;
+    if (layout.LowerEdge(i) >= options_.objective_seconds - 1e-12) {
+      violations += counts[i];
+    }
+  }
+  snap.violation_fraction =
+      static_cast<double>(violations) / static_cast<double>(snap.window_count);
+  snap.burn_rate = snap.violation_fraction / options_.error_budget;
+  return snap;
+}
+
+void SloMonitor::RegisterMetrics(MetricRegistry* registry) const {
+#ifndef METAPROBE_OBS_DISABLED
+  if (registry == nullptr) return;
+  const std::string label = FormatLabel("slo", name_);
+  registry->RegisterCallbackGauge("metaprobe_slo_latency_p50_seconds", label,
+                                  [this]() { return Snapshot().p50_seconds; });
+  registry->RegisterCallbackGauge("metaprobe_slo_latency_p95_seconds", label,
+                                  [this]() { return Snapshot().p95_seconds; });
+  registry->RegisterCallbackGauge("metaprobe_slo_latency_p99_seconds", label,
+                                  [this]() { return Snapshot().p99_seconds; });
+  registry->RegisterCallbackGauge(
+      "metaprobe_slo_violation_fraction", label,
+      [this]() { return Snapshot().violation_fraction; });
+  registry->RegisterCallbackGauge("metaprobe_slo_burn_rate", label,
+                                  [this]() { return Snapshot().burn_rate; });
+#else
+  (void)registry;
+#endif
+}
+
+}  // namespace obs
+}  // namespace metaprobe

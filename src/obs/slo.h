@@ -1,0 +1,114 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_OBS_SLO_H_
+#define METAPROBE_OBS_SLO_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/clock.h"
+
+namespace metaprobe {
+namespace obs {
+
+class Histogram;
+class MetricRegistry;
+
+/// \brief Tuning of one rolling latency SLO.
+struct SloOptions {
+  /// Length of the rolling window the percentiles and burn rate cover.
+  double window_seconds = 60.0;
+  /// Time slices the window is divided into; rollover granularity. The
+  /// effective window spans between (num_slices - 1) and num_slices slice
+  /// durations.
+  int num_slices = 6;
+  /// Latency objective. Samples at or above it consume error budget. The
+  /// objective is effectively snapped to the histogram's bucket edges:
+  /// every sample in a bucket whose lower edge >= objective counts as a
+  /// violation (with the default latency bounds, 0.5 is an exact edge).
+  double objective_seconds = 0.5;
+  /// Fraction of requests allowed to violate the objective. Burn rate 1.0
+  /// means the budget is being consumed exactly at the sustainable pace;
+  /// >1 means it will be exhausted early.
+  double error_budget = 0.01;
+  /// Borrowed timebase; null = the real clock.
+  const MonotonicClock* clock = nullptr;
+};
+
+/// \brief Point-in-time view of one rolling SLO.
+struct SloSnapshot {
+  std::string name;
+  double objective_seconds = 0.0;
+  /// Samples inside the rolling window.
+  std::uint64_t window_count = 0;
+  /// Windowed latency percentiles (0 with an empty window).
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+  /// Fraction of windowed samples at/above the objective.
+  double violation_fraction = 0.0;
+  /// violation_fraction / error_budget; 0 with an empty window.
+  double burn_rate = 0.0;
+};
+
+/// \brief Rolling-window SLO over an existing registry histogram.
+///
+/// The registry's histograms are cumulative-since-start — fine for
+/// Prometheus, useless for "p99 over the last minute". SloMonitor fixes
+/// that without touching the hot path: it keeps a ring of cumulative
+/// bucket-count snapshots taken lazily at slice boundaries, and a windowed
+/// view is simply (current counts − oldest retained boundary), differenced
+/// per bucket. The observed histogram costs nothing extra per Observe; the
+/// monitor pays only at snapshot/scrape time.
+///
+/// Windowed percentiles use the shared PercentileFromCounts interpolation,
+/// so /statusz, the SLO gauges, and the load generator report comparable
+/// numbers by construction.
+class SloMonitor {
+ public:
+  /// \param name series label value for exported gauges and /statusz rows.
+  /// \param histogram the registry histogram to watch; must outlive the
+  ///   monitor. Null makes every snapshot empty (disabled-observability
+  ///   builds hand out no histograms).
+  SloMonitor(std::string name, const Histogram* histogram,
+             SloOptions options = {});
+
+  SloMonitor(const SloMonitor&) = delete;
+  SloMonitor& operator=(const SloMonitor&) = delete;
+
+  SloSnapshot Snapshot() const;
+
+  /// \brief Registers callback gauges metaprobe_slo_latency_p50_seconds /
+  /// _p95 / _p99, metaprobe_slo_violation_fraction and
+  /// metaprobe_slo_burn_rate, all labelled slo="<name>" (escaped). The
+  /// monitor must outlive the registry's scrapes. No-op when observability
+  /// is compiled out.
+  void RegisterMetrics(MetricRegistry* registry) const;
+
+  const std::string& name() const { return name_; }
+  const SloOptions& options() const { return options_; }
+
+ private:
+  /// Rolls the boundary ring forward to `now_ns` (caller holds mutex_) and
+  /// returns the windowed per-bucket counts.
+  std::vector<std::uint64_t> WindowedCountsLocked(std::uint64_t now_ns) const;
+
+  std::string name_;
+  const Histogram* histogram_;
+  SloOptions options_;
+  const MonotonicClock* clock_;
+  std::uint64_t slice_ns_;
+
+  mutable std::mutex mutex_;
+  /// boundaries_[e % num_slices] = cumulative counts at the start of slice
+  /// epoch e (taken lazily at the first touch after the boundary).
+  mutable std::vector<std::vector<std::uint64_t>> boundaries_;
+  mutable std::uint64_t epoch_ = 0;
+};
+
+}  // namespace obs
+}  // namespace metaprobe
+
+#endif  // METAPROBE_OBS_SLO_H_

@@ -44,6 +44,17 @@ void AppendJsonString(std::string* out, const std::string& s) {
   out->push_back('"');
 }
 
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  AppendJsonEscaped(&out, s);
+  return out;
+}
+
+namespace {
+
 void AppendJsonNumber(std::string* out, double value) {
   char buf[64];
   if (value == static_cast<double>(static_cast<long long>(value))) {
@@ -96,6 +107,16 @@ std::vector<const TraceSpan*> QueryTrace::SpansNamed(
   return out;
 }
 
+double QueryTrace::DurationSeconds() const {
+  if (spans_.empty()) return 0.0;
+  const std::uint64_t start = spans_.front().start_ns;
+  std::uint64_t end = start;
+  for (const TraceSpan& span : spans_) {
+    if (span.end_ns > end) end = span.end_ns;
+  }
+  return static_cast<double>(end - start) * 1e-9;
+}
+
 std::unique_ptr<QueryTrace> QueryTracer::StartTrace(std::string query) {
   std::uint64_t id;
   {
@@ -108,13 +129,35 @@ std::unique_ptr<QueryTrace> QueryTracer::StartTrace(std::string query) {
 void QueryTracer::Finish(std::unique_ptr<QueryTrace> trace) {
   if (trace == nullptr) return;
   std::lock_guard<std::mutex> lock(mutex_);
-  finished_.push_back(std::shared_ptr<const QueryTrace>(std::move(trace)));
+  std::shared_ptr<const QueryTrace> shared(std::move(trace));
+  if (slow_threshold_seconds_ > 0.0 &&
+      shared->DurationSeconds() >= slow_threshold_seconds_) {
+    slow_.push_back(shared);
+    while (slow_.size() > max_slow_) slow_.pop_front();
+  }
+  finished_.push_back(std::move(shared));
   while (finished_.size() > max_finished_) finished_.pop_front();
 }
 
 std::vector<std::shared_ptr<const QueryTrace>> QueryTracer::Snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return {finished_.begin(), finished_.end()};
+}
+
+std::vector<std::shared_ptr<const QueryTrace>> QueryTracer::SnapshotSlow()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {slow_.begin(), slow_.end()};
+}
+
+void QueryTracer::set_slow_threshold_seconds(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  slow_threshold_seconds_ = seconds;
+}
+
+double QueryTracer::slow_threshold_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slow_threshold_seconds_;
 }
 
 std::shared_ptr<const QueryTrace> QueryTracer::Latest() const {
@@ -174,9 +217,15 @@ std::size_t QueryTracer::finished_count() const {
   return finished_.size();
 }
 
+std::size_t QueryTracer::slow_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slow_.size();
+}
+
 void QueryTracer::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   finished_.clear();
+  slow_.clear();
 }
 
 }  // namespace obs

@@ -17,6 +17,11 @@
 namespace metaprobe {
 namespace obs {
 
+/// \brief JSON string-escape per RFC 8259 (backslash, quote, control
+/// characters). Shared by the trace exporter and the /statusz : /tracez
+/// JSON builders.
+std::string JsonEscape(const std::string& s);
+
 /// \brief One timed, attributed step inside a query trace.
 ///
 /// Spans are flat (no parent pointers): a Select trace is a short ordered
@@ -82,6 +87,10 @@ class QueryTrace {
   /// \brief Spans with the given name, in order (e.g. all "probe" rounds).
   std::vector<const TraceSpan*> SpansNamed(const std::string& name) const;
 
+  /// \brief End-to-end duration: first span start to the latest span end.
+  /// 0 for an empty trace.
+  double DurationSeconds() const;
+
  private:
   std::uint64_t trace_id_;
   std::string query_;
@@ -94,11 +103,19 @@ class QueryTrace {
 /// StartTrace/Finish are mutex-guarded (they run once per query, not per
 /// probe). Finished traces are kept in a bounded FIFO — old traces fall off
 /// so a long-lived server doesn't grow without bound.
+///
+/// Traces at least `slow_threshold_seconds` long are additionally filed
+/// into a second bounded ring that only slow traces rotate through. Under
+/// load the recent ring turns over in seconds and a rare slow query would
+/// be gone before anyone looks; the slow ring keeps it visible on /tracez
+/// until max_slow newer slow traces displace it. A trace can sit in both
+/// rings (they share the shared_ptr). Threshold <= 0 disables sampling.
 class QueryTracer {
  public:
   explicit QueryTracer(const MonotonicClock* clock = RealClock::Get(),
-                       std::size_t max_finished = 256)
-      : clock_(clock), max_finished_(max_finished) {}
+                       std::size_t max_finished = 256,
+                       std::size_t max_slow = 64)
+      : clock_(clock), max_finished_(max_finished), max_slow_(max_slow) {}
 
   QueryTracer(const QueryTracer&) = delete;
   QueryTracer& operator=(const QueryTracer&) = delete;
@@ -113,8 +130,16 @@ class QueryTracer {
   /// \brief Copies of the finished traces, oldest first.
   std::vector<std::shared_ptr<const QueryTrace>> Snapshot() const;
 
+  /// \brief Copies of the retained slow traces, oldest first.
+  std::vector<std::shared_ptr<const QueryTrace>> SnapshotSlow() const;
+
   /// \brief Most recent finished trace, or null.
   std::shared_ptr<const QueryTrace> Latest() const;
+
+  /// \brief Traces whose DurationSeconds() >= this are kept in the slow
+  /// ring; <= 0 (the default) disables slow sampling.
+  void set_slow_threshold_seconds(double seconds);
+  double slow_threshold_seconds() const;
 
   /// \brief JSON-lines export: one object per span, flattened attributes.
   /// Each line carries trace_id / query / span name / start+end ns /
@@ -127,6 +152,7 @@ class QueryTracer {
   std::string ExportJsonLinesText() const;
 
   std::size_t finished_count() const;
+  std::size_t slow_count() const;
   void Clear();
 
   const MonotonicClock* clock() const { return clock_; }
@@ -134,9 +160,12 @@ class QueryTracer {
  private:
   const MonotonicClock* clock_;
   std::size_t max_finished_;
+  std::size_t max_slow_;
   mutable std::mutex mutex_;
   std::uint64_t next_trace_id_ = 1;
+  double slow_threshold_seconds_ = 0.0;
   std::deque<std::shared_ptr<const QueryTrace>> finished_;
+  std::deque<std::shared_ptr<const QueryTrace>> slow_;
 };
 
 }  // namespace obs

@@ -72,5 +72,24 @@ std::size_t AdmissionController::num_tenants() const {
   return buckets_.size();
 }
 
+std::vector<AdmissionController::TenantState> AdmissionController::Snapshot()
+    const {
+  std::vector<TenantState> states;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    states.reserve(buckets_.size());
+    for (const auto& [tenant, bucket] : buckets_) {
+      states.push_back({tenant, bucket.tokens(),
+                        bucket.options().refill_per_second,
+                        bucket.options().burst});
+    }
+  }
+  std::sort(states.begin(), states.end(),
+            [](const TenantState& a, const TenantState& b) {
+              return a.tenant < b.tenant;
+            });
+  return states;
+}
+
 }  // namespace serving
 }  // namespace metaprobe

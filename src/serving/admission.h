@@ -7,6 +7,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "obs/clock.h"
 
@@ -36,6 +37,7 @@ class TokenBucket {
   bool TryAcquire(std::uint64_t now_ns, double* retry_after_seconds);
 
   double tokens() const { return tokens_; }
+  const TokenBucketOptions& options() const { return options_; }
 
  private:
   TokenBucketOptions options_;
@@ -64,6 +66,18 @@ class AdmissionController {
   bool Admit(const std::string& tenant, double* retry_after_seconds);
 
   std::size_t num_tenants() const;
+
+  /// \brief Point-in-time view of one tenant's bucket for /statusz.
+  struct TenantState {
+    std::string tenant;
+    double tokens = 0.0;            ///< As of the tenant's last admission.
+    double refill_per_second = 0.0;
+    double burst = 0.0;
+  };
+
+  /// \brief Every seen tenant's bucket state, sorted by tenant id so the
+  /// /statusz table is stable across scrapes.
+  std::vector<TenantState> Snapshot() const;
 
  private:
   TokenBucketOptions defaults_;

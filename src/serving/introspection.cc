@@ -1,0 +1,194 @@
+#include "serving/introspection.h"
+
+#include <cstdio>
+
+namespace metaprobe {
+namespace serving {
+
+namespace {
+
+std::string Js(const std::string& s) {
+  std::string quoted;
+  quoted.reserve(s.size() + 2);
+  quoted.push_back('"');
+  quoted += obs::JsonEscape(s);
+  quoted.push_back('"');
+  return quoted;
+}
+
+std::string Jn(double value) {
+  char buf[64];
+  if (value == static_cast<double>(static_cast<long long>(value))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  return buf;
+}
+
+std::string Jn(std::uint64_t value) {
+  return std::to_string(value);
+}
+
+void AppendTraceArray(
+    std::string* out,
+    const std::vector<std::shared_ptr<const obs::QueryTrace>>& traces) {
+  *out += '[';
+  bool first = true;
+  for (const auto& trace : traces) {
+    if (!first) *out += ',';
+    first = false;
+    *out += "{\"trace_id\":" + Jn(trace->trace_id()) +
+            ",\"query\":" + Js(trace->query()) +
+            ",\"duration_seconds\":" + Jn(trace->DurationSeconds()) +
+            ",\"num_spans\":" + Jn(static_cast<std::uint64_t>(
+                                   trace->spans().size())) +
+            "}";
+  }
+  *out += ']';
+}
+
+}  // namespace
+
+IntrospectionService::IntrospectionService(Components components)
+    : components_(std::move(components)),
+      clock_(components_.clock != nullptr ? components_.clock
+                                          : obs::RealClock::Get()),
+      start_ns_(clock_->NowNanos()) {}
+
+std::string IntrospectionService::MetricsText() const {
+  std::string text;
+  if (components_.searcher != nullptr) {
+    text += components_.searcher->metrics().ExpositionText();
+  }
+  if (components_.server != nullptr) {
+    text += components_.server->metrics().ExpositionText();
+  }
+  return text;
+}
+
+std::string IntrospectionService::StatuszJson() const {
+  std::string json = "{";
+#ifdef METAPROBE_OBS_DISABLED
+  const char* obs_compiled_out = "true";
+#else
+  const char* obs_compiled_out = "false";
+#endif
+  json += "\"build\":{\"compiler\":" + Js(__VERSION__) +
+          ",\"date\":" + Js(__DATE__ " " __TIME__) +
+          ",\"obs_compiled_out\":" + obs_compiled_out + "}";
+  json += ",\"uptime_seconds\":" +
+          Jn(static_cast<double>(clock_->NowNanos() - start_ns_) * 1e-9);
+  if (components_.server != nullptr) {
+    const ServerStats stats = components_.server->stats();
+    json += ",\"server\":{\"accepted\":" + Jn(stats.accepted) +
+            ",\"throttled\":" + Jn(stats.throttled) +
+            ",\"queue_rejections\":" + Jn(stats.queue_rejections) +
+            ",\"shutdown_rejections\":" + Jn(stats.shutdown_rejections) +
+            ",\"completed_ok\":" + Jn(stats.completed_ok) +
+            ",\"completed_degraded\":" + Jn(stats.completed_degraded) +
+            ",\"failed\":" + Jn(stats.failed) +
+            ",\"queue_depth\":" + Jn(stats.queue_depth) + "}";
+    json += ",\"tenants\":[";
+    bool first = true;
+    for (const auto& tenant : components_.server->admission().Snapshot()) {
+      if (!first) json += ',';
+      first = false;
+      json += "{\"tenant\":" + Js(tenant.tenant) +
+              ",\"tokens\":" + Jn(tenant.tokens) +
+              ",\"refill_per_second\":" + Jn(tenant.refill_per_second) +
+              ",\"burst\":" + Jn(tenant.burst) + "}";
+    }
+    json += ']';
+  }
+  if (components_.searcher != nullptr) {
+    const core::ServingStats stats = components_.searcher->stats();
+    json += ",\"searcher\":{\"queries_served\":" + Jn(stats.queries_served) +
+            ",\"batches_served\":" + Jn(stats.batches_served) +
+            ",\"probes_issued\":" + Jn(stats.probes_issued) +
+            ",\"probes_failed\":" + Jn(stats.probes_failed) + "}";
+  }
+  if (!components_.slos.empty()) {
+    json += ",\"slos\":[";
+    bool first = true;
+    for (const obs::SloMonitor* slo : components_.slos) {
+      if (slo == nullptr) continue;
+      const obs::SloSnapshot snap = slo->Snapshot();
+      if (!first) json += ',';
+      first = false;
+      json += "{\"name\":" + Js(snap.name) +
+              ",\"objective_seconds\":" + Jn(snap.objective_seconds) +
+              ",\"window_count\":" + Jn(snap.window_count) +
+              ",\"p50_seconds\":" + Jn(snap.p50_seconds) +
+              ",\"p95_seconds\":" + Jn(snap.p95_seconds) +
+              ",\"p99_seconds\":" + Jn(snap.p99_seconds) +
+              ",\"violation_fraction\":" + Jn(snap.violation_fraction) +
+              ",\"burn_rate\":" + Jn(snap.burn_rate) + "}";
+    }
+    json += ']';
+  }
+  if (components_.health != nullptr) {
+    json += ",\"databases\":[";
+    bool first = true;
+    for (const obs::DbHealthSnapshot& db : components_.health->SnapshotAll()) {
+      if (!first) json += ',';
+      first = false;
+      json += "{\"db\":" + Jn(static_cast<std::uint64_t>(db.db)) +
+              ",\"name\":" + Js(db.name) + ",\"probes\":" + Jn(db.probes) +
+              ",\"ok\":" + Jn(db.ok) + ",\"degraded\":" + Jn(db.degraded) +
+              ",\"timeouts\":" + Jn(db.timeouts) +
+              ",\"errors\":" + Jn(db.errors) +
+              ",\"error_rate\":" + Jn(db.error_rate) +
+              ",\"window_mean_latency_seconds\":" +
+              Jn(db.window_mean_latency_seconds) +
+              ",\"ewma_latency_seconds\":" + Jn(db.ewma_latency_seconds) +
+              ",\"rank_agreement\":" + Jn(db.rank_agreement) +
+              ",\"health_score\":" + Jn(db.health_score) +
+              ",\"healthy\":" + (db.healthy ? "true" : "false") + "}";
+    }
+    json += ']';
+  }
+  json += '}';
+  return json;
+}
+
+std::string IntrospectionService::TracezJson() const {
+  std::string json = "{";
+  if (components_.tracer != nullptr) {
+    json += "\"slow_threshold_seconds\":" +
+            Jn(components_.tracer->slow_threshold_seconds());
+    json += ",\"recent\":";
+    AppendTraceArray(&json, components_.tracer->Snapshot());
+    json += ",\"slow\":";
+    AppendTraceArray(&json, components_.tracer->SnapshotSlow());
+  } else {
+    json += "\"slow_threshold_seconds\":0,\"recent\":[],\"slow\":[]";
+  }
+  json += '}';
+  return json;
+}
+
+void IntrospectionService::RegisterEndpoints(obs::HttpServer* http) const {
+  http->Handle("/healthz", [](const std::string&) {
+    return obs::HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+  });
+#ifdef METAPROBE_OBS_DISABLED
+  // Observability is compiled out: liveness stays, telemetry goes. The
+  // scrape endpoints would only serve empty registries and rings, so they
+  // are not registered at all (a scraper sees 404, not silent zeros).
+  return;
+#endif
+  http->Handle("/metrics", [this](const std::string&) {
+    return obs::HttpResponse{
+        200, "text/plain; version=0.0.4; charset=utf-8", MetricsText()};
+  });
+  http->Handle("/statusz", [this](const std::string&) {
+    return obs::HttpResponse{200, "application/json", StatuszJson()};
+  });
+  http->Handle("/tracez", [this](const std::string&) {
+    return obs::HttpResponse{200, "application/json", TracezJson()};
+  });
+}
+
+}  // namespace serving
+}  // namespace metaprobe

@@ -1,0 +1,71 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_SERVING_INTROSPECTION_H_
+#define METAPROBE_SERVING_INTROSPECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/metasearcher.h"
+#include "obs/health.h"
+#include "obs/http_server.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
+#include "serving/metasearch_server.h"
+
+namespace metaprobe {
+namespace serving {
+
+/// \brief The live introspection surface of a serving stack: binds
+/// /metrics, /statusz, /tracez and /healthz onto an obs::HttpServer.
+///
+/// Everything is borrowed — the service only reads: registry expositions
+/// for /metrics, counter/health/admission/SLO snapshots for /statusz, the
+/// tracer's recent and slow rings for /tracez. Every component is optional
+/// (null members simply drop their section), so the same service works for
+/// a bare Metasearcher and for a full MetasearchServer deployment.
+///
+/// Endpoints:
+///   /healthz — "ok\n" (liveness; reports 200 as long as the process
+///     serves HTTP — backend sickness is /statusz's job).
+///   /metrics — Prometheus text: the searcher's registry followed by the
+///     server's (they share no family names).
+///   /statusz — one JSON object: build info, uptime, serving counters +
+///     queue depth, per-tenant admission table, SLO snapshots, and the
+///     per-database health table.
+///   /tracez  — JSON: slow-trace threshold plus "recent" and "slow" trace
+///     summaries (id, query, duration, span count), newest last.
+class IntrospectionService {
+ public:
+  struct Components {
+    const core::Metasearcher* searcher = nullptr;
+    const MetasearchServer* server = nullptr;
+    const obs::QueryTracer* tracer = nullptr;
+    const obs::DbHealthTracker* health = nullptr;
+    std::vector<const obs::SloMonitor*> slos;
+    /// Timebase for the uptime report; null = the real clock.
+    const obs::MonotonicClock* clock = nullptr;
+  };
+
+  explicit IntrospectionService(Components components);
+
+  /// \brief Registers the four endpoints. Call before HttpServer::Start;
+  /// the service must outlive the HTTP server.
+  void RegisterEndpoints(obs::HttpServer* http) const;
+
+  // Exposed for tests and for embedding into other transports.
+  std::string MetricsText() const;
+  std::string StatuszJson() const;
+  std::string TracezJson() const;
+
+ private:
+  Components components_;
+  const obs::MonotonicClock* clock_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace serving
+}  // namespace metaprobe
+
+#endif  // METAPROBE_SERVING_INTROSPECTION_H_

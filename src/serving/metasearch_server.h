@@ -162,6 +162,7 @@ class MetasearchServer {
   obs::MetricRegistry& metrics() const { return registry_; }
 
   AdmissionController& admission() { return admission_; }
+  const AdmissionController& admission() const { return admission_; }
   const MetasearchServerOptions& options() const { return options_; }
 
  private:

@@ -1,0 +1,537 @@
+// Unit tier for the health telemetry substrate: the per-database rolling
+// window (DbHealthTracker), the rolling SLO monitor, the shared percentile
+// interpolation, and the two integration layers that feed the tracker —
+// the HealthTrackedDatabase decorator and the Metasearcher's probe loop.
+// Everything time-dependent runs on a FakeClock so window rollover is
+// exact.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/deadline.h"
+#include "core/flaky_database.h"
+#include "core/health_tracked_database.h"
+#include "core/metasearcher.h"
+#include "core/relevancy_definition.h"
+#include "index/inverted_index.h"
+#include "obs/clock.h"
+#include "obs/health.h"
+#include "obs/metric_registry.h"
+#include "obs/percentile.h"
+#include "obs/slo.h"
+
+namespace metaprobe {
+namespace {
+
+// 6-second window in 3 slices: each slice spans 2e9 ns.
+obs::DbHealthOptions SmallWindow(const obs::MonotonicClock* clock) {
+  obs::DbHealthOptions options;
+  options.window_seconds = 6.0;
+  options.num_slices = 3;
+  options.clock = clock;
+  return options;
+}
+
+constexpr std::uint64_t kSliceNs = 2'000'000'000;  // 6s / 3 slices
+
+// ---------------------------------------------------- DbHealthTracker
+
+TEST(DbHealthTrackerTest, EmptyWindowIsPerfectlyHealthy) {
+  obs::FakeClock clock(0);
+  obs::DbHealthTracker tracker({"a", "b"}, SmallWindow(&clock));
+  obs::DbHealthSnapshot snap = tracker.Snapshot(0);
+  EXPECT_EQ(snap.probes, 0u);
+  EXPECT_DOUBLE_EQ(snap.health_score, 1.0);
+  EXPECT_DOUBLE_EQ(snap.rank_agreement, 1.0);
+  EXPECT_TRUE(snap.healthy);
+  EXPECT_TRUE(tracker.UnhealthyDatabases().empty());
+}
+
+TEST(DbHealthTrackerTest, CountsEveryOutcomeAndErrorRate) {
+  obs::FakeClock clock(0);
+  obs::DbHealthTracker tracker({"a"}, SmallWindow(&clock));
+  tracker.RecordProbe(0, 0.01, obs::ProbeHealthOutcome::kOk);
+  tracker.RecordProbe(0, 0.02, obs::ProbeHealthOutcome::kDegraded);
+  tracker.RecordProbe(0, 0.03, obs::ProbeHealthOutcome::kTimeout);
+  tracker.RecordProbe(0, 0.04, obs::ProbeHealthOutcome::kError);
+  obs::DbHealthSnapshot snap = tracker.Snapshot(0);
+  EXPECT_EQ(snap.probes, 4u);
+  EXPECT_EQ(snap.ok, 1u);
+  EXPECT_EQ(snap.degraded, 1u);
+  EXPECT_EQ(snap.timeouts, 1u);
+  EXPECT_EQ(snap.errors, 1u);
+  EXPECT_DOUBLE_EQ(snap.error_rate, 0.5);
+  // Latency statistics cover successes only (ok + degraded).
+  EXPECT_DOUBLE_EQ(snap.window_mean_latency_seconds, 0.015);
+}
+
+TEST(DbHealthTrackerTest, SlowSuccessIsAutoUpgradedToDegraded) {
+  obs::FakeClock clock(0);
+  obs::DbHealthOptions options = SmallWindow(&clock);
+  options.latency_slo_seconds = 0.5;
+  obs::DbHealthTracker tracker({"a"}, options);
+  tracker.RecordProbe(0, 0.6, obs::ProbeHealthOutcome::kOk);
+  obs::DbHealthSnapshot snap = tracker.Snapshot(0);
+  EXPECT_EQ(snap.ok, 0u);
+  EXPECT_EQ(snap.degraded, 1u);
+  // Degraded is still a success, so it does not consume error budget.
+  EXPECT_DOUBLE_EQ(snap.error_rate, 0.0);
+}
+
+TEST(DbHealthTrackerTest, UntimedProbesAreExcludedFromLatency) {
+  obs::FakeClock clock(0);
+  obs::DbHealthTracker tracker({"a"}, SmallWindow(&clock));
+  tracker.RecordProbe(0, -1.0, obs::ProbeHealthOutcome::kOk);
+  obs::DbHealthSnapshot snap = tracker.Snapshot(0);
+  EXPECT_EQ(snap.ok, 1u);
+  EXPECT_DOUBLE_EQ(snap.window_mean_latency_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(snap.ewma_latency_seconds, 0.0);
+}
+
+TEST(DbHealthTrackerTest, EwmaPrimesOnFirstSampleThenBlends) {
+  obs::FakeClock clock(0);
+  obs::DbHealthOptions options = SmallWindow(&clock);
+  options.ewma_alpha = 0.5;
+  obs::DbHealthTracker tracker({"a"}, options);
+  tracker.RecordProbe(0, 0.1, obs::ProbeHealthOutcome::kOk);
+  EXPECT_DOUBLE_EQ(tracker.Snapshot(0).ewma_latency_seconds, 0.1);
+  tracker.RecordProbe(0, 0.3, obs::ProbeHealthOutcome::kOk);
+  EXPECT_DOUBLE_EQ(tracker.Snapshot(0).ewma_latency_seconds, 0.2);
+}
+
+TEST(DbHealthTrackerTest, WindowRolloverForgetsOldSlices) {
+  obs::FakeClock clock(0);
+  obs::DbHealthTracker tracker({"a"}, SmallWindow(&clock));
+  tracker.RecordProbe(0, 0.01, obs::ProbeHealthOutcome::kError);
+
+  // One slice later the record is still inside the window.
+  clock.Advance(kSliceNs);
+  EXPECT_EQ(tracker.Snapshot(0).errors, 1u);
+
+  // A fresh record in the new slice coexists with the old one.
+  tracker.RecordProbe(0, 0.01, obs::ProbeHealthOutcome::kOk);
+  obs::DbHealthSnapshot both = tracker.Snapshot(0);
+  EXPECT_EQ(both.probes, 2u);
+
+  // Two more slices: the error's slice has been reused, the ok survives.
+  clock.Advance(2 * kSliceNs);
+  obs::DbHealthSnapshot later = tracker.Snapshot(0);
+  EXPECT_EQ(later.errors, 0u);
+  EXPECT_EQ(later.ok, 1u);
+
+  // Past the whole window everything is gone — but the EWMA, which spans
+  // windows by design, persists.
+  clock.Advance(3 * kSliceNs);
+  obs::DbHealthSnapshot empty = tracker.Snapshot(0);
+  EXPECT_EQ(empty.probes, 0u);
+  EXPECT_DOUBLE_EQ(empty.health_score, 1.0);
+  EXPECT_DOUBLE_EQ(empty.ewma_latency_seconds, 0.01);
+}
+
+TEST(DbHealthTrackerTest, LongIdleGapClearsTheWholeRing) {
+  obs::FakeClock clock(0);
+  obs::DbHealthTracker tracker({"a"}, SmallWindow(&clock));
+  for (int i = 0; i < 10; ++i) {
+    tracker.RecordProbe(0, 0.01, obs::ProbeHealthOutcome::kError);
+  }
+  EXPECT_FALSE(tracker.healthy(0));
+  // A gap of many windows must not leave stale slices behind (the lazy
+  // zeroing is capped at the ring size — this exercises that cap).
+  clock.Advance(1000 * kSliceNs);
+  EXPECT_EQ(tracker.Snapshot(0).probes, 0u);
+  EXPECT_TRUE(tracker.healthy(0));
+}
+
+TEST(DbHealthTrackerTest, HealthScoreMultipliesThreeFactors) {
+  obs::FakeClock clock(0);
+  obs::DbHealthOptions options = SmallWindow(&clock);
+  options.latency_slo_seconds = 0.1;
+  options.ewma_alpha = 1.0;  // EWMA == last sample, for exact arithmetic
+  obs::DbHealthTracker tracker({"a"}, options);
+
+  // 1 ok + 1 error: availability 0.5. The ok probe took 0.2s against a
+  // 0.1s SLO: latency factor 0.5. One discordant rank pair: agreement
+  // factor 0.5 + 0.5 * 0 = 0.5.
+  tracker.RecordProbe(0, 0.2, obs::ProbeHealthOutcome::kOk);  // -> degraded
+  tracker.RecordProbe(0, 0.0, obs::ProbeHealthOutcome::kError);
+  tracker.RecordRankPair(0, false);
+  obs::DbHealthSnapshot snap = tracker.Snapshot(0);
+  EXPECT_DOUBLE_EQ(snap.error_rate, 0.5);
+  EXPECT_DOUBLE_EQ(snap.ewma_latency_seconds, 0.2);
+  EXPECT_DOUBLE_EQ(snap.rank_agreement, 0.0);
+  EXPECT_DOUBLE_EQ(snap.health_score, 0.5 * 0.5 * 0.5);
+  EXPECT_FALSE(snap.healthy);  // 0.125 < default 0.5 threshold
+}
+
+TEST(DbHealthTrackerTest, RankAgreementIsPerDatabasePairFraction) {
+  obs::FakeClock clock(0);
+  obs::DbHealthTracker tracker({"a", "b"}, SmallWindow(&clock));
+  tracker.RecordRankPair(0, true);
+  tracker.RecordRankPair(0, true);
+  tracker.RecordRankPair(0, false);
+  tracker.RecordRankPair(1, true);
+  EXPECT_DOUBLE_EQ(tracker.Snapshot(0).rank_agreement, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(tracker.Snapshot(1).rank_agreement, 1.0);
+  // Rank pairs alone (no probes) leave the window "empty" for scoring.
+  EXPECT_EQ(tracker.Snapshot(0).probes, 0u);
+}
+
+TEST(DbHealthTrackerTest, UnhealthyDatabasesAreListedAscending) {
+  obs::FakeClock clock(0);
+  obs::DbHealthTracker tracker({"a", "b", "c"}, SmallWindow(&clock));
+  for (int i = 0; i < 5; ++i) {
+    tracker.RecordProbe(0, 0.0, obs::ProbeHealthOutcome::kError);
+    tracker.RecordProbe(2, 0.0, obs::ProbeHealthOutcome::kTimeout);
+    tracker.RecordProbe(1, 0.001, obs::ProbeHealthOutcome::kOk);
+  }
+  EXPECT_FALSE(tracker.healthy(0));
+  EXPECT_TRUE(tracker.healthy(1));
+  EXPECT_FALSE(tracker.healthy(2));
+  EXPECT_EQ(tracker.UnhealthyDatabases(),
+            (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(DbHealthTrackerTest, RuntimeDisableSkipsRecording) {
+  obs::FakeClock clock(0);
+  obs::DbHealthTracker tracker({"a"}, SmallWindow(&clock));
+  tracker.set_enabled(false);
+  tracker.RecordProbe(0, 0.01, obs::ProbeHealthOutcome::kError);
+  tracker.RecordRankPair(0, false);
+  EXPECT_EQ(tracker.Snapshot(0).probes, 0u);
+  tracker.set_enabled(true);
+  tracker.RecordProbe(0, 0.01, obs::ProbeHealthOutcome::kError);
+  EXPECT_EQ(tracker.Snapshot(0).errors, 1u);
+}
+
+TEST(DbHealthTrackerTest, OutOfRangeDatabaseIsIgnored) {
+  obs::FakeClock clock(0);
+  obs::DbHealthTracker tracker({"a"}, SmallWindow(&clock));
+  tracker.RecordProbe(7, 0.01, obs::ProbeHealthOutcome::kError);
+  tracker.RecordRankPair(7, true);
+  obs::DbHealthSnapshot snap = tracker.Snapshot(7);
+  EXPECT_EQ(snap.probes, 0u);
+  EXPECT_TRUE(snap.name.empty());
+}
+
+TEST(DbHealthTrackerTest, RegisterMetricsExportsPerDatabaseGauges) {
+  obs::FakeClock clock(0);
+  obs::DbHealthTracker tracker({"pubmed", "weird\"name"},
+                               SmallWindow(&clock));
+  for (int i = 0; i < 4; ++i) {
+    tracker.RecordProbe(0, 0.01, obs::ProbeHealthOutcome::kError);
+  }
+  obs::MetricRegistry registry;
+  tracker.RegisterMetrics(&registry);
+  const std::string text = registry.ExpositionText();
+  EXPECT_NE(text.find("metaprobe_db_health_score{db=\"pubmed\"} 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("metaprobe_db_probe_error_rate{db=\"pubmed\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("metaprobe_db_window_probes{db=\"pubmed\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("metaprobe_db_unhealthy_total 1"), std::string::npos);
+  // The second database's quote is escaped in the exported label.
+  EXPECT_NE(text.find("db=\"weird\\\"name\""), std::string::npos);
+}
+
+// --------------------------------------------------------- SloMonitor
+
+TEST(SloMonitorTest, NullHistogramYieldsEmptySnapshots) {
+  obs::SloMonitor slo("noop", nullptr);
+  obs::SloSnapshot snap = slo.Snapshot();
+  EXPECT_EQ(snap.name, "noop");
+  EXPECT_EQ(snap.window_count, 0u);
+  EXPECT_DOUBLE_EQ(snap.burn_rate, 0.0);
+}
+
+TEST(SloMonitorTest, WindowedPercentilesViolationsAndBurnRate) {
+  obs::FakeClock clock(0);
+  obs::MetricRegistry registry;
+  obs::Histogram* histogram =
+      registry.GetHistogram("latency", "", {0.1, 0.5, 1.0});
+  obs::SloOptions options;
+  options.window_seconds = 6.0;
+  options.num_slices = 3;
+  options.objective_seconds = 0.5;
+  options.error_budget = 0.1;
+  options.clock = &clock;
+  obs::SloMonitor slo("test", histogram, options);
+
+  for (int i = 0; i < 8; ++i) histogram->Observe(0.05);
+  for (int i = 0; i < 2; ++i) histogram->Observe(0.6);
+  obs::SloSnapshot snap = slo.Snapshot();
+  EXPECT_EQ(snap.window_count, 10u);
+  // 2 of 10 samples land in the [0.5, 1.0) bucket, at/above the objective.
+  EXPECT_DOUBLE_EQ(snap.violation_fraction, 0.2);
+  EXPECT_DOUBLE_EQ(snap.burn_rate, 2.0);  // 0.2 violation / 0.1 budget
+  EXPECT_LT(snap.p50_seconds, 0.1);
+  EXPECT_GE(snap.p99_seconds, 0.5);
+  EXPECT_LT(snap.p99_seconds, 1.0);
+}
+
+TEST(SloMonitorTest, SamplesFallOutOfTheRollingWindow) {
+  obs::FakeClock clock(0);
+  obs::MetricRegistry registry;
+  obs::Histogram* histogram =
+      registry.GetHistogram("latency", "", {0.1, 0.5, 1.0});
+  obs::SloOptions options;
+  options.window_seconds = 6.0;
+  options.num_slices = 3;
+  options.objective_seconds = 0.5;
+  options.clock = &clock;
+  obs::SloMonitor slo("test", histogram, options);
+
+  for (int i = 0; i < 4; ++i) histogram->Observe(0.6);  // all violations
+  EXPECT_DOUBLE_EQ(slo.Snapshot().violation_fraction, 1.0);
+
+  // One slice later: fresh healthy traffic joins the old violations. The
+  // boundary snapshot is taken lazily at the first touch after the
+  // crossing, so touch the monitor before the new samples land — samples
+  // observed before that first touch are attributed to the older slice.
+  clock.Advance(kSliceNs);
+  (void)slo.Snapshot();
+  for (int i = 0; i < 4; ++i) histogram->Observe(0.05);
+  obs::SloSnapshot mixed = slo.Snapshot();
+  EXPECT_EQ(mixed.window_count, 8u);
+  EXPECT_DOUBLE_EQ(mixed.violation_fraction, 0.5);
+
+  // Advance until the violation slice leaves the window; snapshots must
+  // keep rolling boundaries forward even with no new samples.
+  clock.Advance(2 * kSliceNs);
+  obs::SloSnapshot rolled = slo.Snapshot();
+  EXPECT_EQ(rolled.window_count, 4u);
+  EXPECT_DOUBLE_EQ(rolled.violation_fraction, 0.0);
+
+  // After a long idle gap the window is empty.
+  clock.Advance(100 * kSliceNs);
+  EXPECT_EQ(slo.Snapshot().window_count, 0u);
+}
+
+TEST(SloMonitorTest, RegisterMetricsExportsLabelledGauges) {
+  obs::FakeClock clock(0);
+  obs::MetricRegistry registry;
+  obs::Histogram* histogram = registry.GetHistogram("latency", "");
+  obs::SloOptions options;
+  options.clock = &clock;
+  options.error_budget = 0.01;
+  obs::SloMonitor slo("server_latency", histogram, options);
+  slo.RegisterMetrics(&registry);
+  const std::string text = registry.ExpositionText();
+  EXPECT_NE(text.find("metaprobe_slo_latency_p99_seconds"
+                      "{slo=\"server_latency\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("metaprobe_slo_burn_rate{slo=\"server_latency\"}"),
+            std::string::npos);
+}
+
+// --------------------------------------------------------- Percentile
+
+TEST(PercentileTest, InterpolatesInsideTheTargetBucket) {
+  stats::Histogram layout =
+      stats::Histogram::Make({1.0, 2.0, 4.0}).ValueOrDie();
+  // Cells: (-inf,1) [1,2) [2,4) [4,inf). All 4 samples in [1,2).
+  std::vector<std::uint64_t> counts = {0, 4, 0, 0};
+  EXPECT_DOUBLE_EQ(obs::PercentileFromCounts(layout, counts, 0.5), 1.5);
+  EXPECT_DOUBLE_EQ(obs::PercentileFromCounts(layout, counts, 1.0), 2.0);
+}
+
+TEST(PercentileTest, FirstCellIsClampedToZeroAndTailReportsLowerEdge) {
+  stats::Histogram layout =
+      stats::Histogram::Make({1.0, 2.0, 4.0}).ValueOrDie();
+  std::vector<std::uint64_t> under = {2, 0, 0, 0};
+  // The (-inf, 1) cell is treated as [0, 1) for latencies.
+  EXPECT_DOUBLE_EQ(obs::PercentileFromCounts(layout, under, 0.5), 0.5);
+  std::vector<std::uint64_t> over = {0, 0, 0, 2};
+  // The open [4, inf) tail reports its lower edge (an underestimate).
+  EXPECT_DOUBLE_EQ(obs::PercentileFromCounts(layout, over, 0.99), 4.0);
+  EXPECT_DOUBLE_EQ(obs::PercentileFromCounts(layout, {}, 0.5), 0.0);
+}
+
+// --------------------------------------------- HealthTrackedDatabase
+
+std::shared_ptr<core::LocalDatabase> MakeTinyDb(const std::string& name) {
+  index::InvertedIndex::Builder builder;
+  for (int d = 0; d < 8; ++d) {
+    builder.AddDocument(d % 2 == 0
+                            ? std::vector<std::string>{"alpha", "beta"}
+                            : std::vector<std::string>{"gamma"});
+  }
+  return std::make_shared<core::LocalDatabase>(
+      name, std::move(builder).Build().ValueOrDie());
+}
+
+core::Query MakeQuery(std::vector<std::string> terms) {
+  core::Query q;
+  q.terms = std::move(terms);
+  return q;
+}
+
+TEST(HealthTrackedDatabaseTest, SuccessfulOperationsRecordOk) {
+  obs::FakeClock clock(0);
+  obs::DbHealthTracker tracker({"tiny"}, SmallWindow(&clock));
+  core::HealthTrackedDatabase db(MakeTinyDb("tiny"), &tracker, 0);
+  EXPECT_EQ(db.name(), "tiny");
+  ASSERT_TRUE(db.CountMatches(MakeQuery({"alpha"})).ok());
+  ASSERT_TRUE(db.Search(MakeQuery({"alpha"}), 2).ok());
+  obs::DbHealthSnapshot snap = tracker.Snapshot(0);
+  EXPECT_EQ(snap.ok, 2u);
+  EXPECT_EQ(snap.errors, 0u);
+}
+
+TEST(HealthTrackedDatabaseTest, InjectedFailuresRecordErrors) {
+  obs::FakeClock clock(0);
+  obs::DbHealthTracker tracker({"flaky"}, SmallWindow(&clock));
+  auto flaky =
+      std::make_shared<core::FlakyDatabase>(MakeTinyDb("flaky"), 1.0, 42);
+  core::HealthTrackedDatabase db(flaky, &tracker, 0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(db.CountMatches(MakeQuery({"alpha"})).ok());
+  }
+  obs::DbHealthSnapshot snap = tracker.Snapshot(0);
+  EXPECT_EQ(snap.errors, 3u);
+  EXPECT_DOUBLE_EQ(snap.error_rate, 1.0);
+  EXPECT_FALSE(snap.healthy);
+}
+
+TEST(HealthTrackedDatabaseTest, ExpiredBatchDeadlineRecordsTimeoutPerQuery) {
+  obs::FakeClock clock(1000);
+  obs::DbHealthTracker tracker({"tiny"}, SmallWindow(&clock));
+  core::HealthTrackedDatabase db(MakeTinyDb("tiny"), &tracker, 0);
+  core::Query q1 = MakeQuery({"alpha"});
+  core::Query q2 = MakeQuery({"beta"});
+  core::Query q3 = MakeQuery({"gamma"});
+  std::vector<const core::Query*> batch = {&q1, &q2, &q3};
+  core::Deadline expired;
+  expired.clock = &clock;
+  expired.at_ns = 1;  // already past
+  Result<std::vector<double>> result = db.ProbeBatch(
+      batch, core::RelevancyDefinition::kDocumentFrequency, expired);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded());
+  // A batch of n queries records n outcomes, keeping windowed probe
+  // counts comparable between the batched and per-probe paths.
+  obs::DbHealthSnapshot snap = tracker.Snapshot(0);
+  EXPECT_EQ(snap.timeouts, 3u);
+  EXPECT_EQ(snap.probes, 3u);
+}
+
+TEST(HealthTrackedDatabaseTest, BatchSuccessRecordsOnePerQuery) {
+  obs::FakeClock clock(0);
+  obs::DbHealthTracker tracker({"tiny"}, SmallWindow(&clock));
+  core::HealthTrackedDatabase db(MakeTinyDb("tiny"), &tracker, 0);
+  core::Query q1 = MakeQuery({"alpha"});
+  core::Query q2 = MakeQuery({"gamma"});
+  std::vector<const core::Query*> batch = {&q1, &q2};
+  ASSERT_TRUE(db.ProbeBatch(batch, core::RelevancyDefinition::kDocumentFrequency,
+                            core::Deadline::None())
+                  .ok());
+  EXPECT_EQ(tracker.Snapshot(0).ok, 2u);
+}
+
+// -------------------------------------- Metasearcher integration
+
+std::shared_ptr<core::LocalDatabase> MakePatternedDb(const std::string& name,
+                                                     int pattern) {
+  index::InvertedIndex::Builder builder;
+  for (int d = 0; d < 200; ++d) {
+    std::vector<std::string> terms;
+    switch (pattern) {
+      case 0:
+        terms = d % 2 == 0 ? std::vector<std::string>{"alpha", "beta", "pad"}
+                           : std::vector<std::string>{"pad", "fill"};
+        break;
+      case 1:
+        terms = d % 2 == 0 ? std::vector<std::string>{"alpha", "pad"}
+                           : std::vector<std::string>{"beta", "fill"};
+        break;
+      default:
+        if (d % 4 == 0) terms = {"alpha", "beta"};
+        else if (d % 4 == 1) terms = {"alpha", "pad"};
+        else if (d % 4 == 2) terms = {"beta", "pad"};
+        else terms = {"pad", "fill"};
+        break;
+    }
+    builder.AddDocument(terms);
+  }
+  return std::make_shared<core::LocalDatabase>(
+      name, std::move(builder).Build().ValueOrDie());
+}
+
+class MetasearcherHealthTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(searcher_.AddLocalDatabase(MakePatternedDb("corr", 0)).ok());
+    ASSERT_TRUE(searcher_.AddLocalDatabase(MakePatternedDb("anti", 1)).ok());
+    ASSERT_TRUE(searcher_.AddLocalDatabase(MakePatternedDb("mix", 2)).ok());
+    std::vector<core::Query> training;
+    for (int i = 0; i < 30; ++i) {
+      training.push_back(MakeQuery({"alpha", "beta"}));
+      training.push_back(MakeQuery({"alpha", "fill"}));
+      training.push_back(MakeQuery({"alpha", "pad"}));
+      training.push_back(MakeQuery({"beta", "pad"}));
+      training.push_back(MakeQuery({"pad", "fill"}));
+    }
+    ASSERT_TRUE(searcher_.Train(training).ok());
+  }
+
+  core::Metasearcher searcher_;
+};
+
+TEST_F(MetasearcherHealthTest, ServingProbesFeedTheTracker) {
+  obs::DbHealthTracker tracker({"corr", "anti", "mix"});
+  searcher_.SetHealthTracker(&tracker);
+  ASSERT_EQ(searcher_.health_tracker(), &tracker);
+
+  // A demanding threshold forces real probes through the wrapped oracle.
+  Result<core::SelectionReport> result =
+      searcher_.Select(MakeQuery({"alpha", "beta"}), 1, 0.9999);
+  ASSERT_TRUE(result.ok());
+  const core::SelectionReport& report = result.ValueOrDie();
+  ASSERT_FALSE(report.probe_order.empty());
+
+  std::uint64_t recorded = 0;
+  std::uint64_t rank_pairs = 0;
+  for (const obs::DbHealthSnapshot& snap : tracker.SnapshotAll()) {
+    recorded += snap.probes;
+    rank_pairs += snap.rank_pairs;
+  }
+  EXPECT_EQ(recorded, report.probe_order.size());
+  // Every probed pair is compared estimate-vs-observed, credited to both
+  // databases.
+  if (report.probe_order.size() >= 2) {
+    EXPECT_GT(rank_pairs, 0u);
+  }
+  EXPECT_TRUE(report.unhealthy_databases.empty());
+}
+
+TEST_F(MetasearcherHealthTest, UnhealthyBackendsSurfaceInTheReport) {
+  obs::DbHealthTracker tracker({"corr", "anti", "mix"});
+  searcher_.SetHealthTracker(&tracker);
+  for (int i = 0; i < 100; ++i) {
+    tracker.RecordProbe(1, 0.0, obs::ProbeHealthOutcome::kError);
+  }
+  Result<core::SelectionReport> result =
+      searcher_.Select(MakeQuery({"alpha"}), 1, 0.5);
+  ASSERT_TRUE(result.ok());
+  const core::SelectionReport& report = result.ValueOrDie();
+  ASSERT_EQ(report.unhealthy_databases.size(), 1u);
+  EXPECT_EQ(report.unhealthy_databases[0], 1u);
+  // Unhealthy backends are surfaced, not excluded: selection still ran.
+  EXPECT_FALSE(report.databases.empty());
+}
+
+TEST_F(MetasearcherHealthTest, TrackerGaugesJoinSearcherExposition) {
+  obs::DbHealthTracker tracker({"corr", "anti", "mix"});
+  searcher_.SetHealthTracker(&tracker);
+  const std::string text = searcher_.metrics().ExpositionText();
+  EXPECT_NE(text.find("metaprobe_db_health_score{db=\"corr\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("metaprobe_db_unhealthy_total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace metaprobe

@@ -1,0 +1,330 @@
+// End-to-end tier for the introspection surface: the dependency-free HTTP
+// server (dispatch, query-string stripping, error statuses, shutdown) and
+// the IntrospectionService wired to a live Metasearcher + MetasearchServer
+// stack — a raw-socket client scrapes /metrics, /statusz, /tracez and
+// /healthz and asserts on the payloads, exactly the way tools/check.sh
+// does against the example binary.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/metasearcher.h"
+#include "index/inverted_index.h"
+#include "obs/clock.h"
+#include "obs/health.h"
+#include "obs/http_server.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
+#include "serving/introspection.h"
+#include "serving/metasearch_server.h"
+
+namespace metaprobe {
+namespace {
+
+// ------------------------------------------------- raw-socket client
+
+// Sends `raw` to 127.0.0.1:port and returns everything the server writes
+// until it closes the connection (the server always answers
+// `Connection: close`). Empty string on connect failure.
+std::string RawRequest(int port, const std::string& raw) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < raw.size()) {
+    const ssize_t n = ::write(fd, raw.data() + sent, raw.size() - sent);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Get(int port, const std::string& path) {
+  return RawRequest(port, "GET " + path +
+                              " HTTP/1.1\r\nHost: localhost\r\n"
+                              "Connection: close\r\n\r\n");
+}
+
+// The response body (everything after the blank line).
+std::string Body(const std::string& response) {
+  const std::size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+// ------------------------------------------------------- HttpServer
+
+TEST(HttpServerTest, ServesHandlerOnEphemeralPort) {
+  obs::HttpServer server;
+  server.Handle("/ping", [](const std::string&) {
+    return obs::HttpResponse{200, "text/plain; charset=utf-8", "pong\n"};
+  });
+  Result<int> port = server.Start("127.0.0.1", 0);
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+  ASSERT_GT(port.ValueOrDie(), 0);
+  EXPECT_TRUE(server.running());
+  EXPECT_EQ(server.port(), port.ValueOrDie());
+
+  const std::string response = Get(port.ValueOrDie(), "/ping");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 5"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  EXPECT_EQ(Body(response), "pong\n");
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // idempotent
+}
+
+TEST(HttpServerTest, StripsQueryStringBeforeDispatch) {
+  obs::HttpServer server;
+  std::string seen_path;
+  server.Handle("/metrics", [&seen_path](const std::string& path) {
+    seen_path = path;
+    return obs::HttpResponse{200, "text/plain; charset=utf-8", "ok"};
+  });
+  Result<int> port = server.Start();
+  ASSERT_TRUE(port.ok());
+  const std::string response =
+      Get(port.ValueOrDie(), "/metrics?format=prometheus&x=1");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_EQ(seen_path, "/metrics");
+}
+
+TEST(HttpServerTest, UnknownPathIs404) {
+  obs::HttpServer server;
+  server.Handle("/known", [](const std::string&) {
+    return obs::HttpResponse{};
+  });
+  Result<int> port = server.Start();
+  ASSERT_TRUE(port.ok());
+  const std::string response = Get(port.ValueOrDie(), "/unknown");
+  EXPECT_NE(response.find("HTTP/1.1 404 Not Found"), std::string::npos);
+}
+
+TEST(HttpServerTest, NonGetMethodIs405) {
+  obs::HttpServer server;
+  server.Handle("/metrics", [](const std::string&) {
+    return obs::HttpResponse{};
+  });
+  Result<int> port = server.Start();
+  ASSERT_TRUE(port.ok());
+  const std::string response = RawRequest(
+      port.ValueOrDie(),
+      "POST /metrics HTTP/1.1\r\nHost: localhost\r\n"
+      "Content-Length: 0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 405 Method Not Allowed"),
+            std::string::npos);
+}
+
+TEST(HttpServerTest, MalformedRequestLineIs400) {
+  obs::HttpServer server;
+  Result<int> port = server.Start();
+  ASSERT_TRUE(port.ok());
+  const std::string response =
+      RawRequest(port.ValueOrDie(), "garbage\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 400 Bad Request"), std::string::npos);
+}
+
+TEST(HttpServerTest, DoubleStartIsRejected) {
+  obs::HttpServer server;
+  Result<int> port = server.Start();
+  ASSERT_TRUE(port.ok());
+  Result<int> again = server.Start();
+  EXPECT_FALSE(again.ok());
+}
+
+// ------------------------------------------- introspection end-to-end
+
+std::shared_ptr<core::LocalDatabase> MakeDb(const std::string& name,
+                                            int pattern) {
+  index::InvertedIndex::Builder builder;
+  for (int d = 0; d < 200; ++d) {
+    std::vector<std::string> terms;
+    if (pattern == 0) {
+      terms = d % 2 == 0 ? std::vector<std::string>{"alpha", "beta", "pad"}
+                         : std::vector<std::string>{"pad", "fill"};
+    } else {
+      terms = d % 2 == 0 ? std::vector<std::string>{"alpha", "pad"}
+                         : std::vector<std::string>{"beta", "fill"};
+    }
+    builder.AddDocument(terms);
+  }
+  return std::make_shared<core::LocalDatabase>(
+      name, std::move(builder).Build().ValueOrDie());
+}
+
+core::Query MakeQuery(std::vector<std::string> terms) {
+  core::Query q;
+  q.terms = std::move(terms);
+  return q;
+}
+
+// The full serving + observability stack behind the four endpoints, pumped
+// deterministically (zero workers, manual RunOne).
+class IntrospectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    searcher_ = std::make_unique<core::Metasearcher>();
+    ASSERT_TRUE(searcher_->AddLocalDatabase(MakeDb("corr", 0)).ok());
+    ASSERT_TRUE(searcher_->AddLocalDatabase(MakeDb("anti", 1)).ok());
+    std::vector<core::Query> training;
+    for (int i = 0; i < 30; ++i) {
+      training.push_back(MakeQuery({"alpha", "beta"}));
+      training.push_back(MakeQuery({"alpha", "pad"}));
+      training.push_back(MakeQuery({"pad", "fill"}));
+    }
+    ASSERT_TRUE(searcher_->Train(training).ok());
+
+    tracer_ = std::make_unique<obs::QueryTracer>();
+    searcher_->SetTracer(tracer_.get());
+    health_ = std::make_unique<obs::DbHealthTracker>(
+        std::vector<std::string>{"corr", "anti"});
+    searcher_->SetHealthTracker(health_.get());
+
+    serving::MetasearchServerOptions options;
+    options.num_workers = 0;
+    options.default_k = 1;
+    server_ = std::make_unique<serving::MetasearchServer>(searcher_.get(),
+                                                          options);
+    slo_ = std::make_unique<obs::SloMonitor>(
+        "server_latency",
+        server_->metrics().GetHistogram("metaprobe_server_latency_seconds"));
+    slo_->RegisterMetrics(&server_->metrics());
+
+    serving::IntrospectionService::Components components;
+    components.searcher = searcher_.get();
+    components.server = server_.get();
+    components.tracer = tracer_.get();
+    components.health = health_.get();
+    components.slos = {slo_.get()};
+    introspection_ =
+        std::make_unique<serving::IntrospectionService>(components);
+    introspection_->RegisterEndpoints(&http_);
+    Result<int> port = http_.Start("127.0.0.1", 0);
+    ASSERT_TRUE(port.ok()) << port.status().ToString();
+    port_ = port.ValueOrDie();
+  }
+
+  // One served request end to end, so stats and health windows are warm.
+  void ServeOne() {
+    serving::ServeRequest request;
+    request.query = MakeQuery({"alpha", "beta"});
+    request.threshold = 0.9999;  // force real probes
+    serving::Ticket ticket = server_->Submit(std::move(request));
+    ASSERT_TRUE(ticket.accepted());
+    ASSERT_TRUE(server_->RunOne());
+    ASSERT_TRUE(ticket.response.get().status.ok());
+  }
+
+  std::unique_ptr<core::Metasearcher> searcher_;
+  std::unique_ptr<obs::QueryTracer> tracer_;
+  std::unique_ptr<obs::DbHealthTracker> health_;
+  std::unique_ptr<serving::MetasearchServer> server_;
+  std::unique_ptr<obs::SloMonitor> slo_;
+  std::unique_ptr<serving::IntrospectionService> introspection_;
+  obs::HttpServer http_;
+  int port_ = 0;
+};
+
+TEST_F(IntrospectionTest, HealthzAnswersOk) {
+  const std::string response = Get(port_, "/healthz");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_EQ(Body(response), "ok\n");
+}
+
+TEST_F(IntrospectionTest, MetricsScrapeCarriesHealthAndSloSeries) {
+  ServeOne();
+  const std::string response = Get(port_, "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  const std::string body = Body(response);
+  // Searcher registry: per-database health gauges for every backend.
+  EXPECT_NE(body.find("metaprobe_db_health_score{db=\"corr\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("metaprobe_db_health_score{db=\"anti\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("metaprobe_db_unhealthy_total 0"), std::string::npos);
+  // Server registry: serving counters and the SLO gauges riding with them.
+  EXPECT_NE(body.find("metaprobe_server_requests_total"), std::string::npos);
+  EXPECT_NE(body.find("metaprobe_slo_latency_p99_seconds"
+                      "{slo=\"server_latency\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("metaprobe_slo_burn_rate{slo=\"server_latency\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("# TYPE"), std::string::npos);
+}
+
+TEST_F(IntrospectionTest, StatuszReportsEveryComponent) {
+  ServeOne();
+  const std::string response = Get(port_, "/statusz");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+  const std::string body = Body(response);
+  ASSERT_FALSE(body.empty());
+  EXPECT_EQ(body.front(), '{');
+  EXPECT_EQ(body.back(), '}');
+  EXPECT_NE(body.find("\"build\":{\"compiler\":"), std::string::npos);
+  EXPECT_NE(body.find("\"uptime_seconds\":"), std::string::npos);
+  EXPECT_NE(body.find("\"server\":{\"accepted\":1"), std::string::npos);
+  EXPECT_NE(body.find("\"queue_depth\":0"), std::string::npos);
+  EXPECT_NE(body.find("\"tenants\":[{\"tenant\":\"default\""),
+            std::string::npos);
+  EXPECT_NE(body.find("\"searcher\":{\"queries_served\":"),
+            std::string::npos);
+  EXPECT_NE(body.find("\"slos\":[{\"name\":\"server_latency\""),
+            std::string::npos);
+  // One health row per backend, with the fields the scoreboard renders.
+  EXPECT_NE(body.find("\"name\":\"corr\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"anti\""), std::string::npos);
+  EXPECT_NE(body.find("\"health_score\":"), std::string::npos);
+  EXPECT_NE(body.find("\"healthy\":true"), std::string::npos);
+}
+
+TEST_F(IntrospectionTest, TracezListsRecentAndSlowTraces) {
+  tracer_->set_slow_threshold_seconds(1e-9);  // everything samples as slow
+  ServeOne();
+  const std::string response = Get(port_, "/tracez");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  const std::string body = Body(response);
+  EXPECT_NE(body.find("\"slow_threshold_seconds\":"), std::string::npos);
+  EXPECT_NE(body.find("\"recent\":[{\"trace_id\":"), std::string::npos);
+  EXPECT_NE(body.find("\"slow\":[{\"trace_id\":"), std::string::npos);
+  EXPECT_NE(body.find("\"duration_seconds\":"), std::string::npos);
+  EXPECT_NE(body.find("\"num_spans\":"), std::string::npos);
+}
+
+TEST_F(IntrospectionTest, UnknownIntrospectionPathIs404) {
+  const std::string response = Get(port_, "/nope");
+  EXPECT_NE(response.find("HTTP/1.1 404 Not Found"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace metaprobe

@@ -260,6 +260,111 @@ TEST(QueryTracerTest, TraceIdsAreUniqueAndIncreasing) {
   EXPECT_LT(a->trace_id(), b->trace_id());
 }
 
+// Finishes one trace whose single span lasts `duration_ns`.
+void FinishTraceOfDuration(QueryTracer* tracer, FakeClock* clock,
+                           const std::string& query,
+                           std::uint64_t duration_ns) {
+  std::unique_ptr<QueryTrace> trace = tracer->StartTrace(query);
+  TraceSpan* span = trace->StartSpan("work");
+  clock->Advance(duration_ns);
+  trace->EndSpan(span);
+  tracer->Finish(std::move(trace));
+}
+
+TEST(QueryTracerTest, SlowRingKeepsOnlyTracesAtOrAboveThreshold) {
+  FakeClock clock(0);
+  QueryTracer tracer(&clock);
+  // Threshold <= 0 (the default) disables slow sampling entirely.
+  FinishTraceOfDuration(&tracer, &clock, "pre-threshold", 5'000'000);
+  EXPECT_EQ(tracer.slow_count(), 0u);
+
+  tracer.set_slow_threshold_seconds(0.010);
+  EXPECT_DOUBLE_EQ(tracer.slow_threshold_seconds(), 0.010);
+  FinishTraceOfDuration(&tracer, &clock, "fast", 1'000'000);      // 1ms
+  FinishTraceOfDuration(&tracer, &clock, "slow", 50'000'000);     // 50ms
+  FinishTraceOfDuration(&tracer, &clock, "boundary", 10'000'000); // exactly
+  auto slow = tracer.SnapshotSlow();
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_EQ(slow[0]->query(), "slow");
+  EXPECT_EQ(slow[1]->query(), "boundary");
+  // Slow traces also sit in the regular finished ring (shared ownership).
+  EXPECT_EQ(tracer.finished_count(), 4u);
+}
+
+TEST(QueryTracerTest, SlowRingIsBoundedAndSurvivesFinishedEviction) {
+  FakeClock clock(0);
+  // A tiny finished ring next to a slow ring of 2: slow traces stay
+  // visible on /tracez after newer fast traces push them out of recent.
+  QueryTracer tracer(&clock, /*max_finished=*/1, /*max_slow=*/2);
+  tracer.set_slow_threshold_seconds(0.010);
+  FinishTraceOfDuration(&tracer, &clock, "slow0", 20'000'000);
+  FinishTraceOfDuration(&tracer, &clock, "slow1", 30'000'000);
+  FinishTraceOfDuration(&tracer, &clock, "slow2", 40'000'000);
+  FinishTraceOfDuration(&tracer, &clock, "fast", 1'000);
+  auto slow = tracer.SnapshotSlow();
+  ASSERT_EQ(slow.size(), 2u);  // slow0 displaced by newer slow traces
+  EXPECT_EQ(slow[0]->query(), "slow1");
+  EXPECT_EQ(slow[1]->query(), "slow2");
+  auto recent = tracer.Snapshot();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0]->query(), "fast");
+
+  tracer.Clear();
+  EXPECT_EQ(tracer.slow_count(), 0u);
+  EXPECT_EQ(tracer.finished_count(), 0u);
+}
+
+TEST(QueryTracerTest, TraceDurationSpansFirstStartToLastEnd) {
+  FakeClock clock(0);
+  QueryTracer tracer(&clock);
+  std::unique_ptr<QueryTrace> trace = tracer.StartTrace("q");
+  EXPECT_DOUBLE_EQ(trace->DurationSeconds(), 0.0);  // no spans yet
+  TraceSpan* a = trace->StartSpan("a");
+  clock.Advance(2'000'000);
+  trace->EndSpan(a);
+  TraceSpan* b = trace->StartSpan("b");
+  clock.Advance(3'000'000);
+  trace->EndSpan(b);
+  EXPECT_DOUBLE_EQ(trace->DurationSeconds(), 0.005);
+}
+
+// --------------------------------------------------- label escaping
+
+TEST(LabelEscapingTest, EscapeLabelValueHandlesQuotesBackslashesNewlines) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(EscapeLabelValue("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(EscapeLabelValue("line\nbreak"), "line\\nbreak");
+  // Order matters: the backslash introduced for the quote must not be
+  // re-escaped.
+  EXPECT_EQ(EscapeLabelValue("\\\""), "\\\\\\\"");
+}
+
+TEST(LabelEscapingTest, FormatLabelProducesExpositionReadyPairs) {
+  EXPECT_EQ(FormatLabel("db", "pubmed"), "db=\"pubmed\"");
+  EXPECT_EQ(FormatLabel("db", "we\"ird\nname\\"),
+            "db=\"we\\\"ird\\nname\\\\\"");
+}
+
+TEST(LabelEscapingTest, ExpositionEscapesHostileLabelValues) {
+  MetricRegistry registry;
+  registry.GetCounter("hostile_total", FormatLabel("db", "a\"b\\c\nd"))
+      ->Increment();
+  const std::string text = registry.ExpositionText();
+  // The sample line must stay a single line with balanced quotes.
+  EXPECT_NE(text.find("hostile_total{db=\"a\\\"b\\\\c\\nd\"} 1"),
+            std::string::npos);
+  // No raw newline may survive inside a label value: every line of the
+  // exposition starts with '#' or the metric name.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(line[0] == '#' || line.rfind("hostile_total", 0) == 0)
+        << "stray exposition line: " << line;
+  }
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace metaprobe

@@ -157,6 +157,75 @@ if spans == 0:
     sys.exit("trace dump is empty")
 print(f"exposition ok ({len(families)} families), trace ok ({spans} spans)")
 PY
+  # Live introspection scrape: run the serving example with its HTTP
+  # endpoints held open, then GET all four endpoints and assert the
+  # health/SLO series and the /statusz health table cover every backend.
+  cmake --build build-release -j "$JOBS" --target serving_loop
+  local port_file="$out/port"
+  METAPROBE_SERVE_SECONDS=4 METAPROBE_PORT_FILE="$port_file" \
+    ./build-release/examples/serving_loop > "$out/serving.txt" &
+  local serve_pid=$!
+  local port=""
+  for _ in $(seq 1 100); do
+    if [[ -s "$port_file" ]]; then port="$(cat "$port_file")"; break; fi
+    sleep 0.1
+  done
+  if [[ -z "$port" ]]; then
+    echo "serving_loop never published its introspection port"
+    kill "$serve_pid" 2>/dev/null || true
+    return 1
+  fi
+  sleep 1  # let a little scrape-demo traffic land in the windows
+  python3 - "$port" <<'PY'
+import json, sys, urllib.request
+
+port = sys.argv[1]
+def get(path):
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}") as r:
+        return r.status, r.read().decode()
+
+status, body = get("/healthz")
+assert status == 200 and body == "ok\n", f"/healthz: {status} {body!r}"
+
+status, metrics = get("/metrics")
+assert status == 200, f"/metrics: {status}"
+for series in (
+    'metaprobe_db_health_score{db="pubmed"}',
+    'metaprobe_db_health_score{db="medlineplus"}',
+    'metaprobe_db_health_score{db="sports-daily"}',
+    'metaprobe_db_probe_error_rate{db="pubmed"}',
+    "metaprobe_db_unhealthy_total",
+    'metaprobe_slo_latency_p99_seconds{slo="server_latency"}',
+    'metaprobe_slo_burn_rate{slo="server_latency"}',
+    "metaprobe_server_requests_total",
+    "metaprobe_server_queue_depth",
+):
+    assert series in metrics, f"/metrics missing series: {series}"
+
+status, body = get("/statusz")
+statusz = json.loads(body)
+assert status == 200, f"/statusz: {status}"
+assert "build" in statusz and "uptime_seconds" in statusz
+assert statusz["server"]["accepted"] >= 1
+rows = {db["name"]: db for db in statusz["databases"]}
+for name in ("pubmed", "medlineplus", "sports-daily"):
+    assert name in rows, f"/statusz missing health row for {name}"
+    for field in ("probes", "error_rate", "health_score", "healthy"):
+        assert field in rows[name], f"health row {name} missing {field}"
+assert any(row["probes"] > 0 for row in rows.values()), \
+    "no backend recorded any probes — health windows are empty"
+assert statusz["slos"][0]["name"] == "server_latency"
+
+status, body = get("/tracez")
+tracez = json.loads(body)
+assert status == 200, f"/tracez: {status}"
+assert "slow_threshold_seconds" in tracez
+assert tracez["recent"], "/tracez has no recent traces"
+
+print(f"introspection scrape ok: {len(statusz['databases'])} health rows, "
+      f"{len(tracez['recent'])} recent traces")
+PY
+  wait "$serve_pid"
   # Committed benchmark artifacts match the schema.
   python3 tools/validate_bench.py BENCH_*.json
   # Serving load generator at smoke scale: the run itself asserts that

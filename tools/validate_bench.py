@@ -20,7 +20,12 @@ how to read:
     "name" plus at least one numeric result field. BENCH_serving entries
     are additionally required to be namespaced "serving/..." and, when
     they carry an "errors" field, to report zero errors (deadline-expired
-    requests must degrade, never fail).
+    requests must degrade, never fail). BENCH_obs entries must be
+    namespaced "obs/...", cover every configuration and hook the overhead
+    harness emits (including the health tracker's record hook, enabled
+    and runtime-gated off), and the "obs/health" row's
+    overhead_vs_metrics_pct — the probe-path cost of the health tracker
+    on top of base metrics — must stay under 1%.
 
 Usage: tools/validate_bench.py FILE...
 Exits nonzero with a per-file diagnostic on the first violation.
@@ -50,6 +55,24 @@ INDEX_REQUIRED_FAMILIES = (
     "BM_TopKCosineExhaustive",
 )
 
+# Entries every BENCH_obs.json must carry: the serving configurations of
+# the overhead harness plus the tight-looped metric/health hooks.
+OBS_REQUIRED_NAMES = (
+    "obs/disabled",
+    "obs/metrics",
+    "obs/health",
+    "obs/tracing",
+    "obs/counter_add",
+    "obs/histogram_observe",
+    "obs/histogram_disabled",
+    "obs/health_record",
+    "obs/health_record_disabled",
+)
+
+# CI gate: the health tracker may cost at most this much on the probe hot
+# path, measured against the metrics-only configuration.
+OBS_HEALTH_OVERHEAD_LIMIT_PCT = 1.0
+
 
 def is_finite_number(value):
     return (
@@ -77,6 +100,7 @@ def validate(path):
     basename = path.rsplit("/", 1)[-1]
     serving = "serving" in basename
     index = "index" in basename
+    obs = "obs" in basename
     names = set()
     for i, bench in enumerate(benchmarks):
         where = f"benchmarks[{i}]"
@@ -101,6 +125,28 @@ def validate(path):
                 return fail(
                     path, f"{where} ({name}): {key} must be >= 0, got {value}"
                 )
+        if obs:
+            if not name.startswith("obs/"):
+                return fail(
+                    path,
+                    f'{where}: obs entries must be named "obs/...", '
+                    f"got {name!r}",
+                )
+            if name == "obs/health":
+                overhead = bench.get("overhead_vs_metrics_pct")
+                if not is_finite_number(overhead):
+                    return fail(
+                        path,
+                        f"{where} ({name}): needs a finite "
+                        f"overhead_vs_metrics_pct field",
+                    )
+                if overhead >= OBS_HEALTH_OVERHEAD_LIMIT_PCT:
+                    return fail(
+                        path,
+                        f"{where} ({name}): health-tracker probe-path "
+                        f"overhead {overhead:.3f}% breaches the "
+                        f"{OBS_HEALTH_OVERHEAD_LIMIT_PCT}% budget",
+                    )
         if serving:
             if not name.startswith("serving/"):
                 return fail(
@@ -115,6 +161,11 @@ def validate(path):
                     f"{where} ({name}): serving runs must report zero "
                     f"errors, got {errors}",
                 )
+
+    if obs:
+        for required in OBS_REQUIRED_NAMES:
+            if required not in names:
+                return fail(path, f"missing obs entry {required!r}")
 
     if index:
         live = {n for n in names if "baseline" not in n}
