@@ -5,6 +5,11 @@
 
 #include "common/result.h"
 #include "common/status.h"
+// Clang Thread Safety Analysis capability macros (GUARDED_BY, REQUIRES,
+// ACQUIRE/RELEASE, ...). Kept in their own header so lock-heavy headers can
+// include just the annotations; re-exported here so macros.h remains the
+// one-stop include for the repo's macro vocabulary.
+#include "common/thread_annotations.h"  // IWYU pragma: export
 
 #define METAPROBE_CONCAT_IMPL(x, y) x##y
 #define METAPROBE_CONCAT(x, y) METAPROBE_CONCAT_IMPL(x, y)

@@ -1,0 +1,113 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_COMMON_MUTEX_H_
+#define METAPROBE_COMMON_MUTEX_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace metaprobe {
+
+/// \brief std::mutex with thread-safety-analysis capability attributes.
+///
+/// A drop-in replacement for the std type everywhere the repo guards
+/// members: declare the member `Mutex`, annotate the data it protects with
+/// GUARDED_BY(member), and take the lock with MutexLock. Zero runtime
+/// difference from std::mutex — the wrapper only exists because attribute
+/// annotations cannot be attached to std types.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+
+  /// \brief The underlying std::mutex, for std::unique_lock interop (the
+  /// condition-variable wait sites). Prefer MutexLock everywhere else.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// \brief std::shared_mutex with capability attributes: exclusive
+/// Lock/Unlock plus shared (reader) LockShared/UnlockShared.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// \brief Scoped exclusive lock over a Mutex (std::lock_guard equivalent).
+///
+/// Wraps std::unique_lock so condition-variable waits work through
+/// `native()`:
+///
+///     MutexLock lock(mutex_);
+///     while (!ready_) cv_.wait(lock.native());
+///
+/// The analysis treats the capability as held for the whole scope; a
+/// cv wait's release/reacquire inside the scope is invisible to it, which
+/// matches the guarded-data contract (the data is only touched while the
+/// lock is actually held).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// \brief The owned std::unique_lock, for std::condition_variable::wait.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// \brief Scoped shared (reader) lock over a SharedMutex.
+class SCOPED_CAPABILITY SharedMutexLock {
+ public:
+  explicit SharedMutexLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(&mu) {
+    mu_->LockShared();
+  }
+  ~SharedMutexLock() RELEASE() { mu_->UnlockShared(); }
+
+  SharedMutexLock(const SharedMutexLock&) = delete;
+  SharedMutexLock& operator=(const SharedMutexLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+/// \brief Scoped exclusive (writer) lock over a SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(&mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+}  // namespace metaprobe
+
+#endif  // METAPROBE_COMMON_MUTEX_H_

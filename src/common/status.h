@@ -43,7 +43,11 @@ const char* StatusCodeToString(StatusCode code);
 ///       if (bad) return Status::InvalidArgument("k must be positive, got ", k);
 ///       return Status::OK();
 ///     }
-class Status {
+///
+/// The class is [[nodiscard]]: a dropped Status is a swallowed error, so
+/// every call site must consume the result — check ok(), propagate it, or
+/// CheckOK() when failure is unrecoverable.
+class [[nodiscard]] Status {
  public:
   /// Creates an OK (success) status.
   Status() = default;
@@ -66,10 +70,12 @@ class Status {
   static Status OK() { return Status(); }
 
   /// \brief Returns true if the status indicates success.
-  bool ok() const { return state_ == nullptr; }
+  [[nodiscard]] bool ok() const { return state_ == nullptr; }
 
   /// \brief Returns the status code (kOk for success).
-  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  [[nodiscard]] StatusCode code() const {
+    return ok() ? StatusCode::kOk : state_->code;
+  }
 
   /// \brief Returns the error message; empty for OK.
   const std::string& message() const {

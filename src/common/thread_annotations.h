@@ -1,0 +1,88 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_COMMON_THREAD_ANNOTATIONS_H_
+#define METAPROBE_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis attribute macros.
+///
+/// These turn the repo's locking disciplines — the RCU-style trained-state
+/// slot, the sharded RD cache, the lock-striped health tracker, the serving
+/// queue, the thread pool — from comment-only contracts into compile-time
+/// checked ones: a Clang build with `-Wthread-safety -Werror=thread-safety`
+/// (check.sh stage 5, the `lint` CI job) refuses to compile an unlocked
+/// access to a GUARDED_BY member or a call to a REQUIRES method without the
+/// capability held. On non-Clang compilers every macro expands to nothing,
+/// so GCC builds are unaffected.
+///
+/// Use the annotated wrappers in common/mutex.h (Mutex, SharedMutex and
+/// their scoped locks) rather than annotating std types directly — the std
+/// primitives cannot carry CAPABILITY attributes.
+///
+/// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__)
+#define METAPROBE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define METAPROBE_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a capability (a lock type). The string names the
+/// capability kind in diagnostics, e.g. CAPABILITY("mutex").
+#define CAPABILITY(x) METAPROBE_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability (MutexLock and friends).
+#define SCOPED_CAPABILITY METAPROBE_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability: every
+/// read requires the capability held (shared or exclusive), every write
+/// requires it held exclusively.
+#define GUARDED_BY(x) METAPROBE_THREAD_ANNOTATION(guarded_by(x))
+
+/// Like GUARDED_BY, but for pointer members: the pointed-to data (not the
+/// pointer itself) is protected.
+#define PT_GUARDED_BY(x) METAPROBE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declares that callers must hold the given capabilities exclusively
+/// before calling; they are not released.
+#define REQUIRES(...) \
+  METAPROBE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Shared (reader) flavor of REQUIRES.
+#define REQUIRES_SHARED(...) \
+  METAPROBE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Declares that the function acquires the capabilities (held on return).
+#define ACQUIRE(...) \
+  METAPROBE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Shared (reader) flavor of ACQUIRE.
+#define ACQUIRE_SHARED(...) \
+  METAPROBE_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Declares that the function releases the capabilities (which must be
+/// held on entry). With no argument on a SCOPED_CAPABILITY member it
+/// releases whatever the scoped object manages.
+#define RELEASE(...) \
+  METAPROBE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Shared (reader) flavor of RELEASE.
+#define RELEASE_SHARED(...) \
+  METAPROBE_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Declares that callers must NOT hold the given capabilities (deadlock
+/// prevention for non-reentrant locks).
+#define EXCLUDES(...) METAPROBE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares that a function returns a reference to the capability that
+/// guards the annotated data (lets the analysis match e.g.
+/// REQUIRES(StripeFor(db)) call sites against the lock actually taken).
+#define RETURN_CAPABILITY(x) METAPROBE_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Reserve for code
+/// whose discipline the analysis cannot express; every use must carry a
+/// comment saying what actually guarantees safety.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  METAPROBE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // METAPROBE_COMMON_THREAD_ANNOTATIONS_H_

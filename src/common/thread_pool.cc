@@ -15,8 +15,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) wake_.wait(lock.native());
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -28,7 +28,7 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::Shutdown() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_ && workers_.empty()) return;
     stopping_ = true;
   }

@@ -10,11 +10,12 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace metaprobe {
 
@@ -51,14 +52,17 @@ class ThreadPool {
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
+    bool queued = false;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (!workers_.empty() && !stopping_) {
         queue_.emplace_back([task]() { (*task)(); });
-        lock.unlock();
-        wake_.notify_one();
-        return future;
+        queued = true;
       }
+    }
+    if (queued) {
+      wake_.notify_one();
+      return future;
     }
     // Zero-worker pool, or submit raced with shutdown: run inline.
     (*task)();
@@ -86,11 +90,16 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
+  Mutex mutex_;
   std::condition_variable wake_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  bool stopping_ GUARDED_BY(mutex_) = false;
+  // workers_ is not guarded by mutex_: it is written only in the
+  // constructor (before any concurrency exists) and in Shutdown after the
+  // workers have been told to stop; concurrent paths only call
+  // workers_.empty()/size(), which race at most with Shutdown's clear()
+  // and are benign there (Submit re-checks stopping_ under the lock).
   std::vector<std::thread> workers_;
-  bool stopping_ = false;
   std::atomic<std::uint64_t> tasks_executed_{0};
   std::atomic<std::uint64_t> tasks_run_inline_{0};
 };

@@ -12,7 +12,7 @@ FlakyDatabase::FlakyDatabase(std::shared_ptr<HiddenWebDatabase> inner,
       rng_(seed) {}
 
 bool FlakyDatabase::ShouldFail() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!rng_.Bernoulli(failure_probability_)) return false;
   failures_.fetch_add(1, std::memory_order_relaxed);
   return true;

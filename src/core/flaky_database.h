@@ -5,8 +5,8 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "core/hidden_web_database.h"
 #include "stats/random.h"
 
@@ -48,8 +48,8 @@ class FlakyDatabase : public HiddenWebDatabase {
 
   std::shared_ptr<HiddenWebDatabase> inner_;
   double failure_probability_;
-  mutable std::mutex mutex_;  // guards rng_
-  mutable stats::Rng rng_;
+  mutable Mutex mutex_;
+  mutable stats::Rng rng_ GUARDED_BY(mutex_);
   mutable std::atomic<std::uint64_t> failures_{0};
 };
 

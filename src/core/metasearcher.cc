@@ -180,7 +180,7 @@ void Metasearcher::PublishTrainedState(EdTable table) {
   state->rd_cache.Reset(databases_.size(), classifier_.num_types());
   state->rd_cache.SetCounters(telemetry_.rd_cache_hits,
                               telemetry_.rd_cache_misses);
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  MutexLock lock(state_mutex_);
   state_ = std::move(state);
 }
 
@@ -303,7 +303,7 @@ Result<SelectionReport> Metasearcher::SelectWithPolicy(
   // rank agreement can be fed back after the run. Speculative rounds call
   // the probe from pool threads, hence the mutex around the observation
   // list (RecordProbe itself is internally striped).
-  std::mutex observed_mutex;
+  Mutex observed_mutex;
   std::vector<std::pair<std::size_t, double>> observed;
   ProbeFn probe = [this, &query, &observed_mutex,
                    &observed](std::size_t db) -> Result<double> {
@@ -319,7 +319,7 @@ Result<SelectionReport> Metasearcher::SelectWithPolicy(
     obs::ProbeHealthOutcome outcome;
     if (result.ok()) {
       outcome = obs::ProbeHealthOutcome::kOk;
-      std::lock_guard<std::mutex> lock(observed_mutex);
+      MutexLock lock(observed_mutex);
       observed.emplace_back(db, result.ValueOrDie());
     } else {
       outcome = result.status().IsDeadlineExceeded()

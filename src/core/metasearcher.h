@@ -3,13 +3,13 @@
 #ifndef METAPROBE_CORE_METASEARCHER_H_
 #define METAPROBE_CORE_METASEARCHER_H_
 
-#include <mutex>
 #include <istream>
 #include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/correctness.h"
@@ -282,7 +282,7 @@ class Metasearcher {
   /// TSAN annotations added in GCC 13, so TSAN flags its internal
   /// lock-bit protocol as a race and the sanitizer tier would fail.)
   std::shared_ptr<const TrainedState> snapshot() const {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(state_mutex_);
     return state_;
   }
   /// Wires the new state's cache counters into the registry and publishes
@@ -315,8 +315,8 @@ class Metasearcher {
   /// synchronization; Train publishes a freshly built snapshot into the
   /// slot. Old snapshots are reclaimed when the last in-flight query
   /// drops its reference.
-  mutable std::mutex state_mutex_;  ///< guards the state_ slot only
-  std::shared_ptr<const TrainedState> state_;
+  mutable Mutex state_mutex_;  ///< guards the state_ slot only
+  std::shared_ptr<const TrainedState> state_ GUARDED_BY(state_mutex_);
 
   /// Resolved registry handles for the hot serving paths; looked up once in
   /// the constructor so recording is pointer-chasing, never a map lookup.

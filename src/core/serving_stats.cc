@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 
 namespace metaprobe {
 namespace core {
@@ -15,7 +14,7 @@ void RdCache::Reset(std::size_t num_databases, std::uint32_t num_types) {
   // Shards are cleared one at a time; callers that need the clear to be
   // atomic against readers (Train) swap in a whole new cache instead.
   for (Shard& shard : shards_) {
-    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    WriterMutexLock lock(shard.mutex);
     shard.entries.clear();
   }
   num_types_ = num_types;
@@ -68,7 +67,7 @@ RelevancyDistribution RdCache::GetOrDerive(
   std::uint64_t key = KeyOf(db, type, r_hat);
   Shard& shard = shards_[ShardOf(key)];
   {
-    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    SharedMutexLock lock(shard.mutex);
     auto it = shard.entries.find(key);
     if (it != shard.entries.end()) {
       hits_->Increment();
@@ -78,7 +77,7 @@ RelevancyDistribution RdCache::GetOrDerive(
   misses_->Increment();
   RelevancyDistribution rd = derive(Representative(r_hat));
   {
-    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    WriterMutexLock lock(shard.mutex);
     shard.entries.emplace(key, rd);  // a racing inserter won: keep the original
   }
   return rd;
@@ -87,7 +86,7 @@ RelevancyDistribution RdCache::GetOrDerive(
 std::uint64_t RdCache::entries() const {
   std::uint64_t total = 0;
   for (const Shard& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    SharedMutexLock lock(shard.mutex);
     total += shard.entries.size();
   }
   return total;

@@ -6,9 +6,9 @@
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <shared_mutex>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "core/query_class.h"
 #include "core/relevancy_distribution.h"
 #include "obs/metric_registry.h"
@@ -94,8 +94,9 @@ class RdCache {
 
   /// Padded to a cache line so two shards never false-share.
   struct alignas(64) Shard {
-    mutable std::shared_mutex mutex;
-    std::unordered_map<std::uint64_t, RelevancyDistribution> entries;
+    mutable SharedMutex mutex;
+    std::unordered_map<std::uint64_t, RelevancyDistribution> entries
+        GUARDED_BY(mutex);
   };
 
   std::uint64_t KeyOf(std::size_t db, QueryTypeId type, double r_hat) const;

@@ -64,7 +64,7 @@ void DbHealthTracker::RecordProbe(std::size_t db, double seconds,
     outcome = ProbeHealthOutcome::kDegraded;
   }
   const std::uint64_t now_ns = clock_->NowNanos();
-  std::lock_guard<std::mutex> lock(StripeFor(db));
+  MutexLock lock(StripeFor(db));
   Cell& cell = cells_[db];
   Slice* slice = AdvanceTo(&cell, now_ns);
   switch (outcome) {
@@ -104,7 +104,7 @@ void DbHealthTracker::RecordRankPair(std::size_t db, bool concordant) {
 #ifndef METAPROBE_OBS_DISABLED
   if (!enabled() || db >= cells_.size()) return;
   const std::uint64_t now_ns = clock_->NowNanos();
-  std::lock_guard<std::mutex> lock(StripeFor(db));
+  MutexLock lock(StripeFor(db));
   Slice* slice = AdvanceTo(&cells_[db], now_ns);
   ++slice->rank_pairs;
   if (concordant) ++slice->rank_concordant;
@@ -169,7 +169,7 @@ DbHealthSnapshot DbHealthTracker::SnapshotLocked(std::size_t db,
 DbHealthSnapshot DbHealthTracker::Snapshot(std::size_t db) const {
   if (db >= cells_.size()) return DbHealthSnapshot{};
   const std::uint64_t now_ns = clock_->NowNanos();
-  std::lock_guard<std::mutex> lock(StripeFor(db));
+  MutexLock lock(StripeFor(db));
   return SnapshotLocked(db, now_ns);
 }
 

@@ -6,10 +6,10 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "obs/clock.h"
 
 namespace metaprobe {
@@ -174,17 +174,23 @@ class DbHealthTracker {
   };
 
   struct alignas(64) Stripe {
-    mutable std::mutex mutex;
+    mutable Mutex mutex;
   };
 
-  std::mutex& StripeFor(std::size_t db) const {
+  /// The stripe mutex covering database `db`. Thread safety analysis treats
+  /// `StripeFor(db)` as a capability expression, so SnapshotLocked can
+  /// require exactly the stripe its caller must hold.
+  Mutex& StripeFor(std::size_t db) const
+      RETURN_CAPABILITY(stripes_[db % kHealthStripes].mutex) {
     return stripes_[db % kHealthStripes].mutex;
   }
   /// Zeroes slices between the cell's epoch and the slice covering now,
-  /// then points the cell at the current slice. Caller holds the stripe.
+  /// then points the cell at the current slice. Caller holds the stripe
+  /// covering the cell's database (inexpressible as a REQUIRES clause:
+  /// the cell pointer no longer carries its database index).
   Slice* AdvanceTo(Cell* cell, std::uint64_t now_ns) const;
-  DbHealthSnapshot SnapshotLocked(std::size_t db,
-                                  std::uint64_t now_ns) const;
+  DbHealthSnapshot SnapshotLocked(std::size_t db, std::uint64_t now_ns) const
+      REQUIRES(StripeFor(db));
 
   std::vector<std::string> names_;
   DbHealthOptions options_;
@@ -192,6 +198,10 @@ class DbHealthTracker {
   std::uint64_t slice_ns_;
   std::atomic<bool> enabled_{true};
   mutable std::array<Stripe, kHealthStripes> stripes_;
+  // cells_[db] is guarded by StripeFor(db) — a per-element striped
+  // discipline GUARDED_BY cannot express (it names one capability for the
+  // whole member). The stripe lock sites in health.cc are the full access
+  // set; DESIGN.md §15 records the invariant.
   mutable std::vector<Cell> cells_;
 };
 

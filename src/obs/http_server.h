@@ -69,6 +69,10 @@ class HttpServer {
   void ServeLoop();
   void ServeConnection(int client_fd);
 
+  // Mutex-free by thread confinement: handlers_ is written only before
+  // Start() spawns the serving thread and is read-only afterwards;
+  // running_ is the sole cross-thread signal (atomic). Start/Stop are
+  // owner-thread operations. DESIGN.md §15 records the discipline.
   std::unordered_map<std::string, Handler> handlers_;
   std::thread thread_;
   std::atomic<bool> running_{false};

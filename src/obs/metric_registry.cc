@@ -191,7 +191,7 @@ std::vector<double> MetricRegistry::DefaultLatencyBoundsSeconds() {
 
 Counter* MetricRegistry::GetCounter(const std::string& name,
                                     const std::string& labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = by_key_.find(MetricKey(name, labels));
   if (it != by_key_.end()) {
     const Entry& entry = order_[it->second];
@@ -205,7 +205,7 @@ Counter* MetricRegistry::GetCounter(const std::string& name,
 
 Gauge* MetricRegistry::GetGauge(const std::string& name,
                                 const std::string& labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = by_key_.find(MetricKey(name, labels));
   if (it != by_key_.end()) {
     const Entry& entry = order_[it->second];
@@ -220,7 +220,7 @@ Gauge* MetricRegistry::GetGauge(const std::string& name,
 Histogram* MetricRegistry::GetHistogram(const std::string& name,
                                         const std::string& labels,
                                         std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = by_key_.find(MetricKey(name, labels));
   if (it != by_key_.end()) {
     const Entry& entry = order_[it->second];
@@ -236,7 +236,7 @@ Histogram* MetricRegistry::GetHistogram(const std::string& name,
 void MetricRegistry::RegisterCallbackGauge(const std::string& name,
                                            const std::string& labels,
                                            std::function<double()> fn) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (by_key_.count(MetricKey(name, labels)) > 0) return;
   callbacks_.push_back({name, labels, std::move(fn)});
   by_key_[MetricKey(name, labels)] = order_.size();
@@ -244,7 +244,7 @@ void MetricRegistry::RegisterCallbackGauge(const std::string& name,
 }
 
 void MetricRegistry::WriteExposition(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const std::string* last_family = nullptr;
   auto type_line = [&os, &last_family](const std::string& family,
                                        const char* type) {
@@ -307,7 +307,7 @@ std::string MetricRegistry::ExpositionText() const {
 }
 
 void MetricRegistry::ResetCounters() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (Counter& c : counters_) c.Reset();
   for (Histogram& h : histograms_) h.Reset();
 }

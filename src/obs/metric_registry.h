@@ -9,13 +9,13 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "obs/clock.h"
 #include "stats/histogram.h"
 
@@ -263,13 +263,18 @@ class MetricRegistry {
   };
 
   std::atomic<bool> enabled_{true};
-  mutable std::mutex mutex_;
-  std::deque<Counter> counters_;
-  std::deque<Gauge> gauges_;
-  std::deque<Histogram> histograms_;
-  std::deque<CallbackGauge> callbacks_;
-  std::vector<Entry> order_;  // registration order for exposition
-  std::unordered_map<std::string, std::size_t> by_key_;  // key -> order_ idx
+  // mutex_ guards the registration directory. The deques themselves are
+  // guarded (registration and scrape mutate/walk them), but the Counter /
+  // Gauge / Histogram objects *inside* hand out stable pointers that hot
+  // paths use lock-free — those objects are internally atomic.
+  mutable Mutex mutex_;
+  std::deque<Counter> counters_ GUARDED_BY(mutex_);
+  std::deque<Gauge> gauges_ GUARDED_BY(mutex_);
+  std::deque<Histogram> histograms_ GUARDED_BY(mutex_);
+  std::deque<CallbackGauge> callbacks_ GUARDED_BY(mutex_);
+  std::vector<Entry> order_ GUARDED_BY(mutex_);  // registration order
+  std::unordered_map<std::string, std::size_t> by_key_
+      GUARDED_BY(mutex_);  // key -> order_ idx
 };
 
 }  // namespace obs

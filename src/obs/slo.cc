@@ -61,7 +61,7 @@ SloSnapshot SloMonitor::Snapshot() const {
   snap.objective_seconds = options_.objective_seconds;
   if (histogram_ == nullptr) return snap;
   const std::uint64_t now_ns = clock_->NowNanos();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const std::vector<std::uint64_t> counts = WindowedCountsLocked(now_ns);
   for (std::uint64_t c : counts) snap.window_count += c;
   if (snap.window_count == 0) return snap;

@@ -4,10 +4,10 @@
 #define METAPROBE_OBS_SLO_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "obs/clock.h"
 
 namespace metaprobe {
@@ -91,9 +91,10 @@ class SloMonitor {
   const SloOptions& options() const { return options_; }
 
  private:
-  /// Rolls the boundary ring forward to `now_ns` (caller holds mutex_) and
-  /// returns the windowed per-bucket counts.
-  std::vector<std::uint64_t> WindowedCountsLocked(std::uint64_t now_ns) const;
+  /// Rolls the boundary ring forward to `now_ns` and returns the windowed
+  /// per-bucket counts.
+  std::vector<std::uint64_t> WindowedCountsLocked(std::uint64_t now_ns) const
+      REQUIRES(mutex_);
 
   std::string name_;
   const Histogram* histogram_;
@@ -101,11 +102,12 @@ class SloMonitor {
   const MonotonicClock* clock_;
   std::uint64_t slice_ns_;
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   /// boundaries_[e % num_slices] = cumulative counts at the start of slice
   /// epoch e (taken lazily at the first touch after the boundary).
-  mutable std::vector<std::vector<std::uint64_t>> boundaries_;
-  mutable std::uint64_t epoch_ = 0;
+  mutable std::vector<std::vector<std::uint64_t>> boundaries_
+      GUARDED_BY(mutex_);
+  mutable std::uint64_t epoch_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace obs

@@ -120,7 +120,7 @@ double QueryTrace::DurationSeconds() const {
 std::unique_ptr<QueryTrace> QueryTracer::StartTrace(std::string query) {
   std::uint64_t id;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     id = next_trace_id_++;
   }
   return std::make_unique<QueryTrace>(id, std::move(query), clock_);
@@ -128,7 +128,7 @@ std::unique_ptr<QueryTrace> QueryTracer::StartTrace(std::string query) {
 
 void QueryTracer::Finish(std::unique_ptr<QueryTrace> trace) {
   if (trace == nullptr) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::shared_ptr<const QueryTrace> shared(std::move(trace));
   if (slow_threshold_seconds_ > 0.0 &&
       shared->DurationSeconds() >= slow_threshold_seconds_) {
@@ -140,28 +140,28 @@ void QueryTracer::Finish(std::unique_ptr<QueryTrace> trace) {
 }
 
 std::vector<std::shared_ptr<const QueryTrace>> QueryTracer::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return {finished_.begin(), finished_.end()};
 }
 
 std::vector<std::shared_ptr<const QueryTrace>> QueryTracer::SnapshotSlow()
     const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return {slow_.begin(), slow_.end()};
 }
 
 void QueryTracer::set_slow_threshold_seconds(double seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   slow_threshold_seconds_ = seconds;
 }
 
 double QueryTracer::slow_threshold_seconds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return slow_threshold_seconds_;
 }
 
 std::shared_ptr<const QueryTrace> QueryTracer::Latest() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return finished_.empty() ? nullptr : finished_.back();
 }
 
@@ -213,17 +213,17 @@ std::string QueryTracer::ExportJsonLinesText() const {
 }
 
 std::size_t QueryTracer::finished_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return finished_.size();
 }
 
 std::size_t QueryTracer::slow_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return slow_.size();
 }
 
 void QueryTracer::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   finished_.clear();
   slow_.clear();
 }

@@ -6,12 +6,12 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "obs/clock.h"
 
 namespace metaprobe {
@@ -161,11 +161,11 @@ class QueryTracer {
   const MonotonicClock* clock_;
   std::size_t max_finished_;
   std::size_t max_slow_;
-  mutable std::mutex mutex_;
-  std::uint64_t next_trace_id_ = 1;
-  double slow_threshold_seconds_ = 0.0;
-  std::deque<std::shared_ptr<const QueryTrace>> finished_;
-  std::deque<std::shared_ptr<const QueryTrace>> slow_;
+  mutable Mutex mutex_;
+  std::uint64_t next_trace_id_ GUARDED_BY(mutex_) = 1;
+  double slow_threshold_seconds_ GUARDED_BY(mutex_) = 0.0;
+  std::deque<std::shared_ptr<const QueryTrace>> finished_ GUARDED_BY(mutex_);
+  std::deque<std::shared_ptr<const QueryTrace>> slow_ GUARDED_BY(mutex_);
 };
 
 }  // namespace obs

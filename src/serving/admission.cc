@@ -45,7 +45,7 @@ AdmissionController::AdmissionController(TokenBucketOptions defaults,
 
 void AdmissionController::SetTenantRate(const std::string& tenant,
                                         TokenBucketOptions options) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   overrides_[tenant] = options;
   auto it = buckets_.find(tenant);
   if (it != buckets_.end()) {
@@ -56,7 +56,7 @@ void AdmissionController::SetTenantRate(const std::string& tenant,
 bool AdmissionController::Admit(const std::string& tenant,
                                 double* retry_after_seconds) {
   std::uint64_t now_ns = clock_->NowNanos();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = buckets_.find(tenant);
   if (it == buckets_.end()) {
     auto override_it = overrides_.find(tenant);
@@ -68,7 +68,7 @@ bool AdmissionController::Admit(const std::string& tenant,
 }
 
 std::size_t AdmissionController::num_tenants() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return buckets_.size();
 }
 
@@ -76,7 +76,7 @@ std::vector<AdmissionController::TenantState> AdmissionController::Snapshot()
     const {
   std::vector<TenantState> states;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     states.reserve(buckets_.size());
     for (const auto& [tenant, bucket] : buckets_) {
       states.push_back({tenant, bucket.tokens(),

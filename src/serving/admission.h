@@ -4,11 +4,11 @@
 #define METAPROBE_SERVING_ADMISSION_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "obs/clock.h"
 
 namespace metaprobe {
@@ -82,9 +82,10 @@ class AdmissionController {
  private:
   TokenBucketOptions defaults_;
   const obs::MonotonicClock* clock_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, TokenBucket> buckets_;
-  std::unordered_map<std::string, TokenBucketOptions> overrides_;
+  mutable Mutex mutex_;
+  std::unordered_map<std::string, TokenBucket> buckets_ GUARDED_BY(mutex_);
+  std::unordered_map<std::string, TokenBucketOptions> overrides_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace serving

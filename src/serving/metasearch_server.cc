@@ -59,7 +59,7 @@ MetasearchServer::~MetasearchServer() { Shutdown(); }
 Ticket MetasearchServer::Submit(ServeRequest request) {
   Ticket ticket;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!accepting_) {
       ticket.admit = AdmitResult::kShutdown;
       telemetry_.shutdown_rejections->Increment();
@@ -99,7 +99,7 @@ Ticket MetasearchServer::Submit(ServeRequest request) {
 bool MetasearchServer::RunOne() {
   Work work;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (queue_.empty()) return false;
     work = std::move(queue_.front());
     queue_.pop_front();
@@ -112,9 +112,8 @@ void MetasearchServer::WorkerLoop() {
   for (;;) {
     Work work;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock,
-                           [this]() { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_available_.wait(lock.native());
       if (queue_.empty()) {
         // stopping_ and nothing left: the queue is drained, not dropped.
         return;
@@ -159,7 +158,7 @@ void MetasearchServer::Process(Work work) {
 
 void MetasearchServer::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_ && workers_.empty()) {
       // A second Shutdown after the first finished; the inline drain
       // below would find an empty queue anyway, so just return.
@@ -193,7 +192,7 @@ ServerStats MetasearchServer::stats() const {
 }
 
 std::size_t MetasearchServer::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 

@@ -7,11 +7,11 @@
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "core/deadline.h"
 #include "core/metasearcher.h"
@@ -181,11 +181,14 @@ class MetasearchServer {
   const obs::MonotonicClock* clock_;
   AdmissionController admission_;
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::condition_variable work_available_;
-  std::deque<Work> queue_;
-  bool accepting_ = true;
-  bool stopping_ = false;
+  std::deque<Work> queue_ GUARDED_BY(mutex_);
+  bool accepting_ GUARDED_BY(mutex_) = true;
+  bool stopping_ GUARDED_BY(mutex_) = false;
+  // Written in the constructor and in Shutdown only (after stopping_ is
+  // set); the join loop runs lock-free by design, so workers_ is not
+  // guarded — see the ThreadPool note for the same discipline.
   std::vector<std::thread> workers_;
 
   struct Telemetry {

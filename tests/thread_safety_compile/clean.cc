@@ -1,0 +1,38 @@
+// Copyright 2026 The metaprobe Authors
+//
+// Positive control for the thread-safety negative-compile suite: a
+// correctly locked use of every annotation the sibling fixtures violate.
+// Must compile warning-free under `-Wthread-safety -Werror=thread-safety`
+// — if this file ever fails, the suite is testing the fixture setup, not
+// the analysis.
+
+#include "common/mutex.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void Set(int v) {
+    metaprobe::MutexLock lock(mutex_);
+    value_ = v;
+  }
+
+  int UnsafeGet() const REQUIRES(mutex_) { return value_; }
+
+  int Get() const {
+    metaprobe::MutexLock lock(mutex_);
+    return UnsafeGet();
+  }
+
+ private:
+  mutable metaprobe::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Set(42);
+  return g.Get() == 42 ? 0 : 1;
+}

@@ -1,0 +1,31 @@
+// Copyright 2026 The metaprobe Authors
+//
+// Negative-compile fixture: calls a REQUIRES(mutex_) method without
+// holding the capability. Registered with WILL_FAIL — clang's
+// `-Werror=thread-safety` must reject this file (warning
+// -Wthread-safety-analysis: "calling function 'UnsafeGet' requires
+// holding mutex 'mutex_'").
+
+#include "common/mutex.h"
+
+namespace {
+
+class Guarded {
+ public:
+  int UnsafeGet() const REQUIRES(mutex_) { return value_; }
+
+  int Get() const {
+    return UnsafeGet();  // BUG under test: caller holds nothing.
+  }
+
+ private:
+  mutable metaprobe::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  return g.Get();
+}

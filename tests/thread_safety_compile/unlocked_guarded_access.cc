@@ -1,0 +1,30 @@
+// Copyright 2026 The metaprobe Authors
+//
+// Negative-compile fixture: writes a GUARDED_BY member without holding
+// its mutex. Registered with WILL_FAIL — clang's
+// `-Werror=thread-safety` must reject this file (warning
+// -Wthread-safety-analysis: "writing variable 'value_' requires holding
+// mutex 'mutex_' exclusively").
+
+#include "common/mutex.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void Set(int v) {
+    value_ = v;  // BUG under test: no MutexLock taken.
+  }
+
+ private:
+  mutable metaprobe::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Set(42);
+  return 0;
+}

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Full pre-merge check: build and test the tree in three configurations,
-# then smoke-test the observability surface.
+# Full pre-merge check: build and test the tree in four configurations,
+# run the static-analysis pass, then smoke-test the observability surface.
 #
 #   1. Release      -- optimized build, full ctest suite.
 #   2. ThreadSanitizer -- RelWithDebInfo + -fsanitize=thread, running the
@@ -10,7 +10,16 @@
 #   3. UndefinedBehaviorSanitizer -- Debug + -fsanitize=undefined over the
 #      probabilistic-kernel suites (correctness, kernel equivalence,
 #      probing, discrete distributions). Any UB report fails the run.
-#   4. Metrics smoke -- run the observability example from the Release
+#   4. AddressSanitizer -- RelWithDebInfo + -fsanitize=address with leak
+#      detection, over the suites that churn owned buffers: index
+#      round-trip / codec IO, the HTTP introspection server, and the
+#      serving + admission stack. Any heap error or leak fails the run.
+#   5. Static analysis -- tools/lint/run.sh: the project-invariant lint
+#      (clock/randomness injection seams, metric-name inventory,
+#      index-internal include boundary) always; clang -Wthread-safety and
+#      the clang-tidy baseline when clang/clang-tidy are installed (CI's
+#      lint job always has them).
+#   6. Metrics smoke -- run the observability example from the Release
 #      tree, assert the Prometheus exposition parses and the key serving
 #      series are present, validate the trace dump is well-formed JSON
 #      lines, schema-check the committed BENCH_*.json files, and run the
@@ -22,12 +31,12 @@
 # Environment:
 #   METAPROBE_TSAN_FULL=1   run the entire test suite under TSAN (slow)
 #   METAPROBE_SKIP_RELEASE=1 / METAPROBE_SKIP_TSAN=1 / METAPROBE_SKIP_UBSAN=1
-#   / METAPROBE_SKIP_SMOKE=1
+#   / METAPROBE_SKIP_ASAN=1 / METAPROBE_SKIP_LINT=1 / METAPROBE_SKIP_SMOKE=1
 #                           skip a configuration
 #
-# Build trees land in build-release/, build-tsan/ and build-ubsan/,
-# separate from the default build/ so a developer's incremental tree is
-# never clobbered.
+# Build trees land in build-release/, build-tsan/, build-ubsan/ and
+# build-asan/, separate from the default build/ so a developer's
+# incremental tree is never clobbered.
 
 set -euo pipefail
 
@@ -41,15 +50,20 @@ TSAN_FILTER='ThreadPool|Concurrency|Determinism|SpeculativeBatch|ParallelGreedy|
 # overflow, bad indexing, misaligned loads) would silently corrupt results.
 UBSAN_FILTER='Correctness|Kernel|Probing|DiscreteDistribution|TopKModel'
 
+# Test-name filter for the ASAN pass: the suites that own raw buffers or
+# sockets — index codecs and round-trip IO, the document store, the HTTP
+# introspection server, and the serving + admission stack.
+ASAN_FILTER='IndexIo|InvertedIndex|PostingList|DocumentStore|HttpServer|Serving|Admission|TokenBucket|Introspection'
+
 run_release() {
-  echo "=== [1/3] Release build + full test suite ==="
+  echo "=== [1/6] Release build + full test suite ==="
   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
   cmake --build build-release -j "$JOBS"
   ctest --test-dir build-release --output-on-failure -j "$JOBS"
 }
 
 run_tsan() {
-  echo "=== [2/3] ThreadSanitizer build + concurrency suites ==="
+  echo "=== [2/6] ThreadSanitizer build + concurrency suites ==="
   cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
@@ -75,7 +89,7 @@ run_tsan() {
 }
 
 run_ubsan() {
-  echo "=== [3/3] UndefinedBehaviorSanitizer build + kernel suites ==="
+  echo "=== [3/6] UndefinedBehaviorSanitizer build + kernel suites ==="
   cmake -B build-ubsan -S . \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=undefined -fno-sanitize-recover=all" \
@@ -94,8 +108,28 @@ run_ubsan() {
       --benchmark_min_time=0.05 > /dev/null
 }
 
+run_asan() {
+  echo "=== [4/6] AddressSanitizer build + memory-churn suites ==="
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address" > /dev/null
+  cmake --build build-asan -j "$JOBS"
+  # detect_leaks: LeakSanitizer rides along, so an index round-trip or a
+  # server shutdown that strands an allocation fails the stage, not just
+  # wild reads/writes.
+  ASAN_OPTIONS="detect_leaks=1:halt_on_error=1" \
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+      -R "$ASAN_FILTER"
+}
+
+run_lint() {
+  echo "=== [5/6] Static analysis: invariants + thread safety + tidy ==="
+  tools/lint/run.sh build-release
+}
+
 run_smoke() {
-  echo "=== [4/4] Metrics smoke: exposition + trace dump + bench schema ==="
+  echo "=== [6/6] Metrics smoke: exposition + trace dump + bench schema ==="
   # The Release tree has the example binary; build it if stage 1 was
   # skipped.
   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
@@ -246,6 +280,12 @@ if [[ "${METAPROBE_SKIP_TSAN:-0}" != "1" ]]; then
 fi
 if [[ "${METAPROBE_SKIP_UBSAN:-0}" != "1" ]]; then
   run_ubsan
+fi
+if [[ "${METAPROBE_SKIP_ASAN:-0}" != "1" ]]; then
+  run_asan
+fi
+if [[ "${METAPROBE_SKIP_LINT:-0}" != "1" ]]; then
+  run_lint
 fi
 if [[ "${METAPROBE_SKIP_SMOKE:-0}" != "1" ]]; then
   run_smoke

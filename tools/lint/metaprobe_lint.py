@@ -1,0 +1,272 @@
+#!/usr/bin/env python3
+# Copyright 2026 The metaprobe Authors
+"""Project-invariant lint for the metaprobe source tree.
+
+Enforces three invariants the compiler cannot, over the first-party
+sources listed in a CMake compile_commands.json (plus their headers):
+
+  wall-clock   Direct time/randomness outside the injection seams.
+               `std::chrono::*_clock::now()`, `rand()` / `std::rand()`,
+               and `std::random_device` are banned in src/ except inside
+               src/common/ and the obs/clock timebase: everything else
+               must take a MonotonicClock* (or a seeded stats::Rng) so
+               tests can inject FakeClock and fixed seeds. Tests, benches
+               and examples are exempt — wall time is legitimate there.
+
+  metric-names Every `metaprobe_*` metric family name used in src/ must
+               be listed in tools/lint/metric_names.txt and vice versa
+               (bidirectional): no undocumented series, no stale entries.
+
+  index-internal  src/index/'s codec internals (bitpack.h,
+               varint_codec.h, simd_intersect.h) are implementation
+               details of the index layer; only files under src/index/
+               may include them. Everyone else goes through the public
+               posting_list / inverted_index interfaces.
+
+Exit status: 0 clean, 1 violations (one per line on stdout), 2 usage or
+environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+# Files the wall-clock check skips, relative to the source root (src/).
+# common/ holds the annotation/mutex substrate; obs/clock.{h,cc} IS the
+# injection seam that wraps the real clock.
+WALL_CLOCK_EXEMPT_PREFIXES = ("common/",)
+WALL_CLOCK_EXEMPT_FILES = ("obs/clock.h", "obs/clock.cc")
+
+# index/ headers that are internal to the index layer.
+INTERNAL_INDEX_HEADERS = ("bitpack.h", "varint_codec.h", "simd_intersect.h")
+
+WALL_CLOCK_PATTERNS = (
+    (re.compile(r"std::chrono::(?:steady|system|high_resolution)_clock::now"),
+     "direct std::chrono::*_clock::now() — inject obs::MonotonicClock"),
+    (re.compile(r"(?<![A-Za-z0-9_:.])(?:std::)?s?rand\s*\("),
+     "rand()/srand() — use a seeded stats::Rng"),
+    (re.compile(r"std::random_device"),
+     "std::random_device — use a seeded stats::Rng"),
+)
+
+METRIC_LITERAL = re.compile(r'"(metaprobe_[a-z0-9_]+)"')
+
+INCLUDE_RE = re.compile(r'^[ \t]*#[ \t]*include[ \t]+"index/([A-Za-z0-9_./]+)"',
+                        re.MULTILINE)
+
+
+@dataclass
+class Violation:
+    path: str       # relative to the repo root
+    line: int       # 1-based; 0 = file-level
+    check: str
+    message: str
+
+    def __str__(self) -> str:
+        where = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{where}: [{self.check}] {self.message}"
+
+
+def strip_comments(text: str) -> str:
+    """Blanks out // and /* */ comments, preserving newlines (and hence
+    line numbers) and string literals."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+            elif c == "'":
+                state = "char"
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # string or char
+            if c == "\\":
+                out.append(c)
+                if nxt:
+                    out.append(nxt)
+                    i += 2
+                    continue
+            elif (state == "string" and c == '"') or \
+                 (state == "char" and c == "'"):
+                state = "code"
+            out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def check_wall_clock(rel: str, code: str) -> list[Violation]:
+    if rel.startswith(WALL_CLOCK_EXEMPT_PREFIXES) or \
+            rel in WALL_CLOCK_EXEMPT_FILES:
+        return []
+    found = []
+    for pattern, why in WALL_CLOCK_PATTERNS:
+        for m in pattern.finditer(code):
+            found.append(Violation(f"src/{rel}", line_of(code, m.start()),
+                                   "wall-clock", why))
+    return found
+
+
+def check_internal_includes(rel: str, code: str) -> list[Violation]:
+    if rel.startswith("index/"):
+        return []
+    found = []
+    for m in INCLUDE_RE.finditer(code):
+        header = m.group(1)
+        if header in INTERNAL_INDEX_HEADERS:
+            found.append(Violation(
+                f"src/{rel}", line_of(code, m.start()), "index-internal",
+                f'#include "index/{header}" outside src/index/ — use the '
+                "posting_list / inverted_index interfaces"))
+    return found
+
+
+def collect_metric_names(code: str) -> set[str]:
+    return set(METRIC_LITERAL.findall(code))
+
+
+def load_metric_names(path: str) -> set[str]:
+    names = set()
+    with open(path, encoding="utf-8") as f:
+        for raw in f:
+            entry = raw.split("#", 1)[0].strip()
+            if entry:
+                names.add(entry)
+    return names
+
+
+def check_metric_names(used: dict[str, list[str]], declared: set[str],
+                       names_path: str) -> list[Violation]:
+    found = []
+    for name in sorted(set(used) - declared):
+        files = ", ".join(sorted(used[name])[:3])
+        found.append(Violation(
+            names_path, 0, "metric-names",
+            f"metric '{name}' (used in {files}) is not listed — add it"))
+    for name in sorted(declared - set(used)):
+        found.append(Violation(
+            names_path, 0, "metric-names",
+            f"listed metric '{name}' no longer appears in src/ — stale "
+            "entry, remove it"))
+    return found
+
+
+def source_files(repo_root: str, compile_commands: str | None) -> list[str]:
+    """First-party sources: TUs under src/ from compile_commands.json plus
+    every header under src/ (headers never appear as TUs but carry
+    includes, inline code, and metric literals)."""
+    src_root = os.path.join(repo_root, "src")
+    files = set()
+    if compile_commands:
+        with open(compile_commands, encoding="utf-8") as f:
+            for entry in json.load(f):
+                path = entry["file"]
+                if not os.path.isabs(path):
+                    path = os.path.join(entry.get("directory", ""), path)
+                path = os.path.realpath(path)
+                if path.startswith(os.path.realpath(src_root) + os.sep):
+                    files.add(path)
+    else:
+        for dirpath, _, names in os.walk(src_root):
+            for name in names:
+                if name.endswith((".cc", ".cpp")):
+                    files.add(os.path.join(dirpath, name))
+    for dirpath, _, names in os.walk(src_root):
+        for name in names:
+            if name.endswith(".h"):
+                files.add(os.path.join(dirpath, name))
+    return sorted(files)
+
+
+def run_lint(repo_root: str, names_path: str,
+             compile_commands: str | None = None) -> list[Violation]:
+    src_root = os.path.realpath(os.path.join(repo_root, "src"))
+    violations = []
+    used_metrics: dict[str, list[str]] = {}
+    for path in source_files(repo_root, compile_commands):
+        rel = os.path.relpath(os.path.realpath(path), src_root)
+        with open(path, encoding="utf-8", errors="replace") as f:
+            code = strip_comments(f.read())
+        violations += check_wall_clock(rel, code)
+        violations += check_internal_includes(rel, code)
+        for name in collect_metric_names(code):
+            used_metrics.setdefault(name, []).append(f"src/{rel}")
+    declared = load_metric_names(names_path)
+    rel_names = os.path.relpath(names_path, repo_root)
+    violations += check_metric_names(used_metrics, declared, rel_names)
+    violations.sort(key=lambda v: (v.path, v.line, v.check))
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: two levels up)")
+    parser.add_argument("--compile-commands", default=None,
+                        help="compile_commands.json to take the TU list "
+                        "from (default: <root>/build/compile_commands.json "
+                        "when present, else walk src/)")
+    parser.add_argument("--metric-names", default=None,
+                        help="metric inventory file (default: "
+                        "tools/lint/metric_names.txt)")
+    args = parser.parse_args(argv)
+
+    root = args.root or os.path.realpath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"error: no src/ under {root}", file=sys.stderr)
+        return 2
+    names = args.metric_names or os.path.join(root, "tools", "lint",
+                                              "metric_names.txt")
+    compile_commands = args.compile_commands
+    if compile_commands is None:
+        default_cc = os.path.join(root, "build", "compile_commands.json")
+        if os.path.exists(default_cc):
+            compile_commands = default_cc
+
+    violations = run_lint(root, names, compile_commands)
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"metaprobe_lint: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

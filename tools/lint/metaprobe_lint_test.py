@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+# Copyright 2026 The metaprobe Authors
+"""Self-test for metaprobe_lint.py against the testdata/ fixture tree.
+
+pytest collects the test_* functions when available; `python3
+metaprobe_lint_test.py` runs them with the stdlib only (the container
+has no pytest), so the suite can register as a plain ctest entry.
+"""
+
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import metaprobe_lint  # noqa: E402
+
+TESTDATA = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "testdata")
+NAMES = os.path.join(TESTDATA, "metric_names.txt")
+
+
+def fixture_violations(compile_commands=None):
+    found = metaprobe_lint.run_lint(TESTDATA, NAMES, compile_commands)
+    return [str(v) for v in found]
+
+
+def matching(lines, check, needle):
+    return [l for l in lines if f"[{check}]" in l and needle in l]
+
+
+def test_wall_clock_violation_flagged():
+    lines = fixture_violations()
+    assert matching(lines, "wall-clock", "wallclock_violation.cc:5"), lines
+
+
+def test_rand_and_random_device_flagged():
+    lines = fixture_violations()
+    assert matching(lines, "wall-clock", "rand_violation.cc:6"), lines
+    assert matching(lines, "wall-clock", "rand_violation.cc:7"), lines
+
+
+def test_exempt_clock_seam_not_flagged():
+    lines = fixture_violations()
+    assert not [l for l in lines if "obs/clock.h" in l], lines
+
+
+def test_comments_do_not_trip_checks():
+    lines = fixture_violations()
+    assert not [l for l in lines if "clean.cc" in l], lines
+
+
+def test_internal_include_flagged_outside_index():
+    lines = fixture_violations()
+    assert matching(lines, "index-internal",
+                    "internal_include_violation.cc:2"), lines
+
+
+def test_internal_include_allowed_inside_index():
+    lines = fixture_violations()
+    assert not [l for l in lines if "uses_internal.cc" in l], lines
+
+
+def test_public_index_headers_allowed_everywhere():
+    lines = fixture_violations()
+    # clean.cc includes index/posting_list.h; internal_include_violation.cc
+    # also includes the public inverted_index.h — only bitpack.h may flag.
+    assert not [l for l in lines if "posting_list.h" in l], lines
+    assert not [l for l in lines if "inverted_index.h" in l], lines
+
+
+def test_undeclared_metric_flagged():
+    lines = fixture_violations()
+    assert matching(lines, "metric-names", "metaprobe_bogus_total"), lines
+
+
+def test_stale_metric_entry_flagged():
+    lines = fixture_violations()
+    assert matching(lines, "metric-names", "metaprobe_stale_total"), lines
+
+
+def test_declared_and_used_metric_clean():
+    lines = fixture_violations()
+    assert not [l for l in lines if "metaprobe_fixture_total" in l], lines
+
+
+def test_compile_commands_scopes_the_tu_list():
+    # A database listing only clean.cc: the .cc-level violations vanish
+    # (headers are still walked; the fixture headers are clean).
+    with tempfile.TemporaryDirectory() as tmp:
+        cdb = os.path.join(tmp, "compile_commands.json")
+        clean = os.path.join(TESTDATA, "src", "core", "clean.cc")
+        with open(cdb, "w", encoding="utf-8") as f:
+            json.dump([{"directory": tmp, "file": clean,
+                        "command": "c++ -c " + clean}], f)
+        lines = fixture_violations(cdb)
+        assert not [l for l in lines if "wallclock_violation" in l], lines
+        assert not [l for l in lines if "internal_include" in l], lines
+        # Bidirectionality still holds for the shrunken TU set.
+        assert matching(lines, "metric-names", "metaprobe_stale_total"), lines
+
+
+def test_violation_count_is_exact():
+    # One wall-clock (steady_clock) + two (rand, random_device) + one
+    # index-internal + one undeclared metric + one stale entry = 6.
+    lines = fixture_violations()
+    assert len(lines) == 6, lines
+
+
+def test_real_tree_is_clean():
+    # The shipping source tree must hold its own invariants.
+    root = os.path.realpath(os.path.join(TESTDATA, "..", "..", ".."))
+    names = os.path.join(root, "tools", "lint", "metric_names.txt")
+    found = metaprobe_lint.run_lint(root, names)
+    assert not found, [str(v) for v in found]
+
+
+def test_strip_comments_preserves_lines_and_strings():
+    text = 'a(); // rand()\n/* std::random_device\n spans */ b("s");\n'
+    stripped = metaprobe_lint.strip_comments(text)
+    assert stripped.count("\n") == text.count("\n")
+    assert "rand" not in stripped
+    assert "random_device" not in stripped
+    assert '"s"' in stripped
+
+
+def main():
+    failures = 0
+    tests = [(name, fn) for name, fn in sorted(globals().items())
+             if name.startswith("test_") and callable(fn)]
+    for name, fn in tests:
+        try:
+            fn()
+            print(f"PASS {name}")
+        except AssertionError as exc:
+            failures += 1
+            print(f"FAIL {name}: {exc}")
+    print(f"{len(tests) - failures}/{len(tests)} passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Copyright 2026 The metaprobe Authors
+#
+# One-command static-analysis pass:
+#
+#   tools/lint/run.sh [build-dir]
+#
+#  1. metaprobe_lint.py        project invariants (always; needs python3)
+#  2. clang -Wthread-safety    thread-safety analysis over every src/ TU
+#                              (skipped when clang++ is not installed)
+#  3. clang-tidy               .clang-tidy baseline over src/ TUs
+#                              (skipped when clang-tidy is not installed)
+#
+# Steps 2 and 3 consume <build-dir>/compile_commands.json, which the
+# top-level CMakeLists exports unconditionally; the script configures the
+# build directory if the file is missing. Exit status is non-zero when any
+# executed step finds a problem. CI installs clang so all three steps run
+# there; locally a gcc-only box still gets step 1.
+
+set -u -o pipefail
+
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+BUILD_DIR="${1:-${ROOT}/build}"
+FAILED=0
+
+say() { printf '\n=== %s ===\n' "$*"; }
+
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  say "configuring ${BUILD_DIR} to export compile_commands.json"
+  cmake -B "${BUILD_DIR}" -S "${ROOT}" >/dev/null || exit 2
+fi
+CDB="${BUILD_DIR}/compile_commands.json"
+
+say "metaprobe_lint (project invariants)"
+if command -v python3 >/dev/null 2>&1; then
+  python3 "${ROOT}/tools/lint/metaprobe_lint.py" \
+    --root "${ROOT}" --compile-commands "${CDB}" || FAILED=1
+else
+  echo "python3 not found; cannot run the invariant lint" >&2
+  FAILED=1
+fi
+
+# src/ TUs from the compilation database (python is already a dependency).
+mapfile -t SRC_FILES < <(python3 - "$CDB" "$ROOT" <<'EOF'
+import json, os, sys
+cdb, root = sys.argv[1], os.path.realpath(sys.argv[2])
+src = os.path.join(root, "src") + os.sep
+for entry in json.load(open(cdb)):
+    path = entry["file"]
+    if not os.path.isabs(path):
+        path = os.path.join(entry.get("directory", ""), path)
+    path = os.path.realpath(path)
+    if path.startswith(src):
+        print(path)
+EOF
+)
+
+say "clang thread-safety analysis"
+if command -v clang++ >/dev/null 2>&1; then
+  TS_FAILED=0
+  for f in "${SRC_FILES[@]}"; do
+    clang++ -std=c++20 -I"${ROOT}/src" -fsyntax-only \
+      -Wthread-safety -Werror=thread-safety "$f" || TS_FAILED=1
+  done
+  if [[ ${TS_FAILED} -ne 0 ]]; then
+    FAILED=1
+  else
+    echo "clean (${#SRC_FILES[@]} TUs)"
+  fi
+else
+  echo "clang++ not found; skipping (CI runs this step)"
+fi
+
+say "clang-tidy baseline"
+if command -v clang-tidy >/dev/null 2>&1; then
+  TIDY_FAILED=0
+  for f in "${SRC_FILES[@]}"; do
+    clang-tidy --quiet --warnings-as-errors='*' -p "${BUILD_DIR}" "$f" \
+      || TIDY_FAILED=1
+  done
+  if [[ ${TIDY_FAILED} -ne 0 ]]; then
+    FAILED=1
+  else
+    echo "clean (${#SRC_FILES[@]} TUs)"
+  fi
+else
+  echo "clang-tidy not found; skipping (CI runs this step)"
+fi
+
+exit "${FAILED}"

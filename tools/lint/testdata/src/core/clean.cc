@@ -1,0 +1,7 @@
+// Fixture: violates nothing. The comment below must not trip the
+// wall-clock check: std::chrono::steady_clock::now() and rand() in
+// comments are fine, only code counts.
+/* Block comments too: std::random_device is mentioned here. */
+#include "index/posting_list.h"
+
+const char* kCounterName = "metaprobe_fixture_total";

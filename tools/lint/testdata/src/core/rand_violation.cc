@@ -1,0 +1,8 @@
+// Fixture: unseeded randomness outside src/common/.
+#include <cstdlib>
+#include <random>
+
+int Roll() {
+  std::random_device device;
+  return rand() + static_cast<int>(device());
+}

@@ -1,0 +1,2 @@
+// Fixture: exports a metric family that metric_names.txt does not list.
+const char* kBogus = "metaprobe_bogus_total";

@@ -1,0 +1,6 @@
+// Fixture: direct wall-clock read outside the injection seam.
+#include <chrono>
+
+long Now() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

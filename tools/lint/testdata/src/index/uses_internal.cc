@@ -1,0 +1,3 @@
+// Fixture: src/index/ may include its own internals — no violation.
+#include "index/bitpack.h"
+#include "index/varint_codec.h"

@@ -1,0 +1,11 @@
+// Fixture: the exempt injection seam — the one place a real clock read
+// is allowed.
+#ifndef FIXTURE_OBS_CLOCK_H_
+#define FIXTURE_OBS_CLOCK_H_
+#include <chrono>
+
+inline long RealNow() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+#endif

@@ -1,0 +1,3 @@
+// Fixture: reaches into the index layer's codec internals.
+#include "index/bitpack.h"
+#include "index/inverted_index.h"
