@@ -6,6 +6,9 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -282,6 +285,62 @@ void BM_TopKCosineExhaustive(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TopKCosineExhaustive)->Arg(10)->Arg(100);
+
+// Serialized index file of `num_docs` documents, generated and written
+// once per size and reused across iterations — the open benchmarks time
+// the read path, not the corpus build.
+const std::string& BenchIndexFile(std::uint32_t num_docs) {
+  static std::map<std::uint32_t, std::string>* kFiles =
+      new std::map<std::uint32_t, std::string>();
+  auto it = kFiles->find(num_docs);
+  if (it != kFiles->end()) return it->second;
+  text::Analyzer analyzer;
+  corpus::CorpusGenerator generator(corpus::HealthTopics(), {}, &analyzer);
+  corpus::DatabaseSpec spec;
+  spec.name = "open-bench";
+  spec.num_docs = num_docs;
+  spec.mixture = {{"clinical", 1.0}, {"oncology", 1.0}, {"cardiology", 1.0}};
+  spec.seed = 99;
+  const index::InvertedIndex index =
+      std::move(generator.Generate(spec)->index);
+  std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("metaprobe_bench_index_" + std::to_string(num_docs) + ".mpix"))
+          .string();
+  std::ofstream os(path, std::ios::binary);
+  index.SaveTo(os).CheckOK();
+  return kFiles->emplace(num_docs, std::move(path)).first->second;
+}
+
+void BM_IndexOpenEager(benchmark::State& state) {
+  // The heap loader: every block of every posting list is decoded and the
+  // scoring structures finalized before the first query can run.
+  const std::string& path =
+      BenchIndexFile(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    std::ifstream is(path, std::ios::binary);
+    auto loaded = index::InvertedIndex::LoadFrom(is);
+    benchmark::DoNotOptimize(loaded->num_docs());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IndexOpenEager)->Arg(2000)->Arg(20000);
+
+void BM_IndexOpenMapped(benchmark::State& state) {
+  // Cold open of the zero-copy reader: the file is mapped and every
+  // envelope and directory entry validated, but block decode and scoring
+  // wait for first touch — cost scales with the vocabulary, not the
+  // postings, which is what the validate_bench.py ratio gate asserts
+  // against BM_IndexOpenEager at the same corpus size.
+  const std::string& path =
+      BenchIndexFile(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto opened = index::InvertedIndex::OpenMapped(path);
+    benchmark::DoNotOptimize(opened->num_docs());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IndexOpenMapped)->Arg(2000)->Arg(20000);
 
 void BM_IndexBuild(benchmark::State& state) {
   text::Analyzer analyzer;

@@ -12,13 +12,20 @@
 // selection with degraded=true — an expiring budget degrades the answer,
 // it never becomes an error. Shutdown drains every accepted request.
 //
+// Databases serve in FrozenIndex mode: two are frozen in place at
+// construction (append tails packed read-only), and one round-trips
+// through an index file served zero-copy via InvertedIndex::OpenMapped —
+// /statusz's "storage" rows show the mapped-vs-heap split.
+//
 // Environment knobs (used by tools/check.sh's scrape stage):
 //   METAPROBE_SERVE_SECONDS  keep serving synthetic traffic and the HTTP
 //                            endpoints alive for this many seconds
 //   METAPROBE_PORT_FILE      write the bound introspection port here
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -37,6 +44,7 @@
 
 namespace {
 
+using metaprobe::core::IndexMode;
 using metaprobe::core::LocalDatabase;
 using metaprobe::core::Metasearcher;
 using metaprobe::core::ParseQuery;
@@ -49,15 +57,43 @@ using metaprobe::serving::ServeRequest;
 using metaprobe::serving::ServeResponse;
 using metaprobe::serving::Ticket;
 
-std::shared_ptr<LocalDatabase> MakeDatabase(
-    const metaprobe::text::Analyzer& analyzer, const std::string& name,
+metaprobe::index::InvertedIndex BuildIndex(
+    const metaprobe::text::Analyzer& analyzer,
     const std::vector<std::string>& docs) {
   metaprobe::index::InvertedIndex::Builder builder;
   for (const std::string& body : docs) {
     builder.AddDocument(analyzer.Analyze(body));
   }
-  return std::make_shared<LocalDatabase>(
-      name, std::move(builder).Build().ValueOrDie());
+  return std::move(builder).Build().ValueOrDie();
+}
+
+std::shared_ptr<LocalDatabase> MakeDatabase(
+    const metaprobe::text::Analyzer& analyzer, const std::string& name,
+    const std::vector<std::string>& docs) {
+  return std::make_shared<LocalDatabase>(name, BuildIndex(analyzer, docs),
+                                         nullptr, IndexMode::kFrozen);
+}
+
+// Round-trips the corpus through an index file and serves it zero-copy:
+// the list payloads stay in the mapping, decoded lazily on first touch.
+// Scoring is finalized up front so serving threads never race the lazy
+// path's first-touch work (see DESIGN.md §16).
+std::shared_ptr<LocalDatabase> MakeMappedDatabase(
+    const metaprobe::text::Analyzer& analyzer, const std::string& name,
+    const std::vector<std::string>& docs) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("metaprobe_serving_" + name + ".mpix");
+  {
+    std::ofstream os(path, std::ios::binary);
+    BuildIndex(analyzer, docs).SaveTo(os).CheckOK();
+  }
+  metaprobe::index::InvertedIndex index =
+      metaprobe::index::InvertedIndex::OpenMapped(path.string()).ValueOrDie();
+  index.EnsureScoringReady().CheckOK();
+  std::remove(path.string().c_str());  // mapping outlives the unlink
+  return std::make_shared<LocalDatabase>(name, std::move(index), nullptr,
+                                         IndexMode::kFrozen);
 }
 
 }  // namespace
@@ -65,7 +101,7 @@ std::shared_ptr<LocalDatabase> MakeDatabase(
 int main() {
   metaprobe::text::Analyzer analyzer;
 
-  auto pubmed = MakeDatabase(
+  auto pubmed = MakeMappedDatabase(
       analyzer, "pubmed",
       {"Breast cancer patients receiving adjuvant chemotherapy showed "
        "improved survival after mastectomy and radiation treatment.",

@@ -1,0 +1,109 @@
+// Copyright 2026 The metaprobe Authors
+
+#include "common/mmap_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <utility>
+
+#include "common/macros.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define METAPROBE_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define METAPROBE_HAS_MMAP 0
+#endif
+
+namespace metaprobe::common {
+
+namespace {
+
+Status ReadWholeFile(const std::string& path, std::vector<std::uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Status::IoError("cannot open '", path, "' for reading");
+  }
+  const std::streamoff end = in.tellg();
+  if (end < 0) {
+    return Status::IoError("cannot determine size of '", path, "'");
+  }
+  out->resize(static_cast<std::size_t>(end));
+  in.seekg(0);
+  if (end > 0 &&
+      !in.read(reinterpret_cast<char*>(out->data()), end)) {
+    return Status::IoError("short read from '", path, "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  MmapFile file;
+#if METAPROBE_HAS_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+      ::close(fd);
+      return Status::IoError("'", path, "' is not a regular file");
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+    if (size == 0) {
+      ::close(fd);
+      return file;  // Empty file: valid zero-length view, nothing to map.
+    }
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // The mapping keeps its own reference to the file.
+    if (addr != MAP_FAILED) {
+      file.data_ = static_cast<const std::uint8_t*>(addr);
+      file.size_ = size;
+      file.mapped_ = true;
+      return file;
+    }
+    // mmap can legitimately fail (e.g. filesystems without mmap support);
+    // fall through to the portable read path rather than erroring out.
+  } else if (errno == ENOENT || errno == EACCES) {
+    return Status::IoError("cannot open '", path, "': ",
+                           std::strerror(errno));
+  }
+#endif
+  RETURN_NOT_OK(ReadWholeFile(path, &file.fallback_));
+  file.data_ = file.fallback_.empty() ? nullptr : file.fallback_.data();
+  file.size_ = file.fallback_.size();
+  file.mapped_ = false;
+  return file;
+}
+
+MmapFile::~MmapFile() {
+#if METAPROBE_HAS_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+  }
+#endif
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      mapped_(std::exchange(other.mapped_, false)),
+      fallback_(std::move(other.fallback_)) {
+  // A moved-from fallback vector may still own the bytes `data_` points at;
+  // std::vector's move transfers the allocation, so the pointer stays valid.
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    this->~MmapFile();
+    new (this) MmapFile(std::move(other));
+  }
+  return *this;
+}
+
+}  // namespace metaprobe::common

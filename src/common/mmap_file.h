@@ -1,0 +1,60 @@
+// Copyright 2026 The metaprobe Authors
+
+#ifndef METAPROBE_COMMON_MMAP_FILE_H_
+#define METAPROBE_COMMON_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace metaprobe::common {
+
+/// \brief A read-only memory mapping of a whole file.
+///
+/// `MmapFile::Open` maps the file with `mmap(PROT_READ, MAP_PRIVATE)` on
+/// POSIX systems so readers touch only the pages they actually decode; the
+/// kernel page cache backs the mapping and evicts cold pages under pressure.
+/// On platforms without mmap (or when the map call fails, e.g. on
+/// filesystems that forbid it) it falls back to reading the whole file into
+/// an owned buffer — callers see the same `data()`/`size()` view either way
+/// and can query `is_mapped()` to learn which path was taken.
+///
+/// The mapping is immutable and move-only. All `data()` pointers obtained
+/// from an `MmapFile` are invalidated when it is destroyed or moved-from;
+/// holders of long-lived views (e.g. mapped posting lists) must keep the
+/// `MmapFile` alive for as long as the views are dereferenced — see
+/// DESIGN.md §16 for the ownership rules used by the index layer.
+class MmapFile {
+ public:
+  /// Opens `path` read-only and maps (or reads) its entire contents.
+  /// Empty files yield an object with `size() == 0` and a null `data()`.
+  static Result<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+  /// True when the contents are backed by an actual `mmap` region rather
+  /// than the read-whole-file fallback buffer.
+  bool is_mapped() const { return mapped_; }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<std::uint8_t> fallback_;
+};
+
+}  // namespace metaprobe::common
+
+#endif  // METAPROBE_COMMON_MMAP_FILE_H_

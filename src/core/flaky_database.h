@@ -37,6 +37,9 @@ class FlakyDatabase : public HiddenWebDatabase {
   std::uint64_t queries_served() const override {
     return inner_->queries_served();
   }
+  StorageStats GetStorageStats() const override {
+    return inner_->GetStorageStats();
+  }
 
   /// \brief Number of injected failures so far.
   std::uint64_t failures_injected() const {

@@ -50,6 +50,9 @@ class HealthTrackedDatabase : public HiddenWebDatabase {
   std::uint64_t queries_served() const override {
     return inner_->queries_served();
   }
+  StorageStats GetStorageStats() const override {
+    return inner_->GetStorageStats();
+  }
 
   const std::shared_ptr<HiddenWebDatabase>& inner() const { return inner_; }
 

@@ -43,10 +43,23 @@ Result<std::vector<double>> HiddenWebDatabase::ProbeBatch(
 }
 
 LocalDatabase::LocalDatabase(std::string name, index::InvertedIndex index,
-                             std::shared_ptr<index::DocumentStore> documents)
+                             std::shared_ptr<index::DocumentStore> documents,
+                             IndexMode mode)
     : name_(std::move(name)),
       index_(std::move(index)),
-      documents_(std::move(documents)) {}
+      documents_(std::move(documents)) {
+  if (mode == IndexMode::kFrozen) index_.Freeze();
+}
+
+StorageStats LocalDatabase::GetStorageStats() const {
+  const index::IndexStats stats = index_.GetStats();
+  StorageStats out;
+  out.heap_bytes = stats.heap_bytes;
+  out.mapped_bytes = stats.mapped_bytes;
+  out.frozen = index_.frozen();
+  out.mapped = index_.is_mapped();
+  return out;
+}
 
 Result<std::uint64_t> LocalDatabase::CountMatches(const Query& query) const {
   if (query.empty()) {

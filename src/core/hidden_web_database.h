@@ -29,6 +29,18 @@ struct SearchHit {
   std::string title;
 };
 
+/// \brief Storage footprint of a database's index, split by backing.
+///
+/// `/statusz` reports these per database so operators can tell heap-held
+/// indexes from mmap-served ones: mapped bytes are page-cache pages the
+/// kernel can reclaim under pressure, heap bytes are not.
+struct StorageStats {
+  std::size_t heap_bytes = 0;
+  std::size_t mapped_bytes = 0;
+  bool frozen = false;
+  bool mapped = false;
+};
+
 /// \brief A database reachable only through its keyword-search interface.
 ///
 /// This models the paper's hidden-web databases (PubMed, MEDLINEplus, ...):
@@ -92,6 +104,22 @@ class HiddenWebDatabase {
   /// \brief Number of queries this database has served (both primitives);
   /// experiments use it to audit probing cost.
   virtual std::uint64_t queries_served() const = 0;
+
+  /// \brief Index storage footprint, for introspection. A real remote
+  /// database reveals nothing, so the default reports zeros; local
+  /// adapters override it. Never consulted by selection algorithms.
+  virtual StorageStats GetStorageStats() const { return {}; }
+};
+
+/// \brief How a LocalDatabase holds its index for serving.
+enum class IndexMode {
+  /// As built: full blocks packed, the append tail uncompressed.
+  kStandard,
+  /// `InvertedIndex::Freeze()` applied at construction: tails packed as
+  /// partial blocks, the whole index immutable and read-optimized (the
+  /// serving loop's "FrozenIndex" mode). Query results are bit-identical
+  /// to kStandard.
+  kFrozen,
 };
 
 /// \brief In-process database backed by an InvertedIndex.
@@ -105,8 +133,10 @@ class LocalDatabase : public HiddenWebDatabase {
   /// \param name database name
   /// \param index built index (owned)
   /// \param documents optional raw text store for result titles (may be null)
+  /// \param mode kFrozen packs the index read-only at construction
   LocalDatabase(std::string name, index::InvertedIndex index,
-                std::shared_ptr<index::DocumentStore> documents = nullptr);
+                std::shared_ptr<index::DocumentStore> documents = nullptr,
+                IndexMode mode = IndexMode::kStandard);
 
   const std::string& name() const override { return name_; }
   std::uint32_t size() const override { return index_.num_docs(); }
@@ -120,6 +150,7 @@ class LocalDatabase : public HiddenWebDatabase {
   std::uint64_t queries_served() const override {
     return queries_served_.load(std::memory_order_relaxed);
   }
+  StorageStats GetStorageStats() const override;
 
   /// \brief Back-door used only by summary construction and golden-standard
   /// evaluation harnesses (never by selection algorithms).

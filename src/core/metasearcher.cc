@@ -96,6 +96,16 @@ Metasearcher::Metasearcher(MetasearcherOptions options)
                 std::memory_order_relaxed));
       });
   registry_.RegisterCallbackGauge(
+      "metaprobe_index_mapped_bytes", "", []() {
+        return static_cast<double>(index::IndexCounters::mapped_bytes.load(
+            std::memory_order_relaxed));
+      });
+  registry_.RegisterCallbackGauge(
+      "metaprobe_index_resident_lists", "", []() {
+        return static_cast<double>(index::IndexCounters::resident_lists.load(
+            std::memory_order_relaxed));
+      });
+  registry_.RegisterCallbackGauge(
       "metaprobe_probe_batch_size", "", []() {
         return static_cast<double>(
             index::IndexCounters::last_probe_batch_size.load(

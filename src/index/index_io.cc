@@ -25,12 +25,28 @@
 // pass: every posting is decoded, bounds-checked against num_docs and
 // monotonicity, and every v3 directory max-tf entry is cross-checked
 // against the decoded tf values.
+//
+// Two readers share this layout:
+//   * LoadFrom — eager: every payload is copied and deep-validated, the
+//     scoring pass runs immediately.
+//   * OpenMapped — zero-copy: the file is mmap'd, the envelope and every
+//     block directory are validated at open, and the packed sections are
+//     served straight from the mapping with lazy per-block decode. The
+//     scoring pass (and with it full posting validation) runs on first
+//     use unless MappedIndexOptions::eager_scoring asks for it at open.
 
 #include <array>
 #include <cstring>
 #include <limits>
+#include <memory>
+#include <span>
+#include <sstream>
+#include <string_view>
+#include <utility>
 
 #include "common/macros.h"
+#include "common/mmap_file.h"
+#include "index/index_metrics.h"
 #include "index/inverted_index.h"
 
 namespace metaprobe {
@@ -102,6 +118,31 @@ Result<std::uint64_t> GetU64(std::istream& is) {
     value |= static_cast<std::uint64_t>(
                  static_cast<unsigned char>(buffer[i]))
              << (8 * i);
+  }
+  return value;
+}
+
+// Bounds-checked little-endian reads over a mapped byte range. `pos`
+// advances past the value on success.
+Result<std::uint32_t> GetU32At(const std::uint8_t* data, std::size_t size,
+                               std::size_t* pos) {
+  if (size - *pos < 4) return Status::IoError("index file truncated (u32)");
+  const std::uint8_t* p = data + *pos;
+  *pos += 4;
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+Result<std::uint64_t> GetU64At(const std::uint8_t* data, std::size_t size,
+                               std::size_t* pos) {
+  if (size - *pos < 8) return Status::IoError("index file truncated (u64)");
+  std::uint64_t value = 0;
+  const std::uint8_t* p = data + *pos;
+  *pos += 8;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(p[i]) << (8 * i);
   }
   return value;
 }
@@ -211,7 +252,118 @@ Result<InvertedIndex> InvertedIndex::LoadFrom(std::istream& is) {
   if (num_docs == 0 && num_terms > 0) {
     return Status::InvalidArgument("postings present but num_docs is zero");
   }
+  index.frozen_ = true;  // FromEncoded/FromV2Encoded/FromV1Encoded freeze
   RETURN_NOT_OK(index.FinalizeScoring(num_docs));
+  return index;
+}
+
+Result<InvertedIndex> InvertedIndex::OpenMapped(const std::string& path,
+                                                MappedIndexOptions options) {
+  ASSIGN_OR_RETURN(common::MmapFile file, common::MmapFile::Open(path));
+  const std::uint8_t* data = file.data();
+  const std::size_t size = file.size();
+  if (size < sizeof(kMagic) + 4 ||
+      std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a metaprobe index file");
+  }
+  std::size_t pos = sizeof(kMagic);
+  ASSIGN_OR_RETURN(std::uint32_t version, GetU32At(data, size, &pos));
+  if (version < kOldestReadableVersion || version > kFormatVersion) {
+    return Status::InvalidArgument("unsupported index version ", version);
+  }
+  if (version == 1) {
+    // v1 payloads are varint streams with no block directory — there is
+    // nothing to serve zero-copy. Route them through the eager loader,
+    // which re-encodes into the block format.
+    std::istringstream is(
+        std::string(reinterpret_cast<const char*>(data), size));
+    return LoadFrom(is);
+  }
+  ASSIGN_OR_RETURN(std::uint32_t num_docs, GetU32At(data, size, &pos));
+  ASSIGN_OR_RETURN(std::uint64_t total_tokens, GetU64At(data, size, &pos));
+  ASSIGN_OR_RETURN(std::uint64_t num_terms, GetU64At(data, size, &pos));
+  // Same plausibility bounds as LoadFrom, against the mapped length.
+  if (num_docs > (1u << 20) &&
+      static_cast<std::uint64_t>(num_docs) > (size - pos) * 4) {
+    return Status::InvalidArgument("implausible document count ", num_docs);
+  }
+  if (num_terms > (size - pos) / kMinTermEntryBytes) {
+    return Status::InvalidArgument("implausible term count ", num_terms);
+  }
+  if (num_docs == 0 && num_terms > 0) {
+    return Status::InvalidArgument("postings present but num_docs is zero");
+  }
+
+  InvertedIndex index;
+  index.total_tokens_ = total_tokens;
+  index.postings_.reserve(num_terms);
+  for (std::uint64_t t = 0; t < num_terms; ++t) {
+    ASSIGN_OR_RETURN(std::uint32_t term_bytes, GetU32At(data, size, &pos));
+    if (term_bytes == 0 || term_bytes > kMaxTermBytes ||
+        term_bytes > size - pos) {
+      return Status::InvalidArgument("bad term length ", term_bytes);
+    }
+    const std::string_view term(reinterpret_cast<const char*>(data + pos),
+                                term_bytes);
+    pos += term_bytes;
+    text::TermId id = index.vocab_.Intern(term);
+    if (id != t) {
+      return Status::InvalidArgument("duplicate term '", term,
+                                     "' in index file");
+    }
+    ASSIGN_OR_RETURN(std::uint32_t posting_count, GetU32At(data, size, &pos));
+    ASSIGN_OR_RETURN(std::uint64_t payload_bytes, GetU64At(data, size, &pos));
+    if (payload_bytes > size - pos) {
+      return Status::InvalidArgument("payload length exceeds file size");
+    }
+    const std::uint64_t blocks =
+        (static_cast<std::uint64_t>(posting_count) +
+         PostingList::kBlockSize - 1) /
+        PostingList::kBlockSize;
+    const std::uint64_t min_payload =
+        blocks * (version == 2 ? kV2DirEntryBytes : kV3DirEntryBytes);
+    if (min_payload > payload_bytes) {
+      return Status::InvalidArgument("posting count exceeds payload");
+    }
+    const std::span<const std::uint8_t> payload(
+        data + pos, static_cast<std::size_t>(payload_bytes));
+    pos += static_cast<std::size_t>(payload_bytes);
+    ASSIGN_OR_RETURN(PostingList list,
+                     PostingList::FromMappedPayload(posting_count, payload,
+                                                    /*with_max_tf=*/
+                                                    version == 3));
+    // The eager loader defers this bound to FinalizeScoring's full pass;
+    // a lazily scored index must reject out-of-range DocIds at open (the
+    // intermediate ones are covered: validated blocks are monotone up to
+    // their directory last_doc).
+    if (!list.empty() &&
+        list.span_last_doc(list.num_spans() - 1) >= num_docs) {
+      return Status::InvalidArgument("posting references DocId ",
+                                     list.span_last_doc(list.num_spans() - 1),
+                                     " but the index has ", num_docs,
+                                     " documents");
+    }
+    index.postings_.push_back(std::move(list));
+  }
+  if (pos != size) {
+    return Status::InvalidArgument("index file has ", size - pos,
+                                   " trailing bytes");
+  }
+
+  index.num_docs_ = num_docs;
+  index.frozen_ = true;
+  IndexCounters::AddMappedBytes(size);
+  index.mapping_ = std::shared_ptr<const common::MmapFile>(
+      new common::MmapFile(std::move(file)),
+      [](const common::MmapFile* f) {
+        IndexCounters::SubMappedBytes(f->size());
+        delete f;
+      });
+  if (options.eager_scoring) {
+    RETURN_NOT_OK(index.FinalizeScoring(num_docs));
+  } else {
+    index.lazy_ = std::make_unique<LazyScoring>();
+  }
   return index;
 }
 

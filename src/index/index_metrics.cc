@@ -10,6 +10,8 @@ std::atomic<std::uint64_t> IndexCounters::simd_intersections{0};
 std::atomic<std::uint64_t> IndexCounters::batch_probe_queries{0};
 std::atomic<std::uint64_t> IndexCounters::batch_probe_calls{0};
 std::atomic<std::uint64_t> IndexCounters::last_probe_batch_size{0};
+std::atomic<std::uint64_t> IndexCounters::mapped_bytes{0};
+std::atomic<std::uint64_t> IndexCounters::resident_lists{0};
 
 }  // namespace index
 }  // namespace metaprobe

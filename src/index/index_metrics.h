@@ -35,6 +35,13 @@ struct IndexCounters {
   static std::atomic<std::uint64_t> batch_probe_calls;
   /// Size of the most recent probe batch.
   static std::atomic<std::uint64_t> last_probe_batch_size;
+  /// Bytes of index payload currently backed by live file mappings
+  /// (decremented when a mapped index is destroyed).
+  static std::atomic<std::uint64_t> mapped_bytes;
+  /// Mapped posting lists that have had at least one block decoded — the
+  /// set of lists whose pages are actually resident because a query
+  /// touched them (decremented when the owning index is destroyed).
+  static std::atomic<std::uint64_t> resident_lists;
 
   static void CountBlocksDecoded(std::uint64_t n) {
 #ifndef METAPROBE_OBS_DISABLED
@@ -63,6 +70,38 @@ struct IndexCounters {
   static void CountSimdIntersections(std::uint64_t n) {
 #ifndef METAPROBE_OBS_DISABLED
     simd_intersections.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  static void AddMappedBytes(std::uint64_t n) {
+#ifndef METAPROBE_OBS_DISABLED
+    mapped_bytes.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  static void SubMappedBytes(std::uint64_t n) {
+#ifndef METAPROBE_OBS_DISABLED
+    mapped_bytes.fetch_sub(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  static void AddResidentLists(std::uint64_t n) {
+#ifndef METAPROBE_OBS_DISABLED
+    resident_lists.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  static void SubResidentLists(std::uint64_t n) {
+#ifndef METAPROBE_OBS_DISABLED
+    resident_lists.fetch_sub(n, std::memory_order_relaxed);
 #else
     (void)n;
 #endif

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <mutex>
+#include <new>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -14,6 +16,45 @@
 
 namespace metaprobe {
 namespace index {
+
+InvertedIndex::~InvertedIndex() {
+  if (mapping_ == nullptr) return;
+  // Settle the resident-lists gauge for every mapped list a cursor
+  // touched. No cursor can be live here (destruction implies exclusive
+  // ownership), so the plain read of the flags is race-free.
+  std::uint64_t resident = 0;
+  for (const PostingList& list : postings_) {
+    if (list.is_mapped() && list.resident_counted_) ++resident;
+  }
+  if (resident > 0) IndexCounters::SubResidentLists(resident);
+}
+
+InvertedIndex& InvertedIndex::operator=(InvertedIndex&& other) noexcept {
+  if (this != &other) {
+    // Destroy-and-move so the overwritten index settles its gauges.
+    this->~InvertedIndex();
+    new (this) InvertedIndex(std::move(other));
+  }
+  return *this;
+}
+
+void InvertedIndex::Freeze() {
+  for (PostingList& list : postings_) list.Freeze();
+  frozen_ = true;
+}
+
+Status InvertedIndex::EnsureScoringReady() const {
+  if (lazy_ == nullptr) return Status::OK();
+  LazyScoring* lazy = lazy_.get();
+  std::call_once(lazy->once, [this, lazy] {
+    // FinalizeScoring writes the scoring members exactly once; call_once
+    // publishes them to every waiter, so readers past this point see a
+    // fully built (or failed, via the Status) scoring state.
+    lazy->status =
+        const_cast<InvertedIndex*>(this)->FinalizeScoring(num_docs_);
+  });
+  return lazy->status;
+}
 
 DocId InvertedIndex::Builder::AddDocument(
     const std::vector<std::string>& terms) {
@@ -66,6 +107,7 @@ Result<InvertedIndex> InvertedIndex::Builder::Build() && {
 }
 
 Status InvertedIndex::FinalizeScoring(std::uint32_t num_docs) {
+  num_docs_ = num_docs;
   const double n = static_cast<double>(num_docs);
   idf_.assign(postings_.size(), 0.0);
   std::vector<double> norms_sq(num_docs, 0.0);
@@ -81,7 +123,9 @@ Status InvertedIndex::FinalizeScoring(std::uint32_t num_docs) {
     // bound, so it is rejected here at load/build time.
     std::size_t span = 0;
     std::uint32_t span_max_seen = 0;
+    std::uint64_t iterated = 0;
     for (auto it = list.begin(); it.Valid(); it.Next()) {
+      ++iterated;
       if (it.doc() >= num_docs) {
         return Status::InvalidArgument("posting references DocId ", it.doc(),
                                        " but the index has ", num_docs,
@@ -104,6 +148,14 @@ Status InvertedIndex::FinalizeScoring(std::uint32_t num_docs) {
       return Status::InvalidArgument(
           "block ", span, " claims max tf ", list.span_max_tf(span),
           " but its postings reach ", span_max_seen);
+    }
+    if (iterated != list.size()) {
+      // A lazily decoded mapped block that contradicted its directory
+      // exhausts its cursor early (posting_list.cc LoadSpan); this is
+      // where that sticky failure surfaces as an error.
+      return Status::InvalidArgument("posting list iterates ", iterated,
+                                     " postings but claims ", list.size(),
+                                     " (corrupt mapped block?)");
     }
   }
   doc_norms_.resize(norms_sq.size());
@@ -391,6 +443,8 @@ std::vector<ScoredDoc> InvertedIndex::TopKCosineExhaustive(
     const std::vector<std::string>& terms, std::size_t k) const {
   std::vector<ScoredDoc> result;
   if (k == 0 || terms.empty()) return result;
+  const Status scoring = EnsureScoringReady();
+  METAPROBE_DCHECK(scoring.ok(), scoring.ToString().c_str());
   const auto query = QueryTermFreqs(terms);
   if (query.empty()) return result;
 
@@ -427,6 +481,8 @@ std::vector<ScoredDoc> InvertedIndex::TopKCosine(
     const std::vector<std::string>& terms, std::size_t k) const {
   std::vector<ScoredDoc> result;
   if (k == 0 || terms.empty()) return result;
+  const Status scoring = EnsureScoringReady();
+  METAPROBE_DCHECK(scoring.ok(), scoring.ToString().c_str());
   const auto query = QueryTermFreqs(terms);
   if (query.empty()) return result;
 
@@ -606,6 +662,8 @@ IndexStats InvertedIndex::GetStats() const {
     ++stats.num_terms;
     stats.num_postings += list.size();
     stats.posting_bytes += list.ByteSize();
+    stats.heap_bytes += list.HeapByteSize();
+    stats.mapped_bytes += list.MappedByteSize();
   }
   return stats;
 }

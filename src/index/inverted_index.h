@@ -3,8 +3,11 @@
 #ifndef METAPROBE_INDEX_INVERTED_INDEX_H_
 #define METAPROBE_INDEX_INVERTED_INDEX_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <istream>
+#include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -17,6 +20,10 @@
 namespace metaprobe {
 
 class ThreadPool;
+
+namespace common {
+class MmapFile;
+}  // namespace common
 
 namespace index {
 
@@ -34,7 +41,23 @@ struct IndexStats {
   std::uint64_t num_terms = 0;
   std::uint64_t num_postings = 0;
   std::uint64_t total_tokens = 0;
+  /// Total posting footprint: `heap_bytes + mapped_bytes`.
   std::size_t posting_bytes = 0;
+  /// Posting bytes owned on the heap (packed sections, directories,
+  /// uncompressed tails).
+  std::size_t heap_bytes = 0;
+  /// Posting bytes served zero-copy from a mapped index file.
+  std::size_t mapped_bytes = 0;
+};
+
+/// \brief Options for `InvertedIndex::OpenMapped`.
+struct MappedIndexOptions {
+  /// When true, scoring structures (idf, document norms, WAND block
+  /// bounds) are computed inside OpenMapped — touching every posting, as
+  /// the eager loader does. When false (the default) they are computed on
+  /// the first scoring query via `EnsureScoringReady`, so opening costs
+  /// only header + directory validation regardless of corpus size.
+  bool eager_scoring = false;
 };
 
 /// \brief Immutable full-text inverted index over one database's documents.
@@ -55,6 +78,17 @@ class InvertedIndex {
   /// Creates an empty index (no documents, every query matches nothing);
   /// the usual path is `Builder::Build`.
   InvertedIndex() = default;
+
+  /// The destructor settles the process-wide mapped-index gauges
+  /// (`metaprobe_index_resident_lists`; the mapping's own release settles
+  /// `metaprobe_index_mapped_bytes`). Indexes are move-only: posting
+  /// lists of a mapped index point into the shared mapping, so copies
+  /// would double-count the gauges without duplicating the storage.
+  ~InvertedIndex();
+  InvertedIndex(InvertedIndex&& other) noexcept = default;
+  InvertedIndex& operator=(InvertedIndex&& other) noexcept;
+  InvertedIndex(const InvertedIndex&) = delete;
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
 
   /// \brief Incremental index constructor.
   class Builder {
@@ -84,9 +118,31 @@ class InvertedIndex {
   };
 
   /// \brief Number of indexed documents (the paper's |db|).
-  std::uint32_t num_docs() const {
-    return static_cast<std::uint32_t>(doc_norms_.size());
-  }
+  std::uint32_t num_docs() const { return num_docs_; }
+
+  /// \brief Freezes every posting list in place (packs append tails as
+  /// final partial blocks — see `PostingList::Freeze`). Query results are
+  /// bit-identical before and after; the span structure is unchanged, so
+  /// the WAND block bounds stay valid. This is the read-optimized
+  /// "FrozenIndex" serving mode `core::LocalDatabase` opts into.
+  void Freeze();
+
+  /// \brief True when every posting list is frozen (built indexes after
+  /// `Freeze()`, every loaded or mapped index).
+  bool frozen() const { return frozen_; }
+
+  /// \brief True for indexes produced by `OpenMapped` whose postings are
+  /// served zero-copy from the mapped file.
+  bool is_mapped() const { return mapping_ != nullptr; }
+
+  /// \brief Computes the lazy scoring structures of a mapped index if
+  /// they have not been computed yet (thread-safe, at most once); no-op
+  /// for eagerly loaded indexes. Scoring entry points call this
+  /// themselves but abort on failure (a corrupt mapped payload detected
+  /// mid-query); callers that need a graceful error — e.g. before
+  /// installing a freshly mapped index into serving — should call this
+  /// explicitly and check the Status.
+  Status EnsureScoringReady() const;
 
   /// \brief Document frequency of `term` (0 when unknown). This is the
   /// r(db, t) column of the paper's statistical summaries (Figure 2).
@@ -164,6 +220,19 @@ class InvertedIndex {
   /// posting monotonicity and DocId bounds.
   static Result<InvertedIndex> LoadFrom(std::istream& is);
 
+  /// \brief Opens an index file zero-copy: the file is mmap'd (with a
+  /// read-whole-file fallback), the envelope and every posting directory
+  /// are validated exactly as in `LoadFrom`, and each posting list serves
+  /// its packed sections straight from the mapping, decoded lazily on
+  /// first cursor touch. Cold open therefore costs header + directory
+  /// work only — near-constant in the corpus size — and cold lists cost
+  /// only page-cache pages. v1 files (varint payloads with no directory)
+  /// transparently fall back to the eager loader. The returned index
+  /// keeps the mapping alive for as long as it (or any moved-to index)
+  /// exists; see DESIGN.md §16.
+  static Result<InvertedIndex> OpenMapped(const std::string& path,
+                                          MappedIndexOptions options = {});
+
  private:
   friend class Builder;
 
@@ -196,6 +265,15 @@ class InvertedIndex {
   std::vector<std::pair<text::TermId, std::uint32_t>> QueryTermFreqs(
       const std::vector<std::string>& terms) const;
 
+  // Deferred-scoring state of a lazily opened mapped index: allocated by
+  // OpenMapped, resolved at most once by EnsureScoringReady. Behind a
+  // pointer so the index stays movable while call_once runs on a stable
+  // address; null for eagerly scored indexes.
+  struct LazyScoring {
+    std::once_flag once;
+    Status status;
+  };
+
   text::Vocabulary vocab_;
   std::vector<PostingList> postings_;
   std::vector<double> doc_norms_;  // lnc vector norms for cosine scoring
@@ -206,6 +284,15 @@ class InvertedIndex {
   std::vector<std::vector<double>> span_bounds_;
   std::vector<double> max_impact_;
   std::uint64_t total_tokens_ = 0;
+  // Explicit so a lazily scored mapped index knows its |db| before
+  // doc_norms_ exists; FinalizeScoring and OpenMapped both set it.
+  std::uint32_t num_docs_ = 0;
+  bool frozen_ = false;
+  // Keeps the mapped file alive for the posting lists' payload views.
+  // The deleter (installed by OpenMapped) settles the mapped-bytes gauge
+  // when the last owner releases it.
+  std::shared_ptr<const common::MmapFile> mapping_;
+  std::unique_ptr<LazyScoring> lazy_;
 };
 
 }  // namespace index

@@ -1,6 +1,8 @@
 #include "index/posting_list.h"
 
 #include <algorithm>
+#include <atomic>
+#include <limits>
 
 #include "common/macros.h"
 #include "index/bitpack.h"
@@ -32,9 +34,96 @@ std::uint32_t GetU32Le(const std::uint8_t* p) {
          static_cast<std::uint32_t>(p[3]) << 24;
 }
 
+// One validated directory entry, shared by the eager and mapped decoders.
+struct ParsedMeta {
+  DocId first_doc;
+  DocId last_doc;
+  std::uint32_t max_tf;
+  std::uint32_t doc_bits;
+  std::uint32_t tf_bits;
+  std::uint32_t n;  // postings in this block
+};
+
+// Parses and sanity-checks a payload's directory (pass 1 of decoding):
+// bit widths, max_tf/width consistency, per-block range plausibility,
+// cross-block monotonicity, and that the directory-derived section sizes
+// account for the payload exactly. On success `*metas` holds one entry
+// per block and `*dir_bytes_out` the directory's byte length.
+Status ParseDirectory(const std::uint8_t* data, std::size_t size,
+                      std::uint32_t count, bool with_max_tf,
+                      std::vector<ParsedMeta>* metas,
+                      std::size_t* dir_bytes_out) {
+  constexpr std::uint32_t kBlockSize = PostingList::kBlockSize;
+  const std::size_t entry_bytes =
+      with_max_tf ? kDirEntryBytes : kV2DirEntryBytes;
+  const std::size_t full_blocks = count / kBlockSize;
+  const std::size_t tail_n = count % kBlockSize;
+  const std::size_t num_entries = full_blocks + (tail_n > 0 ? 1 : 0);
+  const std::size_t dir_bytes = num_entries * entry_bytes;
+  if (size < dir_bytes) {
+    return Status::InvalidArgument("posting payload truncated: ", size,
+                                   " bytes cannot hold a ", num_entries,
+                                   "-block directory");
+  }
+
+  metas->resize(num_entries);
+  std::uint64_t payload_bytes = 0;
+  for (std::size_t b = 0; b < num_entries; ++b) {
+    const std::uint8_t* p = data + b * entry_bytes;
+    ParsedMeta& m = (*metas)[b];
+    m.first_doc = GetU32Le(p);
+    m.last_doc = GetU32Le(p + 4);
+    if (with_max_tf) {
+      m.max_tf = GetU32Le(p + 8);
+      m.doc_bits = p[12];
+      m.tf_bits = p[13];
+    } else {
+      m.max_tf = 0;  // recovered from the decoded tf section by the caller
+      m.doc_bits = p[8];
+      m.tf_bits = p[9];
+    }
+    m.n = (tail_n > 0 && b + 1 == num_entries)
+              ? static_cast<std::uint32_t>(tail_n)
+              : kBlockSize;
+    if (m.doc_bits > 32 || m.tf_bits > 32) {
+      return Status::InvalidArgument("block ", b, " claims ", m.doc_bits, "/",
+                                     m.tf_bits, " bit widths (max 32)");
+    }
+    if (with_max_tf &&
+        (m.max_tf == 0 || BitWidthOf(m.max_tf - 1) != m.tf_bits)) {
+      return Status::InvalidArgument("block ", b, " claims max tf ", m.max_tf,
+                                     " inconsistent with its ", m.tf_bits,
+                                     "-bit tf width");
+    }
+    if (static_cast<std::uint64_t>(m.first_doc) + (m.n - 1) >
+        static_cast<std::uint64_t>(m.last_doc)) {
+      return Status::InvalidArgument("block ", b, " directory range [",
+                                     m.first_doc, ", ", m.last_doc,
+                                     "] cannot hold ", m.n, " postings");
+    }
+    if (b > 0 && m.first_doc <= (*metas)[b - 1].last_doc) {
+      return Status::InvalidArgument("non-increasing DocIds between blocks ",
+                                     b - 1, " and ", b);
+    }
+    payload_bytes += PackedBytes(m.n - 1, m.doc_bits);
+    payload_bytes += PackedBytes(m.n, m.tf_bits);
+  }
+  if (dir_bytes + payload_bytes != size) {
+    return Status::InvalidArgument("posting payload length mismatch: directory"
+                                   " derives ", dir_bytes + payload_bytes,
+                                   " bytes, got ", size);
+  }
+  *dir_bytes_out = dir_bytes;
+  return Status::OK();
+}
+
 }  // namespace
 
 Status PostingList::Append(DocId doc, std::uint32_t tf) {
+  if (frozen_) {
+    return Status::FailedPrecondition(
+        "cannot append to a frozen posting list");
+  }
   if (has_last_ && doc <= last_doc_) {
     return Status::InvalidArgument("postings must be appended in increasing ",
                                    "DocId order: ", doc, " after ", last_doc_);
@@ -47,25 +136,26 @@ Status PostingList::Append(DocId doc, std::uint32_t tf) {
   last_doc_ = doc;
   has_last_ = true;
   ++count_;
-  if (tail_docs_.size() == kBlockSize) FlushTailBlock();
+  if (tail_docs_.size() == kBlockSize) PackTailBlock();
   return Status::OK();
 }
 
-void PostingList::FlushTailBlock() {
+void PostingList::PackTailBlock() {
+  const std::size_t n = tail_docs_.size();
   BlockMeta m;
   m.first_doc = tail_docs_.front();
   m.last_doc = tail_docs_.back();
   m.offset = bytes_.size();
-  std::uint32_t gaps[kBlockSize - 1];
+  std::uint32_t gaps[kBlockSize];
   std::uint32_t tfs[kBlockSize];
   std::uint32_t max_gap = 0;
   std::uint32_t tf_or = 0;  // OR shares its bit width with the max
   std::uint32_t max_tf = 0;
-  for (std::uint32_t i = 0; i + 1 < kBlockSize; ++i) {
+  for (std::size_t i = 0; i + 1 < n; ++i) {
     gaps[i] = tail_docs_[i + 1] - tail_docs_[i] - 1;
     max_gap |= gaps[i];
   }
-  for (std::uint32_t i = 0; i < kBlockSize; ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     tfs[i] = tail_tfs_[i] - 1;
     tf_or |= tfs[i];
     max_tf = std::max(max_tf, tail_tfs_[i]);
@@ -73,11 +163,20 @@ void PostingList::FlushTailBlock() {
   m.max_tf = max_tf;
   m.doc_bits = static_cast<std::uint8_t>(BitWidthOf(max_gap));
   m.tf_bits = static_cast<std::uint8_t>(BitWidthOf(tf_or));
-  PackBits(gaps, kBlockSize - 1, m.doc_bits, &bytes_);
-  PackBits(tfs, kBlockSize, m.tf_bits, &bytes_);
+  PackBits(gaps, n - 1, m.doc_bits, &bytes_);
+  PackBits(tfs, n, m.tf_bits, &bytes_);
   blocks_.push_back(m);
   tail_docs_.clear();
   tail_tfs_.clear();
+}
+
+void PostingList::Freeze() {
+  if (frozen_) return;
+  if (!tail_docs_.empty()) PackTailBlock();
+  tail_docs_.shrink_to_fit();
+  tail_tfs_.shrink_to_fit();
+  ShrinkToFit();
+  frozen_ = true;
 }
 
 std::uint32_t PostingList::span_max_tf(std::size_t s) const {
@@ -103,7 +202,7 @@ std::size_t PostingList::FindSpanContaining(DocId target,
   return num_spans();
 }
 
-std::size_t PostingList::ByteSize() const {
+std::size_t PostingList::HeapByteSize() const {
   return bytes_.size() + blocks_.size() * sizeof(BlockMeta) +
          tail_docs_.size() * (sizeof(DocId) + sizeof(std::uint32_t));
 }
@@ -126,7 +225,8 @@ std::vector<std::uint8_t> PostingList::EncodePayload() const {
   std::vector<std::uint8_t> out;
   const std::size_t tail_n = tail_docs_.size();
 
-  // The tail serializes as one final (possibly partial) packed block.
+  // The tail serializes as one final (possibly partial) packed block; a
+  // frozen list has already packed it (identically) into blocks_/bytes_.
   std::uint32_t tail_gaps[kBlockSize];
   std::uint32_t tail_tfs[kBlockSize];
   std::uint32_t tail_doc_bits = 0;
@@ -149,7 +249,7 @@ std::vector<std::uint8_t> PostingList::EncodePayload() const {
   }
 
   const std::size_t num_entries = blocks_.size() + (tail_n > 0 ? 1 : 0);
-  out.reserve(num_entries * kDirEntryBytes + bytes_.size() +
+  out.reserve(num_entries * kDirEntryBytes + section_size() +
               PackedBytes(tail_n > 0 ? tail_n - 1 : 0, tail_doc_bits) +
               PackedBytes(tail_n, tail_tf_bits));
   for (const BlockMeta& m : blocks_) {
@@ -166,7 +266,7 @@ std::vector<std::uint8_t> PostingList::EncodePayload() const {
     out.push_back(static_cast<std::uint8_t>(tail_doc_bits));
     out.push_back(static_cast<std::uint8_t>(tail_tf_bits));
   }
-  out.insert(out.end(), bytes_.begin(), bytes_.end());
+  out.insert(out.end(), section_data(), section_data() + section_size());
   if (tail_n > 0) {
     PackBits(tail_gaps, tail_n - 1, tail_doc_bits, &out);
     PackBits(tail_tfs, tail_n, tail_tf_bits, &out);
@@ -188,6 +288,7 @@ Result<PostingList> PostingList::FromEncodedImpl(std::uint32_t count,
                                                  std::vector<std::uint8_t> bytes,
                                                  bool with_max_tf) {
   PostingList list;
+  list.frozen_ = true;  // loaded lists are read-only
   if (count == 0) {
     if (!bytes.empty()) {
       return Status::InvalidArgument("empty posting list with ", bytes.size(),
@@ -195,81 +296,20 @@ Result<PostingList> PostingList::FromEncodedImpl(std::uint32_t count,
     }
     return list;
   }
-  const std::size_t entry_bytes = with_max_tf ? kDirEntryBytes : kV2DirEntryBytes;
-  const std::size_t full_blocks = count / kBlockSize;
-  const std::size_t tail_n = count % kBlockSize;
-  const std::size_t num_entries = full_blocks + (tail_n > 0 ? 1 : 0);
-  const std::size_t dir_bytes = num_entries * entry_bytes;
-  if (bytes.size() < dir_bytes) {
-    return Status::InvalidArgument("posting payload truncated: ", bytes.size(),
-                                   " bytes cannot hold a ", num_entries,
-                                   "-block directory");
-  }
-
-  // Pass 1: parse and sanity-check the directory, deriving section sizes.
-  struct ParsedMeta {
-    DocId first_doc;
-    DocId last_doc;
-    std::uint32_t max_tf;
-    std::uint32_t doc_bits;
-    std::uint32_t tf_bits;
-    std::uint32_t n;  // postings in this block
-  };
-  std::vector<ParsedMeta> metas(num_entries);
-  std::uint64_t payload_bytes = 0;
-  for (std::size_t b = 0; b < num_entries; ++b) {
-    const std::uint8_t* p = bytes.data() + b * entry_bytes;
-    ParsedMeta& m = metas[b];
-    m.first_doc = GetU32Le(p);
-    m.last_doc = GetU32Le(p + 4);
-    if (with_max_tf) {
-      m.max_tf = GetU32Le(p + 8);
-      m.doc_bits = p[12];
-      m.tf_bits = p[13];
-    } else {
-      m.max_tf = 0;  // recovered from the decoded tf section below
-      m.doc_bits = p[8];
-      m.tf_bits = p[9];
-    }
-    m.n = (tail_n > 0 && b + 1 == num_entries) ? static_cast<std::uint32_t>(tail_n)
-                                               : kBlockSize;
-    if (m.doc_bits > 32 || m.tf_bits > 32) {
-      return Status::InvalidArgument("block ", b, " claims ", m.doc_bits, "/",
-                                     m.tf_bits, " bit widths (max 32)");
-    }
-    if (with_max_tf &&
-        (m.max_tf == 0 || BitWidthOf(m.max_tf - 1) != m.tf_bits)) {
-      return Status::InvalidArgument("block ", b, " claims max tf ", m.max_tf,
-                                     " inconsistent with its ", m.tf_bits,
-                                     "-bit tf width");
-    }
-    if (static_cast<std::uint64_t>(m.first_doc) + (m.n - 1) >
-        static_cast<std::uint64_t>(m.last_doc)) {
-      return Status::InvalidArgument("block ", b, " directory range [",
-                                     m.first_doc, ", ", m.last_doc,
-                                     "] cannot hold ", m.n, " postings");
-    }
-    if (b > 0 && m.first_doc <= metas[b - 1].last_doc) {
-      return Status::InvalidArgument("non-increasing DocIds between blocks ",
-                                     b - 1, " and ", b);
-    }
-    payload_bytes += PackedBytes(m.n - 1, m.doc_bits);
-    payload_bytes += PackedBytes(m.n, m.tf_bits);
-  }
-  if (dir_bytes + payload_bytes != bytes.size()) {
-    return Status::InvalidArgument("posting payload length mismatch: directory"
-                                   " derives ", dir_bytes + payload_bytes,
-                                   " bytes, got ", bytes.size());
-  }
+  std::vector<ParsedMeta> metas;
+  std::size_t dir_bytes = 0;
+  RETURN_NOT_OK(ParseDirectory(bytes.data(), bytes.size(), count, with_max_tf,
+                               &metas, &dir_bytes));
 
   // Pass 2: deep-validate every block's gap section (the decoded last DocId
   // must reproduce the directory entry, which also rules out overflow) and
-  // split the payload into the in-memory layout.
+  // keep the packed sections — the tail block included — as the in-memory
+  // layout.
   std::uint32_t gaps[kBlockSize];
   std::size_t offset = dir_bytes;
   list.bytes_.reserve(bytes.size() - dir_bytes);
-  list.blocks_.reserve(full_blocks);
-  for (std::size_t b = 0; b < num_entries; ++b) {
+  list.blocks_.reserve(metas.size());
+  for (std::size_t b = 0; b < metas.size(); ++b) {
     const ParsedMeta& m = metas[b];
     const std::size_t gap_bytes = PackedBytes(m.n - 1, m.doc_bits);
     const std::size_t tf_bytes = PackedBytes(m.n, m.tf_bits);
@@ -284,40 +324,24 @@ Result<PostingList> PostingList::FromEncodedImpl(std::uint32_t count,
                                      doc, " but its directory claims ",
                                      m.last_doc);
     }
-    const bool is_tail = tail_n > 0 && b + 1 == num_entries;
-    if (!is_tail) {
-      BlockMeta meta;
-      meta.first_doc = m.first_doc;
-      meta.last_doc = m.last_doc;
-      meta.offset = list.bytes_.size();
-      meta.max_tf = m.max_tf;
-      meta.doc_bits = static_cast<std::uint8_t>(m.doc_bits);
-      meta.tf_bits = static_cast<std::uint8_t>(m.tf_bits);
-      if (!with_max_tf) {
-        // v2 payloads carry no per-block maxima: recover them by decoding
-        // the tf section once (re-encode on load).
-        std::uint32_t tfs[kBlockSize];
-        UnpackBits(bytes.data() + offset + gap_bytes,
-                   bytes.size() - offset - gap_bytes, m.n, m.tf_bits, tfs);
-        std::uint32_t max_tf = 0;
-        for (std::uint32_t i = 0; i < m.n; ++i) {
-          max_tf = std::max(max_tf, tfs[i] + 1);
-        }
-        meta.max_tf = max_tf;
-      }
-      list.bytes_.insert(list.bytes_.end(), bytes.begin() + offset,
-                         bytes.begin() + offset + gap_bytes + tf_bytes);
-      list.blocks_.push_back(meta);
-    } else {
+    BlockMeta meta;
+    meta.first_doc = m.first_doc;
+    meta.last_doc = m.last_doc;
+    meta.offset = list.bytes_.size();
+    meta.max_tf = m.max_tf;
+    meta.doc_bits = static_cast<std::uint8_t>(m.doc_bits);
+    meta.tf_bits = static_cast<std::uint8_t>(m.tf_bits);
+    const bool is_partial = m.n < kBlockSize;
+    if (!with_max_tf || is_partial) {
+      // v2 payloads carry no per-block maxima: recover them by decoding
+      // the tf section once on load. For a v3 partial final block the
+      // claimed max is cross-checked here (full blocks are cross-checked
+      // by InvertedIndex::FinalizeScoring, which decodes every tf anyway).
       std::uint32_t tfs[kBlockSize];
       UnpackBits(bytes.data() + offset + gap_bytes,
                  bytes.size() - offset - gap_bytes, m.n, m.tf_bits, tfs);
-      list.tail_docs_.resize(m.n);
-      list.tail_tfs_.resize(m.n);
-      PrefixSumGaps(m.first_doc, gaps, m.n - 1, list.tail_docs_.data());
       std::uint32_t max_tf = 0;
       for (std::uint32_t i = 0; i < m.n; ++i) {
-        list.tail_tfs_[i] = tfs[i] + 1;
         max_tf = std::max(max_tf, tfs[i] + 1);
       }
       if (with_max_tf && max_tf != m.max_tf) {
@@ -325,9 +349,93 @@ Result<PostingList> PostingList::FromEncodedImpl(std::uint32_t count,
                                        " but its tf section decodes to ",
                                        max_tf);
       }
+      meta.max_tf = max_tf;
     }
+    list.bytes_.insert(list.bytes_.end(), bytes.begin() + offset,
+                       bytes.begin() + offset + gap_bytes + tf_bytes);
+    list.blocks_.push_back(meta);
     offset += gap_bytes + tf_bytes;
   }
+  list.count_ = count;
+  list.last_doc_ = metas.back().last_doc;
+  list.has_last_ = true;
+  return list;
+}
+
+Result<PostingList> PostingList::FromMappedPayload(
+    std::uint32_t count, std::span<const std::uint8_t> payload,
+    bool with_max_tf) {
+  PostingList list;
+  list.frozen_ = true;
+  if (count == 0) {
+    if (!payload.empty()) {
+      return Status::InvalidArgument("empty posting list with ",
+                                     payload.size(), " payload bytes");
+    }
+    return list;
+  }
+  std::vector<ParsedMeta> metas;
+  std::size_t dir_bytes = 0;
+  RETURN_NOT_OK(ParseDirectory(payload.data(), payload.size(), count,
+                               with_max_tf, &metas, &dir_bytes));
+
+  // Unlike the eager path, the packed sections stay in the mapped region
+  // and are decoded lazily on first cursor touch. The lazy decoder
+  // cross-checks each block's decoded last DocId against the directory,
+  // which is a sound corruption check only when the 32-bit prefix sum
+  // cannot wrap; the rare blocks wide enough to wrap are deep-validated
+  // with 64-bit sums right here, where we can still return a Status.
+  const std::uint8_t* sections = payload.data() + dir_bytes;
+  const std::size_t sections_len = payload.size() - dir_bytes;
+  list.blocks_.reserve(metas.size());
+  std::size_t offset = 0;
+  std::uint32_t gaps[kBlockSize];
+  for (std::size_t b = 0; b < metas.size(); ++b) {
+    const ParsedMeta& m = metas[b];
+    const std::size_t gap_bytes = PackedBytes(m.n - 1, m.doc_bits);
+    const std::size_t tf_bytes = PackedBytes(m.n, m.tf_bits);
+    BlockMeta meta;
+    meta.first_doc = m.first_doc;
+    meta.last_doc = m.last_doc;
+    meta.offset = offset;
+    meta.max_tf = m.max_tf;
+    meta.doc_bits = static_cast<std::uint8_t>(m.doc_bits);
+    meta.tf_bits = static_cast<std::uint8_t>(m.tf_bits);
+    const std::uint64_t max_gap_sum =
+        static_cast<std::uint64_t>(m.first_doc) +
+        static_cast<std::uint64_t>(m.n - 1) *
+            ((std::uint64_t{1} << m.doc_bits));
+    if (max_gap_sum > std::numeric_limits<std::uint32_t>::max()) {
+      UnpackBits(sections + offset, sections_len - offset, m.n - 1,
+                 m.doc_bits, gaps);
+      std::uint64_t doc = m.first_doc;
+      for (std::uint32_t i = 0; i + 1 < m.n; ++i) {
+        doc += static_cast<std::uint64_t>(gaps[i]) + 1;
+      }
+      if (doc != m.last_doc) {
+        return Status::InvalidArgument("block ", b, " decodes to last DocId ",
+                                       doc, " but its directory claims ",
+                                       m.last_doc);
+      }
+    }
+    if (!with_max_tf) {
+      // v2 payloads carry no per-block maxima: recover them eagerly (the
+      // block-max column must be trustworthy before any WAND traversal).
+      std::uint32_t tfs[kBlockSize];
+      UnpackBits(sections + offset + gap_bytes,
+                 sections_len - offset - gap_bytes, m.n, m.tf_bits, tfs);
+      std::uint32_t max_tf = 0;
+      for (std::uint32_t i = 0; i < m.n; ++i) {
+        max_tf = std::max(max_tf, tfs[i] + 1);
+      }
+      meta.max_tf = max_tf;
+    }
+    list.blocks_.push_back(meta);
+    offset += gap_bytes + tf_bytes;
+  }
+  list.mapped_payload_ = payload.data();
+  list.mapped_payload_size_ = payload.size();
+  list.mapped_sections_offset_ = dir_bytes;
   list.count_ = count;
   list.last_doc_ = metas.back().last_doc;
   list.has_last_ = true;
@@ -342,6 +450,7 @@ Result<PostingList> PostingList::FromV1Encoded(
   for (const Posting& p : postings) {
     RETURN_NOT_OK(list.Append(p.doc, p.tf));
   }
+  list.Freeze();  // loaded lists are read-only, like the v2/v3 paths
   return list;
 }
 
@@ -349,31 +458,52 @@ PostingList::Iterator::Iterator(const PostingList* list) : list_(list) {
   if (list->count_ > 0) LoadSpan(0);
 }
 
-void PostingList::Iterator::LoadSpan(std::size_t b) {
+bool PostingList::Iterator::LoadSpan(std::size_t b) {
   block_ = b;
   tfs_loaded_ = false;
   if (b < list_->blocks_.size()) {
     const BlockMeta& m = list_->blocks_[b];
+    const std::uint32_t n = list_->SpanLength(b);
     std::uint32_t gaps[kBlockSize - 1];
-    UnpackBits(list_->bytes_.data() + m.offset, list_->bytes_.size() - m.offset,
-               kBlockSize - 1, m.doc_bits, gaps);
-    PrefixSumGaps(m.first_doc, gaps, kBlockSize - 1, docs_);
-    span_len_ = kBlockSize;
+    UnpackBits(list_->section_data() + m.offset,
+               list_->section_size() - m.offset, n - 1, m.doc_bits, gaps);
+    PrefixSumGaps(m.first_doc, gaps, n - 1, docs_);
+    if (docs_[n - 1] != m.last_doc) {
+      // Only reachable for corrupt mapped bytes (heap payloads were
+      // deep-validated at load): exhaust permanently rather than serve a
+      // block that contradicts its directory. FinalizeScoring's
+      // posting-count check turns this into a Status on the index level.
+      pos_ = list_->count_;
+      span_len_ = 0;
+      return false;
+    }
+    span_len_ = n;
     IndexCounters::CountBlocksDecoded(1);
+    if (list_->mapped_payload_ != nullptr) {
+      // First touch of a mapped list: its pages are now resident. The
+      // flag races benignly between concurrent cursors; atomic_ref keeps
+      // the gauge exact without widening PostingList itself.
+      std::atomic_ref<bool> counted(list_->resident_counted_);
+      if (!counted.load(std::memory_order_relaxed) &&
+          !counted.exchange(true, std::memory_order_relaxed)) {
+        IndexCounters::AddResidentLists(1);
+      }
+    }
   } else {
     span_len_ = static_cast<std::uint32_t>(list_->tail_docs_.size());
     std::copy(list_->tail_docs_.begin(), list_->tail_docs_.end(), docs_);
   }
+  return true;
 }
 
 void PostingList::Iterator::DecodeTfs() const {
   if (block_ < list_->blocks_.size()) {
     const BlockMeta& m = list_->blocks_[block_];
-    const std::size_t tf_offset =
-        m.offset + PackedBytes(kBlockSize - 1, m.doc_bits);
-    UnpackBits(list_->bytes_.data() + tf_offset,
-               list_->bytes_.size() - tf_offset, kBlockSize, m.tf_bits, tfs_);
-    for (std::uint32_t i = 0; i < kBlockSize; ++i) ++tfs_[i];  // stored tf-1
+    const std::uint32_t n = list_->SpanLength(block_);
+    const std::size_t tf_offset = m.offset + PackedBytes(n - 1, m.doc_bits);
+    UnpackBits(list_->section_data() + tf_offset,
+               list_->section_size() - tf_offset, n, m.tf_bits, tfs_);
+    for (std::uint32_t i = 0; i < n; ++i) ++tfs_[i];  // stored tf-1
   } else {
     std::copy(list_->tail_tfs_.begin(), list_->tail_tfs_.end(), tfs_);
   }
@@ -394,7 +524,7 @@ void PostingList::Iterator::SkipToNewSpan(DocId target) {
       [](const BlockMeta& m, DocId t) { return m.last_doc < t; });
   const std::size_t b = static_cast<std::size_t>(it - blocks.begin());
   IndexCounters::CountBlocksSkipped(b - lo);
-  LoadSpan(b);
+  if (!LoadSpan(b)) return;
   idx_ = 0;
   pos_ = static_cast<std::uint32_t>(b) * kBlockSize;
 }

@@ -4,7 +4,9 @@
 #define METAPROBE_INDEX_POSTING_LIST_H_
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/macros.h"
@@ -44,7 +46,13 @@ struct Posting {
 /// repacks and a freshly built list is immediately readable.
 ///
 /// "Span" below means one decodable unit: each full block is a span, and
-/// the uncompressed tail (when non-empty) is the final span.
+/// the uncompressed tail (when non-empty) is the final span. `Freeze()`
+/// packs the tail as a final partial block, after which every span is a
+/// packed block and the list is immutable. Frozen lists come in two
+/// storage flavors with identical read behavior: heap-backed (`bytes_`
+/// owns the packed sections) and mapped (`FromMappedPayload` — the packed
+/// sections stay in a caller-owned byte range, typically an mmap'd index
+/// file, and only the directory lives on the heap).
 ///
 /// Append order must be strictly increasing by DocId; the builder in
 /// inverted_index.cc guarantees this by construction.
@@ -55,15 +63,39 @@ class PostingList {
   PostingList() = default;
 
   /// \brief Appends a posting; `doc` must exceed the last appended DocId.
+  /// Fails with FailedPrecondition on a frozen list.
   Status Append(DocId doc, std::uint32_t tf);
+
+  /// \brief Packs the uncompressed append tail into a final (possibly
+  /// partial) block and marks the list immutable. Idempotent. Closes the
+  /// ~2.6 B/posting in-memory vs ~1.21 serialized gap for read-only
+  /// serving; iteration, `SkipTo` and `EncodePayload` results are
+  /// bit-identical to the unfrozen list. Lists produced by `FromEncoded`
+  /// and `FromMappedPayload` are born frozen.
+  void Freeze();
+
+  /// \brief True once `Freeze()` has run (or the list was loaded frozen).
+  bool frozen() const { return frozen_; }
+
+  /// \brief True when the packed sections live in caller-owned mapped
+  /// memory rather than this list's own buffers.
+  bool is_mapped() const { return mapped_payload_ != nullptr; }
 
   /// \brief Number of postings (the term's document frequency).
   std::uint32_t size() const { return count_; }
   bool empty() const { return count_ == 0; }
 
-  /// \brief Actual in-memory payload size in bytes (packed blocks +
-  /// directory + uncompressed tail), independent of vector over-allocation.
-  std::size_t ByteSize() const;
+  /// \brief Heap bytes owned by this list (packed sections + directory +
+  /// uncompressed tail), independent of vector over-allocation. For mapped
+  /// lists this is just the parsed directory.
+  std::size_t HeapByteSize() const;
+
+  /// \brief Bytes of this list's payload held in caller-owned mapped
+  /// memory (directory + packed sections); zero for heap-backed lists.
+  std::size_t MappedByteSize() const { return mapped_payload_size_; }
+
+  /// \brief Total footprint: `HeapByteSize() + MappedByteSize()`.
+  std::size_t ByteSize() const { return HeapByteSize() + MappedByteSize(); }
 
   /// \brief Releases excess capacity after building.
   void ShrinkToFit();
@@ -126,8 +158,7 @@ class PostingList {
       if (pos_ >= list_->count_) return;
       ++pos_;
       if (++idx_ < span_len_ || pos_ >= list_->count_) return;
-      LoadSpan(block_ + 1);
-      idx_ = 0;
+      if (LoadSpan(block_ + 1)) idx_ = 0;
     }
 
     /// \brief Advances to the first posting with doc >= target, skipping
@@ -163,8 +194,11 @@ class PostingList {
 
    private:
     // Decodes block `b`'s doc ids into the scratch (b == blocks_.size()
-    // selects the uncompressed tail).
-    void LoadSpan(std::size_t b);
+    // selects the uncompressed tail). Returns false — with the iterator
+    // exhausted, permanently — when the decoded block contradicts its
+    // directory entry (possible only for corrupt mapped bytes: heap-backed
+    // payloads were deep-validated at load).
+    bool LoadSpan(std::size_t b);
     // Exhausts the iterator if target exceeds the list's last DocId, else
     // lands on the first block whose last_doc >= target (skipping the
     // blocks in between undecoded).
@@ -208,6 +242,24 @@ class PostingList {
   static Result<PostingList> FromV2Encoded(std::uint32_t count,
                                            std::vector<std::uint8_t> bytes);
 
+  /// \brief Builds a zero-copy frozen list over a caller-owned payload
+  /// view (an mmap'd index file region). Only the directory is parsed —
+  /// and validated as in `FromEncoded` — at call time; the packed gap/tf
+  /// sections are decoded lazily on first cursor touch, so a cold list
+  /// costs its directory plus untouched page-cache pages. Blocks whose
+  /// width/range admit 32-bit gap-sum wraparound are deep-validated here
+  /// (uint64 arithmetic) so the lazy decoder's cheap last-doc
+  /// cross-check is sound for everything else; a lazily detected
+  /// mismatch exhausts the cursor (never UB) and is surfaced as a Status
+  /// by `InvertedIndex::FinalizeScoring`'s posting-count check.
+  ///
+  /// `payload` must outlive the list and every iterator over it; see
+  /// DESIGN.md §16 for the ownership contract (`index_io::OpenMapped`
+  /// keeps the backing mapping alive via a shared handle on the index).
+  static Result<PostingList> FromMappedPayload(
+      std::uint32_t count, std::span<const std::uint8_t> payload,
+      bool with_max_tf);
+
   /// \brief Rebuilds a list from a legacy v1 varint payload (see
   /// varint_codec.h), fully validated; the result is re-encoded into the
   /// block format.
@@ -232,17 +284,52 @@ class PostingList {
                                              std::vector<std::uint8_t> bytes,
                                              bool with_max_tf);
 
-  // Packs the accumulated tail into a new full block (requires exactly
-  // kBlockSize pending postings).
-  void FlushTailBlock();
+  // Packs the accumulated tail (any size in [1, kBlockSize]) into a new
+  // block appended to blocks_/bytes_ and clears the tail vectors.
+  void PackTailBlock();
 
-  std::vector<BlockMeta> blocks_;      // directory of full blocks
-  std::vector<std::uint8_t> bytes_;    // packed payload of full blocks
+  // Number of postings in span `s` — uniform across storage flavors:
+  // every span covers postings [s*kBlockSize, min((s+1)*kBlockSize,
+  // count_)), whether it is a full block, a frozen partial final block,
+  // or the uncompressed tail.
+  std::uint32_t SpanLength(std::size_t s) const {
+    return std::min(kBlockSize,
+                    count_ - static_cast<std::uint32_t>(s) * kBlockSize);
+  }
+
+  // The packed gap/tf sections that BlockMeta::offset indexes into:
+  // either this list's own bytes_ or the caller-owned mapped region.
+  const std::uint8_t* section_data() const {
+    return mapped_payload_ != nullptr
+               ? mapped_payload_ + mapped_sections_offset_
+               : bytes_.data();
+  }
+  std::size_t section_size() const {
+    return mapped_payload_ != nullptr
+               ? mapped_payload_size_ - mapped_sections_offset_
+               : bytes_.size();
+  }
+
+  std::vector<BlockMeta> blocks_;      // directory of packed blocks
+  std::vector<std::uint8_t> bytes_;    // owned packed sections (unmapped)
   std::vector<DocId> tail_docs_;       // < kBlockSize pending postings
   std::vector<std::uint32_t> tail_tfs_;
+  // Mapped storage: the full payload view (directory + sections) handed
+  // to FromMappedPayload, and the offset where the sections start. Null /
+  // zero for heap-backed lists.
+  const std::uint8_t* mapped_payload_ = nullptr;
+  std::size_t mapped_payload_size_ = 0;
+  std::size_t mapped_sections_offset_ = 0;
   std::uint32_t count_ = 0;
   DocId last_doc_ = 0;
   bool has_last_ = false;
+  bool frozen_ = false;
+  // Set (via std::atomic_ref, racing cursors are fine) on the first block
+  // decode of a mapped list; drives the metaprobe_index_resident_lists
+  // gauge. The owning InvertedIndex decrements on destruction.
+  mutable bool resident_counted_ = false;
+
+  friend class InvertedIndex;  // resident-gauge settlement in ~InvertedIndex
 };
 
 }  // namespace index

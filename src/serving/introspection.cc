@@ -107,6 +107,24 @@ std::string IntrospectionService::StatuszJson() const {
             ",\"batches_served\":" + Jn(stats.batches_served) +
             ",\"probes_issued\":" + Jn(stats.probes_issued) +
             ",\"probes_failed\":" + Jn(stats.probes_failed) + "}";
+    // Per-database index storage, split by backing, so operators can tell
+    // heap-held indexes from mmap-served (page-cache-reclaimable) ones.
+    json += ",\"storage\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < components_.searcher->num_databases(); ++i) {
+      const core::HiddenWebDatabase& db = components_.searcher->database(i);
+      const core::StorageStats storage = db.GetStorageStats();
+      if (!first) json += ',';
+      first = false;
+      json += "{\"name\":" + Js(db.name()) +
+              ",\"heap_bytes\":" + Jn(static_cast<std::uint64_t>(
+                                      storage.heap_bytes)) +
+              ",\"mapped_bytes\":" + Jn(static_cast<std::uint64_t>(
+                                        storage.mapped_bytes)) +
+              ",\"frozen\":" + (storage.frozen ? "true" : "false") +
+              ",\"mapped\":" + (storage.mapped ? "true" : "false") + "}";
+    }
+    json += ']';
   }
   if (!components_.slos.empty()) {
     json += ",\"slos\":[";

@@ -1,3 +1,9 @@
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -13,6 +19,35 @@
 namespace metaprobe {
 namespace index {
 namespace {
+
+// RAII temp file holding `bytes`: OpenMapped consumes a filesystem path,
+// so the mapped tests round-trip serialized indexes through a real file.
+class TempIndexFile {
+ public:
+  explicit TempIndexFile(const std::string& bytes) {
+    path_ = (std::filesystem::temp_directory_path() /
+             "metaprobe_index_io_XXXXXX")
+                .string();
+    const int fd = ::mkstemp(path_.data());
+    if (fd >= 0) ::close(fd);
+    std::ofstream os(path_, std::ios::binary);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  ~TempIndexFile() { std::remove(path_.c_str()); }
+  TempIndexFile(const TempIndexFile&) = delete;
+  TempIndexFile& operator=(const TempIndexFile&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string Serialize(const InvertedIndex& index) {
+  std::ostringstream os(std::ios::binary);
+  EXPECT_TRUE(index.SaveTo(os).ok());
+  return os.str();
+}
 
 void PutU32(std::string* out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
@@ -289,6 +324,118 @@ TEST(IndexIoTest, LoadsV2FormatFiles) {
   }
 }
 
+TEST(IndexIoTest, OpenMappedMatchesEagerLoad) {
+  text::Analyzer analyzer;
+  corpus::CorpusGenerator generator(corpus::HealthTopics(), {}, &analyzer);
+  corpus::DatabaseSpec spec;
+  spec.name = "mapped-io";
+  spec.num_docs = 500;
+  spec.mixture = {{"oncology", 1.0}, {"cardiology", 1.0}};
+  spec.seed = 321;
+  InvertedIndex original = std::move(generator.Generate(spec)->index);
+  TempIndexFile file(Serialize(original));
+
+  for (bool eager_scoring : {false, true}) {
+    MappedIndexOptions options;
+    options.eager_scoring = eager_scoring;
+    auto mapped = InvertedIndex::OpenMapped(file.path(), options);
+    ASSERT_TRUE(mapped.ok()) << mapped.status();
+    EXPECT_TRUE(mapped->is_mapped());
+    EXPECT_TRUE(mapped->frozen());
+    ASSERT_TRUE(mapped->EnsureScoringReady().ok());
+    EXPECT_EQ(mapped->num_docs(), original.num_docs());
+    for (auto terms : {std::vector<std::string>{"cancer"},
+                       std::vector<std::string>{"cancer", "breast"},
+                       std::vector<std::string>{"heart", "arteri"},
+                       std::vector<std::string>{"tumor", "biopsi",
+                                                "cancer"}}) {
+      EXPECT_EQ(mapped->CountConjunctive(terms),
+                original.CountConjunctive(terms));
+      EXPECT_EQ(mapped->TopKCosine(terms, 10),
+                original.TopKCosine(terms, 10));
+    }
+    // The payload bytes live in the mapping, not on the heap.
+    IndexStats stats = mapped->GetStats();
+    EXPECT_GT(stats.mapped_bytes, 0u);
+    EXPECT_EQ(stats.posting_bytes, stats.heap_bytes + stats.mapped_bytes);
+    // Re-saving a mapped index reproduces the file byte for byte.
+    std::ostringstream resaved(std::ios::binary);
+    ASSERT_TRUE(mapped->SaveTo(resaved).ok());
+    std::ifstream is(file.path(), std::ios::binary);
+    std::string disk((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_EQ(resaved.str(), disk);
+  }
+}
+
+TEST(IndexIoTest, OpenMappedMissingFileIsIoError) {
+  EXPECT_TRUE(InvertedIndex::OpenMapped("/nonexistent/metaprobe.mpix")
+                  .status()
+                  .IsIoError());
+}
+
+TEST(IndexIoTest, OpenMappedRejectsTruncation) {
+  const std::string payload = Serialize(SmallIndex());
+  for (std::size_t cut : {0ul, 4ul, 12ul, 20ul, payload.size() / 2,
+                          payload.size() - 3}) {
+    TempIndexFile file(payload.substr(0, cut));
+    EXPECT_FALSE(InvertedIndex::OpenMapped(file.path()).ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST(IndexIoTest, OpenMappedRejectsTrailingBytes) {
+  // The mapped reader owns the whole file: bytes past the last term are a
+  // framing error, not ignorable slack.
+  TempIndexFile file(Serialize(SmallIndex()) + "junk");
+  EXPECT_TRUE(
+      InvertedIndex::OpenMapped(file.path()).status().IsInvalidArgument());
+}
+
+TEST(IndexIoTest, OpenMappedRejectsCorruptedBytes) {
+  // The LoadFrom flip sweep, through the mapped path: every single-byte
+  // corruption must be caught at open, at scoring finalization (which
+  // decodes every block), or — for benign flips inside term text — load an
+  // index that still answers queries without crashing. Lazy decode of a
+  // contradicted block exhausts the cursor instead of invoking UB, which
+  // is exactly what the ASan/UBSan stages check here.
+  InvertedIndex original = SmallIndex();
+  const std::string payload = Serialize(original);
+  stats::Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string mutated = payload;
+    std::size_t pos = 8 + rng.UniformInt(mutated.size() - 8);
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x5b);
+    TempIndexFile file(mutated);
+    auto result = InvertedIndex::OpenMapped(file.path());
+    if (!result.ok()) continue;
+    EXPECT_EQ(result->num_docs(), original.num_docs());
+    result->CountConjunctive({"breast", "cancer"});
+    if (result->EnsureScoringReady().ok()) {
+      result->TopKCosine({"breast", "cancer"}, 5);
+    }
+  }
+}
+
+TEST(IndexIoTest, OpenMappedLoadsV1AndV2Files) {
+  InvertedIndex original = SmallIndex();
+  // v1 files fall back to the eager legacy reader behind the same entry
+  // point; v2 files map with the max-tf maxima recovered eagerly from the
+  // tf sections. Both must answer queries identically to the original.
+  for (const std::string& bytes :
+       {SerializeAsV1(original), SerializeAsV2(original)}) {
+    TempIndexFile file(bytes);
+    auto loaded = InvertedIndex::OpenMapped(file.path());
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    ASSERT_TRUE(loaded->EnsureScoringReady().ok());
+    EXPECT_EQ(loaded->num_docs(), original.num_docs());
+    EXPECT_EQ(loaded->CountConjunctive({"breast", "cancer"}),
+              original.CountConjunctive({"breast", "cancer"}));
+    EXPECT_EQ(loaded->TopKCosine({"breast", "cancer"}, 5),
+              original.TopKCosine({"breast", "cancer"}, 5));
+  }
+}
+
 TEST(IndexIoTest, RejectsCorruptMaxTfEntries) {
   // Every single-byte flip of a max-tf directory field must fail the load:
   // either the width consistency check in the payload decoder or the deep
@@ -361,6 +508,16 @@ TEST(IndexIoTest, RejectsCorruptMaxTfEntries) {
       EXPECT_TRUE(InvertedIndex::LoadFrom(is).status().IsInvalidArgument())
           << "flip 0x" << std::hex << int(flip) << " at byte " << std::dec
           << pos;
+      // The mapped reader defers block decode, so a corrupt max-tf that
+      // survives the directory parse must still be caught no later than
+      // scoring finalization — an unsound WAND bound is never served.
+      TempIndexFile mapped_file(mutated);
+      auto mapped = InvertedIndex::OpenMapped(mapped_file.path());
+      if (mapped.ok()) {
+        EXPECT_TRUE(mapped->EnsureScoringReady().IsInvalidArgument())
+            << "mapped flip 0x" << std::hex << int(flip) << " at byte "
+            << std::dec << pos;
+      }
     }
   }
 }

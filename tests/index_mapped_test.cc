@@ -1,0 +1,227 @@
+// Equivalence and concurrency coverage for the zero-copy read path:
+// InvertedIndex::OpenMapped must answer every query bit-identically to the
+// eagerly loaded index it was serialized from, and one shared mapped index
+// must serve concurrent cursors without a data race (the TSAN stage runs
+// the MappedIndexConcurrencyTest suite).
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/domain.h"
+#include "corpus/synthetic_corpus.h"
+#include "index/index_metrics.h"
+#include "index/inverted_index.h"
+#include "text/analyzer.h"
+
+namespace metaprobe {
+namespace index {
+namespace {
+
+// Query sweep over the synthetic health corpus (analyzer-stemmed terms),
+// mixing dense single terms, conjunctions, and an unknown term.
+const std::vector<std::vector<std::string>>& QuerySweep() {
+  static const std::vector<std::vector<std::string>> queries = {
+      {"cancer"},
+      {"heart"},
+      {"cancer", "breast"},
+      {"heart", "arteri"},
+      {"tumor", "biopsi", "cancer"},
+      {"cancer", "nosuchterm"},
+      {},
+  };
+  return queries;
+}
+
+// The reference index, built once per process: a corpus large enough that
+// posting lists span multiple blocks and WAND skipping actually fires.
+const InvertedIndex& EagerIndex() {
+  static const InvertedIndex* index = [] {
+    text::Analyzer analyzer;
+    corpus::CorpusGenerator generator(corpus::HealthTopics(), {}, &analyzer);
+    corpus::DatabaseSpec spec;
+    spec.name = "mapped-test";
+    spec.num_docs = 2000;
+    spec.mixture = {{"oncology", 1.0}, {"cardiology", 1.0}};
+    spec.seed = 99;
+    return new InvertedIndex(std::move(generator.Generate(spec)->index));
+  }();
+  return *index;
+}
+
+// The reference index serialized to a unique-per-process temp file; the
+// file is removed at process exit.
+struct SharedIndexFile {
+  SharedIndexFile() {
+    path = (std::filesystem::temp_directory_path() /
+            "metaprobe_index_mapped_XXXXXX")
+               .string();
+    const int fd = ::mkstemp(path.data());
+    if (fd >= 0) ::close(fd);
+    std::ofstream os(path, std::ios::binary);
+    EagerIndex().SaveTo(os).CheckOK();
+  }
+  ~SharedIndexFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+const std::string& IndexFilePath() {
+  static SharedIndexFile file;
+  return file.path;
+}
+
+TEST(MappedIndexTest, QueriesBitIdenticalToEager) {
+  const InvertedIndex& eager = EagerIndex();
+  for (bool eager_scoring : {false, true}) {
+    MappedIndexOptions options;
+    options.eager_scoring = eager_scoring;
+    auto mapped = InvertedIndex::OpenMapped(IndexFilePath(), options);
+    ASSERT_TRUE(mapped.ok()) << mapped.status();
+    ASSERT_TRUE(mapped->EnsureScoringReady().ok());
+    EXPECT_EQ(mapped->num_docs(), eager.num_docs());
+    for (const auto& terms : QuerySweep()) {
+      EXPECT_EQ(mapped->CountConjunctive(terms), eager.CountConjunctive(terms));
+      EXPECT_EQ(mapped->FindConjunctive(terms, 50),
+                eager.FindConjunctive(terms, 50));
+      EXPECT_EQ(mapped->TopKCosine(terms, 10), eager.TopKCosine(terms, 10));
+      EXPECT_EQ(mapped->TopKCosineExhaustive(terms, 10),
+                eager.TopKCosineExhaustive(terms, 10));
+      EXPECT_EQ(mapped->BestCosineScore(terms), eager.BestCosineScore(terms));
+    }
+    EXPECT_EQ(mapped->CountConjunctiveBatch(QuerySweep()),
+              eager.CountConjunctiveBatch(QuerySweep()));
+  }
+}
+
+TEST(MappedIndexTest, StatsReportTheMappedSplit) {
+  auto mapped = InvertedIndex::OpenMapped(IndexFilePath());
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  EXPECT_TRUE(mapped->is_mapped());
+  EXPECT_TRUE(mapped->frozen());
+  const IndexStats eager_stats = EagerIndex().GetStats();
+  const IndexStats mapped_stats = mapped->GetStats();
+  EXPECT_EQ(mapped_stats.num_terms, eager_stats.num_terms);
+  EXPECT_EQ(mapped_stats.num_postings, eager_stats.num_postings);
+  // The payload bytes stay in the mapping; only directories and the
+  // vocabulary land on the heap.
+  EXPECT_GT(mapped_stats.mapped_bytes, 0u);
+  EXPECT_EQ(mapped_stats.posting_bytes,
+            mapped_stats.heap_bytes + mapped_stats.mapped_bytes);
+  EXPECT_LT(mapped_stats.heap_bytes, eager_stats.posting_bytes);
+  // The eager index, by contrast, is all heap.
+  EXPECT_EQ(eager_stats.mapped_bytes, 0u);
+}
+
+TEST(MappedIndexTest, FreezeKeepsBuiltIndexQueriesAndBytes) {
+  // Freezing a builder-built index (packing every append tail) must change
+  // neither query results nor the serialized bytes.
+  auto build = [] {
+    text::Analyzer analyzer;
+    corpus::CorpusGenerator generator(corpus::HealthTopics(), {}, &analyzer);
+    corpus::DatabaseSpec spec;
+    spec.name = "freeze-test";
+    spec.num_docs = 400;
+    spec.mixture = {{"oncology", 1.0}};
+    spec.seed = 7;
+    return std::move(generator.Generate(spec)->index);
+  };
+  InvertedIndex plain = build();
+  InvertedIndex frozen = build();
+  std::ostringstream before(std::ios::binary);
+  ASSERT_TRUE(frozen.SaveTo(before).ok());
+  frozen.Freeze();
+  EXPECT_TRUE(frozen.frozen());
+  for (const auto& terms : QuerySweep()) {
+    EXPECT_EQ(frozen.CountConjunctive(terms), plain.CountConjunctive(terms));
+    EXPECT_EQ(frozen.TopKCosine(terms, 10), plain.TopKCosine(terms, 10));
+  }
+  std::ostringstream after(std::ios::binary);
+  ASSERT_TRUE(frozen.SaveTo(after).ok());
+  EXPECT_EQ(before.str(), after.str());
+}
+
+#ifndef METAPROBE_OBS_DISABLED
+TEST(MappedIndexTest, GaugesTrackMappingLifetime) {
+  const std::uint64_t bytes_before =
+      IndexCounters::mapped_bytes.load(std::memory_order_relaxed);
+  const std::uint64_t resident_before =
+      IndexCounters::resident_lists.load(std::memory_order_relaxed);
+  {
+    auto mapped = InvertedIndex::OpenMapped(IndexFilePath());
+    ASSERT_TRUE(mapped.ok()) << mapped.status();
+    EXPECT_EQ(IndexCounters::mapped_bytes.load(std::memory_order_relaxed),
+              bytes_before + std::filesystem::file_size(IndexFilePath()));
+    // Opening is lazy: no list has been decoded, none is resident yet.
+    EXPECT_EQ(IndexCounters::resident_lists.load(std::memory_order_relaxed),
+              resident_before);
+    // Opening a cursor decodes the first block: exactly one list becomes
+    // resident. Finalizing scoring then touches every non-empty list.
+    ASSERT_NE(mapped->Postings("cancer"), nullptr);
+    EXPECT_TRUE(mapped->Postings("cancer")->begin().Valid());
+    EXPECT_EQ(IndexCounters::resident_lists.load(std::memory_order_relaxed),
+              resident_before + 1);
+    ASSERT_TRUE(mapped->EnsureScoringReady().ok());
+    EXPECT_GT(IndexCounters::resident_lists.load(std::memory_order_relaxed),
+              resident_before + 1);
+  }
+  // Destroying the index settles both gauges back to the baseline.
+  EXPECT_EQ(IndexCounters::mapped_bytes.load(std::memory_order_relaxed),
+            bytes_before);
+  EXPECT_EQ(IndexCounters::resident_lists.load(std::memory_order_relaxed),
+            resident_before);
+}
+#endif  // METAPROBE_OBS_DISABLED
+
+TEST(MappedIndexConcurrencyTest, ConcurrentCursorsOverSharedMapping) {
+  // One lazily opened mapping, many threads: every thread finalizes
+  // scoring (call_once), then races full query sweeps whose cursors
+  // lazily decode the same shared posting lists. TSAN must see no race
+  // and every thread must get the reference answers.
+  auto mapped = InvertedIndex::OpenMapped(IndexFilePath());
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  const InvertedIndex& eager = EagerIndex();
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 5;
+  std::vector<int> mismatches(kThreads, 0);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        if (!mapped->EnsureScoringReady().ok()) {
+          ++mismatches[t];
+          return;
+        }
+        for (int round = 0; round < kRounds; ++round) {
+          for (const auto& terms : QuerySweep()) {
+            if (mapped->CountConjunctive(terms) !=
+                eager.CountConjunctive(terms)) {
+              ++mismatches[t];
+            }
+            if (mapped->TopKCosine(terms, 10) != eager.TopKCosine(terms, 10)) {
+              ++mismatches[t];
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace metaprobe

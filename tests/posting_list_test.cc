@@ -280,6 +280,107 @@ INSTANTIATE_TEST_SUITE_P(
     BlockEdges, PostingListBoundarySizeTest,
     ::testing::Values(0, 1, 2, 127, 128, 129, 255, 256, 257, 640));
 
+// Builds a list of `n` postings from `rng` and the matching reference
+// vector; the same rng state always yields the same postings, so two
+// calls with equal seeds produce twins.
+void BuildRandomList(stats::Rng* rng, std::uint32_t n, PostingList* list,
+                     std::vector<Posting>* reference) {
+  DocId doc = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    doc += 1 + static_cast<DocId>(rng->UniformInt(std::uint64_t{999}));
+    std::uint32_t tf =
+        1 + static_cast<std::uint32_t>(rng->UniformInt(std::uint64_t{30}));
+    ASSERT_TRUE(list->Append(doc, tf).ok());
+    reference->push_back({doc, tf});
+  }
+}
+
+// Freeze() packs the append tail into a final partial block without
+// changing a single observable: iteration order, SkipTo landing points,
+// and the encoded payload must be bit-identical to the unfrozen twin,
+// across ~1000 random lists plus every tail-boundary size.
+TEST(PostingListFreezeTest, FreezeIsObservablyIdentical) {
+  stats::Rng size_rng(42);
+  int checked = 0;
+  for (int trial = 0; trial < 1000; ++trial) {
+    // Cycle the boundary sizes through the first trials so 0, 1, 127,
+    // 128 and 129 are always covered, then go random.
+    const std::uint32_t boundary[] = {0, 1, 127, 128, 129};
+    const std::uint32_t n =
+        trial < 5 ? boundary[trial]
+                  : static_cast<std::uint32_t>(
+                        size_rng.UniformInt(std::uint64_t{400}));
+    const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(trial);
+    PostingList plain, frozen;
+    std::vector<Posting> reference, twin;
+    {
+      stats::Rng rng(seed);
+      BuildRandomList(&rng, n, &plain, &reference);
+    }
+    {
+      stats::Rng rng(seed);
+      BuildRandomList(&rng, n, &frozen, &twin);
+    }
+    ASSERT_EQ(reference, twin);
+    frozen.Freeze();
+    EXPECT_TRUE(frozen.frozen());
+    EXPECT_FALSE(plain.frozen());
+
+    EXPECT_EQ(frozen.size(), plain.size());
+    EXPECT_EQ(frozen.Decode(), reference);
+    EXPECT_EQ(frozen.EncodePayload(), plain.EncodePayload());
+
+    // SkipTo from a fresh cursor agrees at a sampled set of targets:
+    // every fourth posting, each one's predecessor gap, and past-the-end.
+    for (std::size_t i = 0; i < reference.size(); i += 4) {
+      for (DocId target : {reference[i].doc, reference[i].doc - 1}) {
+        auto it = frozen.begin();
+        it.SkipTo(target);
+        auto ref = std::find_if(
+            reference.begin(), reference.end(),
+            [&](const Posting& p) { return p.doc >= target; });
+        ASSERT_TRUE(it.Valid());
+        EXPECT_EQ(it.doc(), ref->doc);
+        EXPECT_EQ(it.tf(), ref->tf);
+      }
+    }
+    auto it = frozen.begin();
+    it.SkipTo(n == 0 ? 1 : reference.back().doc + 1);
+    EXPECT_FALSE(it.Valid());
+    ++checked;
+  }
+  EXPECT_EQ(checked, 1000);
+}
+
+TEST(PostingListFreezeTest, FrozenListRejectsAppend) {
+  PostingList list;
+  ASSERT_TRUE(list.Append(1, 1).ok());
+  list.Freeze();
+  EXPECT_TRUE(list.Append(2, 1).IsFailedPrecondition());
+  // The list is unchanged by the rejected append.
+  EXPECT_EQ(list.Decode(), (std::vector<Posting>{{1, 1}}));
+}
+
+TEST(PostingListFreezeTest, FreezeIsIdempotentAndShrinks) {
+  PostingList list;
+  // A tail-heavy list: one full block plus a 40-posting tail held
+  // uncompressed at 8 bytes per posting until frozen.
+  for (DocId d = 0; d < PostingList::kBlockSize + 40; ++d) {
+    ASSERT_TRUE(list.Append(d * 2 + 1, (d % 3) + 1).ok());
+  }
+  const std::size_t before = list.ByteSize();
+  const std::vector<Posting> reference = list.Decode();
+  list.Freeze();
+  EXPECT_LT(list.ByteSize(), before);
+  const std::size_t frozen_size = list.ByteSize();
+  list.Freeze();  // second freeze is a no-op
+  EXPECT_EQ(list.ByteSize(), frozen_size);
+  EXPECT_EQ(list.Decode(), reference);
+  // A frozen heap list is all heap: the mapped share is zero.
+  EXPECT_EQ(list.MappedByteSize(), 0u);
+  EXPECT_EQ(list.HeapByteSize(), list.ByteSize());
+}
+
 }  // namespace
 }  // namespace index
 }  // namespace metaprobe

@@ -47,13 +47,16 @@ JOBS="${1:-$(nproc)}"
 TSAN_FILTER='ThreadPool|Concurrency|Determinism|SpeculativeBatch|ParallelGreedy|Serving|TokenBucket|Admission|Deadline|ProbeBatchDeadline'
 
 # Test-name filter for the UBSAN pass: the numeric kernels where UB (signed
-# overflow, bad indexing, misaligned loads) would silently corrupt results.
-UBSAN_FILTER='Correctness|Kernel|Probing|DiscreteDistribution|TopKModel'
+# overflow, bad indexing, misaligned loads) would silently corrupt results,
+# plus the index IO suites whose corrupt-byte sweeps feed adversarial data
+# to the lazy mapped-block decoder.
+UBSAN_FILTER='Correctness|Kernel|Probing|DiscreteDistribution|TopKModel|IndexIo|MappedIndex'
 
 # Test-name filter for the ASAN pass: the suites that own raw buffers or
-# sockets — index codecs and round-trip IO, the document store, the HTTP
-# introspection server, and the serving + admission stack.
-ASAN_FILTER='IndexIo|InvertedIndex|PostingList|DocumentStore|HttpServer|Serving|Admission|TokenBucket|Introspection'
+# sockets — index codecs and round-trip IO (including the mmap'd zero-copy
+# path), the document store, the HTTP introspection server, and the
+# serving + admission stack.
+ASAN_FILTER='IndexIo|InvertedIndex|PostingList|DocumentStore|HttpServer|Serving|Admission|TokenBucket|Introspection|MappedIndex'
 
 run_release() {
   echo "=== [1/6] Release build + full test suite ==="
@@ -156,6 +159,8 @@ run_smoke() {
     'metaprobe_index_blocks_skipped_total' \
     'metaprobe_index_blocks_wand_skipped_total' \
     'metaprobe_index_simd_intersections_total' \
+    'metaprobe_index_mapped_bytes' \
+    'metaprobe_index_resident_lists' \
     'metaprobe_probe_batch_size'; do
     grep -qF "$series" "$out/metrics.txt" \
       || { echo "missing series: $series"; return 1; }
@@ -233,8 +238,18 @@ for series in (
     'metaprobe_slo_burn_rate{slo="server_latency"}',
     "metaprobe_server_requests_total",
     "metaprobe_server_queue_depth",
+    "metaprobe_index_mapped_bytes",
+    "metaprobe_index_resident_lists",
 ):
     assert series in metrics, f"/metrics missing series: {series}"
+# The serving example maps one index, so the gauge must read nonzero.
+for line in metrics.splitlines():
+    if line.startswith("metaprobe_index_mapped_bytes "):
+        assert float(line.split()[1]) > 0, \
+            "metaprobe_index_mapped_bytes is zero with a mapped index live"
+        break
+else:
+    raise AssertionError("no metaprobe_index_mapped_bytes sample line")
 
 status, body = get("/statusz")
 statusz = json.loads(body)
@@ -249,6 +264,18 @@ for name in ("pubmed", "medlineplus", "sports-daily"):
 assert any(row["probes"] > 0 for row in rows.values()), \
     "no backend recorded any probes — health windows are empty"
 assert statusz["slos"][0]["name"] == "server_latency"
+# Per-database storage rows: every index serves frozen, and the mapped
+# one reports its bytes under mapped_bytes, not heap_bytes.
+storage = {row["name"]: row for row in statusz["storage"]}
+for name in ("pubmed", "medlineplus", "sports-daily"):
+    assert name in storage, f"/statusz missing storage row for {name}"
+    for field in ("heap_bytes", "mapped_bytes", "frozen", "mapped"):
+        assert field in storage[name], f"storage row {name} missing {field}"
+    assert storage[name]["frozen"], f"{name} index is not frozen"
+assert storage["pubmed"]["mapped"] and storage["pubmed"]["mapped_bytes"] > 0, \
+    "pubmed should serve from a mapped index"
+assert not storage["medlineplus"]["mapped"], \
+    "medlineplus should be heap-backed"
 
 status, body = get("/tracez")
 tracez = json.loads(body)

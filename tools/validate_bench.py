@@ -13,7 +13,10 @@ how to read:
     regenerations lack them) but when present must shadow a live
     benchmark of the same stem. Index files must cover the benchmark
     families the perf-trajectory tooling tracks, including the WAND
-    scorer and the dense SIMD intersection pair.
+    scorer, the dense SIMD intersection pair, and the eager-vs-mapped
+    cold-open pair, whose ratio at the largest common corpus size is
+    gated: the mmap'd open must stay at least 10x faster than the eager
+    load.
   * The custom layout written by bench/micro_parallel.cc and
     bench/load_gen.cc (BENCH_parallel, BENCH_obs, BENCH_serving):
     top-level "context" object and "benchmarks" list whose entries carry
@@ -53,7 +56,15 @@ INDEX_REQUIRED_FAMILIES = (
     "BM_TopKCosine",
     "BM_TopKCosineManyTerms",
     "BM_TopKCosineExhaustive",
+    "BM_IndexOpenEager",
+    "BM_IndexOpenMapped",
 )
+
+# CI gate: at the largest corpus size both open benchmarks cover, the
+# mapped cold open must beat the eager load by at least this factor —
+# the zero-copy reader defers block decode, so its open cost must not
+# degenerate back toward a full-file decode.
+INDEX_MAPPED_OPEN_SPEEDUP_MIN = 10.0
 
 # Entries every BENCH_obs.json must carry: the serving configurations of
 # the overhead harness plus the tight-looped metric/health hooks.
@@ -181,6 +192,41 @@ def validate(path):
                     path,
                     f"baseline entry {name!r} shadows no live benchmark",
                 )
+
+        def open_times(family):
+            times = {}
+            for bench in benchmarks:
+                name = bench.get("name", "")
+                if name in live and name.startswith(family + "/"):
+                    arg = name.rsplit("/", 1)[1]
+                    if arg.isdigit() and is_finite_number(
+                        bench.get("real_time")
+                    ):
+                        times[int(arg)] = bench["real_time"]
+            return times
+
+        eager = open_times("BM_IndexOpenEager")
+        mapped = open_times("BM_IndexOpenMapped")
+        common = sorted(set(eager) & set(mapped))
+        if not common:
+            return fail(
+                path,
+                "BM_IndexOpenEager and BM_IndexOpenMapped share no corpus "
+                "size to compare",
+            )
+        size = common[-1]
+        if mapped[size] <= 0:
+            return fail(
+                path, f"BM_IndexOpenMapped/{size} has non-positive real_time"
+            )
+        speedup = eager[size] / mapped[size]
+        if speedup < INDEX_MAPPED_OPEN_SPEEDUP_MIN:
+            return fail(
+                path,
+                f"mapped cold open at {size} docs is only {speedup:.1f}x "
+                f"faster than the eager load (gate: "
+                f">= {INDEX_MAPPED_OPEN_SPEEDUP_MIN:.0f}x)",
+            )
 
     print(f"{path}: ok ({len(benchmarks)} benchmarks)")
     return 0
